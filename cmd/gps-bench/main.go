@@ -1,0 +1,150 @@
+// Command gps-bench regenerates the paper's evaluation tables and figures
+// from the synthetic stand-in datasets at configurable scale.
+//
+// Usage:
+//
+//	gps-bench -exp table1|table2|table3|fig1|fig2|fig3|weights|extensions|all \
+//	          [-profile small|full] [-trials N] [-sample M] [-budget B] \
+//	          [-checkpoints C] [-seed S] [-graphs a,b,c]
+//
+// Examples:
+//
+//	gps-bench -exp table1                  # Table 1 at the default scale
+//	gps-bench -exp table2 -budget 20000    # baselines at a 20K edge budget
+//	gps-bench -exp fig2 -profile full      # convergence sweep, 8× datasets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"gps/internal/datasets"
+	"gps/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "gps-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, errw io.Writer) error {
+	fs := flag.NewFlagSet("gps-bench", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		exp         = fs.String("exp", "all", "experiment: table1, table2, table3, fig1, fig2, fig3, weights, extensions, all")
+		profileName = fs.String("profile", "small", "dataset scale: small or full")
+		trials      = fs.Int("trials", 3, "replications per configuration")
+		sample      = fs.Int("sample", 20000, "GPS sample size m (table1, fig1, fig3, weights)")
+		budget      = fs.Int("budget", 10000, "edge budget for the baseline comparisons (table2, table3, extensions)")
+		checkpoints = fs.Int("checkpoints", 20, "checkpoints along the stream (table3, fig3)")
+		seed        = fs.Uint64("seed", 0x69505321, "root seed for all randomness")
+		graphsFlag  = fs.String("graphs", "", "comma-separated dataset names (default: the paper's list per experiment)")
+		list        = fs.Bool("list", false, "list available datasets and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, name := range datasets.Names() {
+			d, _ := datasets.Get(name)
+			fmt.Fprintf(stdout, "%-22s %-14s %s\n", d.Name, d.Kind, d.Notes)
+		}
+		return nil
+	}
+
+	profile := datasets.Small
+	switch *profileName {
+	case "small":
+	case "full":
+		profile = datasets.Full
+	default:
+		return fmt.Errorf("unknown profile %q (want small or full)", *profileName)
+	}
+	opts := experiments.Options{Profile: profile, Trials: *trials, Seed: *seed}
+
+	var graphs []string
+	if *graphsFlag != "" {
+		graphs = strings.Split(*graphsFlag, ",")
+	}
+
+	emit := func(title, body string) {
+		fmt.Fprintf(stdout, "===== %s =====\n%s\n", title, body)
+	}
+	runOne := func(name string) error {
+		switch name {
+		case "table1":
+			rows, err := experiments.Table1(opts, *sample, graphs)
+			if err != nil {
+				return err
+			}
+			emit("Table 1 — GPS in-stream vs post-stream estimation", experiments.RenderTable1(rows))
+		case "table2":
+			rows, err := experiments.Table2(opts, *budget, graphs)
+			if err != nil {
+				return err
+			}
+			emit("Table 2 — baseline comparison at equal edge budget", experiments.RenderTable2(rows))
+		case "table3":
+			rows, err := experiments.Table3(opts, *budget, *checkpoints, graphs)
+			if err != nil {
+				return err
+			}
+			emit("Table 3 — triangle tracking error vs time", experiments.RenderTable3(rows))
+		case "fig1":
+			pts, err := experiments.Figure1(opts, *sample, graphs)
+			if err != nil {
+				return err
+			}
+			emit("Figure 1 — x̂/x for triangles and wedges (in-stream)", experiments.RenderFigure1(pts))
+		case "fig2":
+			series, err := experiments.Figure2(opts, nil, graphs)
+			if err != nil {
+				return err
+			}
+			emit("Figure 2 — convergence with confidence bounds",
+				experiments.RenderFigure2(series)+"\n"+experiments.PlotFigure2(series))
+		case "fig3":
+			series, err := experiments.Figure3(opts, *sample, *checkpoints, graphs)
+			if err != nil {
+				return err
+			}
+			emit("Figure 3 — real-time tracking",
+				experiments.RenderFigure3(series)+"\n"+experiments.PlotFigure3(series))
+		case "weights":
+			graphName := "socfb-Penn94"
+			if len(graphs) > 0 {
+				graphName = graphs[0]
+			}
+			rows, err := experiments.WeightAblation(opts, *sample, graphName)
+			if err != nil {
+				return err
+			}
+			emit("§3.5 ablation — weight functions ("+graphName+")", experiments.RenderAblation(rows))
+		case "extensions":
+			rows, err := experiments.Extensions(opts, *budget, graphs)
+			if err != nil {
+				return err
+			}
+			emit("Extensions — JHA and Buriol vs GPS (comparisons the paper omitted)", experiments.RenderExtensions(rows))
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table1", "table2", "table3", "fig1", "fig2", "fig3", "weights", "extensions"} {
+			if err := runOne(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runOne(*exp)
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ca-hollywood-2009", "infra-roadNet-CA", "R-MAT"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("list output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{"-exp", "fig1", "-sample", "5000", "-trials", "1", "-graphs", "soc-youtube-snap"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 1") || !strings.Contains(out.String(), "soc-youtube-snap") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-exp", "nope"},
+		{"-profile", "huge"},
+		{"-exp", "table1", "-graphs", "unknown-graph"},
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if err := run(args, &out, &errw); err == nil {
+			t.Fatalf("args %v: expected error", args)
+		}
+	}
+}

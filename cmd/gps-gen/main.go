@@ -1,0 +1,134 @@
+// Command gps-gen generates synthetic graphs as plain-text edge lists,
+// either by dataset name (the paper stand-ins) or by generator family with
+// explicit parameters.
+//
+// Usage:
+//
+//	gps-gen -dataset soc-orkut [-profile small|full] [-out file]
+//	gps-gen -type er   -n 100000 -m 500000 [-seed S] [-out file]
+//	gps-gen -type ba   -n 100000 -k 5
+//	gps-gen -type hk   -n 100000 -k 8 -p 0.6
+//	gps-gen -type ws   -n 100000 -k 8 -p 0.05
+//	gps-gen -type rmat -scale 18 -k 8 -a 0.57 -b 0.19 -c 0.19
+//	gps-gen -type grid -rows 500 -cols 500 -keep 0.75 -diag 0.03
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gps/internal/datasets"
+	"gps/internal/gen"
+	"gps/internal/graph"
+	"gps/internal/stream"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "gps-gen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args and writes the generated edge list to stdout (or -out).
+// Progress notes go to errw.
+func run(args []string, stdout, errw io.Writer) error {
+	fs := flag.NewFlagSet("gps-gen", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		dataset     = fs.String("dataset", "", "generate a named paper stand-in (see gps-bench -list)")
+		profileName = fs.String("profile", "small", "dataset scale: small or full")
+		typ         = fs.String("type", "", "generator family: er, ba, hk, ws, rmat, grid")
+		n           = fs.Int("n", 10000, "number of nodes (er, ba, hk, ws)")
+		m           = fs.Int("m", 50000, "number of edges (er)")
+		k           = fs.Int("k", 5, "edges per node (ba, hk, ws) or edge factor (rmat)")
+		p           = fs.Float64("p", 0.5, "triad probability (hk) or rewiring beta (ws)")
+		scale       = fs.Int("scale", 16, "log2 node count (rmat)")
+		a           = fs.Float64("a", 0.57, "R-MAT a")
+		bProb       = fs.Float64("b", 0.19, "R-MAT b")
+		cProb       = fs.Float64("c", 0.19, "R-MAT c")
+		rows        = fs.Int("rows", 300, "grid rows")
+		cols        = fs.Int("cols", 300, "grid cols")
+		keep        = fs.Float64("keep", 0.75, "grid edge keep probability")
+		diag        = fs.Float64("diag", 0.03, "grid diagonal probability")
+		seed        = fs.Uint64("seed", 1, "generator seed")
+		out         = fs.String("out", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	edges, err := buildEdges(*dataset, *profileName, *typ, genParams{
+		n: *n, m: *m, k: *k, p: *p, scale: *scale,
+		a: *a, b: *bProb, c: *cProb,
+		rows: *rows, cols: *cols, keep: *keep, diag: *diag,
+		seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := stream.WriteEdgeList(w, edges); err != nil {
+		return fmt.Errorf("write: %v", err)
+	}
+	fmt.Fprintf(errw, "gps-gen: wrote %d edges\n", len(edges))
+	return nil
+}
+
+type genParams struct {
+	n, m, k    int
+	p          float64
+	scale      int
+	a, b, c    float64
+	rows, cols int
+	keep, diag float64
+	seed       uint64
+}
+
+// buildEdges dispatches to a named dataset or a generator family.
+func buildEdges(dataset, profileName, typ string, gp genParams) ([]graph.Edge, error) {
+	switch {
+	case dataset != "":
+		d, err := datasets.Get(dataset)
+		if err != nil {
+			return nil, err
+		}
+		profile := datasets.Small
+		switch profileName {
+		case "small":
+		case "full":
+			profile = datasets.Full
+		default:
+			return nil, fmt.Errorf("unknown profile %q (want small or full)", profileName)
+		}
+		return d.Edges(profile), nil
+	case typ != "":
+		switch typ {
+		case "er":
+			return gen.ErdosRenyi(gp.n, gp.m, gp.seed), nil
+		case "ba":
+			return gen.BarabasiAlbert(gp.n, gp.k, gp.seed), nil
+		case "hk":
+			return gen.HolmeKim(gp.n, gp.k, gp.p, gp.seed), nil
+		case "ws":
+			return gen.WattsStrogatz(gp.n, gp.k, gp.p, gp.seed), nil
+		case "rmat":
+			return gen.RMAT(gp.scale, gp.k, gp.a, gp.b, gp.c, gp.seed), nil
+		case "grid":
+			return gen.RoadGrid(gp.rows, gp.cols, gp.keep, gp.diag, gp.seed), nil
+		}
+		return nil, fmt.Errorf("unknown generator type %q", typ)
+	}
+	return nil, fmt.Errorf("pass -dataset or -type (see -help)")
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gps/internal/stream"
+)
+
+func TestRunGeneratorFamilies(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"er", []string{"-type", "er", "-n", "100", "-m", "300"}},
+		{"ba", []string{"-type", "ba", "-n", "100", "-k", "3"}},
+		{"hk", []string{"-type", "hk", "-n", "100", "-k", "3", "-p", "0.5"}},
+		{"ws", []string{"-type", "ws", "-n", "100", "-k", "4", "-p", "0.1"}},
+		{"rmat", []string{"-type", "rmat", "-scale", "8", "-k", "4"}},
+		{"grid", []string{"-type", "grid", "-rows", "10", "-cols", "10"}},
+	}
+	for _, c := range cases {
+		var out, errw bytes.Buffer
+		if err := run(c.args, &out, &errw); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		edges, err := stream.ReadEdgeList(&out)
+		if err != nil {
+			t.Fatalf("%s: parse back: %v", c.name, err)
+		}
+		if len(edges) == 0 {
+			t.Fatalf("%s: no edges", c.name)
+		}
+		if !strings.Contains(errw.String(), "wrote") {
+			t.Fatalf("%s: missing progress note: %q", c.name, errw.String())
+		}
+	}
+}
+
+func TestRunDataset(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-dataset", "com-amazon"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	edges, err := stream.ReadEdgeList(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) < 30000 {
+		t.Fatalf("com-amazon produced %d edges", len(edges))
+	}
+}
+
+func TestRunOutFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	var out, errw bytes.Buffer
+	if err := run([]string{"-type", "er", "-n", "50", "-m", "100", "-out", path}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatal("wrote to stdout despite -out")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                   // neither -dataset nor -type
+		{"-type", "nope"},    // unknown family
+		{"-dataset", "nope"}, // unknown dataset
+		{"-dataset", "com-amazon", "-profile", "huge"}, // bad profile
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if err := run(args, &out, &errw); err == nil {
+			t.Fatalf("args %v: expected error", args)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gps/internal/gen"
+	"gps/internal/stream"
+)
+
+func writeGraph(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := stream.WriteEdgeList(f, gen.HolmeKim(500, 4, 0.6, 3)); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBasic(t *testing.T) {
+	path := writeGraph(t)
+	var out, errw bytes.Buffer
+	if err := run([]string{"-in", path, "-m", "400", "-exact"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"in-stream", "post-stream", "exact:", "ARE"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunCheckpointsAndWeights(t *testing.T) {
+	path := writeGraph(t)
+	for _, w := range []string{"triangle", "uniform", "adjacency", "adaptive"} {
+		var out, errw bytes.Buffer
+		err := run([]string{"-in", path, "-m", "300", "-weight", w, "-permute", "-checkpoints", "4"}, &out, &errw)
+		if err != nil {
+			t.Fatalf("weight %s: %v", w, err)
+		}
+		if lines := strings.Count(out.String(), "\n"); lines < 6 {
+			t.Fatalf("weight %s: too little output (%d lines)", w, lines)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeGraph(t)
+	empty := filepath.Join(t.TempDir(), "empty.txt")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{},                               // missing -in
+		{"-in", "/nonexistent/file"},     // unreadable
+		{"-in", path, "-weight", "nope"}, // unknown weight
+		{"-in", path, "-m", "0"},         // invalid capacity
+		{"-in", empty},                   // empty graph
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if err := run(args, &out, &errw); err == nil {
+			t.Fatalf("args %v: expected error", args)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package gps is the public API of the Graph Priority Sampling library, a
+// reproduction of "On Sampling from Massive Graph Streams" (Ahmed, Duffield,
+// Willke, Rossi; VLDB 2017).
+//
+// GPS maintains a fixed-size, weight-sensitive sample of a graph edge stream
+// in one pass. Arriving edges are assigned priorities w(k)/u(k), where the
+// weight w(k) = W(k,K̂) may depend on the topology of the current sample
+// (e.g. how many sampled triangles the edge completes) and u(k) is uniform
+// on (0,1]; the reservoir keeps the m highest-priority edges. Conditional on
+// the threshold z* (the (m+1)-st highest priority seen), each retained edge
+// has Horvitz-Thompson inclusion probability min{1, w(k)/z*}, and products
+// of the resulting edge estimators are unbiased for subgraph indicators —
+// the Martingale argument that underpins every estimator here.
+//
+// # Sampling
+//
+// Create a Sampler (or an InStream, which wraps one) and feed it edges:
+//
+//	s, _ := gps.NewSampler(gps.Config{Capacity: 100_000, Weight: gps.TriangleWeight, Seed: 1})
+//	for _, e := range edges {
+//		s.Process(e)
+//	}
+//
+// # Estimation
+//
+// Post-stream estimation (Algorithm 2) answers retrospective queries from
+// the sample at any time:
+//
+//	est := gps.EstimatePost(s)
+//	fmt.Println(est.Triangles, est.TriangleInterval())
+//
+// In-stream estimation (Algorithm 3) maintains running estimates with lower
+// variance while sampling:
+//
+//	in, _ := gps.NewInStream(gps.Config{Capacity: 100_000, Weight: gps.TriangleWeight})
+//	for _, e := range edges {
+//		in.Process(e)
+//	}
+//	fmt.Println(in.Estimates().Triangles)
+//
+// Arbitrary subgraphs can be estimated through Sampler.SubgraphEstimate and
+// friends; triangle and wedge counting are the built-in special cases.
+//
+// The examples/ directory contains runnable programs, and internal/
+// experiments regenerates every table and figure of the paper's evaluation.
+package gps
+
+import (
+	"io"
+
+	"gps/internal/core"
+	"gps/internal/graph"
+	"gps/internal/stats"
+	"gps/internal/stream"
+)
+
+// NodeID identifies a vertex (32-bit).
+type NodeID = graph.NodeID
+
+// Edge is a canonical undirected edge (U < V).
+type Edge = graph.Edge
+
+// NewEdge returns the canonical undirected edge {a,b}; it panics if a == b.
+func NewEdge(a, b NodeID) Edge { return graph.NewEdge(a, b) }
+
+// Config parameterizes a Sampler: reservoir capacity m, weight function
+// W(k,K̂) (nil means uniform weights) and RNG seed.
+type Config = core.Config
+
+// Sampler implements Algorithm 1, GPS(m).
+type Sampler = core.Sampler
+
+// Reservoir is the sampled subgraph K̂, exposed to weight functions and for
+// topology queries.
+type Reservoir = core.Reservoir
+
+// WeightFunc computes the sampling weight W(k,K̂) of an arriving edge.
+type WeightFunc = core.WeightFunc
+
+// Estimates holds unbiased count and variance estimates; see the methods on
+// core.Estimates for clustering coefficients and confidence intervals.
+type Estimates = core.Estimates
+
+// InStream couples a Sampler with Algorithm 3's snapshot estimation.
+type InStream = core.InStream
+
+// Interval is a two-sided 95% confidence interval.
+type Interval = stats.Interval
+
+// NewSampler returns a GPS sampler for the given configuration.
+func NewSampler(cfg Config) (*Sampler, error) { return core.NewSampler(cfg) }
+
+// NewInStream returns an in-stream estimator with a fresh sampler.
+func NewInStream(cfg Config) (*InStream, error) { return core.NewInStream(cfg) }
+
+// EstimatePost runs Algorithm 2 over the sampler's current reservoir.
+func EstimatePost(s *Sampler) Estimates { return core.EstimatePost(s) }
+
+// Built-in weight functions (§3.2, §3.5, §4 of the paper).
+var (
+	// UniformWeight reduces GPS to plain uniform reservoir sampling.
+	UniformWeight WeightFunc = core.UniformWeight
+	// TriangleWeight is the paper's triangle-focused weight 9·|△̂(k)|+1.
+	TriangleWeight WeightFunc = core.TriangleWeight
+	// AdjacencyWeight weights an edge by its sampled adjacencies plus 1.
+	AdjacencyWeight WeightFunc = core.AdjacencyWeight
+)
+
+// NewTriangleWeight returns W(k,K̂) = coef·|△̂(k)| + base.
+func NewTriangleWeight(coef, base float64) WeightFunc {
+	return core.NewTriangleWeight(coef, base)
+}
+
+// NewAdjacencyWeight returns W(k,K̂) = coef·(deg(u)+deg(v)) + base.
+func NewAdjacencyWeight(coef, base float64) WeightFunc {
+	return core.NewAdjacencyWeight(coef, base)
+}
+
+// NewAdaptiveTriangleWeight returns a stateful triangle weight whose
+// coefficient adapts to the stream's observed triangle-completion rate —
+// the paper's §8 "adaptive-weight sampling" future work. Each returned
+// function must be used by exactly one Sampler.
+func NewAdaptiveTriangleWeight(targetShare float64) WeightFunc {
+	return core.NewAdaptiveTriangleWeight(targetShare)
+}
+
+// EstimateCliques4Post returns the unbiased 4-clique count estimate from the
+// sampler's reservoir — the "cliques" case of the paper's generic subgraph
+// framework.
+func EstimateCliques4Post(s *Sampler) float64 { return core.EstimateCliques4Post(s) }
+
+// EstimateStars3Post returns the unbiased 3-star (claw) count estimate
+// Σ_v C(deg v, 3) — the "stars" case of the framework (wedges are 2-stars).
+func EstimateStars3Post(s *Sampler) float64 { return core.EstimateStars3Post(s) }
+
+// LocalTriangles maps nodes to per-node triangle count estimates.
+type LocalTriangles = core.LocalTriangles
+
+// EstimateLocalPost computes per-node triangle estimates from the sampler's
+// current reservoir.
+func EstimateLocalPost(s *Sampler) LocalTriangles { return core.EstimateLocalPost(s) }
+
+// InStreamLocal couples a sampler with in-stream per-node triangle
+// estimation.
+type InStreamLocal = core.InStreamLocal
+
+// NewInStreamLocal returns an in-stream local triangle estimator.
+func NewInStreamLocal(cfg Config) (*InStreamLocal, error) { return core.NewInStreamLocal(cfg) }
+
+// CombineWeights returns the positively-weighted sum of weight functions.
+func CombineWeights(coefs []float64, fns []WeightFunc) WeightFunc {
+	return core.CombineWeights(coefs, fns)
+}
+
+// Stream is a source of edge arrivals.
+type Stream = stream.Stream
+
+// FromEdges streams an in-memory edge slice in order.
+func FromEdges(edges []Edge) Stream { return stream.FromEdges(edges) }
+
+// Permute streams a seeded pseudo-random permutation of edges — the paper's
+// stream model for static graphs.
+func Permute(edges []Edge, seed uint64) Stream { return stream.Permute(edges, seed) }
+
+// Simplify wraps a stream, dropping duplicate edges.
+func Simplify(in Stream) Stream { return stream.Simplify(in) }
+
+// Drive feeds every edge of s to fn.
+func Drive(s Stream, fn func(Edge)) { stream.Drive(s, fn) }
+
+// ReadEdgeList parses a whitespace-separated "u v" edge list with '#'/'%'
+// comments, skipping self loops.
+func ReadEdgeList(r io.Reader) ([]Edge, error) { return stream.ReadEdgeList(r) }
+
+// WriteEdgeList writes edges in the format accepted by ReadEdgeList.
+func WriteEdgeList(w io.Writer, edges []Edge) error { return stream.WriteEdgeList(w, edges) }

@@ -1,0 +1,108 @@
+package gps_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"gps"
+	"gps/internal/exact"
+	"gps/internal/gen"
+	"gps/internal/graph"
+)
+
+// TestFacadeEndToEnd exercises the whole public API surface the way a
+// downstream user would.
+func TestFacadeEndToEnd(t *testing.T) {
+	edges := gen.HolmeKim(300, 4, 0.6, 1)
+	truth := exact.Count(graph.BuildStatic(edges))
+
+	in, err := gps.NewInStream(gps.Config{Capacity: 400, Weight: gps.TriangleWeight, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gps.Drive(gps.Permute(edges, 3), func(e gps.Edge) { in.Process(e) })
+
+	est := in.Estimates()
+	if rel := math.Abs(est.Triangles-float64(truth.Triangles)) / float64(truth.Triangles); rel > 0.30 {
+		t.Errorf("in-stream triangle error %v", rel)
+	}
+	post := gps.EstimatePost(in.Sampler())
+	if rel := math.Abs(post.Wedges-float64(truth.Wedges)) / float64(truth.Wedges); rel > 0.30 {
+		t.Errorf("post wedge error %v", rel)
+	}
+	if iv := est.TriangleInterval(); iv.Lower > est.Triangles || iv.Upper < est.Triangles {
+		t.Error("interval does not bracket estimate")
+	}
+
+	// Subgraph API through the facade.
+	var sampled gps.Edge
+	in.Sampler().Reservoir().ForEachEdge(func(e gps.Edge) bool { sampled = e; return false })
+	if v := in.Sampler().SubgraphEstimate(sampled); v < 1 {
+		t.Errorf("SubgraphEstimate(%v) = %v", sampled, v)
+	}
+}
+
+func TestFacadeEdgeListRoundTrip(t *testing.T) {
+	edges := []gps.Edge{gps.NewEdge(0, 1), gps.NewEdge(1, 2)}
+	var buf bytes.Buffer
+	if err := gps.WriteEdgeList(&buf, edges); err != nil {
+		t.Fatal(err)
+	}
+	got, err := gps.ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != edges[0] || got[1] != edges[1] {
+		t.Fatalf("round trip = %v", got)
+	}
+}
+
+func TestFacadeWeights(t *testing.T) {
+	s, err := gps.NewSampler(gps.Config{
+		Capacity: 10,
+		Weight: gps.CombineWeights(
+			[]float64{0.5, 0.5},
+			[]gps.WeightFunc{gps.NewTriangleWeight(9, 1), gps.NewAdjacencyWeight(1, 1)},
+		),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Process(gps.NewEdge(1, 2))
+	s.Process(gps.NewEdge(2, 3))
+	if s.Reservoir().Len() != 2 {
+		t.Fatalf("reservoir %d", s.Reservoir().Len())
+	}
+}
+
+// ExampleNewSampler demonstrates post-stream estimation over a small stream.
+func ExampleNewSampler() {
+	edges := []gps.Edge{
+		gps.NewEdge(0, 1), gps.NewEdge(1, 2), gps.NewEdge(0, 2), // a triangle
+		gps.NewEdge(2, 3), gps.NewEdge(3, 4),
+	}
+	s, _ := gps.NewSampler(gps.Config{Capacity: 10, Weight: gps.TriangleWeight, Seed: 42})
+	for _, e := range edges {
+		s.Process(e)
+	}
+	est := gps.EstimatePost(s)
+	fmt.Printf("triangles=%.0f wedges=%.0f clustering=%.2f\n",
+		est.Triangles, est.Wedges, est.GlobalClustering())
+	// Output: triangles=1 wedges=6 clustering=0.50
+}
+
+// ExampleNewInStream demonstrates running in-stream estimates.
+func ExampleNewInStream() {
+	edges := []gps.Edge{
+		gps.NewEdge(0, 1), gps.NewEdge(1, 2), gps.NewEdge(0, 2),
+		gps.NewEdge(0, 3), gps.NewEdge(1, 3),
+	}
+	in, _ := gps.NewInStream(gps.Config{Capacity: 10, Seed: 7})
+	for _, e := range edges {
+		in.Process(e)
+	}
+	fmt.Printf("triangles=%.0f\n", in.Estimates().Triangles)
+	// Output: triangles=2
+}

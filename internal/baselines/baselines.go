@@ -1,0 +1,36 @@
+// Package baselines implements the streaming triangle-count estimators the
+// paper compares GPS against in its evaluation (§6, Tables 2-3):
+//
+//   - TRIEST and TRIEST-IMPR (De Stefani, Epasto, Riondato, Upfal; KDD 2016)
+//     — uniform reservoir sampling with fixed memory, base and improved
+//     estimation.
+//   - MASCOT (Lim, Kang; KDD 2015) — independent Bernoulli edge sampling
+//     with unconditional counting before the sampling step.
+//   - NSAMP (Pavan, Tangwongsan, Tirthapura, Wu; VLDB 2013) — neighborhood
+//     sampling with r parallel estimators and bulk per-edge processing.
+//   - JHA (Jha, Seshadhri, Pinar; KDD 2013) — the birthday-paradox
+//     wedge-sampling transitivity estimator (an extension baseline; the
+//     paper compared against it with "results omitted for brevity").
+//
+// All are reimplemented from the cited papers' pseudocode on the shared
+// stream substrate, so Table 2/3 comparisons measure algorithmic behaviour
+// (estimation quality per stored edge, update cost per edge), not
+// implementation provenance.
+package baselines
+
+import "gps/internal/graph"
+
+// Estimator is a one-pass streaming triangle-count estimator operating under
+// a fixed memory budget. Implementations are not safe for concurrent use.
+type Estimator interface {
+	// Name identifies the algorithm in experiment tables.
+	Name() string
+	// Process observes one edge arrival.
+	Process(e graph.Edge)
+	// Triangles returns the current estimate of the number of triangles
+	// among the edges that have arrived so far.
+	Triangles() float64
+	// StoredEdges reports the number of edges (or edge-equivalents of
+	// state) currently held, the memory currency of Table 2.
+	StoredEdges() int
+}

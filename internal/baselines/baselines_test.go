@@ -1,0 +1,263 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"gps/internal/exact"
+	"gps/internal/gen"
+	"gps/internal/graph"
+	"gps/internal/stats"
+	"gps/internal/stream"
+)
+
+func testGraph() []graph.Edge { return gen.HolmeKim(60, 3, 0.7, 77) }
+
+func feed(est Estimator, edges []graph.Edge, permSeed uint64) {
+	stream.Drive(stream.Permute(edges, permSeed), est.Process)
+}
+
+func TestConstructorsValidate(t *testing.T) {
+	if _, err := NewTriest(5, 1); err == nil {
+		t.Fatal("TRIEST accepted capacity 5")
+	}
+	if _, err := NewTriestImpr(2, 1); err == nil {
+		t.Fatal("TRIEST-IMPR accepted capacity 2")
+	}
+	if _, err := NewMascot(0, 1); err == nil {
+		t.Fatal("MASCOT accepted p=0")
+	}
+	if _, err := NewMascot(1.5, 1); err == nil {
+		t.Fatal("MASCOT accepted p>1")
+	}
+	if _, err := NewNSamp(0, 1); err == nil {
+		t.Fatal("NSAMP accepted r=0")
+	}
+	if _, err := NewJha(1, 1, 1); err == nil {
+		t.Fatal("JHA accepted se=1")
+	}
+}
+
+func TestNames(t *testing.T) {
+	tr, _ := NewTriest(10, 1)
+	ti, _ := NewTriestImpr(10, 1)
+	ms, _ := NewMascot(0.5, 1)
+	ns, _ := NewNSamp(4, 1)
+	jh, _ := NewJha(4, 4, 1)
+	for _, c := range []struct {
+		est  Estimator
+		want string
+	}{{tr, "TRIEST"}, {ti, "TRIEST-IMPR"}, {ms, "MASCOT"}, {ns, "NSAMP"}, {jh, "JHA"}} {
+		if c.est.Name() != c.want {
+			t.Fatalf("Name = %q, want %q", c.est.Name(), c.want)
+		}
+	}
+}
+
+func TestTriestExactWhenOversized(t *testing.T) {
+	edges := testGraph()
+	truth := exact.Count(graph.BuildStatic(edges))
+	for _, mk := range []func(int, uint64) (*Triest, error){NewTriest, NewTriestImpr} {
+		est, err := mk(len(edges)+5, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed(est, edges, 4)
+		if got := est.Triangles(); got != float64(truth.Triangles) {
+			t.Fatalf("%s oversized estimate %v, want %d", est.Name(), got, truth.Triangles)
+		}
+		if est.StoredEdges() != len(edges) {
+			t.Fatalf("%s stored %d, want %d", est.Name(), est.StoredEdges(), len(edges))
+		}
+	}
+}
+
+func TestMascotExactWhenPIsOne(t *testing.T) {
+	edges := testGraph()
+	truth := exact.Count(graph.BuildStatic(edges))
+	est, _ := NewMascot(1, 5)
+	feed(est, edges, 6)
+	if got := est.Triangles(); got != float64(truth.Triangles) {
+		t.Fatalf("MASCOT p=1 estimate %v, want %d", got, truth.Triangles)
+	}
+}
+
+func TestStoredEdgesBudgets(t *testing.T) {
+	edges := testGraph()
+	tr, _ := NewTriest(40, 7)
+	feed(tr, edges, 8)
+	if tr.StoredEdges() != 40 {
+		t.Fatalf("TRIEST stored %d, want 40", tr.StoredEdges())
+	}
+	ns, _ := NewNSamp(25, 9)
+	feed(ns, edges, 10)
+	if ns.StoredEdges() != 50 {
+		t.Fatalf("NSAMP stored %d, want 50", ns.StoredEdges())
+	}
+	jh, _ := NewJha(10, 5, 11)
+	feed(jh, edges, 12)
+	if jh.StoredEdges() != 20 {
+		t.Fatalf("JHA stored %d, want 20", jh.StoredEdges())
+	}
+	ms, _ := NewMascot(0.3, 13)
+	feed(ms, edges, 14)
+	if ms.StoredEdges() == 0 || ms.StoredEdges() >= len(edges) {
+		t.Fatalf("MASCOT stored %d out of %d", ms.StoredEdges(), len(edges))
+	}
+}
+
+func TestDuplicateEdgesIgnoredBySampledGraphEstimators(t *testing.T) {
+	e := graph.NewEdge(0, 1)
+	tr, _ := NewTriest(10, 1)
+	tr.Process(e)
+	tr.Process(e)
+	if tr.StoredEdges() != 1 {
+		t.Fatalf("TRIEST stored duplicate: %d", tr.StoredEdges())
+	}
+	ms, _ := NewMascot(1, 1)
+	ms.Process(e)
+	ms.Process(e)
+	if ms.StoredEdges() != 1 {
+		t.Fatalf("MASCOT stored duplicate: %d", ms.StoredEdges())
+	}
+}
+
+func mcMean(t *testing.T, trials int, build func(seed uint64) Estimator, edges []graph.Edge) *stats.Welford {
+	t.Helper()
+	var w stats.Welford
+	for i := 0; i < trials; i++ {
+		seed := uint64(900 + i)
+		est := build(seed)
+		feed(est, edges, seed^0x5a5a)
+		w.Add(est.Triangles())
+	}
+	return &w
+}
+
+func TestTriestUnbiasedMonteCarlo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo test skipped in -short mode")
+	}
+	edges := testGraph()
+	truth := float64(exact.Count(graph.BuildStatic(edges)).Triangles)
+	w := mcMean(t, 1500, func(seed uint64) Estimator {
+		est, _ := NewTriest(50, seed)
+		return est
+	}, edges)
+	if diff := math.Abs(w.Mean() - truth); diff > 5*w.StdErr()+1e-9 {
+		t.Fatalf("TRIEST mean %v vs truth %v (stderr %v)", w.Mean(), truth, w.StdErr())
+	}
+}
+
+func TestTriestImprUnbiasedAndLowerVariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo test skipped in -short mode")
+	}
+	edges := testGraph()
+	truth := float64(exact.Count(graph.BuildStatic(edges)).Triangles)
+	base := mcMean(t, 1500, func(seed uint64) Estimator {
+		est, _ := NewTriest(50, seed)
+		return est
+	}, edges)
+	impr := mcMean(t, 1500, func(seed uint64) Estimator {
+		est, _ := NewTriestImpr(50, seed)
+		return est
+	}, edges)
+	if diff := math.Abs(impr.Mean() - truth); diff > 5*impr.StdErr()+1e-9 {
+		t.Fatalf("TRIEST-IMPR mean %v vs truth %v (stderr %v)", impr.Mean(), truth, impr.StdErr())
+	}
+	if impr.Variance() >= base.Variance() {
+		t.Fatalf("TRIEST-IMPR variance %v not below TRIEST %v", impr.Variance(), base.Variance())
+	}
+}
+
+func TestMascotUnbiasedMonteCarlo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo test skipped in -short mode")
+	}
+	edges := testGraph()
+	truth := float64(exact.Count(graph.BuildStatic(edges)).Triangles)
+	w := mcMean(t, 1500, func(seed uint64) Estimator {
+		est, _ := NewMascot(0.5, seed)
+		return est
+	}, edges)
+	if diff := math.Abs(w.Mean() - truth); diff > 5*w.StdErr()+1e-9 {
+		t.Fatalf("MASCOT mean %v vs truth %v (stderr %v)", w.Mean(), truth, w.StdErr())
+	}
+}
+
+func TestNSampUnbiasedMonteCarlo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo test skipped in -short mode")
+	}
+	edges := testGraph()
+	truth := float64(exact.Count(graph.BuildStatic(edges)).Triangles)
+	w := mcMean(t, 800, func(seed uint64) Estimator {
+		est, _ := NewNSamp(64, seed)
+		return est
+	}, edges)
+	if diff := math.Abs(w.Mean() - truth); diff > 5*w.StdErr()+1e-9 {
+		t.Fatalf("NSAMP mean %v vs truth %v (stderr %v)", w.Mean(), truth, w.StdErr())
+	}
+}
+
+func TestNSampListenersConsistent(t *testing.T) {
+	edges := testGraph()
+	ns, _ := NewNSamp(32, 21)
+	feed(ns, edges, 22)
+	// Every estimator with e1 must be listening on exactly its endpoints.
+	for id := int32(0); id < int32(ns.r); id++ {
+		e := ns.est[id]
+		if !e.hasE1 {
+			continue
+		}
+		for _, v := range []graph.NodeID{e.e1.U, e.e1.V} {
+			if _, ok := ns.listeners[v][id]; !ok {
+				t.Fatalf("estimator %d not listening on %d", id, v)
+			}
+		}
+	}
+	for v, set := range ns.listeners {
+		for id := range set {
+			if !ns.est[id].hasE1 || !ns.est[id].e1.Has(v) {
+				t.Fatalf("stale listener %d on node %d", id, v)
+			}
+		}
+	}
+}
+
+func TestJhaTransitivityRoughAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo test skipped in -short mode")
+	}
+	// A larger clustered graph: the birthday paradox needs se ≈ √t slots
+	// to form wedges at all.
+	edges := gen.HolmeKim(2000, 4, 0.6, 31)
+	c := exact.Count(graph.BuildStatic(edges))
+	kappa := c.GlobalClustering()
+	var w stats.Welford
+	for i := 0; i < 30; i++ {
+		jh, _ := NewJha(400, 400, uint64(100+i))
+		feed(jh, edges, uint64(i))
+		w.Add(jh.Transitivity())
+	}
+	if rel := math.Abs(w.Mean()-kappa) / kappa; rel > 0.25 {
+		t.Fatalf("JHA transitivity mean %v vs truth %v (rel %.2f)", w.Mean(), kappa, rel)
+	}
+}
+
+func TestClosingEdge(t *testing.T) {
+	a, b := graph.NewEdge(1, 2), graph.NewEdge(2, 3)
+	if got := closingEdge(a, b); got != graph.NewEdge(1, 3) {
+		t.Fatalf("closingEdge = %v", got)
+	}
+}
+
+func TestClosingEdgePanicsOnDisjoint(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	closingEdge(graph.NewEdge(1, 2), graph.NewEdge(3, 4))
+}

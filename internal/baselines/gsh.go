@@ -1,0 +1,80 @@
+package baselines
+
+import (
+	"errors"
+
+	"gps/internal/graph"
+	"gps/internal/randx"
+)
+
+// GSH implements Graph Sample-and-Hold (Ahmed, Duffield, Neville, Kompella;
+// KDD 2014), the authors' predecessor framework that GPS generalizes (§7 of
+// the GPS paper). gSH(p,q) samples each arriving edge independently:
+//
+//	with probability q if the edge is adjacent to the sampled graph
+//	("hold": it extends known structure), and
+//	with probability p otherwise ("sample": fresh territory).
+//
+// Because each edge's selection probability is observable at arrival,
+// Horvitz-Thompson estimation applies: when an arriving edge closes
+// triangles against the sampled graph, each closure contributes
+// 1/(prob(j1)·prob(j2)) — the in-stream counting style GPS later refined
+// with order sampling and fixed-size memory. Memory is not fixed: it
+// concentrates around the selection rates, which is precisely the
+// shortcoming GPS's priority reservoir removes.
+type GSH struct {
+	p, q float64
+	rng  *randx.RNG
+	adj  *graph.Adjacency
+	prob map[uint64]float64 // selection probability of each sampled edge
+	tau  float64
+}
+
+// NewGSH returns a gSH(p,q) estimator. Both probabilities must lie in
+// (0,1]; q is used for edges adjacent to the sampled graph.
+func NewGSH(p, q float64, seed uint64) (*GSH, error) {
+	if p <= 0 || p > 1 || q <= 0 || q > 1 {
+		return nil, errors.New("baselines: GSH needs p,q in (0,1]")
+	}
+	return &GSH{
+		p:    p,
+		q:    q,
+		rng:  randx.New(seed),
+		adj:  graph.NewAdjacency(),
+		prob: make(map[uint64]float64),
+	}, nil
+}
+
+// Name implements Estimator.
+func (g *GSH) Name() string { return "GSH" }
+
+// StoredEdges implements Estimator.
+func (g *GSH) StoredEdges() int { return g.adj.NumEdges() }
+
+// Process implements Estimator.
+func (g *GSH) Process(e graph.Edge) {
+	if g.adj.Has(e) {
+		return
+	}
+	// In-stream counting before the sampling step: each triangle the
+	// arriving edge closes against the sampled graph contributes the
+	// inverse joint probability of its two sampled edges.
+	g.adj.CommonNeighbors(e.U, e.V, func(v3 graph.NodeID) bool {
+		p1 := g.prob[graph.NewEdge(e.U, v3).Key()]
+		p2 := g.prob[graph.NewEdge(e.V, v3).Key()]
+		g.tau += 1 / (p1 * p2)
+		return true
+	})
+	// Selection: "hold" probability when adjacent to sampled structure.
+	pr := g.p
+	if g.adj.HasNode(e.U) || g.adj.HasNode(e.V) {
+		pr = g.q
+	}
+	if g.rng.Float64() < pr {
+		g.adj.Add(e)
+		g.prob[e.Key()] = pr
+	}
+}
+
+// Triangles implements Estimator.
+func (g *GSH) Triangles() float64 { return g.tau }

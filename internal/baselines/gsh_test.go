@@ -1,0 +1,65 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"gps/internal/exact"
+	"gps/internal/graph"
+	"gps/internal/stats"
+)
+
+func TestGSHConstructor(t *testing.T) {
+	for _, c := range [][2]float64{{0, 0.5}, {0.5, 0}, {1.5, 0.5}, {0.5, 1.5}} {
+		if _, err := NewGSH(c[0], c[1], 1); err == nil {
+			t.Fatalf("accepted p=%v q=%v", c[0], c[1])
+		}
+	}
+	g, err := NewGSH(0.3, 0.6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "GSH" {
+		t.Fatalf("Name = %q", g.Name())
+	}
+}
+
+func TestGSHExactWhenProbabilitiesOne(t *testing.T) {
+	edges := testGraph()
+	truth := exact.Count(graph.BuildStatic(edges))
+	g, _ := NewGSH(1, 1, 2)
+	feed(g, edges, 3)
+	if got := g.Triangles(); got != float64(truth.Triangles) {
+		t.Fatalf("GSH(1,1) = %v, want %d", got, truth.Triangles)
+	}
+	if g.StoredEdges() != len(edges) {
+		t.Fatalf("stored %d, want %d", g.StoredEdges(), len(edges))
+	}
+}
+
+func TestGSHUnbiasedMonteCarlo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo test skipped in -short mode")
+	}
+	edges := testGraph()
+	truth := float64(exact.Count(graph.BuildStatic(edges)).Triangles)
+	var w stats.Welford
+	for i := 0; i < 1500; i++ {
+		g, _ := NewGSH(0.4, 0.7, uint64(300+i))
+		feed(g, edges, uint64(i)^0xcafe)
+		w.Add(g.Triangles())
+	}
+	if diff := math.Abs(w.Mean() - truth); diff > 5*w.StdErr()+1e-9 {
+		t.Fatalf("GSH mean %v vs truth %v (stderr %v)", w.Mean(), truth, w.StdErr())
+	}
+}
+
+func TestGSHDuplicatesIgnored(t *testing.T) {
+	g, _ := NewGSH(1, 1, 4)
+	e := graph.NewEdge(0, 1)
+	g.Process(e)
+	g.Process(e)
+	if g.StoredEdges() != 1 {
+		t.Fatalf("stored %d", g.StoredEdges())
+	}
+}

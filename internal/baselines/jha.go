@@ -1,0 +1,194 @@
+package baselines
+
+import (
+	"errors"
+	"sort"
+
+	"gps/internal/graph"
+	"gps/internal/randx"
+)
+
+// Jha implements STREAMING-TRIANGLES (Jha, Seshadhri, Pinar; KDD 2013), the
+// birthday-paradox wedge sampler. It maintains
+//
+//   - se independent uniform edge slots (size-1 reservoirs). Pairs of slots
+//     holding adjacent edges form the slot wedges; their count w_t estimates
+//     the total wedge count via Ŵ_t = w_t·t²/(se(se−1)).
+//   - sw wedge slots, each a size-1 reservoir over the stream of slot-wedge
+//     creations: whenever edge slots adopt the arriving edge, the new slot
+//     wedges it forms replace each wedge slot with probability
+//     (#new wedges)/w_t. A wedge slot records whether a later arrival
+//     closed its wedge.
+//
+// On a randomly ordered stream a uniform wedge is closed by a *later* edge
+// for exactly one of the three wedges of each triangle, so the closed
+// fraction estimates κ/3 and κ̂ = 3·closed/filled. The triangle estimate is
+// T̂ = κ̂·Ŵ/3. Accuracy hinges on the birthday paradox: the edge reservoir
+// needs se ≳ √t slots for slot pairs to form wedges at all.
+//
+// This estimator targets transitivity first and triangle counts second; the
+// GPS paper compared against it and reported ≥10× worse accuracy than GPS
+// post-stream estimation (results omitted there for brevity; reproduced
+// here as an extension).
+type Jha struct {
+	se, sw int
+	rng    *randx.RNG
+	t      int64
+
+	edges []graph.Edge // se slots; valid[i] reports occupancy
+	valid []bool
+	wt    int // current number of slot wedges (adjacent valid slot pairs)
+
+	wedges    []jhaWedge // sw slots
+	newWedges []jhaWedge // scratch: wedges created by the current arrival
+	slotPick  []int      // scratch: slots replaced by the current arrival
+}
+
+type jhaWedge struct {
+	a, b   graph.Edge // the two edges, sharing a node
+	close  graph.Edge // edge that would close the wedge
+	filled bool
+	closed bool
+}
+
+// NewJha returns a STREAMING-TRIANGLES estimator with se edge slots and sw
+// wedge slots.
+func NewJha(se, sw int, seed uint64) (*Jha, error) {
+	if se < 2 || sw < 1 {
+		return nil, errors.New("baselines: JHA needs se >= 2 and sw >= 1")
+	}
+	return &Jha{
+		se:     se,
+		sw:     sw,
+		rng:    randx.New(seed),
+		edges:  make([]graph.Edge, se),
+		valid:  make([]bool, se),
+		wedges: make([]jhaWedge, sw),
+	}, nil
+}
+
+// Name implements Estimator.
+func (j *Jha) Name() string { return "JHA" }
+
+// StoredEdges implements Estimator: se edge slots plus 2 edges per wedge slot.
+func (j *Jha) StoredEdges() int { return j.se + 2*j.sw }
+
+// Process implements Estimator.
+func (j *Jha) Process(f graph.Edge) {
+	j.t++
+
+	// Close any stored wedges this edge completes.
+	for i := range j.wedges {
+		w := &j.wedges[i]
+		if w.filled && !w.closed && f == w.close {
+			w.closed = true
+		}
+	}
+
+	// Each edge slot independently adopts f with probability 1/t.
+	k := j.rng.Binomial(j.se, 1/float64(j.t))
+	if k == 0 {
+		return
+	}
+	j.slotPick = j.slotPick[:0]
+	seen := map[int]struct{}{}
+	for len(j.slotPick) < k {
+		s := j.rng.Intn(j.se)
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		j.slotPick = append(j.slotPick, s)
+	}
+	sort.Ints(j.slotPick) // deterministic processing order
+
+	j.newWedges = j.newWedges[:0]
+	for _, s := range j.slotPick {
+		if j.valid[s] {
+			j.wt -= j.slotWedgesAt(s)
+		}
+		j.edges[s] = f
+		j.valid[s] = true
+		j.wt += j.collectNewWedgesAt(s, f)
+	}
+	if len(j.newWedges) == 0 {
+		return
+	}
+	// Wedge-slot reservoir step: replace each slot with probability
+	// (#new)/w_t by a uniform new wedge (Algorithm STREAMING-TRIANGLES,
+	// wedge reservoir update).
+	den := j.wt
+	if den < len(j.newWedges) {
+		den = len(j.newWedges)
+	}
+	pSwitch := float64(len(j.newWedges)) / float64(den)
+	for i := range j.wedges {
+		if j.rng.Float64() < pSwitch {
+			j.wedges[i] = j.newWedges[j.rng.Intn(len(j.newWedges))]
+		}
+	}
+}
+
+// slotWedgesAt counts the slot wedges involving slot s (pairs with every
+// other valid slot holding a distinct adjacent edge).
+func (j *Jha) slotWedgesAt(s int) int {
+	e := j.edges[s]
+	count := 0
+	for i := 0; i < j.se; i++ {
+		if i == s || !j.valid[i] || j.edges[i] == e {
+			continue
+		}
+		if e.Adjacent(j.edges[i]) {
+			count++
+		}
+	}
+	return count
+}
+
+// collectNewWedgesAt counts the slot wedges formed by the new edge f at slot
+// s and appends them to newWedges.
+func (j *Jha) collectNewWedgesAt(s int, f graph.Edge) int {
+	count := 0
+	for i := 0; i < j.se; i++ {
+		if i == s || !j.valid[i] || j.edges[i] == f {
+			continue
+		}
+		other := j.edges[i]
+		if f.Adjacent(other) {
+			count++
+			j.newWedges = append(j.newWedges, jhaWedge{
+				a: other, b: f, close: closingEdge(other, f), filled: true,
+			})
+		}
+	}
+	return count
+}
+
+// Transitivity returns κ̂ = 3·(closed fraction of filled wedge slots).
+func (j *Jha) Transitivity() float64 {
+	filled, closed := 0, 0
+	for i := range j.wedges {
+		if j.wedges[i].filled {
+			filled++
+			if j.wedges[i].closed {
+				closed++
+			}
+		}
+	}
+	if filled == 0 {
+		return 0
+	}
+	return 3 * float64(closed) / float64(filled)
+}
+
+// Wedges returns Ŵ_t = w_t · t² / (se(se−1)), the birthday-paradox estimate
+// of the total wedge count.
+func (j *Jha) Wedges() float64 {
+	t := float64(j.t)
+	return float64(j.wt) * t * t / (float64(j.se) * float64(j.se-1))
+}
+
+// Triangles implements Estimator: T̂ = κ̂·Ŵ/3.
+func (j *Jha) Triangles() float64 {
+	return j.Transitivity() * j.Wedges() / 3
+}

@@ -1,0 +1,135 @@
+package baselines
+
+import (
+	"errors"
+
+	"gps/internal/graph"
+	"gps/internal/randx"
+)
+
+// Triest is the TRIEST-BASE algorithm of De Stefani et al. (KDD 2016):
+// standard reservoir sampling of edges into a sample of capacity m, with a
+// triangle counter updated on every insertion and deletion. The estimate
+// rescales the counter by the inverse probability that all three edges of a
+// triangle are jointly in the reservoir:
+//
+//	ξ(t) = max{1, t(t-1)(t-2) / (m(m-1)(m-2))},  N̂(△) = ξ(t)·τ
+type Triest struct {
+	m        int
+	rng      *randx.RNG
+	t        int64
+	slots    []graph.Edge
+	adj      *graph.Adjacency
+	tau      float64
+	improved bool
+}
+
+// NewTriest returns a TRIEST-BASE estimator with reservoir capacity m.
+func NewTriest(m int, seed uint64) (*Triest, error) {
+	return newTriest(m, seed, false)
+}
+
+// NewTriestImpr returns a TRIEST-IMPR estimator with reservoir capacity m.
+// The improved variant counts every arriving edge's sampled triangles
+// *before* the sampling step, scaled by η(t) = max{1, (t-1)(t-2)/(m(m-1))},
+// and never decrements; the counter itself is the (lower-variance) estimate.
+func NewTriestImpr(m int, seed uint64) (*Triest, error) {
+	return newTriest(m, seed, true)
+}
+
+func newTriest(m int, seed uint64, improved bool) (*Triest, error) {
+	if m < 6 {
+		return nil, errors.New("baselines: TRIEST needs capacity >= 6")
+	}
+	return &Triest{
+		m:        m,
+		rng:      randx.New(seed),
+		slots:    make([]graph.Edge, 0, m),
+		adj:      graph.NewAdjacency(),
+		improved: improved,
+	}, nil
+}
+
+// Name implements Estimator.
+func (tr *Triest) Name() string {
+	if tr.improved {
+		return "TRIEST-IMPR"
+	}
+	return "TRIEST"
+}
+
+// StoredEdges implements Estimator.
+func (tr *Triest) StoredEdges() int { return len(tr.slots) }
+
+// Process implements Estimator.
+func (tr *Triest) Process(e graph.Edge) {
+	if tr.adj.Has(e) {
+		return // simplified streams should not repeat edges
+	}
+	tr.t++
+	if tr.improved {
+		// Unconditional counting with the η weight (TRIEST-IMPR).
+		eta := 1.0
+		t := float64(tr.t)
+		m := float64(tr.m)
+		if tr.t > int64(tr.m) {
+			eta = (t - 1) * (t - 2) / (m * (m - 1))
+			if eta < 1 {
+				eta = 1
+			}
+		}
+		tr.tau += eta * float64(tr.adj.CountCommonNeighbors(e.U, e.V))
+	}
+	if tr.t <= int64(tr.m) {
+		tr.insert(e)
+		return
+	}
+	if tr.rng.Float64() < float64(tr.m)/float64(tr.t) {
+		victim := tr.rng.Intn(len(tr.slots))
+		tr.remove(victim)
+		tr.insertAt(e, victim)
+	}
+}
+
+func (tr *Triest) insert(e graph.Edge) {
+	tr.slots = append(tr.slots, e)
+	if !tr.improved {
+		tr.tau += float64(tr.adj.CountCommonNeighbors(e.U, e.V))
+	}
+	tr.adj.Add(e)
+}
+
+func (tr *Triest) insertAt(e graph.Edge, slot int) {
+	tr.slots[slot] = e
+	if !tr.improved {
+		tr.tau += float64(tr.adj.CountCommonNeighbors(e.U, e.V))
+	}
+	tr.adj.Add(e)
+}
+
+func (tr *Triest) remove(slot int) {
+	victim := tr.slots[slot]
+	tr.adj.Remove(victim)
+	if !tr.improved {
+		// Triangles destroyed: common neighbors of the victim's
+		// endpoints among the remaining sampled edges.
+		tr.tau -= float64(tr.adj.CountCommonNeighbors(victim.U, victim.V))
+	}
+}
+
+// Triangles implements Estimator.
+func (tr *Triest) Triangles() float64 {
+	if tr.improved {
+		return tr.tau
+	}
+	xi := 1.0
+	if tr.t > int64(tr.m) {
+		t := float64(tr.t)
+		m := float64(tr.m)
+		xi = t * (t - 1) * (t - 2) / (m * (m - 1) * (m - 2))
+		if xi < 1 {
+			xi = 1
+		}
+	}
+	return xi * tr.tau
+}

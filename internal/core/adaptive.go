@@ -1,0 +1,55 @@
+package core
+
+import "gps/internal/graph"
+
+// NewAdaptiveTriangleWeight returns a *stateful* triangle weight that tunes
+// its coefficient online — a concrete realization of the "adaptive-weight
+// sampling schemes" the paper names as future work (§8).
+//
+// The fixed TriangleWeight uses W(k,K̂) = 9·|△̂(k)|+1: the coefficient
+// balances sampling mass between triangle-completing edges (which §3.5 shows
+// should be favoured in proportion to the subgraph count they create) and
+// the default mass that keeps triangle-free edges alive. The right balance
+// depends on the stream: in a triangle-dense stream a large coefficient
+// starves exploration; in a triangle-sparse stream a small one wastes the
+// variance reduction. The adaptive weight keeps an exponential moving
+// average of the triangle-completion rate and sets
+//
+//	coef_t = targetShare / max(rate_t, floor)
+//
+// so that the expected weight mass flowing to triangle-completing edges
+// stays near targetShare of the default mass, clamped to [1, maxCoef].
+//
+// Each returned WeightFunc owns private state and must be used by exactly
+// one Sampler.
+func NewAdaptiveTriangleWeight(targetShare float64) WeightFunc {
+	if targetShare <= 0 {
+		panic("core: NewAdaptiveTriangleWeight requires targetShare > 0")
+	}
+	const (
+		ewmaAlpha = 1.0 / 4096 // smoothing horizon in edges
+		rateFloor = 1e-4
+		maxCoef   = 1e4
+	)
+	rate := 0.05 // optimistic prior so early coefficients stay moderate
+	return func(e graph.Edge, r *Reservoir) float64 {
+		closed := float64(r.CountCommonNeighbors(e.U, e.V))
+		hit := 0.0
+		if closed > 0 {
+			hit = 1
+		}
+		rate += ewmaAlpha * (hit - rate)
+		effRate := rate
+		if effRate < rateFloor {
+			effRate = rateFloor
+		}
+		coef := targetShare / effRate
+		if coef < 1 {
+			coef = 1
+		}
+		if coef > maxCoef {
+			coef = maxCoef
+		}
+		return coef*closed + 1
+	}
+}

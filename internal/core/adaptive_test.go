@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gps/internal/exact"
+	"gps/internal/graph"
+	"gps/internal/stats"
+	"gps/internal/stream"
+)
+
+func TestAdaptiveWeightValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("targetShare 0 did not panic")
+		}
+	}()
+	NewAdaptiveTriangleWeight(0)
+}
+
+func TestAdaptiveWeightPositiveAndFinite(t *testing.T) {
+	edges := smallTestGraph()
+	w := NewAdaptiveTriangleWeight(0.5)
+	s, _ := NewSampler(Config{Capacity: 50, Seed: 1, Weight: w})
+	for _, e := range edges {
+		s.Process(e) // Sampler panics internally on invalid weights
+	}
+	if s.Reservoir().Len() != 50 {
+		t.Fatalf("reservoir %d", s.Reservoir().Len())
+	}
+}
+
+// TestAdaptiveWeightUnbiased: adapting the coefficient must not break
+// estimator unbiasedness — the weight is still F_{i,i-1}-measurable
+// (a function of previous arrivals only), which is all Theorem 1 requires.
+func TestAdaptiveWeightUnbiased(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo test skipped in -short mode")
+	}
+	edges := smallTestGraph()
+	truth := float64(exact.Count(graph.BuildStatic(edges)).Triangles)
+	const trials = 1500
+	var w stats.Welford
+	for i := 0; i < trials; i++ {
+		seed := uint64(7100 + i)
+		in, _ := NewInStream(Config{
+			Capacity: 60,
+			Seed:     seed,
+			Weight:   NewAdaptiveTriangleWeight(0.5),
+		})
+		stream.Drive(stream.Permute(edges, seed^0x4321), func(e graph.Edge) { in.Process(e) })
+		w.Add(in.Estimates().Triangles)
+	}
+	if diff := math.Abs(w.Mean() - truth); diff > 5*w.StdErr()+1e-9 {
+		t.Errorf("adaptive-weight mean %v vs truth %v (stderr %v)", w.Mean(), truth, w.StdErr())
+	}
+}

@@ -1,0 +1,27 @@
+// Package core implements Graph Priority Sampling (GPS), the primary
+// contribution of "On Sampling from Massive Graph Streams" (Ahmed, Duffield,
+// Willke, Rossi; VLDB 2017), together with the paper's two estimation
+// frameworks:
+//
+//   - Sampler implements Algorithm 1 (GPS(m)): fixed-size, weight-sensitive,
+//     one-pass order sampling of a graph edge stream into a priority
+//     reservoir, with pluggable weight functions W(k,K̂).
+//   - EstimatePost implements Algorithm 2: post-stream unbiased estimation
+//     of triangle counts, wedge counts, their variances, the triangle–wedge
+//     covariance (Eq. 12) and the global clustering coefficient with
+//     delta-method confidence intervals (Eq. 11).
+//   - InStream implements Algorithm 3: in-stream "snapshot" estimation that
+//     incrementally updates the same quantities while the stream is being
+//     sampled, achieving lower variance than post-stream estimation from the
+//     identical sample.
+//   - Sampler.SubgraphEstimate / SubgraphVariance / SubgraphCovariance
+//     expose the general-purpose machinery of Theorems 2-3 for arbitrary
+//     edge subsets, which is what makes a GPS sample a reusable reference
+//     sample for retrospective graph queries.
+//
+// Unbiasedness of every estimator rests on the paper's Martingale argument:
+// conditional on the threshold z* (the (m+1)-st highest priority seen), each
+// sampled edge k carries the Horvitz-Thompson weight 1/q(k) with
+// q(k) = min{1, w(k)/z*}, and products of these edge estimators remain
+// unbiased even across different snapshot times (Theorems 1, 2, 4).
+package core

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"gps/internal/gen"
+	"gps/internal/graph"
+	"gps/internal/stream"
+)
+
+func TestEstimatePostEmptySampler(t *testing.T) {
+	s, _ := NewSampler(Config{Capacity: 10, Seed: 1})
+	est := EstimatePost(s)
+	if est.Triangles != 0 || est.Wedges != 0 || est.VarTriangles != 0 {
+		t.Fatalf("empty sampler estimates: %+v", est)
+	}
+	if est.GlobalClustering() != 0 {
+		t.Fatal("empty clustering != 0")
+	}
+	if local := EstimateLocalPost(s); len(local) != 0 {
+		t.Fatalf("empty local estimates: %v", local)
+	}
+}
+
+func TestCapacityOne(t *testing.T) {
+	s, _ := NewSampler(Config{Capacity: 1, Seed: 2, Weight: TriangleWeight})
+	edges := gen.ErdosRenyi(50, 120, 3)
+	for _, e := range edges {
+		s.Process(e)
+		if s.Reservoir().Len() > 1 {
+			t.Fatal("reservoir exceeded capacity 1")
+		}
+	}
+	// A single edge can hold neither triangles nor wedges.
+	est := EstimatePost(s)
+	if est.Triangles != 0 || est.Wedges != 0 {
+		t.Fatalf("m=1 estimates: %+v", est)
+	}
+}
+
+func TestStarGraphWedgesOnly(t *testing.T) {
+	// A star has wedges but no triangles; the estimators must see that.
+	var edges []graph.Edge
+	const leaves = 40
+	for i := 1; i <= leaves; i++ {
+		edges = append(edges, graph.NewEdge(0, graph.NodeID(i)))
+	}
+	in, _ := NewInStream(Config{Capacity: 20, Seed: 4, Weight: AdjacencyWeight})
+	stream.Drive(stream.Permute(edges, 5), func(e graph.Edge) { in.Process(e) })
+	est := in.Estimates()
+	if est.Triangles != 0 || est.VarTriangles != 0 {
+		t.Fatalf("star produced triangle estimates: %+v", est)
+	}
+	if est.Wedges <= 0 {
+		t.Fatal("star produced no wedge estimate")
+	}
+	want := float64(leaves * (leaves - 1) / 2)
+	if math.Abs(est.Wedges-want)/want > 0.6 {
+		t.Fatalf("star wedges %v, want ≈%v", est.Wedges, want)
+	}
+}
+
+func TestTriangleOnlyGraph(t *testing.T) {
+	// A disjoint union of triangles: clustering coefficient exactly 1.
+	var edges []graph.Edge
+	for i := 0; i < 30; i++ {
+		a, b, c := graph.NodeID(3*i), graph.NodeID(3*i+1), graph.NodeID(3*i+2)
+		edges = append(edges, graph.NewEdge(a, b), graph.NewEdge(b, c), graph.NewEdge(a, c))
+	}
+	in, _ := NewInStream(Config{Capacity: len(edges), Seed: 6, Weight: TriangleWeight})
+	stream.Drive(stream.Permute(edges, 7), func(e graph.Edge) { in.Process(e) })
+	est := in.Estimates()
+	if est.Triangles != 30 || est.Wedges != 90 {
+		t.Fatalf("triangle soup: %+v", est)
+	}
+	if cc := est.GlobalClustering(); cc != 1 {
+		t.Fatalf("clustering %v, want 1", cc)
+	}
+}
+
+func TestEstimatePostConcurrentReaders(t *testing.T) {
+	// EstimatePost only reads the reservoir; concurrent estimation over a
+	// quiescent sampler must be safe (run with -race to verify).
+	edges := smallTestGraph()
+	s, _ := NewSampler(Config{Capacity: 80, Seed: 8, Weight: TriangleWeight})
+	stream.Drive(stream.Permute(edges, 9), func(e graph.Edge) { s.Process(e) })
+	var wg sync.WaitGroup
+	results := make([]Estimates, 4)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = EstimatePost(s)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if math.Abs(results[i].Triangles-results[0].Triangles) > 1e-9 {
+			t.Fatal("concurrent estimates disagree")
+		}
+	}
+}
+
+func TestThresholdConditionalProbabilityLaw(t *testing.T) {
+	// Spot-check GPSNormalize: every sampled edge must satisfy
+	// r(k) > z*  (it survived) and q(k) = min{1, w(k)/z*}.
+	edges := gen.HolmeKim(200, 4, 0.5, 10)
+	s, _ := NewSampler(Config{Capacity: 50, Seed: 11, Weight: TriangleWeight})
+	stream.Drive(stream.Permute(edges, 12), func(e graph.Edge) { s.Process(e) })
+	z := s.Threshold()
+	if z <= 0 {
+		t.Fatal("no threshold after overflow")
+	}
+	s.Reservoir().ForEachEdge(func(e graph.Edge) bool {
+		w, _ := s.Reservoir().Weight(e)
+		q, _ := s.InclusionProb(e)
+		want := w / z
+		if want > 1 {
+			want = 1
+		}
+		if math.Abs(q-want) > 1e-12 {
+			t.Fatalf("q(%v) = %v, want %v", e, q, want)
+		}
+		return true
+	})
+}
+
+func TestInStreamEstimatesMonotoneArrivals(t *testing.T) {
+	// Count estimates are sums of non-negative snapshots, so they must be
+	// non-decreasing in stream time.
+	edges := smallTestGraph()
+	in, _ := NewInStream(Config{Capacity: 40, Seed: 13, Weight: TriangleWeight})
+	prevTri, prevW := 0.0, 0.0
+	for _, e := range stream.Collect(stream.Permute(edges, 14)) {
+		in.Process(e)
+		est := in.Estimates()
+		if est.Triangles < prevTri || est.Wedges < prevW {
+			t.Fatalf("estimates decreased: %v->%v / %v->%v",
+				prevTri, est.Triangles, prevW, est.Wedges)
+		}
+		prevTri, prevW = est.Triangles, est.Wedges
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import "gps/internal/stats"
+
+// Estimates holds unbiased subgraph count estimates with their unbiased
+// variance estimates, as produced by post-stream (Algorithm 2) or in-stream
+// (Algorithm 3) estimation.
+type Estimates struct {
+	// Triangles is N̂(△), the unbiased estimate of the number of
+	// triangles whose edges have all arrived (Corollary 1 / Theorem 6).
+	Triangles float64
+	// Wedges is N̂(Λ), the unbiased estimate of the number of wedges
+	// (paths of length 2) whose edges have all arrived (Corollary 2).
+	Wedges float64
+	// VarTriangles is V̂(△), the unbiased estimate of Var[N̂(△)]
+	// (Corollary 3 / Theorem 7).
+	VarTriangles float64
+	// VarWedges is V̂(Λ), the unbiased estimate of Var[N̂(Λ)]
+	// (Corollary 4).
+	VarWedges float64
+	// CovTriangleWedge is V̂(△,Λ), the estimate of Cov(N̂(△),N̂(Λ))
+	// (Eq. 12), used by the clustering-coefficient delta method.
+	CovTriangleWedge float64
+
+	// SampledEdges is |K̂| and Arrivals is the stream time t at which the
+	// estimates were taken.
+	SampledEdges int
+	Arrivals     uint64
+}
+
+// GlobalClustering returns α̂ = 3·N̂(△)/N̂(Λ), the paper's estimator of the
+// global clustering coefficient, or 0 when the wedge estimate is 0.
+func (e Estimates) GlobalClustering() float64 {
+	if e.Wedges == 0 {
+		return 0
+	}
+	return 3 * e.Triangles / e.Wedges
+}
+
+// VarGlobalClustering returns the delta-method approximation (Eq. 11) of
+// Var[α̂]: since α̂ = 3·(N̂(△)/N̂(Λ)), it equals 9·Var(N̂(△)/N̂(Λ)).
+func (e Estimates) VarGlobalClustering() float64 {
+	return 9 * stats.RatioVariance(e.Triangles, e.Wedges,
+		e.VarTriangles, e.VarWedges, e.CovTriangleWedge)
+}
+
+// TriangleInterval returns the 95% confidence interval for the triangle
+// count, X̂ ± 1.96·sqrt(V̂).
+func (e Estimates) TriangleInterval() stats.Interval {
+	return stats.CI95(e.Triangles, e.VarTriangles)
+}
+
+// WedgeInterval returns the 95% confidence interval for the wedge count.
+func (e Estimates) WedgeInterval() stats.Interval {
+	return stats.CI95(e.Wedges, e.VarWedges)
+}
+
+// ClusteringInterval returns the 95% confidence interval for the global
+// clustering coefficient.
+func (e Estimates) ClusteringInterval() stats.Interval {
+	return stats.CI95(e.GlobalClustering(), e.VarGlobalClustering())
+}

@@ -1,0 +1,444 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gps/internal/exact"
+	"gps/internal/gen"
+	"gps/internal/graph"
+	"gps/internal/stats"
+	"gps/internal/stream"
+)
+
+// triangleList enumerates every triangle of the graph as its three edges.
+func triangleList(edges []graph.Edge) [][3]graph.Edge {
+	g := graph.BuildStatic(edges)
+	var out [][3]graph.Edge
+	for v := 0; v < g.NumNodes(); v++ {
+		nv := g.Neighbors(graph.NodeID(v))
+		for i := 0; i < len(nv); i++ {
+			u := nv[i]
+			if u <= graph.NodeID(v) {
+				continue
+			}
+			for j := i + 1; j < len(nv); j++ {
+				w := nv[j]
+				if w <= graph.NodeID(v) || !g.HasEdge(u, w) {
+					continue
+				}
+				// v < u < w by construction of sorted neighbor slices.
+				out = append(out, [3]graph.Edge{
+					graph.NewEdge(graph.NodeID(v), u),
+					graph.NewEdge(graph.NodeID(v), w),
+					graph.NewEdge(u, w),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// wedgeList enumerates every wedge of the graph as its two edges.
+func wedgeList(edges []graph.Edge) [][2]graph.Edge {
+	g := graph.BuildStatic(edges)
+	var out [][2]graph.Edge
+	for v := 0; v < g.NumNodes(); v++ {
+		nv := g.Neighbors(graph.NodeID(v))
+		for i := 0; i < len(nv); i++ {
+			for j := i + 1; j < len(nv); j++ {
+				out = append(out, [2]graph.Edge{
+					graph.NewEdge(graph.NodeID(v), nv[i]),
+					graph.NewEdge(graph.NodeID(v), nv[j]),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// smallTestGraph is a deterministic clustered graph small enough for
+// brute-force pair sums: ~150 edges, dozens of triangles.
+func smallTestGraph() []graph.Edge {
+	return gen.HolmeKim(60, 3, 0.7, 77)
+}
+
+func TestExactWhenReservoirHoldsEverything(t *testing.T) {
+	edges := smallTestGraph()
+	truth := exact.Count(graph.BuildStatic(edges))
+
+	s, _ := NewSampler(Config{Capacity: len(edges) + 10, Seed: 1, Weight: TriangleWeight})
+	stream.Drive(stream.Permute(edges, 2), func(e graph.Edge) { s.Process(e) })
+	if s.Threshold() != 0 {
+		t.Fatalf("threshold %v with oversized reservoir", s.Threshold())
+	}
+	est := EstimatePost(s)
+	if est.Triangles != float64(truth.Triangles) {
+		t.Fatalf("post triangles = %v, want %d", est.Triangles, truth.Triangles)
+	}
+	if est.Wedges != float64(truth.Wedges) {
+		t.Fatalf("post wedges = %v, want %d", est.Wedges, truth.Wedges)
+	}
+	if est.VarTriangles != 0 || est.VarWedges != 0 || est.CovTriangleWedge != 0 {
+		t.Fatalf("variance nonzero with q=1: %+v", est)
+	}
+	if cc := est.GlobalClustering(); math.Abs(cc-truth.GlobalClustering()) > 1e-12 {
+		t.Fatalf("clustering = %v, want %v", cc, truth.GlobalClustering())
+	}
+
+	in, _ := NewInStream(Config{Capacity: len(edges) + 10, Seed: 1, Weight: TriangleWeight})
+	stream.Drive(stream.Permute(edges, 2), func(e graph.Edge) { in.Process(e) })
+	ie := in.Estimates()
+	if ie.Triangles != float64(truth.Triangles) || ie.Wedges != float64(truth.Wedges) {
+		t.Fatalf("in-stream exact: %+v want T=%d W=%d", ie, truth.Triangles, truth.Wedges)
+	}
+	if ie.VarTriangles != 0 || ie.VarWedges != 0 || ie.CovTriangleWedge != 0 {
+		t.Fatalf("in-stream variance nonzero with q=1: %+v", ie)
+	}
+}
+
+// TestPostMatchesSubgraphBruteForce checks that the localized Algorithm 2
+// scan agrees with the definitional estimators of Theorems 2-3 evaluated by
+// brute force over every triangle, wedge, and intersecting pair.
+func TestPostMatchesSubgraphBruteForce(t *testing.T) {
+	edges := smallTestGraph()
+	tris := triangleList(edges)
+	wedges := wedgeList(edges)
+
+	s, _ := NewSampler(Config{Capacity: 70, Seed: 3, Weight: TriangleWeight})
+	stream.Drive(stream.Permute(edges, 4), func(e graph.Edge) { s.Process(e) })
+	est := EstimatePost(s)
+
+	relEq := func(name string, got, want float64) {
+		t.Helper()
+		tol := 1e-9 * (math.Abs(want) + 1)
+		if math.Abs(got-want) > tol {
+			t.Fatalf("%s: algorithm=%v brute=%v", name, got, want)
+		}
+	}
+
+	// Counts: N̂ = Σ_J Ŝ_J.
+	var wantTri float64
+	triHat := make([]float64, len(tris))
+	for i, tr := range tris {
+		triHat[i] = s.SubgraphEstimate(tr[0], tr[1], tr[2])
+		wantTri += triHat[i]
+	}
+	relEq("triangle count", est.Triangles, wantTri)
+
+	var wantW float64
+	wHat := make([]float64, len(wedges))
+	for i, wd := range wedges {
+		wHat[i] = s.SubgraphEstimate(wd[0], wd[1])
+		wantW += wHat[i]
+	}
+	relEq("wedge count", est.Wedges, wantW)
+
+	// Variances: Eq. 9/10 = Σ Ŝ(Ŝ-1) + 2 Σ_{J<J'} Ĉ.
+	var wantVT float64
+	for i, tr := range tris {
+		wantVT += triHat[i] * (triHat[i] - 1)
+		for j := i + 1; j < len(tris); j++ {
+			wantVT += 2 * s.SubgraphCovariance(tr[:], tris[j][:])
+		}
+	}
+	relEq("triangle variance", est.VarTriangles, wantVT)
+
+	var wantVW float64
+	for i, wd := range wedges {
+		wantVW += wHat[i] * (wHat[i] - 1)
+		for j := i + 1; j < len(wedges); j++ {
+			wantVW += 2 * s.SubgraphCovariance(wd[:], wedges[j][:])
+		}
+	}
+	relEq("wedge variance", est.VarWedges, wantVW)
+
+	// Triangle-wedge covariance: Eq. 12 = Σ_{τ,λ: τ∩λ≠∅} Ŝ_{τ∪λ}(Ŝ_{τ∩λ}-1).
+	var wantCov float64
+	for _, tr := range tris {
+		for _, wd := range wedges {
+			wantCov += s.SubgraphCovariance(tr[:], wd[:])
+		}
+	}
+	relEq("tri-wedge covariance", est.CovTriangleWedge, wantCov)
+}
+
+func TestSubgraphEstimateBasics(t *testing.T) {
+	edges := smallTestGraph()
+	s, _ := NewSampler(Config{Capacity: 70, Seed: 5, Weight: TriangleWeight})
+	stream.Drive(stream.Permute(edges, 6), func(e graph.Edge) { s.Process(e) })
+
+	sampled := s.Reservoir().Edges()
+	// Ŝ_J ∈ {0} ∪ [1, ∞): probabilities are ≤ 1.
+	for _, e := range sampled {
+		v := s.SubgraphEstimate(e)
+		if v < 1 {
+			t.Fatalf("Ŝ_{%v} = %v < 1", e, v)
+		}
+		// Duplicates in the argument are ignored.
+		if dup := s.SubgraphEstimate(e, e); dup != v {
+			t.Fatalf("duplicate edge changed estimate: %v vs %v", dup, v)
+		}
+		if varEst := s.SubgraphVariance(e); varEst < 0 {
+			t.Fatalf("variance estimator negative: %v", varEst)
+		}
+	}
+	if v := s.SubgraphEstimate(graph.NewEdge(5000, 5001)); v != 0 {
+		t.Fatalf("unsampled subgraph estimate = %v", v)
+	}
+	// Disjoint subgraphs have zero covariance estimate.
+	if len(sampled) >= 4 {
+		a := []graph.Edge{sampled[0]}
+		var b []graph.Edge
+		for _, e := range sampled[1:] {
+			if !e.Adjacent(sampled[0]) && e != sampled[0] {
+				b = []graph.Edge{e}
+				break
+			}
+		}
+		if b != nil {
+			if c := s.SubgraphCovariance(a, b); c != 0 {
+				t.Fatalf("disjoint covariance = %v", c)
+			}
+		}
+		if c := s.SubgraphCovariance(a, a); c < 0 {
+			t.Fatalf("self covariance = %v < 0", c)
+		}
+	}
+}
+
+func TestInStreamSharesSampleWithPost(t *testing.T) {
+	edges := smallTestGraph()
+	in, _ := NewInStream(Config{Capacity: 50, Seed: 9, Weight: TriangleWeight})
+	stream.Drive(stream.Permute(edges, 10), func(e graph.Edge) { in.Process(e) })
+
+	solo, _ := NewSampler(Config{Capacity: 50, Seed: 9, Weight: TriangleWeight})
+	stream.Drive(stream.Permute(edges, 10), func(e graph.Edge) { solo.Process(e) })
+
+	a := in.Sampler().Reservoir().Edges()
+	b := solo.Reservoir().Edges()
+	if len(a) != len(b) {
+		t.Fatalf("sample sizes differ: %d vs %d", len(a), len(b))
+	}
+	set := map[graph.Edge]bool{}
+	for _, e := range a {
+		set[e] = true
+	}
+	for _, e := range b {
+		if !set[e] {
+			t.Fatalf("samples differ at %v", e)
+		}
+	}
+	if in.Sampler().Threshold() != solo.Threshold() {
+		t.Fatal("thresholds differ")
+	}
+	// Post-stream estimates over the two identical samples agree.
+	pa, pb := EstimatePost(in.Sampler()), EstimatePost(solo)
+	if math.Abs(pa.Triangles-pb.Triangles) > 1e-9*(pb.Triangles+1) {
+		t.Fatalf("post estimates differ: %v vs %v", pa.Triangles, pb.Triangles)
+	}
+}
+
+// mcResult captures one Monte-Carlo replication.
+type mcResult struct {
+	post Estimates
+	in   Estimates
+}
+
+func runMC(t *testing.T, edges []graph.Edge, m int, trials int, weight WeightFunc) []mcResult {
+	t.Helper()
+	out := make([]mcResult, trials)
+	for i := 0; i < trials; i++ {
+		seed := uint64(1000 + i)
+		in, err := NewInStream(Config{Capacity: m, Seed: seed, Weight: weight})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Drive(stream.Permute(edges, seed^0xabcdef), func(e graph.Edge) { in.Process(e) })
+		out[i] = mcResult{post: EstimatePost(in.Sampler()), in: in.Estimates()}
+	}
+	return out
+}
+
+// TestUnbiasednessMonteCarlo verifies E[N̂] = N for triangles and wedges
+// under both estimation frameworks (Theorems 2, 4, 6), and that the variance
+// and covariance estimators are unbiased for the empirical variance and
+// covariance of the count estimators (Theorems 3, 5, 7).
+func TestUnbiasednessMonteCarlo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo test skipped in -short mode")
+	}
+	edges := smallTestGraph()
+	truth := exact.Count(graph.BuildStatic(edges))
+	const m = 60
+	const trials = 3000
+	results := runMC(t, edges, m, trials, TriangleWeight)
+
+	var postTri, postW, inTri, inW stats.Welford
+	var postVT, postVW, inVT, inVW stats.Welford
+	var postCovEst, inCovEst stats.Welford
+	var postTriW, inTriW stats.Covariance
+	for _, r := range results {
+		postTri.Add(r.post.Triangles)
+		postW.Add(r.post.Wedges)
+		inTri.Add(r.in.Triangles)
+		inW.Add(r.in.Wedges)
+		postVT.Add(r.post.VarTriangles)
+		postVW.Add(r.post.VarWedges)
+		inVT.Add(r.in.VarTriangles)
+		inVW.Add(r.in.VarWedges)
+		postCovEst.Add(r.post.CovTriangleWedge)
+		inCovEst.Add(r.in.CovTriangleWedge)
+		postTriW.Add(r.post.Triangles, r.post.Wedges)
+		inTriW.Add(r.in.Triangles, r.in.Wedges)
+	}
+
+	checkMean := func(name string, w *stats.Welford, want float64) {
+		t.Helper()
+		if diff := math.Abs(w.Mean() - want); diff > 5*w.StdErr()+1e-9 {
+			t.Errorf("%s: mean %v vs truth %v (stderr %v)", name, w.Mean(), want, w.StdErr())
+		}
+	}
+	checkMean("post triangles", &postTri, float64(truth.Triangles))
+	checkMean("post wedges", &postW, float64(truth.Wedges))
+	checkMean("in-stream triangles", &inTri, float64(truth.Triangles))
+	checkMean("in-stream wedges", &inW, float64(truth.Wedges))
+
+	// Variance estimators: E[V̂] should match the empirical variance of
+	// the count estimator. The sampling distribution of a variance is
+	// heavy-tailed, so allow 20% relative slack.
+	checkVar := func(name string, meanVar *stats.Welford, empirical float64) {
+		t.Helper()
+		if empirical <= 0 {
+			return
+		}
+		rel := math.Abs(meanVar.Mean()-empirical) / empirical
+		if rel > 0.20 {
+			t.Errorf("%s: E[V̂]=%v vs empirical Var=%v (rel %.2f)", name, meanVar.Mean(), empirical, rel)
+		}
+	}
+	checkVar("post Var(triangles)", &postVT, postTri.Variance())
+	checkVar("post Var(wedges)", &postVW, postW.Variance())
+	checkVar("in-stream Var(triangles)", &inVT, inTri.Variance())
+	checkVar("in-stream Var(wedges)", &inVW, inW.Variance())
+
+	// Covariance estimator vs empirical covariance of (N̂△, N̂Λ).
+	checkCov := func(name string, est *stats.Welford, empirical float64) {
+		t.Helper()
+		scale := math.Max(math.Abs(empirical), 1)
+		if math.Abs(est.Mean()-empirical)/scale > 0.35 {
+			t.Errorf("%s: E[Ĉ]=%v vs empirical Cov=%v", name, est.Mean(), empirical)
+		}
+	}
+	checkCov("post Cov(T,W)", &postCovEst, postTriW.Value())
+	checkCov("in-stream Cov(T,W)", &inCovEst, inTriW.Value())
+
+	// The headline claim: in-stream estimation has lower variance than
+	// post-stream estimation over the same samples.
+	if inTri.Variance() >= postTri.Variance() {
+		t.Errorf("in-stream triangle variance %v not below post-stream %v",
+			inTri.Variance(), postTri.Variance())
+	}
+}
+
+// TestConfidenceIntervalCoverage verifies that the 95% intervals built from
+// the variance estimators actually cover the truth at roughly the nominal
+// rate (Table 1 LB/UB columns).
+func TestConfidenceIntervalCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo test skipped in -short mode")
+	}
+	edges := smallTestGraph()
+	truth := exact.Count(graph.BuildStatic(edges))
+	results := runMC(t, edges, 60, 600, TriangleWeight)
+
+	hitTri, hitW := 0, 0
+	for _, r := range results {
+		if r.in.TriangleInterval().Contains(float64(truth.Triangles)) {
+			hitTri++
+		}
+		if r.in.WedgeInterval().Contains(float64(truth.Wedges)) {
+			hitW++
+		}
+	}
+	n := float64(len(results))
+	if rate := float64(hitTri) / n; rate < 0.85 {
+		t.Errorf("triangle CI coverage %.3f < 0.85", rate)
+	}
+	if rate := float64(hitW) / n; rate < 0.85 {
+		t.Errorf("wedge CI coverage %.3f < 0.85", rate)
+	}
+}
+
+// TestTriangleWeightBeatsUniform is the §3.5 ablation: weighting edge
+// sampling by completed triangles minimizes the variance of the
+// Horvitz-Thompson (post-stream) triangle estimator relative to uniform
+// weights. The effect concentrates in post-stream estimation — in-stream
+// snapshots freeze early, pre-threshold probabilities and are nearly
+// insensitive to the retention weighting — so that is what we assert, with
+// a generous factor to keep the Monte-Carlo comparison robust.
+func TestTriangleWeightBeatsUniform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo test skipped in -short mode")
+	}
+	edges := smallTestGraph()
+	const m, trials = 50, 1200
+	var wTri, wUni stats.Welford
+	for _, r := range runMC(t, edges, m, trials, TriangleWeight) {
+		wTri.Add(r.post.Triangles)
+	}
+	for _, r := range runMC(t, edges, m, trials, UniformWeight) {
+		wUni.Add(r.post.Triangles)
+	}
+	if 1.2*wTri.Variance() >= wUni.Variance() {
+		t.Errorf("triangle-weighted post-stream variance %v not well below uniform %v",
+			wTri.Variance(), wUni.Variance())
+	}
+}
+
+// TestInStreamBeatsPostStream pins the paper's other headline variance
+// ordering: in-stream estimates from the same sample have lower variance
+// than post-stream estimates, under both weightings.
+func TestInStreamBeatsPostStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo test skipped in -short mode")
+	}
+	edges := smallTestGraph()
+	for _, weight := range []struct {
+		name string
+		fn   WeightFunc
+	}{{"triangle", TriangleWeight}, {"uniform", UniformWeight}} {
+		var in, post stats.Welford
+		for _, r := range runMC(t, edges, 50, 1000, weight.fn) {
+			in.Add(r.in.Triangles)
+			post.Add(r.post.Triangles)
+		}
+		if in.Variance() >= post.Variance() {
+			t.Errorf("%s weights: in-stream variance %v not below post-stream %v",
+				weight.name, in.Variance(), post.Variance())
+		}
+	}
+}
+
+func TestEstimatesAccessors(t *testing.T) {
+	e := Estimates{Triangles: 30, Wedges: 300, VarTriangles: 25, VarWedges: 100}
+	if cc := e.GlobalClustering(); math.Abs(cc-0.3) > 1e-12 {
+		t.Fatalf("GlobalClustering = %v", cc)
+	}
+	if iv := e.TriangleInterval(); iv.Lower >= iv.Upper || !iv.Contains(30) {
+		t.Fatalf("TriangleInterval = %+v", iv)
+	}
+	if iv := e.WedgeInterval(); !iv.Contains(300) {
+		t.Fatalf("WedgeInterval = %+v", iv)
+	}
+	if v := e.VarGlobalClustering(); v <= 0 {
+		t.Fatalf("VarGlobalClustering = %v", v)
+	}
+	if iv := e.ClusteringInterval(); !iv.Contains(0.3) {
+		t.Fatalf("ClusteringInterval = %+v", iv)
+	}
+	var zero Estimates
+	if zero.GlobalClustering() != 0 {
+		t.Fatal("zero-value clustering not 0")
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"gps/internal/graph"
+)
+
+// LocalTriangles holds per-node triangle count estimates N̂_v(△): for each
+// node, the estimated number of triangles containing it. Local triangle
+// counts drive spam/anomaly detection and role discovery — the application
+// setting of the MASCOT line of work (§7) — and fall out of the same
+// Horvitz-Thompson machinery as the global count: each triangle estimator
+// Ŝ_τ contributes once to each of its three corners, so Σ_v N̂_v(△) =
+// 3·N̂(△) holds identically.
+type LocalTriangles map[graph.NodeID]float64
+
+// Total returns Σ_v N̂_v(△) = 3·N̂(△).
+func (lt LocalTriangles) Total() float64 {
+	total := 0.0
+	for _, v := range lt {
+		total += v
+	}
+	return total
+}
+
+// EstimateLocalPost computes per-node triangle estimates from the current
+// reservoir (the local analogue of EstimatePost). Each sampled edge
+// enumerates the triangles it participates in, exactly as in Algorithm 2;
+// a triangle enumerated at one of its three edges credits Ŝ_τ/3 to each
+// corner, so after the full scan every corner has accumulated Ŝ_τ.
+func EstimateLocalPost(s *Sampler) LocalTriangles {
+	n := s.res.Len()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	parts := make([]LocalTriangles, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := make(LocalTriangles)
+			for i := lo; i < hi; i++ {
+				s.localEdge(s.res.heap.At(i).Edge, local)
+			}
+			parts[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := make(LocalTriangles)
+	for _, part := range parts {
+		for v, c := range part {
+			out[v] += c
+		}
+	}
+	return out
+}
+
+// localEdge accumulates the corner contributions of the triangles at edge k.
+func (s *Sampler) localEdge(k graph.Edge, acc LocalTriangles) {
+	ent := s.res.entry(k)
+	if ent == nil {
+		return
+	}
+	invQ := 1 / s.probForWeight(ent.Weight)
+	v1, v2 := k.U, k.V
+	if s.res.Degree(v1) > s.res.Degree(v2) {
+		v1, v2 = v2, v1
+	}
+	s.res.Neighbors(v1, func(v3 graph.NodeID) bool {
+		if v3 == v2 {
+			return true
+		}
+		e2 := s.res.entry(graph.NewEdge(v2, v3))
+		if e2 == nil {
+			return true
+		}
+		q1 := s.mustProb(v1, v3)
+		q2 := s.probForWeight(e2.Weight)
+		share := invQ / (q1 * q2) / 3
+		acc[v1] += share
+		acc[v2] += share
+		acc[v3] += share
+		return true
+	})
+}
+
+// InStreamLocal couples a GPS sampler with in-stream per-node triangle
+// estimation: when edge k3 arrives and completes triangles against the
+// reservoir, each triangle's snapshot estimate 1/(q1·q2) is credited to its
+// three corners (the local version of Theorem 6; each snapshot is counted
+// exactly once, at the arrival of the triangle's last edge).
+//
+// InStreamLocal is not safe for concurrent use.
+type InStreamLocal struct {
+	s      *Sampler
+	counts LocalTriangles
+}
+
+// NewInStreamLocal returns an in-stream local triangle estimator with a
+// fresh GPS sampler.
+func NewInStreamLocal(cfg Config) (*InStreamLocal, error) {
+	s, err := NewSampler(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &InStreamLocal{s: s, counts: make(LocalTriangles)}, nil
+}
+
+// Sampler exposes the underlying sampler.
+func (t *InStreamLocal) Sampler() *Sampler { return t.s }
+
+// Process handles one edge arrival: local snapshots first, then the GPS
+// sampling step.
+func (t *InStreamLocal) Process(e graph.Edge) bool {
+	if t.s.res.Contains(e) {
+		t.s.duplicates++
+		return true
+	}
+	res := t.s.res
+	res.CommonNeighbors(e.U, e.V, func(v3 graph.NodeID) bool {
+		q1 := t.s.mustProb(e.U, v3)
+		q2 := t.s.mustProb(e.V, v3)
+		share := 1 / (q1 * q2)
+		t.counts[e.U] += share
+		t.counts[e.V] += share
+		t.counts[v3] += share
+		return true
+	})
+	return t.s.Process(e)
+}
+
+// Counts returns the running per-node estimates. The map is live; callers
+// that need a stable snapshot must copy it.
+func (t *InStreamLocal) Counts() LocalTriangles { return t.counts }

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"gps/internal/graph"
+)
+
+// This file extends post-stream estimation beyond triangles and wedges to
+// the other motif families the paper's introduction names ("triangles,
+// cliques, stars", §1). Both estimators are direct applications of
+// Theorem 2: sum the Horvitz-Thompson product Ŝ_J over every member of the
+// family found inside the sample.
+
+// EstimateCliques4Post returns the unbiased estimate of the number of
+// 4-cliques whose edges have all arrived. Each 4-clique found in the
+// reservoir contributes the product of its six edges' inverse inclusion
+// probabilities; the enumeration anchors each clique at the edge joining its
+// two smallest vertices, so every clique is counted exactly once.
+//
+// Estimator variance grows with the sixth power of the inverse probabilities,
+// so 4-clique estimation wants denser samples than triangle counting (see
+// examples/retrospective). For per-clique uncertainty, feed the edge sets to
+// Sampler.SubgraphVariance / SubgraphCovariance.
+func EstimateCliques4Post(s *Sampler) float64 {
+	n := s.res.Len()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	totals := make([]float64, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			total := 0.0
+			for i := lo; i < hi; i++ {
+				total += s.cliques4At(s.res.heap.At(i).Edge)
+			}
+			totals[w] = total
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0.0
+	for _, t := range totals {
+		total += t
+	}
+	return total
+}
+
+// cliques4At sums Ŝ over the 4-cliques anchored at edge k = (u,v) with
+// u < v: pairs of common neighbors w < x, both greater than v, joined by a
+// sampled edge.
+func (s *Sampler) cliques4At(k graph.Edge) float64 {
+	u, v := k.U, k.V // canonical: u < v
+	invQ := 1 / s.mustProb(u, v)
+	var candidates []graph.NodeID
+	s.res.CommonNeighbors(u, v, func(w graph.NodeID) bool {
+		if w > v {
+			candidates = append(candidates, w)
+		}
+		return true
+	})
+	if len(candidates) < 2 {
+		return 0
+	}
+	total := 0.0
+	for i := 0; i < len(candidates); i++ {
+		w := candidates[i]
+		invW := 1 / (s.mustProb(u, w) * s.mustProb(v, w))
+		for j := i + 1; j < len(candidates); j++ {
+			x := candidates[j]
+			ent := s.res.entry(graph.NewEdge(w, x))
+			if ent == nil {
+				continue
+			}
+			invX := 1 / (s.mustProb(u, x) * s.mustProb(v, x))
+			total += invQ * invW * invX / s.probForWeight(ent.Weight)
+		}
+	}
+	return total
+}
+
+// EstimateStars3Post returns the unbiased estimate of the number of 3-stars
+// (claws): Σ_v C(deg(v), 3). For each sampled node the estimator needs the
+// third elementary symmetric polynomial e3 of the inverse probabilities of
+// its incident edges — every unordered triple of edges at v is a 3-star with
+// estimator Ŝ = Π 1/q — which Newton's identity evaluates from power sums
+// in O(deg(v)):
+//
+//	e3 = (p1³ − 3·p1·p2 + 2·p3) / 6,  p_r = Σ_j (1/q_j)^r
+//
+// Wedges are the k=2 case of the same family (e2 = (p1²−p2)/2); this
+// estimator extends the paper's framework one motif further.
+func EstimateStars3Post(s *Sampler) float64 {
+	total := 0.0
+	s.res.adjNodes(func(v graph.NodeID) bool {
+		var p1, p2, p3 float64
+		s.res.Neighbors(v, func(u graph.NodeID) bool {
+			inv := 1 / s.mustProb(v, u)
+			p1 += inv
+			inv2 := inv * inv
+			p2 += inv2
+			p3 += inv2 * inv
+			return true
+		})
+		total += (p1*p1*p1 - 3*p1*p2 + 2*p3) / 6
+		return true
+	})
+	return total
+}
+
+// adjNodes iterates the sampled nodes (helper for motif estimators).
+func (r *Reservoir) adjNodes(fn func(graph.NodeID) bool) {
+	r.adj.ForEachNode(fn)
+}

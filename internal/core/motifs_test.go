@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gps/internal/gen"
+	"gps/internal/graph"
+	"gps/internal/stats"
+	"gps/internal/stream"
+)
+
+// exactCliques4 counts 4-cliques by enumeration over a static graph.
+func exactCliques4(edges []graph.Edge) int64 {
+	g := graph.BuildStatic(edges)
+	var count int64
+	for v := 0; v < g.NumNodes(); v++ {
+		nv := g.Neighbors(graph.NodeID(v))
+		for i := 0; i < len(nv); i++ {
+			if nv[i] <= graph.NodeID(v) {
+				continue
+			}
+			for j := i + 1; j < len(nv); j++ {
+				if !g.HasEdge(nv[i], nv[j]) {
+					continue
+				}
+				for k := j + 1; k < len(nv); k++ {
+					if g.HasEdge(nv[i], nv[k]) && g.HasEdge(nv[j], nv[k]) {
+						count++
+					}
+				}
+			}
+		}
+	}
+	return count
+}
+
+// exactStars3 counts 3-stars: Σ_v C(deg(v), 3).
+func exactStars3(edges []graph.Edge) int64 {
+	g := graph.BuildStatic(edges)
+	var count int64
+	for v := 0; v < g.NumNodes(); v++ {
+		d := g.Degree(graph.NodeID(v))
+		count += d * (d - 1) * (d - 2) / 6
+	}
+	return count
+}
+
+func kClique(n int) []graph.Edge {
+	var es []graph.Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			es = append(es, graph.NewEdge(graph.NodeID(i), graph.NodeID(j)))
+		}
+	}
+	return es
+}
+
+func TestMotifsExactOnCliques(t *testing.T) {
+	// K6: C(6,4)=15 4-cliques, Σ C(5,3)=6·10=60 3-stars.
+	edges := kClique(6)
+	s, _ := NewSampler(Config{Capacity: len(edges), Seed: 1, Weight: TriangleWeight})
+	stream.Drive(stream.Permute(edges, 2), func(e graph.Edge) { s.Process(e) })
+	if got := EstimateCliques4Post(s); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("K6 4-cliques = %v, want 15", got)
+	}
+	if got := EstimateStars3Post(s); math.Abs(got-60) > 1e-9 {
+		t.Fatalf("K6 3-stars = %v, want 60", got)
+	}
+}
+
+func TestMotifsExactWhenReservoirHoldsEverything(t *testing.T) {
+	edges := smallTestGraph()
+	s, _ := NewSampler(Config{Capacity: len(edges) + 1, Seed: 3, Weight: TriangleWeight})
+	stream.Drive(stream.Permute(edges, 4), func(e graph.Edge) { s.Process(e) })
+	wantC := float64(exactCliques4(edges))
+	wantS := float64(exactStars3(edges))
+	if got := EstimateCliques4Post(s); math.Abs(got-wantC) > 1e-9*(wantC+1) {
+		t.Fatalf("4-cliques = %v, want %v", got, wantC)
+	}
+	if got := EstimateStars3Post(s); math.Abs(got-wantS) > 1e-6*(wantS+1) {
+		t.Fatalf("3-stars = %v, want %v", got, wantS)
+	}
+}
+
+func TestStars3MatchesBruteForceTripleSum(t *testing.T) {
+	// Newton-identity evaluation must equal the brute-force sum over edge
+	// triples at each node, on a partial sample.
+	edges := smallTestGraph()
+	s, _ := NewSampler(Config{Capacity: 70, Seed: 5, Weight: AdjacencyWeight})
+	stream.Drive(stream.Permute(edges, 6), func(e graph.Edge) { s.Process(e) })
+
+	brute := 0.0
+	s.Reservoir().adjNodes(func(v graph.NodeID) bool {
+		var invs []float64
+		s.Reservoir().Neighbors(v, func(u graph.NodeID) bool {
+			q, _ := s.InclusionProb(graph.NewEdge(v, u))
+			invs = append(invs, 1/q)
+			return true
+		})
+		for i := 0; i < len(invs); i++ {
+			for j := i + 1; j < len(invs); j++ {
+				for k := j + 1; k < len(invs); k++ {
+					brute += invs[i] * invs[j] * invs[k]
+				}
+			}
+		}
+		return true
+	})
+	got := EstimateStars3Post(s)
+	if math.Abs(got-brute) > 1e-6*(brute+1) {
+		t.Fatalf("Newton %v vs brute %v", got, brute)
+	}
+}
+
+func TestMotifsUnbiasedMonteCarlo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo test skipped in -short mode")
+	}
+	// Dense small graph so 4-cliques exist and probabilities stay sane.
+	edges := gen.HolmeKim(50, 6, 0.9, 21)
+	wantC := float64(exactCliques4(edges))
+	wantS := float64(exactStars3(edges))
+	if wantC < 5 {
+		t.Fatalf("test graph too sparse: %v 4-cliques", wantC)
+	}
+	var wc, ws stats.Welford
+	const trials = 2500
+	for i := 0; i < trials; i++ {
+		seed := uint64(9100 + i)
+		s, _ := NewSampler(Config{Capacity: 2 * len(edges) / 3, Seed: seed, Weight: TriangleWeight})
+		stream.Drive(stream.Permute(edges, seed^0x77), func(e graph.Edge) { s.Process(e) })
+		wc.Add(EstimateCliques4Post(s))
+		ws.Add(EstimateStars3Post(s))
+	}
+	if diff := math.Abs(wc.Mean() - wantC); diff > 5*wc.StdErr()+1e-9 {
+		t.Errorf("4-cliques: mean %v vs truth %v (stderr %v)", wc.Mean(), wantC, wc.StdErr())
+	}
+	if diff := math.Abs(ws.Mean() - wantS); diff > 5*ws.StdErr()+1e-9 {
+		t.Errorf("3-stars: mean %v vs truth %v (stderr %v)", ws.Mean(), wantS, ws.StdErr())
+	}
+}
+
+func TestMotifsEmptyAndTriangleFree(t *testing.T) {
+	s, _ := NewSampler(Config{Capacity: 10, Seed: 7})
+	if EstimateCliques4Post(s) != 0 || EstimateStars3Post(s) != 0 {
+		t.Fatal("empty sampler gave nonzero motif estimates")
+	}
+	// A path has no 4-cliques and no 3-stars.
+	for i := 0; i < 5; i++ {
+		s.Process(graph.NewEdge(graph.NodeID(i), graph.NodeID(i+1)))
+	}
+	if EstimateCliques4Post(s) != 0 {
+		t.Fatal("path gave 4-cliques")
+	}
+	if EstimateStars3Post(s) != 0 {
+		t.Fatal("path gave 3-stars")
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"gps/internal/graph"
+)
+
+// EstimatePost implements Algorithm 2 (GPSEstimate): unbiased post-stream
+// estimation of triangle and wedge counts, their variances and their
+// covariance, from the current reservoir. It may be called at any point in
+// the stream; the reservoir is only read.
+//
+// The computation is local per sampled edge (§4 "Efficiency"): for edge
+// k=(v1,v2) the estimators enumerate the sampled neighborhoods of its
+// endpoints, so the whole scan costs O(Σ_k min{deg(v1),deg(v2)}) ⊆ O(m^{3/2})
+// and parallelizes over reservoir slots, mirroring the paper's "parallel for"
+// loop. Beyond Algorithm 2, the same pass evaluates the triangle–wedge
+// covariance of Eq. 12 via a per-edge factorization (see covTW below), which
+// Table 1 needs for the post-stream clustering-coefficient intervals.
+func EstimatePost(s *Sampler) Estimates {
+	n := s.res.Len()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(p *partial, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				s.estimateEdge(s.res.heap.At(i).Edge, p.add)
+			}
+		}(&parts[w], lo, hi)
+	}
+	wg.Wait()
+
+	var total partial
+	for i := range parts {
+		total.nTri += parts[i].nTri
+		total.vTri += parts[i].vTri
+		total.cTri += parts[i].cTri
+		total.nW += parts[i].nW
+		total.vW += parts[i].vW
+		total.cW += parts[i].cW
+		total.covTW += parts[i].covTW
+	}
+	return Estimates{
+		Triangles:        total.nTri / 3,
+		Wedges:           total.nW / 2,
+		VarTriangles:     total.vTri/3 + total.cTri,
+		VarWedges:        total.vW/2 + total.cW,
+		CovTriangleWedge: total.covTW,
+		SampledEdges:     n,
+		Arrivals:         s.arrivals,
+	}
+}
+
+// edgeTotals is the per-edge outcome of the Algorithm 2 inner loops.
+// Counts and variances are still unnormalized: every triangle is enumerated
+// at each of its 3 edges and every wedge at each of its 2 edges; the caller
+// applies the 1/3 and 1/2 factors. Covariance sums need no normalization
+// because a pair of distinct triangles (or wedges) shares at most one edge,
+// so each pair is enumerated at exactly one reservoir edge.
+type edgeTotals struct {
+	nTri, vTri, cTri float64 // N̂_k(△), V̂_k(△), Ĉ_k(△)
+	nW, vW, cW       float64 // N̂_k(Λ), V̂_k(Λ), Ĉ_k(Λ)
+	covTW            float64 // edge k's share of V̂(△,Λ), Eq. 12
+}
+
+// partial is one worker's accumulator; padded so adjacent workers' partials
+// do not share a cache line.
+type partial struct {
+	nTri, vTri, cTri float64
+	nW, vW, cW       float64
+	covTW            float64
+	_                [1]float64
+}
+
+func (p *partial) add(t edgeTotals) {
+	p.nTri += t.nTri
+	p.vTri += t.vTri
+	p.cTri += t.cTri
+	p.nW += t.nW
+	p.vW += t.vW
+	p.cW += t.cW
+	p.covTW += t.covTW
+}
+
+// estimateEdge runs Algorithm 2 lines 3-30 for a single sampled edge k and
+// hands the per-edge totals to sink.
+//
+// Per-edge quantities, with q = q(k) and q1/q2 the probabilities of the
+// other edges of each enumerated triangle (k1,k2,k) or wedge (k1,k):
+//
+//	N̂_k(△)  = Σ_τ∋k (q·q1·q2)⁻¹
+//	V̂_k(△)  = Σ_τ∋k (q·q1·q2)⁻¹((q·q1·q2)⁻¹−1)
+//	Ĉ_k(△)  = 2·q⁻¹(q⁻¹−1)·Σ_{τ<τ'∋k} (q1q2)⁻¹(q1'q2')⁻¹
+//
+// and analogously for wedges. For the triangle–wedge covariance (Eq. 12)
+// the pair sum over {(τ,λ) : τ∩λ≠∅} factorizes per edge:
+//
+//	A_k = Σ_{τ∋k} Ŝ_{τ∖k},  B_k = Σ_{λ∋k} Ŝ_{λ∖k}
+//	pairs sharing exactly k: q⁻¹(q⁻¹−1)·(A_k·B_k − D_k), where
+//	D_k = Σ_{τ∋k} Ŝ_{τ∖k}(1/q1 + 1/q2) removes the wedge⊂triangle pairs,
+//	which instead contribute Ŝ_τ(Ŝ_λ−1); each such pair is added once, at
+//	the triangle edge opposite the wedge.
+func (s *Sampler) estimateEdge(k graph.Edge, sink func(edgeTotals)) {
+	var t edgeTotals
+	q := 1.0
+	if ent := s.res.entry(k); ent != nil {
+		q = s.probForWeight(ent.Weight)
+	}
+	invQ := 1 / q
+
+	// Iterate the smaller endpoint's sampled neighborhood for triangle
+	// detection (§3.2 S4); wedges centered at both endpoints are
+	// enumerated in their respective loops.
+	v1, v2 := k.U, k.V
+	if s.res.Degree(v1) > s.res.Degree(v2) {
+		v1, v2 = v2, v1
+	}
+
+	var cTriPairs float64 // Σ_{i<j} over triangles at k (running, Algorithm 2 line 15)
+	var cWPairs float64   // Σ_{i<j} over wedges at k (lines 20, 28)
+	var aK, bK, dK float64
+	var subWedge float64
+
+	s.res.Neighbors(v1, func(v3 graph.NodeID) bool {
+		if v3 == v2 {
+			return true // k itself is not a wedge partner
+		}
+		q1 := s.mustProb(v1, v3)
+		// Triangle (k1,k2,k) when v3 also neighbors v2.
+		if e2 := s.res.entry(graph.NewEdge(v2, v3)); e2 != nil {
+			q2 := s.probForWeight(e2.Weight)
+			inv12 := 1 / (q1 * q2)
+			invAll := invQ * inv12
+			t.nTri += invAll
+			t.vTri += invAll * (invAll - 1)
+			t.cTri += cTriPairs * inv12
+			cTriPairs += inv12
+			aK += inv12
+			dK += inv12 * (1/q1 + 1/q2)
+			subWedge += invAll * (inv12 - 1)
+		}
+		// Wedge (v3,v1,v2) centered at v1.
+		invW := invQ / q1
+		t.nW += invW
+		t.vW += invW * (invW - 1)
+		t.cW += cWPairs / q1
+		cWPairs += 1 / q1
+		bK += 1 / q1
+		return true
+	})
+	s.res.Neighbors(v2, func(v3 graph.NodeID) bool {
+		if v3 == v1 {
+			return true
+		}
+		q2 := s.mustProb(v2, v3)
+		invW := invQ / q2
+		t.nW += invW
+		t.vW += invW * (invW - 1)
+		t.cW += cWPairs / q2
+		cWPairs += 1 / q2
+		bK += 1 / q2
+		return true
+	})
+
+	// Scale the pair sums into Ĉ_k (Algorithm 2 lines 29-30).
+	scale := 2 * invQ * (invQ - 1)
+	t.cTri *= scale
+	t.cW *= scale
+	// Triangle–wedge covariance share of edge k (Eq. 12; see doc comment).
+	t.covTW = invQ*(invQ-1)*(aK*bK-dK) + subWedge
+	sink(t)
+}
+
+// mustProb returns the inclusion probability of the sampled edge {a,b}.
+// Both loops above only present pairs that are edges of the reservoir
+// adjacency, so a missing heap entry means the reservoir invariants are
+// broken and panicking early is the right failure mode.
+func (s *Sampler) mustProb(a, b graph.NodeID) float64 {
+	ent := s.res.entry(graph.NewEdge(a, b))
+	if ent == nil {
+		panic("core: adjacency lists edge " + graph.NewEdge(a, b).String() + " missing from heap")
+	}
+	return s.probForWeight(ent.Weight)
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"gps/internal/graph"
+	"gps/internal/order"
+)
+
+// Reservoir is the sampled subgraph K̂: the priority heap of retained edges
+// plus a dynamic adjacency index over their endpoints. Weight functions and
+// estimators query it for the topology of the sampled graph (Γ̂(v),
+// |Γ̂(v1)∩Γ̂(v2)|, stored edge weights); only the Sampler mutates it.
+type Reservoir struct {
+	heap *order.Heap
+	adj  *graph.Adjacency
+}
+
+func newReservoir(capacity int) *Reservoir {
+	return &Reservoir{
+		heap: order.NewHeap(capacity),
+		adj:  graph.NewAdjacency(),
+	}
+}
+
+// Len returns the number of sampled edges |K̂|.
+func (r *Reservoir) Len() int { return r.heap.Len() }
+
+// NumNodes returns the number of distinct endpoints |V̂| of sampled edges.
+func (r *Reservoir) NumNodes() int { return r.adj.NumNodes() }
+
+// Contains reports whether edge e is currently sampled.
+func (r *Reservoir) Contains(e graph.Edge) bool { return r.heap.Contains(e.Key()) }
+
+// Weight returns the sampling weight w(k) stored for edge e at its arrival,
+// with ok=false when e is not sampled.
+func (r *Reservoir) Weight(e graph.Edge) (w float64, ok bool) {
+	ent := r.heap.Get(e.Key())
+	if ent == nil {
+		return 0, false
+	}
+	return ent.Weight, true
+}
+
+// Degree returns deg_K̂(v), the degree of v in the sampled subgraph.
+func (r *Reservoir) Degree(v graph.NodeID) int { return r.adj.Degree(v) }
+
+// Neighbors calls fn for each sampled neighbor of v until fn returns false.
+func (r *Reservoir) Neighbors(v graph.NodeID, fn func(graph.NodeID) bool) {
+	r.adj.Neighbors(v, fn)
+}
+
+// CommonNeighbors calls fn for each node adjacent to both u and v in the
+// sampled subgraph, iterating the smaller neighborhood.
+func (r *Reservoir) CommonNeighbors(u, v graph.NodeID, fn func(graph.NodeID) bool) {
+	r.adj.CommonNeighbors(u, v, fn)
+}
+
+// CountCommonNeighbors returns |Γ̂(u) ∩ Γ̂(v)|: the number of triangles the
+// edge {u,v} completes (or would complete) in the sampled subgraph. This is
+// the quantity the paper's triangle-focused weight function is built from.
+func (r *Reservoir) CountCommonNeighbors(u, v graph.NodeID) int {
+	return r.adj.CountCommonNeighbors(u, v)
+}
+
+// ForEachEdge calls fn for each sampled edge until fn returns false.
+func (r *Reservoir) ForEachEdge(fn func(graph.Edge) bool) {
+	r.adj.ForEachEdge(fn)
+}
+
+// Edges returns a snapshot slice of the sampled edges in unspecified order.
+func (r *Reservoir) Edges() []graph.Edge {
+	out := make([]graph.Edge, 0, r.Len())
+	for i := 0; i < r.heap.Len(); i++ {
+		out = append(out, r.heap.At(i).Edge)
+	}
+	return out
+}
+
+// entry returns the heap record of edge e, or nil when not sampled. The
+// pointer is invalidated by the next insert/evict.
+func (r *Reservoir) entry(e graph.Edge) *order.Entry { return r.heap.Get(e.Key()) }
+
+func (r *Reservoir) insert(ent order.Entry) {
+	r.heap.Push(ent)
+	r.adj.Add(ent.Edge)
+}
+
+func (r *Reservoir) evictMin() order.Entry {
+	ent := r.heap.PopMin()
+	r.adj.Remove(ent.Edge)
+	return ent
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gps/internal/graph"
+	"gps/internal/order"
+	"gps/internal/randx"
+)
+
+// Config parameterizes a GPS sampler.
+type Config struct {
+	// Capacity is the reservoir size m (must be >= 1). GPS keeps the m
+	// highest-priority edges seen so far.
+	Capacity int
+	// Weight is the sampling weight function W(k,K̂); nil means
+	// UniformWeight (plain reservoir sampling).
+	Weight WeightFunc
+	// Seed makes the whole sampling run a deterministic function of the
+	// stream order.
+	Seed uint64
+}
+
+// Sampler implements Algorithm 1, GPS(m): graph priority sampling of an
+// edge stream into a fixed-size reservoir.
+//
+// For each arriving edge k the sampler draws u(k) ~ Uniform(0,1], computes
+// w(k) = W(k,K̂) against the current reservoir, assigns priority
+// r(k) = w(k)/u(k), provisionally admits k, and, if the reservoir overflows
+// its capacity m, evicts the minimum-priority edge k* and raises the
+// threshold z* = max{z*, r(k*)}. At any time, the Horvitz-Thompson inclusion
+// probability of a sampled edge is q(k) = min{1, w(k)/z*} (GPSNormalize).
+//
+// Sampler is not safe for concurrent use.
+type Sampler struct {
+	capacity   int
+	weight     WeightFunc
+	rng        *randx.RNG
+	res        *Reservoir
+	zstar      float64
+	arrivals   uint64
+	duplicates uint64
+}
+
+// NewSampler returns a Sampler for the given configuration.
+func NewSampler(cfg Config) (*Sampler, error) {
+	if cfg.Capacity < 1 {
+		return nil, errors.New("core: Capacity must be at least 1")
+	}
+	w := cfg.Weight
+	if w == nil {
+		w = UniformWeight
+	}
+	return &Sampler{
+		capacity: cfg.Capacity,
+		weight:   w,
+		rng:      randx.New(cfg.Seed),
+		res:      newReservoir(cfg.Capacity),
+	}, nil
+}
+
+// Process handles one edge arrival (procedure GPSUpdate of Algorithm 1) and
+// reports whether the edge is in the reservoir afterwards. Re-arrivals of an
+// already-sampled edge are counted and ignored: the paper's stream model
+// assumes unique edges (§3.1), so duplicates indicate the stream was not
+// simplified upstream.
+func (s *Sampler) Process(e graph.Edge) bool {
+	if s.res.Contains(e) {
+		s.duplicates++
+		return true
+	}
+	s.arrivals++
+	u := s.rng.Uniform01()
+	w := s.weight(e, s.res)
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		panic(fmt.Sprintf("core: weight function returned invalid weight %v for edge %v", w, e))
+	}
+	r := w / u
+
+	// Provisional inclusion, then evict the minimum of the m+1 candidates.
+	s.res.insert(order.Entry{Edge: e, Weight: w, Priority: r})
+	if s.res.Len() > s.capacity {
+		min := s.res.evictMin()
+		if min.Priority > s.zstar {
+			s.zstar = min.Priority
+		}
+		if min.Edge == e {
+			return false
+		}
+	}
+	return true
+}
+
+// Threshold returns z*, the largest priority ever evicted (the (m+1)-st
+// highest priority seen). It is 0 until the reservoir first overflows, in
+// which case every sampled edge has inclusion probability 1.
+func (s *Sampler) Threshold() float64 { return s.zstar }
+
+// Arrivals returns the number of distinct edges processed (the stream time t).
+func (s *Sampler) Arrivals() uint64 { return s.arrivals }
+
+// Duplicates returns the number of ignored duplicate arrivals.
+func (s *Sampler) Duplicates() uint64 { return s.duplicates }
+
+// Capacity returns the reservoir capacity m.
+func (s *Sampler) Capacity() int { return s.capacity }
+
+// Reservoir exposes the sampled subgraph for estimation and for weight
+// functions. Callers must not retain entry pointers across Process calls.
+func (s *Sampler) Reservoir() *Reservoir { return s.res }
+
+// probForWeight returns q = min{1, w/z*}, the conditional inclusion
+// probability of an edge with stored weight w given the current threshold
+// (GPSNormalize, Algorithm 1 lines 15-17). With z* = 0 no edge has ever
+// been evicted and every sampled edge has probability 1.
+func (s *Sampler) probForWeight(w float64) float64 {
+	if s.zstar <= 0 || w >= s.zstar {
+		return 1
+	}
+	return w / s.zstar
+}
+
+// InclusionProb returns the Horvitz-Thompson inclusion probability
+// q(e) = min{1, w(e)/z*} of a sampled edge, with ok=false when e is not in
+// the reservoir (its estimator value is implicitly zero).
+func (s *Sampler) InclusionProb(e graph.Edge) (q float64, ok bool) {
+	w, ok := s.res.Weight(e)
+	if !ok {
+		return 0, false
+	}
+	return s.probForWeight(w), true
+}

@@ -1,0 +1,104 @@
+package core
+
+import "gps/internal/graph"
+
+// SubgraphEstimate returns the Horvitz-Thompson estimate Ŝ_J of the subset
+// indicator S_J for the subgraph with the given edge set J (Theorem 2):
+// the product of 1/q(k) over k ∈ J when every edge of J is currently
+// sampled, and 0 otherwise. Duplicate edges in the argument are ignored —
+// J is a set.
+//
+// Summing SubgraphEstimate over a family of subgraphs yields an unbiased
+// estimate of how many members of the family have fully arrived; this is the
+// general-purpose "retrospective query" interface of the paper, of which
+// triangle and wedge counting are special cases.
+func (s *Sampler) SubgraphEstimate(edges ...graph.Edge) float64 {
+	prod := 1.0
+	for i, e := range edges {
+		if containsBefore(edges, i, e) {
+			continue
+		}
+		q, ok := s.InclusionProb(e)
+		if !ok {
+			return 0
+		}
+		prod /= q
+	}
+	return prod
+}
+
+// SubgraphVariance returns the unbiased variance estimator
+// Ŝ_J(Ŝ_J − 1) of Var(Ŝ_J) (Theorem 3(iii)).
+func (s *Sampler) SubgraphVariance(edges ...graph.Edge) float64 {
+	sj := s.SubgraphEstimate(edges...)
+	return sj * (sj - 1)
+}
+
+// SubgraphCovariance returns the unbiased covariance estimator of
+// Cov(Ŝ_J1, Ŝ_J2) from Eq. 7 / Theorem 3:
+//
+//	Ĉ_{J1,J2} = Ŝ_{J1∪J2}·(Ŝ_{J1∩J2} − 1)
+//
+// It is zero whenever the subgraphs are edge-disjoint or either estimate is
+// zero, and non-negative otherwise (Theorem 3(ii): GPS edge estimators are
+// non-negatively correlated).
+func (s *Sampler) SubgraphCovariance(j1, j2 []graph.Edge) float64 {
+	inter := intersectEdges(j1, j2)
+	if len(inter) == 0 {
+		return 0
+	}
+	union := unionEdges(j1, j2)
+	su := s.SubgraphEstimate(union...)
+	if su == 0 {
+		return 0
+	}
+	si := s.SubgraphEstimate(inter...)
+	return su * (si - 1)
+}
+
+func containsBefore(edges []graph.Edge, i int, e graph.Edge) bool {
+	for _, prev := range edges[:i] {
+		if prev == e {
+			return true
+		}
+	}
+	return false
+}
+
+func intersectEdges(a, b []graph.Edge) []graph.Edge {
+	var out []graph.Edge
+	for i, e := range a {
+		if containsBefore(a, i, e) {
+			continue
+		}
+		for _, f := range b {
+			if e == f {
+				out = append(out, e)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func unionEdges(a, b []graph.Edge) []graph.Edge {
+	out := make([]graph.Edge, 0, len(a)+len(b))
+	for i, e := range a {
+		if !containsBefore(a, i, e) {
+			out = append(out, e)
+		}
+	}
+	for _, f := range b {
+		dup := false
+		for _, e := range out {
+			if e == f {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, f)
+		}
+	}
+	return out
+}

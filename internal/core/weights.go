@@ -1,0 +1,83 @@
+package core
+
+import "gps/internal/graph"
+
+// WeightFunc computes the sampling weight W(k, K̂) of an arriving edge k
+// given the current reservoir topology (§3.2). Weights must be strictly
+// positive and finite: the edge priority is r(k) = W(k,K̂)/u(k) with
+// u(k) ∈ (0,1], so a zero weight would give an edge no chance of retention
+// and break the Horvitz-Thompson normalization.
+//
+// The paper's variance-minimization analysis (§3.5) shows that to minimize
+// the incremental estimation variance for a target subgraph class J, the
+// weight of an arriving edge should be proportional to the number of
+// members of J the edge completes in the candidate set, plus a default so
+// that edges not (yet) participating in J remain sampleable.
+type WeightFunc func(e graph.Edge, r *Reservoir) float64
+
+// UniformWeight assigns every edge weight 1, which reduces GPS to standard
+// uniform reservoir sampling (§3.2: "if we set W(k,K̂)=1 for every k,
+// Algorithm 1 leads to uniform sampling").
+func UniformWeight(graph.Edge, *Reservoir) float64 { return 1 }
+
+// TriangleWeight is the paper's weight for triangle-focused sampling (§4):
+// W(k,K̂) = 9·|△̂(k)| + 1, where |△̂(k)| is the number of triangles edge k
+// completes in the sampled graph. The constant 9 scales the
+// variance-minimizing count term against the default weight 1 that keeps
+// triangle-free edges sampleable.
+func TriangleWeight(e graph.Edge, r *Reservoir) float64 {
+	return 9*float64(r.CountCommonNeighbors(e.U, e.V)) + 1
+}
+
+// NewTriangleWeight generalizes TriangleWeight with configurable coefficient
+// and default: W(k,K̂) = coef·|△̂(k)| + base. It panics if base <= 0 (every
+// edge needs positive weight) or coef < 0.
+func NewTriangleWeight(coef, base float64) WeightFunc {
+	if base <= 0 || coef < 0 {
+		panic("core: NewTriangleWeight requires base > 0 and coef >= 0")
+	}
+	return func(e graph.Edge, r *Reservoir) float64 {
+		return coef*float64(r.CountCommonNeighbors(e.U, e.V)) + base
+	}
+}
+
+// AdjacencyWeight weights an edge by the number of sampled edges adjacent to
+// it plus 1 — the wedge-oriented choice from §3.2 ("the number of edges in
+// the currently sampled graph that are adjacent to an arriving edge"). It
+// biases the sample toward high-degree regions, which helps wedge-dominated
+// statistics.
+func AdjacencyWeight(e graph.Edge, r *Reservoir) float64 {
+	return float64(r.Degree(e.U)+r.Degree(e.V)) + 1
+}
+
+// NewAdjacencyWeight generalizes AdjacencyWeight:
+// W(k,K̂) = coef·(deg(u)+deg(v)) + base.
+func NewAdjacencyWeight(coef, base float64) WeightFunc {
+	if base <= 0 || coef < 0 {
+		panic("core: NewAdjacencyWeight requires base > 0 and coef >= 0")
+	}
+	return func(e graph.Edge, r *Reservoir) float64 {
+		return coef*float64(r.Degree(e.U)+r.Degree(e.V)) + base
+	}
+}
+
+// CombineWeights returns the positively-weighted sum of several weight
+// functions, for sampling objectives that target several subgraph classes at
+// once (§3.5 suggests mixing count terms for different motifs).
+func CombineWeights(coefs []float64, fns []WeightFunc) WeightFunc {
+	if len(coefs) != len(fns) || len(fns) == 0 {
+		panic("core: CombineWeights requires matching non-empty coefficients and functions")
+	}
+	for _, c := range coefs {
+		if c < 0 {
+			panic("core: CombineWeights requires non-negative coefficients")
+		}
+	}
+	return func(e graph.Edge, r *Reservoir) float64 {
+		total := 0.0
+		for i, fn := range fns {
+			total += coefs[i] * fn(e, r)
+		}
+		return total
+	}
+}

@@ -1,0 +1,309 @@
+// Package datasets maps every graph named in the paper's evaluation
+// (Tables 1-3, Figures 1-3) to a deterministic synthetic stand-in.
+//
+// The paper uses real graphs from networkrepository.com with up to 265M
+// edges; those are unavailable offline, so each is replaced by a generator
+// configured to the same *type profile* — degree skew and clustering level —
+// scaled to laptop size so that exact ground truth is cheap. The experiment
+// harness reports the same quantities the paper reports against these
+// stand-ins; DESIGN.md §4 records the substitution rationale.
+//
+// Every dataset is a pure function of its name and profile: repeated calls
+// return identical edge lists, so experiments are reproducible end to end.
+package datasets
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"gps/internal/exact"
+	"gps/internal/gen"
+	"gps/internal/graph"
+)
+
+// Profile selects the dataset scale.
+type Profile int
+
+const (
+	// Small is the test/benchmark scale (roughly 50K-250K edges per
+	// graph): large enough for the estimators' asymptotics to show,
+	// small enough that every table regenerates in seconds.
+	Small Profile = iota
+	// Full is the CLI scale (roughly 8× Small) for slower, closer-to-
+	// paper runs via cmd/gps-bench -profile full.
+	Full
+)
+
+// String implements fmt.Stringer.
+func (p Profile) String() string {
+	if p == Full {
+		return "full"
+	}
+	return "small"
+}
+
+// Dataset is a named synthetic stand-in for one of the paper's graphs.
+type Dataset struct {
+	// Name matches the graph name used in the paper's tables.
+	Name string
+	// Kind is the domain type (social, web, tech, collaboration, ...).
+	Kind string
+	// Notes documents the generator standing in for the real graph.
+	Notes string
+
+	build func(p Profile) []graph.Edge
+}
+
+// Edges generates the dataset's edge list for the given profile.
+func (d Dataset) Edges(p Profile) []graph.Edge { return d.build(p) }
+
+// scaled returns n for Small and 8n for Full.
+func scaled(p Profile, n int) int {
+	if p == Full {
+		return 8 * n
+	}
+	return n
+}
+
+// rmatScale returns s for Small and s+3 for Full (8× nodes).
+func rmatScale(p Profile, s int) int {
+	if p == Full {
+		return s + 3
+	}
+	return s
+}
+
+var registry = map[string]Dataset{}
+
+func register(d Dataset) {
+	if _, dup := registry[d.Name]; dup {
+		panic("datasets: duplicate name " + d.Name)
+	}
+	registry[d.Name] = d
+}
+
+func init() {
+	// Collaboration: very high clustering with heavy-tailed degrees.
+	register(Dataset{
+		Name: "ca-hollywood-2009", Kind: "collaboration",
+		Notes: "Holme-Kim n=12K k=10 p=0.9 (dense actor collaboration: heavy tail + very high clustering)",
+		build: func(p Profile) []graph.Edge {
+			return gen.HolmeKim(scaled(p, 12000), 10, 0.9, 0x51)
+		},
+	})
+	// Co-purchase: near-constant low degree, high clustering.
+	register(Dataset{
+		Name: "com-amazon", Kind: "co-purchase",
+		Notes: "Watts-Strogatz n=30K k=6 beta=0.05 (lattice-like co-purchase: high clustering, narrow degrees)",
+		build: func(p Profile) []graph.Edge {
+			return gen.WattsStrogatz(scaled(p, 30000), 6, 0.05, 0xa1)
+		},
+	})
+	// Social media: heavy-tailed, moderate clustering.
+	register(Dataset{
+		Name: "higgs-social-network", Kind: "social-media",
+		Notes: "R-MAT scale=14 ef=8 a=0.57 (Twitter-interaction-like skew)",
+		build: func(p Profile) []graph.Edge {
+			return gen.RMAT(rmatScale(p, 14), 8, 0.57, 0.19, 0.19, 0xb1)
+		},
+	})
+	register(Dataset{
+		Name: "soc-flickr", Kind: "social-media",
+		Notes: "R-MAT scale=14 ef=7 a=0.57",
+		build: func(p Profile) []graph.Edge {
+			return gen.RMAT(rmatScale(p, 14), 7, 0.57, 0.19, 0.19, 0xb2)
+		},
+	})
+	register(Dataset{
+		Name: "soc-livejournal", Kind: "social",
+		Notes: "R-MAT scale=14 ef=9 a=0.55",
+		build: func(p Profile) []graph.Edge {
+			return gen.RMAT(rmatScale(p, 14), 9, 0.55, 0.19, 0.19, 0xb3)
+		},
+	})
+	register(Dataset{
+		Name: "soc-orkut", Kind: "social",
+		Notes: "R-MAT scale=14 ef=12 a=0.55 (denser social graph)",
+		build: func(p Profile) []graph.Edge {
+			return gen.RMAT(rmatScale(p, 14), 12, 0.55, 0.19, 0.19, 0xb4)
+		},
+	})
+	register(Dataset{
+		Name: "soc-twitter-2010", Kind: "social-media",
+		Notes: "R-MAT scale=15 ef=8 a=0.6 (largest stand-in; strongest skew)",
+		build: func(p Profile) []graph.Edge {
+			return gen.RMAT(rmatScale(p, 15), 8, 0.60, 0.19, 0.19, 0xb5)
+		},
+	})
+	register(Dataset{
+		Name: "soc-youtube-snap", Kind: "social-media",
+		Notes: "R-MAT scale=14 ef=5 a=0.57",
+		build: func(p Profile) []graph.Edge {
+			return gen.RMAT(rmatScale(p, 14), 5, 0.57, 0.19, 0.19, 0xb6)
+		},
+	})
+	// Facebook friendship networks: heavy tail with high clustering.
+	register(Dataset{
+		Name: "socfb-Penn94", Kind: "facebook",
+		Notes: "Holme-Kim n=8K k=12 p=0.5",
+		build: func(p Profile) []graph.Edge {
+			return gen.HolmeKim(scaled(p, 8000), 12, 0.5, 0xc1)
+		},
+	})
+	register(Dataset{
+		Name: "socfb-Texas84", Kind: "facebook",
+		Notes: "Holme-Kim n=9K k=12 p=0.4",
+		build: func(p Profile) []graph.Edge {
+			return gen.HolmeKim(scaled(p, 9000), 12, 0.4, 0xc2)
+		},
+	})
+	register(Dataset{
+		Name: "socfb-Indiana69", Kind: "facebook",
+		Notes: "Holme-Kim n=9K k=11 p=0.5",
+		build: func(p Profile) []graph.Edge {
+			return gen.HolmeKim(scaled(p, 9000), 11, 0.5, 0xc3)
+		},
+	})
+	register(Dataset{
+		Name: "socfb-UF21", Kind: "facebook",
+		Notes: "Holme-Kim n=10K k=10 p=0.45",
+		build: func(p Profile) []graph.Edge {
+			return gen.HolmeKim(scaled(p, 10000), 10, 0.45, 0xc4)
+		},
+	})
+	// Technological: strong skew, low-moderate clustering.
+	register(Dataset{
+		Name: "tech-as-skitter", Kind: "technological",
+		Notes: "R-MAT scale=14 ef=7 a=0.65 (AS-topology-like strong skew)",
+		build: func(p Profile) []graph.Edge {
+			return gen.RMAT(rmatScale(p, 14), 7, 0.65, 0.15, 0.15, 0xd1)
+		},
+	})
+	// Web: skew plus high local clustering.
+	register(Dataset{
+		Name: "web-google", Kind: "web",
+		Notes: "Holme-Kim n=15K k=6 p=0.7 (web host graph: clustered, heavy tail)",
+		build: func(p Profile) []graph.Edge {
+			return gen.HolmeKim(scaled(p, 15000), 6, 0.7, 0xe1)
+		},
+	})
+	register(Dataset{
+		Name: "web-BerkStan", Kind: "web",
+		Notes: "Holme-Kim n=14K k=7 p=0.8",
+		build: func(p Profile) []graph.Edge {
+			return gen.HolmeKim(scaled(p, 14000), 7, 0.8, 0xe2)
+		},
+	})
+	// Citation: heavy tail, low clustering.
+	register(Dataset{
+		Name: "cit-Patents", Kind: "citation",
+		Notes: "Barabasi-Albert n=25K k=5 (preferential attachment without triad closure)",
+		build: func(p Profile) []graph.Edge {
+			return gen.BarabasiAlbert(scaled(p, 25000), 5, 0xf1)
+		},
+	})
+	// Road: near-planar, degree ≈ 2-3, almost no triangles.
+	register(Dataset{
+		Name: "infra-roadNet-CA", Kind: "road",
+		Notes: "perturbed grid 260x260 keep=0.75 diag=0.03 (near-planar, triangle-poor)",
+		build: func(p Profile) []graph.Edge {
+			side := 260
+			if p == Full {
+				side = 740 // ≈8× nodes
+			}
+			return gen.RoadGrid(side, side, 0.75, 0.03, 0xf2)
+		},
+	})
+}
+
+// Get returns the dataset registered under name.
+func Get(name string) (Dataset, error) {
+	d, ok := registry[name]
+	if !ok {
+		return Dataset{}, fmt.Errorf("datasets: unknown dataset %q", name)
+	}
+	return d, nil
+}
+
+// Names returns all registered dataset names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Table1 lists the 11 graphs of the paper's Table 1.
+func Table1() []string {
+	return []string{
+		"ca-hollywood-2009", "com-amazon", "higgs-social-network",
+		"soc-livejournal", "soc-orkut", "soc-twitter-2010",
+		"soc-youtube-snap", "socfb-Penn94", "socfb-Texas84",
+		"tech-as-skitter", "web-google",
+	}
+}
+
+// Figure1 lists the 12 graphs of the paper's Figure 1 scatter.
+func Figure1() []string {
+	return []string{
+		"ca-hollywood-2009", "com-amazon", "higgs-social-network",
+		"soc-flickr", "soc-youtube-snap", "socfb-Indiana69",
+		"socfb-Penn94", "socfb-Texas84", "socfb-UF21",
+		"tech-as-skitter", "web-BerkStan", "web-google",
+	}
+}
+
+// Figure2 lists the 12 graphs of the paper's Figure 2 convergence panels.
+func Figure2() []string {
+	return []string{
+		"socfb-Texas84", "socfb-Penn94", "soc-twitter-2010",
+		"soc-youtube-snap", "soc-orkut", "soc-livejournal",
+		"higgs-social-network", "cit-Patents", "web-BerkStan",
+		"com-amazon", "tech-as-skitter", "web-google",
+	}
+}
+
+// Table2 lists the graphs of the paper's baseline comparison (Table 2).
+func Table2() []string {
+	return []string{"cit-Patents", "higgs-social-network", "infra-roadNet-CA"}
+}
+
+// Table3 lists the graphs of the paper's tracking comparison (Table 3).
+func Table3() []string {
+	return []string{
+		"ca-hollywood-2009", "tech-as-skitter",
+		"infra-roadNet-CA", "soc-youtube-snap",
+	}
+}
+
+// Figure3 lists the graphs of the paper's real-time tracking plots.
+func Figure3() []string {
+	return []string{"soc-orkut", "tech-as-skitter"}
+}
+
+// GroundTruth holds the exact statistics of a dataset at a profile.
+type GroundTruth struct {
+	Counts exact.Counts
+}
+
+var truthCache sync.Map // map[string]exact.Counts keyed by name/profile
+
+// Truth returns (and caches) the exact counts of the dataset. Generating
+// ground truth is the most expensive part of the harness; the cache makes
+// repeated experiments over the same dataset cheap within one process.
+func Truth(name string, p Profile) (exact.Counts, error) {
+	key := name + "/" + p.String()
+	if v, ok := truthCache.Load(key); ok {
+		return v.(exact.Counts), nil
+	}
+	d, err := Get(name)
+	if err != nil {
+		return exact.Counts{}, err
+	}
+	c := exact.Count(graph.BuildStatic(d.Edges(p)))
+	truthCache.Store(key, c)
+	return c, nil
+}

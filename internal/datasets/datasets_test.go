@@ -1,0 +1,122 @@
+package datasets
+
+import "testing"
+
+func TestRegistryComplete(t *testing.T) {
+	lists := [][]string{Table1(), Figure1(), Figure2(), Table2(), Table3(), Figure3()}
+	for _, list := range lists {
+		for _, name := range list {
+			if _, err := Get(name); err != nil {
+				t.Errorf("experiment references unregistered dataset %q", name)
+			}
+		}
+	}
+	if len(Table1()) != 11 {
+		t.Errorf("Table1 has %d graphs, want 11", len(Table1()))
+	}
+	if len(Figure1()) != 12 || len(Figure2()) != 12 {
+		t.Errorf("Figure lists sized %d/%d, want 12/12", len(Figure1()), len(Figure2()))
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("no-such-graph"); err == nil {
+		t.Fatal("unknown dataset did not error")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != len(registry) {
+		t.Fatalf("Names() returned %d, registry has %d", len(names), len(registry))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted at %d", i)
+		}
+	}
+}
+
+func TestDatasetsDeterministicAndSimple(t *testing.T) {
+	// Exercise a representative subset at Small scale.
+	for _, name := range []string{"com-amazon", "cit-Patents", "infra-roadNet-CA", "soc-youtube-snap"} {
+		d, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := d.Edges(Small)
+		b := d.Edges(Small)
+		if len(a) == 0 {
+			t.Fatalf("%s: empty dataset", name)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: nondeterministic size", name)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: nondeterministic at edge %d", name, i)
+			}
+		}
+		seen := map[uint64]bool{}
+		for _, e := range a {
+			if e.U == e.V || !e.Canonical() || seen[e.Key()] {
+				t.Fatalf("%s: invalid edge %v", name, e)
+			}
+			seen[e.Key()] = true
+		}
+	}
+}
+
+func TestSmallProfileSizes(t *testing.T) {
+	// Small-profile datasets must stay in the tens-to-hundreds-of-
+	// thousands of edges band: big enough to be meaningful, small enough
+	// for bench-time ground truth.
+	for _, name := range Names() {
+		d, _ := Get(name)
+		m := len(d.Edges(Small))
+		if m < 30000 || m > 400000 {
+			t.Errorf("%s: Small profile has %d edges, outside [30K,400K]", name, m)
+		}
+	}
+}
+
+func TestTruthCachedAndSane(t *testing.T) {
+	c1, err := Truth("com-amazon", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Truth("com-amazon", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("cached truth differs")
+	}
+	if c1.Triangles <= 0 || c1.Wedges <= 0 {
+		t.Fatalf("com-amazon truth implausible: %+v", c1)
+	}
+	cc := c1.GlobalClustering()
+	if cc < 0.2 { // Watts-Strogatz at beta=0.05 is strongly clustered
+		t.Fatalf("com-amazon clustering %v too low", cc)
+	}
+	if _, err := Truth("nope", Small); err == nil {
+		t.Fatal("unknown dataset truth did not error")
+	}
+}
+
+func TestKindProfilesDiffer(t *testing.T) {
+	// The road network must be triangle-poor relative to the clustered
+	// graphs — that contrast is what Table 2/3 exercise.
+	road, err := Truth("infra-roadNet-CA", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := Truth("socfb-Penn94", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if road.GlobalClustering() >= fb.GlobalClustering() {
+		t.Fatalf("road clustering %v not below facebook %v",
+			road.GlobalClustering(), fb.GlobalClustering())
+	}
+}

@@ -1,0 +1,200 @@
+package exact
+
+import (
+	"testing"
+
+	"gps/internal/graph"
+	"gps/internal/randx"
+)
+
+// naiveTriangles counts triangles by per-edge common-neighbor enumeration
+// over a hash adjacency; each triangle is seen three times.
+func naiveTriangles(edges []graph.Edge) int64 {
+	adj := graph.NewAdjacency()
+	for _, e := range edges {
+		adj.Add(e)
+	}
+	var three int64
+	for _, e := range edges {
+		three += int64(adj.CountCommonNeighbors(e.U, e.V))
+	}
+	return three / 3
+}
+
+func clique(n int) []graph.Edge {
+	var es []graph.Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			es = append(es, graph.NewEdge(graph.NodeID(i), graph.NodeID(j)))
+		}
+	}
+	return es
+}
+
+func choose3(n int64) int64 { return n * (n - 1) * (n - 2) / 6 }
+func choose2(n int64) int64 { return n * (n - 1) / 2 }
+
+func TestClique(t *testing.T) {
+	for _, n := range []int64{3, 4, 5, 10, 20} {
+		g := graph.BuildStatic(clique(int(n)))
+		if got := Triangles(g); got != choose3(n) {
+			t.Fatalf("K%d triangles = %d, want %d", n, got, choose3(n))
+		}
+		wantW := n * choose2(n-1)
+		if got := Wedges(g); got != wantW {
+			t.Fatalf("K%d wedges = %d, want %d", n, got, wantW)
+		}
+		c := Count(g)
+		if cc := c.GlobalClustering(); cc < 0.999 || cc > 1.001 {
+			t.Fatalf("K%d clustering = %v, want 1", n, cc)
+		}
+	}
+}
+
+func TestStar(t *testing.T) {
+	const leaves = 9
+	var es []graph.Edge
+	for i := 1; i <= leaves; i++ {
+		es = append(es, graph.NewEdge(0, graph.NodeID(i)))
+	}
+	g := graph.BuildStatic(es)
+	if got := Triangles(g); got != 0 {
+		t.Fatalf("star triangles = %d", got)
+	}
+	if got := Wedges(g); got != choose2(leaves) {
+		t.Fatalf("star wedges = %d, want %d", got, choose2(leaves))
+	}
+	if cc := Count(g).GlobalClustering(); cc != 0 {
+		t.Fatalf("star clustering = %v", cc)
+	}
+}
+
+func TestCycle(t *testing.T) {
+	const n = 12
+	var es []graph.Edge
+	for i := 0; i < n; i++ {
+		es = append(es, graph.NewEdge(graph.NodeID(i), graph.NodeID((i+1)%n)))
+	}
+	g := graph.BuildStatic(es)
+	if got := Triangles(g); got != 0 {
+		t.Fatalf("C%d triangles = %d", n, got)
+	}
+	if got := Wedges(g); got != n {
+		t.Fatalf("C%d wedges = %d, want %d", n, got, n)
+	}
+}
+
+func TestTriangleWithPendant(t *testing.T) {
+	es := []graph.Edge{
+		graph.NewEdge(0, 1), graph.NewEdge(1, 2), graph.NewEdge(0, 2),
+		graph.NewEdge(2, 3),
+	}
+	g := graph.BuildStatic(es)
+	if got := Triangles(g); got != 1 {
+		t.Fatalf("triangles = %d, want 1", got)
+	}
+	// Wedges: node2 has degree 3 → 3 wedges; nodes 0,1 degree 2 → 1 each.
+	if got := Wedges(g); got != 5 {
+		t.Fatalf("wedges = %d, want 5", got)
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	const a, b = 4, 6
+	var es []graph.Edge
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			es = append(es, graph.NewEdge(graph.NodeID(i), graph.NodeID(a+j)))
+		}
+	}
+	g := graph.BuildStatic(es)
+	if got := Triangles(g); got != 0 {
+		t.Fatalf("K%d,%d triangles = %d", a, b, got)
+	}
+	want := int64(a)*choose2(b) + int64(b)*choose2(a)
+	if got := Wedges(g); got != want {
+		t.Fatalf("K%d,%d wedges = %d, want %d", a, b, got, want)
+	}
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	if got := Triangles(graph.BuildStatic(nil)); got != 0 {
+		t.Fatalf("empty triangles = %d", got)
+	}
+	g := graph.BuildStatic([]graph.Edge{graph.NewEdge(0, 1)})
+	if Triangles(g) != 0 || Wedges(g) != 0 {
+		t.Fatal("single edge should have no triangles or wedges")
+	}
+}
+
+func TestAgainstNaiveRandom(t *testing.T) {
+	rng := randx.New(99)
+	for trial := 0; trial < 10; trial++ {
+		set := graph.NewEdgeSet(400)
+		const n = 60
+		for i := 0; i < 400; i++ {
+			a := graph.NodeID(rng.Intn(n))
+			b := graph.NodeID(rng.Intn(n))
+			if a != b {
+				set.Add(a, b)
+			}
+		}
+		edges := set.Edges()
+		g := graph.BuildStatic(edges)
+		want := naiveTriangles(edges)
+		if got := Triangles(g); got != want {
+			t.Fatalf("trial %d: forward=%d naive=%d", trial, got, want)
+		}
+	}
+}
+
+func TestTrianglesAt(t *testing.T) {
+	es := clique(5)
+	g := graph.BuildStatic(es)
+	for _, e := range es {
+		if got := TrianglesAt(g, e.U, e.V); got != 3 {
+			t.Fatalf("K5 TrianglesAt(%v) = %d, want 3", e, got)
+		}
+	}
+}
+
+func TestParallelConsistency(t *testing.T) {
+	// Larger random graph: result must be invariant across repeated runs
+	// (goroutine scheduling must not affect the sum).
+	rng := randx.New(7)
+	set := graph.NewEdgeSet(20000)
+	for set.Len() < 20000 {
+		a := graph.NodeID(rng.Intn(2000))
+		b := graph.NodeID(rng.Intn(2000))
+		if a != b {
+			set.Add(a, b)
+		}
+	}
+	g := graph.BuildStatic(set.Edges())
+	first := Triangles(g)
+	for i := 0; i < 3; i++ {
+		if got := Triangles(g); got != first {
+			t.Fatalf("run %d: %d != %d", i, got, first)
+		}
+	}
+	if want := naiveTriangles(set.Edges()); first != want {
+		t.Fatalf("parallel=%d naive=%d", first, want)
+	}
+}
+
+func BenchmarkTriangles20K(b *testing.B) {
+	rng := randx.New(7)
+	set := graph.NewEdgeSet(20000)
+	for set.Len() < 20000 {
+		a := graph.NodeID(rng.Intn(2000))
+		c := graph.NodeID(rng.Intn(2000))
+		if a != c {
+			set.Add(a, c)
+		}
+	}
+	g := graph.BuildStatic(set.Edges())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Triangles(g)
+	}
+}

@@ -1,0 +1,69 @@
+package exact
+
+import (
+	"testing"
+
+	"gps/internal/graph"
+	"gps/internal/randx"
+)
+
+func TestStreamingMatchesStatic(t *testing.T) {
+	rng := randx.New(5)
+	set := graph.NewEdgeSet(3000)
+	for set.Len() < 3000 {
+		a := graph.NodeID(rng.Intn(300))
+		b := graph.NodeID(rng.Intn(300))
+		if a != b {
+			set.Add(a, b)
+		}
+	}
+	edges := set.Edges()
+	sc := NewStreamingCounter()
+	for i, e := range edges {
+		if !sc.Add(e) {
+			t.Fatalf("fresh edge %v rejected", e)
+		}
+		// Spot-check prefixes (full check at every step is quadratic).
+		if i%500 == 499 || i == len(edges)-1 {
+			g := graph.BuildStatic(edges[:i+1])
+			if got, want := sc.Triangles(), Triangles(g); got != want {
+				t.Fatalf("prefix %d: streaming triangles %d, static %d", i+1, got, want)
+			}
+			if got, want := sc.Wedges(), Wedges(g); got != want {
+				t.Fatalf("prefix %d: streaming wedges %d, static %d", i+1, got, want)
+			}
+		}
+	}
+	if sc.Edges() != len(edges) {
+		t.Fatalf("Edges = %d, want %d", sc.Edges(), len(edges))
+	}
+}
+
+func TestStreamingDuplicatesIgnored(t *testing.T) {
+	sc := NewStreamingCounter()
+	e := graph.NewEdge(1, 2)
+	if !sc.Add(e) {
+		t.Fatal("first Add rejected")
+	}
+	if sc.Add(e) {
+		t.Fatal("duplicate Add accepted")
+	}
+	if sc.Edges() != 1 || sc.Triangles() != 0 || sc.Wedges() != 0 {
+		t.Fatalf("state after duplicate: %d edges %d tri %d wedges",
+			sc.Edges(), sc.Triangles(), sc.Wedges())
+	}
+}
+
+func TestStreamingClustering(t *testing.T) {
+	sc := NewStreamingCounter()
+	if sc.GlobalClustering() != 0 {
+		t.Fatal("empty clustering != 0")
+	}
+	sc.Add(graph.NewEdge(0, 1))
+	sc.Add(graph.NewEdge(1, 2))
+	sc.Add(graph.NewEdge(0, 2))
+	// Triangle: 1 triangle, 3 wedges → clustering 1.
+	if cc := sc.GlobalClustering(); cc != 1 {
+		t.Fatalf("triangle clustering = %v", cc)
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"gps/internal/core"
+	"gps/internal/datasets"
+	"gps/internal/stats"
+	"gps/internal/stream"
+
+	"gps/internal/graph"
+)
+
+// AblationRow summarizes one weight function's behaviour in the §3.5
+// ablation: the triangle estimate's error and the empirical variance of the
+// two estimation frameworks across replications.
+type AblationRow struct {
+	Weight      string
+	MeanInARE   float64
+	MeanPostARE float64
+	VarInStream float64
+	VarPost     float64
+}
+
+// WeightAblation quantifies the design choice of §3.5/§4: how the sampling
+// weight W(k,K̂) affects triangle estimation. It runs GPS with several
+// weight functions over the same dataset and reports mean ARE and empirical
+// variance for in-stream and post-stream estimates. The paper's
+// variance-minimization argument predicts the triangle-count weight
+// (coefficient 9, default 1) to dominate uniform weighting for post-stream
+// estimation.
+//
+// Variance estimation needs replications; the runner uses at least 12 trials
+// regardless of Options.Trials.
+func WeightAblation(opts Options, sampleSize int, graphName string) ([]AblationRow, error) {
+	opts = opts.withDefaults()
+	if opts.Trials < 12 {
+		opts.Trials = 12
+	}
+	d, err := datasets.Get(graphName)
+	if err != nil {
+		return nil, err
+	}
+	truth, err := datasets.Truth(graphName, opts.Profile)
+	if err != nil {
+		return nil, err
+	}
+	edges := d.Edges(opts.Profile)
+	m := clampSample(sampleSize, len(edges))
+	actual := float64(truth.Triangles)
+
+	// Stateful weights (the adaptive scheme) need a fresh instance per
+	// sampler, so the table holds constructors.
+	weights := []struct {
+		name string
+		make func() core.WeightFunc
+	}{
+		{"uniform", func() core.WeightFunc { return core.UniformWeight }},
+		{"adjacency", func() core.WeightFunc { return core.AdjacencyWeight }},
+		{"triangle c=1", func() core.WeightFunc { return core.NewTriangleWeight(1, 1) }},
+		{"triangle c=9 (paper)", func() core.WeightFunc { return core.TriangleWeight }},
+		{"triangle c=81", func() core.WeightFunc { return core.NewTriangleWeight(81, 1) }},
+		{"adaptive (§8)", func() core.WeightFunc { return core.NewAdaptiveTriangleWeight(0.5) }},
+	}
+
+	var rows []AblationRow
+	for wi, w := range weights {
+		var inEst, postEst stats.Welford
+		for trial := 0; trial < opts.Trials; trial++ {
+			ss, ps := opts.trialSeed(wi, trial)
+			in, err := core.NewInStream(core.Config{Capacity: m, Weight: w.make(), Seed: ss})
+			if err != nil {
+				return nil, err
+			}
+			stream.Drive(stream.Permute(edges, ps), func(e graph.Edge) { in.Process(e) })
+			inEst.Add(in.Estimates().Triangles)
+			postEst.Add(core.EstimatePost(in.Sampler()).Triangles)
+		}
+		rows = append(rows, AblationRow{
+			Weight:      w.name,
+			MeanInARE:   stats.ARE(inEst.Mean(), actual),
+			MeanPostARE: stats.ARE(postEst.Mean(), actual),
+			VarInStream: inEst.Variance(),
+			VarPost:     postEst.Variance(),
+		})
+	}
+	return rows, nil
+}
+
+// streamCollect materializes the seeded permutation of edges.
+func streamCollect(edges []graph.Edge, seed uint64) []graph.Edge {
+	return stream.Collect(stream.Permute(edges, seed))
+}

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The smoke tests run single small configurations end to end; accuracy
+// assertions are deliberately loose (the tight statistical validation lives
+// in internal/core's Monte-Carlo tests).
+
+func TestTable1Smoke(t *testing.T) {
+	rows, err := Table1(Options{Trials: 2, Seed: 7}, 10000, []string{"socfb-Penn94"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (one per statistic)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Graph != "socfb-Penn94" {
+			t.Fatalf("unexpected graph %q", r.Graph)
+		}
+		if r.Fraction <= 0 || r.Fraction > 1 {
+			t.Fatalf("%s: fraction %v", r.Stat, r.Fraction)
+		}
+		if r.Actual <= 0 {
+			t.Fatalf("%s: actual %v", r.Stat, r.Actual)
+		}
+		for _, m := range []MethodResult{r.InStream, r.Post} {
+			if m.ARE > 0.25 {
+				t.Errorf("%s: ARE %v suspiciously high", r.Stat, m.ARE)
+			}
+			if m.LB > m.Estimate || m.Estimate > m.UB {
+				t.Errorf("%s: interval [%v,%v] does not bracket %v", r.Stat, m.LB, m.UB, m.Estimate)
+			}
+		}
+	}
+	text := RenderTable1(rows)
+	if !strings.Contains(text, "socfb-Penn94") || !strings.Contains(text, "triangles") {
+		t.Fatalf("render missing content:\n%s", text)
+	}
+}
+
+func TestTable1UnknownGraph(t *testing.T) {
+	if _, err := Table1(Options{}, 1000, []string{"nope"}); err == nil {
+		t.Fatal("unknown dataset did not error")
+	}
+}
+
+func TestFigure1Smoke(t *testing.T) {
+	pts, err := Figure1(Options{Trials: 2, Seed: 9}, 10000, []string{"soc-youtube-snap"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	p := pts[0]
+	if p.TriangleRatio < 0.7 || p.TriangleRatio > 1.3 {
+		t.Errorf("triangle ratio %v far from 1", p.TriangleRatio)
+	}
+	if p.WedgeRatio < 0.7 || p.WedgeRatio > 1.3 {
+		t.Errorf("wedge ratio %v far from 1", p.WedgeRatio)
+	}
+	if !strings.Contains(RenderFigure1(pts), "soc-youtube-snap") {
+		t.Fatal("render missing graph name")
+	}
+}
+
+func TestFigure2Smoke(t *testing.T) {
+	series, err := Figure2(Options{Trials: 2, Seed: 11}, []int{2000, 8000}, []string{"soc-youtube-snap"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || len(series[0].Points) != 2 {
+		t.Fatalf("series shape wrong: %+v", series)
+	}
+	for _, p := range series[0].Points {
+		if p.LBRatio > p.Ratio || p.Ratio > p.UBRatio {
+			t.Errorf("size %d: bounds [%v,%v] do not bracket %v",
+				p.SampleSize, p.LBRatio, p.UBRatio, p.Ratio)
+		}
+	}
+	// Larger samples must not widen the confidence band.
+	w0 := series[0].Points[0].UBRatio - series[0].Points[0].LBRatio
+	w1 := series[0].Points[1].UBRatio - series[0].Points[1].LBRatio
+	if w1 > w0 {
+		t.Errorf("CI width grew with sample size: %v -> %v", w0, w1)
+	}
+	if !strings.Contains(RenderFigure2(series), "soc-youtube-snap") {
+		t.Fatal("render missing graph name")
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	graphs := []string{"higgs-social-network", "cit-Patents", "infra-roadNet-CA"}
+	rows, err := Table2(Options{Trials: 3, Seed: 13}, 4000, graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Table2Methods())*len(graphs) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(Table2Methods())*len(graphs))
+	}
+	meanARE := map[string]float64{}
+	for _, r := range rows {
+		meanARE[r.Method] += r.ARE / float64(len(graphs))
+		if r.MicrosPerEdge <= 0 {
+			t.Errorf("%s/%s: time %v", r.Graph, r.Method, r.MicrosPerEdge)
+		}
+		if r.StoredEdges <= 0 {
+			t.Errorf("%s/%s: stored %d", r.Graph, r.Method, r.StoredEdges)
+		}
+	}
+	// The paper's shape: GPS post-stream estimation is the most accurate
+	// method overall. Individual (graph, seed) cells can fluctuate at
+	// this reduced scale, so the assertion is on the cross-graph mean.
+	// (MASCOT's gap narrows at our larger sampling fractions — at the
+	// paper's 0.6% fractions its p² rescaling is far more punishing —
+	// so the decisive comparisons are against NSAMP and TRIEST.)
+	gps := meanARE["GPS POST"]
+	if gps > 0.15 {
+		t.Errorf("GPS POST mean ARE %v too high", gps)
+	}
+	for _, m := range []string{"NSAMP", "TRIEST"} {
+		if gps >= meanARE[m] {
+			t.Errorf("GPS POST mean ARE %v not below %s mean ARE %v", gps, m, meanARE[m])
+		}
+	}
+	if !strings.Contains(RenderTable2(rows), "µs/edge") {
+		t.Fatal("render missing time block")
+	}
+}
+
+func TestTable3Smoke(t *testing.T) {
+	rows, err := Table3(Options{Trials: 1, Seed: 17}, 4000, 6, []string{"soc-youtube-snap"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Table3Methods()) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(Table3Methods()))
+	}
+	byMethod := map[string]Table3Row{}
+	for _, r := range rows {
+		byMethod[r.Method] = r
+		if r.MARE < 0 || r.MaxARE < r.MARE {
+			t.Errorf("%s: MARE %v MaxARE %v inconsistent", r.Method, r.MARE, r.MaxARE)
+		}
+	}
+	// The paper's ordering: GPS in-stream beats TRIEST-base decisively.
+	if byMethod["GPS IN-STREAM"].MARE >= byMethod["TRIEST"].MARE {
+		t.Errorf("GPS IN-STREAM MARE %v not below TRIEST %v",
+			byMethod["GPS IN-STREAM"].MARE, byMethod["TRIEST"].MARE)
+	}
+	if !strings.Contains(RenderTable3(rows), "GPS IN-STREAM") {
+		t.Fatal("render missing method")
+	}
+}
+
+func TestFigure3Smoke(t *testing.T) {
+	series, err := Figure3(Options{Trials: 1, Seed: 19}, 4000, 5, []string{"tech-as-skitter"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || len(series[0].Points) < 5 {
+		t.Fatalf("series shape wrong: %d series", len(series))
+	}
+	prevT := 0
+	for _, p := range series[0].Points {
+		if p.T <= prevT {
+			t.Errorf("checkpoints not increasing: %d after %d", p.T, prevT)
+		}
+		prevT = p.T
+		if p.LBTriangles > p.EstTriangles || p.EstTriangles > p.UBTriangles {
+			t.Errorf("t=%d: triangle bounds broken", p.T)
+		}
+	}
+	last := series[0].Points[len(series[0].Points)-1]
+	if last.ActualTriangles <= 0 {
+		t.Fatal("no triangles by stream end")
+	}
+	if rel := abs(last.EstTriangles-last.ActualTriangles) / last.ActualTriangles; rel > 0.25 {
+		t.Errorf("final tracking error %v too high", rel)
+	}
+	if !strings.Contains(RenderFigure3(series), "tech-as-skitter") {
+		t.Fatal("render missing graph name")
+	}
+}
+
+func TestWeightAblationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation replication loop skipped in -short mode")
+	}
+	// The clustered Facebook stand-in shows the §3.5 effect robustly;
+	// on extreme-skew R-MAT graphs the triangle/uniform ordering can
+	// invert at laptop-scale sampling fractions (see EXPERIMENTS.md).
+	rows, err := WeightAblation(Options{Trials: 12, Seed: 21}, 5000, "socfb-Penn94")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	var uniform, paper AblationRow
+	for _, r := range rows {
+		if r.Weight == "uniform" {
+			uniform = r
+		}
+		if strings.Contains(r.Weight, "paper") {
+			paper = r
+		}
+	}
+	if paper.VarPost >= uniform.VarPost {
+		t.Errorf("paper weight post variance %v not below uniform %v",
+			paper.VarPost, uniform.VarPost)
+	}
+	if !strings.Contains(RenderAblation(rows), "uniform") {
+		t.Fatal("render missing weight name")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Trials <= 0 || o.Seed == 0 {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+	s1a, p1a := o.trialSeed(1, 2)
+	s1b, p1b := o.trialSeed(1, 2)
+	if s1a != s1b || p1a != p1b {
+		t.Fatal("trialSeed not deterministic")
+	}
+	s2, _ := o.trialSeed(2, 2)
+	if s1a == s2 {
+		t.Fatal("trialSeed does not separate graphs")
+	}
+}
+
+func TestClampSample(t *testing.T) {
+	if clampSample(100, 50) != 50 || clampSample(10, 50) != 10 {
+		t.Fatal("clampSample wrong")
+	}
+}
+
+func TestHuman(t *testing.T) {
+	cases := map[float64]string{
+		4.93e9:  "4.9B",
+		667100:  "667.1K",
+		1.82e12: "1.8T",
+		13.4e6:  "13.4M",
+		42:      "42.0",
+		0.205:   "0.2050",
+	}
+	for v, want := range cases {
+		if got := human(v); got != want {
+			t.Errorf("human(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

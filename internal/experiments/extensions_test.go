@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtensionsSmoke(t *testing.T) {
+	rows, err := Extensions(Options{Trials: 2, Seed: 23}, 6000, []string{"higgs-social-network"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ExtensionMethods()) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(ExtensionMethods()))
+	}
+	byMethod := map[string]ExtensionRow{}
+	for _, r := range rows {
+		byMethod[r.Method] = r
+		if r.StoredEdges <= 0 {
+			t.Errorf("%s: stored %d", r.Method, r.StoredEdges)
+		}
+	}
+	// The paper's shape: GPS beats JHA decisively; Buriol produces zeros.
+	if byMethod["GPS IN-STREAM"].ARE >= byMethod["JHA"].ARE {
+		t.Errorf("GPS IN-STREAM ARE %v not below JHA %v",
+			byMethod["GPS IN-STREAM"].ARE, byMethod["JHA"].ARE)
+	}
+	if byMethod["GPS POST"].ZeroRuns != 0 || byMethod["GPS IN-STREAM"].ZeroRuns != 0 {
+		t.Error("GPS produced zero estimates")
+	}
+	text := RenderExtensions(rows)
+	if !strings.Contains(text, "BURIOL") || !strings.Contains(text, "zero-runs") {
+		t.Fatalf("render missing content:\n%s", text)
+	}
+}
+
+func TestExtensionsUnknownGraph(t *testing.T) {
+	if _, err := Extensions(Options{}, 1000, []string{"nope"}); err == nil {
+		t.Fatal("unknown dataset did not error")
+	}
+}

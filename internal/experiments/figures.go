@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"gps/internal/core"
+	"gps/internal/datasets"
+	"gps/internal/exact"
+	"gps/internal/graph"
+	"gps/internal/stream"
+)
+
+// Fig1Point is one graph's point in the Figure 1 scatter: the ratio of the
+// in-stream estimate to the actual value for triangles and wedges, from one
+// shared sample. Points near (1,1) mean both statistics are estimated
+// accurately from a single GPS sample.
+type Fig1Point struct {
+	Graph         string
+	TriangleRatio float64
+	WedgeRatio    float64
+}
+
+// Figure1 regenerates the paper's Figure 1 (x̂/x of triangles vs wedges,
+// in-stream estimation, one sample size for all graphs).
+func Figure1(opts Options, sampleSize int, graphs []string) ([]Fig1Point, error) {
+	opts = opts.withDefaults()
+	if len(graphs) == 0 {
+		graphs = datasets.Figure1()
+	}
+	var points []Fig1Point
+	for gi, name := range graphs {
+		d, err := datasets.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		truth, err := datasets.Truth(name, opts.Profile)
+		if err != nil {
+			return nil, err
+		}
+		edges := d.Edges(opts.Profile)
+		m := clampSample(sampleSize, len(edges))
+		runs := make([]core.Estimates, 0, opts.Trials)
+		for trial := 0; trial < opts.Trials; trial++ {
+			ss, ps := opts.trialSeed(gi, trial)
+			runs = append(runs, runGPS(edges, m, ss, ps).in)
+		}
+		in := meanEstimates(runs)
+		points = append(points, Fig1Point{
+			Graph:         name,
+			TriangleRatio: in.Triangles / float64(truth.Triangles),
+			WedgeRatio:    in.Wedges / float64(truth.Wedges),
+		})
+	}
+	return points, nil
+}
+
+// Fig2Point is one sample size of a Figure 2 convergence series: the
+// estimate and its 95% bounds, all normalized by the actual triangle count.
+type Fig2Point struct {
+	SampleSize int
+	Ratio      float64 // X̂/X
+	LBRatio    float64 // LB/X
+	UBRatio    float64 // UB/X
+}
+
+// Fig2Series is one graph's convergence panel.
+type Fig2Series struct {
+	Graph  string
+	Points []Fig2Point
+}
+
+// Figure2 regenerates the paper's Figure 2: triangle-count confidence bounds
+// under in-stream estimation as the sample size sweeps. The paper sweeps
+// 10K-1M absolute edges; the stand-ins sweep the given sizes (clamped per
+// graph).
+func Figure2(opts Options, sampleSizes []int, graphs []string) ([]Fig2Series, error) {
+	opts = opts.withDefaults()
+	if len(graphs) == 0 {
+		graphs = datasets.Figure2()
+	}
+	if len(sampleSizes) == 0 {
+		sampleSizes = []int{2500, 5000, 10000, 20000, 40000, 80000}
+	}
+	var series []Fig2Series
+	for gi, name := range graphs {
+		d, err := datasets.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		truth, err := datasets.Truth(name, opts.Profile)
+		if err != nil {
+			return nil, err
+		}
+		edges := d.Edges(opts.Profile)
+		s := Fig2Series{Graph: name}
+		for si, size := range sampleSizes {
+			m := clampSample(size, len(edges))
+			runs := make([]core.Estimates, 0, opts.Trials)
+			for trial := 0; trial < opts.Trials; trial++ {
+				ss, ps := opts.trialSeed(gi*100+si, trial)
+				runs = append(runs, runGPS(edges, m, ss, ps).in)
+			}
+			in := meanEstimates(runs)
+			iv := in.TriangleInterval()
+			actual := float64(truth.Triangles)
+			s.Points = append(s.Points, Fig2Point{
+				SampleSize: m,
+				Ratio:      in.Triangles / actual,
+				LBRatio:    iv.Lower / actual,
+				UBRatio:    iv.Upper / actual,
+			})
+		}
+		series = append(series, s)
+	}
+	return series, nil
+}
+
+// Fig3Point is one checkpoint of a Figure 3 tracking series.
+type Fig3Point struct {
+	T int // stream position (edges seen)
+
+	ActualTriangles float64
+	EstTriangles    float64
+	LBTriangles     float64
+	UBTriangles     float64
+
+	ActualClustering float64
+	EstClustering    float64
+	LBClustering     float64
+	UBClustering     float64
+}
+
+// Fig3Series is one graph's real-time tracking run.
+type Fig3Series struct {
+	Graph  string
+	Points []Fig3Point
+}
+
+// Figure3 regenerates the paper's Figure 3: unbiased estimation versus time.
+// One GPS pass tracks the evolving stream; at each of `checkpoints` evenly
+// spaced stream positions the in-stream estimates (with 95% bounds) are
+// recorded against the exact counts of the prefix, maintained incrementally.
+func Figure3(opts Options, sampleSize, checkpoints int, graphs []string) ([]Fig3Series, error) {
+	opts = opts.withDefaults()
+	if len(graphs) == 0 {
+		graphs = datasets.Figure3()
+	}
+	if checkpoints < 2 {
+		checkpoints = 2
+	}
+	var series []Fig3Series
+	for gi, name := range graphs {
+		d, err := datasets.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		edges := d.Edges(opts.Profile)
+		m := clampSample(sampleSize, len(edges))
+		ss, ps := opts.trialSeed(gi, 0)
+
+		in, err := core.NewInStream(core.Config{Capacity: m, Weight: core.TriangleWeight, Seed: ss})
+		if err != nil {
+			return nil, err
+		}
+		counter := exact.NewStreamingCounter()
+		every := len(edges) / checkpoints
+		if every < 1 {
+			every = 1
+		}
+		s := Fig3Series{Graph: name}
+		t := 0
+		stream.Drive(stream.Permute(edges, ps), func(e graph.Edge) {
+			in.Process(e)
+			counter.Add(e)
+			t++
+			if t%every == 0 || t == len(edges) {
+				est := in.Estimates()
+				triIv := est.TriangleInterval()
+				ccIv := est.ClusteringInterval()
+				s.Points = append(s.Points, Fig3Point{
+					T:                t,
+					ActualTriangles:  float64(counter.Triangles()),
+					EstTriangles:     est.Triangles,
+					LBTriangles:      triIv.Lower,
+					UBTriangles:      triIv.Upper,
+					ActualClustering: counter.GlobalClustering(),
+					EstClustering:    est.GlobalClustering(),
+					LBClustering:     ccIv.Lower,
+					UBClustering:     ccIv.Upper,
+				})
+			}
+		})
+		series = append(series, s)
+	}
+	return series, nil
+}

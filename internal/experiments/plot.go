@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// The paper's Figures 2 and 3 are plots; alongside the tabular renderers,
+// these ASCII plotters draw the same series in a terminal so that
+// `gps-bench` output conveys the convergence and tracking *shapes* at a
+// glance, not just the numbers.
+
+// plotGrid is a fixed-size character canvas.
+type plotGrid struct {
+	width, height int
+	cells         [][]byte
+}
+
+func newPlotGrid(width, height int) *plotGrid {
+	g := &plotGrid{width: width, height: height}
+	g.cells = make([][]byte, height)
+	for i := range g.cells {
+		g.cells[i] = []byte(strings.Repeat(" ", width))
+	}
+	return g
+}
+
+// set marks the cell at column x (0=left) and row y (0=bottom); out-of-range
+// points are clipped.
+func (g *plotGrid) set(x, y int, ch byte) {
+	if x < 0 || x >= g.width || y < 0 || y >= g.height {
+		return
+	}
+	g.cells[g.height-1-y][x] = ch
+}
+
+func (g *plotGrid) String() string {
+	var sb strings.Builder
+	for _, row := range g.cells {
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// PlotFigure2Panel draws one graph's convergence panel: the x̂/x ratio (o)
+// with its LB/UB band (- markers) against log-spaced sample sizes, with a
+// horizontal reference line at ratio 1.
+func PlotFigure2Panel(s Fig2Series, width, height int) string {
+	if len(s.Points) == 0 {
+		return s.Graph + ": (no points)\n"
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range s.Points {
+		lo = math.Min(lo, p.LBRatio)
+		hi = math.Max(hi, p.UBRatio)
+	}
+	lo = math.Min(lo, 0.95)
+	hi = math.Max(hi, 1.05)
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	grid := newPlotGrid(width, height)
+	yOf := func(v float64) int {
+		return int(math.Round((v - lo) / span * float64(height-1)))
+	}
+	// Reference line at 1.
+	for x := 0; x < width; x++ {
+		grid.set(x, yOf(1), '.')
+	}
+	for i, p := range s.Points {
+		x := 0
+		if len(s.Points) > 1 {
+			x = i * (width - 1) / (len(s.Points) - 1)
+		}
+		grid.set(x, yOf(p.LBRatio), '-')
+		grid.set(x, yOf(p.UBRatio), '-')
+		grid.set(x, yOf(p.Ratio), 'o')
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  (y: X̂/X in [%.2f, %.2f]; x: sample size %d → %d; o=ratio, -=95%% bounds)\n",
+		s.Graph, lo, hi, s.Points[0].SampleSize, s.Points[len(s.Points)-1].SampleSize)
+	sb.WriteString(grid.String())
+	return sb.String()
+}
+
+// PlotFigure3Panel draws one graph's tracking panel: the actual triangle
+// trajectory (*) with the estimate (o) and its band (-), both normalized by
+// the final actual count.
+func PlotFigure3Panel(s Fig3Series, width, height int) string {
+	if len(s.Points) == 0 {
+		return s.Graph + ": (no points)\n"
+	}
+	final := s.Points[len(s.Points)-1].ActualTriangles
+	if final <= 0 {
+		return s.Graph + ": (no triangles)\n"
+	}
+	grid := newPlotGrid(width, height)
+	yOf := func(v float64) int {
+		return int(math.Round(v / (1.1 * final) * float64(height-1)))
+	}
+	for i, p := range s.Points {
+		x := 0
+		if len(s.Points) > 1 {
+			x = i * (width - 1) / (len(s.Points) - 1)
+		}
+		grid.set(x, yOf(p.LBTriangles), '-')
+		grid.set(x, yOf(p.UBTriangles), '-')
+		grid.set(x, yOf(p.EstTriangles), 'o')
+		grid.set(x, yOf(p.ActualTriangles), '*')
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  (y: triangles 0 → %.3g; x: stream position; *=actual, o=estimate, -=95%% band)\n",
+		s.Graph, 1.1*final)
+	sb.WriteString(grid.String())
+	return sb.String()
+}
+
+// PlotFigure2 draws every panel.
+func PlotFigure2(series []Fig2Series) string {
+	var sb strings.Builder
+	for _, s := range series {
+		sb.WriteString(PlotFigure2Panel(s, 60, 12))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// PlotFigure3 draws every panel.
+func PlotFigure3(series []Fig3Series) string {
+	var sb strings.Builder
+	for _, s := range series {
+		sb.WriteString(PlotFigure3Panel(s, 70, 14))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

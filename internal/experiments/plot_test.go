@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotFigure2Panel(t *testing.T) {
+	s := Fig2Series{
+		Graph: "toy",
+		Points: []Fig2Point{
+			{SampleSize: 1000, Ratio: 1.2, LBRatio: 0.6, UBRatio: 1.8},
+			{SampleSize: 2000, Ratio: 0.95, LBRatio: 0.8, UBRatio: 1.1},
+			{SampleSize: 4000, Ratio: 1.0, LBRatio: 0.97, UBRatio: 1.03},
+		},
+	}
+	out := PlotFigure2Panel(s, 40, 10)
+	if !strings.Contains(out, "toy") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "-") {
+		t.Fatalf("missing markers:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 11 { // 1 title + 10 rows
+		t.Fatalf("got %d lines", len(lines))
+	}
+	for _, line := range lines[1:] {
+		if len(line) != 40 {
+			t.Fatalf("row width %d, want 40", len(line))
+		}
+	}
+}
+
+func TestPlotFigure2Empty(t *testing.T) {
+	out := PlotFigure2Panel(Fig2Series{Graph: "empty"}, 40, 10)
+	if !strings.Contains(out, "no points") {
+		t.Fatalf("unexpected: %q", out)
+	}
+}
+
+func TestPlotFigure3Panel(t *testing.T) {
+	s := Fig3Series{
+		Graph: "toy",
+		Points: []Fig3Point{
+			{T: 100, ActualTriangles: 10, EstTriangles: 11, LBTriangles: 8, UBTriangles: 14},
+			{T: 200, ActualTriangles: 40, EstTriangles: 38, LBTriangles: 33, UBTriangles: 43},
+			{T: 300, ActualTriangles: 90, EstTriangles: 92, LBTriangles: 85, UBTriangles: 99},
+		},
+	}
+	out := PlotFigure3Panel(s, 50, 12)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("missing markers:\n%s", out)
+	}
+}
+
+func TestPlotFigure3NoTriangles(t *testing.T) {
+	s := Fig3Series{Graph: "flat", Points: []Fig3Point{{T: 1}}}
+	if out := PlotFigure3Panel(s, 30, 8); !strings.Contains(out, "no triangles") {
+		t.Fatalf("unexpected: %q", out)
+	}
+}
+
+func TestPlotAllPanels(t *testing.T) {
+	series2 := []Fig2Series{{Graph: "a", Points: []Fig2Point{{SampleSize: 1, Ratio: 1, LBRatio: 0.9, UBRatio: 1.1}}}}
+	if out := PlotFigure2(series2); !strings.Contains(out, "a ") {
+		t.Fatal("PlotFigure2 missing panel")
+	}
+	series3 := []Fig3Series{{Graph: "b", Points: []Fig3Point{{T: 1, ActualTriangles: 5, EstTriangles: 5}}}}
+	if out := PlotFigure3(series3); !strings.Contains(out, "b ") {
+		t.Fatal("PlotFigure3 missing panel")
+	}
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// human formats large counts the way the paper's tables do (4.9B, 667.1K).
+func human(v float64) string {
+	abs := v
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs >= 1e12:
+		return fmt.Sprintf("%.1fT", v/1e12)
+	case abs >= 1e9:
+		return fmt.Sprintf("%.1fB", v/1e9)
+	case abs >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case abs >= 1e3:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	case abs >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+func table(render func(w *tabwriter.Writer)) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	render(w)
+	w.Flush()
+	return sb.String()
+}
+
+// RenderTable1 formats Table1 rows like the paper's Table 1.
+func RenderTable1(rows []Table1Row) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "stat\tgraph\t|K|\t|K̂|/|K|\tX\tX̂(in)\tARE(in)\tLB(in)\tUB(in)\tX̂(post)\tARE(post)\tLB(post)\tUB(post)")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%s\t%s\t%.4f\t%s\t%s\t%.4f\t%s\t%s\t%s\t%.4f\t%s\t%s\n",
+				r.Stat, r.Graph, human(float64(r.Edges)), r.Fraction,
+				human(r.Actual),
+				human(r.InStream.Estimate), r.InStream.ARE, human(r.InStream.LB), human(r.InStream.UB),
+				human(r.Post.Estimate), r.Post.ARE, human(r.Post.LB), human(r.Post.UB))
+		}
+	})
+}
+
+// RenderTable2 formats Table2 rows like the paper's Table 2: an ARE block
+// and an update-time block with one column per method.
+func RenderTable2(rows []Table2Row) string {
+	methods := Table2Methods()
+	byGraph := map[string]map[string]Table2Row{}
+	var graphs []string
+	for _, r := range rows {
+		if byGraph[r.Graph] == nil {
+			byGraph[r.Graph] = map[string]Table2Row{}
+			graphs = append(graphs, r.Graph)
+		}
+		byGraph[r.Graph][r.Method] = r
+	}
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Absolute Relative Error (ARE)")
+		fmt.Fprintf(w, "graph\t%s\n", strings.Join(methods, "\t"))
+		for _, g := range graphs {
+			fmt.Fprintf(w, "%s", g)
+			for _, m := range methods {
+				fmt.Fprintf(w, "\t%.3f", byGraph[g][m].ARE)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w, "Average Time (µs/edge)")
+		fmt.Fprintf(w, "graph\t%s\n", strings.Join(methods, "\t"))
+		for _, g := range graphs {
+			fmt.Fprintf(w, "%s", g)
+			for _, m := range methods {
+				fmt.Fprintf(w, "\t%.2f", byGraph[g][m].MicrosPerEdge)
+			}
+			fmt.Fprintln(w)
+		}
+	})
+}
+
+// RenderTable3 formats Table3 rows like the paper's Table 3.
+func RenderTable3(rows []Table3Row) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "graph\talgorithm\tMax. ARE\tMARE")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%s\t%.3f\t%.3f\n", r.Graph, r.Method, r.MaxARE, r.MARE)
+		}
+	})
+}
+
+// RenderFigure1 formats the Figure 1 scatter as a table of ratios.
+func RenderFigure1(points []Fig1Point) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "graph\tx̂/x triangles\tx̂/x wedges")
+		for _, p := range points {
+			fmt.Fprintf(w, "%s\t%.4f\t%.4f\n", p.Graph, p.TriangleRatio, p.WedgeRatio)
+		}
+	})
+}
+
+// RenderFigure2 formats the Figure 2 convergence series.
+func RenderFigure2(series []Fig2Series) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "graph\t|K̂|\tX̂/X\tLB/X\tUB/X")
+		for _, s := range series {
+			for _, p := range s.Points {
+				fmt.Fprintf(w, "%s\t%d\t%.4f\t%.4f\t%.4f\n",
+					s.Graph, p.SampleSize, p.Ratio, p.LBRatio, p.UBRatio)
+			}
+		}
+	})
+}
+
+// RenderFigure3 formats the Figure 3 tracking series.
+func RenderFigure3(series []Fig3Series) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "graph\tt\ttriangles\tX̂(tri)\tLB\tUB\tcc\tĉc\tLB\tUB")
+		for _, s := range series {
+			for _, p := range s.Points {
+				fmt.Fprintf(w, "%s\t%d\t%s\t%s\t%s\t%s\t%.4f\t%.4f\t%.4f\t%.4f\n",
+					s.Graph, p.T,
+					human(p.ActualTriangles), human(p.EstTriangles),
+					human(p.LBTriangles), human(p.UBTriangles),
+					p.ActualClustering, p.EstClustering,
+					p.LBClustering, p.UBClustering)
+			}
+		}
+	})
+}
+
+// RenderAblation formats the weight-function ablation.
+func RenderAblation(rows []AblationRow) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "weight\tARE(in)\tARE(post)\tVar(in)\tVar(post)")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%s\t%s\n",
+				r.Weight, r.MeanInARE, r.MeanPostARE, human(r.VarInStream), human(r.VarPost))
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"gps/internal/core"
+	"gps/internal/datasets"
+	"gps/internal/stats"
+)
+
+// Statistic names a graphlet statistic reported by Table 1.
+type Statistic string
+
+// The three statistics of Table 1.
+const (
+	StatTriangles  Statistic = "triangles"
+	StatWedges     Statistic = "wedges"
+	StatClustering Statistic = "clustering"
+)
+
+// MethodResult is one estimation method's cell block in Table 1: the
+// (averaged) estimate, its absolute relative error against ground truth, and
+// the 95% confidence bounds built from the unbiased variance estimate.
+type MethodResult struct {
+	Estimate float64
+	ARE      float64
+	LB, UB   float64
+}
+
+// Table1Row is one (graph, statistic) row of Table 1.
+type Table1Row struct {
+	Graph    string
+	Stat     Statistic
+	Edges    int64   // |K|
+	Fraction float64 // |K̂|/|K|
+	Actual   float64 // X
+	InStream MethodResult
+	Post     MethodResult
+}
+
+// Table1 regenerates the paper's Table 1: for each graph, GPS samples
+// sampleSize edges with the triangle weight and reports in-stream and
+// post-stream estimates of triangle count, wedge count and global
+// clustering, with ARE and 95% bounds, averaged over Options.Trials
+// replications of the stream permutation and sampler randomness.
+func Table1(opts Options, sampleSize int, graphs []string) ([]Table1Row, error) {
+	opts = opts.withDefaults()
+	if len(graphs) == 0 {
+		graphs = datasets.Table1()
+	}
+	var rows []Table1Row
+	for gi, name := range graphs {
+		d, err := datasets.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		truth, err := datasets.Truth(name, opts.Profile)
+		if err != nil {
+			return nil, err
+		}
+		edges := d.Edges(opts.Profile)
+		m := clampSample(sampleSize, len(edges))
+
+		inRuns := make([]core.Estimates, 0, opts.Trials)
+		postRuns := make([]core.Estimates, 0, opts.Trials)
+		for trial := 0; trial < opts.Trials; trial++ {
+			ss, ps := opts.trialSeed(gi, trial)
+			run := runGPS(edges, m, ss, ps)
+			inRuns = append(inRuns, run.in)
+			postRuns = append(postRuns, run.post)
+		}
+		in := meanEstimates(inRuns)
+		post := meanEstimates(postRuns)
+		frac := float64(in.SampledEdges) / float64(len(edges))
+
+		add := func(stat Statistic, actual float64, inR, postR MethodResult) {
+			rows = append(rows, Table1Row{
+				Graph: name, Stat: stat, Edges: int64(len(edges)),
+				Fraction: frac, Actual: actual, InStream: inR, Post: postR,
+			})
+		}
+		add(StatTriangles, float64(truth.Triangles),
+			methodResult(in.Triangles, in.TriangleInterval(), float64(truth.Triangles)),
+			methodResult(post.Triangles, post.TriangleInterval(), float64(truth.Triangles)))
+		add(StatWedges, float64(truth.Wedges),
+			methodResult(in.Wedges, in.WedgeInterval(), float64(truth.Wedges)),
+			methodResult(post.Wedges, post.WedgeInterval(), float64(truth.Wedges)))
+		add(StatClustering, truth.GlobalClustering(),
+			methodResult(in.GlobalClustering(), in.ClusteringInterval(), truth.GlobalClustering()),
+			methodResult(post.GlobalClustering(), post.ClusteringInterval(), truth.GlobalClustering()))
+	}
+	return rows, nil
+}
+
+func methodResult(estimate float64, iv stats.Interval, actual float64) MethodResult {
+	return MethodResult{
+		Estimate: estimate,
+		ARE:      stats.ARE(estimate, actual),
+		LB:       iv.Lower,
+		UB:       iv.Upper,
+	}
+}

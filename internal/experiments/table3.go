@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"gps/internal/baselines"
+	"gps/internal/core"
+	"gps/internal/datasets"
+	"gps/internal/exact"
+	"gps/internal/graph"
+	"gps/internal/stats"
+)
+
+// Table3Row is one (graph, method) row of the paper's Table 3: the mean and
+// maximum absolute relative error of the triangle-count estimate tracked
+// across checkpoints of the evolving stream.
+type Table3Row struct {
+	Graph  string
+	Method string
+	MaxARE float64
+	MARE   float64
+}
+
+// Table3Methods lists the methods compared, in the paper's row order.
+func Table3Methods() []string {
+	return []string{"TRIEST", "TRIEST-IMPR", "GPS POST", "GPS IN-STREAM"}
+}
+
+// Table3 regenerates the paper's tracking comparison: triangle estimates
+// versus time for TRIEST, TRIEST-IMPR, GPS post-stream and GPS in-stream
+// estimation, all with sampleSize stored edges. Estimates are read at
+// `checkpoints` evenly spaced stream positions and compared against exact
+// prefix counts; per-trial MARE and max-ARE are averaged over
+// Options.Trials. Checkpoints before the first triangle arrives are skipped
+// (relative error is undefined at zero).
+//
+// TRIEST and TRIEST-IMPR share seeds (hence samples), as do GPS post and
+// in-stream — matching the paper's pairing of estimation procedures over
+// identical samples.
+func Table3(opts Options, sampleSize, checkpoints int, graphs []string) ([]Table3Row, error) {
+	opts = opts.withDefaults()
+	if len(graphs) == 0 {
+		graphs = datasets.Table3()
+	}
+	if checkpoints < 2 {
+		checkpoints = 2
+	}
+	type agg struct{ mare, maxARE stats.Welford }
+	var rows []Table3Row
+	for gi, name := range graphs {
+		d, err := datasets.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		edges := d.Edges(opts.Profile)
+		m := clampSample(sampleSize, len(edges))
+		every := len(edges) / checkpoints
+		if every < 1 {
+			every = 1
+		}
+
+		aggs := make(map[string]*agg)
+		for _, method := range Table3Methods() {
+			aggs[method] = &agg{}
+		}
+
+		for trial := 0; trial < opts.Trials; trial++ {
+			ss, ps := opts.trialSeed(gi, trial)
+
+			triest, _ := baselines.NewTriest(m, ss)
+			triestImpr, _ := baselines.NewTriestImpr(m, ss)
+			in, err := core.NewInStream(core.Config{Capacity: m, Weight: core.TriangleWeight, Seed: ss})
+			if err != nil {
+				return nil, err
+			}
+			counter := exact.NewStreamingCounter()
+
+			series := map[string]*[]float64{}
+			actuals := []float64{}
+			for _, method := range Table3Methods() {
+				s := []float64{}
+				series[method] = &s
+			}
+
+			t := 0
+			stream := permuted(edges, ps)
+			for _, e := range stream {
+				triest.Process(e)
+				triestImpr.Process(e)
+				in.Process(e)
+				counter.Add(e)
+				t++
+				if t%every == 0 || t == len(edges) {
+					actual := float64(counter.Triangles())
+					if actual == 0 {
+						continue
+					}
+					actuals = append(actuals, actual)
+					*series["TRIEST"] = append(*series["TRIEST"], triest.Triangles())
+					*series["TRIEST-IMPR"] = append(*series["TRIEST-IMPR"], triestImpr.Triangles())
+					*series["GPS IN-STREAM"] = append(*series["GPS IN-STREAM"], in.Estimates().Triangles)
+					*series["GPS POST"] = append(*series["GPS POST"], core.EstimatePost(in.Sampler()).Triangles)
+				}
+			}
+			for _, method := range Table3Methods() {
+				est := *series[method]
+				aggs[method].mare.Add(stats.MARE(est, actuals))
+				aggs[method].maxARE.Add(stats.MaxARE(est, actuals))
+			}
+		}
+		for _, method := range Table3Methods() {
+			rows = append(rows, Table3Row{
+				Graph:  name,
+				Method: method,
+				MaxARE: aggs[method].maxARE.Mean(),
+				MARE:   aggs[method].mare.Mean(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// permuted returns the seeded permutation of edges as a slice (Table 3 needs
+// indexed access to feed four estimators in lockstep).
+func permuted(edges []graph.Edge, seed uint64) []graph.Edge {
+	return streamCollect(edges, seed)
+}

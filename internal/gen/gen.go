@@ -1,0 +1,255 @@
+// Package gen provides deterministic synthetic graph generators.
+//
+// The paper evaluates GPS on 50 real-world graphs from networkrepository.com
+// (social, web, technological, collaboration, citation, road networks, up to
+// 265M edges). Those datasets are not available offline, so the reproduction
+// substitutes deterministic generators matched to each graph *type*: the
+// estimators' behaviour depends on degree skew, clustering level and stream
+// order — all of which the generators control — rather than on the identity
+// of the vertices. See DESIGN.md §4 for the substitution table.
+//
+// All generators are deterministic functions of their seed and parameters,
+// produce simple undirected graphs (no self loops, no duplicates), and use
+// compact node ids [0, n).
+package gen
+
+import (
+	"fmt"
+
+	"gps/internal/graph"
+	"gps/internal/randx"
+)
+
+// ErdosRenyi returns a uniform random simple graph with n nodes and exactly
+// m distinct edges (the G(n,m) model). It panics if m exceeds the number of
+// possible edges. ER graphs have Poisson degrees and vanishing clustering;
+// they are the control case for the estimators.
+func ErdosRenyi(n int, m int, seed uint64) []graph.Edge {
+	maxEdges := int64(n) * int64(n-1) / 2
+	if int64(m) > maxEdges {
+		panic(fmt.Sprintf("gen: ErdosRenyi(%d,%d): too many edges (max %d)", n, m, maxEdges))
+	}
+	rng := randx.New(seed)
+	set := graph.NewEdgeSet(m)
+	for set.Len() < m {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u != v {
+			set.Add(u, v)
+		}
+	}
+	return set.Edges()
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: nodes arrive one at
+// a time and connect to k existing nodes chosen proportionally to degree.
+// Degrees are heavy-tailed (power law exponent ≈3) with low clustering —
+// the profile of citation networks such as cit-Patents.
+func BarabasiAlbert(n, k int, seed uint64) []graph.Edge {
+	if k < 1 || n < k+1 {
+		panic(fmt.Sprintf("gen: BarabasiAlbert(%d,%d): need n > k >= 1", n, k))
+	}
+	rng := randx.New(seed)
+	set := graph.NewEdgeSet(n * k)
+	// repeated holds one entry per edge endpoint, so uniform sampling from
+	// it is degree-proportional sampling.
+	repeated := make([]graph.NodeID, 0, 2*n*k)
+	// Seed graph: a star over the first k+1 nodes.
+	for i := 1; i <= k; i++ {
+		set.Add(0, graph.NodeID(i))
+		repeated = append(repeated, 0, graph.NodeID(i))
+	}
+	targets := make([]graph.NodeID, 0, k)
+	for v := k + 1; v < n; v++ {
+		targets = targets[:0]
+		for len(targets) < k {
+			t := repeated[rng.Intn(len(repeated))]
+			dup := false
+			for _, prev := range targets {
+				if prev == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				targets = append(targets, t)
+			}
+		}
+		for _, t := range targets {
+			if set.Add(graph.NodeID(v), t) {
+				repeated = append(repeated, graph.NodeID(v), t)
+			}
+		}
+	}
+	return set.Edges()
+}
+
+// HolmeKim returns a powerlaw-cluster graph (Holme & Kim 2002): preferential
+// attachment where each additional link closes a triad with probability p.
+// It combines heavy-tailed degrees with tunable high clustering — the
+// profile of collaboration networks (ca-hollywood) and Facebook friendship
+// graphs (socfb-*).
+func HolmeKim(n, k int, p float64, seed uint64) []graph.Edge {
+	if k < 1 || n < k+1 {
+		panic(fmt.Sprintf("gen: HolmeKim(%d,%d): need n > k >= 1", n, k))
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("gen: HolmeKim: p=%v out of [0,1]", p))
+	}
+	rng := randx.New(seed)
+	set := graph.NewEdgeSet(n * k)
+	// Neighbor slices (not the map-based graph.Adjacency) so that random
+	// neighbor selection is a deterministic function of the seed: Go map
+	// iteration order would make the generator non-reproducible.
+	nbrs := make([][]graph.NodeID, n)
+	repeated := make([]graph.NodeID, 0, 2*n*k)
+	addEdge := func(a, b graph.NodeID) bool {
+		if a == b || !set.Add(a, b) {
+			return false
+		}
+		nbrs[a] = append(nbrs[a], b)
+		nbrs[b] = append(nbrs[b], a)
+		repeated = append(repeated, a, b)
+		return true
+	}
+	for i := 1; i <= k; i++ {
+		addEdge(0, graph.NodeID(i))
+	}
+	for v := k + 1; v < n; v++ {
+		node := graph.NodeID(v)
+		// First link: pure preferential attachment.
+		var last graph.NodeID
+		for {
+			t := repeated[rng.Intn(len(repeated))]
+			if addEdge(node, t) {
+				last = t
+				break
+			}
+		}
+		for added := 1; added < k; {
+			if rng.Bernoulli(p) {
+				// Triad step: link to a random neighbor of the
+				// previously linked node.
+				if ns := nbrs[last]; len(ns) > 0 {
+					w := ns[rng.Intn(len(ns))]
+					if addEdge(node, w) {
+						last = w
+						added++
+						continue
+					}
+				}
+			}
+			t := repeated[rng.Intn(len(repeated))]
+			if addEdge(node, t) {
+				last = t
+				added++
+			}
+		}
+	}
+	return set.Edges()
+}
+
+// WattsStrogatz returns a small-world graph: a ring lattice where every node
+// links to its k nearest neighbors (k even), with each edge rewired to a
+// uniform random target with probability beta. Low beta keeps the lattice's
+// very high clustering with near-constant degree — the profile of
+// co-purchase networks such as com-amazon.
+func WattsStrogatz(n, k int, beta float64, seed uint64) []graph.Edge {
+	if k < 2 || k%2 != 0 || k >= n {
+		panic(fmt.Sprintf("gen: WattsStrogatz(%d,%d): need even k with 2 <= k < n", n, k))
+	}
+	rng := randx.New(seed)
+	set := graph.NewEdgeSet(n * k / 2)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k/2; j++ {
+			u := graph.NodeID(v)
+			w := graph.NodeID((v + j) % n)
+			if rng.Bernoulli(beta) {
+				// Rewire: keep u, pick a random new endpoint.
+				for tries := 0; tries < 32; tries++ {
+					cand := graph.NodeID(rng.Intn(n))
+					if cand != u && !set.Has(u, cand) {
+						w = cand
+						break
+					}
+				}
+			}
+			set.Add(u, w)
+		}
+	}
+	return set.Edges()
+}
+
+// RMAT returns a recursive-matrix (Kronecker-like) graph with 2^scale nodes
+// and approximately edgeFactor·2^scale distinct edges. The probabilities
+// (a,b,c) — with d = 1-a-b-c — control the skew; the common social-network
+// setting is a=0.57, b=c=0.19. R-MAT graphs have the heavy-tailed,
+// community-skewed degree profile of online social media and web graphs
+// (soc-twitter, soc-orkut, web-google, tech-as-skitter). Node labels are
+// shuffled so degree is independent of node id.
+func RMAT(scale int, edgeFactor int, a, b, c float64, seed uint64) []graph.Edge {
+	if scale < 1 || scale > 30 {
+		panic(fmt.Sprintf("gen: RMAT scale %d out of [1,30]", scale))
+	}
+	d := 1 - a - b - c
+	if a < 0 || b < 0 || c < 0 || d < 0 {
+		panic(fmt.Sprintf("gen: RMAT probabilities (%v,%v,%v) invalid", a, b, c))
+	}
+	n := 1 << scale
+	target := edgeFactor * n
+	rng := randx.New(seed)
+	// Random relabeling decouples degree from node id.
+	label := rng.Perm(n)
+	set := graph.NewEdgeSet(target)
+	attempts := 0
+	maxAttempts := 20 * target
+	for set.Len() < target && attempts < maxAttempts {
+		attempts++
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// upper-left: no bits set
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u != v {
+			set.Add(graph.NodeID(label[u]), graph.NodeID(label[v]))
+		}
+	}
+	return set.Edges()
+}
+
+// RoadGrid returns a road-network-like graph: an r×c grid where each lattice
+// edge is kept with probability keep and each unit square gains a diagonal
+// with probability diag. The result has near-constant low degree, long
+// cycles and almost no triangles — the profile of infra-roadNet-CA.
+func RoadGrid(rows, cols int, keep, diag float64, seed uint64) []graph.Edge {
+	if rows < 2 || cols < 2 {
+		panic(fmt.Sprintf("gen: RoadGrid(%d,%d): need at least 2x2", rows, cols))
+	}
+	rng := randx.New(seed)
+	set := graph.NewEdgeSet(2 * rows * cols)
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols && rng.Bernoulli(keep) {
+				set.Add(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows && rng.Bernoulli(keep) {
+				set.Add(id(r, c), id(r+1, c))
+			}
+			if r+1 < rows && c+1 < cols && rng.Bernoulli(diag) {
+				set.Add(id(r, c), id(r+1, c+1))
+			}
+		}
+	}
+	return set.Edges()
+}

@@ -1,0 +1,169 @@
+package gen
+
+import (
+	"testing"
+
+	"gps/internal/exact"
+	"gps/internal/graph"
+)
+
+func checkSimple(t *testing.T, edges []graph.Edge) {
+	t.Helper()
+	seen := map[uint64]bool{}
+	for _, e := range edges {
+		if e.U == e.V {
+			t.Fatalf("self loop %v", e)
+		}
+		if !e.Canonical() {
+			t.Fatalf("non-canonical edge %v", e)
+		}
+		if seen[e.Key()] {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[e.Key()] = true
+	}
+}
+
+func determinism(t *testing.T, a, b []graph.Edge) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("same seed sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at edge %d", i)
+		}
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	es := ErdosRenyi(500, 2000, 1)
+	checkSimple(t, es)
+	if len(es) != 2000 {
+		t.Fatalf("ER edge count = %d", len(es))
+	}
+	determinism(t, es, ErdosRenyi(500, 2000, 1))
+}
+
+func TestErdosRenyiPanicsWhenOverfull(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for m > n(n-1)/2")
+		}
+	}()
+	ErdosRenyi(4, 10, 1)
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	const n, k = 1000, 4
+	es := BarabasiAlbert(n, k, 2)
+	checkSimple(t, es)
+	determinism(t, es, BarabasiAlbert(n, k, 2))
+	if len(es) < (n-k-1)*k || len(es) > n*k {
+		t.Fatalf("BA edge count %d implausible", len(es))
+	}
+	g := graph.BuildStatic(es)
+	// Heavy tail: max degree far above mean.
+	var maxDeg int64
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.Degree(graph.NodeID(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := 2 * float64(len(es)) / float64(n)
+	if float64(maxDeg) < 5*mean {
+		t.Fatalf("BA max degree %d not heavy-tailed (mean %.1f)", maxDeg, mean)
+	}
+}
+
+func TestHolmeKimClustersMoreThanBA(t *testing.T) {
+	const n, k = 2000, 5
+	ba := graph.BuildStatic(BarabasiAlbert(n, k, 3))
+	hk := graph.BuildStatic(HolmeKim(n, k, 0.8, 3))
+	ccBA := exact.Count(ba).GlobalClustering()
+	ccHK := exact.Count(hk).GlobalClustering()
+	if ccHK < 2*ccBA {
+		t.Fatalf("HolmeKim clustering %.4f not >> BA clustering %.4f", ccHK, ccBA)
+	}
+	checkSimple(t, HolmeKim(n, k, 0.8, 3))
+	determinism(t, HolmeKim(500, 3, 0.5, 4), HolmeKim(500, 3, 0.5, 4))
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	const n, k = 1000, 6
+	es := WattsStrogatz(n, k, 0.05, 5)
+	checkSimple(t, es)
+	determinism(t, es, WattsStrogatz(n, k, 0.05, 5))
+	// Low-beta WS keeps high clustering.
+	cc := exact.Count(graph.BuildStatic(es)).GlobalClustering()
+	if cc < 0.3 {
+		t.Fatalf("WS(beta=0.05) clustering %.4f too low", cc)
+	}
+	// Edge count close to nk/2 (rewiring may collide occasionally).
+	if len(es) < n*k/2-n/10 || len(es) > n*k/2 {
+		t.Fatalf("WS edge count %d, want ≈%d", len(es), n*k/2)
+	}
+}
+
+func TestWattsStrogatzPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for odd k")
+		}
+	}()
+	WattsStrogatz(10, 3, 0.1, 1)
+}
+
+func TestRMAT(t *testing.T) {
+	es := RMAT(12, 8, 0.57, 0.19, 0.19, 6)
+	checkSimple(t, es)
+	determinism(t, es, RMAT(12, 8, 0.57, 0.19, 0.19, 6))
+	n := 1 << 12
+	if len(es) < n*6 { // must come close to the requested density
+		t.Fatalf("RMAT produced only %d edges for target %d", len(es), n*8)
+	}
+	g := graph.BuildStatic(es)
+	var maxDeg int64
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.Degree(graph.NodeID(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := 2 * float64(len(es)) / float64(n)
+	if float64(maxDeg) < 8*mean {
+		t.Fatalf("RMAT max degree %d not skewed (mean %.1f)", maxDeg, mean)
+	}
+}
+
+func TestRoadGrid(t *testing.T) {
+	es := RoadGrid(50, 60, 0.7, 0.0, 7)
+	checkSimple(t, es)
+	determinism(t, es, RoadGrid(50, 60, 0.7, 0.0, 7))
+	g := graph.BuildStatic(es)
+	if tri := exact.Triangles(g); tri != 0 {
+		t.Fatalf("diagonal-free grid has %d triangles", tri)
+	}
+	mean := 2 * float64(len(es)) / float64(50*60)
+	if mean < 1.5 || mean > 3.5 {
+		t.Fatalf("road mean degree %.2f implausible", mean)
+	}
+	// With diagonals, some triangles appear.
+	es2 := RoadGrid(50, 60, 0.9, 0.3, 7)
+	if tri := exact.Triangles(graph.BuildStatic(es2)); tri == 0 {
+		t.Fatal("grid with diagonals has no triangles")
+	}
+}
+
+func TestGeneratorsDisjointSeedsDiffer(t *testing.T) {
+	a := ErdosRenyi(300, 1000, 1)
+	b := ErdosRenyi(300, 1000, 2)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical ER graphs")
+	}
+}

@@ -1,0 +1,152 @@
+package graph
+
+// Adjacency is a dynamic undirected adjacency structure supporting edge
+// insertion, deletion and neighborhood queries. It is the topology index of
+// the GPS reservoir: W(k,K̂) weight functions and the triangle/wedge
+// estimators need Γ̂(v) iteration and common-neighbor queries against the
+// *currently sampled* graph, which gains and loses edges as the reservoir
+// evolves.
+//
+// Space is O(|V̂|+m) as discussed in §3.2 (S4) of the paper: one hash-set of
+// neighbors per retained node. Neighbor lookup is O(1) expected; common
+// neighbors of (u,v) cost O(min{deg(u),deg(v)}) expected.
+//
+// The zero value is not usable; construct with NewAdjacency.
+type Adjacency struct {
+	nbrs  map[NodeID]map[NodeID]struct{}
+	edges int
+}
+
+// NewAdjacency returns an empty adjacency structure.
+func NewAdjacency() *Adjacency {
+	return &Adjacency{nbrs: make(map[NodeID]map[NodeID]struct{})}
+}
+
+// Add inserts the edge and reports whether it was newly added (false if it
+// was already present).
+func (a *Adjacency) Add(e Edge) bool {
+	if a.has(e.U, e.V) {
+		return false
+	}
+	a.link(e.U, e.V)
+	a.link(e.V, e.U)
+	a.edges++
+	return true
+}
+
+func (a *Adjacency) link(u, v NodeID) {
+	set := a.nbrs[u]
+	if set == nil {
+		set = make(map[NodeID]struct{}, 4)
+		a.nbrs[u] = set
+	}
+	set[v] = struct{}{}
+}
+
+// Remove deletes the edge and reports whether it was present. Nodes whose
+// last incident edge is removed are dropped entirely so that the node count
+// tracks the sampled subgraph.
+func (a *Adjacency) Remove(e Edge) bool {
+	if !a.has(e.U, e.V) {
+		return false
+	}
+	a.unlink(e.U, e.V)
+	a.unlink(e.V, e.U)
+	a.edges--
+	return true
+}
+
+func (a *Adjacency) unlink(u, v NodeID) {
+	set := a.nbrs[u]
+	delete(set, v)
+	if len(set) == 0 {
+		delete(a.nbrs, u)
+	}
+}
+
+func (a *Adjacency) has(u, v NodeID) bool {
+	_, ok := a.nbrs[u][v]
+	return ok
+}
+
+// Has reports whether the edge is present.
+func (a *Adjacency) Has(e Edge) bool { return a.has(e.U, e.V) }
+
+// HasNode reports whether v has at least one incident edge.
+func (a *Adjacency) HasNode(v NodeID) bool { return len(a.nbrs[v]) > 0 }
+
+// Degree returns the number of neighbors of v in the structure.
+func (a *Adjacency) Degree(v NodeID) int { return len(a.nbrs[v]) }
+
+// NumNodes returns the number of nodes with at least one incident edge.
+func (a *Adjacency) NumNodes() int { return len(a.nbrs) }
+
+// NumEdges returns the number of edges currently stored.
+func (a *Adjacency) NumEdges() int { return a.edges }
+
+// Neighbors calls fn for each neighbor of v until fn returns false.
+// Iteration order is unspecified.
+func (a *Adjacency) Neighbors(v NodeID, fn func(NodeID) bool) {
+	for u := range a.nbrs[v] {
+		if !fn(u) {
+			return
+		}
+	}
+}
+
+// CommonNeighbors calls fn for each node adjacent to both u and v, iterating
+// the smaller neighborhood and probing the larger, until fn returns false.
+// This is the O(min{deg(u),deg(v)}) pattern the paper uses to evaluate
+// W(k,K̂)=|Γ̂(v1)∩Γ̂(v2)| per arriving edge (§3.2, S4).
+func (a *Adjacency) CommonNeighbors(u, v NodeID, fn func(NodeID) bool) {
+	su, sv := a.nbrs[u], a.nbrs[v]
+	if len(su) > len(sv) {
+		su, sv = sv, su
+	}
+	for w := range su {
+		if _, ok := sv[w]; ok {
+			if !fn(w) {
+				return
+			}
+		}
+	}
+}
+
+// CountCommonNeighbors returns |Γ(u) ∩ Γ(v)|, the number of triangles the
+// edge {u,v} would close against the stored graph.
+func (a *Adjacency) CountCommonNeighbors(u, v NodeID) int {
+	n := 0
+	a.CommonNeighbors(u, v, func(NodeID) bool { n++; return true })
+	return n
+}
+
+// Wedges returns the number of wedges (paths of length two) centered at v:
+// deg(v) choose 2.
+func (a *Adjacency) Wedges(v NodeID) int64 {
+	d := int64(len(a.nbrs[v]))
+	return d * (d - 1) / 2
+}
+
+// ForEachEdge calls fn once per stored edge (in canonical form) until fn
+// returns false. Iteration order is unspecified.
+func (a *Adjacency) ForEachEdge(fn func(Edge) bool) {
+	for u, set := range a.nbrs {
+		for v := range set {
+			if u < v {
+				if !fn(Edge{U: u, V: v}) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// ForEachNode calls fn once per node with at least one incident edge until fn
+// returns false.
+func (a *Adjacency) ForEachNode(fn func(NodeID) bool) {
+	for v := range a.nbrs {
+		if !fn(v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package graph
+
+// EdgeSet accumulates a simple graph edge by edge, silently dropping self
+// loops and duplicates. The synthetic generators write into an EdgeSet so
+// that their output is a valid simplified graph regardless of how often the
+// underlying random process proposes the same pair.
+//
+// The zero value is not usable; construct with NewEdgeSet.
+type EdgeSet struct {
+	keys  map[uint64]struct{}
+	edges []Edge
+}
+
+// NewEdgeSet returns an EdgeSet with capacity hint n.
+func NewEdgeSet(n int) *EdgeSet {
+	return &EdgeSet{
+		keys:  make(map[uint64]struct{}, n),
+		edges: make([]Edge, 0, n),
+	}
+}
+
+// Add inserts the undirected edge {a,b}, reporting whether it was added.
+// Self loops (a==b) and duplicates return false.
+func (s *EdgeSet) Add(a, b NodeID) bool {
+	if a == b {
+		return false
+	}
+	e := NewEdge(a, b)
+	k := e.Key()
+	if _, dup := s.keys[k]; dup {
+		return false
+	}
+	s.keys[k] = struct{}{}
+	s.edges = append(s.edges, e)
+	return true
+}
+
+// Has reports whether the undirected edge {a,b} is present.
+func (s *EdgeSet) Has(a, b NodeID) bool {
+	if a == b {
+		return false
+	}
+	_, ok := s.keys[NewEdge(a, b).Key()]
+	return ok
+}
+
+// Len returns the number of distinct edges added.
+func (s *EdgeSet) Len() int { return len(s.edges) }
+
+// Edges returns the accumulated edges in insertion order. The slice aliases
+// internal storage; callers that mutate it must copy first.
+func (s *EdgeSet) Edges() []Edge { return s.edges }

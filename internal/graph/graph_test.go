@@ -1,0 +1,348 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEdgeCanonical(t *testing.T) {
+	e := NewEdge(5, 2)
+	if e.U != 2 || e.V != 5 {
+		t.Fatalf("NewEdge(5,2) = %v, want 2-5", e)
+	}
+	if !e.Canonical() {
+		t.Fatal("edge not canonical")
+	}
+	if NewEdge(2, 5) != e {
+		t.Fatal("NewEdge is not order-insensitive")
+	}
+}
+
+func TestNewEdgePanicsOnSelfLoop(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewEdge(3,3) did not panic")
+		}
+	}()
+	NewEdge(3, 3)
+}
+
+func TestEdgeKeyRoundTrip(t *testing.T) {
+	f := func(a, b uint32) bool {
+		if a == b {
+			return true
+		}
+		e := NewEdge(NodeID(a), NodeID(b))
+		return EdgeFromKey(e.Key()) == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeKeyInjective(t *testing.T) {
+	a := NewEdge(1, 2)
+	b := NewEdge(1, 3)
+	c := NewEdge(2, 3)
+	if a.Key() == b.Key() || a.Key() == c.Key() || b.Key() == c.Key() {
+		t.Fatal("edge keys collide")
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := NewEdge(1, 2)
+	if v, ok := e.Other(1); !ok || v != 2 {
+		t.Fatalf("Other(1) = %v,%v", v, ok)
+	}
+	if v, ok := e.Other(2); !ok || v != 1 {
+		t.Fatalf("Other(2) = %v,%v", v, ok)
+	}
+	if _, ok := e.Other(9); ok {
+		t.Fatal("Other(9) should fail")
+	}
+}
+
+func TestEdgeAdjacent(t *testing.T) {
+	e := NewEdge(1, 2)
+	cases := []struct {
+		f    Edge
+		want bool
+	}{
+		{NewEdge(2, 3), true},
+		{NewEdge(1, 9), true},
+		{NewEdge(3, 4), false},
+		{NewEdge(1, 2), false}, // equal edges are not "adjacent"
+	}
+	for _, c := range cases {
+		if got := e.Adjacent(c.f); got != c.want {
+			t.Errorf("Adjacent(%v,%v) = %v, want %v", e, c.f, got, c.want)
+		}
+	}
+}
+
+func TestSharedNode(t *testing.T) {
+	e, f := NewEdge(1, 2), NewEdge(2, 3)
+	if v, ok := e.SharedNode(f); !ok || v != 2 {
+		t.Fatalf("SharedNode = %v,%v", v, ok)
+	}
+	if _, ok := e.SharedNode(NewEdge(4, 5)); ok {
+		t.Fatal("disjoint edges share a node?")
+	}
+}
+
+func TestEdgeString(t *testing.T) {
+	if s := NewEdge(7, 3).String(); s != "3-7" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestAdjacencyAddRemove(t *testing.T) {
+	a := NewAdjacency()
+	e := NewEdge(1, 2)
+	if !a.Add(e) {
+		t.Fatal("first Add returned false")
+	}
+	if a.Add(e) {
+		t.Fatal("duplicate Add returned true")
+	}
+	if !a.Has(e) || a.NumEdges() != 1 || a.NumNodes() != 2 {
+		t.Fatalf("after add: has=%v m=%d n=%d", a.Has(e), a.NumEdges(), a.NumNodes())
+	}
+	if !a.Remove(e) {
+		t.Fatal("Remove returned false")
+	}
+	if a.Remove(e) {
+		t.Fatal("second Remove returned true")
+	}
+	if a.Has(e) || a.NumEdges() != 0 || a.NumNodes() != 0 {
+		t.Fatalf("after remove: has=%v m=%d n=%d", a.Has(e), a.NumEdges(), a.NumNodes())
+	}
+}
+
+func TestAdjacencyDegreesAndNeighbors(t *testing.T) {
+	a := NewAdjacency()
+	a.Add(NewEdge(0, 1))
+	a.Add(NewEdge(0, 2))
+	a.Add(NewEdge(0, 3))
+	a.Add(NewEdge(2, 3))
+	if d := a.Degree(0); d != 3 {
+		t.Fatalf("Degree(0) = %d", d)
+	}
+	if d := a.Degree(9); d != 0 {
+		t.Fatalf("Degree(9) = %d", d)
+	}
+	seen := map[NodeID]bool{}
+	a.Neighbors(0, func(v NodeID) bool { seen[v] = true; return true })
+	if len(seen) != 3 || !seen[1] || !seen[2] || !seen[3] {
+		t.Fatalf("Neighbors(0) = %v", seen)
+	}
+	// Early termination.
+	count := 0
+	a.Neighbors(0, func(NodeID) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("early-terminated iteration visited %d", count)
+	}
+}
+
+func TestAdjacencyCommonNeighbors(t *testing.T) {
+	a := NewAdjacency()
+	// Triangle 0-1-2 plus pendant 3.
+	a.Add(NewEdge(0, 1))
+	a.Add(NewEdge(1, 2))
+	a.Add(NewEdge(0, 2))
+	a.Add(NewEdge(2, 3))
+	if n := a.CountCommonNeighbors(0, 1); n != 1 {
+		t.Fatalf("CountCommonNeighbors(0,1) = %d", n)
+	}
+	if n := a.CountCommonNeighbors(0, 3); n != 1 { // node 2
+		t.Fatalf("CountCommonNeighbors(0,3) = %d", n)
+	}
+	if n := a.CountCommonNeighbors(1, 3); n != 1 {
+		t.Fatalf("CountCommonNeighbors(1,3) = %d", n)
+	}
+	if n := a.CountCommonNeighbors(0, 9); n != 0 {
+		t.Fatalf("CountCommonNeighbors(0,9) = %d", n)
+	}
+}
+
+func TestAdjacencyWedges(t *testing.T) {
+	a := NewAdjacency()
+	a.Add(NewEdge(0, 1))
+	a.Add(NewEdge(0, 2))
+	a.Add(NewEdge(0, 3))
+	if w := a.Wedges(0); w != 3 {
+		t.Fatalf("Wedges(0) = %d", w)
+	}
+	if w := a.Wedges(1); w != 0 {
+		t.Fatalf("Wedges(1) = %d", w)
+	}
+}
+
+func TestAdjacencyForEachEdge(t *testing.T) {
+	a := NewAdjacency()
+	in := []Edge{NewEdge(0, 1), NewEdge(1, 2), NewEdge(5, 9)}
+	for _, e := range in {
+		a.Add(e)
+	}
+	got := map[Edge]bool{}
+	a.ForEachEdge(func(e Edge) bool {
+		if !e.Canonical() {
+			t.Fatalf("non-canonical edge %v from iteration", e)
+		}
+		got[e] = true
+		return true
+	})
+	if len(got) != len(in) {
+		t.Fatalf("ForEachEdge visited %d edges, want %d", len(got), len(in))
+	}
+	for _, e := range in {
+		if !got[e] {
+			t.Fatalf("edge %v missing from iteration", e)
+		}
+	}
+}
+
+func TestAdjacencyAddRemoveProperty(t *testing.T) {
+	// Adding a batch of random edges then removing them in reverse order
+	// must restore the empty structure, with edge/node counts consistent
+	// at every step.
+	f := func(pairs [][2]uint8) bool {
+		a := NewAdjacency()
+		var added []Edge
+		for _, p := range pairs {
+			if p[0] == p[1] {
+				continue
+			}
+			e := NewEdge(NodeID(p[0]), NodeID(p[1]))
+			if a.Add(e) {
+				added = append(added, e)
+			}
+			if a.Add(e) { // duplicate must be rejected
+				return false
+			}
+		}
+		if a.NumEdges() != len(added) {
+			return false
+		}
+		for i := len(added) - 1; i >= 0; i-- {
+			if !a.Remove(added[i]) {
+				return false
+			}
+		}
+		return a.NumEdges() == 0 && a.NumNodes() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticBasics(t *testing.T) {
+	edges := []Edge{NewEdge(0, 1), NewEdge(1, 2), NewEdge(0, 2), NewEdge(2, 3)}
+	g := BuildStatic(edges)
+	if g.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	if g.Degree(2) != 3 {
+		t.Fatalf("Degree(2) = %d", g.Degree(2))
+	}
+	ns := g.Neighbors(2)
+	for i := 1; i < len(ns); i++ {
+		if ns[i-1] >= ns[i] {
+			t.Fatalf("Neighbors(2) not sorted: %v", ns)
+		}
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("HasEdge(0,1) false")
+	}
+	if g.HasEdge(0, 3) {
+		t.Fatal("HasEdge(0,3) true")
+	}
+}
+
+func TestStaticEmpty(t *testing.T) {
+	g := BuildStatic(nil)
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph: n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestStaticEdgesRoundTrip(t *testing.T) {
+	in := []Edge{NewEdge(0, 1), NewEdge(1, 2), NewEdge(0, 2), NewEdge(2, 3), NewEdge(7, 9)}
+	g := BuildStatic(in)
+	out := g.Edges()
+	if len(out) != len(in) {
+		t.Fatalf("Edges() returned %d, want %d", len(out), len(in))
+	}
+	want := map[Edge]bool{}
+	for _, e := range in {
+		want[e] = true
+	}
+	for _, e := range out {
+		if !want[e] {
+			t.Fatalf("unexpected edge %v", e)
+		}
+	}
+}
+
+func TestStaticIsolatedIDs(t *testing.T) {
+	// Node 5 appears, nodes 3 and 4 are isolated ids inside the range.
+	g := BuildStatic([]Edge{NewEdge(0, 5)})
+	if g.NumNodes() != 6 {
+		t.Fatalf("NumNodes = %d, want 6", g.NumNodes())
+	}
+	if g.Degree(3) != 0 {
+		t.Fatalf("Degree(3) = %d", g.Degree(3))
+	}
+}
+
+func TestEdgeSet(t *testing.T) {
+	s := NewEdgeSet(4)
+	if !s.Add(1, 2) {
+		t.Fatal("Add(1,2) = false")
+	}
+	if s.Add(2, 1) {
+		t.Fatal("Add(2,1) accepted a duplicate")
+	}
+	if s.Add(3, 3) {
+		t.Fatal("Add(3,3) accepted a self loop")
+	}
+	if !s.Has(2, 1) || s.Has(1, 3) || s.Has(3, 3) {
+		t.Fatal("Has gave wrong answers")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	s.Add(1, 3)
+	es := s.Edges()
+	if len(es) != 2 || es[0] != NewEdge(1, 2) || es[1] != NewEdge(1, 3) {
+		t.Fatalf("Edges() = %v", es)
+	}
+}
+
+func TestEdgeSetProperty(t *testing.T) {
+	f := func(pairs [][2]uint8) bool {
+		s := NewEdgeSet(len(pairs))
+		ref := map[uint64]bool{}
+		for _, p := range pairs {
+			if p[0] == p[1] {
+				if s.Add(NodeID(p[0]), NodeID(p[1])) {
+					return false
+				}
+				continue
+			}
+			k := NewEdge(NodeID(p[0]), NodeID(p[1])).Key()
+			added := s.Add(NodeID(p[0]), NodeID(p[1]))
+			if added == ref[k] { // must add iff not already present
+				return false
+			}
+			ref[k] = true
+		}
+		return s.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

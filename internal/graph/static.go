@@ -1,0 +1,100 @@
+package graph
+
+import "sort"
+
+// Static is an immutable compressed-sparse-row (CSR) representation of a
+// simple undirected graph. It is the substrate of the exact counters: sorted
+// neighbor slices admit merge-based intersection, and the flat layout keeps
+// the counters cache-friendly on multi-million-edge inputs.
+type Static struct {
+	offsets []int64  // len = numNodes+1; neighbor range of node v is nbrs[offsets[v]:offsets[v+1]]
+	nbrs    []NodeID // concatenated sorted neighbor lists
+	edges   int64
+}
+
+// BuildStatic constructs a Static graph from a set of canonical edges.
+// The input must already be deduplicated (as produced by EdgeSet or the
+// stream simplifier); duplicate edges would corrupt degree counts.
+// Node ids are used as-is: the node universe is [0, maxID].
+func BuildStatic(edges []Edge) *Static {
+	var maxID NodeID
+	for _, e := range edges {
+		if e.V > maxID {
+			maxID = e.V
+		}
+		if e.U > maxID {
+			maxID = e.U
+		}
+	}
+	n := int(maxID) + 1
+	if len(edges) == 0 {
+		n = 0
+	}
+	deg := make([]int64, n+1)
+	for _, e := range edges {
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	offsets := make([]int64, n+1)
+	for i := 1; i <= n; i++ {
+		offsets[i] = offsets[i-1] + deg[i]
+	}
+	nbrs := make([]NodeID, 2*len(edges))
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	for _, e := range edges {
+		nbrs[cursor[e.U]] = e.V
+		cursor[e.U]++
+		nbrs[cursor[e.V]] = e.U
+		cursor[e.V]++
+	}
+	g := &Static{offsets: offsets, nbrs: nbrs, edges: int64(len(edges))}
+	for v := 0; v < n; v++ {
+		lo, hi := offsets[v], offsets[v+1]
+		seg := nbrs[lo:hi]
+		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+	}
+	return g
+}
+
+// NumNodes returns the size of the node universe [0, maxID].
+// Isolated ids inside the range count as degree-zero nodes.
+func (g *Static) NumNodes() int { return len(g.offsets) - 1 }
+
+// NumEdges returns the number of undirected edges.
+func (g *Static) NumEdges() int64 { return g.edges }
+
+// Degree returns the degree of v.
+func (g *Static) Degree(v NodeID) int64 {
+	return g.offsets[v+1] - g.offsets[v]
+}
+
+// Neighbors returns the sorted neighbor slice of v. The slice aliases the
+// graph's internal storage and must not be modified.
+func (g *Static) Neighbors(v NodeID) []NodeID {
+	return g.nbrs[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether {u,v} is an edge, by binary search in the smaller
+// neighbor list.
+func (g *Static) HasEdge(u, v NodeID) bool {
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	ns := g.Neighbors(u)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+	return i < len(ns) && ns[i] == v
+}
+
+// Edges returns all edges in canonical form. The result is freshly allocated.
+func (g *Static) Edges() []Edge {
+	out := make([]Edge, 0, g.edges)
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, u := range g.Neighbors(NodeID(v)) {
+			if NodeID(v) < u {
+				out = append(out, Edge{U: NodeID(v), V: u})
+			}
+		}
+	}
+	return out
+}

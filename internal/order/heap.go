@@ -1,0 +1,147 @@
+// Package order implements the indexed binary min-heap that backs the GPS
+// reservoir (Algorithm 1 of the paper).
+//
+// The paper's implementation notes (§3.2) call for a binary heap stored in a
+// flat array, with the root holding the lowest-priority edge so that the
+// eviction candidate is available in O(1) and insert/evict cost O(log m).
+// On top of the plain heap this package maintains an edge-key → slot index,
+// because the estimators (Algorithms 2 and 3) must look up the stored weight
+// w(k') of an arbitrary sampled edge to form q(k') = min{1, w(k')/z*}, and
+// the in-stream estimator additionally updates per-edge covariance
+// accumulators C̃_k in place.
+package order
+
+import "gps/internal/graph"
+
+// Entry is the reservoir record of one sampled edge.
+type Entry struct {
+	Edge     graph.Edge
+	Weight   float64 // w(k), fixed at arrival time
+	Priority float64 // r(k) = w(k)/u(k)
+
+	// In-stream covariance accumulators (Algorithm 3 lines 18-19, 27).
+	// They live in the heap entry so that eviction of the edge discards
+	// them, exactly as lines 39-40 of Algorithm 3 prescribe.
+	TriCov   float64 // C̃_k(△)
+	WedgeCov float64 // C̃_k(Λ)
+}
+
+// Heap is a binary min-heap of Entries keyed by Priority with an auxiliary
+// edge-key index. The zero value is not usable; construct with NewHeap.
+//
+// Pointers returned by Get/At/Min are valid only until the next Push or
+// PopMin: heap maintenance moves entries within the backing array.
+type Heap struct {
+	items []Entry
+	pos   map[uint64]int32
+}
+
+// NewHeap returns an empty heap with capacity hint n.
+func NewHeap(n int) *Heap {
+	return &Heap{
+		items: make([]Entry, 0, n+1),
+		pos:   make(map[uint64]int32, n+1),
+	}
+}
+
+// Len returns the number of stored entries.
+func (h *Heap) Len() int { return len(h.items) }
+
+// Contains reports whether the edge with the given key is stored.
+func (h *Heap) Contains(key uint64) bool {
+	_, ok := h.pos[key]
+	return ok
+}
+
+// Get returns the entry for the edge key, or nil if absent. The pointer may
+// be used to read the weight or update the covariance accumulators; it is
+// invalidated by the next Push or PopMin.
+func (h *Heap) Get(key uint64) *Entry {
+	i, ok := h.pos[key]
+	if !ok {
+		return nil
+	}
+	return &h.items[i]
+}
+
+// Min returns the lowest-priority entry, or nil if the heap is empty.
+func (h *Heap) Min() *Entry {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return &h.items[0]
+}
+
+// At returns the entry at slot i (0 ≤ i < Len) in unspecified order; it is
+// the iteration primitive used by the post-stream estimator's parallel scan.
+func (h *Heap) At(i int) *Entry { return &h.items[i] }
+
+// Push inserts a new entry. It panics if an entry with the same edge key is
+// already stored; GPS streams carry unique edges, so a duplicate reaching the
+// reservoir indicates a broken stream simplifier upstream.
+func (h *Heap) Push(e Entry) {
+	key := e.Edge.Key()
+	if _, dup := h.pos[key]; dup {
+		panic("order: duplicate edge pushed: " + e.Edge.String())
+	}
+	h.items = append(h.items, e)
+	i := int32(len(h.items) - 1)
+	h.pos[key] = i
+	h.siftUp(i)
+}
+
+// PopMin removes and returns the lowest-priority entry. It panics on an
+// empty heap.
+func (h *Heap) PopMin() Entry {
+	if len(h.items) == 0 {
+		panic("order: PopMin on empty heap")
+	}
+	min := h.items[0]
+	last := int32(len(h.items) - 1)
+	h.swap(0, last)
+	h.items = h.items[:last]
+	delete(h.pos, min.Edge.Key())
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return min
+}
+
+func (h *Heap) swap(i, j int32) {
+	if i == j {
+		return
+	}
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i].Edge.Key()] = i
+	h.pos[h.items[j].Edge.Key()] = j
+}
+
+func (h *Heap) siftUp(i int32) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].Priority <= h.items[i].Priority {
+			return
+		}
+		h.swap(parent, i)
+		i = parent
+	}
+}
+
+func (h *Heap) siftDown(i int32) {
+	n := int32(len(h.items))
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.items[right].Priority < h.items[left].Priority {
+			smallest = right
+		}
+		if h.items[i].Priority <= h.items[smallest].Priority {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,229 @@
+// Package randx provides small, fast, deterministic pseudo-random number
+// generators used throughout the GPS reproduction.
+//
+// Reproducibility is a hard requirement of the experimental harness: the
+// paper's evaluation ("both GPS post and in-stream estimation randomly select
+// the same set of edges with the same random seeds", §6) depends on being
+// able to replay a stream and a sampler byte-for-byte. The standard library's
+// math/rand is seedable but its exact output is not guaranteed across Go
+// releases, so we implement the generators ourselves:
+//
+//   - splitmix64 — used to expand a single uint64 seed into generator state;
+//   - xoshiro256++ — the core generator (Blackman & Vigna), 256-bit state,
+//     sub-nanosecond per call, passes BigCrush.
+//
+// The package also provides the derived variates the samplers need: uniforms
+// on the half-open interval (0,1] (priorities u(k) must never be zero, since
+// r(k)=w(k)/u(k)), Fisher–Yates permutations, and binomial/Poisson samplers
+// used by the NSAMP baseline's bulk replacement step.
+package randx
+
+import "math"
+
+// splitmix64 advances the given state and returns the next value of the
+// splitmix64 sequence. It is used only for seeding.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RNG is a deterministic xoshiro256++ generator. The zero value is not
+// usable; construct with New. RNG is not safe for concurrent use; give each
+// goroutine its own RNG (see Split).
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from the single word seed. Distinct seeds
+// yield independent-looking streams; the same seed always yields the same
+// stream.
+func New(seed uint64) *RNG {
+	var r RNG
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// xoshiro256++ must not have the all-zero state; splitmix64 of any seed
+	// cannot produce four zero words, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+// Split derives a new, statistically independent generator from r. It is the
+// supported way to hand per-worker generators to parallel code while keeping
+// the whole run a deterministic function of the root seed.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0xd1342543de82ef95)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next value of the xoshiro256++ sequence.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[0]+s[3], 23) + s[0]
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in the half-open interval [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * 0x1p-53
+}
+
+// Uniform01 returns a uniform float64 in the half-open interval (0,1].
+// This is the distribution the paper assigns to u(k): priorities are
+// r(k) = w(k)/u(k), so u(k)=0 must be impossible.
+func (r *RNG) Uniform01() float64 {
+	return float64(r.Uint64()>>11+1) * 0x1p-53
+}
+
+// Intn returns a uniform int in [0,n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("randx: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0,n) using Lemire's multiply-shift
+// rejection method. It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("randx: Uint64n with zero n")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Rejection sampling on the top bits to remove modulo bias.
+	threshold := -n % n
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return v % n
+		}
+	}
+}
+
+// Perm returns a deterministic pseudo-random permutation of [0,n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using the provided swap
+// function (Fisher–Yates).
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Binomial returns a sample from Binomial(n, p). For small n it runs n
+// Bernoulli trials; for large n with small mean it uses a Poisson
+// approximation, and for large mean a normal approximation with rounding and
+// clamping. The approximations are only used by the NSAMP baseline's bulk
+// estimator-replacement step, where the binomial count of estimators to
+// re-seed at stream position t is Binomial(r, 1/t); the approximation error
+// is far below the Monte-Carlo noise of the estimators themselves.
+func (r *RNG) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n <= 64 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	mean := float64(n) * p
+	if mean < 16 {
+		k := r.Poisson(mean)
+		if k > n {
+			k = n
+		}
+		return k
+	}
+	sd := math.Sqrt(mean * (1 - p))
+	k := int(math.Round(mean + sd*r.Normal()))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// Poisson returns a sample from Poisson(lambda) using Knuth's product method
+// for small lambda and a normal approximation for large lambda.
+func (r *RNG) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 64 {
+		k := int(math.Round(lambda + math.Sqrt(lambda)*r.Normal()))
+		if k < 0 {
+			k = 0
+		}
+		return k
+	}
+	limit := math.Exp(-lambda)
+	k := 0
+	prod := r.Float64()
+	for prod > limit {
+		k++
+		prod *= r.Float64()
+	}
+	return k
+}
+
+// Normal returns a standard normal variate (Box–Muller; the second variate is
+// deliberately discarded to keep the generator allocation-free and stateless
+// beyond the xoshiro words).
+func (r *RNG) Normal() float64 {
+	// Uniform01 keeps u strictly positive so Log is finite.
+	u := r.Uniform01()
+	v := r.Float64()
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+}
+
+// Exp returns an exponential variate with rate 1.
+func (r *RNG) Exp() float64 {
+	return -math.Log(r.Uniform01())
+}

@@ -1,0 +1,170 @@
+// Package stats provides the error metrics and interval arithmetic used by
+// the paper's evaluation (§6): absolute relative error (ARE), mean/max ARE
+// over a time series (Table 3), 95% confidence bounds (Table 1, Figures 2-3),
+// the delta-method variance of a ratio estimator (Eq. 11), and Welford
+// accumulators for the Monte-Carlo unbiasedness tests.
+package stats
+
+import "math"
+
+// ARE returns the absolute relative error |estimate-actual|/actual.
+// For actual == 0 it returns 0 when the estimate is also 0 and +Inf
+// otherwise.
+func ARE(estimate, actual float64) float64 {
+	if actual == 0 {
+		if estimate == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(estimate-actual) / math.Abs(actual)
+}
+
+// MARE returns the mean absolute relative error over paired series, the
+// time-average error metric of Table 3. It panics on length mismatch and
+// returns 0 for empty input.
+func MARE(estimates, actuals []float64) float64 {
+	if len(estimates) != len(actuals) {
+		panic("stats: MARE length mismatch")
+	}
+	if len(estimates) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range estimates {
+		sum += ARE(estimates[i], actuals[i])
+	}
+	return sum / float64(len(estimates))
+}
+
+// MaxARE returns the maximum absolute relative error over paired series.
+func MaxARE(estimates, actuals []float64) float64 {
+	if len(estimates) != len(actuals) {
+		panic("stats: MaxARE length mismatch")
+	}
+	maxErr := 0.0
+	for i := range estimates {
+		if e := ARE(estimates[i], actuals[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	return maxErr
+}
+
+// Z95 is the standard normal quantile used for 95% confidence intervals,
+// as in the paper's X̂ ± 1.96·sqrt(Var[X̂]) bounds.
+const Z95 = 1.96
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lower, Upper float64
+}
+
+// CI95 returns the 95% confidence interval x ± 1.96·√variance. Negative
+// variances (possible for unbiased variance *estimators* in small samples)
+// are treated as zero.
+func CI95(x, variance float64) Interval {
+	if variance < 0 || math.IsNaN(variance) {
+		variance = 0
+	}
+	half := Z95 * math.Sqrt(variance)
+	return Interval{Lower: x - half, Upper: x + half}
+}
+
+// Contains reports whether v lies in the closed interval.
+func (iv Interval) Contains(v float64) bool {
+	return iv.Lower <= v && v <= iv.Upper
+}
+
+// Width returns the interval width.
+func (iv Interval) Width() float64 { return iv.Upper - iv.Lower }
+
+// RatioVariance returns the delta-method approximation (Eq. 11) of
+// Var(num/den) given the variances of numerator and denominator and their
+// covariance:
+//
+//	Var(N/D) ≈ Var(N)/D² + N²·Var(D)/D⁴ − 2·N·Cov(N,D)/D³
+//
+// It returns 0 when den == 0.
+func RatioVariance(num, den, varNum, varDen, cov float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	d2 := den * den
+	v := varNum/d2 + num*num*varDen/(d2*d2) - 2*num*cov/(d2*den)
+	if v < 0 {
+		// The delta-method combination of unbiased variance estimates
+		// can come out slightly negative; clamp for downstream CIs.
+		return 0
+	}
+	return v
+}
+
+// Welford accumulates a running mean and variance in a numerically stable
+// way. The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add records one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the running mean (0 before any observation).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 with fewer than two
+// observations).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdErr returns the standard error of the mean.
+func (w *Welford) StdErr() float64 {
+	if w.n < 1 {
+		return 0
+	}
+	return math.Sqrt(w.Variance() / float64(w.n))
+}
+
+// Covariance accumulates a running covariance between paired observations.
+// The zero value is ready to use.
+type Covariance struct {
+	n        int64
+	meanX    float64
+	meanY    float64
+	comoment float64
+}
+
+// Add records one paired observation.
+func (c *Covariance) Add(x, y float64) {
+	c.n++
+	dx := x - c.meanX
+	c.meanX += dx / float64(c.n)
+	c.meanY += (y - c.meanY) / float64(c.n)
+	c.comoment += dx * (y - c.meanY)
+}
+
+// Value returns the unbiased sample covariance (0 with fewer than two
+// observations).
+func (c *Covariance) Value() float64 {
+	if c.n < 2 {
+		return 0
+	}
+	return c.comoment / float64(c.n-1)
+}
+
+// Count returns the number of paired observations.
+func (c *Covariance) Count() int64 { return c.n }

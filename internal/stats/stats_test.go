@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"gps/internal/randx"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestARE(t *testing.T) {
+	if got := ARE(110, 100); !almost(got, 0.1, 1e-12) {
+		t.Fatalf("ARE(110,100) = %v", got)
+	}
+	if got := ARE(90, 100); !almost(got, 0.1, 1e-12) {
+		t.Fatalf("ARE(90,100) = %v", got)
+	}
+	if got := ARE(0, 0); got != 0 {
+		t.Fatalf("ARE(0,0) = %v", got)
+	}
+	if got := ARE(5, 0); !math.IsInf(got, 1) {
+		t.Fatalf("ARE(5,0) = %v", got)
+	}
+	if got := ARE(-90, -100); !almost(got, 0.1, 1e-12) {
+		t.Fatalf("ARE(-90,-100) = %v", got)
+	}
+}
+
+func TestMAREAndMax(t *testing.T) {
+	est := []float64{110, 95, 100}
+	act := []float64{100, 100, 100}
+	if got := MARE(est, act); !almost(got, 0.05, 1e-12) {
+		t.Fatalf("MARE = %v", got)
+	}
+	if got := MaxARE(est, act); !almost(got, 0.10, 1e-12) {
+		t.Fatalf("MaxARE = %v", got)
+	}
+	if got := MARE(nil, nil); got != 0 {
+		t.Fatalf("MARE(empty) = %v", got)
+	}
+}
+
+func TestMAREPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	MARE([]float64{1}, []float64{1, 2})
+}
+
+func TestCI95(t *testing.T) {
+	iv := CI95(100, 25) // sd 5 → ±9.8
+	if !almost(iv.Lower, 100-9.8, 1e-9) || !almost(iv.Upper, 100+9.8, 1e-9) {
+		t.Fatalf("CI95 = %+v", iv)
+	}
+	if !iv.Contains(100) || iv.Contains(50) {
+		t.Fatal("Contains wrong")
+	}
+	if !almost(iv.Width(), 19.6, 1e-9) {
+		t.Fatalf("Width = %v", iv.Width())
+	}
+	// Negative variance treated as zero.
+	iv = CI95(10, -4)
+	if iv.Lower != 10 || iv.Upper != 10 {
+		t.Fatalf("CI95 negative var = %+v", iv)
+	}
+}
+
+func TestRatioVarianceMonteCarlo(t *testing.T) {
+	// X ~ N(100, 4), Y ~ N(50, 1), independent. Var(X/Y) by delta method:
+	// 4/2500 + 10000·1/6.25e6 = 0.0016 + 0.0016 = 0.0032.
+	want := RatioVariance(100, 50, 4, 1, 0)
+	if !almost(want, 0.0032, 1e-9) {
+		t.Fatalf("RatioVariance = %v", want)
+	}
+	rng := randx.New(1)
+	var w Welford
+	for i := 0; i < 200000; i++ {
+		x := 100 + 2*rng.Normal()
+		y := 50 + rng.Normal()
+		w.Add(x / y)
+	}
+	if !almost(w.Variance(), want, 0.0005) {
+		t.Fatalf("MC variance %v vs delta %v", w.Variance(), want)
+	}
+}
+
+func TestRatioVarianceEdge(t *testing.T) {
+	if got := RatioVariance(1, 0, 1, 1, 0); got != 0 {
+		t.Fatalf("den=0: %v", got)
+	}
+	// Strong positive covariance can push the formula negative; clamp.
+	if got := RatioVariance(100, 100, 1, 1, 50); got != 0 {
+		t.Fatalf("clamped: %v", got)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if !almost(w.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v", w.Mean())
+	}
+	// Sample variance of xs is 32/7.
+	if !almost(w.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v", w.Variance())
+	}
+	if w.StdErr() <= 0 {
+		t.Fatalf("StdErr = %v", w.StdErr())
+	}
+	var empty Welford
+	if empty.Mean() != 0 || empty.Variance() != 0 {
+		t.Fatal("zero value not ready")
+	}
+}
+
+func TestCovariance(t *testing.T) {
+	var c Covariance
+	// y = 2x → Cov = 2·Var(x).
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, x := range xs {
+		c.Add(x, 2*x)
+	}
+	if !almost(c.Value(), 5, 1e-12) { // Var(xs)=2.5, Cov=5
+		t.Fatalf("Covariance = %v", c.Value())
+	}
+	if c.Count() != 5 {
+		t.Fatalf("Count = %d", c.Count())
+	}
+	var indep Covariance
+	rng := randx.New(2)
+	for i := 0; i < 100000; i++ {
+		indep.Add(rng.Normal(), rng.Normal())
+	}
+	if math.Abs(indep.Value()) > 0.02 {
+		t.Fatalf("independent covariance = %v", indep.Value())
+	}
+}

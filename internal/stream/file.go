@@ -1,0 +1,61 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gps/internal/graph"
+)
+
+// ReadEdgeList parses a plain-text edge list: one "u v" pair per line,
+// whitespace separated, with '#' or '%' starting a comment line. Self loops
+// are skipped (the graph model is simplified); duplicate edges are kept so
+// that callers can decide whether to Simplify. Node ids must fit in uint32.
+func ReadEdgeList(r io.Reader) ([]graph.Edge, error) {
+	var edges []graph.Edge
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("stream: line %d: want at least two fields, got %q", line, text)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("stream: line %d: bad node id %q: %v", line, fields[0], err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("stream: line %d: bad node id %q: %v", line, fields[1], err)
+		}
+		if u == v {
+			continue // self loop: excluded by the simplified-graph model
+		}
+		edges = append(edges, graph.NewEdge(graph.NodeID(u), graph.NodeID(v)))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("stream: read: %v", err)
+	}
+	return edges, nil
+}
+
+// WriteEdgeList writes edges in the plain-text format accepted by
+// ReadEdgeList, one canonical "u v" pair per line.
+func WriteEdgeList(w io.Writer, edges []graph.Edge) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,46 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList exercises the edge-list parser with arbitrary input: it
+// must never panic, and anything it accepts must survive a write/read round
+// trip unchanged.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n% other\n3 3\n 5   7 trailing\n")
+	f.Add("")
+	f.Add("a b\n")
+	f.Add("4294967295 0\n")
+	f.Add("1 2 3 4 5\n\n\n9 8\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		edges, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, e := range edges {
+			if !e.Canonical() {
+				t.Fatalf("parser produced non-canonical edge %v", e)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, edges); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		again, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("reread: %v", err)
+		}
+		if len(again) != len(edges) {
+			t.Fatalf("round trip changed edge count: %d -> %d", len(edges), len(again))
+		}
+		for i := range edges {
+			if again[i] != edges[i] {
+				t.Fatalf("round trip changed edge %d: %v -> %v", i, edges[i], again[i])
+			}
+		}
+	})
+}

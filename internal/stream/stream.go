@@ -1,0 +1,118 @@
+// Package stream provides the graph-stream model of the paper: an input
+// graph presented as a sequence of edges in arbitrary order, processed one
+// edge at a time (§1, §3.1). It supplies in-memory streams, seeded random
+// permutations (the paper generates its streams by "randomly permuting the
+// set of edges", §6), a deduplicating simplifier, and plain-text edge-list
+// I/O so the CLI tools can stream graphs from disk.
+package stream
+
+import (
+	"gps/internal/graph"
+	"gps/internal/randx"
+)
+
+// Stream yields edges one at a time. Implementations are not safe for
+// concurrent use.
+type Stream interface {
+	// Next returns the next edge and true, or a zero edge and false when
+	// the stream is exhausted.
+	Next() (graph.Edge, bool)
+}
+
+// Slice is a Stream over an in-memory edge slice.
+type Slice struct {
+	edges []graph.Edge
+	i     int
+}
+
+// FromEdges returns a Stream over edges in the given order. The slice is not
+// copied; callers must not mutate it while streaming.
+func FromEdges(edges []graph.Edge) *Slice {
+	return &Slice{edges: edges}
+}
+
+// Next implements Stream.
+func (s *Slice) Next() (graph.Edge, bool) {
+	if s.i >= len(s.edges) {
+		return graph.Edge{}, false
+	}
+	e := s.edges[s.i]
+	s.i++
+	return e, true
+}
+
+// Reset rewinds the stream to its first edge.
+func (s *Slice) Reset() { s.i = 0 }
+
+// Len returns the total number of edges in the stream.
+func (s *Slice) Len() int { return len(s.edges) }
+
+// Permute returns a Stream over a seeded pseudo-random permutation of edges.
+// The input slice is left untouched; the permutation is a deterministic
+// function of the seed, which is what lets post-stream and in-stream
+// estimation replay the identical stream (§6).
+func Permute(edges []graph.Edge, seed uint64) *Slice {
+	out := make([]graph.Edge, len(edges))
+	copy(out, edges)
+	randx.New(seed).Shuffle(len(out), func(i, j int) {
+		out[i], out[j] = out[j], out[i]
+	})
+	return FromEdges(out)
+}
+
+// Collect drains a stream into a slice.
+func Collect(s Stream) []graph.Edge {
+	var out []graph.Edge
+	for {
+		e, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, e)
+	}
+}
+
+// Drive feeds every edge of s to fn.
+func Drive(s Stream, fn func(graph.Edge)) {
+	for {
+		e, ok := s.Next()
+		if !ok {
+			return
+		}
+		fn(e)
+	}
+}
+
+// Simplifier wraps a stream and drops duplicate edges, so that downstream
+// samplers see each undirected edge at most once ("we assume edges are
+// unique", §3.1). Duplicates are counted for diagnostics.
+type Simplifier struct {
+	in      Stream
+	seen    map[uint64]struct{}
+	dropped int
+}
+
+// Simplify returns a deduplicating view of in.
+func Simplify(in Stream) *Simplifier {
+	return &Simplifier{in: in, seen: make(map[uint64]struct{})}
+}
+
+// Next implements Stream.
+func (s *Simplifier) Next() (graph.Edge, bool) {
+	for {
+		e, ok := s.in.Next()
+		if !ok {
+			return graph.Edge{}, false
+		}
+		k := e.Key()
+		if _, dup := s.seen[k]; dup {
+			s.dropped++
+			continue
+		}
+		s.seen[k] = struct{}{}
+		return e, true
+	}
+}
+
+// Dropped returns the number of duplicate edges suppressed so far.
+func (s *Simplifier) Dropped() int { return s.dropped }

@@ -1,0 +1,192 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gps/internal/graph"
+)
+
+func edges(pairs ...[2]uint32) []graph.Edge {
+	out := make([]graph.Edge, len(pairs))
+	for i, p := range pairs {
+		out[i] = graph.NewEdge(graph.NodeID(p[0]), graph.NodeID(p[1]))
+	}
+	return out
+}
+
+func TestSliceStream(t *testing.T) {
+	in := edges([2]uint32{0, 1}, [2]uint32{1, 2}, [2]uint32{2, 3})
+	s := FromEdges(in)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	got := Collect(s)
+	if len(got) != 3 {
+		t.Fatalf("Collect returned %d edges", len(got))
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("edge %d = %v, want %v", i, got[i], in[i])
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted stream yielded an edge")
+	}
+	s.Reset()
+	if e, ok := s.Next(); !ok || e != in[0] {
+		t.Fatalf("after Reset: %v %v", e, ok)
+	}
+}
+
+func TestPermuteDeterministicAndComplete(t *testing.T) {
+	in := edges([2]uint32{0, 1}, [2]uint32{1, 2}, [2]uint32{2, 3},
+		[2]uint32{3, 4}, [2]uint32{4, 5}, [2]uint32{5, 6}, [2]uint32{6, 7})
+	a := Collect(Permute(in, 42))
+	b := Collect(Permute(in, 42))
+	if len(a) != len(in) {
+		t.Fatalf("permutation lost edges: %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different permutations")
+		}
+	}
+	c := Collect(Permute(in, 43))
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical permutations (very unlikely)")
+	}
+	// Multiset equality.
+	want := map[graph.Edge]int{}
+	for _, e := range in {
+		want[e]++
+	}
+	for _, e := range a {
+		want[e]--
+	}
+	for e, n := range want {
+		if n != 0 {
+			t.Fatalf("edge %v count off by %d", e, n)
+		}
+	}
+	// Input untouched.
+	if in[0] != graph.NewEdge(0, 1) {
+		t.Fatal("Permute mutated its input")
+	}
+}
+
+func TestPermuteProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		var in []graph.Edge
+		for i := 0; i < int(n); i++ {
+			in = append(in, graph.NewEdge(graph.NodeID(i), graph.NodeID(i+1000)))
+		}
+		out := Collect(Permute(in, seed))
+		if len(out) != len(in) {
+			return false
+		}
+		seen := map[graph.Edge]bool{}
+		for _, e := range out {
+			if seen[e] {
+				return false
+			}
+			seen[e] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimplifier(t *testing.T) {
+	in := edges(
+		[2]uint32{0, 1}, [2]uint32{1, 0}, // duplicate after canonicalization
+		[2]uint32{1, 2}, [2]uint32{0, 1}, // duplicate again
+		[2]uint32{2, 3},
+	)
+	s := Simplify(FromEdges(in))
+	got := Collect(s)
+	if len(got) != 3 {
+		t.Fatalf("simplified stream has %d edges, want 3", len(got))
+	}
+	if s.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", s.Dropped())
+	}
+}
+
+func TestDrive(t *testing.T) {
+	in := edges([2]uint32{0, 1}, [2]uint32{1, 2})
+	var n int
+	Drive(FromEdges(in), func(graph.Edge) { n++ })
+	if n != 2 {
+		t.Fatalf("Drive visited %d edges", n)
+	}
+}
+
+func TestReadEdgeList(t *testing.T) {
+	input := `# a comment
+% another comment
+0 1
+1 2 extra-fields-ignored
+3 3
+  2   3
+`
+	got, err := ReadEdgeList(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := edges([2]uint32{0, 1}, [2]uint32{1, 2}, [2]uint32{2, 3})
+	if len(got) != len(want) {
+		t.Fatalf("got %d edges, want %d (self loop must be skipped)", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",            // too few fields
+		"a b\n",          // non-numeric
+		"1 x\n",          // non-numeric second field
+		"1 -2\n",         // negative
+		"1 4294967296\n", // > uint32
+	}
+	for _, c := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(c)); err == nil {
+			t.Fatalf("input %q: want error", c)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	in := edges([2]uint32{5, 1}, [2]uint32{2, 9}, [2]uint32{0, 7})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("round trip lost edges: %d != %d", len(got), len(in))
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("edge %d = %v, want %v", i, got[i], in[i])
+		}
+	}
+}
