@@ -20,6 +20,7 @@ import (
 	"gps/internal/baselines"
 	"gps/internal/datasets"
 	"gps/internal/experiments"
+	"gps/internal/gen"
 	"gps/internal/graph"
 	"gps/internal/stream"
 )
@@ -223,6 +224,97 @@ func BenchmarkNSampUpdate(b *testing.B) {
 		ns, _ := baselines.NewNSamp(5000, seed)
 		return ns.Process
 	})
+}
+
+// BenchmarkGPSProcessBatch measures the batched feeding path; it must match
+// per-edge Process decisions exactly (and, empirically, its cost — the
+// per-edge sampling work dominates call overhead).
+func BenchmarkGPSProcessBatchUniform(b *testing.B) {
+	edges := microEdges(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, _ := gps.NewSampler(gps.Config{Capacity: 10000, Weight: gps.UniformWeight, Seed: uint64(i + 1)})
+		for lo := 0; lo < len(edges); lo += 8192 {
+			hi := lo + 8192
+			if hi > len(edges) {
+				hi = len(edges)
+			}
+			s.ProcessBatch(edges[lo:hi])
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(edges)), "ns/edge")
+}
+
+func BenchmarkGPSProcessBatchTriangle(b *testing.B) {
+	edges := microEdges(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, _ := gps.NewSampler(gps.Config{Capacity: 10000, Weight: gps.TriangleWeight, Seed: uint64(i + 1)})
+		for lo := 0; lo < len(edges); lo += 8192 {
+			hi := lo + 8192
+			if hi > len(edges) {
+				hi = len(edges)
+			}
+			s.ProcessBatch(edges[lo:hi])
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(edges)), "ns/edge")
+}
+
+// --- Engine benchmarks: sequential vs sharded over a ≥1M-edge stream ---
+
+var engineData struct {
+	once  sync.Once
+	edges []graph.Edge
+}
+
+// engineEdges prepares a 1M+-edge R-MAT stream (heavy-tailed, triangle-rich)
+// once per benchmark binary run.
+func engineEdges(b *testing.B) []graph.Edge {
+	engineData.once.Do(func() {
+		all := gen.RMAT(16, 16, 0.57, 0.19, 0.19, 0xE9619E)
+		engineData.edges = stream.Collect(stream.Permute(all, 7))
+	})
+	if len(engineData.edges) < 1_000_000 {
+		b.Fatalf("engine stream only %d edges", len(engineData.edges))
+	}
+	return engineData.edges
+}
+
+func benchEngineSequential(b *testing.B, weight gps.WeightFunc) {
+	edges := engineEdges(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, _ := gps.NewSampler(gps.Config{Capacity: 100000, Weight: weight, Seed: uint64(i + 1)})
+		s.ProcessBatch(edges)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(edges)), "ns/edge")
+}
+
+func benchEngineParallel(b *testing.B, weight gps.WeightFunc, shards int) {
+	edges := engineEdges(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := gps.NewParallel(gps.Config{Capacity: 100000, Weight: weight, Seed: uint64(i + 1)}, shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.ProcessBatch(edges)
+		if _, err := p.Merge(); err != nil {
+			b.Fatal(err)
+		}
+		p.Close()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(edges)), "ns/edge")
+}
+
+func BenchmarkEngineSequentialUniform1M(b *testing.B) { benchEngineSequential(b, gps.UniformWeight) }
+func BenchmarkEngineParallel4Uniform1M(b *testing.B)  { benchEngineParallel(b, gps.UniformWeight, 4) }
+func BenchmarkEngineSequentialTriangle1M(b *testing.B) {
+	benchEngineSequential(b, gps.TriangleWeight)
+}
+func BenchmarkEngineParallel4Triangle1M(b *testing.B) {
+	benchEngineParallel(b, gps.TriangleWeight, 4)
 }
 
 // BenchmarkEstimatePost measures one full Algorithm 2 scan over a 10K-edge

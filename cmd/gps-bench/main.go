@@ -3,15 +3,17 @@
 //
 // Usage:
 //
-//	gps-bench -exp table1|table2|table3|fig1|fig2|fig3|weights|extensions|all \
+//	gps-bench -exp table1|table2|table3|fig1|fig2|fig3|weights|extensions|throughput|all \
 //	          [-profile small|full] [-trials N] [-sample M] [-budget B] \
-//	          [-checkpoints C] [-seed S] [-graphs a,b,c]
+//	          [-checkpoints C] [-seed S] [-graphs a,b,c] [-edges N] [-shards P]
 //
 // Examples:
 //
 //	gps-bench -exp table1                  # Table 1 at the default scale
 //	gps-bench -exp table2 -budget 20000    # baselines at a 20K edge budget
 //	gps-bench -exp fig2 -profile full      # convergence sweep, 8× datasets
+//	gps-bench -exp throughput -edges 4000000 -shards 8
+//	                                       # sequential vs batched vs sharded rate
 package main
 
 import (
@@ -20,9 +22,13 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
+	"gps"
 	"gps/internal/datasets"
 	"gps/internal/experiments"
+	"gps/internal/gen"
+	"gps/internal/stream"
 )
 
 func main() {
@@ -36,13 +42,15 @@ func run(args []string, stdout, errw io.Writer) error {
 	fs := flag.NewFlagSet("gps-bench", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
-		exp         = fs.String("exp", "all", "experiment: table1, table2, table3, fig1, fig2, fig3, weights, extensions, all")
+		exp         = fs.String("exp", "all", "experiment: table1, table2, table3, fig1, fig2, fig3, weights, extensions, throughput, all")
 		profileName = fs.String("profile", "small", "dataset scale: small or full")
 		trials      = fs.Int("trials", 3, "replications per configuration")
 		sample      = fs.Int("sample", 20000, "GPS sample size m (table1, fig1, fig3, weights)")
 		budget      = fs.Int("budget", 10000, "edge budget for the baseline comparisons (table2, table3, extensions)")
 		checkpoints = fs.Int("checkpoints", 20, "checkpoints along the stream (table3, fig3)")
 		seed        = fs.Uint64("seed", 0x69505321, "root seed for all randomness")
+		edges       = fs.Int("edges", 1_000_000, "synthetic stream length for -exp throughput")
+		shardsFlag  = fs.Int("shards", 4, "shard count for the parallel sampler (throughput)")
 		graphsFlag  = fs.String("graphs", "", "comma-separated dataset names (default: the paper's list per experiment)")
 		list        = fs.Bool("list", false, "list available datasets and exit")
 	)
@@ -126,6 +134,12 @@ func run(args []string, stdout, errw io.Writer) error {
 				return err
 			}
 			emit("§3.5 ablation — weight functions ("+graphName+")", experiments.RenderAblation(rows))
+		case "throughput":
+			body, err := throughput(*edges, *sample, *shardsFlag, *seed)
+			if err != nil {
+				return err
+			}
+			emit("Throughput — sequential vs batched vs sharded sampling", body)
 		case "extensions":
 			rows, err := experiments.Extensions(opts, *budget, graphs)
 			if err != nil {
@@ -147,4 +161,89 @@ func run(args []string, stdout, errw io.Writer) error {
 		return nil
 	}
 	return runOne(*exp)
+}
+
+// throughput measures end-to-end sampling rate over a synthetic R-MAT
+// stream for the three feeding paths: per-edge Process, batched
+// ProcessBatch, and the sharded Parallel sampler — once with uniform
+// weights (the pure sampling hot path) and once with triangle weights (the
+// topology-dependent workload the paper centres on). The stream is
+// generated up front so only sampler time is measured.
+func throughput(edges, sample, shards int, seed uint64) (string, error) {
+	if edges < 1 || sample < 1 || shards < 1 {
+		return "", fmt.Errorf("throughput: need positive -edges, -sample and -shards")
+	}
+	// R-MAT scale chosen so the generator yields at least the requested
+	// stream length; the stream is then truncated to exactly -edges.
+	scale := 10
+	for (1<<scale)*16 < edges {
+		scale++
+	}
+	all := gen.RMAT(scale, 16, 0.57, 0.19, 0.19, seed)
+	if len(all) < edges {
+		edges = len(all)
+	}
+	es := stream.Collect(stream.Permute(all, seed^0x7EA))[:edges]
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "stream: R-MAT scale %d, %d edges; m=%d, P=%d\n\n", scale, edges, sample, shards)
+	fmt.Fprintf(&b, "%-28s %12s %14s\n", "path", "elapsed", "edges/sec")
+	row := func(name string, run func() error) error {
+		start := time.Now()
+		if err := run(); err != nil {
+			return err
+		}
+		el := time.Since(start)
+		fmt.Fprintf(&b, "%-28s %12s %14.0f\n", name, el.Round(time.Millisecond), float64(edges)/el.Seconds())
+		return nil
+	}
+
+	type variant struct {
+		name   string
+		weight gps.WeightFunc
+	}
+	for _, v := range []variant{{"uniform", gps.UniformWeight}, {"triangle", gps.TriangleWeight}} {
+		cfg := gps.Config{Capacity: sample, Weight: v.weight, Seed: seed}
+		if err := row(v.name+"/sequential", func() error {
+			s, err := gps.NewSampler(cfg)
+			if err != nil {
+				return err
+			}
+			for _, e := range es {
+				s.Process(e)
+			}
+			return nil
+		}); err != nil {
+			return "", err
+		}
+		if err := row(v.name+"/batched", func() error {
+			s, err := gps.NewSampler(cfg)
+			if err != nil {
+				return err
+			}
+			for lo := 0; lo < len(es); lo += 8192 {
+				hi := lo + 8192
+				if hi > len(es) {
+					hi = len(es)
+				}
+				s.ProcessBatch(es[lo:hi])
+			}
+			return nil
+		}); err != nil {
+			return "", err
+		}
+		if err := row(fmt.Sprintf("%s/parallel-%d", v.name, shards), func() error {
+			p, err := gps.NewParallel(cfg, shards)
+			if err != nil {
+				return err
+			}
+			defer p.Close()
+			p.ProcessBatch(es)
+			_, err = p.Merge()
+			return err
+		}); err != nil {
+			return "", err
+		}
+	}
+	return b.String(), nil
 }

@@ -29,11 +29,25 @@ func TestRunSingleExperiment(t *testing.T) {
 	}
 }
 
+func TestRunThroughput(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{"-exp", "throughput", "-edges", "30000", "-sample", "2000", "-shards", "2"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"uniform/sequential", "uniform/batched", "triangle/parallel-2", "edges/sec"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("throughput output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"-exp", "nope"},
 		{"-profile", "huge"},
 		{"-exp", "table1", "-graphs", "unknown-graph"},
+		{"-exp", "throughput", "-edges", "0"},
 	}
 	for _, args := range cases {
 		var out, errw bytes.Buffer

@@ -1,0 +1,3 @@
+module gps
+
+go 1.24

@@ -21,6 +21,16 @@
 //		s.Process(e)
 //	}
 //
+// Buffered ingestion can use Sampler.ProcessBatch, which is exactly
+// equivalent to per-edge Process; high-rate streams should use the
+// sharded Parallel sampler, which partitions the stream across
+// per-goroutine reservoirs and merges them on demand:
+//
+//	p, _ := gps.NewParallel(gps.Config{Capacity: 100_000, Seed: 1}, 8)
+//	p.ProcessBatch(edges)
+//	merged, _ := p.Merge() // a *Sampler over everything fed so far
+//	p.Close()
+//
 // # Estimation
 //
 // Post-stream estimation (Algorithm 2) answers retrospective queries from
@@ -49,6 +59,7 @@ import (
 	"io"
 
 	"gps/internal/core"
+	"gps/internal/engine"
 	"gps/internal/graph"
 	"gps/internal/stats"
 	"gps/internal/stream"
@@ -89,6 +100,35 @@ type Interval = stats.Interval
 
 // NewSampler returns a GPS sampler for the given configuration.
 func NewSampler(cfg Config) (*Sampler, error) { return core.NewSampler(cfg) }
+
+// Parallel is a sharded GPS sampler: the stream is hash-partitioned across
+// per-goroutine reservoirs and merged on demand (see NewParallel).
+type Parallel = engine.Parallel
+
+// NewParallel returns a sharded sampler with the given shard count
+// (shards <= 0 means GOMAXPROCS). Feed it from one producer via
+// Process/ProcessBatch, call Merge for a sequential Sampler over everything
+// fed so far, and Close when done.
+//
+// For stream-independent weights (UniformWeight) the merged sample is
+// distributed exactly as a sequential GPS(m) sample of the whole stream —
+// priority sampling is mergeable. For topology-dependent weights
+// (TriangleWeight, AdjacencyWeight) each shard scores arrivals against its
+// own partial reservoir, so the weight targeting is approximate while the
+// Horvitz-Thompson normalization stays valid. Stateful weight functions
+// (NewAdaptiveTriangleWeight) must not be used here: shards share the
+// function and call it concurrently.
+func NewParallel(cfg Config, shards int) (*Parallel, error) { return engine.NewParallel(cfg, shards) }
+
+// MergeSamplers combines reservoirs of samplers that processed disjoint
+// substreams into one sampler over the union stream: the cfg.Capacity
+// highest priorities survive and the threshold becomes the largest
+// priority excluded anywhere. It is the merge primitive behind
+// Parallel.Merge, exported for custom partitioning schemes (e.g. merging
+// samples taken on different machines).
+func MergeSamplers(samplers []*Sampler, cfg Config) (*Sampler, error) {
+	return core.Merge(samplers, cfg)
+}
 
 // NewInStream returns an in-stream estimator with a fresh sampler.
 func NewInStream(cfg Config) (*InStream, error) { return core.NewInStream(cfg) }

@@ -44,6 +44,53 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestFacadeParallel exercises the sharded path through the public API:
+// batch feeding, merging into a plain Sampler, estimation on the merged
+// sample, and manual merging via MergeSamplers.
+func TestFacadeParallel(t *testing.T) {
+	edges := gen.HolmeKim(500, 5, 0.5, 9)
+	truth := exact.Count(graph.BuildStatic(edges))
+
+	p, err := gps.NewParallel(gps.Config{Capacity: 800, Seed: 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.ProcessBatch(edges)
+	merged, err := p.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Arrivals() != uint64(len(edges)) {
+		t.Fatalf("merged arrivals %d, want %d", merged.Arrivals(), len(edges))
+	}
+	est := gps.EstimatePost(merged)
+	if rel := math.Abs(est.Wedges-float64(truth.Wedges)) / float64(truth.Wedges); rel > 0.30 {
+		t.Errorf("merged wedge error %v (est %v, truth %d)", rel, est.Wedges, truth.Wedges)
+	}
+
+	// Manual merge of independently-built samplers over disjoint halves.
+	a, _ := gps.NewSampler(gps.Config{Capacity: 300, Seed: 5})
+	b, _ := gps.NewSampler(gps.Config{Capacity: 300, Seed: 6})
+	for _, e := range edges {
+		if e.Key()%2 == 0 {
+			a.Process(e)
+		} else {
+			b.Process(e)
+		}
+	}
+	m2, err := gps.MergeSamplers([]*gps.Sampler{a, b}, gps.Config{Capacity: 300, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Reservoir().Len() != 300 {
+		t.Fatalf("manual merge Len = %d", m2.Reservoir().Len())
+	}
+	if m2.Threshold() < math.Max(a.Threshold(), b.Threshold()) {
+		t.Error("merged threshold below shard thresholds")
+	}
+}
+
 func TestFacadeEdgeListRoundTrip(t *testing.T) {
 	edges := []gps.Edge{gps.NewEdge(0, 1), gps.NewEdge(1, 2)}
 	var buf bytes.Buffer

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"gps/internal/order"
+)
+
+// Merge combines the reservoirs of samplers that each processed a disjoint
+// substream into a single sampler over the union stream, using priority
+// sampling's mergeability: every edge's priority r(k) = w(k)/u(k) is a
+// function of the edge and its own uniform draw, so the m highest-priority
+// edges of the union of the shard reservoirs are exactly the m
+// highest-priority edges of the whole stream, and the merged threshold is
+// the largest priority excluded anywhere — the maximum of the shard
+// thresholds and of the priorities dropped by the merge itself.
+//
+// This identity is exact when weights are stream-independent (UniformWeight,
+// or any W(k) that ignores the reservoir argument). For topology-dependent
+// weights such as TriangleWeight each shard evaluates W(k,K̂_p) against its
+// own partial reservoir, so the merged sample is an approximation whose
+// weights reflect per-shard topology; see the engine package for the
+// semantics discussion.
+//
+// The input samplers must hold disjoint edge sets (guaranteed when the
+// stream was hash-partitioned by edge identity). If an edge nonetheless
+// appears in several reservoirs, the highest-priority copy wins and the
+// others are treated as excluded mass. The merged sampler has capacity
+// cfg.Capacity, carries summed arrival/duplicate counts, and is a fully
+// functional sampler: it can keep processing edges or feed any estimator.
+func Merge(samplers []*Sampler, cfg Config) (*Sampler, error) {
+	if len(samplers) == 0 {
+		return nil, errors.New("core: Merge requires at least one sampler")
+	}
+	m, err := NewSampler(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	total := 0
+	for _, s := range samplers {
+		total += s.res.Len()
+		if s.zstar > m.zstar {
+			m.zstar = s.zstar
+		}
+		m.arrivals += s.arrivals
+		m.duplicates += s.duplicates
+	}
+	entries := make([]order.Entry, 0, total)
+	for _, s := range samplers {
+		for i := 0; i < s.res.Len(); i++ {
+			entries = append(entries, *s.res.heap.At(i))
+		}
+	}
+	// Highest priority first; ties broken by edge key so the merge is a
+	// deterministic function of the shard reservoirs.
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Priority != entries[j].Priority {
+			return entries[i].Priority > entries[j].Priority
+		}
+		return entries[i].Edge.Key() < entries[j].Edge.Key()
+	})
+
+	for _, ent := range entries {
+		if m.res.Len() < cfg.Capacity && !m.res.Contains(ent.Edge) {
+			m.res.insert(ent)
+			continue
+		}
+		// Excluded from the merged sample: its priority joins the
+		// threshold competition, exactly as if it had been evicted.
+		if ent.Priority > m.zstar {
+			m.zstar = ent.Priority
+		}
+	}
+	return m, nil
+}

@@ -30,6 +30,11 @@ func (r *Reservoir) NumNodes() int { return r.adj.NumNodes() }
 // Contains reports whether edge e is currently sampled.
 func (r *Reservoir) Contains(e graph.Edge) bool { return r.heap.Contains(e.Key()) }
 
+// MinPriority returns the lowest priority among sampled edges — the
+// eviction candidate's priority, which the sampler's fast path compares
+// against arriving priorities. It panics on an empty reservoir.
+func (r *Reservoir) MinPriority() float64 { return r.heap.MinPriority() }
+
 // Weight returns the sampling weight w(k) stored for edge e at its arrival,
 // with ok=false when e is not sampled.
 func (r *Reservoir) Weight(e graph.Edge) (w float64, ok bool) {

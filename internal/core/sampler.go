@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"reflect"
 
 	"gps/internal/graph"
 	"gps/internal/order"
@@ -33,10 +34,18 @@ type Config struct {
 // threshold z* = max{z*, r(k*)}. At any time, the Horvitz-Thompson inclusion
 // probability of a sampled edge is q(k) = min{1, w(k)/z*} (GPSNormalize).
 //
+// When the reservoir is full and the arriving priority is strictly below
+// the current minimum, the provisional insert + evict pair would remove the
+// arrival itself, so the sampler short-circuits: it only raises z* and never
+// touches the heap or the topology index. Once the stream is long relative
+// to m this rejection path handles almost every arrival, leaving the RNG
+// draw and the weight evaluation as the whole per-edge cost.
+//
 // Sampler is not safe for concurrent use.
 type Sampler struct {
 	capacity   int
 	weight     WeightFunc
+	uniform    bool // weight is UniformWeight: skip the call and validation
 	rng        *randx.RNG
 	res        *Reservoir
 	zstar      float64
@@ -50,12 +59,19 @@ func NewSampler(cfg Config) (*Sampler, error) {
 		return nil, errors.New("core: Capacity must be at least 1")
 	}
 	w := cfg.Weight
+	uniform := w == nil
 	if w == nil {
 		w = UniformWeight
+	} else {
+		// Detect an explicitly-passed UniformWeight so it gets the same
+		// fast path as nil. One reflect call at construction, none on
+		// the hot path.
+		uniform = reflect.ValueOf(w).Pointer() == reflect.ValueOf(UniformWeight).Pointer()
 	}
 	return &Sampler{
 		capacity: cfg.Capacity,
 		weight:   w,
+		uniform:  uniform,
 		rng:      randx.New(cfg.Seed),
 		res:      newReservoir(cfg.Capacity),
 	}, nil
@@ -73,11 +89,28 @@ func (s *Sampler) Process(e graph.Edge) bool {
 	}
 	s.arrivals++
 	u := s.rng.Uniform01()
-	w := s.weight(e, s.res)
-	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
-		panic(fmt.Sprintf("core: weight function returned invalid weight %v for edge %v", w, e))
+	var w float64
+	if s.uniform {
+		w = 1
+	} else {
+		w = s.weight(e, s.res)
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			panic(fmt.Sprintf("core: weight function returned invalid weight %v for edge %v", w, e))
+		}
 	}
 	r := w / u
+
+	if s.res.Len() == s.capacity && r < s.res.MinPriority() {
+		// Rejection fast path: inserting and evicting the minimum of the
+		// m+1 candidates would evict e itself (its priority is strictly
+		// the least), leaving only the threshold update behind. Ties fall
+		// through to the general path so eviction order is bit-identical
+		// to the insert-then-evict formulation.
+		if r > s.zstar {
+			s.zstar = r
+		}
+		return false
+	}
 
 	// Provisional inclusion, then evict the minimum of the m+1 candidates.
 	s.res.insert(order.Entry{Edge: e, Weight: w, Priority: r})
@@ -91,6 +124,24 @@ func (s *Sampler) Process(e graph.Edge) bool {
 		}
 	}
 	return true
+}
+
+// ProcessBatch handles a batch of edge arrivals and returns how many of
+// them were in the reservoir immediately after their own sampling step. It
+// is exactly equivalent to calling Process on each edge in order — same RNG
+// draws, same reservoir, same threshold (a tested invariant) — per-edge
+// cost is dominated by the sampling work itself, not call overhead. It
+// exists as the bulk-ingestion surface: the unit of work the sharded
+// engine hands to each shard, and the natural interface for callers that
+// buffer arrivals.
+func (s *Sampler) ProcessBatch(edges []graph.Edge) int {
+	kept := 0
+	for _, e := range edges {
+		if s.Process(e) {
+			kept++
+		}
+	}
+	return kept
 }
 
 // Threshold returns z*, the largest priority ever evicted (the (m+1)-st

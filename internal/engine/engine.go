@@ -1,0 +1,265 @@
+// Package engine provides the horizontal-scale layer of the GPS
+// reproduction: a sharded sampler that hash-partitions an edge stream
+// across per-goroutine GPS reservoirs and merges them on demand.
+//
+// # Design
+//
+// Each of the P shards owns a core.Sampler (capacity shardCapacity(m, P),
+// its own RNG derived deterministically from the root seed) and a goroutine
+// fed with edge batches over a channel. The partition function is a fixed
+// hash of the canonical edge identity, so a given edge always lands on the
+// same shard regardless of arrival order and the per-shard substreams are
+// disjoint. Merging takes the union of the shard reservoirs, keeps the m
+// highest priorities, and sets the merged threshold z* to the largest
+// priority excluded anywhere (shard thresholds and merge-time drops) — the
+// standard priority-sampling merge, performed by core.Merge.
+//
+// # Shard capacity and exactness
+//
+// Each shard's reservoir holds shardCapacity(m, P) = m/P plus a
+// concentration-bound slack (8·√(m/P) + 64, capped at m) edges. The merge
+// is exact whenever every edge of the global top-m survives its shard,
+// i.e. no shard received more than its capacity's worth of the global
+// top-m. Under hash partitioning the top-m spreads Binomial(m, 1/P) per
+// shard, so the slack puts shard overflow ≥ 9 standard deviations out —
+// for m = 100K, P = 4 the failure probability is below 1e-18 per run, and
+// a failure merely swaps the sample's boundary edge. The slack also keeps
+// the merged threshold exact: the union holds the global top-(m + P·slack)
+// with the same probability, so the (m+1)-st highest priority of the union
+// — which the merge promotes into z* — is the global (m+1)-st.
+//
+// For stream-independent weights (UniformWeight, or any W(k) ignoring the
+// reservoir) the merged sample is therefore distributed as a sequential
+// GPS(m) sample of the whole stream: priorities are independent of the
+// partition, and "top-m of the union of per-shard top-k's" equals "top-m
+// of the stream". For topology-dependent weights (TriangleWeight,
+// AdjacencyWeight) each shard scores arrivals against its own partial
+// reservoir, which holds ~1/P of the sampled topology, so weights — and
+// therefore the variance-reduction targeting — are approximate; the
+// Horvitz-Thompson normalization remains valid because each edge's stored
+// weight is still the weight its priority was drawn with. This is the same
+// trade Tiered Sampling and friends make to scale motif-aware sampling —
+// and it is also why sharding pays even on few cores: every topology query
+// runs against a P×-smaller sampled subgraph.
+//
+// Every run is a deterministic function of (seed, stream content, shard
+// count): batching and goroutine scheduling cannot change any shard's
+// arrival order, because order within a shard follows stream order.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"gps/internal/core"
+	"gps/internal/graph"
+	"gps/internal/randx"
+)
+
+// DefaultBatch is the number of edges buffered per shard before a batch is
+// handed to the shard goroutine. Large enough to amortize channel overhead
+// to well under a nanosecond per edge, small enough to keep shards busy.
+const DefaultBatch = 4096
+
+// Parallel is a sharded GPS sampler. Feed it with Process/ProcessBatch
+// from one producer goroutine, then call Merge (any number of times) for a
+// sequential Sampler positioned over everything fed so far, and Close when
+// done. Parallel is not safe for concurrent producers.
+type Parallel struct {
+	cfg       core.Config
+	mergeSeed uint64
+	batch     int
+	shards    []*shard
+	pool      sync.Pool // batch buffers: *[]graph.Edge
+	wg        sync.WaitGroup
+	closed    bool
+}
+
+type shard struct {
+	ch chan message
+	s  *core.Sampler
+	// buf accumulates routed edges between flushes; owned by the producer.
+	buf []graph.Edge
+}
+
+type message struct {
+	edges []graph.Edge
+	ack   chan<- struct{}
+}
+
+// NewParallel returns a sharded sampler with the given shard count;
+// shards <= 0 means GOMAXPROCS. Weight functions must be pure (stateless):
+// all shards share cfg.Weight and call it concurrently, so a stateful
+// weight (e.g. NewAdaptiveTriangleWeight) must not be used here.
+func NewParallel(cfg core.Config, shards int) (*Parallel, error) {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Capacity < 1 {
+		return nil, errors.New("engine: Capacity must be at least 1")
+	}
+	p := &Parallel{
+		cfg:    cfg,
+		batch:  DefaultBatch,
+		shards: make([]*shard, shards),
+	}
+	p.pool.New = func() any {
+		buf := make([]graph.Edge, 0, p.batch)
+		return &buf
+	}
+	// Derive the per-shard seeds and the merge seed from the root seed so
+	// the whole run is reproducible from cfg.Seed alone.
+	seeds := randx.New(cfg.Seed)
+	p.mergeSeed = seeds.Uint64()
+	shardCap := shardCapacity(cfg.Capacity, shards)
+	for i := range p.shards {
+		scfg := cfg
+		scfg.Capacity = shardCap
+		scfg.Seed = seeds.Uint64()
+		s, err := core.NewSampler(scfg)
+		if err != nil {
+			return nil, err
+		}
+		sh := &shard{
+			ch:  make(chan message, 4),
+			s:   s,
+			buf: make([]graph.Edge, 0, p.batch),
+		}
+		p.shards[i] = sh
+		p.wg.Add(1)
+		go p.run(sh)
+	}
+	return p, nil
+}
+
+func (p *Parallel) run(sh *shard) {
+	defer p.wg.Done()
+	for m := range sh.ch {
+		if m.edges != nil {
+			sh.s.ProcessBatch(m.edges)
+			buf := m.edges[:0]
+			p.pool.Put(&buf)
+		}
+		if m.ack != nil {
+			m.ack <- struct{}{}
+		}
+	}
+}
+
+// shardCapacity returns the per-shard reservoir size: an equal share of the
+// global capacity plus enough slack that the global top-m overflows a shard
+// with negligible probability (see the package comment).
+func shardCapacity(m, shards int) int {
+	if shards <= 1 {
+		return m
+	}
+	share := (m + shards - 1) / shards
+	c := share + 8*int(math.Sqrt(float64(share))) + 64
+	if c > m {
+		c = m
+	}
+	return c
+}
+
+// shardFor routes an edge to its shard: a splitmix-mixed hash of the
+// canonical edge key, independent of arrival order.
+func (p *Parallel) shardFor(e graph.Edge) *shard {
+	return p.shards[randx.Mix64(e.Key())%uint64(len(p.shards))]
+}
+
+// Process routes one edge to its shard, flushing the shard's batch buffer
+// when full.
+func (p *Parallel) Process(e graph.Edge) {
+	sh := p.shardFor(e)
+	sh.buf = append(sh.buf, e)
+	if len(sh.buf) >= p.batch {
+		p.flush(sh)
+	}
+}
+
+// ProcessBatch routes a batch of edges to their shards.
+func (p *Parallel) ProcessBatch(edges []graph.Edge) {
+	for _, e := range edges {
+		p.Process(e)
+	}
+}
+
+func (p *Parallel) flush(sh *shard) {
+	if len(sh.buf) == 0 {
+		return
+	}
+	sh.ch <- message{edges: sh.buf}
+	sh.buf = *p.pool.Get().(*[]graph.Edge)
+}
+
+// barrier flushes all buffers and blocks until every shard has drained its
+// queue, after which the shard samplers are quiescent and safe to read.
+// After Close the shards are already drained and stopped, so it is a no-op.
+func (p *Parallel) barrier() {
+	if p.closed {
+		return
+	}
+	ack := make(chan struct{}, len(p.shards))
+	for _, sh := range p.shards {
+		p.flush(sh)
+		sh.ch <- message{ack: ack}
+	}
+	for range p.shards {
+		<-ack
+	}
+}
+
+// Shards returns the shard count P.
+func (p *Parallel) Shards() int { return len(p.shards) }
+
+// Arrivals returns the total number of distinct edges processed across all
+// shards. It synchronizes: all pending batches are processed first.
+func (p *Parallel) Arrivals() uint64 {
+	p.barrier()
+	var total uint64
+	for _, sh := range p.shards {
+		total += sh.s.Arrivals()
+	}
+	return total
+}
+
+// Merge drains all pending work and returns a sequential Sampler holding
+// the union sample: the Capacity highest-priority edges across every
+// shard, with the merge-time threshold. The returned sampler is
+// independent of p — estimation may run on it while p keeps consuming the
+// stream, which is how periodic in-flight queries are served.
+func (p *Parallel) Merge() (*core.Sampler, error) {
+	if p.closed {
+		return nil, errors.New("engine: Merge on closed Parallel")
+	}
+	p.barrier()
+	samplers := make([]*core.Sampler, len(p.shards))
+	for i, sh := range p.shards {
+		samplers[i] = sh.s
+	}
+	mcfg := p.cfg
+	mcfg.Seed = p.mergeSeed
+	m, err := core.Merge(samplers, mcfg)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	return m, nil
+}
+
+// Close flushes remaining work and stops the shard goroutines. The shard
+// samplers stay readable (e.g. via a prior Merge result), but further
+// Process or Merge calls are invalid.
+func (p *Parallel) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, sh := range p.shards {
+		p.flush(sh)
+		close(sh.ch)
+	}
+	p.wg.Wait()
+}

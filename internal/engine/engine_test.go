@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"gps/internal/core"
+	"gps/internal/gen"
+	"gps/internal/graph"
+	"gps/internal/randx"
+)
+
+func testStream(n, m int, seed uint64) []graph.Edge {
+	edges := gen.ErdosRenyi(n, m, seed)
+	rng := randx.New(seed ^ 0xABCD)
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	return edges
+}
+
+// signature reduces a merged sampler to a comparable value: the sorted
+// sampled edge keys plus threshold and arrival count.
+func signature(t *testing.T, s *core.Sampler) (keys []uint64, z float64, arrivals uint64) {
+	t.Helper()
+	for _, e := range s.Reservoir().Edges() {
+		keys = append(keys, e.Key())
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys, s.Threshold(), s.Arrivals()
+}
+
+// TestParallelDeterministic verifies that a Parallel run is a pure function
+// of (seed, stream, shard count): goroutine scheduling and batching must not
+// influence the merged sample.
+func TestParallelDeterministic(t *testing.T) {
+	stream := testStream(500, 6000, 0xFEED)
+	run := func() ([]uint64, float64, uint64) {
+		p, err := NewParallel(core.Config{Capacity: 400, Seed: 7}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		// Mix single-edge and batched feeding; it must not matter.
+		p.ProcessBatch(stream[:1000])
+		for _, e := range stream[1000:] {
+			p.Process(e)
+		}
+		m, err := p.Merge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys, z, a := signature(t, m)
+		return keys, z, a
+	}
+	k1, z1, a1 := run()
+	k2, z2, a2 := run()
+	if z1 != z2 || a1 != a2 || len(k1) != len(k2) {
+		t.Fatalf("runs disagree: z %v vs %v, arrivals %d vs %d, len %d vs %d", z1, z2, a1, a2, len(k1), len(k2))
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("runs disagree at sampled edge %d", i)
+		}
+	}
+	if a1 != uint64(len(stream)) {
+		t.Fatalf("arrivals = %d, want %d", a1, len(stream))
+	}
+}
+
+// TestParallelMergeMidStream checks that Merge is a snapshot: processing may
+// continue afterwards and a later Merge sees the additional arrivals.
+func TestParallelMergeMidStream(t *testing.T) {
+	stream := testStream(400, 4000, 0xBEEF)
+	p, err := NewParallel(core.Config{Capacity: 300, Seed: 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.ProcessBatch(stream[:2000])
+	m1, err := p.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Arrivals() != 2000 {
+		t.Fatalf("mid-stream arrivals = %d, want 2000", m1.Arrivals())
+	}
+	p.ProcessBatch(stream[2000:])
+	m2, err := p.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Arrivals() != uint64(len(stream)) {
+		t.Fatalf("final arrivals = %d, want %d", m2.Arrivals(), len(stream))
+	}
+	if m1.Arrivals() != 2000 {
+		t.Fatal("first merge result mutated by later processing")
+	}
+	if m2.Reservoir().Len() != 300 {
+		t.Fatalf("final reservoir Len = %d, want 300", m2.Reservoir().Len())
+	}
+}
+
+// TestParallelMatchesSequentialDistribution is the shard-merge correctness
+// check: with UniformWeight every edge of an n-edge stream has inclusion
+// probability m/n under sequential GPS, and the merge identity says the
+// sharded sampler must realize the same distribution. Over R independent
+// seeds we compare per-edge inclusion frequencies between the sequential
+// and the 4-shard sampler with (a) a per-edge two-sample z bound and (b) a
+// KS-style distance between the two frequency distributions.
+func TestParallelMatchesSequentialDistribution(t *testing.T) {
+	const (
+		nodes    = 300
+		nEdges   = 2000
+		capacity = 200
+		trials   = 120
+		shards   = 4
+	)
+	stream := testStream(nodes, nEdges, 0x1234)
+	seqCount := make(map[uint64]int, nEdges)
+	parCount := make(map[uint64]int, nEdges)
+
+	for trial := 0; trial < trials; trial++ {
+		seed := uint64(1000 + trial)
+		seq, err := core.NewSampler(core.Config{Capacity: capacity, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range stream {
+			seq.Process(e)
+		}
+		for _, e := range seq.Reservoir().Edges() {
+			seqCount[e.Key()]++
+		}
+
+		p, err := NewParallel(core.Config{Capacity: capacity, Seed: seed}, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.ProcessBatch(stream)
+		m, err := p.Merge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Close()
+		if m.Reservoir().Len() != capacity {
+			t.Fatalf("trial %d: merged Len = %d, want %d", trial, m.Reservoir().Len(), capacity)
+		}
+		for _, e := range m.Reservoir().Edges() {
+			parCount[e.Key()]++
+		}
+	}
+
+	// (a) Per-edge comparison: under H0 both counts are Binomial(R, m/n),
+	// so the difference has variance 2·R·p·(1-p). A systematic partition
+	// bias would push mean(z²) well above 1 and the max far beyond 6.
+	pInc := float64(capacity) / float64(nEdges)
+	sd := math.Sqrt(2 * trials * pInc * (1 - pInc))
+	var sumZ2, maxZ float64
+	seqFreq := make([]float64, 0, nEdges)
+	parFreq := make([]float64, 0, nEdges)
+	for _, e := range stream {
+		cs, cp := seqCount[e.Key()], parCount[e.Key()]
+		z := float64(cs-cp) / sd
+		sumZ2 += z * z
+		if math.Abs(z) > maxZ {
+			maxZ = math.Abs(z)
+		}
+		seqFreq = append(seqFreq, float64(cs)/trials)
+		parFreq = append(parFreq, float64(cp)/trials)
+	}
+	meanZ2 := sumZ2 / nEdges
+	if meanZ2 > 1.4 || meanZ2 < 0.6 {
+		t.Errorf("mean z² = %.3f, want ≈ 1 (distributional mismatch)", meanZ2)
+	}
+	if maxZ > 6 {
+		t.Errorf("max |z| = %.2f over %d edges, want < 6", maxZ, nEdges)
+	}
+
+	// (b) KS distance between the two per-edge frequency distributions.
+	sort.Float64s(seqFreq)
+	sort.Float64s(parFreq)
+	ks := 0.0
+	i, j := 0, 0
+	for i < len(seqFreq) && j < len(parFreq) {
+		// Advance both CDFs through the tied block at the next value; the
+		// frequencies are discrete (multiples of 1/trials), so the KS
+		// statistic is only defined between blocks, not inside them.
+		v := math.Min(seqFreq[i], parFreq[j])
+		for i < len(seqFreq) && seqFreq[i] <= v {
+			i++
+		}
+		for j < len(parFreq) && parFreq[j] <= v {
+			j++
+		}
+		if d := math.Abs(float64(i)-float64(j)) / nEdges; d > ks {
+			ks = d
+		}
+	}
+	// The 1% critical value for two n=2000 samples is ≈ 1.63·√(2/n) ≈ 0.052.
+	if ks > 0.052 {
+		t.Errorf("KS distance between inclusion-frequency distributions = %.4f, want < 0.052", ks)
+	}
+	t.Logf("mean z² = %.3f, max |z| = %.2f, KS = %.4f", meanZ2, maxZ, ks)
+}
+
+// TestParallelShardDefault covers the GOMAXPROCS default and invalid config.
+func TestParallelShardDefault(t *testing.T) {
+	p, err := NewParallel(core.Config{Capacity: 10, Seed: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards() < 1 {
+		t.Fatalf("Shards = %d", p.Shards())
+	}
+	p.Close()
+	p.Close() // idempotent
+	if _, err := p.Merge(); err == nil {
+		t.Error("Merge after Close did not error")
+	}
+	if _, err := NewParallel(core.Config{Capacity: 0}, 2); err == nil {
+		t.Error("NewParallel with Capacity 0 did not error")
+	}
+}

@@ -7,107 +7,220 @@ package graph
 // *currently sampled* graph, which gains and loses edges as the reservoir
 // evolves.
 //
-// Space is O(|V̂|+m) as discussed in §3.2 (S4) of the paper: one hash-set of
-// neighbors per retained node. Neighbor lookup is O(1) expected; common
-// neighbors of (u,v) cost O(min{deg(u),deg(v)}) expected.
+// Layout: nodes are interned to dense int32 ids on first touch (one flat
+// map lookup per endpoint), and each dense id owns a sorted []NodeID
+// neighbor slice. Dense ids of nodes whose last incident edge is removed
+// are recycled, and their neighbor slices keep their capacity, so a
+// reservoir in steady state (one insert + one evict per arrival) runs
+// allocation-free. Compared to the earlier map[NodeID]map[NodeID]struct{}
+// representation this removes the per-node hash set allocations, makes
+// Neighbors/CommonNeighbors iterate contiguous memory, and gives every
+// query a deterministic (ascending) iteration order.
+//
+// Space is O(|V̂|+m) as discussed in §3.2 (S4) of the paper. Neighbor
+// lookup is O(log deg); insertion and removal are O(deg) moves within one
+// slice, which for the small degrees of reservoir subgraphs is faster than
+// a hash probe. Common neighbors of (u,v) cost
+// O(min(deg(u)+deg(v), min·log max)) — a linear merge of the two sorted
+// runs, switching to binary probes when the degrees are badly skewed.
 //
 // The zero value is not usable; construct with NewAdjacency.
 type Adjacency struct {
-	nbrs  map[NodeID]map[NodeID]struct{}
+	idx   map[NodeID]int32 // intern table: node → dense id
+	nodes []NodeID         // dense id → node
+	nbrs  [][]NodeID       // dense id → sorted neighbors
+	freed []int32          // recycled dense ids
 	edges int
 }
 
 // NewAdjacency returns an empty adjacency structure.
 func NewAdjacency() *Adjacency {
-	return &Adjacency{nbrs: make(map[NodeID]map[NodeID]struct{})}
+	return &Adjacency{idx: make(map[NodeID]int32)}
+}
+
+// intern returns the dense id of v, allocating one if v is new.
+func (a *Adjacency) intern(v NodeID) int32 {
+	if id, ok := a.idx[v]; ok {
+		return id
+	}
+	var id int32
+	if n := len(a.freed); n > 0 {
+		id = a.freed[n-1]
+		a.freed = a.freed[:n-1]
+		a.nodes[id] = v
+	} else {
+		id = int32(len(a.nodes))
+		a.nodes = append(a.nodes, v)
+		a.nbrs = append(a.nbrs, nil)
+	}
+	a.idx[v] = id
+	return id
+}
+
+// release drops v from the intern table, recycling its dense id and keeping
+// the neighbor slice's capacity for the next node interned.
+func (a *Adjacency) release(v NodeID, id int32) {
+	delete(a.idx, v)
+	a.nbrs[id] = a.nbrs[id][:0]
+	a.freed = append(a.freed, id)
+}
+
+// searchNode returns the insertion point of v in the sorted slice s.
+func searchNode(s []NodeID, v NodeID) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// insertNode adds v to the sorted slice, reporting false if already present.
+func insertNode(s []NodeID, v NodeID) ([]NodeID, bool) {
+	i := searchNode(s, v)
+	if i < len(s) && s[i] == v {
+		return s, false
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s, true
+}
+
+// removeNode deletes v from the sorted slice, reporting false if absent.
+func removeNode(s []NodeID, v NodeID) ([]NodeID, bool) {
+	i := searchNode(s, v)
+	if i >= len(s) || s[i] != v {
+		return s, false
+	}
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1], true
 }
 
 // Add inserts the edge and reports whether it was newly added (false if it
 // was already present).
 func (a *Adjacency) Add(e Edge) bool {
-	if a.has(e.U, e.V) {
+	iu := a.intern(e.U)
+	su, added := insertNode(a.nbrs[iu], e.V)
+	if !added {
 		return false
 	}
-	a.link(e.U, e.V)
-	a.link(e.V, e.U)
+	a.nbrs[iu] = su
+	iv := a.intern(e.V)
+	a.nbrs[iv], _ = insertNode(a.nbrs[iv], e.U)
 	a.edges++
 	return true
-}
-
-func (a *Adjacency) link(u, v NodeID) {
-	set := a.nbrs[u]
-	if set == nil {
-		set = make(map[NodeID]struct{}, 4)
-		a.nbrs[u] = set
-	}
-	set[v] = struct{}{}
 }
 
 // Remove deletes the edge and reports whether it was present. Nodes whose
 // last incident edge is removed are dropped entirely so that the node count
 // tracks the sampled subgraph.
 func (a *Adjacency) Remove(e Edge) bool {
-	if !a.has(e.U, e.V) {
+	iu, ok := a.idx[e.U]
+	if !ok {
 		return false
 	}
-	a.unlink(e.U, e.V)
-	a.unlink(e.V, e.U)
+	su, removed := removeNode(a.nbrs[iu], e.V)
+	if !removed {
+		return false
+	}
+	a.nbrs[iu] = su
+	if len(su) == 0 {
+		a.release(e.U, iu)
+	}
+	iv := a.idx[e.V]
+	sv, _ := removeNode(a.nbrs[iv], e.U)
+	a.nbrs[iv] = sv
+	if len(sv) == 0 {
+		a.release(e.V, iv)
+	}
 	a.edges--
 	return true
 }
 
-func (a *Adjacency) unlink(u, v NodeID) {
-	set := a.nbrs[u]
-	delete(set, v)
-	if len(set) == 0 {
-		delete(a.nbrs, u)
+func (a *Adjacency) neighborsOf(v NodeID) []NodeID {
+	if id, ok := a.idx[v]; ok {
+		return a.nbrs[id]
 	}
-}
-
-func (a *Adjacency) has(u, v NodeID) bool {
-	_, ok := a.nbrs[u][v]
-	return ok
+	return nil
 }
 
 // Has reports whether the edge is present.
-func (a *Adjacency) Has(e Edge) bool { return a.has(e.U, e.V) }
+func (a *Adjacency) Has(e Edge) bool {
+	s := a.neighborsOf(e.U)
+	i := searchNode(s, e.V)
+	return i < len(s) && s[i] == e.V
+}
 
 // HasNode reports whether v has at least one incident edge.
-func (a *Adjacency) HasNode(v NodeID) bool { return len(a.nbrs[v]) > 0 }
+func (a *Adjacency) HasNode(v NodeID) bool {
+	_, ok := a.idx[v]
+	return ok
+}
 
 // Degree returns the number of neighbors of v in the structure.
-func (a *Adjacency) Degree(v NodeID) int { return len(a.nbrs[v]) }
+func (a *Adjacency) Degree(v NodeID) int { return len(a.neighborsOf(v)) }
 
 // NumNodes returns the number of nodes with at least one incident edge.
-func (a *Adjacency) NumNodes() int { return len(a.nbrs) }
+func (a *Adjacency) NumNodes() int { return len(a.idx) }
 
 // NumEdges returns the number of edges currently stored.
 func (a *Adjacency) NumEdges() int { return a.edges }
 
-// Neighbors calls fn for each neighbor of v until fn returns false.
-// Iteration order is unspecified.
+// Neighbors calls fn for each neighbor of v in ascending order until fn
+// returns false.
 func (a *Adjacency) Neighbors(v NodeID, fn func(NodeID) bool) {
-	for u := range a.nbrs[v] {
+	for _, u := range a.neighborsOf(v) {
 		if !fn(u) {
 			return
 		}
 	}
 }
 
-// CommonNeighbors calls fn for each node adjacent to both u and v, iterating
-// the smaller neighborhood and probing the larger, until fn returns false.
-// This is the O(min{deg(u),deg(v)}) pattern the paper uses to evaluate
-// W(k,K̂)=|Γ̂(v1)∩Γ̂(v2)| per arriving edge (§3.2, S4).
+// CommonNeighbors calls fn for each node adjacent to both u and v, in
+// ascending order, until fn returns false. This is the query behind
+// W(k,K̂)=|Γ̂(v1)∩Γ̂(v2)| (§3.2, S4): a two-pointer merge over the sorted
+// neighbor runs, degrading to binary probes of the larger run when the
+// degrees are skewed by more than 16×. It allocates nothing.
 func (a *Adjacency) CommonNeighbors(u, v NodeID, fn func(NodeID) bool) {
-	su, sv := a.nbrs[u], a.nbrs[v]
+	su, sv := a.neighborsOf(u), a.neighborsOf(v)
 	if len(su) > len(sv) {
 		su, sv = sv, su
 	}
-	for w := range su {
-		if _, ok := sv[w]; ok {
-			if !fn(w) {
+	if len(su) == 0 {
+		return
+	}
+	if len(sv) > 16*len(su) {
+		// Skewed: probe the big run for each element of the small one.
+		for _, w := range su {
+			i := searchNode(sv, w)
+			if i < len(sv) && sv[i] == w {
+				if !fn(w) {
+					return
+				}
+			}
+			sv = sv[i:]
+		}
+		return
+	}
+	i, j := 0, 0
+	for i < len(su) && j < len(sv) {
+		x, y := su[i], sv[j]
+		switch {
+		case x == y:
+			if !fn(x) {
 				return
 			}
+			i++
+			j++
+		case x < y:
+			i++
+		default:
+			j++
 		}
 	}
 }
@@ -123,15 +236,16 @@ func (a *Adjacency) CountCommonNeighbors(u, v NodeID) int {
 // Wedges returns the number of wedges (paths of length two) centered at v:
 // deg(v) choose 2.
 func (a *Adjacency) Wedges(v NodeID) int64 {
-	d := int64(len(a.nbrs[v]))
+	d := int64(len(a.neighborsOf(v)))
 	return d * (d - 1) / 2
 }
 
 // ForEachEdge calls fn once per stored edge (in canonical form) until fn
 // returns false. Iteration order is unspecified.
 func (a *Adjacency) ForEachEdge(fn func(Edge) bool) {
-	for u, set := range a.nbrs {
-		for v := range set {
+	for id, set := range a.nbrs {
+		u := a.nodes[id]
+		for _, v := range set {
 			if u < v {
 				if !fn(Edge{U: u, V: v}) {
 					return
@@ -144,9 +258,11 @@ func (a *Adjacency) ForEachEdge(fn func(Edge) bool) {
 // ForEachNode calls fn once per node with at least one incident edge until fn
 // returns false.
 func (a *Adjacency) ForEachNode(fn func(NodeID) bool) {
-	for v := range a.nbrs {
-		if !fn(v) {
-			return
+	for id, set := range a.nbrs {
+		if len(set) > 0 {
+			if !fn(a.nodes[id]) {
+				return
+			}
 		}
 	}
 }

@@ -4,14 +4,25 @@
 // The paper's implementation notes (§3.2) call for a binary heap stored in a
 // flat array, with the root holding the lowest-priority edge so that the
 // eviction candidate is available in O(1) and insert/evict cost O(log m).
-// On top of the plain heap this package maintains an edge-key → slot index,
+// On top of the plain heap this package maintains an edge-key → entry index,
 // because the estimators (Algorithms 2 and 3) must look up the stored weight
 // w(k') of an arbitrary sampled edge to form q(k') = min{1, w(k')/z*}, and
 // the in-stream estimator additionally updates per-edge covariance
 // accumulators C̃_k in place.
+//
+// Layout: entries live in a flat arena addressed by stable slot ids and
+// never move; the heap itself is an array of int32 slot ids ordered by
+// priority, so sift operations move 4-byte ids instead of 48-byte entries
+// and touch no index. The edge-key index is a single open-addressing table
+// (linear probing, backward-shift deletion) instead of a Go map, which
+// removes the per-operation map overhead from the sampler's hot path:
+// steady-state Push/PopMin cycles are allocation-free.
 package order
 
-import "gps/internal/graph"
+import (
+	"gps/internal/graph"
+	"gps/internal/randx"
+)
 
 // Entry is the reservoir record of one sampled edge.
 type Entry struct {
@@ -30,26 +41,30 @@ type Entry struct {
 // edge-key index. The zero value is not usable; construct with NewHeap.
 //
 // Pointers returned by Get/At/Min are valid only until the next Push or
-// PopMin: heap maintenance moves entries within the backing array.
+// PopMin: a Push may grow the arena, and a PopMin recycles the popped slot.
 type Heap struct {
-	items []Entry
-	pos   map[uint64]int32
+	arena []Entry // slot id → entry; entries do not move within a slot
+	freed []int32 // recycled slot ids
+	heap  []int32 // slot ids, heap-ordered by arena[slot].Priority
+	tab   keyTable
 }
 
 // NewHeap returns an empty heap with capacity hint n.
 func NewHeap(n int) *Heap {
-	return &Heap{
-		items: make([]Entry, 0, n+1),
-		pos:   make(map[uint64]int32, n+1),
+	h := &Heap{
+		arena: make([]Entry, 0, n+1),
+		heap:  make([]int32, 0, n+1),
 	}
+	h.tab.init(n + 1)
+	return h
 }
 
 // Len returns the number of stored entries.
-func (h *Heap) Len() int { return len(h.items) }
+func (h *Heap) Len() int { return len(h.heap) }
 
 // Contains reports whether the edge with the given key is stored.
 func (h *Heap) Contains(key uint64) bool {
-	_, ok := h.pos[key]
+	_, ok := h.tab.get(key)
 	return ok
 }
 
@@ -57,91 +72,233 @@ func (h *Heap) Contains(key uint64) bool {
 // be used to read the weight or update the covariance accumulators; it is
 // invalidated by the next Push or PopMin.
 func (h *Heap) Get(key uint64) *Entry {
-	i, ok := h.pos[key]
+	slot, ok := h.tab.get(key)
 	if !ok {
 		return nil
 	}
-	return &h.items[i]
+	return &h.arena[slot]
 }
 
 // Min returns the lowest-priority entry, or nil if the heap is empty.
 func (h *Heap) Min() *Entry {
-	if len(h.items) == 0 {
+	if len(h.heap) == 0 {
 		return nil
 	}
-	return &h.items[0]
+	return &h.arena[h.heap[0]]
 }
+
+// MinPriority returns the priority of the lowest-priority entry. It panics
+// on an empty heap; callers gate on Len. It is the O(1) rejection test of
+// the sampler's full-reservoir fast path.
+func (h *Heap) MinPriority() float64 { return h.arena[h.heap[0]].Priority }
 
 // At returns the entry at slot i (0 ≤ i < Len) in unspecified order; it is
 // the iteration primitive used by the post-stream estimator's parallel scan.
-func (h *Heap) At(i int) *Entry { return &h.items[i] }
+func (h *Heap) At(i int) *Entry { return &h.arena[h.heap[i]] }
 
 // Push inserts a new entry. It panics if an entry with the same edge key is
 // already stored; GPS streams carry unique edges, so a duplicate reaching the
 // reservoir indicates a broken stream simplifier upstream.
 func (h *Heap) Push(e Entry) {
 	key := e.Edge.Key()
-	if _, dup := h.pos[key]; dup {
+	if key == 0 {
+		// Key 0 is the table's empty-bucket marker. It only arises from a
+		// zero-value Edge built outside graph.NewEdge, which the graph
+		// model already forbids (self loop at node 0).
+		panic("order: non-canonical zero edge pushed")
+	}
+	if _, dup := h.tab.get(key); dup {
 		panic("order: duplicate edge pushed: " + e.Edge.String())
 	}
-	h.items = append(h.items, e)
-	i := int32(len(h.items) - 1)
-	h.pos[key] = i
-	h.siftUp(i)
+	var slot int32
+	if n := len(h.freed); n > 0 {
+		slot = h.freed[n-1]
+		h.freed = h.freed[:n-1]
+		h.arena[slot] = e
+	} else {
+		slot = int32(len(h.arena))
+		h.arena = append(h.arena, e)
+	}
+	h.tab.put(key, slot)
+	h.heap = append(h.heap, slot)
+	h.siftUp(int32(len(h.heap) - 1))
 }
 
 // PopMin removes and returns the lowest-priority entry. It panics on an
 // empty heap.
 func (h *Heap) PopMin() Entry {
-	if len(h.items) == 0 {
+	if len(h.heap) == 0 {
 		panic("order: PopMin on empty heap")
 	}
-	min := h.items[0]
-	last := int32(len(h.items) - 1)
-	h.swap(0, last)
-	h.items = h.items[:last]
-	delete(h.pos, min.Edge.Key())
+	slot := h.heap[0]
+	min := h.arena[slot]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.heap = h.heap[:last]
 	if last > 0 {
 		h.siftDown(0)
 	}
+	h.tab.del(min.Edge.Key())
+	h.freed = append(h.freed, slot)
 	return min
 }
 
-func (h *Heap) swap(i, j int32) {
-	if i == j {
-		return
-	}
-	h.items[i], h.items[j] = h.items[j], h.items[i]
-	h.pos[h.items[i].Edge.Key()] = i
-	h.pos[h.items[j].Edge.Key()] = j
-}
+func (h *Heap) prio(i int32) float64 { return h.arena[h.heap[i]].Priority }
 
 func (h *Heap) siftUp(i int32) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.items[parent].Priority <= h.items[i].Priority {
+		if h.prio(parent) <= h.prio(i) {
 			return
 		}
-		h.swap(parent, i)
+		h.heap[parent], h.heap[i] = h.heap[i], h.heap[parent]
 		i = parent
 	}
 }
 
 func (h *Heap) siftDown(i int32) {
-	n := int32(len(h.items))
+	n := int32(len(h.heap))
 	for {
 		left := 2*i + 1
 		if left >= n {
 			return
 		}
 		smallest := left
-		if right := left + 1; right < n && h.items[right].Priority < h.items[left].Priority {
+		if right := left + 1; right < n && h.prio(right) < h.prio(left) {
 			smallest = right
 		}
-		if h.items[i].Priority <= h.items[smallest].Priority {
+		if h.prio(i) <= h.prio(smallest) {
 			return
 		}
-		h.swap(i, smallest)
+		h.heap[i], h.heap[smallest] = h.heap[smallest], h.heap[i]
 		i = smallest
 	}
+}
+
+// keyTable is an open-addressing hash table from edge key to arena slot,
+// using linear probing with backward-shift deletion (no tombstones). The
+// zero edge key is impossible for canonical edges (U < V forces V ≥ 1), so
+// key 0 marks an empty bucket.
+type keyTable struct {
+	keys  []uint64
+	slots []int32
+	used  int
+	mask  uint64
+}
+
+// hashKey mixes the edge key with the splitmix64 finalizer so that the
+// structured (U<<32|V) keys spread over the low bits used for bucketing.
+func hashKey(k uint64) uint64 { return randx.Mix64(k) }
+
+func (t *keyTable) init(hint int) {
+	size := 16
+	for size < 2*hint {
+		size *= 2
+	}
+	t.keys = make([]uint64, size)
+	t.slots = make([]int32, size)
+	t.used = 0
+	t.mask = uint64(size - 1)
+}
+
+func (t *keyTable) get(key uint64) (int32, bool) {
+	if key == 0 {
+		return 0, false // 0 marks empty buckets and is never stored
+	}
+	i := hashKey(key) & t.mask
+	for {
+		k := t.keys[i]
+		if k == key {
+			return t.slots[i], true
+		}
+		if k == 0 {
+			return 0, false
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *keyTable) put(key uint64, slot int32) {
+	if 4*(t.used+1) > 3*len(t.keys) {
+		t.grow()
+	}
+	i := hashKey(key) & t.mask
+	for t.keys[i] != 0 {
+		i = (i + 1) & t.mask
+	}
+	t.keys[i] = key
+	t.slots[i] = slot
+	t.used++
+}
+
+func (t *keyTable) grow() {
+	oldKeys, oldSlots := t.keys, t.slots
+	size := 2 * len(oldKeys)
+	t.keys = make([]uint64, size)
+	t.slots = make([]int32, size)
+	t.mask = uint64(size - 1)
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		j := hashKey(k) & t.mask
+		for t.keys[j] != 0 {
+			j = (j + 1) & t.mask
+		}
+		t.keys[j] = k
+		t.slots[j] = oldSlots[i]
+	}
+}
+
+// del removes key using backward-shift deletion: subsequent probe-chain
+// members whose home bucket precedes the vacated one are shifted back so
+// that every surviving key stays reachable without tombstones.
+func (t *keyTable) del(key uint64) {
+	if key == 0 {
+		return // 0 marks empty buckets and is never stored
+	}
+	i := hashKey(key) & t.mask
+	for {
+		k := t.keys[i]
+		if k == key {
+			break
+		}
+		if k == 0 {
+			return // absent; nothing to delete
+		}
+		i = (i + 1) & t.mask
+	}
+	t.used--
+	j := i
+	for {
+		t.keys[i] = 0
+		for {
+			j = (j + 1) & t.mask
+			k := t.keys[j]
+			if k == 0 {
+				return
+			}
+			home := hashKey(k) & t.mask
+			// Shift k back iff its home bucket lies outside the cyclic
+			// interval (i, j] — i.e. the vacated bucket i sits between
+			// home and j, so probing for k would stop early at i.
+			if cyclicBetween(home, i, j) {
+				continue
+			}
+			break
+		}
+		t.keys[i] = t.keys[j]
+		t.slots[i] = t.slots[j]
+		i = j
+	}
+}
+
+// cyclicBetween reports whether lo < x ≤ hi in cyclic bucket order, i.e.
+// whether x lies strictly after lo and at or before hi when walking the
+// table forward from lo.
+func cyclicBetween(x, lo, hi uint64) bool {
+	if lo <= hi {
+		return lo < x && x <= hi
+	}
+	return lo < x || x <= hi
 }

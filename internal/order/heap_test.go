@@ -126,18 +126,24 @@ func TestCovarianceAccumulatorsSurviveSifts(t *testing.T) {
 func checkInvariant(t *testing.T, h *Heap) {
 	t.Helper()
 	for i := 1; i < h.Len(); i++ {
-		parent := (i - 1) / 2
-		if h.items[parent].Priority > h.items[i].Priority {
+		parent := int32(i-1) / 2
+		if h.prio(parent) > h.prio(int32(i)) {
 			t.Fatalf("heap invariant broken at %d", i)
 		}
 	}
-	for key, idx := range h.pos {
-		if h.items[idx].Edge.Key() != key {
+	for i, key := range h.tab.keys {
+		if key == 0 {
+			continue
+		}
+		if h.arena[h.tab.slots[i]].Edge.Key() != key {
 			t.Fatalf("index invariant broken for key %d", key)
 		}
 	}
-	if len(h.pos) != h.Len() {
-		t.Fatalf("index size %d != heap size %d", len(h.pos), h.Len())
+	if h.tab.used != h.Len() {
+		t.Fatalf("index size %d != heap size %d", h.tab.used, h.Len())
+	}
+	if len(h.arena) != h.Len()+len(h.freed) {
+		t.Fatalf("arena size %d != live %d + freed %d", len(h.arena), h.Len(), len(h.freed))
 	}
 }
 
@@ -155,12 +161,12 @@ func TestInvariantUnderRandomOps(t *testing.T) {
 			}
 		}
 		for i := 1; i < h.Len(); i++ {
-			parent := (i - 1) / 2
-			if h.items[parent].Priority > h.items[i].Priority {
+			parent := int32(i-1) / 2
+			if h.prio(parent) > h.prio(int32(i)) {
 				return false
 			}
 		}
-		return len(h.pos) == h.Len()
+		return h.tab.used == h.Len()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
@@ -181,6 +187,81 @@ func TestPopYieldsSortedSequence(t *testing.T) {
 			t.Fatalf("pops out of order: %v after %v", p, prev)
 		}
 		prev = p
+	}
+}
+
+func TestZeroKeyGuard(t *testing.T) {
+	// Key 0 doubles as the index's empty-bucket marker; it must never be
+	// reported present or corrupt the table, and pushing a zero-value Edge
+	// (only constructible outside graph.NewEdge) must panic loudly.
+	h := NewHeap(4)
+	if h.Contains(0) || h.Get(0) != nil {
+		t.Fatal("zero key reported present on empty heap")
+	}
+	h.Push(Entry{Edge: edgeFor(1), Priority: 1})
+	if h.Contains(0) || h.Get(0) != nil {
+		t.Fatal("zero key reported present on populated heap")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Push of zero-value edge did not panic")
+		}
+	}()
+	h.Push(Entry{Priority: 2})
+}
+
+func TestIndexSurvivesChurn(t *testing.T) {
+	// Long interleaved Push/PopMin runs exercise the open-addressing
+	// table's backward-shift deletion: every surviving key must stay
+	// resolvable after arbitrarily many deletions (no tombstone decay),
+	// and recycled arena slots must never alias live entries.
+	h := NewHeap(4)
+	rng := randx.New(7)
+	live := map[uint64]float64{} // key → weight
+	next := 0
+	for step := 0; step < 20000; step++ {
+		if rng.Float64() < 0.55 || h.Len() == 0 {
+			e := edgeFor(next)
+			w := float64(next)
+			next++
+			h.Push(Entry{Edge: e, Priority: rng.Float64(), Weight: w})
+			live[e.Key()] = w
+		} else {
+			popped := h.PopMin()
+			delete(live, popped.Edge.Key())
+		}
+	}
+	if h.Len() != len(live) {
+		t.Fatalf("Len = %d, want %d", h.Len(), len(live))
+	}
+	for key, w := range live {
+		ent := h.Get(key)
+		if ent == nil {
+			t.Fatalf("live key %d unresolvable after churn", key)
+		}
+		if ent.Weight != w {
+			t.Fatalf("key %d resolves to weight %v, want %v", key, ent.Weight, w)
+		}
+	}
+	checkInvariant(t, NewHeap(0)) // sanity: helper works on empty heap
+	checkInvariant(t, h)
+}
+
+func TestArenaSlotRecycling(t *testing.T) {
+	// A full/evict steady state (the sampler's regime) must not grow the
+	// arena: each PopMin frees the slot the next Push reuses.
+	h := NewHeap(64)
+	rng := randx.New(11)
+	for i := 0; i < 64; i++ {
+		h.Push(Entry{Edge: edgeFor(i), Priority: 1 + rng.Float64()})
+	}
+	grew := len(h.arena)
+	for i := 64; i < 5000; i++ {
+		h.Push(Entry{Edge: edgeFor(i), Priority: 1 + rng.Float64()})
+		h.PopMin()
+	}
+	if len(h.arena) > grew+1 {
+		t.Fatalf("arena grew from %d to %d under steady state", grew, len(h.arena))
 	}
 }
 

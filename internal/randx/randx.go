@@ -24,7 +24,14 @@ import "math"
 // splitmix64 sequence. It is used only for seeding.
 func splitmix64(state *uint64) uint64 {
 	*state += 0x9e3779b97f4a7c15
-	z := *state
+	return Mix64(*state)
+}
+
+// Mix64 is the splitmix64 finalizer: a fast bijective mixer that spreads
+// structured 64-bit keys (packed edge ids, counters) uniformly over all
+// bits. It is the shared hash behind the reservoir's open-addressing edge
+// index and the engine's shard router.
+func Mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
