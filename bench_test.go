@@ -12,7 +12,9 @@ package gps_test
 // paper-vs-measured comparison for each.
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 
@@ -329,4 +331,58 @@ func BenchmarkEstimatePost(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		gps.EstimatePost(s)
 	}
+}
+
+// --- Service-layer benchmarks: snapshot pause and wire-format codec ---
+
+// BenchmarkEngineSnapshot1M measures the full low-pause query path of the
+// live service — barrier + parallel shard clone + merge + nothing else —
+// on a 100K-edge reservoir over the 1M-edge engine stream.
+func BenchmarkEngineSnapshot1M(b *testing.B) {
+	edges := engineEdges(b)
+	p, err := gps.NewParallel(gps.Config{Capacity: 100000, Seed: 9}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	p.ProcessBatch(edges)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBinaryEncode measures the GPSB wire-format encoder, ns/edge.
+func BenchmarkBinaryEncode(b *testing.B) {
+	edges := engineEdges(b)[:1_000_000]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := gps.WriteBinary(io.Discard, edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(edges)), "ns/edge")
+}
+
+// BenchmarkBinaryDecode measures the GPSB wire-format decoder, ns/edge.
+func BenchmarkBinaryDecode(b *testing.B) {
+	edges := engineEdges(b)[:1_000_000]
+	var buf bytes.Buffer
+	if err := gps.WriteBinary(&buf, edges); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := gps.ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != len(edges) {
+			b.Fatalf("decoded %d edges, want %d", len(got), len(edges))
+		}
+	}
+	b.ReportMetric(float64(buf.Len())/float64(len(edges)), "bytes/edge")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(edges)), "ns/edge")
 }

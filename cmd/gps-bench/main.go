@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	gps-bench -exp table1|table2|table3|fig1|fig2|fig3|weights|extensions|throughput|all \
+//	gps-bench -exp table1|table2|table3|fig1|fig2|fig3|weights|extensions|throughput|serve|all \
 //	          [-profile small|full] [-trials N] [-sample M] [-budget B] \
-//	          [-checkpoints C] [-seed S] [-graphs a,b,c] [-edges N] [-shards P]
+//	          [-checkpoints C] [-seed S] [-graphs a,b,c] [-edges N] [-shards P] [-clients Q]
 //
 // Examples:
 //
@@ -14,20 +14,29 @@
 //	gps-bench -exp fig2 -profile full      # convergence sweep, 8× datasets
 //	gps-bench -exp throughput -edges 4000000 -shards 8
 //	                                       # sequential vs batched vs sharded rate
+//	gps-bench -exp serve -edges 1000000 -clients 8
+//	                                       # live service: ingest rate + query latency
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"gps"
 	"gps/internal/datasets"
 	"gps/internal/experiments"
 	"gps/internal/gen"
+	"gps/internal/graph"
+	"gps/internal/serve"
 	"gps/internal/stream"
 )
 
@@ -42,15 +51,16 @@ func run(args []string, stdout, errw io.Writer) error {
 	fs := flag.NewFlagSet("gps-bench", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
-		exp         = fs.String("exp", "all", "experiment: table1, table2, table3, fig1, fig2, fig3, weights, extensions, throughput, all")
+		exp         = fs.String("exp", "all", "experiment: table1, table2, table3, fig1, fig2, fig3, weights, extensions, throughput, serve, all")
 		profileName = fs.String("profile", "small", "dataset scale: small or full")
 		trials      = fs.Int("trials", 3, "replications per configuration")
 		sample      = fs.Int("sample", 20000, "GPS sample size m (table1, fig1, fig3, weights)")
 		budget      = fs.Int("budget", 10000, "edge budget for the baseline comparisons (table2, table3, extensions)")
 		checkpoints = fs.Int("checkpoints", 20, "checkpoints along the stream (table3, fig3)")
 		seed        = fs.Uint64("seed", 0x69505321, "root seed for all randomness")
-		edges       = fs.Int("edges", 1_000_000, "synthetic stream length for -exp throughput")
-		shardsFlag  = fs.Int("shards", 4, "shard count for the parallel sampler (throughput)")
+		edges       = fs.Int("edges", 1_000_000, "synthetic stream length for -exp throughput/serve")
+		shardsFlag  = fs.Int("shards", 4, "shard count for the parallel sampler (throughput, serve)")
+		clients     = fs.Int("clients", 8, "concurrent query clients for -exp serve")
 		graphsFlag  = fs.String("graphs", "", "comma-separated dataset names (default: the paper's list per experiment)")
 		list        = fs.Bool("list", false, "list available datasets and exit")
 	)
@@ -140,6 +150,12 @@ func run(args []string, stdout, errw io.Writer) error {
 				return err
 			}
 			emit("Throughput — sequential vs batched vs sharded sampling", body)
+		case "serve":
+			body, err := serveBench(*edges, *sample, *shardsFlag, *clients, *seed)
+			if err != nil {
+				return err
+			}
+			emit("Serve — concurrent ingestion + query latency over HTTP", body)
 		case "extensions":
 			rows, err := experiments.Extensions(opts, *budget, graphs)
 			if err != nil {
@@ -173,17 +189,8 @@ func throughput(edges, sample, shards int, seed uint64) (string, error) {
 	if edges < 1 || sample < 1 || shards < 1 {
 		return "", fmt.Errorf("throughput: need positive -edges, -sample and -shards")
 	}
-	// R-MAT scale chosen so the generator yields at least the requested
-	// stream length; the stream is then truncated to exactly -edges.
-	scale := 10
-	for (1<<scale)*16 < edges {
-		scale++
-	}
-	all := gen.RMAT(scale, 16, 0.57, 0.19, 0.19, seed)
-	if len(all) < edges {
-		edges = len(all)
-	}
-	es := stream.Collect(stream.Permute(all, seed^0x7EA))[:edges]
+	es, scale := rmatStream(edges, seed)
+	edges = len(es)
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "stream: R-MAT scale %d, %d edges; m=%d, P=%d\n\n", scale, edges, sample, shards)
@@ -245,5 +252,171 @@ func throughput(edges, sample, shards int, seed uint64) (string, error) {
 			return "", err
 		}
 	}
+	return b.String(), nil
+}
+
+// rmatStream generates a permuted R-MAT stream of (up to) the requested
+// length, choosing the scale so the generator can supply it.
+func rmatStream(edges int, seed uint64) ([]graph.Edge, int) {
+	scale := 10
+	for (1<<scale)*16 < edges {
+		scale++
+	}
+	all := gen.RMAT(scale, 16, 0.57, 0.19, 0.19, seed)
+	if len(all) < edges {
+		edges = len(all)
+	}
+	return stream.Collect(stream.Permute(all, seed^0x7EA))[:edges], scale
+}
+
+// serveBench runs the live-service experiment: a gps-serve instance (in
+// process, real HTTP over a loopback listener) ingests a binary-framed
+// R-MAT stream at full speed while query clients hammer /v1/estimate with
+// a 100ms staleness bound. It reports the sustained ingest rate, the query
+// throughput and client-observed latency percentiles, and the cost of a
+// forced-fresh snapshot at the end of the stream.
+func serveBench(edges, sample, shards, clients int, seed uint64) (string, error) {
+	if edges < 1 || sample < 1 || shards < 1 || clients < 1 {
+		return "", fmt.Errorf("serve: need positive -edges, -sample, -shards and -clients")
+	}
+	es, scale := rmatStream(edges, seed)
+	edges = len(es)
+
+	srv, err := serve.NewServer(serve.Config{
+		Capacity:     sample,
+		Weight:       gps.TriangleWeight,
+		WeightName:   "triangle",
+		Seed:         seed,
+		Shards:       shards,
+		QueueDepth:   64,
+		MaxStaleness: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return "", err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Pre-encode the ingest bodies so the measurement is service time, not
+	// client-side encoding.
+	const batch = 8192
+	var bodies [][]byte
+	for lo := 0; lo < edges; lo += batch {
+		hi := lo + batch
+		if hi > edges {
+			hi = edges
+		}
+		var buf bytes.Buffer
+		if err := stream.WriteBinary(&buf, es[lo:hi]); err != nil {
+			return "", err
+		}
+		bodies = append(bodies, buf.Bytes())
+	}
+
+	type clientStats struct {
+		lat     []time.Duration
+		queries int
+		errs    int
+	}
+	done := make(chan struct{})
+	stats := make([]clientStats, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(cs *clientStats) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				start := time.Now()
+				resp, err := http.Get(ts.URL + "/v1/estimate")
+				if err != nil {
+					cs.errs++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				cs.lat = append(cs.lat, time.Since(start))
+				cs.queries++
+			}
+		}(&stats[c])
+	}
+
+	ingestStart := time.Now()
+	var retries503 int
+	for _, body := range bodies {
+		for {
+			resp, err := http.Post(ts.URL+"/v1/ingest", stream.BinaryContentType, bytes.NewReader(body))
+			if err != nil {
+				close(done)
+				return "", err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusAccepted {
+				break
+			}
+			if resp.StatusCode != http.StatusServiceUnavailable {
+				close(done)
+				return "", fmt.Errorf("ingest status %d", resp.StatusCode)
+			}
+			retries503++
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Drain the queue so the rate covers sampling, not just enqueueing.
+	resp, err := http.Post(ts.URL+"/v1/flush", "", nil)
+	if err != nil {
+		close(done)
+		return "", err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	ingestElapsed := time.Since(ingestStart)
+	close(done)
+	wg.Wait()
+
+	// Forced-fresh snapshot: pause + merge + estimate on the final state.
+	freshStart := time.Now()
+	resp, err = http.Get(ts.URL + "/v1/estimate?max_stale=0s")
+	if err != nil {
+		return "", err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	freshElapsed := time.Since(freshStart)
+
+	var all []time.Duration
+	queries, errs := 0, 0
+	for i := range stats {
+		all = append(all, stats[i].lat...)
+		queries += stats[i].queries
+		errs += stats[i].errs
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "stream: R-MAT scale %d, %d edges; m=%d, P=%d shards, %d query clients, staleness 100ms\n\n",
+		scale, edges, sample, shards, clients)
+	fmt.Fprintf(&b, "ingest:  %d edges in %s  =  %.0f edges/sec  (%d batches, %d backpressure retries)\n",
+		edges, ingestElapsed.Round(time.Millisecond), float64(edges)/ingestElapsed.Seconds(), len(bodies), retries503)
+	fmt.Fprintf(&b, "queries: %d total (%d errors) during ingest  =  %.0f queries/sec\n",
+		queries, errs, float64(queries)/ingestElapsed.Seconds())
+	fmt.Fprintf(&b, "query latency: p50 %s   p90 %s   p99 %s   max %s\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+	fmt.Fprintf(&b, "forced-fresh estimate (snapshot + merge + Alg 2) after stream end: %s\n",
+		freshElapsed.Round(time.Microsecond))
 	return b.String(), nil
 }

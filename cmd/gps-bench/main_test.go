@@ -42,12 +42,26 @@ func TestRunThroughput(t *testing.T) {
 	}
 }
 
+func TestRunServe(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{"-exp", "serve", "-edges", "20000", "-sample", "2000", "-shards", "2", "-clients", "3"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ingest:", "queries:", "query latency: p50", "p99", "forced-fresh"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("serve output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"-exp", "nope"},
 		{"-profile", "huge"},
 		{"-exp", "table1", "-graphs", "unknown-graph"},
 		{"-exp", "throughput", "-edges", "0"},
+		{"-exp", "serve", "-clients", "0"},
 	}
 	for _, args := range cases {
 		var out, errw bytes.Buffer

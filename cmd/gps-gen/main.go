@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	gps-gen -dataset soc-orkut [-profile small|full] [-out file]
+//	gps-gen -dataset soc-orkut [-profile small|full] [-out file] [-format text|binary]
 //	gps-gen -type er   -n 100000 -m 500000 [-seed S] [-out file]
 //	gps-gen -type ba   -n 100000 -k 5
 //	gps-gen -type hk   -n 100000 -k 8 -p 0.6
@@ -55,9 +55,19 @@ func run(args []string, stdout, errw io.Writer) error {
 		diag        = fs.Float64("diag", 0.03, "grid diagonal probability")
 		seed        = fs.Uint64("seed", 1, "generator seed")
 		out         = fs.String("out", "", "output file (default stdout)")
+		format      = fs.String("format", "text", "output format: text (\"u v\" lines) or binary (GPSB varint frames)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	write := stream.WriteEdgeList
+	switch *format {
+	case "text":
+	case "binary":
+		write = stream.WriteBinary
+	default:
+		return fmt.Errorf("unknown format %q (want text or binary)", *format)
 	}
 
 	edges, err := buildEdges(*dataset, *profileName, *typ, genParams{
@@ -79,7 +89,7 @@ func run(args []string, stdout, errw io.Writer) error {
 		defer f.Close()
 		w = f
 	}
-	if err := stream.WriteEdgeList(w, edges); err != nil {
+	if err := write(w, edges); err != nil {
 		return fmt.Errorf("write: %v", err)
 	}
 	fmt.Fprintf(errw, "gps-gen: wrote %d edges\n", len(edges))

@@ -53,6 +53,38 @@ func TestRunDataset(t *testing.T) {
 	}
 }
 
+// TestRunBinaryFormat checks -format binary emits the GPSB framing and
+// that it decodes to exactly the edges of the equivalent text run.
+func TestRunBinaryFormat(t *testing.T) {
+	args := []string{"-type", "er", "-n", "100", "-m", "300", "-seed", "9"}
+	var text, bin, errw bytes.Buffer
+	if err := run(args, &text, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-format", "binary"), &bin, &errw); err != nil {
+		t.Fatal(err)
+	}
+	want, err := stream.ReadEdgeList(bytes.NewReader(text.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := stream.ReadBinary(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("binary decoded %d edges, text %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d: binary %v vs text %v", i, got[i], want[i])
+		}
+	}
+	if bin.Len() >= text.Len() {
+		t.Errorf("binary output (%dB) not smaller than text (%dB)", bin.Len(), text.Len())
+	}
+}
+
 func TestRunOutFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "g.txt")
 	var out, errw bytes.Buffer
@@ -70,6 +102,7 @@ func TestRunErrors(t *testing.T) {
 		{"-type", "nope"},    // unknown family
 		{"-dataset", "nope"}, // unknown dataset
 		{"-dataset", "com-amazon", "-profile", "huge"}, // bad profile
+		{"-type", "er", "-n", "10", "-format", "nope"}, // bad format
 	}
 	for _, args := range cases {
 		var out, errw bytes.Buffer

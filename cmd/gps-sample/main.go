@@ -1,5 +1,7 @@
-// Command gps-sample runs Graph Priority Sampling over an edge-list file and
-// prints triangle/wedge/clustering estimates with 95% confidence bounds.
+// Command gps-sample runs Graph Priority Sampling over an edge-stream file
+// and prints triangle/wedge/clustering estimates with 95% confidence bounds.
+// Both stream formats are accepted and auto-detected: plain-text "u v"
+// lines and the binary GPSB framing written by gps-gen -format binary.
 //
 // Usage:
 //
@@ -54,7 +56,7 @@ func run(args []string, stdout, errw io.Writer) error {
 	if err != nil {
 		return err
 	}
-	edges, err := stream.ReadEdgeList(f)
+	edges, err := stream.ReadEdges(f)
 	f.Close()
 	if err != nil {
 		return err

@@ -39,6 +39,42 @@ func TestRunBasic(t *testing.T) {
 	}
 }
 
+// TestRunBinaryInput feeds gps-sample a GPSB binary stream; the format is
+// auto-detected and the run must match the text-format run exactly.
+func TestRunBinaryInput(t *testing.T) {
+	edges := gen.HolmeKim(500, 4, 0.6, 3)
+	dir := t.TempDir()
+	textPath := filepath.Join(dir, "g.txt")
+	binPath := filepath.Join(dir, "g.gpsb")
+	ft, err := os.Create(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.WriteEdgeList(ft, edges); err != nil {
+		t.Fatal(err)
+	}
+	ft.Close()
+	fb, err := os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.WriteBinary(fb, edges); err != nil {
+		t.Fatal(err)
+	}
+	fb.Close()
+
+	var outText, outBin, errw bytes.Buffer
+	if err := run([]string{"-in", textPath, "-m", "400", "-exact"}, &outText, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", binPath, "-m", "400", "-exact"}, &outBin, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if outText.String() != outBin.String() {
+		t.Fatalf("binary-input run diverges from text-input run:\n%s\nvs\n%s", outBin.String(), outText.String())
+	}
+}
+
 func TestRunCheckpointsAndWeights(t *testing.T) {
 	path := writeGraph(t)
 	for _, w := range []string{"triangle", "uniform", "adjacency", "adaptive"} {

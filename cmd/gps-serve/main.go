@@ -1,0 +1,118 @@
+// Command gps-serve runs the GPS live sampling service: it ingests an edge
+// stream over HTTP and answers triangle/wedge/subgraph queries from
+// staleness-bounded snapshots while ingestion continues.
+//
+// Usage:
+//
+//	gps-serve -addr :8080 -m 100000 [-weight triangle|uniform|adjacency]
+//	          [-shards P] [-queue 64] [-staleness 250ms] [-seed S]
+//
+// Endpoints:
+//
+//	POST /v1/ingest             edge batch: binary frames (Content-Type
+//	                            application/x-gps-edges) or text "u v" lines;
+//	                            503 + Retry-After under backpressure
+//	GET  /v1/estimate           triangle/wedge/clustering estimates with 95%
+//	                            CIs; ?max_stale=250ms bounds snapshot age
+//	POST /v1/estimate/subgraph  {"edges": [[u,v],...]} → Horvitz-Thompson
+//	                            subgraph estimate + variance
+//	POST /v1/flush              block until everything enqueued has been
+//	                            sampled (read-your-writes sequencing)
+//	GET  /v1/stats              ingest/queue/snapshot counters
+//	GET  /healthz               liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gps/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr, nil, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "gps-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and blocks until shutdown is signalled (SIGINT/
+// SIGTERM, or stop closing when non-nil). When ready is non-nil it receives
+// the bound address once the listener is up — the hook the end-to-end test
+// and smoke scripts use to avoid port races.
+func run(args []string, errw io.Writer, ready chan<- string, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("gps-serve", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		m          = fs.Int("m", 100000, "reservoir capacity")
+		weightName = fs.String("weight", "triangle", "weight function: triangle, uniform, adjacency")
+		shards     = fs.Int("shards", 0, "engine shard count (0 = GOMAXPROCS)")
+		queue      = fs.Int("queue", 64, "max pending ingest batches before 503")
+		maxPending = fs.Int("max-pending", 4<<20, "max decoded edges waiting in the ingest queue before 503")
+		staleness  = fs.Duration("staleness", 250*time.Millisecond, "default snapshot staleness bound")
+		seed       = fs.Uint64("seed", 1, "sampler seed")
+		maxBody    = fs.Int64("max-body", 32<<20, "max ingest body bytes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	weight, err := serve.WeightByName(*weightName)
+	if err != nil {
+		return err
+	}
+	s, err := serve.NewServer(serve.Config{
+		Capacity:        *m,
+		Weight:          weight,
+		WeightName:      *weightName,
+		Seed:            *seed,
+		Shards:          *shards,
+		QueueDepth:      *queue,
+		MaxPendingEdges: *maxPending,
+		MaxBodyBytes:    *maxBody,
+		MaxStaleness:    *staleness,
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	fmt.Fprintf(errw, "gps-serve: listening on %s (m=%d weight=%s staleness=%s)\n",
+		ln.Addr(), *m, *weightName, *staleness)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-sigc:
+	case <-stop:
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return hs.Shutdown(ctx)
+}

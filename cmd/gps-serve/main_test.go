@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"gps/internal/exact"
+	"gps/internal/gen"
+	"gps/internal/graph"
+	"gps/internal/stream"
+)
+
+// TestServeEndToEnd boots the real binary's run loop on an ephemeral port,
+// streams a graph in over HTTP in batches, and checks the served estimates
+// against the exact counts — uniform weight with capacity above the edge
+// count makes the snapshot estimates exactly the true counts, which is the
+// same check the CI smoke step performs with curl.
+func TestServeEndToEnd(t *testing.T) {
+	edges := gen.ErdosRenyi(200, 1500, 3)
+	truth := exact.Count(graph.BuildStatic(edges))
+
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-m", fmt.Sprint(len(edges) + 100),
+			"-weight", "uniform",
+			"-shards", "4",
+			"-staleness", "0s",
+			"-seed", "7",
+		}, io.Discard, ready, stop)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	// Ingest in batches, alternating wire formats.
+	const batch = 400
+	for lo := 0; lo < len(edges); lo += batch {
+		hi := lo + batch
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		var body bytes.Buffer
+		contentType := "text/plain"
+		if (lo/batch)%2 == 0 {
+			if err := stream.WriteBinary(&body, edges[lo:hi]); err != nil {
+				t.Fatal(err)
+			}
+			contentType = stream.BinaryContentType
+		} else if err := stream.WriteEdgeList(&body, edges[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+"/v1/ingest", contentType, &body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("ingest status %d", resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(base+"/v1/flush", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(base + "/v1/estimate?max_stale=0s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var est struct {
+		Triangles    float64 `json:"triangles"`
+		Wedges       float64 `json:"wedges"`
+		Arrivals     uint64  `json:"arrivals"`
+		SampledEdges int     `json:"sampled_edges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if est.Arrivals != uint64(len(edges)) {
+		t.Fatalf("arrivals = %d, want %d", est.Arrivals, len(edges))
+	}
+	if est.Triangles != float64(truth.Triangles) || est.Wedges != float64(truth.Wedges) {
+		t.Fatalf("served (%.0f, %.0f) != exact (%d, %d)",
+			est.Triangles, est.Wedges, truth.Triangles, truth.Wedges)
+	}
+
+	// Subgraph query for an edge known to be sampled.
+	body := fmt.Sprintf(`{"edges": [[%d,%d]]}`, edges[0].U, edges[0].V)
+	resp, err = http.Post(base+"/v1/estimate/subgraph?max_stale=0s", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		Estimate float64 `json:"estimate"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sub.Estimate != 1 {
+		t.Fatalf("subgraph estimate = %v, want 1 (nothing evicted)", sub.Estimate)
+	}
+
+	close(stop)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never shut down")
+	}
+}
+
+// TestServeBadFlags covers flag validation without binding a port.
+func TestServeBadFlags(t *testing.T) {
+	if err := run([]string{"-weight", "nope"}, io.Discard, nil, nil); err == nil {
+		t.Fatal("unknown weight accepted")
+	}
+	if err := run([]string{"-weight", "adaptive"}, io.Discard, nil, nil); err == nil {
+		t.Fatal("adaptive weight accepted")
+	}
+	if err := run([]string{"-m", "0", "-weight", "uniform"}, io.Discard, nil, nil); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}

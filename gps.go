@@ -106,9 +106,11 @@ func NewSampler(cfg Config) (*Sampler, error) { return core.NewSampler(cfg) }
 type Parallel = engine.Parallel
 
 // NewParallel returns a sharded sampler with the given shard count
-// (shards <= 0 means GOMAXPROCS). Feed it from one producer via
-// Process/ProcessBatch, call Merge for a sequential Sampler over everything
-// fed so far, and Close when done.
+// (shards <= 0 means GOMAXPROCS). Feed it via Process/ProcessBatch — all
+// methods are safe for concurrent use — call Merge for a sequential Sampler
+// over everything fed so far (or Snapshot for the same result with a much
+// shorter ingestion stall: shards are cloned under the lock and merged
+// outside it), and Close when done.
 //
 // For stream-independent weights (UniformWeight) the merged sample is
 // distributed exactly as a sequential GPS(m) sample of the whole stream —
@@ -214,3 +216,15 @@ func ReadEdgeList(r io.Reader) ([]Edge, error) { return stream.ReadEdgeList(r) }
 
 // WriteEdgeList writes edges in the format accepted by ReadEdgeList.
 func WriteEdgeList(w io.Writer, edges []Edge) error { return stream.WriteEdgeList(w, edges) }
+
+// ReadBinary decodes the compact GPSB binary edge framing (varint records):
+// the wire format of the live sampling service and of gps-gen -format
+// binary. Malformed input returns an error, never panics.
+func ReadBinary(r io.Reader) ([]Edge, error) { return stream.ReadBinary(r) }
+
+// WriteBinary writes edges in the binary framing accepted by ReadBinary.
+func WriteBinary(w io.Writer, edges []Edge) error { return stream.WriteBinary(w, edges) }
+
+// ReadEdges reads a complete edge stream in either supported format,
+// sniffing the binary magic and falling back to the text edge list.
+func ReadEdges(r io.Reader) ([]Edge, error) { return stream.ReadEdges(r) }

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"gps/internal/gen"
+	"gps/internal/graph"
+	"gps/internal/stream"
+)
+
+func cloneTestStream(n, m int, seed uint64) []graph.Edge {
+	return stream.Collect(stream.Permute(gen.ErdosRenyi(n, m, seed), seed^0xC10E))
+}
+
+// samplerFingerprint reduces a sampler to a comparable value: sorted sampled
+// edge keys with their stored weights and priorities, plus threshold and
+// counters.
+func samplerFingerprint(s *Sampler) (keys []uint64, ws, ps []float64, z float64, arrivals uint64) {
+	res := s.Reservoir()
+	for _, e := range res.Edges() {
+		keys = append(keys, e.Key())
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		ent := res.entry(graph.EdgeFromKey(k))
+		ws = append(ws, ent.Weight)
+		ps = append(ps, ent.Priority)
+	}
+	return keys, ws, ps, s.Threshold(), s.Arrivals()
+}
+
+func requireSameSampler(t *testing.T, a, b *Sampler) {
+	t.Helper()
+	ka, wa, pa, za, aa := samplerFingerprint(a)
+	kb, wb, pb, zb, ab := samplerFingerprint(b)
+	if za != zb || aa != ab || len(ka) != len(kb) {
+		t.Fatalf("samplers diverge: z %v vs %v, arrivals %d vs %d, len %d vs %d",
+			za, zb, aa, ab, len(ka), len(kb))
+	}
+	for i := range ka {
+		if ka[i] != kb[i] || wa[i] != wb[i] || pa[i] != pb[i] {
+			t.Fatalf("samplers diverge at sampled edge %d: (%v,%v,%v) vs (%v,%v,%v)",
+				i, ka[i], wa[i], pa[i], kb[i], wb[i], pb[i])
+		}
+	}
+}
+
+// TestCloneIndependent verifies that mutating the original after Clone leaves
+// the clone untouched — reservoir, adjacency, threshold and counters are all
+// deep-copied.
+func TestCloneIndependent(t *testing.T) {
+	edges := cloneTestStream(300, 3000, 0x11)
+	for _, weight := range []WeightFunc{nil, TriangleWeight} {
+		s, err := NewSampler(Config{Capacity: 200, Weight: weight, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		processAll(t, s, edges[:1500])
+		c := s.Clone()
+		requireSameSampler(t, s, c)
+		frozen := EstimatePost(c)
+
+		processAll(t, s, edges[1500:])
+		// The clone must still be exactly the mid-stream state.
+		if c.Arrivals() != 1500 {
+			t.Fatalf("clone arrivals changed to %d", c.Arrivals())
+		}
+		again := EstimatePost(c)
+		if again != frozen {
+			t.Fatalf("clone estimates changed after original kept processing: %+v vs %+v", again, frozen)
+		}
+		if s.Arrivals() != uint64(len(edges)) {
+			t.Fatalf("original arrivals = %d, want %d", s.Arrivals(), len(edges))
+		}
+	}
+}
+
+// TestCloneForksDeterministically verifies that a clone is a perfect fork:
+// fed the identical suffix, clone and original produce bit-identical
+// reservoirs (same RNG draws, same weights, same evictions).
+func TestCloneForksDeterministically(t *testing.T) {
+	edges := cloneTestStream(300, 3000, 0x22)
+	for _, weight := range []WeightFunc{nil, TriangleWeight, AdjacencyWeight} {
+		s, err := NewSampler(Config{Capacity: 150, Weight: weight, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		processAll(t, s, edges[:1000])
+		c := s.Clone()
+		processAll(t, s, edges[1000:])
+		processAll(t, c, edges[1000:])
+		requireSameSampler(t, s, c)
+		if EstimatePost(s) != EstimatePost(c) {
+			t.Fatal("forked samplers disagree on estimates after identical suffix")
+		}
+	}
+}
+
+// TestCloneAdjacencyIndependent drives the cloned reservoir's adjacency
+// structure through inserts and evictions and checks topology queries agree
+// with a from-scratch replay, guarding the shared-backing neighbor copy in
+// graph.Adjacency.Clone.
+func TestCloneAdjacencyIndependent(t *testing.T) {
+	edges := cloneTestStream(120, 1200, 0x33)
+	s, err := NewSampler(Config{Capacity: 80, Weight: TriangleWeight, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	processAll(t, s, edges[:600])
+	c := s.Clone()
+	processAll(t, c, edges[600:])
+
+	replay, err := NewSampler(Config{Capacity: 80, Weight: TriangleWeight, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	processAll(t, replay, edges)
+	requireSameSampler(t, c, replay)
+	if c.Reservoir().NumNodes() != replay.Reservoir().NumNodes() {
+		t.Fatalf("node counts diverge: %d vs %d", c.Reservoir().NumNodes(), replay.Reservoir().NumNodes())
+	}
+	replay.Reservoir().ForEachEdge(func(e graph.Edge) bool {
+		if got, want := c.Reservoir().CountCommonNeighbors(e.U, e.V), replay.Reservoir().CountCommonNeighbors(e.U, e.V); got != want {
+			t.Fatalf("common neighbors of %v diverge: %d vs %d", e, got, want)
+		}
+		return true
+	})
+}

@@ -80,6 +80,12 @@ func (r *Reservoir) Edges() []graph.Edge {
 	return out
 }
 
+// clone returns a deep copy of the reservoir: heap and adjacency index are
+// duplicated so the copy and the original evolve independently.
+func (r *Reservoir) clone() *Reservoir {
+	return &Reservoir{heap: r.heap.Clone(), adj: r.adj.Clone()}
+}
+
 // entry returns the heap record of edge e, or nil when not sampled. The
 // pointer is invalidated by the next insert/evict.
 func (r *Reservoir) entry(e graph.Edge) *order.Entry { return r.heap.Get(e.Key()) }

@@ -144,6 +144,26 @@ func (s *Sampler) ProcessBatch(edges []graph.Edge) int {
 	return kept
 }
 
+// Clone returns a deep copy of the sampler frozen at its current state:
+// reservoir, threshold, counters and RNG position are all duplicated, so the
+// clone and the original evolve independently and deterministically — fed
+// the same suffix, both produce bit-identical reservoirs. Cloning is the
+// copy-on-read primitive behind engine.Parallel.Snapshot: a clone can feed
+// any estimator (or keep sampling a what-if continuation) while the original
+// keeps consuming the live stream.
+//
+// The weight function itself is shared, not copied. For the built-in pure
+// weights this is invisible; for a stateful weight (NewAdaptiveTriangleWeight)
+// the adaptation state remains shared, so only one of the two forks should
+// continue processing — read-only uses of the clone (estimation, snapshots)
+// are always safe.
+func (s *Sampler) Clone() *Sampler {
+	c := *s
+	c.rng = s.rng.Clone()
+	c.res = s.res.clone()
+	return &c
+}
+
 // Threshold returns z*, the largest priority ever evicted (the (m+1)-st
 // highest priority seen). It is 0 until the reservoir first overflows, in
 // which case every sampled edge has inclusion probability 1.

@@ -45,6 +45,19 @@
 // Every run is a deterministic function of (seed, stream content, shard
 // count): batching and goroutine scheduling cannot change any shard's
 // arrival order, because order within a shard follows stream order.
+//
+// # Queries under ingestion
+//
+// Parallel is safe for concurrent use: one mutex serializes producers,
+// merges and snapshots, so ingestion and queries may come from different
+// goroutines. Merge holds the lock for the whole merge (ingestion stops
+// while the merged sampler is built); Snapshot holds it only long enough to
+// drain the shards and clone their reservoirs — O(m) memory copies,
+// parallelized across shards — and performs the merge on the clones after
+// ingestion has already resumed. Snapshot is therefore the low-pause query
+// path of a live service: at any batch boundary it yields a sampler
+// bit-identical to what Merge would have produced at the same point, and
+// the result is immutable with respect to further ingestion.
 package engine
 
 import (
@@ -64,11 +77,13 @@ import (
 // to well under a nanosecond per edge, small enough to keep shards busy.
 const DefaultBatch = 4096
 
-// Parallel is a sharded GPS sampler. Feed it with Process/ProcessBatch
-// from one producer goroutine, then call Merge (any number of times) for a
+// Parallel is a sharded GPS sampler. Feed it with Process/ProcessBatch,
+// call Merge or Snapshot (any number of times, from any goroutine) for a
 // sequential Sampler positioned over everything fed so far, and Close when
-// done. Parallel is not safe for concurrent producers.
+// done. All methods are safe for concurrent use; per-edge Process pays one
+// uncontended lock per call, so high-rate producers should feed batches.
 type Parallel struct {
+	mu        sync.Mutex // guards shard buffers, flush/barrier, closed
 	cfg       core.Config
 	mergeSeed uint64
 	batch     int
@@ -171,19 +186,38 @@ func (p *Parallel) shardFor(e graph.Edge) *shard {
 }
 
 // Process routes one edge to its shard, flushing the shard's batch buffer
-// when full.
+// when full. It panics if p is closed.
 func (p *Parallel) Process(e graph.Edge) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("engine: Process on closed Parallel")
+	}
+	p.process(e)
+	p.mu.Unlock()
+}
+
+// ProcessBatch routes a batch of edges to their shards. The batch is
+// admitted atomically with respect to Merge and Snapshot: a concurrent
+// query sees either none or all of it. It panics if p is closed.
+func (p *Parallel) ProcessBatch(edges []graph.Edge) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("engine: ProcessBatch on closed Parallel")
+	}
+	for _, e := range edges {
+		p.process(e)
+	}
+	p.mu.Unlock()
+}
+
+// process routes one edge; callers hold p.mu.
+func (p *Parallel) process(e graph.Edge) {
 	sh := p.shardFor(e)
 	sh.buf = append(sh.buf, e)
 	if len(sh.buf) >= p.batch {
 		p.flush(sh)
-	}
-}
-
-// ProcessBatch routes a batch of edges to their shards.
-func (p *Parallel) ProcessBatch(edges []graph.Edge) {
-	for _, e := range edges {
-		p.Process(e)
 	}
 }
 
@@ -197,7 +231,8 @@ func (p *Parallel) flush(sh *shard) {
 
 // barrier flushes all buffers and blocks until every shard has drained its
 // queue, after which the shard samplers are quiescent and safe to read.
-// After Close the shards are already drained and stopped, so it is a no-op.
+// Callers hold p.mu. After Close the shards are already drained and
+// stopped, so it is a no-op.
 func (p *Parallel) barrier() {
 	if p.closed {
 		return
@@ -218,6 +253,8 @@ func (p *Parallel) Shards() int { return len(p.shards) }
 // Arrivals returns the total number of distinct edges processed across all
 // shards. It synchronizes: all pending batches are processed first.
 func (p *Parallel) Arrivals() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.barrier()
 	var total uint64
 	for _, sh := range p.shards {
@@ -230,8 +267,14 @@ func (p *Parallel) Arrivals() uint64 {
 // the union sample: the Capacity highest-priority edges across every
 // shard, with the merge-time threshold. The returned sampler is
 // independent of p — estimation may run on it while p keeps consuming the
-// stream, which is how periodic in-flight queries are served.
+// stream. Merge may be called any number of times: it only reads the shard
+// reservoirs, so back-to-back merges with no processing in between return
+// identical samplers. Ingestion is blocked for the full duration of the
+// merge; services that query continuously should prefer Snapshot, which
+// blocks ingestion only for the shard clone.
 func (p *Parallel) Merge() (*core.Sampler, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.closed {
 		return nil, errors.New("engine: Merge on closed Parallel")
 	}
@@ -240,6 +283,43 @@ func (p *Parallel) Merge() (*core.Sampler, error) {
 	for i, sh := range p.shards {
 		samplers[i] = sh.s
 	}
+	return p.merge(samplers)
+}
+
+// Snapshot drains all pending work, clones the shard reservoirs (in
+// parallel, one goroutine per shard) and releases ingestion before merging
+// the clones into the returned sequential Sampler. The result is
+// bit-identical to what Merge would have returned at the same stream
+// position — a deterministic function of (seed, edges fed so far, shard
+// count) — but ingestion stalls only for the O(m) clone instead of the
+// merge's sort and reservoir rebuild. The returned sampler is never
+// mutated afterwards, so any number of estimator goroutines may read it
+// concurrently.
+func (p *Parallel) Snapshot() (*core.Sampler, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, errors.New("engine: Snapshot on closed Parallel")
+	}
+	p.barrier()
+	clones := make([]*core.Sampler, len(p.shards))
+	var wg sync.WaitGroup
+	for i, sh := range p.shards {
+		wg.Add(1)
+		go func(i int, s *core.Sampler) {
+			defer wg.Done()
+			clones[i] = s.Clone()
+		}(i, sh.s)
+	}
+	wg.Wait()
+	p.mu.Unlock()
+	return p.merge(clones)
+}
+
+// merge runs the priority-sampling merge over the given shard samplers with
+// the derived merge seed. Safe without p.mu when the samplers are clones;
+// for live shard samplers the caller must hold p.mu with the shards drained.
+func (p *Parallel) merge(samplers []*core.Sampler) (*core.Sampler, error) {
 	mcfg := p.cfg
 	mcfg.Seed = p.mergeSeed
 	m, err := core.Merge(samplers, mcfg)
@@ -250,16 +330,19 @@ func (p *Parallel) Merge() (*core.Sampler, error) {
 }
 
 // Close flushes remaining work and stops the shard goroutines. The shard
-// samplers stay readable (e.g. via a prior Merge result), but further
-// Process or Merge calls are invalid.
+// samplers stay readable (e.g. via a prior Merge result), but further use
+// of p is invalid: Merge and Snapshot return an error, Process and
+// ProcessBatch panic. Close is idempotent.
 func (p *Parallel) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.closed {
 		return
 	}
-	p.closed = true
 	for _, sh := range p.shards {
 		p.flush(sh)
 		close(sh.ch)
 	}
+	p.closed = true
 	p.wg.Wait()
 }

@@ -1,0 +1,291 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"gps/internal/core"
+)
+
+// TestSnapshotMatchesMerge verifies the snapshot identity: at any batch
+// boundary, Snapshot returns a sampler bit-identical to Merge at the same
+// stream position, and neither disturbs subsequent processing.
+func TestSnapshotMatchesMerge(t *testing.T) {
+	stream := testStream(500, 6000, 0xD00D)
+	for _, weight := range []core.WeightFunc{nil, core.TriangleWeight} {
+		p, err := NewParallel(core.Config{Capacity: 400, Weight: weight, Seed: 11}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cut := range []int{2000, 4000, len(stream)} {
+			prev := 0
+			if cut > 2000 {
+				prev = map[int]int{4000: 2000, len(stream): 4000}[cut]
+			}
+			p.ProcessBatch(stream[prev:cut])
+			snap, err := p.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			merged, err := p.Merge()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ks, zs, as := signature(t, snap)
+			km, zm, am := signature(t, merged)
+			if zs != zm || as != am || len(ks) != len(km) {
+				t.Fatalf("cut %d: snapshot != merge (z %v vs %v, arrivals %d vs %d, len %d vs %d)",
+					cut, zs, zm, as, am, len(ks), len(km))
+			}
+			for i := range ks {
+				if ks[i] != km[i] {
+					t.Fatalf("cut %d: snapshot and merge disagree at edge %d", cut, i)
+				}
+			}
+			if core.EstimatePost(snap) != core.EstimatePost(merged) {
+				t.Fatalf("cut %d: snapshot and merge estimates disagree", cut)
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestSnapshotConcurrentWithIngest is the service-concurrency test: one
+// goroutine feeds fixed-size batches while several others take snapshots.
+// Every snapshot must land exactly on a batch boundary (batches are atomic
+// w.r.t. snapshots) and must be bit-identical to a deterministic replay of
+// the same prefix through a fresh Parallel. Run under -race this also
+// proves Snapshot and ProcessBatch share no unsynchronized state.
+func TestSnapshotConcurrentWithIngest(t *testing.T) {
+	const (
+		batch    = 256
+		capacity = 300
+		shards   = 4
+		seed     = 21
+	)
+	stream := testStream(400, 5000, 0xCAFE)
+	cfg := core.Config{Capacity: capacity, Seed: seed}
+	p, err := NewParallel(cfg, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type observed struct {
+		arrivals uint64
+		keys     []uint64
+		z        float64
+		est      core.Estimates
+	}
+	var (
+		mu   sync.Mutex
+		seen = map[uint64]observed{}
+	)
+	record := func(snap *core.Sampler) {
+		keys, z, arrivals := signature(t, snap)
+		if arrivals%batch != 0 && arrivals != uint64(len(stream)) {
+			t.Errorf("snapshot at arrivals %d: not a batch boundary", arrivals)
+			return
+		}
+		mu.Lock()
+		if _, ok := seen[arrivals]; !ok {
+			seen[arrivals] = observed{arrivals: arrivals, keys: keys, z: z, est: core.EstimatePost(snap)}
+		}
+		mu.Unlock()
+	}
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				snap, err := p.Snapshot()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				record(snap)
+			}
+		}()
+	}
+	for lo, i := 0, 0; lo < len(stream); lo, i = lo+batch, i+1 {
+		hi := lo + batch
+		if hi > len(stream) {
+			hi = len(stream)
+		}
+		p.ProcessBatch(stream[lo:hi])
+		if i%4 == 3 {
+			// The feeder itself also snapshots, guaranteeing observations
+			// spread across the stream even when the reader goroutines are
+			// outpaced; these run concurrently with the readers' snapshots.
+			snap, err := p.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			record(snap)
+		}
+	}
+	close(done)
+	readers.Wait()
+	// A final snapshot so the full stream is always among the observations.
+	snap, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(snap)
+	p.Close()
+
+	if len(seen) < 2 {
+		t.Fatalf("only %d distinct snapshot positions observed", len(seen))
+	}
+	// Deterministic replay: a fresh Parallel fed exactly the same prefix
+	// must reproduce every observed snapshot bit-for-bit.
+	for _, o := range seen {
+		ref, err := NewParallel(cfg, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.ProcessBatch(stream[:o.arrivals])
+		m, err := ref.Merge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rk, rz, ra := signature(t, m)
+		if rz != o.z || ra != o.arrivals || len(rk) != len(o.keys) {
+			t.Fatalf("replay at %d diverges: z %v vs %v, len %d vs %d", o.arrivals, rz, o.z, len(rk), len(o.keys))
+		}
+		for i := range rk {
+			if rk[i] != o.keys[i] {
+				t.Fatalf("replay at %d diverges at sampled edge %d", o.arrivals, i)
+			}
+		}
+		if est := core.EstimatePost(m); est != o.est {
+			t.Fatalf("replay at %d: estimates diverge: %+v vs %+v", o.arrivals, est, o.est)
+		}
+		ref.Close()
+	}
+}
+
+// TestSnapshotExactForUniformUndersampled pins the estimator-level
+// guarantee: with uniform weights and capacity at least the stream length
+// nothing is ever evicted, so a snapshot's post-stream estimates equal a
+// sequential sampler's on the identical prefix — exactly, not just in
+// distribution.
+func TestSnapshotExactForUniformUndersampled(t *testing.T) {
+	stream := testStream(200, 1500, 0xF00)
+	p, err := NewParallel(core.Config{Capacity: 2000, Seed: 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for _, cut := range []int{512, 1024, len(stream)} {
+		prev := map[int]int{512: 0, 1024: 512, len(stream): 1024}[cut]
+		p.ProcessBatch(stream[prev:cut])
+		snap, err := p.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := core.NewSampler(core.Config{Capacity: 2000, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range stream[:cut] {
+			seq.Process(e)
+		}
+		if got, want := core.EstimatePost(snap), core.EstimatePost(seq); got != want {
+			t.Fatalf("cut %d: snapshot estimates %+v != sequential %+v", cut, got, want)
+		}
+	}
+}
+
+// TestParallelClosedBehavior locks in the documented after-Close contract:
+// Merge and Snapshot error, Process and ProcessBatch panic (never hang).
+func TestParallelClosedBehavior(t *testing.T) {
+	stream := testStream(100, 500, 0xAB)
+	p, err := NewParallel(core.Config{Capacity: 50, Seed: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ProcessBatch(stream)
+	p.Close()
+	p.Close() // idempotent
+
+	if _, err := p.Merge(); err == nil {
+		t.Error("Merge after Close did not error")
+	}
+	if _, err := p.Snapshot(); err == nil {
+		t.Error("Snapshot after Close did not error")
+	}
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s after Close did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Process", func() { p.Process(stream[0]) })
+	mustPanic("ProcessBatch", func() { p.ProcessBatch(stream[:2]) })
+}
+
+// TestMergeRepeatable verifies Merge is a pure read: back-to-back merges
+// with no processing in between return identical samplers, and merging
+// never perturbs subsequent processing.
+func TestMergeRepeatable(t *testing.T) {
+	stream := testStream(300, 3000, 0xEE)
+	p, err := NewParallel(core.Config{Capacity: 200, Seed: 8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.ProcessBatch(stream[:1500])
+	m1, err := p.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := p.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, z1, a1 := signature(t, m1)
+	k2, z2, a2 := signature(t, m2)
+	if z1 != z2 || a1 != a2 || len(k1) != len(k2) {
+		t.Fatalf("repeated merges disagree: z %v vs %v, arrivals %d vs %d", z1, z2, a1, a2)
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("repeated merges disagree at edge %d", i)
+		}
+	}
+	// Processing the rest after two merges must match a merge-free run.
+	p.ProcessBatch(stream[1500:])
+	mEnd, err := p.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewParallel(core.Config{Capacity: 200, Seed: 8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	ref.ProcessBatch(stream)
+	mRef, err := ref.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ke, ze, ae := signature(t, mEnd)
+	kr, zr, ar := signature(t, mRef)
+	if ze != zr || ae != ar || len(ke) != len(kr) {
+		t.Fatalf("merge-interleaved run diverges from merge-free run")
+	}
+	for i := range ke {
+		if ke[i] != kr[i] {
+			t.Fatalf("merge-interleaved run diverges at edge %d", i)
+		}
+	}
+}

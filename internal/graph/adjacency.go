@@ -38,6 +38,40 @@ func NewAdjacency() *Adjacency {
 	return &Adjacency{idx: make(map[NodeID]int32)}
 }
 
+// Clone returns a deep copy of the adjacency structure; the clone and the
+// original evolve independently. Neighbor slices are copied into one shared
+// backing array sized to the live edge count, so the clone costs two large
+// allocations plus the intern-table copy rather than one allocation per
+// node.
+func (a *Adjacency) Clone() *Adjacency {
+	c := &Adjacency{
+		idx:   make(map[NodeID]int32, len(a.idx)),
+		nodes: append([]NodeID(nil), a.nodes...),
+		nbrs:  make([][]NodeID, len(a.nbrs)),
+		freed: append([]int32(nil), a.freed...),
+		edges: a.edges,
+	}
+	for v, id := range a.idx {
+		c.idx[v] = id
+	}
+	total := 0
+	for _, s := range a.nbrs {
+		total += len(s)
+	}
+	backing := make([]NodeID, 0, total)
+	for id, s := range a.nbrs {
+		if len(s) == 0 {
+			continue
+		}
+		lo := len(backing)
+		backing = append(backing, s...)
+		// Full-length cap so a later in-place append in the clone cannot
+		// clobber the next node's run: force reallocation on growth.
+		c.nbrs[id] = backing[lo:len(backing):len(backing)]
+	}
+	return c
+}
+
 // intern returns the dense id of v, allocating one if v is new.
 func (a *Adjacency) intern(v NodeID) int32 {
 	if id, ok := a.idx[v]; ok {

@@ -68,6 +68,14 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64() ^ 0xd1342543de82ef95)
 }
 
+// Clone returns an independent generator frozen at r's current state: the
+// clone and r produce the identical future sequence without affecting each
+// other. It is the forking primitive behind core.Sampler.Clone.
+func (r *RNG) Clone() *RNG {
+	c := *r
+	return &c
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next value of the xoshiro256++ sequence.

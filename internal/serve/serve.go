@@ -1,0 +1,499 @@
+// Package serve turns the GPS library into a continuous sampling service:
+// a stdlib-only HTTP server that ingests a live edge stream and answers
+// subgraph queries while the stream is still arriving — the deployment
+// scenario of the paper's in-stream estimation (§4), industrialized.
+//
+// # Architecture
+//
+//	clients ─► POST /v1/ingest ─► bounded queue ─► ingest goroutine
+//	                                                   │ ProcessBatch
+//	                                                   ▼
+//	                                        engine.Parallel (P shards)
+//	                                                   │ Snapshot (low pause)
+//	                                                   ▼
+//	clients ◄─ GET /v1/estimate ◄─ snapshot cache (staleness-bounded)
+//
+// Ingestion is asynchronous: handlers parse the request body (binary edge
+// frames or plain text), enqueue the batch on a bounded queue and return
+// 202; when the queue is full they return 503 — explicit backpressure
+// instead of unbounded buffering. A single ingest goroutine drains the
+// queue into the sharded sampler, preserving arrival order.
+//
+// Queries never touch the live sampler. They read an immutable snapshot —
+// engine.Parallel.Snapshot's merged sampler plus its pre-computed
+// Algorithm 2 estimates — from a cache with a configurable staleness
+// bound: a snapshot younger than the bound (or than the request's
+// max_stale override) is served directly to any number of concurrent
+// readers, and a stale one triggers exactly one refresh while late
+// arrivals wait for its result. Ingestion stalls only for the snapshot's
+// shard-clone, not for merging or estimation.
+//
+// The stream model matches the paper (§3.1): edges are undirected, unique
+// and simplified. Re-arrivals of a currently sampled edge are ignored by
+// the samplers; clients are responsible for not replaying evicted edges.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gps/internal/core"
+	"gps/internal/engine"
+	"gps/internal/graph"
+	"gps/internal/stream"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Capacity is the reservoir size m of the underlying sampler.
+	Capacity int
+	// Weight is the sampling weight function; nil means uniform. It must
+	// be pure (stateless): the sharded engine calls it concurrently.
+	Weight core.WeightFunc
+	// WeightName is reported by /v1/stats (the function itself has no
+	// useful name at runtime).
+	WeightName string
+	// Seed makes the whole service run deterministic for a given ingestion
+	// order.
+	Seed uint64
+	// Shards is the engine shard count; <= 0 means GOMAXPROCS.
+	Shards int
+	// QueueDepth bounds the number of pending ingest batches; beyond it
+	// ingestion requests are rejected with 503. <= 0 means 64.
+	QueueDepth int
+	// MaxPendingEdges bounds the total decoded edges waiting in the queue
+	// (the real memory bound — QueueDepth alone would admit QueueDepth
+	// maximum-size bodies). <= 0 means 4M edges (~32 MiB queued).
+	MaxPendingEdges int
+	// MaxBodyBytes caps an ingest request body. <= 0 means 32 MiB.
+	MaxBodyBytes int64
+	// MaxStaleness is the default bound on snapshot age for queries;
+	// 0 means every query sees a fresh snapshot. Requests may tighten or
+	// relax it per call with ?max_stale=<duration>.
+	MaxStaleness time.Duration
+}
+
+// Server is the live sampling service. Construct with NewServer, expose
+// via Handler, stop with Close.
+type Server struct {
+	cfg   Config
+	par   *engine.Parallel
+	mux   *http.ServeMux
+	snaps *snapshotCache
+
+	queue chan ingestItem
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	// closeMu excludes Close from in-flight enqueue attempts: producers
+	// hold the read side across the closed-check + send, so after Close
+	// acquires the write side and flips closed, nothing new can enter the
+	// queue — which lets the ingest goroutine drain the queue on shutdown
+	// and guarantees every 202-acknowledged batch reaches the sampler.
+	closeMu        sync.RWMutex
+	closed         atomic.Bool
+	start          time.Time
+	edgesAccepted  atomic.Uint64 // edges admitted to the queue
+	edgesProcessed atomic.Uint64 // edges handed to the sampler
+	batchesDropped atomic.Uint64 // ingest requests rejected by backpressure
+	pendingEdges   atomic.Int64
+	pendingBatches atomic.Int64
+}
+
+type ingestItem struct {
+	edges []graph.Edge
+	ack   chan struct{} // non-nil for flush markers
+}
+
+// NewServer builds the service: the sharded sampler, the ingest pipeline
+// and the HTTP routes.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxPendingEdges <= 0 {
+		cfg.MaxPendingEdges = 4 << 20
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 32 << 20
+	}
+	if cfg.WeightName == "" {
+		cfg.WeightName = "uniform"
+	}
+	par, err := engine.NewParallel(core.Config{
+		Capacity: cfg.Capacity,
+		Weight:   cfg.Weight,
+		Seed:     cfg.Seed,
+	}, cfg.Shards)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s := &Server{
+		cfg:   cfg,
+		par:   par,
+		queue: make(chan ingestItem, cfg.QueueDepth),
+		done:  make(chan struct{}),
+		start: time.Now(),
+	}
+	s.snaps = newSnapshotCache(par.Snapshot, s.edgesProcessed.Load)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/estimate", s.handleEstimate)
+	s.mux.HandleFunc("POST /v1/estimate/subgraph", s.handleSubgraph)
+	s.mux.HandleFunc("POST /v1/flush", s.handleFlush)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.wg.Add(1)
+	go s.ingestLoop()
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the ingest pipeline and the underlying sampler. Batches
+// already acknowledged with 202 are processed before shutdown completes;
+// in-flight requests racing Close observe 503s. Close is idempotent.
+func (s *Server) Close() {
+	s.closeMu.Lock()
+	already := !s.closed.CompareAndSwap(false, true)
+	s.closeMu.Unlock()
+	if already {
+		return
+	}
+	close(s.done)
+	s.wg.Wait()
+	s.par.Close()
+}
+
+// ingestLoop is the single consumer of the ingest queue: it preserves
+// arrival order and is the only goroutine feeding the sampler. On
+// shutdown it drains everything still queued — all of it was enqueued
+// (and acknowledged) before Close flipped the closed flag.
+func (s *Server) ingestLoop() {
+	defer s.wg.Done()
+	handle := func(it ingestItem) {
+		s.pendingBatches.Add(-1)
+		if len(it.edges) > 0 {
+			s.par.ProcessBatch(it.edges)
+			s.pendingEdges.Add(-int64(len(it.edges)))
+			s.edgesProcessed.Add(uint64(len(it.edges)))
+		}
+		if it.ack != nil {
+			close(it.ack)
+		}
+	}
+	for {
+		select {
+		case <-s.done:
+			for {
+				select {
+				case it := <-s.queue:
+					handle(it)
+				default:
+					return
+				}
+			}
+		case it := <-s.queue:
+			handle(it)
+		}
+	}
+}
+
+// limitTracker records whether the wrapped MaxBytesReader ever tripped its
+// limit. The truncation usually cuts a record in half, so the parser
+// reports a parse error before it observes the *http.MaxBytesError itself;
+// the tracker lets the handler still answer 413 instead of 400.
+type limitTracker struct {
+	r       io.Reader
+	tripped bool
+}
+
+func (t *limitTracker) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		t.tripped = true
+	}
+	return n, err
+}
+
+// parseBody decodes an ingest body: binary edge frames when the content
+// type or magic says so, plain-text edge list otherwise. tooBig reports
+// that the body exceeded MaxBodyBytes (the error is then a truncation
+// artifact, not malformed client data).
+func (s *Server) parseBody(r *http.Request) (edges []graph.Edge, tooBig bool, err error) {
+	if r.ContentLength > s.cfg.MaxBodyBytes {
+		return nil, true, fmt.Errorf("serve: body of %d bytes exceeds limit", r.ContentLength)
+	}
+	body := &limitTracker{r: http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)}
+	if r.Header.Get("Content-Type") == stream.BinaryContentType {
+		edges, err = stream.ReadBinary(body)
+	} else {
+		edges, err = stream.ReadEdges(body)
+	}
+	return edges, body.tripped, err
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	edges, tooBig, err := s.parseBody(r)
+	if err != nil {
+		if tooBig {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes; split the batch", s.cfg.MaxBodyBytes))
+			return
+		}
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(edges) == 0 {
+		writeJSON(w, http.StatusAccepted, map[string]any{"accepted": 0})
+		return
+	}
+	// The read lock pins the open/closed state across the check + enqueue:
+	// once Close holds the write side, no further batch can be admitted,
+	// so everything acknowledged below is guaranteed to be drained.
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed.Load() {
+		httpError(w, http.StatusServiceUnavailable, "server closed")
+		return
+	}
+	// Count the batch before the enqueue attempt (rolling back on
+	// rejection): the consumer decrements only after receiving, so stats
+	// readers never observe negative pending counts, and the edge bound
+	// can't be overshot by concurrent producers racing the check.
+	s.pendingBatches.Add(1)
+	pending := s.pendingEdges.Add(int64(len(edges)))
+	reject := func(msg string) {
+		s.pendingBatches.Add(-1)
+		s.pendingEdges.Add(-int64(len(edges)))
+		s.batchesDropped.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, msg)
+	}
+	if pending > int64(s.cfg.MaxPendingEdges) {
+		// Backpressure on queued volume: QueueDepth alone would let
+		// QueueDepth maximum-size bodies sit decoded in memory.
+		reject("ingest queue full (pending edge bound)")
+		return
+	}
+	select {
+	case s.queue <- ingestItem{edges: edges}:
+		s.edgesAccepted.Add(uint64(len(edges)))
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"accepted":       len(edges),
+			"queued_batches": s.pendingBatches.Load(),
+		})
+	default:
+		// Backpressure: the queue is full. Clients should retry with
+		// delay; unbounded buffering here would just hide the overload.
+		reject("ingest queue full")
+	}
+}
+
+// handleFlush blocks until everything enqueued before it has reached the
+// sampler, then reports the arrival count. It gives deterministic
+// read-your-writes sequencing to tests and loaders.
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	// Same closeMu discipline as handleIngest: while the read lock is
+	// held, Close cannot flip closed, so a marker admitted here is
+	// guaranteed to be consumed (shutdown drains the queue) and the
+	// pending counter cannot leak.
+	s.closeMu.RLock()
+	if s.closed.Load() {
+		s.closeMu.RUnlock()
+		httpError(w, http.StatusServiceUnavailable, "server closed")
+		return
+	}
+	ack := make(chan struct{})
+	s.pendingBatches.Add(1)
+	select {
+	case s.queue <- ingestItem{ack: ack}:
+		s.closeMu.RUnlock()
+	case <-r.Context().Done():
+		s.pendingBatches.Add(-1)
+		s.closeMu.RUnlock()
+		httpError(w, http.StatusServiceUnavailable, "canceled")
+		return
+	}
+	select {
+	case <-ack:
+		// Drop any pre-flush snapshot so a follow-up estimate at the
+		// default staleness bound sees the acknowledged writes.
+		s.snaps.invalidate()
+		writeJSON(w, http.StatusOK, map[string]any{"arrivals": s.par.Arrivals()})
+	case <-s.done:
+		httpError(w, http.StatusServiceUnavailable, "server closed")
+	case <-r.Context().Done():
+		httpError(w, http.StatusServiceUnavailable, "canceled")
+	}
+}
+
+// maxStale resolves the effective staleness bound for a request.
+func (s *Server) maxStale(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("max_stale")
+	if raw == "" {
+		return s.cfg.MaxStaleness, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("bad max_stale %q (want a non-negative Go duration, e.g. 250ms)", raw)
+	}
+	return d, nil
+}
+
+// estimateResponse is the JSON shape of /v1/estimate.
+type estimateResponse struct {
+	Triangles      float64    `json:"triangles"`
+	TrianglesCI    [2]float64 `json:"triangles_ci95"`
+	Wedges         float64    `json:"wedges"`
+	WedgesCI       [2]float64 `json:"wedges_ci95"`
+	Clustering     float64    `json:"clustering"`
+	ClusteringCI   [2]float64 `json:"clustering_ci95"`
+	SampledEdges   int        `json:"sampled_edges"`
+	Arrivals       uint64     `json:"arrivals"`
+	Threshold      float64    `json:"threshold"`
+	SnapshotAgeMS  float64    `json:"snapshot_age_ms"`
+	SnapshotUnixNS int64      `json:"snapshot_unix_ns"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	stale, err := s.maxStale(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	snap, err := s.snaps.get(stale)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	est := snap.est
+	tri, wed, cc := est.TriangleInterval(), est.WedgeInterval(), est.ClusteringInterval()
+	writeJSON(w, http.StatusOK, estimateResponse{
+		Triangles:      est.Triangles,
+		TrianglesCI:    [2]float64{tri.Lower, tri.Upper},
+		Wedges:         est.Wedges,
+		WedgesCI:       [2]float64{wed.Lower, wed.Upper},
+		Clustering:     est.GlobalClustering(),
+		ClusteringCI:   [2]float64{cc.Lower, cc.Upper},
+		SampledEdges:   est.SampledEdges,
+		Arrivals:       est.Arrivals,
+		Threshold:      snap.sampler.Threshold(),
+		SnapshotAgeMS:  float64(time.Since(snap.taken)) / float64(time.Millisecond),
+		SnapshotUnixNS: snap.taken.UnixNano(),
+	})
+}
+
+// subgraphRequest is the JSON body of /v1/estimate/subgraph: the edge set
+// J of the queried subgraph as [u, v] pairs.
+type subgraphRequest struct {
+	Edges [][2]uint32 `json:"edges"`
+}
+
+func (s *Server) handleSubgraph(w http.ResponseWriter, r *http.Request) {
+	stale, err := s.maxStale(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var req subgraphRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON body: "+err.Error())
+		return
+	}
+	if len(req.Edges) == 0 {
+		httpError(w, http.StatusBadRequest, "empty edge set")
+		return
+	}
+	edges := make([]graph.Edge, 0, len(req.Edges))
+	for _, p := range req.Edges {
+		if p[0] == p[1] {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("self loop at node %d", p[0]))
+			return
+		}
+		edges = append(edges, graph.NewEdge(graph.NodeID(p[0]), graph.NodeID(p[1])))
+	}
+	snap, err := s.snaps.get(stale)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	est := snap.sampler.SubgraphEstimate(edges...)
+	variance := est * (est - 1)
+	if est == 0 {
+		variance = 0 // est*(est-1) is -0 here; emit canonical 0 in JSON
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"estimate":        est,
+		"variance":        variance,
+		"arrivals":        snap.est.Arrivals,
+		"snapshot_age_ms": float64(time.Since(snap.taken)) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snapTaken, snapArrivals := s.snaps.last()
+	stats := map[string]any{
+		"capacity":          s.cfg.Capacity,
+		"weight":            s.cfg.WeightName,
+		"shards":            s.par.Shards(),
+		"queue_depth":       s.cfg.QueueDepth,
+		"pending_batches":   s.pendingBatches.Load(),
+		"pending_edges":     s.pendingEdges.Load(),
+		"edges_accepted":    s.edgesAccepted.Load(),
+		"edges_processed":   s.edgesProcessed.Load(),
+		"batches_rejected":  s.batchesDropped.Load(),
+		"snapshot_arrivals": snapArrivals,
+		"uptime_ms":         float64(time.Since(s.start)) / float64(time.Millisecond),
+	}
+	if !snapTaken.IsZero() {
+		stats["snapshot_age_ms"] = float64(time.Since(snapTaken)) / float64(time.Millisecond)
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		httpError(w, http.StatusServiceUnavailable, "closed")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]any{"error": msg})
+}
+
+// WeightByName maps a CLI/config weight name to the function the service
+// shards can share. The stateful "adaptive" weight is rejected: shards
+// evaluate the weight concurrently.
+func WeightByName(name string) (core.WeightFunc, error) {
+	switch name {
+	case "uniform", "":
+		return nil, nil
+	case "triangle":
+		return core.TriangleWeight, nil
+	case "adjacency":
+		return core.AdjacencyWeight, nil
+	case "adaptive":
+		return nil, errors.New("serve: the stateful adaptive weight cannot be shared across shards")
+	}
+	return nil, fmt.Errorf("serve: unknown weight %q (want uniform, triangle or adjacency)", name)
+}

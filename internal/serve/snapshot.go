@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gps/internal/core"
+)
+
+// snapshot is one immutable query view: a merged sampler frozen at a
+// stream position, its pre-computed Algorithm 2 estimates, and when it was
+// taken. Any number of goroutines may read it concurrently; nothing ever
+// mutates it.
+type snapshot struct {
+	sampler *core.Sampler
+	est     core.Estimates
+	taken   time.Time
+}
+
+// snapshotCache serves staleness-bounded snapshots with single-flight
+// refresh: readers whose bound is satisfied by the current snapshot load
+// it lock-free; readers that need a fresher one serialize on the mutex,
+// where the first performs the refresh (engine snapshot + EstimatePost)
+// and the rest find its result already installed when they get the lock.
+// A snapshot also satisfies any bound when the stream position has not
+// moved since it was taken — a forced-fresh query on an idle stream is
+// free instead of rebuilding an identical snapshot.
+type snapshotCache struct {
+	take     func() (*core.Sampler, error)
+	position func() uint64 // edges handed to the sampler so far
+	cur      atomic.Pointer[snapshot]
+	mu       sync.Mutex
+}
+
+func newSnapshotCache(take func() (*core.Sampler, error), position func() uint64) *snapshotCache {
+	return &snapshotCache{take: take, position: position}
+}
+
+// fresh reports whether s still satisfies the staleness bound: young
+// enough, or provably current because no edges were processed since it was
+// taken. (Streams carrying duplicate edges advance the processed count
+// without advancing Arrivals, which only costs a conservative refresh.)
+func (c *snapshotCache) fresh(s *snapshot, maxStale time.Duration) bool {
+	return time.Since(s.taken) <= maxStale || s.est.Arrivals == c.position()
+}
+
+// get returns a snapshot no older than maxStale.
+func (c *snapshotCache) get(maxStale time.Duration) (*snapshot, error) {
+	if s := c.cur.Load(); s != nil && c.fresh(s, maxStale) {
+		return s, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// A refresh that completed while this reader waited for the lock may
+	// already satisfy the bound.
+	if s := c.cur.Load(); s != nil && c.fresh(s, maxStale) {
+		return s, nil
+	}
+	// Stamp the age before the engine snapshot: the data is frozen at the
+	// barrier inside take(), so stamping afterwards would under-report the
+	// snapshot's age by the whole snapshot+estimate duration.
+	taken := time.Now()
+	sampler, err := c.take()
+	if err != nil {
+		return nil, err
+	}
+	s := &snapshot{
+		sampler: sampler,
+		est:     core.EstimatePost(sampler),
+		taken:   taken,
+	}
+	c.cur.Store(s)
+	return s, nil
+}
+
+// invalidate drops the cached snapshot unless it already reflects the
+// current stream position. The flush endpoint calls it to make
+// flush-then-estimate read-your-writes at any staleness bound. It takes
+// the refresh mutex so an in-flight refresh that began before the flushed
+// writes cannot install its (pre-flush) snapshot after the invalidation.
+func (c *snapshotCache) invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s := c.cur.Load(); s != nil && s.est.Arrivals != c.position() {
+		c.cur.Store(nil)
+	}
+}
+
+// last reports when the current snapshot was taken and the stream position
+// it covers; the zero time means no snapshot has been taken yet.
+func (c *snapshotCache) last() (time.Time, uint64) {
+	s := c.cur.Load()
+	if s == nil {
+		return time.Time{}, 0
+	}
+	return s.taken, s.est.Arrivals
+}

@@ -1,0 +1,203 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"gps/internal/graph"
+)
+
+// Binary edge framing: the compact on-disk and on-wire format for edge
+// streams. A stream is the 5-byte header "GPSB"+version followed by one
+// record per edge, each record two uvarint-encoded node ids. Typical edge
+// lists cost 2-6 bytes per edge versus ~12 for the text format, and the
+// format needs no length prefix: records are self-delimiting, so it can be
+// produced and consumed incrementally (an HTTP ingest body, a pipe, a
+// partially written file all decode up to the last complete record).
+//
+// The decoder is strict: a wrong magic, a varint that does not fit a
+// uint32, a record truncated mid-edge, or a self loop all return errors
+// (never panic), and nothing is allocated based on untrusted lengths —
+// memory grows only as records actually parse.
+
+// binaryMagic starts every binary edge stream: format tag + version byte.
+const binaryMagic = "GPSB\x01"
+
+// BinaryContentType is the MIME type the service uses for binary edge
+// frames in HTTP requests.
+const BinaryContentType = "application/x-gps-edges"
+
+// maxVarint32Len caps the encoded size of a uint32 varint.
+const maxVarint32Len = 5
+
+// BinaryWriter encodes edges into the binary framing. Output is buffered;
+// call Flush when done. Construct with NewBinaryWriter.
+type BinaryWriter struct {
+	bw    *bufio.Writer
+	count int
+}
+
+// NewBinaryWriter returns a writer that emits the stream header followed by
+// one record per WriteEdge call. Errors are reported by WriteEdge/Flush.
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(binaryMagic)
+	return &BinaryWriter{bw: bw}
+}
+
+// WriteEdge appends one edge record.
+func (w *BinaryWriter) WriteEdge(e graph.Edge) error {
+	var buf [2 * maxVarint32Len]byte
+	n := binary.PutUvarint(buf[:], uint64(e.U))
+	n += binary.PutUvarint(buf[n:], uint64(e.V))
+	if _, err := w.bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of edges written so far.
+func (w *BinaryWriter) Count() int { return w.count }
+
+// Flush writes any buffered data to the underlying writer.
+func (w *BinaryWriter) Flush() error { return w.bw.Flush() }
+
+// WriteBinary writes edges in the binary framing accepted by ReadBinary.
+func WriteBinary(w io.Writer, edges []graph.Edge) error {
+	bw := NewBinaryWriter(w)
+	for _, e := range edges {
+		if err := bw.WriteEdge(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// BinaryDecoder incrementally decodes a binary edge stream. Construct with
+// NewBinaryDecoder and call Next until it returns io.EOF.
+type BinaryDecoder struct {
+	br      *bufio.Reader
+	started bool
+	err     error
+	count   int
+}
+
+// NewBinaryDecoder returns a decoder over r. The header is checked on the
+// first Next call.
+func NewBinaryDecoder(r io.Reader) *BinaryDecoder {
+	return &BinaryDecoder{br: bufio.NewReader(r)}
+}
+
+// Next returns the next edge in canonical form. It returns io.EOF at a
+// clean end of stream and a descriptive error for malformed input; after
+// any error the decoder stays in the error state.
+func (d *BinaryDecoder) Next() (graph.Edge, error) {
+	if d.err != nil {
+		return graph.Edge{}, d.err
+	}
+	if !d.started {
+		if err := d.readHeader(); err != nil {
+			d.err = err
+			return graph.Edge{}, err
+		}
+		d.started = true
+	}
+	u, err := d.readNode(true)
+	if err != nil {
+		d.err = err
+		return graph.Edge{}, err
+	}
+	v, err := d.readNode(false)
+	if err != nil {
+		d.err = err
+		return graph.Edge{}, err
+	}
+	if u == v {
+		d.err = fmt.Errorf("stream: binary record %d: self loop at node %d", d.count, u)
+		return graph.Edge{}, d.err
+	}
+	d.count++
+	return graph.NewEdge(u, v), nil
+}
+
+// Count returns the number of edges decoded so far.
+func (d *BinaryDecoder) Count() int { return d.count }
+
+func (d *BinaryDecoder) readHeader() error {
+	hdr := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(d.br, hdr); err != nil {
+		return fmt.Errorf("stream: binary header: %w", noEOF(err))
+	}
+	if string(hdr[:4]) != binaryMagic[:4] {
+		return errors.New("stream: not a binary edge stream (bad magic)")
+	}
+	if hdr[4] != binaryMagic[4] {
+		return fmt.Errorf("stream: unsupported binary edge stream version %d", hdr[4])
+	}
+	return nil
+}
+
+// readNode decodes one uvarint node id. A clean EOF before the first byte
+// of a record is the end of the stream (io.EOF); anywhere else it is a
+// truncation error.
+func (d *BinaryDecoder) readNode(firstOfRecord bool) (graph.NodeID, error) {
+	x, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		if err == io.EOF && firstOfRecord {
+			return 0, io.EOF
+		}
+		return 0, fmt.Errorf("stream: binary record %d: %w", d.count, noEOF(err))
+	}
+	if x > 0xffffffff {
+		return 0, fmt.Errorf("stream: binary record %d: node id %d exceeds uint32", d.count, x)
+	}
+	return graph.NodeID(x), nil
+}
+
+// noEOF maps a bare io.EOF to io.ErrUnexpectedEOF so truncation inside a
+// header or record is never mistaken for a clean end of stream.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// ReadBinary decodes a complete binary edge stream.
+func ReadBinary(r io.Reader) ([]graph.Edge, error) {
+	d := NewBinaryDecoder(r)
+	var edges []graph.Edge
+	for {
+		e, err := d.Next()
+		if err == io.EOF {
+			return edges, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		edges = append(edges, e)
+	}
+}
+
+// SniffBinary reports whether the reader starts with the binary edge-stream
+// magic, without consuming input. The returned reader must be used in place
+// of r (it holds the peeked bytes).
+func SniffBinary(r io.Reader) (io.Reader, bool) {
+	br := bufio.NewReader(r)
+	peek, _ := br.Peek(4)
+	return br, string(peek) == binaryMagic[:4]
+}
+
+// ReadEdges reads a complete edge stream in either supported format,
+// sniffing the binary magic and falling back to the plain-text edge list.
+func ReadEdges(r io.Reader) ([]graph.Edge, error) {
+	rr, isBinary := SniffBinary(r)
+	if isBinary {
+		return ReadBinary(rr)
+	}
+	return ReadEdgeList(rr)
+}

@@ -1,0 +1,174 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+
+	"gps/internal/graph"
+)
+
+func sampleEdges() []graph.Edge {
+	return []graph.Edge{
+		graph.NewEdge(0, 1),
+		graph.NewEdge(1, 2),
+		graph.NewEdge(7, 3),
+		graph.NewEdge(1<<20, 5),
+		graph.NewEdge(0xfffffffe, 0xffffffff),
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	edges := sampleEdges()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, edges); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(edges) {
+		t.Fatalf("round trip changed edge count: %d -> %d", len(edges), len(got))
+	}
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Fatalf("edge %d: %v -> %v", i, edges[i], got[i])
+		}
+	}
+	// The format should beat text for ordinary id ranges.
+	var text bytes.Buffer
+	if err := WriteEdgeList(&text, edges); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("binary %dB vs text %dB for %d edges", buf.Len(), text.Len(), len(edges))
+}
+
+func TestBinaryDecoderIncremental(t *testing.T) {
+	edges := sampleEdges()
+	var buf bytes.Buffer
+	bw := NewBinaryWriter(&buf)
+	for _, e := range edges {
+		if err := bw.WriteEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bw.Count() != len(edges) {
+		t.Fatalf("writer count = %d, want %d", bw.Count(), len(edges))
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Feed the decoder through a one-byte-at-a-time reader: records must
+	// decode incrementally regardless of read chunking.
+	d := NewBinaryDecoder(iotest{r: bytes.NewReader(buf.Bytes())})
+	for i := 0; ; i++ {
+		e, err := d.Next()
+		if err == io.EOF {
+			if i != len(edges) {
+				t.Fatalf("EOF after %d edges, want %d", i, len(edges))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e != edges[i] {
+			t.Fatalf("edge %d: %v, want %v", i, e, edges[i])
+		}
+	}
+	if d.Count() != len(edges) {
+		t.Fatalf("decoder count = %d, want %d", d.Count(), len(edges))
+	}
+}
+
+// iotest returns at most one byte per Read.
+type iotest struct{ r io.Reader }
+
+func (o iotest) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return o.r.Read(p)
+}
+
+func TestBinaryDecoderErrors(t *testing.T) {
+	valid := func() []byte {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, sampleEdges()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+
+	cases := []struct {
+		name  string
+		input []byte
+	}{
+		{"empty", nil},
+		{"short header", []byte("GPS")},
+		{"bad magic", []byte("NOPE\x01\x00\x01")},
+		{"bad version", []byte("GPSB\x02\x00\x01")},
+		{"truncated mid record", valid[:len(valid)-1]},
+		{"truncated after first id", append(append([]byte{}, []byte(binaryMagic)...), 0x05)},
+		{"self loop", append(append([]byte{}, []byte(binaryMagic)...), 0x03, 0x03)},
+		{"id overflows uint32", append(append([]byte{}, []byte(binaryMagic)...),
+			0xff, 0xff, 0xff, 0xff, 0xff, 0x01, 0x00)},
+		{"varint overflows uint64", append(append([]byte{}, []byte(binaryMagic)...),
+			0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01)},
+	}
+	for _, tc := range cases {
+		if _, err := ReadBinary(bytes.NewReader(tc.input)); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	// A clean header with zero records is a valid empty stream.
+	edges, err := ReadBinary(strings.NewReader(binaryMagic))
+	if err != nil || len(edges) != 0 {
+		t.Errorf("empty stream: edges=%v err=%v", edges, err)
+	}
+}
+
+func TestBinaryDecoderCanonicalizes(t *testing.T) {
+	// Hand-build a record with the endpoints in descending order.
+	raw := []byte(binaryMagic)
+	var tmp [10]byte
+	n := binary.PutUvarint(tmp[:], 9)
+	raw = append(raw, tmp[:n]...)
+	n = binary.PutUvarint(tmp[:], 2)
+	raw = append(raw, tmp[:n]...)
+	edges, err := ReadBinary(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 1 || edges[0] != graph.NewEdge(2, 9) {
+		t.Fatalf("got %v, want [2-9]", edges)
+	}
+}
+
+func TestReadEdgesSniffsFormat(t *testing.T) {
+	edges := sampleEdges()
+	var bin, text bytes.Buffer
+	if err := WriteBinary(&bin, edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEdgeList(&text, edges); err != nil {
+		t.Fatal(err)
+	}
+	for name, payload := range map[string][]byte{"binary": bin.Bytes(), "text": text.Bytes()} {
+		got, err := ReadEdges(bytes.NewReader(payload))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(edges) {
+			t.Fatalf("%s: %d edges, want %d", name, len(got), len(edges))
+		}
+		for i := range edges {
+			if got[i] != edges[i] {
+				t.Fatalf("%s: edge %d: %v, want %v", name, i, got[i], edges[i])
+			}
+		}
+	}
+}

@@ -43,7 +43,9 @@ func ReadEdgeList(r io.Reader) ([]graph.Edge, error) {
 		edges = append(edges, graph.NewEdge(graph.NodeID(u), graph.NodeID(v)))
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("stream: read: %v", err)
+		// %w keeps the reader's error type (e.g. *http.MaxBytesError, which
+		// the service maps to 413) visible through errors.As.
+		return nil, fmt.Errorf("stream: read: %w", err)
 	}
 	return edges, nil
 }

@@ -4,7 +4,60 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"gps/internal/graph"
 )
+
+// FuzzBinaryDecoder exercises the binary edge-frame decoder with arbitrary
+// input: it must never panic, anything it accepts must be canonical and
+// survive a write/read round trip unchanged, and it must never allocate
+// more edges than the input can physically encode (each record is at least
+// two bytes, so acceptance bounds the output size).
+func FuzzBinaryDecoder(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte(binaryMagic))
+	f.Add([]byte("GPSB\x02"))
+	f.Add([]byte("not binary at all\n0 1\n"))
+	f.Add(append([]byte(binaryMagic), 0x00, 0x01, 0x03, 0x02))
+	f.Add(append([]byte(binaryMagic), 0xff, 0xff, 0xff, 0xff, 0xff, 0x01, 0x00))
+	f.Add(append([]byte(binaryMagic), 0x05))
+	func() {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, []graph.Edge{graph.NewEdge(1, 2), graph.NewEdge(3, 70000)}); err == nil {
+			f.Add(buf.Bytes())
+		}
+	}()
+	f.Fuzz(func(t *testing.T, input []byte) {
+		edges, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(edges) > len(input)/2 {
+			t.Fatalf("decoder produced %d edges from %d bytes (over-allocation)", len(edges), len(input))
+		}
+		for _, e := range edges {
+			if !e.Canonical() {
+				t.Fatalf("decoder produced non-canonical edge %v", e)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, edges); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		again, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("reread: %v", err)
+		}
+		if len(again) != len(edges) {
+			t.Fatalf("round trip changed edge count: %d -> %d", len(edges), len(again))
+		}
+		for i := range edges {
+			if again[i] != edges[i] {
+				t.Fatalf("round trip changed edge %d: %v -> %v", i, edges[i], again[i])
+			}
+		}
+	})
+}
 
 // FuzzReadEdgeList exercises the edge-list parser with arbitrary input: it
 // must never panic, and anything it accepts must survive a write/read round

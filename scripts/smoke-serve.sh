@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Smoke test for the live sampling service: start gps-serve, ingest a
+# generated graph (binary framing), query an estimate, and require it to
+# equal the exact triangle count — with uniform weights and a reservoir
+# larger than the graph the snapshot estimate is exact, so any drift is a
+# bug, not noise. CI runs this after the unit tests; it needs only curl.
+set -euo pipefail
+
+workdir=$(mktemp -d)
+trap 'kill "${server_pid:-}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+echo "== build"
+go build -o "$workdir" ./cmd/gps-gen ./cmd/gps-sample ./cmd/gps-serve
+
+echo "== generate graph (binary framing)"
+"$workdir/gps-gen" -type hk -n 2000 -k 6 -p 0.5 -seed 42 -format binary -out "$workdir/g.gpsb"
+"$workdir/gps-gen" -type hk -n 2000 -k 6 -p 0.5 -seed 42 -out "$workdir/g.txt"
+
+echo "== exact counts"
+exact_line=$("$workdir/gps-sample" -in "$workdir/g.gpsb" -m 100000 -weight uniform -exact | grep '^exact:')
+echo "$exact_line"
+exact_triangles=$(echo "$exact_line" | sed -E 's/.*triangles=([0-9]+).*/\1/')
+edges=$(wc -l < "$workdir/g.txt")
+
+echo "== start gps-serve"
+"$workdir/gps-serve" -addr 127.0.0.1:18423 -m $((edges + 100)) -weight uniform -staleness 0s &
+server_pid=$!
+for _ in $(seq 1 50); do
+    curl -fsS http://127.0.0.1:18423/healthz >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -fsS http://127.0.0.1:18423/healthz >/dev/null
+
+echo "== ingest ${edges} edges + flush"
+curl -fsS -X POST -H 'Content-Type: application/x-gps-edges' \
+    --data-binary "@$workdir/g.gpsb" http://127.0.0.1:18423/v1/ingest
+echo
+curl -fsS -X POST http://127.0.0.1:18423/v1/flush
+echo
+
+echo "== query estimate"
+estimate_json=$(curl -fsS 'http://127.0.0.1:18423/v1/estimate?max_stale=0s')
+echo "$estimate_json"
+served_triangles=$(echo "$estimate_json" | sed -E 's/.*"triangles":([0-9]+(\.[0-9]+)?).*/\1/')
+curl -fsS http://127.0.0.1:18423/v1/stats
+echo
+
+echo "== compare: served=$served_triangles exact=$exact_triangles"
+if [ "${served_triangles%.*}" != "$exact_triangles" ]; then
+    echo "FAIL: served triangle estimate $served_triangles != exact $exact_triangles" >&2
+    exit 1
+fi
+echo "OK: live service estimate matches exact triangle count"
