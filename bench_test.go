@@ -20,6 +20,7 @@ import (
 
 	"gps"
 	"gps/internal/baselines"
+	"gps/internal/core"
 	"gps/internal/datasets"
 	"gps/internal/experiments"
 	"gps/internal/gen"
@@ -320,7 +321,7 @@ func BenchmarkEngineParallel4Triangle1M(b *testing.B) {
 }
 
 // BenchmarkEstimatePost measures one full Algorithm 2 scan over a 10K-edge
-// reservoir (the retrospective-query cost).
+// reservoir (the retrospective-query cost) on the slot-indexed fast path.
 func BenchmarkEstimatePost(b *testing.B) {
 	edges := microEdges(b)
 	s, _ := gps.NewSampler(gps.Config{Capacity: 10000, Weight: gps.TriangleWeight, Seed: 5})
@@ -333,11 +334,49 @@ func BenchmarkEstimatePost(b *testing.B) {
 	}
 }
 
+// estimate100K builds the m=100K triangle-weighted sampler over the
+// 1M-edge engine stream shared by the EstimatePost100K benchmarks.
+var estimate100K struct {
+	once sync.Once
+	s    *gps.Sampler
+}
+
+func estimate100KSampler(b *testing.B) *gps.Sampler {
+	estimate100K.once.Do(func() {
+		s, _ := gps.NewSampler(gps.Config{Capacity: 100000, Weight: gps.TriangleWeight, Seed: 5})
+		s.ProcessBatch(engineEdges(b))
+		estimate100K.s = s
+	})
+	return estimate100K.s
+}
+
+// BenchmarkEstimatePost100K measures the Algorithm 2 scan at the service
+// scale (m=100K over a 1M-edge R-MAT stream) on the slot-indexed fast path.
+func BenchmarkEstimatePost100K(b *testing.B) {
+	s := estimate100KSampler(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gps.EstimatePost(s)
+	}
+}
+
+// BenchmarkEstimatePost100KLookup is the same scan on the retained
+// hash-lookup reference path — the before/after pair recorded in
+// BENCH_PR3.json.
+func BenchmarkEstimatePost100KLookup(b *testing.B) {
+	s := estimate100KSampler(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.EstimatePostLookup(s)
+	}
+}
+
 // --- Service-layer benchmarks: snapshot pause and wire-format codec ---
 
 // BenchmarkEngineSnapshot1M measures the full low-pause query path of the
-// live service — barrier + parallel shard clone + merge + nothing else —
-// on a 100K-edge reservoir over the 1M-edge engine stream.
+// live service — barrier + dirty-shard clone + merge — on a 100K-edge
+// reservoir over the 1M-edge engine stream, with every shard dirtied
+// before each snapshot (the worst case: all shards clone every time).
 func BenchmarkEngineSnapshot1M(b *testing.B) {
 	edges := engineEdges(b)
 	p, err := gps.NewParallel(gps.Config{Capacity: 100000, Seed: 9}, 4)
@@ -346,11 +385,97 @@ func BenchmarkEngineSnapshot1M(b *testing.B) {
 	}
 	defer p.Close()
 	p.ProcessBatch(edges)
+	base := snapshotStatsBase(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// Replayed edges dirty every shard without changing the sample
+		// distribution materially between iterations.
+		p.ProcessBatch(edges[:4096])
+		b.StartTimer()
+		if _, err := p.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSnapshotStall(b, p, base)
+}
+
+// BenchmarkEngineSnapshot1MDirty1of4 is the incremental-snapshot case the
+// dirty-shard tracking exists for: between snapshots only one of the four
+// shards receives traffic, so a refresh clones 1/4 of the reservoir and
+// reuses the other three immutable clones.
+func BenchmarkEngineSnapshot1MDirty1of4(b *testing.B) {
+	edges := engineEdges(b)
+	p, err := gps.NewParallel(gps.Config{Capacity: 100000, Seed: 9}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	p.ProcessBatch(edges)
+	var targeted []graph.Edge
+	for _, e := range edges {
+		if p.ShardOf(e) == 0 {
+			targeted = append(targeted, e)
+			if len(targeted) == 4096 {
+				break
+			}
+		}
+	}
+	if _, err := p.Snapshot(); err != nil { // prime the per-shard clones
+		b.Fatal(err)
+	}
+	base := snapshotStatsBase(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p.ProcessBatch(targeted)
+		b.StartTimer()
+		if _, err := p.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSnapshotStall(b, p, base)
+}
+
+// BenchmarkEngineSnapshot1MClean measures a snapshot with nothing ingested
+// since the last one: no clones at all, just barrier + merge of the reused
+// shard clones.
+func BenchmarkEngineSnapshot1MClean(b *testing.B) {
+	edges := engineEdges(b)
+	p, err := gps.NewParallel(gps.Config{Capacity: 100000, Seed: 9}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	p.ProcessBatch(edges)
+	if _, err := p.Snapshot(); err != nil {
+		b.Fatal(err)
+	}
+	base := snapshotStatsBase(p)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := p.Snapshot(); err != nil {
 			b.Fatal(err)
 		}
+	}
+	reportSnapshotStall(b, p, base)
+}
+
+type snapStatsBase struct{ snapshots, cloned uint64 }
+
+// snapshotStatsBase records the counters after priming so the reported
+// clones/snap covers only the timed iterations, not the setup snapshots.
+func snapshotStatsBase(p *gps.Parallel) snapStatsBase {
+	snapshots, cloned, _ := p.SnapshotStats()
+	return snapStatsBase{snapshots: snapshots, cloned: cloned}
+}
+
+func reportSnapshotStall(b *testing.B, p *gps.Parallel, base snapStatsBase) {
+	b.Helper()
+	b.ReportMetric(float64(p.LastSnapshotStall().Nanoseconds())/1e6, "stall-ms")
+	snapshots, cloned, _ := p.SnapshotStats()
+	if n := snapshots - base.snapshots; n > 0 {
+		b.ReportMetric(float64(cloned-base.cloned)/float64(n), "clones/snap")
 	}
 }
 

@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	gps-bench -exp table1|table2|table3|fig1|fig2|fig3|weights|extensions|throughput|serve|all \
-//	          [-profile small|full] [-trials N] [-sample M] [-budget B] \
+//	gps-bench -exp table1|table2|table3|fig1|fig2|fig3|weights|extensions|throughput|serve|perf|all \
+//	          [-profile small|full] [-trials N] [-sample M] [-budget B] [-json] \
 //	          [-checkpoints C] [-seed S] [-graphs a,b,c] [-edges N] [-shards P] [-clients Q]
 //
 // Examples:
@@ -16,16 +16,24 @@
 //	                                       # sequential vs batched vs sharded rate
 //	gps-bench -exp serve -edges 1000000 -clients 8
 //	                                       # live service: ingest rate + query latency
+//	gps-bench -exp perf -json -edges 1000000 -sample 100000 -shards 4
+//	                                       # machine-readable perf trajectory (BENCH_PR3.json)
+//
+// -json switches the perf and throughput experiments to machine-readable
+// output (one JSON document on stdout); scripts/bench.sh uses it to record
+// the perf trajectory as a CI artifact.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -51,7 +59,8 @@ func run(args []string, stdout, errw io.Writer) error {
 	fs := flag.NewFlagSet("gps-bench", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
-		exp         = fs.String("exp", "all", "experiment: table1, table2, table3, fig1, fig2, fig3, weights, extensions, throughput, serve, all")
+		exp         = fs.String("exp", "all", "experiment: table1, table2, table3, fig1, fig2, fig3, weights, extensions, throughput, serve, perf, all")
+		jsonOut     = fs.Bool("json", false, "machine-readable JSON output (perf and throughput experiments)")
 		profileName = fs.String("profile", "small", "dataset scale: small or full")
 		trials      = fs.Int("trials", 3, "replications per configuration")
 		sample      = fs.Int("sample", 20000, "GPS sample size m (table1, fig1, fig3, weights)")
@@ -94,7 +103,15 @@ func run(args []string, stdout, errw io.Writer) error {
 	emit := func(title, body string) {
 		fmt.Fprintf(stdout, "===== %s =====\n%s\n", title, body)
 	}
+	emitJSON := func(v any) error {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	}
 	runOne := func(name string) error {
+		if *jsonOut && name != "perf" && name != "throughput" {
+			return fmt.Errorf("-json is supported for -exp perf and -exp throughput, not %q", name)
+		}
 		switch name {
 		case "table1":
 			rows, err := experiments.Table1(opts, *sample, graphs)
@@ -145,11 +162,23 @@ func run(args []string, stdout, errw io.Writer) error {
 			}
 			emit("§3.5 ablation — weight functions ("+graphName+")", experiments.RenderAblation(rows))
 		case "throughput":
-			body, err := throughput(*edges, *sample, *shardsFlag, *seed)
+			rep, err := throughput(*edges, *sample, *shardsFlag, *seed)
 			if err != nil {
 				return err
 			}
-			emit("Throughput — sequential vs batched vs sharded sampling", body)
+			if *jsonOut {
+				return emitJSON(rep)
+			}
+			emit("Throughput — sequential vs batched vs sharded sampling", renderThroughput(rep))
+		case "perf":
+			rep, err := perfBench(*edges, *sample, *shardsFlag, *seed, runtime.GOMAXPROCS(0))
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				return emitJSON(rep)
+			}
+			emit("Perf — slot-indexed estimation + incremental snapshots", renderPerf(rep))
 		case "serve":
 			body, err := serveBench(*edges, *sample, *shardsFlag, *clients, *seed)
 			if err != nil {
@@ -169,6 +198,9 @@ func run(args []string, stdout, errw io.Writer) error {
 	}
 
 	if *exp == "all" {
+		if *jsonOut {
+			return fmt.Errorf("-json is supported for -exp perf and -exp throughput, not \"all\"")
+		}
 		for _, name := range []string{"table1", "table2", "table3", "fig1", "fig2", "fig3", "weights", "extensions"} {
 			if err := runOne(name); err != nil {
 				return err
@@ -179,29 +211,52 @@ func run(args []string, stdout, errw io.Writer) error {
 	return runOne(*exp)
 }
 
+// throughputReport is the result of the throughput experiment, renderable
+// as a text table or emitted as JSON with -json.
+type throughputReport struct {
+	Schema  string          `json:"schema"`
+	Scale   int             `json:"rmat_scale"`
+	Edges   int             `json:"edges"`
+	SampleM int             `json:"m"`
+	Shards  int             `json:"shards"`
+	Rows    []throughputRow `json:"rows"`
+}
+
+type throughputRow struct {
+	Path        string  `json:"path"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	EdgesPerSec float64 `json:"edges_per_sec"`
+	NSPerEdge   float64 `json:"ns_per_edge"`
+}
+
 // throughput measures end-to-end sampling rate over a synthetic R-MAT
 // stream for the three feeding paths: per-edge Process, batched
 // ProcessBatch, and the sharded Parallel sampler — once with uniform
 // weights (the pure sampling hot path) and once with triangle weights (the
 // topology-dependent workload the paper centres on). The stream is
 // generated up front so only sampler time is measured.
-func throughput(edges, sample, shards int, seed uint64) (string, error) {
+func throughput(edges, sample, shards int, seed uint64) (*throughputReport, error) {
 	if edges < 1 || sample < 1 || shards < 1 {
-		return "", fmt.Errorf("throughput: need positive -edges, -sample and -shards")
+		return nil, fmt.Errorf("throughput: need positive -edges, -sample and -shards")
 	}
 	es, scale := rmatStream(edges, seed)
 	edges = len(es)
 
-	var b strings.Builder
-	fmt.Fprintf(&b, "stream: R-MAT scale %d, %d edges; m=%d, P=%d\n\n", scale, edges, sample, shards)
-	fmt.Fprintf(&b, "%-28s %12s %14s\n", "path", "elapsed", "edges/sec")
+	rep := &throughputReport{
+		Schema: "gps-bench/throughput/v1", Scale: scale, Edges: edges, SampleM: sample, Shards: shards,
+	}
 	row := func(name string, run func() error) error {
 		start := time.Now()
 		if err := run(); err != nil {
 			return err
 		}
 		el := time.Since(start)
-		fmt.Fprintf(&b, "%-28s %12s %14.0f\n", name, el.Round(time.Millisecond), float64(edges)/el.Seconds())
+		rep.Rows = append(rep.Rows, throughputRow{
+			Path:        name,
+			ElapsedMS:   float64(el) / float64(time.Millisecond),
+			EdgesPerSec: float64(edges) / el.Seconds(),
+			NSPerEdge:   float64(el.Nanoseconds()) / float64(edges),
+		})
 		return nil
 	}
 
@@ -221,7 +276,7 @@ func throughput(edges, sample, shards int, seed uint64) (string, error) {
 			}
 			return nil
 		}); err != nil {
-			return "", err
+			return nil, err
 		}
 		if err := row(v.name+"/batched", func() error {
 			s, err := gps.NewSampler(cfg)
@@ -237,7 +292,7 @@ func throughput(edges, sample, shards int, seed uint64) (string, error) {
 			}
 			return nil
 		}); err != nil {
-			return "", err
+			return nil, err
 		}
 		if err := row(fmt.Sprintf("%s/parallel-%d", v.name, shards), func() error {
 			p, err := gps.NewParallel(cfg, shards)
@@ -249,10 +304,21 @@ func throughput(edges, sample, shards int, seed uint64) (string, error) {
 			_, err = p.Merge()
 			return err
 		}); err != nil {
-			return "", err
+			return nil, err
 		}
 	}
-	return b.String(), nil
+	return rep, nil
+}
+
+// renderThroughput is the human-readable form of the throughput report.
+func renderThroughput(rep *throughputReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stream: R-MAT scale %d, %d edges; m=%d, P=%d\n\n", rep.Scale, rep.Edges, rep.SampleM, rep.Shards)
+	fmt.Fprintf(&b, "%-28s %12s %14s\n", "path", "elapsed", "edges/sec")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(&b, "%-28s %11.0fms %14.0f\n", r.Path, r.ElapsedMS, r.EdgesPerSec)
+	}
+	return b.String()
 }
 
 // rmatStream generates a permuted R-MAT stream of (up to) the requested

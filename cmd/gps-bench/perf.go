@@ -1,0 +1,214 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gps"
+	"gps/internal/core"
+	"gps/internal/graph"
+)
+
+// perfReport is the machine-readable perf snapshot written to
+// BENCH_PR3.json by scripts/bench.sh: per-edge update costs, the
+// post-stream estimation latency on both the slot-indexed fast path and
+// the hash-lookup reference, and the engine snapshot stalls under the
+// three dirtiness regimes. Every field is a single number so CI runs can
+// be diffed over time.
+type perfReport struct {
+	Schema    string `json:"schema"`
+	Edges     int    `json:"edges"`
+	SampleM   int    `json:"m"`
+	Shards    int    `json:"shards"`
+	Seed      uint64 `json:"seed"`
+	GoMaxProc int    `json:"gomaxprocs"`
+
+	// Sampling update paths, nanoseconds per edge over the full stream.
+	UpdateNSPerEdge map[string]float64 `json:"update_ns_per_edge"`
+
+	EstimatePost struct {
+		SlotMS   float64 `json:"slot_ms"`
+		LookupMS float64 `json:"lookup_ms"`
+		Speedup  float64 `json:"speedup"`
+	} `json:"estimate_post"`
+
+	Snapshot struct {
+		// Ingestion-blocked stall (barrier + clone) per dirtiness regime.
+		FullStallMS   float64 `json:"full_stall_ms"`
+		Dirty1StallMS float64 `json:"dirty1_stall_ms"`
+		CleanStallMS  float64 `json:"clean_stall_ms"`
+		// Shards cloned in the full vs the 1-dirty snapshot.
+		FullCloned   uint64 `json:"full_cloned"`
+		Dirty1Cloned uint64 `json:"dirty1_cloned"`
+		// dirty1_stall / full_stall: the clone-work fraction of an
+		// incremental refresh with 1 of P shards dirty.
+		Dirty1OverFull float64 `json:"dirty1_over_full"`
+	} `json:"snapshot"`
+
+	// A forced-fresh estimate query: snapshot + Algorithm 2 on the result.
+	ForcedFreshMS float64 `json:"forced_fresh_estimate_ms"`
+}
+
+// timeBest runs fn reps times and returns the fastest wall time — the
+// standard way to suppress scheduler noise in a one-shot benchmark.
+func timeBest(reps int, fn func()) time.Duration {
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		fn()
+		el := time.Since(start)
+		if best == 0 || el < best {
+			best = el
+		}
+	}
+	return best
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// perfBench builds the perf report on a synthetic R-MAT stream.
+func perfBench(edges, sample, shards int, seed uint64, maxprocs int) (*perfReport, error) {
+	if edges < 1 || sample < 1 || shards < 1 {
+		return nil, fmt.Errorf("perf: need positive -edges, -sample and -shards")
+	}
+	es, _ := rmatStream(edges, seed)
+	edges = len(es)
+	r := &perfReport{
+		Schema:          "gps-bench/perf/v1",
+		Edges:           edges,
+		SampleM:         sample,
+		Shards:          shards,
+		Seed:            seed,
+		GoMaxProc:       maxprocs,
+		UpdateNSPerEdge: map[string]float64{},
+	}
+
+	// Update paths: full-stream sequential sampling per weight, plus the
+	// in-stream estimator (Algorithm 3's combined estimate+update cost).
+	nsPerEdge := func(run func() error) (float64, error) {
+		start := time.Now()
+		if err := run(); err != nil {
+			return 0, err
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(edges), nil
+	}
+	for _, v := range []struct {
+		name   string
+		weight gps.WeightFunc
+	}{{"uniform", gps.UniformWeight}, {"triangle", gps.TriangleWeight}, {"adjacency", gps.AdjacencyWeight}} {
+		n, err := nsPerEdge(func() error {
+			s, err := gps.NewSampler(gps.Config{Capacity: sample, Weight: v.weight, Seed: seed})
+			if err != nil {
+				return err
+			}
+			s.ProcessBatch(es)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.UpdateNSPerEdge[v.name] = n
+	}
+	n, err := nsPerEdge(func() error {
+		in, err := gps.NewInStream(gps.Config{Capacity: sample, Weight: gps.TriangleWeight, Seed: seed})
+		if err != nil {
+			return err
+		}
+		for _, e := range es {
+			in.Process(e)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.UpdateNSPerEdge["instream_triangle"] = n
+
+	// Post-stream estimation at m=sample: slot-indexed fast path vs the
+	// retained hash-lookup reference, same sampler state.
+	est, err := gps.NewSampler(gps.Config{Capacity: sample, Weight: gps.TriangleWeight, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	est.ProcessBatch(es)
+	slotT := timeBest(3, func() { core.EstimatePost(est) })
+	lookT := timeBest(3, func() { core.EstimatePostLookup(est) })
+	r.EstimatePost.SlotMS = ms(slotT)
+	r.EstimatePost.LookupMS = ms(lookT)
+	if slotT > 0 {
+		r.EstimatePost.Speedup = float64(lookT) / float64(slotT)
+	}
+
+	// Snapshot stalls: full (first snapshot, all shards dirty), clean
+	// (nothing ingested since), and 1-of-P dirty (traffic confined to one
+	// shard). Stall is the ingestion-blocked window reported by the engine,
+	// not the merge that follows it.
+	p, err := gps.NewParallel(gps.Config{Capacity: sample, Seed: seed}, shards)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+	p.ProcessBatch(es)
+	if _, err := p.Snapshot(); err != nil {
+		return nil, err
+	}
+	_, cloned0, _ := p.SnapshotStats()
+	r.Snapshot.FullStallMS = ms(p.LastSnapshotStall())
+	r.Snapshot.FullCloned = cloned0
+
+	if _, err := p.Snapshot(); err != nil {
+		return nil, err
+	}
+	r.Snapshot.CleanStallMS = ms(p.LastSnapshotStall())
+
+	var targeted []graph.Edge
+	for _, e := range es {
+		if p.ShardOf(e) == 0 {
+			targeted = append(targeted, e)
+			if len(targeted) == 20000 {
+				break
+			}
+		}
+	}
+	p.ProcessBatch(targeted) // duplicates: dirties shard 0 only
+	_, clonedBefore, _ := p.SnapshotStats()
+	if _, err := p.Snapshot(); err != nil {
+		return nil, err
+	}
+	_, clonedAfter, _ := p.SnapshotStats()
+	r.Snapshot.Dirty1StallMS = ms(p.LastSnapshotStall())
+	r.Snapshot.Dirty1Cloned = clonedAfter - clonedBefore
+	if r.Snapshot.FullStallMS > 0 {
+		r.Snapshot.Dirty1OverFull = r.Snapshot.Dirty1StallMS / r.Snapshot.FullStallMS
+	}
+
+	// Forced-fresh query: what a ?max_stale=0 estimate costs end to end
+	// (minus HTTP) — snapshot plus Algorithm 2 over the merged sampler.
+	forced := timeBest(2, func() {
+		snap, err := p.Snapshot()
+		if err == nil {
+			core.EstimatePost(snap)
+		}
+	})
+	r.ForcedFreshMS = ms(forced)
+	return r, nil
+}
+
+// renderPerf is the human-readable form of the report.
+func renderPerf(r *perfReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stream: %d edges; m=%d, P=%d shards, GOMAXPROCS=%d\n\n", r.Edges, r.SampleM, r.Shards, r.GoMaxProc)
+	fmt.Fprintf(&b, "update paths (ns/edge):\n")
+	for _, k := range []string{"uniform", "triangle", "adjacency", "instream_triangle"} {
+		fmt.Fprintf(&b, "  %-20s %8.0f\n", k, r.UpdateNSPerEdge[k])
+	}
+	fmt.Fprintf(&b, "\nEstimatePost at m=%d: slot-indexed %.1fms, hash-lookup %.1fms  (%.2fx)\n",
+		r.SampleM, r.EstimatePost.SlotMS, r.EstimatePost.LookupMS, r.EstimatePost.Speedup)
+	fmt.Fprintf(&b, "snapshot stall: full %.2fms (%d clones)   1-dirty %.2fms (%d clone, %.2fx of full)   clean %.2fms\n",
+		r.Snapshot.FullStallMS, r.Snapshot.FullCloned,
+		r.Snapshot.Dirty1StallMS, r.Snapshot.Dirty1Cloned, r.Snapshot.Dirty1OverFull,
+		r.Snapshot.CleanStallMS)
+	fmt.Fprintf(&b, "forced-fresh estimate (snapshot + Alg 2): %.1fms\n", r.ForcedFreshMS)
+	return b.String()
+}

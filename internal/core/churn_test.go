@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"gps/internal/gen"
+	"gps/internal/graph"
+	"gps/internal/randx"
+)
+
+// checkSlotConsistency asserts the tentpole invariant of the slot-indexed
+// estimation path: the adjacency's per-neighbor slot runs and the heap's
+// key table describe exactly the same edge→slot mapping, in both
+// directions, at all times.
+func checkSlotConsistency(t *testing.T, r *Reservoir) {
+	t.Helper()
+	// Heap → adjacency: every sampled edge's slot run entry names its slot.
+	for i := 0; i < r.heap.Len(); i++ {
+		slot := r.heap.SlotAt(i)
+		e := r.heap.BySlot(slot).Edge
+		if got := r.adj.SlotOf(e); got != slot {
+			t.Fatalf("adjacency slot of %v = %d, heap says %d", e, got, slot)
+		}
+	}
+	// Adjacency → heap: every run entry points at a live heap entry for
+	// exactly the edge the run describes, in both endpoint runs.
+	edges := 0
+	for id := 0; id < r.adj.DenseLen(); id++ {
+		v, nbrs, slots := r.adj.RunAt(id)
+		if len(nbrs) != len(slots) {
+			t.Fatalf("node %v: %d neighbors but %d slots", v, len(nbrs), len(slots))
+		}
+		for j, u := range nbrs {
+			e := graph.NewEdge(v, u)
+			ent := r.heap.BySlot(slots[j])
+			if ent.Edge != e {
+				t.Fatalf("slot %d of run %v lists edge %v, arena holds %v", slots[j], v, e, ent.Edge)
+			}
+			if got := r.entry(e); got == nil {
+				t.Fatalf("adjacency lists %v but key table does not", e)
+			} else if got != ent {
+				t.Fatalf("slot %d and key table disagree on the entry of %v", slots[j], e)
+			}
+			edges++
+		}
+	}
+	if edges != 2*r.heap.Len() {
+		t.Fatalf("adjacency lists %d half-edges, heap holds %d edges", edges, r.heap.Len())
+	}
+}
+
+// TestSlotChurnConsistency drives a tight reservoir through heavy
+// insert/evict churn — slot recycling in the heap arena, dense-id recycling
+// in the adjacency — and checks the slot runs never drift from the key
+// table. Weights cover the uniform fast path and both topology-dependent
+// weights, and one randomized arrival order per weight.
+func TestSlotChurnConsistency(t *testing.T) {
+	edges := gen.HolmeKim(500, 5, 0.5, 0xC4)
+	for _, tc := range []struct {
+		name   string
+		weight WeightFunc
+	}{{"uniform", nil}, {"triangle", TriangleWeight}, {"adjacency", AdjacencyWeight}} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := randx.New(0x5107 ^ uint64(len(tc.name)))
+			perm := append([]graph.Edge(nil), edges...)
+			rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			// Capacity far below the stream length forces an eviction for
+			// almost every insertion once warm.
+			s, err := NewSampler(Config{Capacity: 120, Weight: tc.weight, Seed: 0xBEEF})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, e := range perm {
+				s.Process(e)
+				if i%97 == 0 || i == len(perm)-1 {
+					checkSlotConsistency(t, s.res)
+				}
+			}
+			checkSlotConsistency(t, s.res)
+			// The clone (and a clone refreshed into recycled backing) must
+			// carry the identical slot mapping.
+			c := s.Clone()
+			checkSlotConsistency(t, c.res)
+			recycled := s.CloneReusing(c)
+			checkSlotConsistency(t, recycled.res)
+		})
+	}
+}
+
+// TestCloneReusingBitIdentical verifies CloneReusing produces a sampler
+// indistinguishable from Clone: same reservoir fingerprint, and the same
+// evolution when both forks consume the same suffix.
+func TestCloneReusingBitIdentical(t *testing.T) {
+	edges := cloneTestStream(300, 3000, 0x77)
+	s, err := NewSampler(Config{Capacity: 150, Weight: TriangleWeight, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	processAll(t, s, edges[:1500])
+
+	plain := s.Clone()
+	// A retired clone from an unrelated earlier state donates its arrays.
+	donorSrc, err := NewSampler(Config{Capacity: 150, Weight: TriangleWeight, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	processAll(t, donorSrc, edges[:700])
+	reused := s.CloneReusing(donorSrc.Clone())
+
+	requireSameSampler(t, plain, reused)
+	if EstimatePost(plain) != EstimatePost(reused) {
+		t.Fatal("estimates differ between Clone and CloneReusing")
+	}
+	processAll(t, plain, edges[1500:])
+	processAll(t, reused, edges[1500:])
+	requireSameSampler(t, plain, reused)
+	checkSlotConsistency(t, reused.res)
+}

@@ -66,9 +66,11 @@ func (t *InStream) estimate(k graph.Edge) {
 	// Triangles completed by k (lines 9-19). Distinct triangles completed
 	// by the same arrival share no sampled edge, so the updates to the
 	// per-edge accumulators of one cannot affect another ("parallel for").
-	res.CommonNeighbors(k.U, k.V, func(v3 graph.NodeID) bool {
-		e1 := res.entry(graph.NewEdge(k.U, v3))
-		e2 := res.entry(graph.NewEdge(k.V, v3))
+	// Both rim edges' heap entries arrive as slots alongside the common
+	// neighbor — no hash probes on this path either.
+	res.commonNeighborsWithSlots(k.U, k.V, func(v3 graph.NodeID, su, sv int32) bool {
+		e1 := res.entryAt(su)
+		e2 := res.entryAt(sv)
 		q1 := t.s.probForWeight(e1.Weight)
 		q2 := t.s.probForWeight(e2.Weight)
 		inv := 1 / (q1 * q2)
@@ -85,11 +87,12 @@ func (t *InStream) estimate(k graph.Edge) {
 	// k itself is not yet sampled, so every sampled neighbor of either
 	// endpoint contributes exactly one wedge.
 	wedgeAt := func(center, other graph.NodeID) {
-		res.Neighbors(center, func(x graph.NodeID) bool {
+		nbrs, slots := res.neighborRun(center)
+		for i, x := range nbrs {
 			if x == other {
-				return true
+				continue
 			}
-			ent := res.entry(graph.NewEdge(center, x))
+			ent := res.entryAt(slots[i])
 			q := t.s.probForWeight(ent.Weight)
 			invQ := 1 / q
 			t.nW += invQ                    // line 23: wedge count
@@ -97,8 +100,7 @@ func (t *InStream) estimate(k graph.Edge) {
 			t.vW += 2 * ent.WedgeCov * invQ // line 25: covariance with earlier wedges
 			t.covTW += ent.TriCov * invQ    // line 26: covariance with earlier triangles
 			ent.WedgeCov += invQ - 1        // line 27
-			return true
-		})
+		}
 	}
 	wedgeAt(k.U, k.V)
 	wedgeAt(k.V, k.U)

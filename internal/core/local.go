@@ -1,11 +1,6 @@
 package core
 
-import (
-	"runtime"
-	"sync"
-
-	"gps/internal/graph"
-)
+import "gps/internal/graph"
 
 // LocalTriangles holds per-node triangle count estimates N̂_v(△): for each
 // node, the estimated number of triangles containing it. Local triangle
@@ -29,38 +24,22 @@ func (lt LocalTriangles) Total() float64 {
 // reservoir (the local analogue of EstimatePost). Each sampled edge
 // enumerates the triangles it participates in, exactly as in Algorithm 2;
 // a triangle enumerated at one of its three edges credits Ŝ_τ/3 to each
-// corner, so after the full scan every corner has accumulated Ŝ_τ.
+// corner, so after the full scan every corner has accumulated Ŝ_τ. Like
+// EstimatePost it runs on the slot-indexed fast path: probabilities come
+// from the slot table and triangle detection is the two-pointer merge over
+// slot runs.
 func EstimateLocalPost(s *Sampler) LocalTriangles {
 	n := s.res.Len()
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	probs := s.slotProbs()
+	workers := estimateWorkers(n)
 	parts := make([]LocalTriangles, workers)
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
+	parallelFor(n, workers, func(w, lo, hi int) {
+		local := make(LocalTriangles)
+		for i := lo; i < hi; i++ {
+			s.localEdge(s.res.heap.SlotAt(i), probs, local)
 		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			local := make(LocalTriangles)
-			for i := lo; i < hi; i++ {
-				s.localEdge(s.res.heap.At(i).Edge, local)
-			}
-			parts[w] = local
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		parts[w] = local
+	})
 	out := make(LocalTriangles)
 	for _, part := range parts {
 		for v, c := range part {
@@ -70,33 +49,36 @@ func EstimateLocalPost(s *Sampler) LocalTriangles {
 	return out
 }
 
-// localEdge accumulates the corner contributions of the triangles at edge k.
-func (s *Sampler) localEdge(k graph.Edge, acc LocalTriangles) {
-	ent := s.res.entry(k)
-	if ent == nil {
-		return
-	}
-	invQ := 1 / s.probForWeight(ent.Weight)
+// localEdge accumulates the corner contributions of the triangles at the
+// sampled edge stored at the given heap slot.
+func (s *Sampler) localEdge(slot int32, probs []float64, acc LocalTriangles) {
+	k := s.res.entryAt(slot).Edge
+	invQ := 1 / probs[slot]
 	v1, v2 := k.U, k.V
-	if s.res.Degree(v1) > s.res.Degree(v2) {
+	n1, s1 := s.res.neighborRun(v1)
+	n2, s2 := s.res.neighborRun(v2)
+	if len(n1) > len(n2) {
 		v1, v2 = v2, v1
+		n1, s1, n2, s2 = n2, s2, n1, s1
 	}
-	s.res.Neighbors(v1, func(v3 graph.NodeID) bool {
+	j := 0
+	for i, v3 := range n1 {
 		if v3 == v2 {
-			return true
+			continue
 		}
-		e2 := s.res.entry(graph.NewEdge(v2, v3))
-		if e2 == nil {
-			return true
+		for j < len(n2) && n2[j] < v3 {
+			j++
 		}
-		q1 := s.mustProb(v1, v3)
-		q2 := s.probForWeight(e2.Weight)
+		if j >= len(n2) || n2[j] != v3 {
+			continue
+		}
+		q1 := probs[s1[i]]
+		q2 := probs[s2[j]]
 		share := invQ / (q1 * q2) / 3
 		acc[v1] += share
 		acc[v2] += share
 		acc[v3] += share
-		return true
-	})
+	}
 }
 
 // InStreamLocal couples a GPS sampler with in-stream per-node triangle
@@ -132,9 +114,9 @@ func (t *InStreamLocal) Process(e graph.Edge) bool {
 		return true
 	}
 	res := t.s.res
-	res.CommonNeighbors(e.U, e.V, func(v3 graph.NodeID) bool {
-		q1 := t.s.mustProb(e.U, v3)
-		q2 := t.s.mustProb(e.V, v3)
+	res.commonNeighborsWithSlots(e.U, e.V, func(v3 graph.NodeID, su, sv int32) bool {
+		q1 := t.s.probForWeight(res.entryAt(su).Weight)
+		q2 := t.s.probForWeight(res.entryAt(sv).Weight)
 		share := 1 / (q1 * q2)
 		t.counts[e.U] += share
 		t.counts[e.V] += share

@@ -1,17 +1,14 @@
 package core
 
-import (
-	"runtime"
-	"sync"
-
-	"gps/internal/graph"
-)
+import "gps/internal/graph"
 
 // This file extends post-stream estimation beyond triangles and wedges to
 // the other motif families the paper's introduction names ("triangles,
 // cliques, stars", §1). Both estimators are direct applications of
 // Theorem 2: sum the Horvitz-Thompson product Ŝ_J over every member of the
-// family found inside the sample.
+// family found inside the sample. Like EstimatePost they run on the
+// slot-indexed fast path (slot-table probabilities, merge-based membership
+// tests) over the parallelFor scaffold.
 
 // EstimateCliques4Post returns the unbiased estimate of the number of
 // 4-cliques whose edges have all arrived. Each 4-clique found in the
@@ -25,35 +22,16 @@ import (
 // Sampler.SubgraphVariance / SubgraphCovariance.
 func EstimateCliques4Post(s *Sampler) float64 {
 	n := s.res.Len()
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	probs := s.slotProbs()
+	workers := estimateWorkers(n)
 	totals := make([]float64, workers)
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
+	parallelFor(n, workers, func(w, lo, hi int) {
+		total := 0.0
+		for i := lo; i < hi; i++ {
+			total += s.cliques4At(s.res.heap.SlotAt(i), probs)
 		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			total := 0.0
-			for i := lo; i < hi; i++ {
-				total += s.cliques4At(s.res.heap.At(i).Edge)
-			}
-			totals[w] = total
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		totals[w] = total
+	})
 	total := 0.0
 	for _, t := range totals {
 		total += t
@@ -61,34 +39,45 @@ func EstimateCliques4Post(s *Sampler) float64 {
 	return total
 }
 
-// cliques4At sums Ŝ over the 4-cliques anchored at edge k = (u,v) with
-// u < v: pairs of common neighbors w < x, both greater than v, joined by a
-// sampled edge.
-func (s *Sampler) cliques4At(k graph.Edge) float64 {
+// cliques4At sums Ŝ over the 4-cliques anchored at the edge k = (u,v)
+// (u < v) stored at the given heap slot: pairs of common neighbors w < x,
+// both greater than v, joined by a sampled edge. Candidates arrive in
+// ascending order with the slots of their two rim edges, so the pair loop's
+// membership test (w,x) is a monotone merge of w's neighbor run against the
+// remaining candidates — no hash probes anywhere.
+func (s *Sampler) cliques4At(slot int32, probs []float64) float64 {
+	k := s.res.entryAt(slot).Edge
 	u, v := k.U, k.V // canonical: u < v
-	invQ := 1 / s.mustProb(u, v)
-	var candidates []graph.NodeID
-	s.res.CommonNeighbors(u, v, func(w graph.NodeID) bool {
+	invQ := 1 / probs[slot]
+	type cand struct {
+		node graph.NodeID
+		inv  float64 // (q(u,w)·q(v,w))⁻¹
+	}
+	var cands []cand
+	s.res.commonNeighborsWithSlots(u, v, func(w graph.NodeID, su, sv int32) bool {
 		if w > v {
-			candidates = append(candidates, w)
+			cands = append(cands, cand{node: w, inv: 1 / (probs[su] * probs[sv])})
 		}
 		return true
 	})
-	if len(candidates) < 2 {
+	if len(cands) < 2 {
 		return 0
 	}
 	total := 0.0
-	for i := 0; i < len(candidates); i++ {
-		w := candidates[i]
-		invW := 1 / (s.mustProb(u, w) * s.mustProb(v, w))
-		for j := i + 1; j < len(candidates); j++ {
-			x := candidates[j]
-			ent := s.res.entry(graph.NewEdge(w, x))
-			if ent == nil {
+	for i := 0; i < len(cands); i++ {
+		w := cands[i].node
+		invW := cands[i].inv
+		nw, sw := s.res.neighborRun(w)
+		jw := 0
+		for j := i + 1; j < len(cands); j++ {
+			x := cands[j].node
+			for jw < len(nw) && nw[jw] < x {
+				jw++
+			}
+			if jw >= len(nw) || nw[jw] != x {
 				continue
 			}
-			invX := 1 / (s.mustProb(u, x) * s.mustProb(v, x))
-			total += invQ * invW * invX / s.probForWeight(ent.Weight)
+			total += invQ * invW * cands[j].inv / probs[sw[jw]]
 		}
 	}
 	return total
@@ -104,26 +93,41 @@ func (s *Sampler) cliques4At(k graph.Edge) float64 {
 //	e3 = (p1³ − 3·p1·p2 + 2·p3) / 6,  p_r = Σ_j (1/q_j)^r
 //
 // Wedges are the k=2 case of the same family (e2 = (p1²−p2)/2); this
-// estimator extends the paper's framework one motif further.
+// estimator extends the paper's framework one motif further. The scan runs
+// over the adjacency's dense-id space in parallel chunks; each node's
+// incident probabilities are slot-run array reads.
 func EstimateStars3Post(s *Sampler) float64 {
-	total := 0.0
-	s.res.adjNodes(func(v graph.NodeID) bool {
-		var p1, p2, p3 float64
-		s.res.Neighbors(v, func(u graph.NodeID) bool {
-			inv := 1 / s.mustProb(v, u)
-			p1 += inv
-			inv2 := inv * inv
-			p2 += inv2
-			p3 += inv2 * inv
-			return true
-		})
-		total += (p1*p1*p1 - 3*p1*p2 + 2*p3) / 6
-		return true
+	n := s.res.adj.DenseLen()
+	probs := s.slotProbs()
+	workers := estimateWorkers(n)
+	totals := make([]float64, workers)
+	parallelFor(n, workers, func(w, lo, hi int) {
+		total := 0.0
+		for id := lo; id < hi; id++ {
+			_, _, slots := s.res.adj.RunAt(id)
+			if len(slots) == 0 {
+				continue // freed dense id
+			}
+			var p1, p2, p3 float64
+			for _, sl := range slots {
+				inv := 1 / probs[sl]
+				p1 += inv
+				inv2 := inv * inv
+				p2 += inv2
+				p3 += inv2 * inv
+			}
+			total += (p1*p1*p1 - 3*p1*p2 + 2*p3) / 6
+		}
+		totals[w] = total
 	})
+	total := 0.0
+	for _, t := range totals {
+		total += t
+	}
 	return total
 }
 
-// adjNodes iterates the sampled nodes (helper for motif estimators).
+// adjNodes iterates the sampled nodes (helper for motif estimator tests).
 func (r *Reservoir) adjNodes(fn func(graph.NodeID) bool) {
 	r.adj.ForEachNode(fn)
 }

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// estimateWorkers returns the worker count for a parallel estimator scan
+// over n items: GOMAXPROCS capped at n, and at least 1 so empty reservoirs
+// still produce a (zero) partial.
+func estimateWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelFor splits [0, n) into one contiguous chunk per worker and runs
+// fn(w, lo, hi) for each non-empty chunk, returning when all complete — the
+// paper's "parallel for" loop over reservoir slots, shared by every
+// post-stream estimator. Chunk boundaries depend only on (n, workers), so a
+// reduction that combines per-worker partials in worker order is a
+// deterministic function of the reservoir for a fixed GOMAXPROCS. With one
+// worker the chunk runs on the calling goroutine.
+func parallelFor(n, workers int, fn func(w, lo, hi int)) {
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// slotProbs builds the slot-indexed inclusion-probability table of the
+// estimation fast path: probs[slot] = q = min{1, w/z*} for every sampled
+// edge, indexed by the edge's heap arena slot. q depends only on the stored
+// weight and the current threshold, so one O(m) pass replaces every
+// per-enumeration hash probe of Algorithm 2's inner loops with a contiguous
+// array read. Entries at freed arena slots are left 0 and are never read:
+// adjacency slot runs list live slots only. The table is immutable and may
+// be shared by any number of estimator workers; it is invalidated by the
+// next Process.
+func (s *Sampler) slotProbs() []float64 {
+	probs := make([]float64, s.res.heap.ArenaLen())
+	for i, n := 0, s.res.Len(); i < n; i++ {
+		slot := s.res.heap.SlotAt(i)
+		probs[slot] = s.probForWeight(s.res.heap.BySlot(slot).Weight)
+	}
+	return probs
+}

@@ -1,12 +1,5 @@
 package core
 
-import (
-	"runtime"
-	"sync"
-
-	"gps/internal/graph"
-)
-
 // EstimatePost implements Algorithm 2 (GPSEstimate): unbiased post-stream
 // estimation of triangle and wedge counts, their variances and their
 // covariance, from the current reservoir. It may be called at any point in
@@ -19,37 +12,38 @@ import (
 // loop. Beyond Algorithm 2, the same pass evaluates the triangle–wedge
 // covariance of Eq. 12 via a per-edge factorization (see covTW below), which
 // Table 1 needs for the post-stream clustering-coefficient intervals.
+//
+// The scan runs on the slot-indexed fast path: one O(m) pass precomputes
+// q(slot) = min{1, w/z*} per heap arena slot (slotProbs), and the inner
+// loops then resolve every enumerated neighbor and triangle edge through
+// the adjacency slot runs — contiguous array reads, zero hash probes.
+// Enumeration and summation order match the lookup-based reference
+// (EstimatePostLookup) exactly, so the results are bit-identical, which the
+// equality tests assert.
 func EstimatePost(s *Sampler) Estimates {
 	n := s.res.Len()
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
+	probs := s.slotProbs()
+	workers := estimateWorkers(n)
 	parts := make([]partial, workers)
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
+	parallelFor(n, workers, func(w, lo, hi int) {
+		// Accumulate on the worker's own stack and publish once: adjacent
+		// parts entries never see concurrent writes, so no padding games
+		// are needed to avoid false sharing.
+		var local partial
+		for i := lo; i < hi; i++ {
+			local.add(s.estimateEdge(s.res.heap.SlotAt(i), probs))
 		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(p *partial, lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				s.estimateEdge(s.res.heap.At(i).Edge, p.add)
-			}
-		}(&parts[w], lo, hi)
-	}
-	wg.Wait()
+		parts[w] = local
+	})
+	return reduceEstimates(parts, n, s.arrivals)
+}
 
+// reduceEstimates folds per-worker partials (in worker order, so the
+// summation is deterministic for a fixed GOMAXPROCS) into the final
+// Estimates, applying Algorithm 2's 1/3 and 1/2 multiplicity corrections.
+// Both the slot-indexed and the lookup-based scans share it, keeping their
+// final reductions bit-identical by construction.
+func reduceEstimates(parts []partial, n int, arrivals uint64) Estimates {
 	var total partial
 	for i := range parts {
 		total.nTri += parts[i].nTri
@@ -67,7 +61,7 @@ func EstimatePost(s *Sampler) Estimates {
 		VarWedges:        total.vW/2 + total.cW,
 		CovTriangleWedge: total.covTW,
 		SampledEdges:     n,
-		Arrivals:         s.arrivals,
+		Arrivals:         arrivals,
 	}
 }
 
@@ -83,13 +77,13 @@ type edgeTotals struct {
 	covTW            float64 // edge k's share of V̂(△,Λ), Eq. 12
 }
 
-// partial is one worker's accumulator; padded so adjacent workers' partials
-// do not share a cache line.
+// partial is one worker's accumulator. Workers accumulate locally and
+// write their element of the shared parts slice exactly once, so the
+// struct needs no cache-line padding.
 type partial struct {
 	nTri, vTri, cTri float64
 	nW, vW, cW       float64
 	covTW            float64
-	_                [1]float64
 }
 
 func (p *partial) add(t edgeTotals) {
@@ -102,8 +96,8 @@ func (p *partial) add(t edgeTotals) {
 	p.covTW += t.covTW
 }
 
-// estimateEdge runs Algorithm 2 lines 3-30 for a single sampled edge k and
-// hands the per-edge totals to sink.
+// estimateEdge runs Algorithm 2 lines 3-30 for the sampled edge stored at
+// the given heap slot and returns the per-edge totals.
 //
 // Per-edge quantities, with q = q(k) and q1/q2 the probabilities of the
 // other edges of each enumerated triangle (k1,k2,k) or wedge (k1,k):
@@ -120,20 +114,27 @@ func (p *partial) add(t edgeTotals) {
 //	D_k = Σ_{τ∋k} Ŝ_{τ∖k}(1/q1 + 1/q2) removes the wedge⊂triangle pairs,
 //	which instead contribute Ŝ_τ(Ŝ_λ−1); each such pair is added once, at
 //	the triangle edge opposite the wedge.
-func (s *Sampler) estimateEdge(k graph.Edge, sink func(edgeTotals)) {
+//
+// Every probability is read from the slot table: the wedge partner's slot
+// rides alongside the neighbor id in v1's (and v2's) slot run, and triangle
+// detection is a two-pointer merge against v2's run — v1's neighbors arrive
+// in ascending order, so a single monotone cursor into v2's sorted run
+// replaces the per-neighbor hash probe of the membership test and yields
+// the third edge's slot at the match position.
+func (s *Sampler) estimateEdge(slot int32, probs []float64) edgeTotals {
 	var t edgeTotals
-	q := 1.0
-	if ent := s.res.entry(k); ent != nil {
-		q = s.probForWeight(ent.Weight)
-	}
-	invQ := 1 / q
+	k := s.res.entryAt(slot).Edge
+	invQ := 1 / probs[slot]
 
 	// Iterate the smaller endpoint's sampled neighborhood for triangle
 	// detection (§3.2 S4); wedges centered at both endpoints are
 	// enumerated in their respective loops.
 	v1, v2 := k.U, k.V
-	if s.res.Degree(v1) > s.res.Degree(v2) {
+	n1, s1 := s.res.neighborRun(v1)
+	n2, s2 := s.res.neighborRun(v2)
+	if len(n1) > len(n2) {
 		v1, v2 = v2, v1
+		n1, s1, n2, s2 = n2, s2, n1, s1
 	}
 
 	var cTriPairs float64 // Σ_{i<j} over triangles at k (running, Algorithm 2 line 15)
@@ -141,14 +142,18 @@ func (s *Sampler) estimateEdge(k graph.Edge, sink func(edgeTotals)) {
 	var aK, bK, dK float64
 	var subWedge float64
 
-	s.res.Neighbors(v1, func(v3 graph.NodeID) bool {
+	j := 0 // monotone cursor into v2's run (triangle membership merge)
+	for i, v3 := range n1 {
 		if v3 == v2 {
-			return true // k itself is not a wedge partner
+			continue // k itself is not a wedge partner
 		}
-		q1 := s.mustProb(v1, v3)
+		q1 := probs[s1[i]]
 		// Triangle (k1,k2,k) when v3 also neighbors v2.
-		if e2 := s.res.entry(graph.NewEdge(v2, v3)); e2 != nil {
-			q2 := s.probForWeight(e2.Weight)
+		for j < len(n2) && n2[j] < v3 {
+			j++
+		}
+		if j < len(n2) && n2[j] == v3 {
+			q2 := probs[s2[j]]
 			inv12 := 1 / (q1 * q2)
 			invAll := invQ * inv12
 			t.nTri += invAll
@@ -166,21 +171,19 @@ func (s *Sampler) estimateEdge(k graph.Edge, sink func(edgeTotals)) {
 		t.cW += cWPairs / q1
 		cWPairs += 1 / q1
 		bK += 1 / q1
-		return true
-	})
-	s.res.Neighbors(v2, func(v3 graph.NodeID) bool {
+	}
+	for i, v3 := range n2 {
 		if v3 == v1 {
-			return true
+			continue
 		}
-		q2 := s.mustProb(v2, v3)
+		q2 := probs[s2[i]]
 		invW := invQ / q2
 		t.nW += invW
 		t.vW += invW * (invW - 1)
 		t.cW += cWPairs / q2
 		cWPairs += 1 / q2
 		bK += 1 / q2
-		return true
-	})
+	}
 
 	// Scale the pair sums into Ĉ_k (Algorithm 2 lines 29-30).
 	scale := 2 * invQ * (invQ - 1)
@@ -188,17 +191,5 @@ func (s *Sampler) estimateEdge(k graph.Edge, sink func(edgeTotals)) {
 	t.cW *= scale
 	// Triangle–wedge covariance share of edge k (Eq. 12; see doc comment).
 	t.covTW = invQ*(invQ-1)*(aK*bK-dK) + subWedge
-	sink(t)
-}
-
-// mustProb returns the inclusion probability of the sampled edge {a,b}.
-// Both loops above only present pairs that are edges of the reservoir
-// adjacency, so a missing heap entry means the reservoir invariants are
-// broken and panicking early is the right failure mode.
-func (s *Sampler) mustProb(a, b graph.NodeID) float64 {
-	ent := s.res.entry(graph.NewEdge(a, b))
-	if ent == nil {
-		panic("core: adjacency lists edge " + graph.NewEdge(a, b).String() + " missing from heap")
-	}
-	return s.probForWeight(ent.Weight)
+	return t
 }

@@ -82,17 +82,50 @@ func (r *Reservoir) Edges() []graph.Edge {
 
 // clone returns a deep copy of the reservoir: heap and adjacency index are
 // duplicated so the copy and the original evolve independently.
-func (r *Reservoir) clone() *Reservoir {
-	return &Reservoir{heap: r.heap.Clone(), adj: r.adj.Clone()}
+func (r *Reservoir) clone() *Reservoir { return r.cloneInto(nil) }
+
+// cloneInto is clone writing over dst, reusing dst's backing arrays; dst
+// must be a retired reservoir no longer referenced anywhere (nil allocates).
+func (r *Reservoir) cloneInto(dst *Reservoir) *Reservoir {
+	if dst == nil {
+		dst = &Reservoir{}
+	}
+	dst.heap = r.heap.CloneInto(dst.heap)
+	dst.adj = r.adj.CloneInto(dst.adj)
+	return dst
 }
 
 // entry returns the heap record of edge e, or nil when not sampled. The
-// pointer is invalidated by the next insert/evict.
+// pointer is invalidated by the next insert/evict. It is the hash-probing
+// lookup the slot-indexed estimation path exists to avoid; live uses are
+// the public Weight/Contains queries and the lookup-based reference
+// estimators the equality tests pin the fast path against.
 func (r *Reservoir) entry(e graph.Edge) *order.Entry { return r.heap.Get(e.Key()) }
 
+// entryAt returns the heap record stored at an arena slot obtained from a
+// neighbor run; same invalidation rule as entry.
+func (r *Reservoir) entryAt(slot int32) *order.Entry { return r.heap.BySlot(slot) }
+
+// slotOf resolves edge e to its heap arena slot via the adjacency slot
+// runs (-1 when e is not sampled) — an intern lookup plus a binary search,
+// no probe of the per-edge hash table.
+func (r *Reservoir) slotOf(e graph.Edge) int32 { return r.adj.SlotOf(e) }
+
+// neighborRun exposes v's sorted sampled neighbors and the heap slots of
+// the corresponding edges. Read-only; invalidated by the next insert/evict.
+func (r *Reservoir) neighborRun(v graph.NodeID) ([]graph.NodeID, []int32) {
+	return r.adj.NeighborRun(v)
+}
+
+// commonNeighborsWithSlots enumerates Γ̂(u)∩Γ̂(v) in ascending order,
+// yielding each common neighbor with the heap slots of {u,w} and {v,w}.
+func (r *Reservoir) commonNeighborsWithSlots(u, v graph.NodeID, fn func(w graph.NodeID, su, sv int32) bool) {
+	r.adj.CommonNeighborsWithSlots(u, v, fn)
+}
+
 func (r *Reservoir) insert(ent order.Entry) {
-	r.heap.Push(ent)
-	r.adj.Add(ent.Edge)
+	slot := r.heap.Push(ent)
+	r.adj.AddWithSlot(ent.Edge, slot)
 }
 
 func (r *Reservoir) evictMin() order.Entry {

@@ -164,6 +164,27 @@ func (s *Sampler) Clone() *Sampler {
 	return &c
 }
 
+// CloneReusing is Clone drawing its backing arrays (heap arena, edge-key
+// table, adjacency runs, RNG state) from recycle: a sampler previously
+// returned by Clone or CloneReusing that the caller guarantees is retired —
+// referenced nowhere else and never used again. Reusing a retired clone's
+// memory makes repeated snapshotting of a steady-state reservoir
+// allocation-free; the engine's dirty-shard snapshots feed it from a
+// sync.Pool. A nil recycle is identical to Clone. The returned sampler is
+// bit-identical to what Clone would have returned.
+func (s *Sampler) CloneReusing(recycle *Sampler) *Sampler {
+	if recycle == nil {
+		return s.Clone()
+	}
+	c := recycle
+	rng, res := c.rng, c.res
+	*c = *s
+	*rng = *s.rng
+	c.rng = rng
+	c.res = s.res.cloneInto(res)
+	return c
+}
+
 // Threshold returns z*, the largest priority ever evicted (the (m+1)-st
 // highest priority seen). It is 0 until the reservoir first overflows, in
 // which case every sampled edge has inclusion probability 1.

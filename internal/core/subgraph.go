@@ -12,17 +12,21 @@ import "gps/internal/graph"
 // estimate of how many members of the family have fully arrived; this is the
 // general-purpose "retrospective query" interface of the paper, of which
 // triangle and wedge counting are special cases.
+//
+// Each edge resolves through the adjacency slot runs (intern lookup plus
+// binary search) rather than the reservoir's hash index; query sets are
+// small, so no slot-indexed table is built.
 func (s *Sampler) SubgraphEstimate(edges ...graph.Edge) float64 {
 	prod := 1.0
 	for i, e := range edges {
 		if containsBefore(edges, i, e) {
 			continue
 		}
-		q, ok := s.InclusionProb(e)
-		if !ok {
+		slot := s.res.slotOf(e)
+		if slot < 0 {
 			return 0
 		}
-		prod /= q
+		prod /= s.probForWeight(s.res.entryAt(slot).Weight)
 	}
 	return prod
 }

@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"testing"
+
+	"gps/internal/core"
+	"gps/internal/graph"
+)
+
+// shardTargeted filters a stream down to edges routing to the given shard.
+func shardTargeted(p *Parallel, edges []graph.Edge, shard int) []graph.Edge {
+	var out []graph.Edge
+	for _, e := range edges {
+		if p.ShardOf(e) == shard {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func requireSameSignature(t *testing.T, label string, a, b *core.Sampler) {
+	t.Helper()
+	ka, za, aa := signature(t, a)
+	kb, zb, ab := signature(t, b)
+	if za != zb || aa != ab || len(ka) != len(kb) {
+		t.Fatalf("%s: samplers diverge (z %v vs %v, arrivals %d vs %d, len %d vs %d)",
+			label, za, zb, aa, ab, len(ka), len(kb))
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatalf("%s: samplers diverge at sampled edge %d", label, i)
+		}
+	}
+	if core.EstimatePost(a) != core.EstimatePost(b) {
+		t.Fatalf("%s: estimates diverge", label)
+	}
+}
+
+// TestDirtyShardSnapshotMatchesMerge drives the incremental snapshot
+// machinery through every dirtiness pattern — all dirty, none dirty, one
+// dirty, mixed — asserting each snapshot stays bit-identical to Merge at
+// the same position and that the clone/reuse counters reflect exactly the
+// shards that changed.
+func TestDirtyShardSnapshotMatchesMerge(t *testing.T) {
+	const shards = 4
+	stream := testStream(500, 8000, 0xD1217)
+	p, err := NewParallel(core.Config{Capacity: 400, Weight: core.TriangleWeight, Seed: 17}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	check := func(label string, wantCloned uint64) {
+		t.Helper()
+		_, clonedBefore, _ := p.SnapshotStats()
+		snap, err := p.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged, err := p.Merge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameSignature(t, label, snap, merged)
+		_, clonedAfter, _ := p.SnapshotStats()
+		if got := clonedAfter - clonedBefore; got != wantCloned {
+			t.Fatalf("%s: cloned %d shards, want %d", label, got, wantCloned)
+		}
+	}
+
+	p.ProcessBatch(stream[:4000])
+	check("initial snapshot", shards) // first snapshot: everything dirty
+
+	check("idle snapshot", 0) // nothing ingested: all clones reused
+
+	// Traffic confined to shard 2 dirties exactly that shard.
+	targeted := shardTargeted(p, stream[4000:6000], 2)
+	if len(targeted) == 0 {
+		t.Fatal("no edges routed to shard 2; adjust the test stream")
+	}
+	p.ProcessBatch(targeted)
+	check("one dirty shard", 1)
+
+	// Broad traffic dirties everything again.
+	p.ProcessBatch(stream[6000:])
+	check("all dirty again", shards)
+
+	snapshots, cloned, reused := p.SnapshotStats()
+	if cloned+reused != snapshots*shards {
+		t.Fatalf("stats inconsistent: %d snapshots, %d cloned + %d reused", snapshots, cloned, reused)
+	}
+}
+
+// TestSnapshotImmutableAcrossRecycling holds on to early snapshots while
+// later snapshots churn the per-shard clone pools, verifying that recycled
+// backing arrays never reach a sampler that is still referenced — the
+// refcounting contract behind CloneReusing.
+func TestSnapshotImmutableAcrossRecycling(t *testing.T) {
+	const shards = 4
+	stream := testStream(400, 6000, 0xFEE1)
+	p, err := NewParallel(core.Config{Capacity: 300, Seed: 23}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	type frozen struct {
+		snap *core.Sampler
+		est  core.Estimates
+		z    float64
+		keys []uint64
+	}
+	var held []frozen
+	for lo := 0; lo < len(stream); lo += 600 {
+		hi := lo + 600
+		if hi > len(stream) {
+			hi = len(stream)
+		}
+		p.ProcessBatch(stream[lo:hi])
+		snap, err := p.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys, z, _ := signature(t, snap)
+		held = append(held, frozen{snap: snap, est: core.EstimatePost(snap), z: z, keys: keys})
+	}
+	// Extra churn: repeated dirty snapshots cycling the clone pools.
+	for i := 0; i < 8; i++ {
+		p.ProcessBatch(stream[i*100 : i*100+100]) // duplicates still dirty shards
+		if _, err := p.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, f := range held {
+		keys, z, _ := signature(t, f.snap)
+		if z != f.z || len(keys) != len(f.keys) {
+			t.Fatalf("held snapshot %d mutated: z %v vs %v, len %d vs %d", i, z, f.z, len(keys), len(f.keys))
+		}
+		for j := range keys {
+			if keys[j] != f.keys[j] {
+				t.Fatalf("held snapshot %d mutated at edge %d", i, j)
+			}
+		}
+		if got := core.EstimatePost(f.snap); got != f.est {
+			t.Fatalf("held snapshot %d estimates drifted: %+v vs %+v", i, got, f.est)
+		}
+	}
+}

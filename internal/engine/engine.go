@@ -58,6 +58,21 @@
 // path of a live service: at any batch boundary it yields a sampler
 // bit-identical to what Merge would have produced at the same point, and
 // the result is immutable with respect to further ingestion.
+//
+// # Incremental (dirty-shard) snapshots
+//
+// Snapshots are incremental: each shard carries an epoch counter bumped on
+// every edge routed to it, and Snapshot clones only shards whose epoch
+// moved since their previous clone — the rest reuse the prior immutable
+// clone, which nothing ever mutates (merging only reads them). Under
+// skewed or bursty traffic most shards are clean at any given refresh, so
+// the ingestion stall shrinks from "clone everything" to "clone what
+// changed". Retired clones are recycled through a per-shard sync.Pool via
+// core.Sampler.CloneReusing, with reference counts making sure a clone
+// still feeding a concurrent merge is never handed out for reuse; in steady
+// state a refresh allocates nothing. SnapshotStats exposes the
+// cloned/reused counters and LastSnapshotStall the most recent
+// ingestion-blocked duration.
 package engine
 
 import (
@@ -66,6 +81,8 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"gps/internal/core"
 	"gps/internal/graph"
@@ -83,7 +100,7 @@ const DefaultBatch = 4096
 // done. All methods are safe for concurrent use; per-edge Process pays one
 // uncontended lock per call, so high-rate producers should feed batches.
 type Parallel struct {
-	mu        sync.Mutex // guards shard buffers, flush/barrier, closed
+	mu        sync.Mutex // guards shard buffers, flush/barrier, snapshot bookkeeping, closed
 	cfg       core.Config
 	mergeSeed uint64
 	batch     int
@@ -91,6 +108,19 @@ type Parallel struct {
 	pool      sync.Pool // batch buffers: *[]graph.Edge
 	wg        sync.WaitGroup
 	closed    bool
+
+	// Snapshot telemetry; counters guarded by mu, stall read lock-free.
+	snapshots    uint64
+	shardsCloned uint64
+	shardsReused uint64
+	lastStall    atomic.Int64 // ns ingestion was blocked by the last Snapshot
+
+	// Merged-result cache: the most recent Snapshot merge and the shard
+	// epoch vector it reflects. A snapshot finding every epoch unchanged
+	// returns it directly — the merge is deterministic in the clones, so
+	// re-running it would rebuild a bit-identical sampler. Guarded by mu.
+	lastMerged       *core.Sampler
+	lastMergedEpochs []uint64
 }
 
 type shard struct {
@@ -98,6 +128,22 @@ type shard struct {
 	s  *core.Sampler
 	// buf accumulates routed edges between flushes; owned by the producer.
 	buf []graph.Edge
+
+	// Dirty tracking for incremental snapshots; all guarded by p.mu.
+	epoch     uint64    // bumped once per edge routed to this shard
+	snapEpoch uint64    // epoch the last clone was taken at
+	lastClone *shardRef // immutable clone of s at snapEpoch, nil before first snapshot
+	clonePool sync.Pool // retired *core.Sampler clones for CloneReusing
+}
+
+// shardRef is a reference-counted immutable shard clone. refs counts the
+// snapshot-cache reference (while the clone is its shard's lastClone) plus
+// one per in-flight merge reading it; it is guarded by p.mu. When refs
+// drops to zero the clone is retired into the shard's pool and its backing
+// arrays feed the next CloneReusing.
+type shardRef struct {
+	s    *core.Sampler
+	refs int
 }
 
 type message struct {
@@ -182,7 +228,7 @@ func shardCapacity(m, shards int) int {
 // shardFor routes an edge to its shard: a splitmix-mixed hash of the
 // canonical edge key, independent of arrival order.
 func (p *Parallel) shardFor(e graph.Edge) *shard {
-	return p.shards[randx.Mix64(e.Key())%uint64(len(p.shards))]
+	return p.shards[p.ShardOf(e)]
 }
 
 // Process routes one edge to its shard, flushing the shard's batch buffer
@@ -212,9 +258,13 @@ func (p *Parallel) ProcessBatch(edges []graph.Edge) {
 	p.mu.Unlock()
 }
 
-// process routes one edge; callers hold p.mu.
+// process routes one edge; callers hold p.mu. The shard's epoch moves with
+// every routed edge — even a rejected or duplicate arrival advances the
+// shard sampler's RNG or counters, so any delivery dirties the shard for
+// snapshot purposes.
 func (p *Parallel) process(e graph.Edge) {
 	sh := p.shardFor(e)
+	sh.epoch++
 	sh.buf = append(sh.buf, e)
 	if len(sh.buf) >= p.batch {
 		p.flush(sh)
@@ -286,34 +336,126 @@ func (p *Parallel) Merge() (*core.Sampler, error) {
 	return p.merge(samplers)
 }
 
-// Snapshot drains all pending work, clones the shard reservoirs (in
-// parallel, one goroutine per shard) and releases ingestion before merging
-// the clones into the returned sequential Sampler. The result is
-// bit-identical to what Merge would have returned at the same stream
-// position — a deterministic function of (seed, edges fed so far, shard
-// count) — but ingestion stalls only for the O(m) clone instead of the
-// merge's sort and reservoir rebuild. The returned sampler is never
-// mutated afterwards, so any number of estimator goroutines may read it
-// concurrently.
+// Snapshot drains all pending work, clones the shard reservoirs that
+// changed since their previous clone (in parallel, one goroutine per dirty
+// shard) and releases ingestion before merging the clones into the
+// returned sequential Sampler. The result is bit-identical to what Merge
+// would have returned at the same stream position — a deterministic
+// function of (seed, edges fed so far, shard count) — but ingestion stalls
+// only for the dirty-shard clone instead of the merge's sort and reservoir
+// rebuild; shards untouched since the last snapshot reuse their prior
+// immutable clone at zero cost, and a snapshot with no shard dirty at all
+// skips the merge too, returning the previous merged sampler. Snapshots
+// are immutable by contract: the engine never mutates a returned sampler
+// (so any number of estimator goroutines may read it concurrently), and
+// callers must not either — back-to-back snapshots of an idle engine share
+// one sampler.
 func (p *Parallel) Snapshot() (*core.Sampler, error) {
 	p.mu.Lock()
+	start := time.Now() // ingestion is blocked from here to Unlock
 	if p.closed {
 		p.mu.Unlock()
 		return nil, errors.New("engine: Snapshot on closed Parallel")
 	}
 	p.barrier()
-	clones := make([]*core.Sampler, len(p.shards))
+	epochs := make([]uint64, len(p.shards))
+	clean := p.lastMerged != nil
+	for i, sh := range p.shards {
+		epochs[i] = sh.epoch
+		clean = clean && p.lastMergedEpochs[i] == sh.epoch
+	}
+	if clean {
+		m := p.lastMerged
+		p.snapshots++
+		p.shardsReused += uint64(len(p.shards))
+		p.lastStall.Store(int64(time.Since(start)))
+		p.mu.Unlock()
+		return m, nil
+	}
+	refs := make([]*shardRef, len(p.shards))
 	var wg sync.WaitGroup
 	for i, sh := range p.shards {
+		if sh.lastClone != nil && sh.snapEpoch == sh.epoch {
+			// Clean since the previous clone: the clone is immutable, so
+			// this snapshot's merge can read it alongside any others.
+			sh.lastClone.refs++
+			refs[i] = sh.lastClone
+			p.shardsReused++
+			continue
+		}
+		ref := &shardRef{refs: 2} // the shard cache + this snapshot's merge
+		if old := sh.lastClone; old != nil {
+			old.refs-- // drop the cache reference
+			if old.refs == 0 {
+				sh.clonePool.Put(old.s)
+			}
+		}
+		sh.lastClone = ref
+		sh.snapEpoch = sh.epoch
+		refs[i] = ref
+		p.shardsCloned++
 		wg.Add(1)
-		go func(i int, s *core.Sampler) {
+		go func(sh *shard, ref *shardRef) {
 			defer wg.Done()
-			clones[i] = s.Clone()
-		}(i, sh.s)
+			var recycle *core.Sampler
+			if v := sh.clonePool.Get(); v != nil {
+				recycle = v.(*core.Sampler)
+			}
+			ref.s = sh.s.CloneReusing(recycle)
+		}(sh, ref)
 	}
+	p.snapshots++
 	wg.Wait()
+	p.lastStall.Store(int64(time.Since(start)))
 	p.mu.Unlock()
-	return p.merge(clones)
+
+	clones := make([]*core.Sampler, len(refs))
+	for i, r := range refs {
+		clones[i] = r.s
+	}
+	m, err := p.merge(clones)
+
+	p.mu.Lock()
+	for i, r := range refs {
+		r.refs--
+		if r.refs == 0 && p.shards[i].lastClone != r {
+			// Superseded while this merge was reading it; retire its
+			// backing arrays for the next dirty clone.
+			p.shards[i].clonePool.Put(r.s)
+		}
+	}
+	if err == nil {
+		// Publish for the clean fast path. Concurrent snapshots may store
+		// out of order; any stored (sampler, epochs) pair is internally
+		// consistent, and the clean check compares against live epochs.
+		p.lastMerged = m
+		p.lastMergedEpochs = epochs
+	}
+	p.mu.Unlock()
+	return m, err
+}
+
+// SnapshotStats reports cumulative snapshot counters: snapshots taken,
+// shard clones performed, and clean shards that reused the previous clone.
+// cloned+reused equals snapshots×Shards().
+func (p *Parallel) SnapshotStats() (snapshots, cloned, reused uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.snapshots, p.shardsCloned, p.shardsReused
+}
+
+// LastSnapshotStall returns how long the most recent Snapshot blocked
+// ingestion: the barrier plus the dirty-shard clone, excluding the merge
+// (which runs after ingestion resumes).
+func (p *Parallel) LastSnapshotStall() time.Duration {
+	return time.Duration(p.lastStall.Load())
+}
+
+// ShardOf returns the shard index the given edge routes to. It is exposed
+// for tests and benchmarks that need to construct shard-targeted traffic
+// (e.g. to exercise dirty-shard snapshots).
+func (p *Parallel) ShardOf(e graph.Edge) int {
+	return int(randx.Mix64(e.Key()) % uint64(len(p.shards)))
 }
 
 // merge runs the priority-sampling merge over the given shard samplers with

@@ -24,13 +24,27 @@ package graph
 // O(min(deg(u)+deg(v), min·log max)) — a linear merge of the two sorted
 // runs, switching to binary probes when the degrees are badly skewed.
 //
+// Each neighbor run has a parallel slot run: slots[id][i] is an opaque
+// int32 annotation for the edge {nodes[id], nbrs[id][i]}, which the GPS
+// reservoir uses to record the heap arena slot of every sampled edge. That
+// turns "look up the stored weight of an enumerated neighbor edge" — the
+// inner operation of every estimator — from a hash probe into a contiguous
+// array read alongside the neighbor id. Edges added through plain Add carry
+// the slot -1.
+//
 // The zero value is not usable; construct with NewAdjacency.
 type Adjacency struct {
 	idx   map[NodeID]int32 // intern table: node → dense id
 	nodes []NodeID         // dense id → node
 	nbrs  [][]NodeID       // dense id → sorted neighbors
+	slots [][]int32        // dense id → per-neighbor edge slots, parallel to nbrs
 	freed []int32          // recycled dense ids
 	edges int
+
+	// Backing arrays of the most recent CloneInto into this value, retained
+	// so a recycled clone can be refreshed without reallocating them.
+	nbrBack  []NodeID
+	slotBack []int32
 }
 
 // NewAdjacency returns an empty adjacency structure.
@@ -39,37 +53,66 @@ func NewAdjacency() *Adjacency {
 }
 
 // Clone returns a deep copy of the adjacency structure; the clone and the
-// original evolve independently. Neighbor slices are copied into one shared
-// backing array sized to the live edge count, so the clone costs two large
-// allocations plus the intern-table copy rather than one allocation per
-// node.
-func (a *Adjacency) Clone() *Adjacency {
-	c := &Adjacency{
-		idx:   make(map[NodeID]int32, len(a.idx)),
-		nodes: append([]NodeID(nil), a.nodes...),
-		nbrs:  make([][]NodeID, len(a.nbrs)),
-		freed: append([]int32(nil), a.freed...),
-		edges: a.edges,
+// original evolve independently. Neighbor and slot slices are copied into
+// shared backing arrays sized to the live edge count, so the clone costs a
+// few large allocations plus the intern-table copy rather than one
+// allocation per node.
+func (a *Adjacency) Clone() *Adjacency { return a.CloneInto(nil) }
+
+// CloneInto is Clone writing over dst, reusing dst's backing arrays (intern
+// map, dense tables, and the shared neighbor/slot backing of a previous
+// CloneInto) when their capacity suffices. dst must not be a itself and
+// must not be referenced anywhere else; nil allocates a fresh structure.
+func (a *Adjacency) CloneInto(dst *Adjacency) *Adjacency {
+	if dst == nil {
+		dst = &Adjacency{}
+	}
+	if dst.idx == nil {
+		dst.idx = make(map[NodeID]int32, len(a.idx))
+	} else {
+		clear(dst.idx)
 	}
 	for v, id := range a.idx {
-		c.idx[v] = id
+		dst.idx[v] = id
 	}
-	total := 0
-	for _, s := range a.nbrs {
-		total += len(s)
+	dst.nodes = append(dst.nodes[:0], a.nodes...)
+	dst.freed = append(dst.freed[:0], a.freed...)
+	dst.edges = a.edges
+	if cap(dst.nbrs) >= len(a.nbrs) {
+		dst.nbrs = dst.nbrs[:len(a.nbrs)]
+	} else {
+		dst.nbrs = make([][]NodeID, len(a.nbrs))
 	}
-	backing := make([]NodeID, 0, total)
+	if cap(dst.slots) >= len(a.slots) {
+		dst.slots = dst.slots[:len(a.slots)]
+	} else {
+		dst.slots = make([][]int32, len(a.slots))
+	}
+	// Every undirected edge appears in exactly two runs.
+	total := 2 * a.edges
+	nb, sb := dst.nbrBack, dst.slotBack
+	if cap(nb) < total {
+		nb = make([]NodeID, 0, total)
+	}
+	if cap(sb) < total {
+		sb = make([]int32, 0, total)
+	}
+	nb, sb = nb[:0], sb[:0]
 	for id, s := range a.nbrs {
 		if len(s) == 0 {
+			dst.nbrs[id], dst.slots[id] = nil, nil
 			continue
 		}
-		lo := len(backing)
-		backing = append(backing, s...)
+		lo := len(nb)
+		nb = append(nb, s...)
+		sb = append(sb, a.slots[id]...)
 		// Full-length cap so a later in-place append in the clone cannot
 		// clobber the next node's run: force reallocation on growth.
-		c.nbrs[id] = backing[lo:len(backing):len(backing)]
+		dst.nbrs[id] = nb[lo:len(nb):len(nb)]
+		dst.slots[id] = sb[lo:len(sb):len(sb)]
 	}
-	return c
+	dst.nbrBack, dst.slotBack = nb, sb
+	return dst
 }
 
 // intern returns the dense id of v, allocating one if v is new.
@@ -86,16 +129,18 @@ func (a *Adjacency) intern(v NodeID) int32 {
 		id = int32(len(a.nodes))
 		a.nodes = append(a.nodes, v)
 		a.nbrs = append(a.nbrs, nil)
+		a.slots = append(a.slots, nil)
 	}
 	a.idx[v] = id
 	return id
 }
 
 // release drops v from the intern table, recycling its dense id and keeping
-// the neighbor slice's capacity for the next node interned.
+// the neighbor/slot slices' capacity for the next node interned.
 func (a *Adjacency) release(v NodeID, id int32) {
 	delete(a.idx, v)
 	a.nbrs[id] = a.nbrs[id][:0]
+	a.slots[id] = a.slots[id][:0]
 	a.freed = append(a.freed, id)
 }
 
@@ -113,39 +158,56 @@ func searchNode(s []NodeID, v NodeID) int {
 	return lo
 }
 
-// insertNode adds v to the sorted slice, reporting false if already present.
-func insertNode(s []NodeID, v NodeID) ([]NodeID, bool) {
+// addHalf inserts neighbor v with edge annotation slot into dense id's
+// sorted run, reporting false if v was already present.
+func (a *Adjacency) addHalf(id int32, v NodeID, slot int32) bool {
+	s := a.nbrs[id]
 	i := searchNode(s, v)
 	if i < len(s) && s[i] == v {
-		return s, false
+		return false
 	}
 	s = append(s, 0)
 	copy(s[i+1:], s[i:])
 	s[i] = v
-	return s, true
+	a.nbrs[id] = s
+	sl := append(a.slots[id], 0)
+	copy(sl[i+1:], sl[i:])
+	sl[i] = slot
+	a.slots[id] = sl
+	return true
 }
 
-// removeNode deletes v from the sorted slice, reporting false if absent.
-func removeNode(s []NodeID, v NodeID) ([]NodeID, bool) {
+// removeHalf deletes neighbor v (and its slot) from dense id's run,
+// reporting false if absent.
+func (a *Adjacency) removeHalf(id int32, v NodeID) bool {
+	s := a.nbrs[id]
 	i := searchNode(s, v)
 	if i >= len(s) || s[i] != v {
-		return s, false
-	}
-	copy(s[i:], s[i+1:])
-	return s[:len(s)-1], true
-}
-
-// Add inserts the edge and reports whether it was newly added (false if it
-// was already present).
-func (a *Adjacency) Add(e Edge) bool {
-	iu := a.intern(e.U)
-	su, added := insertNode(a.nbrs[iu], e.V)
-	if !added {
 		return false
 	}
-	a.nbrs[iu] = su
+	copy(s[i:], s[i+1:])
+	a.nbrs[id] = s[:len(s)-1]
+	sl := a.slots[id]
+	copy(sl[i:], sl[i+1:])
+	a.slots[id] = sl[:len(sl)-1]
+	return true
+}
+
+// Add inserts the edge with no slot annotation and reports whether it was
+// newly added (false if it was already present).
+func (a *Adjacency) Add(e Edge) bool { return a.AddWithSlot(e, -1) }
+
+// AddWithSlot inserts the edge annotated with the given slot, recorded in
+// both endpoints' slot runs. The reservoir passes the heap arena slot here
+// so every later neighbor enumeration can resolve the edge's heap entry by
+// array read.
+func (a *Adjacency) AddWithSlot(e Edge, slot int32) bool {
+	iu := a.intern(e.U)
+	if !a.addHalf(iu, e.V, slot) {
+		return false
+	}
 	iv := a.intern(e.V)
-	a.nbrs[iv], _ = insertNode(a.nbrs[iv], e.U)
+	a.addHalf(iv, e.U, slot)
 	a.edges++
 	return true
 }
@@ -158,18 +220,15 @@ func (a *Adjacency) Remove(e Edge) bool {
 	if !ok {
 		return false
 	}
-	su, removed := removeNode(a.nbrs[iu], e.V)
-	if !removed {
+	if !a.removeHalf(iu, e.V) {
 		return false
 	}
-	a.nbrs[iu] = su
-	if len(su) == 0 {
+	if len(a.nbrs[iu]) == 0 {
 		a.release(e.U, iu)
 	}
 	iv := a.idx[e.V]
-	sv, _ := removeNode(a.nbrs[iv], e.U)
-	a.nbrs[iv] = sv
-	if len(sv) == 0 {
+	a.removeHalf(iv, e.U)
+	if len(a.nbrs[iv]) == 0 {
 		a.release(e.V, iv)
 	}
 	a.edges--
@@ -215,6 +274,42 @@ func (a *Adjacency) Neighbors(v NodeID, fn func(NodeID) bool) {
 	}
 }
 
+// NeighborRun returns v's sorted neighbor run and the parallel slot run
+// (slots[i] annotates the edge {v, nbrs[i]}). Both slices are views into
+// internal storage: callers must treat them as read-only, and they are
+// invalidated by the next Add or Remove. Absent nodes return nil runs.
+func (a *Adjacency) NeighborRun(v NodeID) (nbrs []NodeID, slots []int32) {
+	if id, ok := a.idx[v]; ok {
+		return a.nbrs[id], a.slots[id]
+	}
+	return nil, nil
+}
+
+// SlotOf returns the slot annotation recorded for edge e, or -1 when e is
+// absent (note that -1 is also the annotation of edges added through plain
+// Add). Cost is one intern lookup plus a binary search — no hash probe of
+// any per-edge table.
+func (a *Adjacency) SlotOf(e Edge) int32 {
+	s, sl := a.NeighborRun(e.U)
+	i := searchNode(s, e.V)
+	if i < len(s) && s[i] == e.V {
+		return sl[i]
+	}
+	return -1
+}
+
+// DenseLen returns the length of the dense-id space, including freed ids
+// (whose runs are empty). It is the iteration bound for RunAt.
+func (a *Adjacency) DenseLen() int { return len(a.nbrs) }
+
+// RunAt returns the node interned at the given dense id together with its
+// neighbor and slot runs. Freed ids return empty runs and a stale node id;
+// callers must skip runs of length zero. The run slices follow the same
+// read-only/invalidation contract as NeighborRun.
+func (a *Adjacency) RunAt(id int) (NodeID, []NodeID, []int32) {
+	return a.nodes[id], a.nbrs[id], a.slots[id]
+}
+
 // CommonNeighbors calls fn for each node adjacent to both u and v, in
 // ascending order, until fn returns false. This is the query behind
 // W(k,K̂)=|Γ̂(v1)∩Γ̂(v2)| (§3.2, S4): a two-pointer merge over the sorted
@@ -247,6 +342,59 @@ func (a *Adjacency) CommonNeighbors(u, v NodeID, fn func(NodeID) bool) {
 		switch {
 		case x == y:
 			if !fn(x) {
+				return
+			}
+			i++
+			j++
+		case x < y:
+			i++
+		default:
+			j++
+		}
+	}
+}
+
+// CommonNeighborsWithSlots is CommonNeighbors additionally yielding the
+// slot annotations of the two run edges: su for {u,w} and sv for {v,w}.
+// Enumeration order and the merge/probe strategy match CommonNeighbors
+// exactly, so replacing one with the other cannot reorder a summation.
+func (a *Adjacency) CommonNeighborsWithSlots(u, v NodeID, fn func(w NodeID, su, sv int32) bool) {
+	nu, slu := a.NeighborRun(u)
+	nv, slv := a.NeighborRun(v)
+	swapped := false
+	if len(nu) > len(nv) {
+		nu, nv, slu, slv = nv, nu, slv, slu
+		swapped = true
+	}
+	if len(nu) == 0 {
+		return
+	}
+	emit := func(w NodeID, small, big int32) bool {
+		if swapped {
+			return fn(w, big, small)
+		}
+		return fn(w, small, big)
+	}
+	if len(nv) > 16*len(nu) {
+		// Skewed: probe the big run for each element of the small one.
+		off := 0
+		for i, w := range nu {
+			j := off + searchNode(nv[off:], w)
+			if j < len(nv) && nv[j] == w {
+				if !emit(w, slu[i], slv[j]) {
+					return
+				}
+			}
+			off = j
+		}
+		return
+	}
+	i, j := 0, 0
+	for i < len(nu) && j < len(nv) {
+		x, y := nu[i], nv[j]
+		switch {
+		case x == y:
+			if !emit(x, slu[i], slv[j]) {
 				return
 			}
 			i++

@@ -1,0 +1,129 @@
+package graph
+
+import "testing"
+
+func TestAdjacencySlotRuns(t *testing.T) {
+	a := NewAdjacency()
+	a.AddWithSlot(NewEdge(1, 2), 10)
+	a.AddWithSlot(NewEdge(1, 3), 11)
+	a.AddWithSlot(NewEdge(2, 3), 12)
+	a.AddWithSlot(NewEdge(3, 4), 13)
+
+	if got := a.SlotOf(NewEdge(1, 2)); got != 10 {
+		t.Fatalf("SlotOf(1-2) = %d, want 10", got)
+	}
+	if got := a.SlotOf(NewEdge(2, 1)); got != 10 {
+		t.Fatalf("SlotOf(2-1) = %d, want 10 (orientation-independent)", got)
+	}
+	if got := a.SlotOf(NewEdge(1, 4)); got != -1 {
+		t.Fatalf("SlotOf(absent) = %d, want -1", got)
+	}
+
+	nbrs, slots := a.NeighborRun(3)
+	if len(nbrs) != 3 || len(slots) != 3 {
+		t.Fatalf("run of 3: %v / %v", nbrs, slots)
+	}
+	for i, want := range []struct {
+		n NodeID
+		s int32
+	}{{1, 11}, {2, 12}, {4, 13}} {
+		if nbrs[i] != want.n || slots[i] != want.s {
+			t.Fatalf("run of 3 at %d: (%d,%d), want (%d,%d)", i, nbrs[i], slots[i], want.n, want.s)
+		}
+	}
+
+	// Duplicate insert must not disturb the recorded slot.
+	if a.AddWithSlot(NewEdge(1, 2), 99) {
+		t.Fatal("duplicate AddWithSlot reported true")
+	}
+	if got := a.SlotOf(NewEdge(1, 2)); got != 10 {
+		t.Fatalf("slot changed by duplicate add: %d", got)
+	}
+
+	// Removal drops the slot from both runs; reinsertion records the new one.
+	a.Remove(NewEdge(1, 3))
+	if got := a.SlotOf(NewEdge(1, 3)); got != -1 {
+		t.Fatalf("removed edge still has slot %d", got)
+	}
+	a.AddWithSlot(NewEdge(1, 3), 20)
+	if got := a.SlotOf(NewEdge(1, 3)); got != 20 {
+		t.Fatalf("reinserted slot = %d, want 20", got)
+	}
+
+	// CommonNeighborsWithSlots yields (w, slot{u,w}, slot{v,w}) ascending.
+	var seen []NodeID
+	a.CommonNeighborsWithSlots(1, 2, func(w NodeID, su, sv int32) bool {
+		seen = append(seen, w)
+		if w != 3 || su != 20 || sv != 12 {
+			t.Fatalf("common neighbor (w=%d su=%d sv=%d), want (3, 20, 12)", w, su, sv)
+		}
+		return true
+	})
+	if len(seen) != 1 {
+		t.Fatalf("common neighbors of 1,2: %v", seen)
+	}
+}
+
+func TestAdjacencyCommonNeighborsWithSlotsSkewed(t *testing.T) {
+	// Degrees skewed beyond 16× exercise the binary-probe branch; the
+	// result must match the merge branch and CommonNeighbors.
+	a := NewAdjacency()
+	slot := int32(0)
+	for v := NodeID(2); v < 200; v++ {
+		a.AddWithSlot(NewEdge(1, v), slot)
+		slot++
+	}
+	for _, v := range []NodeID{5, 50, 150} {
+		a.AddWithSlot(NewEdge(200, v), slot)
+		slot++
+	}
+	a.AddWithSlot(NewEdge(1, 200), slot)
+
+	var plain []NodeID
+	a.CommonNeighbors(1, 200, func(w NodeID) bool { plain = append(plain, w); return true })
+	var withSlots []NodeID
+	a.CommonNeighborsWithSlots(1, 200, func(w NodeID, su, sv int32) bool {
+		withSlots = append(withSlots, w)
+		if want := a.SlotOf(NewEdge(1, w)); su != want {
+			t.Fatalf("su of %d = %d, want %d", w, su, want)
+		}
+		if want := a.SlotOf(NewEdge(200, w)); sv != want {
+			t.Fatalf("sv of %d = %d, want %d", w, sv, want)
+		}
+		return true
+	})
+	if len(plain) != len(withSlots) || len(plain) != 3 {
+		t.Fatalf("enumerations differ: %v vs %v", plain, withSlots)
+	}
+	for i := range plain {
+		if plain[i] != withSlots[i] {
+			t.Fatalf("order differs at %d: %v vs %v", i, plain, withSlots)
+		}
+	}
+}
+
+func TestAdjacencyCloneIntoReuse(t *testing.T) {
+	a := NewAdjacency()
+	for v := NodeID(2); v < 40; v++ {
+		a.AddWithSlot(NewEdge(1, v), int32(v))
+	}
+	c1 := a.Clone()
+	// Mutate the original; refresh a recycled clone and verify it matches.
+	a.Remove(NewEdge(1, 5))
+	a.AddWithSlot(NewEdge(2, 3), 99)
+	c2 := a.CloneInto(c1)
+	if c2.NumEdges() != a.NumEdges() {
+		t.Fatalf("recycled clone has %d edges, want %d", c2.NumEdges(), a.NumEdges())
+	}
+	if got := c2.SlotOf(NewEdge(2, 3)); got != 99 {
+		t.Fatalf("recycled clone slot = %d, want 99", got)
+	}
+	if c2.Has(NewEdge(1, 5)) {
+		t.Fatal("recycled clone kept a removed edge")
+	}
+	// Clone independence: mutating the source does not touch the clone.
+	a.Remove(NewEdge(1, 7))
+	if !c2.Has(NewEdge(1, 7)) {
+		t.Fatal("clone lost an edge when the source changed")
+	}
+}

@@ -63,19 +63,28 @@ func NewHeap(n int) *Heap {
 // edge-key index are all duplicated, so the clone and the original evolve
 // independently. Cost is O(capacity) flat memory copies with four
 // allocations and no rehashing.
-func (h *Heap) Clone() *Heap {
-	c := &Heap{
-		arena: append([]Entry(nil), h.arena...),
-		freed: append([]int32(nil), h.freed...),
-		heap:  append([]int32(nil), h.heap...),
-		tab: keyTable{
-			keys:  append([]uint64(nil), h.tab.keys...),
-			slots: append([]int32(nil), h.tab.slots...),
-			used:  h.tab.used,
-			mask:  h.tab.mask,
-		},
+func (h *Heap) Clone() *Heap { return h.CloneInto(nil) }
+
+// CloneInto is Clone writing over dst, reusing dst's backing arrays when
+// their capacity suffices — the allocation-free refresh path behind the
+// engine's recycled shard clones. dst must not be h itself and must not be
+// referenced anywhere else (its previous contents are destroyed). A nil dst
+// allocates a fresh heap, making CloneInto(nil) identical to Clone.
+func (h *Heap) CloneInto(dst *Heap) *Heap {
+	if dst == nil {
+		dst = &Heap{}
 	}
-	return c
+	dst.arena = append(dst.arena[:0], h.arena...)
+	dst.freed = append(dst.freed[:0], h.freed...)
+	dst.heap = append(dst.heap[:0], h.heap...)
+	// The probe sequence wraps with mask, so the key/slot slices must have
+	// exactly the source table's length; append onto [:0] guarantees that
+	// while keeping any larger recycled capacity.
+	dst.tab.keys = append(dst.tab.keys[:0], h.tab.keys...)
+	dst.tab.slots = append(dst.tab.slots[:0], h.tab.slots...)
+	dst.tab.used = h.tab.used
+	dst.tab.mask = h.tab.mask
+	return dst
 }
 
 // Len returns the number of stored entries.
@@ -111,14 +120,32 @@ func (h *Heap) Min() *Entry {
 // the sampler's full-reservoir fast path.
 func (h *Heap) MinPriority() float64 { return h.arena[h.heap[0]].Priority }
 
-// At returns the entry at slot i (0 ≤ i < Len) in unspecified order; it is
-// the iteration primitive used by the post-stream estimator's parallel scan.
+// At returns the entry at heap position i (0 ≤ i < Len) in unspecified
+// order; it is the iteration primitive used by the post-stream estimator's
+// parallel scan.
 func (h *Heap) At(i int) *Entry { return &h.arena[h.heap[i]] }
 
-// Push inserts a new entry. It panics if an entry with the same edge key is
-// already stored; GPS streams carry unique edges, so a duplicate reaching the
-// reservoir indicates a broken stream simplifier upstream.
-func (h *Heap) Push(e Entry) {
+// SlotAt returns the arena slot id at heap position i (0 ≤ i < Len). Slot
+// ids are stable for an entry's whole residence in the heap, which makes
+// them the index space of the estimators' slot-indexed probability tables.
+func (h *Heap) SlotAt(i int) int32 { return h.heap[i] }
+
+// BySlot returns the entry stored at an arena slot id previously obtained
+// from Push, SlotAt, or an adjacency slot run. Like Get, the pointer is
+// invalidated by the next Push or PopMin. The slot must be live; BySlot
+// performs no validity check.
+func (h *Heap) BySlot(slot int32) *Entry { return &h.arena[slot] }
+
+// ArenaLen returns the arena length: one past the largest slot id ever
+// issued, i.e. the size a slot-indexed lookup table must have.
+func (h *Heap) ArenaLen() int { return len(h.arena) }
+
+// Push inserts a new entry and returns the arena slot id it was stored at;
+// the slot stays valid until the entry is popped. It panics if an entry with
+// the same edge key is already stored; GPS streams carry unique edges, so a
+// duplicate reaching the reservoir indicates a broken stream simplifier
+// upstream.
+func (h *Heap) Push(e Entry) int32 {
 	key := e.Edge.Key()
 	if key == 0 {
 		// Key 0 is the table's empty-bucket marker. It only arises from a
@@ -141,6 +168,7 @@ func (h *Heap) Push(e Entry) {
 	h.tab.put(key, slot)
 	h.heap = append(h.heap, slot)
 	h.siftUp(int32(len(h.heap) - 1))
+	return slot
 }
 
 // PopMin removes and returns the lowest-priority entry. It panics on an

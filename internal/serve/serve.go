@@ -442,7 +442,12 @@ func (s *Server) handleSubgraph(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snapTaken, snapArrivals := s.snaps.last()
+	snapshots, cloned, reused := s.par.SnapshotStats()
 	stats := map[string]any{
+		"snapshots":         snapshots,
+		"shards_cloned":     cloned,
+		"shards_reused":     reused,
+		"snapshot_stall_ms": float64(s.par.LastSnapshotStall()) / float64(time.Millisecond),
 		"capacity":          s.cfg.Capacity,
 		"weight":            s.cfg.WeightName,
 		"shards":            s.par.Shards(),

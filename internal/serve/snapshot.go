@@ -26,6 +26,13 @@ type snapshot struct {
 // A snapshot also satisfies any bound when the stream position has not
 // moved since it was taken — a forced-fresh query on an idle stream is
 // free instead of rebuilding an identical snapshot.
+//
+// The cache keeps the previous snapshot alive across a refresh: the
+// engine's dirty-shard tracking makes the snapshot itself cheap when
+// little has changed, and when the refreshed sampler turns out to cover
+// the same arrivals as its predecessor (only duplicate edges came in), the
+// predecessor's Algorithm 2 estimates are reused instead of recomputed —
+// the post-stream scan is the dominant cost of a refresh.
 type snapshotCache struct {
 	take     func() (*core.Sampler, error)
 	position func() uint64 // edges handed to the sampler so far
@@ -61,13 +68,25 @@ func (c *snapshotCache) get(maxStale time.Duration) (*snapshot, error) {
 	// barrier inside take(), so stamping afterwards would under-report the
 	// snapshot's age by the whole snapshot+estimate duration.
 	taken := time.Now()
+	prev := c.cur.Load()
 	sampler, err := c.take()
 	if err != nil {
 		return nil, err
 	}
+	var est core.Estimates
+	if prev != nil && prev.est.Arrivals == sampler.Arrivals() &&
+		prev.est.SampledEdges == sampler.Reservoir().Len() {
+		// No distinct edge reached the sampler since the previous
+		// snapshot (the stream only replayed duplicates), so the engine —
+		// deterministic in the edges fed — produced an identical
+		// reservoir; the previous Algorithm 2 estimates are exact for it.
+		est = prev.est
+	} else {
+		est = core.EstimatePost(sampler)
+	}
 	s := &snapshot{
 		sampler: sampler,
-		est:     core.EstimatePost(sampler),
+		est:     est,
 		taken:   taken,
 	}
 	c.cur.Store(s)
