@@ -511,3 +511,54 @@ func BenchmarkBinaryDecode(b *testing.B) {
 	b.ReportMetric(float64(buf.Len())/float64(len(edges)), "bytes/edge")
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(edges)), "ns/edge")
 }
+
+// BenchmarkEngineCheckpoint1M measures persisting the whole sharded data
+// plane — barrier + dirty clone + GPSC serialization — on a 100K-edge
+// reservoir over the 1M-edge engine stream, with every shard dirtied
+// before each checkpoint (the worst case: all four blobs re-serialized).
+func BenchmarkEngineCheckpoint1M(b *testing.B) {
+	edges := engineEdges(b)
+	p, err := gps.NewParallel(gps.Config{Capacity: 100000, Seed: 9}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	p.ProcessBatch(edges)
+	var total int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p.ProcessBatch(edges[:4096]) // dirty every shard
+		b.StartTimer()
+		var buf bytes.Buffer
+		if _, err := p.WriteCheckpoint(&buf, "uniform"); err != nil {
+			b.Fatal(err)
+		}
+		total += int64(buf.Len())
+	}
+	b.ReportMetric(float64(total)/float64(b.N)/(1<<20), "MiB/ckpt")
+}
+
+// BenchmarkEngineCheckpoint1MIdle is the cached case: nothing moved since
+// the previous checkpoint, so every shard blob is reused verbatim and the
+// checkpoint degenerates to writing cached bytes.
+func BenchmarkEngineCheckpoint1MIdle(b *testing.B) {
+	edges := engineEdges(b)
+	p, err := gps.NewParallel(gps.Config{Capacity: 100000, Seed: 9}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	p.ProcessBatch(edges)
+	if _, err := p.WriteCheckpoint(io.Discard, "uniform"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.WriteCheckpoint(io.Discard, "uniform"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_, encoded, reused := p.CheckpointStats()
+	b.ReportMetric(float64(reused)/float64(encoded+reused), "blob-reuse-frac")
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	gps-bench -exp table1|table2|table3|fig1|fig2|fig3|weights|extensions|throughput|serve|perf|all \
+//	gps-bench -exp table1|table2|table3|fig1|fig2|fig3|weights|extensions|accuracy|throughput|serve|perf|all \
 //	          [-profile small|full] [-trials N] [-sample M] [-budget B] [-json] \
 //	          [-checkpoints C] [-seed S] [-graphs a,b,c] [-edges N] [-shards P] [-clients Q]
 //
@@ -59,7 +59,7 @@ func run(args []string, stdout, errw io.Writer) error {
 	fs := flag.NewFlagSet("gps-bench", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
-		exp         = fs.String("exp", "all", "experiment: table1, table2, table3, fig1, fig2, fig3, weights, extensions, throughput, serve, perf, all")
+		exp         = fs.String("exp", "all", "experiment: table1, table2, table3, fig1, fig2, fig3, weights, extensions, accuracy, throughput, serve, perf, all")
 		jsonOut     = fs.Bool("json", false, "machine-readable JSON output (perf and throughput experiments)")
 		profileName = fs.String("profile", "small", "dataset scale: small or full")
 		trials      = fs.Int("trials", 3, "replications per configuration")
@@ -191,6 +191,12 @@ func run(args []string, stdout, errw io.Writer) error {
 				return err
 			}
 			emit("Extensions — JHA and Buriol vs GPS (comparisons the paper omitted)", experiments.RenderExtensions(rows))
+		case "accuracy":
+			rows, err := experiments.Accuracy(opts, nil, graphs)
+			if err != nil {
+				return err
+			}
+			emit("Accuracy — motif estimator NRMSE vs exact counts across m", experiments.RenderAccuracy(rows))
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

@@ -7,10 +7,19 @@
 //
 //	gps-sample -in graph.txt -m 100000 [-weight triangle|uniform|adjacency|adaptive]
 //	           [-permute] [-seed S] [-exact] [-checkpoints N]
+//	           [-checkpoint-out f.gpsc] [-checkpoint-at N] [-restore f.gpsc]
 //
 // With -checkpoints > 0 the in-stream estimates are printed at evenly spaced
 // stream positions (real-time tracking); otherwise only the final estimates
 // are printed. With -exact the exact counts are computed for comparison.
+//
+// Durability: -checkpoint-out writes a GPSC checkpoint of the in-stream
+// estimator when the run ends (atomically; with -checkpoint-at N, after N
+// processed edges, simulating a crash at that point). -restore resumes from
+// such a checkpoint: rerun with the *same* input file and flags and the
+// consumed prefix is skipped, so the resumed run finishes exactly like an
+// uninterrupted one. The adaptive weight carries state outside the sampler
+// and cannot be checkpointed.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"os"
 
 	"gps"
+	"gps/internal/checkpoint"
 	"gps/internal/exact"
 	"gps/internal/graph"
 	"gps/internal/stats"
@@ -44,12 +54,18 @@ func run(args []string, stdout, errw io.Writer) error {
 		seed        = fs.Uint64("seed", 1, "sampler (and permutation) seed")
 		withExact   = fs.Bool("exact", false, "also compute exact counts for comparison")
 		checkpoints = fs.Int("checkpoints", 0, "print tracking estimates at N stream positions")
+		ckptOut     = fs.String("checkpoint-out", "", "write a GPSC checkpoint here when the run ends")
+		ckptAt      = fs.Int("checkpoint-at", 0, "stop after N processed edges and write -checkpoint-out (simulated crash)")
+		restore     = fs.String("restore", "", "resume from a GPSC checkpoint written by -checkpoint-out (same input and flags)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("-in is required")
+	}
+	if *ckptAt > 0 && *ckptOut == "" {
+		return fmt.Errorf("-checkpoint-at requires -checkpoint-out")
 	}
 
 	f, err := os.Open(*in)
@@ -65,28 +81,80 @@ func run(args []string, stdout, errw io.Writer) error {
 		return fmt.Errorf("%s: no edges", *in)
 	}
 
-	var weight gps.WeightFunc
-	switch *weightName {
-	case "triangle":
-		weight = gps.TriangleWeight
-	case "uniform":
-		weight = gps.UniformWeight
-	case "adjacency":
-		weight = gps.AdjacencyWeight
-	case "adaptive":
-		weight = gps.NewAdaptiveTriangleWeight(0.5)
-	default:
-		return fmt.Errorf("unknown weight %q", *weightName)
+	// The stream binding ties a checkpoint to the deterministic pipeline
+	// that produced it: edge count, ordering mode and permutation seed. A
+	// resume whose rebuilt stream has a different binding would skip the
+	// prefix of a differently-ordered stream and silently compute garbage.
+	streamBinding := fmt.Sprintf("edges=%d;order=file", len(edges))
+	if *permute {
+		streamBinding = fmt.Sprintf("edges=%d;order=permuted;seed=%d", len(edges), *seed^0xfeed)
+	}
+
+	var est *gps.InStream
+	effectiveWeight := *weightName
+	if *restore != "" {
+		f, err := os.Open(*restore)
+		if err != nil {
+			return err
+		}
+		stored := ""
+		est2, binding, err := gps.ReadInStreamCheckpoint(f, func(name string) (gps.WeightFunc, error) {
+			stored = name
+			return gps.ResolveWeight(name)
+		})
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if binding != streamBinding {
+			return fmt.Errorf("checkpoint was taken over stream %q but the flags rebuild stream %q; "+
+				"resume needs the same input file, -permute and -seed as the original run",
+				binding, streamBinding)
+		}
+		est = est2
+		if stored != *weightName {
+			fmt.Fprintf(errw, "gps-sample: restoring with weight %q from checkpoint (flag said %q)\n",
+				stored, *weightName)
+		}
+		effectiveWeight = stored
+		fmt.Fprintf(errw, "gps-sample: restored %s at stream position %d (m=%d)\n",
+			*restore, est.Sampler().Processed(), est.Sampler().Capacity())
+	} else {
+		var weight gps.WeightFunc
+		switch *weightName {
+		case "triangle":
+			weight = gps.TriangleWeight
+		case "uniform":
+			weight = gps.UniformWeight
+		case "adjacency":
+			weight = gps.AdjacencyWeight
+		case "adaptive":
+			if *ckptOut != "" {
+				return fmt.Errorf("the stateful adaptive weight cannot be checkpointed")
+			}
+			weight = gps.NewAdaptiveTriangleWeight(0.5)
+		default:
+			return fmt.Errorf("unknown weight %q", *weightName)
+		}
+		est, err = gps.NewInStream(gps.Config{Capacity: *m, Weight: weight, Seed: *seed})
+		if err != nil {
+			return err
+		}
 	}
 
 	var src gps.Stream = stream.Simplify(stream.FromEdges(edges))
 	if *permute {
 		src = stream.Simplify(stream.Permute(edges, *seed^0xfeed))
 	}
-
-	est, err := gps.NewInStream(gps.Config{Capacity: *m, Weight: weight, Seed: *seed})
-	if err != nil {
-		return err
+	// Resume: the restored estimator already consumed a prefix of this
+	// exact (deterministically rebuilt) stream; skip it, keeping the
+	// simplifier's duplicate state intact. A short skip means the input is
+	// not the stream the checkpoint was taken from — refuse to "finish" a
+	// run that cannot line up.
+	skip := est.Sampler().Processed()
+	if got := stream.Skip(src, skip); got < skip {
+		return fmt.Errorf("checkpoint was taken at stream position %d but the input yields only %d edges; "+
+			"resume needs the same file and flags as the original run", skip, got)
 	}
 
 	every := 0
@@ -97,8 +165,12 @@ func run(args []string, stdout, errw io.Writer) error {
 		}
 		fmt.Fprintln(stdout, "t\ttriangles\tLB\tUB\twedges\tclustering")
 	}
-	t := 0
-	gps.Drive(src, func(e graph.Edge) {
+	t := int(skip)
+	for {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
 		est.Process(e)
 		t++
 		if every > 0 && t%every == 0 {
@@ -107,7 +179,24 @@ func run(args []string, stdout, errw io.Writer) error {
 			fmt.Fprintf(stdout, "%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.4f\n",
 				t, cur.Triangles, iv.Lower, iv.Upper, cur.Wedges, cur.GlobalClustering())
 		}
-	})
+		if *ckptAt > 0 && t >= *ckptAt {
+			// Simulated crash: persist and stop mid-stream.
+			n, err := writeCheckpoint(*ckptOut, est, effectiveWeight, streamBinding)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "checkpoint: %s (%d bytes) at stream position %d\n", *ckptOut, n, t)
+			return nil
+		}
+	}
+
+	if *ckptOut != "" {
+		n, err := writeCheckpoint(*ckptOut, est, effectiveWeight, streamBinding)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(errw, "gps-sample: checkpoint %s (%d bytes) at stream position %d\n", *ckptOut, n, t)
+	}
 
 	final := est.Estimates()
 	post := gps.EstimatePost(est.Sampler())
@@ -126,6 +215,14 @@ func run(args []string, stdout, errw io.Writer) error {
 			stats.ARE(final.GlobalClustering(), truth.GlobalClustering()))
 	}
 	return nil
+}
+
+// writeCheckpoint persists the estimator atomically (temp file + rename) so
+// a crash mid-write never leaves a torn checkpoint behind.
+func writeCheckpoint(path string, est *gps.InStream, weightName, streamBinding string) (int64, error) {
+	return checkpoint.WriteFileAtomic(path, func(w io.Writer) error {
+		return est.WriteCheckpoint(w, weightName, streamBinding)
+	})
 }
 
 func printEst(w io.Writer, name string, e gps.Estimates) {

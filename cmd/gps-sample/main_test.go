@@ -109,3 +109,90 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestRunCheckpointResume simulates a crash: one run stops mid-stream and
+// writes a checkpoint, a second run restores it and finishes. The resumed
+// run's complete output must equal an uninterrupted run's byte for byte —
+// the CLI face of the bit-identical restore guarantee.
+func TestRunCheckpointResume(t *testing.T) {
+	path := writeGraph(t)
+	ckpt := filepath.Join(t.TempDir(), "mid.gpsc")
+	base := []string{"-in", path, "-m", "300", "-weight", "triangle", "-seed", "9", "-permute"}
+
+	var full, crash, resumed, errw bytes.Buffer
+	if err := run(base, &full, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(append([]string{}, base...),
+		"-checkpoint-at", "1000", "-checkpoint-out", ckpt), &crash, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(crash.String(), "checkpoint:") {
+		t.Fatalf("crash run did not report its checkpoint:\n%s", crash.String())
+	}
+	if err := run(append(append([]string{}, base...), "-restore", ckpt), &resumed, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.String() != full.String() {
+		t.Fatalf("resumed output differs from uninterrupted run:\n--- resumed\n%s--- full\n%s",
+			resumed.String(), full.String())
+	}
+}
+
+// TestRunCheckpointFlagValidation pins the CLI-level checkpoint errors.
+func TestRunCheckpointFlagValidation(t *testing.T) {
+	path := writeGraph(t)
+	var out, errw bytes.Buffer
+	if err := run([]string{"-in", path, "-checkpoint-at", "10"}, &out, &errw); err == nil {
+		t.Fatal("-checkpoint-at without -checkpoint-out accepted")
+	}
+	ck := filepath.Join(t.TempDir(), "x.gpsc")
+	if err := run([]string{"-in", path, "-weight", "adaptive", "-checkpoint-out", ck}, &out, &errw); err == nil {
+		t.Fatal("checkpointing the adaptive weight accepted")
+	}
+	if err := run([]string{"-in", path, "-restore", filepath.Join(t.TempDir(), "missing")}, &out, &errw); err == nil {
+		t.Fatal("restore from missing file accepted")
+	}
+}
+
+// TestRunRestoreRejectsMismatchedInput guards against silently "finishing"
+// a resume against the wrong stream: if the input cannot supply the
+// checkpointed prefix, the run must fail instead of printing estimates.
+func TestRunRestoreRejectsMismatchedInput(t *testing.T) {
+	path := writeGraph(t)
+	ckpt := filepath.Join(t.TempDir(), "mid.gpsc")
+	var out, errw bytes.Buffer
+	if err := run([]string{"-in", path, "-m", "300", "-seed", "9",
+		"-checkpoint-at", "1000", "-checkpoint-out", ckpt}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	// A much shorter input cannot contain the 1000-edge prefix.
+	short := filepath.Join(t.TempDir(), "short.txt")
+	f, err := os.Create(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.WriteEdgeList(f, gen.HolmeKim(100, 3, 0.5, 8)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	err = run([]string{"-in", short, "-m", "300", "-seed", "9", "-restore", ckpt}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "resume needs the same") {
+		t.Fatalf("mismatched resume not rejected: %v", err)
+	}
+	// Same file, but a different stream order (forgotten -permute or a
+	// different seed) must be caught by the recorded stream binding.
+	ckptPerm := filepath.Join(t.TempDir(), "perm.gpsc")
+	if err := run([]string{"-in", path, "-m", "300", "-seed", "9", "-permute",
+		"-checkpoint-at", "1000", "-checkpoint-out", ckptPerm}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-in", path, "-m", "300", "-seed", "9", "-restore", ckptPerm}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "resume needs the same") {
+		t.Fatalf("forgotten -permute not rejected: %v", err)
+	}
+	err = run([]string{"-in", path, "-m", "300", "-seed", "10", "-permute", "-restore", ckptPerm}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "resume needs the same") {
+		t.Fatalf("different permutation seed not rejected: %v", err)
+	}
+}

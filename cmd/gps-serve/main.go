@@ -6,6 +6,16 @@
 //
 //	gps-serve -addr :8080 -m 100000 [-weight triangle|uniform|adjacency]
 //	          [-shards P] [-queue 64] [-staleness 250ms] [-seed S]
+//	          [-restore path] [-checkpoint-dir dir] [-checkpoint-every 30s]
+//	          [-checkpoint-keep 3]
+//
+// Durability: -checkpoint-dir enables POST /v1/checkpoint and (with
+// -checkpoint-every) periodic checkpoints of the whole sampler data plane,
+// written atomically and retention-pruned to -checkpoint-keep files.
+// -restore boots from a GPSC checkpoint (a file, or a directory whose
+// newest checkpoint is used); the restored engine continues bit-identically
+// from the persisted stream position, and the checkpoint's capacity,
+// weight and shard count override the corresponding flags.
 //
 // Endpoints:
 //
@@ -18,7 +28,11 @@
 //	                            subgraph estimate + variance
 //	POST /v1/flush              block until everything enqueued has been
 //	                            sampled (read-your-writes sequencing)
-//	GET  /v1/stats              ingest/queue/snapshot counters
+//	POST /v1/checkpoint         drain the queue and persist a checkpoint to
+//	                            -checkpoint-dir; returns its path and size
+//	GET  /v1/checkpoint         stream a checkpoint of the current state
+//	                            (host migration without shared disk)
+//	GET  /v1/stats              ingest/queue/snapshot/checkpoint counters
 //	GET  /healthz               liveness
 package main
 
@@ -62,9 +76,16 @@ func run(args []string, errw io.Writer, ready chan<- string, stop <-chan struct{
 		staleness  = fs.Duration("staleness", 250*time.Millisecond, "default snapshot staleness bound")
 		seed       = fs.Uint64("seed", 1, "sampler seed")
 		maxBody    = fs.Int64("max-body", 32<<20, "max ingest body bytes")
+		restore    = fs.String("restore", "", "boot from a GPSC checkpoint (file, or dir holding *.gpsc)")
+		ckptDir    = fs.String("checkpoint-dir", "", "directory for POST /v1/checkpoint and periodic checkpoints")
+		ckptEvery  = fs.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 disables; needs -checkpoint-dir)")
+		ckptKeep   = fs.Int("checkpoint-keep", 3, "checkpoint files kept by retention")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *ckptEvery > 0 && *ckptDir == "" {
+		return fmt.Errorf("-checkpoint-every requires -checkpoint-dir")
 	}
 	weight, err := serve.WeightByName(*weightName)
 	if err != nil {
@@ -80,6 +101,10 @@ func run(args []string, errw io.Writer, ready chan<- string, stop <-chan struct{
 		MaxPendingEdges: *maxPending,
 		MaxBodyBytes:    *maxBody,
 		MaxStaleness:    *staleness,
+		RestoreFrom:     *restore,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		CheckpointKeep:  *ckptKeep,
 	})
 	if err != nil {
 		return err
@@ -91,8 +116,14 @@ func run(args []string, errw io.Writer, ready chan<- string, stop <-chan struct{
 		return err
 	}
 	hs := &http.Server{Handler: s.Handler()}
-	fmt.Fprintf(errw, "gps-serve: listening on %s (m=%d weight=%s staleness=%s)\n",
-		ln.Addr(), *m, *weightName, *staleness)
+	// Report the effective configuration: after a restore it comes from the
+	// checkpoint, not from the flags.
+	eff := s.EffectiveConfig()
+	fmt.Fprintf(errw, "gps-serve: listening on %s (m=%d weight=%s shards=%d staleness=%s)\n",
+		ln.Addr(), eff.Capacity, eff.WeightName, eff.Shards, *staleness)
+	if path, pos := s.Restored(); path != "" {
+		fmt.Fprintf(errw, "gps-serve: restored %s at stream position %d\n", path, pos)
+	}
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

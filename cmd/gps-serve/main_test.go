@@ -142,3 +142,102 @@ func TestServeBadFlags(t *testing.T) {
 		t.Fatal("zero capacity accepted")
 	}
 }
+
+// TestServeCheckpointRestartFlow drives the durability flags end to end:
+// boot with -checkpoint-dir, ingest a graph, persist via POST
+// /v1/checkpoint, shut down, boot a second process with -restore, and
+// require the estimate to still equal the exact counts without re-ingesting
+// anything.
+func TestServeCheckpointRestartFlow(t *testing.T) {
+	edges := gen.ErdosRenyi(150, 900, 11)
+	truth := exact.Count(graph.BuildStatic(edges))
+	dir := t.TempDir()
+
+	boot := func(extra ...string) (string, chan struct{}, chan error) {
+		ready := make(chan string, 1)
+		stop := make(chan struct{})
+		errc := make(chan error, 1)
+		args := append([]string{
+			"-addr", "127.0.0.1:0",
+			"-m", fmt.Sprint(len(edges) + 50),
+			"-weight", "uniform",
+			"-shards", "2",
+			"-staleness", "0s",
+			"-seed", "21",
+			"-checkpoint-dir", dir,
+		}, extra...)
+		go func() { errc <- run(args, io.Discard, ready, stop) }()
+		select {
+		case addr := <-ready:
+			return "http://" + addr, stop, errc
+		case err := <-errc:
+			t.Fatalf("server exited early: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("server never became ready")
+		}
+		panic("unreachable")
+	}
+	shutdown := func(stop chan struct{}, errc chan error) {
+		close(stop)
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("shutdown: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("server never shut down")
+		}
+	}
+
+	// First life: ingest and persist.
+	base, stop, errc := boot()
+	var body bytes.Buffer
+	if err := stream.WriteBinary(&body, edges); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/ingest", stream.BinaryContentType, &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Post(base+"/v1/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	shutdown(stop, errc)
+
+	// Second life: restore from the directory; the estimate must be there
+	// without any ingestion.
+	base, stop, errc = boot("-restore", dir)
+	resp, err = http.Get(base + "/v1/estimate?max_stale=0s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var est struct {
+		Triangles float64 `json:"triangles"`
+		Arrivals  uint64  `json:"arrivals"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if est.Arrivals != uint64(len(edges)) || est.Triangles != float64(truth.Triangles) {
+		t.Fatalf("restored estimate (%.0f at %d) != exact (%d at %d)",
+			est.Triangles, est.Arrivals, truth.Triangles, len(edges))
+	}
+	shutdown(stop, errc)
+}
+
+// TestServeCheckpointFlagValidation pins the flag dependency.
+func TestServeCheckpointFlagValidation(t *testing.T) {
+	if err := run([]string{"-checkpoint-every", "1s"}, io.Discard, nil, nil); err == nil {
+		t.Fatal("-checkpoint-every without -checkpoint-dir accepted")
+	}
+	if err := run([]string{"-restore", "/no/such/path"}, io.Discard, nil, nil); err == nil {
+		t.Fatal("restore from missing path accepted")
+	}
+}

@@ -51,6 +51,23 @@
 // Arbitrary subgraphs can be estimated through Sampler.SubgraphEstimate and
 // friends; triangle and wedge counting are the built-in special cases.
 //
+// # Durability
+//
+// The whole sampling data plane serializes to GPSC checkpoint documents
+// and restores bit-identically: a restored sampler (ReadCheckpoint),
+// in-stream estimator (ReadInStreamCheckpoint) or sharded engine
+// (ReadParallelCheckpoint) fed the remaining stream reproduces the
+// uninterrupted run exactly — reservoir, RNG state, threshold, counters
+// and estimator accumulators all survive.
+//
+//	var buf bytes.Buffer
+//	_ = s.WriteCheckpoint(&buf, "triangle")
+//	restored, _ := gps.ReadCheckpoint(&buf, nil)
+//
+// cmd/gps-serve persists and restores checkpoints automatically
+// (-checkpoint-dir, -checkpoint-every, -restore), and cmd/gps-sample can
+// resume an interrupted run (-checkpoint-out, -restore).
+//
 // The examples/ directory contains runnable programs, and internal/
 // experiments regenerates every table and figure of the paper's evaluation.
 package gps
@@ -134,6 +151,38 @@ func MergeSamplers(samplers []*Sampler, cfg Config) (*Sampler, error) {
 
 // NewInStream returns an in-stream estimator with a fresh sampler.
 func NewInStream(cfg Config) (*InStream, error) { return core.NewInStream(cfg) }
+
+// ReadCheckpoint restores a Sampler from a GPSC checkpoint document
+// written by Sampler.WriteCheckpoint. The reservoir, RNG state, threshold
+// and counters come back bit for bit: fed the remaining stream, the
+// restored sampler evolves exactly like the original would have. resolve
+// maps the recorded weight name back to a function (nil means
+// ResolveWeight); it must return the function the checkpointed sampler
+// ran.
+func ReadCheckpoint(r io.Reader, resolve func(string) (WeightFunc, error)) (*Sampler, error) {
+	return core.ReadCheckpoint(r, resolve)
+}
+
+// ReadInStreamCheckpoint restores an in-stream estimator (sampler plus
+// Algorithm 3 accumulators) from a GPSC document written by
+// InStream.WriteCheckpoint, also returning the recorded stream binding —
+// compare it against the stream about to be replayed before resuming.
+func ReadInStreamCheckpoint(r io.Reader, resolve func(string) (WeightFunc, error)) (*InStream, string, error) {
+	return core.ReadInStreamCheckpoint(r, resolve)
+}
+
+// ReadParallelCheckpoint restores a sharded sampler from a GPSC engine
+// document written by Parallel.WriteCheckpoint, returning the engine and
+// the weight name the checkpoint records. Every shard reservoir and RNG
+// state is restored bit for bit, so the engine resumes exactly where the
+// original stopped.
+func ReadParallelCheckpoint(r io.Reader, resolve func(string) (WeightFunc, error)) (*Parallel, string, error) {
+	return engine.ReadParallelCheckpoint(r, resolve)
+}
+
+// ResolveWeight maps a checkpoint's recorded weight name to the built-in
+// weight function of that name ("", "uniform", "triangle", "adjacency").
+func ResolveWeight(name string) (WeightFunc, error) { return core.ResolveWeight(name) }
 
 // EstimatePost runs Algorithm 2 over the sampler's current reservoir.
 func EstimatePost(s *Sampler) Estimates { return core.EstimatePost(s) }

@@ -1,0 +1,247 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeDoc builds a small sampler-kind document exercising every scalar
+// encoder.
+func writeDoc(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, KindSampler)
+	w.Uvarint(42)
+	w.U32(0xdeadbeef)
+	w.U64(1 << 60)
+	w.F64(3.5)
+	w.String("triangle")
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	doc := writeDoc(t)
+	r := NewReader(bytes.NewReader(doc))
+	if err := r.ExpectKind(KindSampler); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Uvarint(); got != 42 {
+		t.Fatalf("uvarint = %d", got)
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Fatalf("u32 = %#x", got)
+	}
+	if got := r.U64(); got != 1<<60 {
+		t.Fatalf("u64 = %#x", got)
+	}
+	if got := r.F64(); got != 3.5 {
+		t.Fatalf("f64 = %v", got)
+	}
+	if got := r.String(); got != "triangle" {
+		t.Fatalf("string = %q", got)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncationEverywhere(t *testing.T) {
+	doc := writeDoc(t)
+	for cut := 0; cut < len(doc); cut++ {
+		r := NewReader(bytes.NewReader(doc[:cut]))
+		err := r.ExpectKind(KindSampler)
+		if err == nil {
+			r.Uvarint()
+			r.U32()
+			r.U64()
+			r.F64()
+			_ = r.String()
+			err = r.Finish()
+		}
+		if err == nil {
+			t.Fatalf("truncation at %d/%d not detected", cut, len(doc))
+		}
+		if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("truncation at %d surfaced as clean EOF: %v", cut, err)
+		}
+	}
+}
+
+func TestChecksumMismatch(t *testing.T) {
+	doc := writeDoc(t)
+	for bit := 0; bit < 8; bit++ {
+		corrupt := append([]byte(nil), doc...)
+		corrupt[len(corrupt)/2] ^= 1 << bit
+		r := NewReader(bytes.NewReader(corrupt))
+		err := r.ExpectKind(KindSampler)
+		if err == nil {
+			r.Uvarint()
+			r.U32()
+			r.U64()
+			r.F64()
+			_ = r.String()
+			err = r.Finish()
+		}
+		if err == nil {
+			t.Fatalf("bit flip %d not detected", bit)
+		}
+	}
+}
+
+func TestHeaderRejections(t *testing.T) {
+	cases := [][]byte{
+		[]byte("GPSB\x01\x01"), // wrong magic
+		[]byte("GPSC\x02\x01"), // future version
+		[]byte("GPSC\x01\x7f"), // unknown kind
+		[]byte("GPS"),          // truncated magic
+		{},                     // empty
+		[]byte("GPSC\x01\x02"), // engine kind where sampler expected
+	}
+	for i, raw := range cases {
+		r := NewReader(bytes.NewReader(raw))
+		if err := r.ExpectKind(KindSampler); err == nil {
+			t.Fatalf("case %d: header accepted", i)
+		}
+	}
+}
+
+func TestVarintOverflow(t *testing.T) {
+	raw := append([]byte("GPSC\x01\x01"), bytes.Repeat([]byte{0xff}, 10)...)
+	r := NewReader(bytes.NewReader(raw))
+	if err := r.ExpectKind(KindSampler); err != nil {
+		t.Fatal(err)
+	}
+	r.Uvarint()
+	if r.Err() == nil {
+		t.Fatal("10-byte varint with high bits accepted")
+	}
+}
+
+func TestCountBound(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, KindSampler)
+	w.Uvarint(1 << 40)
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if err := r.ExpectKind(KindSampler); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Count("arena", 1<<20); n != 0 || r.Err() == nil {
+		t.Fatalf("oversized count passed: n=%d err=%v", n, r.Err())
+	}
+}
+
+func TestStringTooLong(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, KindSampler)
+	w.String(strings.Repeat("x", MaxStringLen+1))
+	if w.Err() == nil {
+		t.Fatal("writer accepted oversized string")
+	}
+}
+
+func TestEmbeddedDocumentsShareReader(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 3; i++ {
+		w := NewWriter(&buf, KindSampler)
+		w.Uvarint(uint64(i))
+		if err := w.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := NewReader(bytes.NewReader(buf.Bytes()))
+	for i := 0; i < 3; i++ {
+		// Each embedded document gets a fresh Reader over the shared
+		// buffered stream, the way the engine container decodes shards.
+		r := NewReader(br.br)
+		if err := r.ExpectKind(KindSampler); err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Uvarint(); got != uint64(i) {
+			t.Fatalf("doc %d decoded %d", i, got)
+		}
+		if err := r.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWriteFileAtomicAndLatestAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 5; i++ {
+		path := filepath.Join(dir, filepath.Base(strings.Repeat("0", 3))+string(rune('a'+i))+FileExt)
+		n, err := WriteFileAtomic(path, func(w io.Writer) error {
+			cw := NewWriter(w, KindSampler)
+			cw.Uvarint(uint64(i))
+			return cw.Finish()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n <= 0 {
+			t.Fatalf("wrote %d bytes", n)
+		}
+	}
+	latest, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(latest, "e"+FileExt) {
+		t.Fatalf("latest = %s", latest)
+	}
+	if err := Prune(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	names, err := files(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "000d"+FileExt || names[1] != "000e"+FileExt {
+		t.Fatalf("after prune: %v", names)
+	}
+	// ResolvePath: dir resolves to latest, file resolves to itself.
+	p, err := ResolvePath(dir)
+	if err != nil || p != latest {
+		t.Fatalf("ResolvePath(dir) = %s, %v", p, err)
+	}
+	p, err = ResolvePath(latest)
+	if err != nil || p != latest {
+		t.Fatalf("ResolvePath(file) = %s, %v", p, err)
+	}
+	if _, err := ResolvePath(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("ResolvePath of missing path succeeded")
+	}
+}
+
+func TestWriteFileAtomicFailureLeavesNoTarget(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x"+FileExt)
+	if _, err := WriteFileAtomic(path, func(io.Writer) error {
+		return errors.New("boom")
+	}); err == nil {
+		t.Fatal("write error not propagated")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("target exists after failed write: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+	if _, err := Latest(dir); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("Latest on empty dir: %v", err)
+	}
+}

@@ -1,0 +1,128 @@
+package checkpoint
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// WriteFileAtomic writes a checkpoint produced by write to path with
+// crash-safe visibility: the content goes to a temporary file in the same
+// directory, is fsynced, and is renamed over path only once complete, so a
+// reader (or a crash) never observes a half-written checkpoint. It returns
+// the number of bytes written.
+func WriteFileAtomic(path string, write func(io.Writer) error) (int64, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return 0, err
+	}
+	n, err := tmp.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		os.Remove(name)
+		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	// Make the rename itself durable. Directory fsync is best-effort: some
+	// filesystems refuse to sync directories, and the data is safe either way.
+	SyncDir(dir)
+	return n, nil
+}
+
+// SyncDir best-effort fsyncs a directory, making completed renames in it
+// durable across power loss. Callers that rename a checkpoint after
+// WriteFileAtomic must call it again for the second rename.
+func SyncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// files returns the checkpoint files (FileExt suffix, temporaries excluded)
+// in dir, sorted ascending by name. Zero-padded sequence names therefore
+// sort oldest first.
+func files(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.Type().IsRegular() && strings.HasSuffix(e.Name(), FileExt) {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Latest returns the path of the newest checkpoint file in dir (greatest
+// name in sort order). It returns os.ErrNotExist (wrapped) when dir holds no
+// checkpoint files.
+func Latest(dir string) (string, error) {
+	names, err := files(dir)
+	if err != nil {
+		return "", err
+	}
+	if len(names) == 0 {
+		return "", fmt.Errorf("checkpoint: no %s files in %s: %w", FileExt, dir, os.ErrNotExist)
+	}
+	return filepath.Join(dir, names[len(names)-1]), nil
+}
+
+// Prune removes the oldest checkpoint files in dir until at most keep
+// remain. keep < 1 is treated as 1: pruning never deletes the only
+// checkpoint.
+func Prune(dir string, keep int) error {
+	if keep < 1 {
+		keep = 1
+	}
+	names, err := files(dir)
+	if err != nil {
+		return err
+	}
+	for _, name := range names[:max(0, len(names)-keep)] {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// ResolvePath resolves a restore source: a file path is returned as is, and
+// a directory resolves to its newest checkpoint file.
+func ResolvePath(p string) (string, error) {
+	info, err := os.Stat(p)
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	if info.IsDir() {
+		return Latest(p)
+	}
+	return p, nil
+}

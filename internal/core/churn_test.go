@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"testing"
 
 	"gps/internal/gen"
@@ -83,6 +84,20 @@ func TestSlotChurnConsistency(t *testing.T) {
 			checkSlotConsistency(t, c.res)
 			recycled := s.CloneReusing(c)
 			checkSlotConsistency(t, recycled.res)
+
+			// Durability under the same churn: the checkpoint must restore
+			// to a reservoir whose slot runs and key table still agree, and
+			// re-checkpointing the restored sampler must reproduce the file
+			// byte for byte — the encoding is a function of live state only,
+			// not of the garbage left in freed arena slots and dense ids by
+			// the evict/recycle traffic.
+			doc := checkpointBytes(t, s, tc.name)
+			restored := restoreSampler(t, doc)
+			checkSlotConsistency(t, restored.res)
+			requireSameSampler(t, s, restored)
+			if !bytes.Equal(doc, checkpointBytes(t, restored, tc.name)) {
+				t.Fatal("checkpoint of restored sampler differs byte-wise")
+			}
 		})
 	}
 }

@@ -58,16 +58,7 @@ func NewSampler(cfg Config) (*Sampler, error) {
 	if cfg.Capacity < 1 {
 		return nil, errors.New("core: Capacity must be at least 1")
 	}
-	w := cfg.Weight
-	uniform := w == nil
-	if w == nil {
-		w = UniformWeight
-	} else {
-		// Detect an explicitly-passed UniformWeight so it gets the same
-		// fast path as nil. One reflect call at construction, none on
-		// the hot path.
-		uniform = reflect.ValueOf(w).Pointer() == reflect.ValueOf(UniformWeight).Pointer()
-	}
+	w, uniform := normalizeWeight(cfg.Weight)
 	return &Sampler{
 		capacity: cfg.Capacity,
 		weight:   w,
@@ -75,6 +66,19 @@ func NewSampler(cfg Config) (*Sampler, error) {
 		rng:      randx.New(cfg.Seed),
 		res:      newReservoir(cfg.Capacity),
 	}, nil
+}
+
+// normalizeWeight maps a configured weight function to the one the sampler
+// stores, reporting whether it is the uniform fast path: nil and an
+// explicitly-passed UniformWeight both qualify (one reflect call at
+// construction, none on the hot path). NewSampler and the checkpoint
+// decoder share it so a restored sampler classifies its weight exactly like
+// a fresh one.
+func normalizeWeight(w WeightFunc) (WeightFunc, bool) {
+	if w == nil {
+		return UniformWeight, true
+	}
+	return w, reflect.ValueOf(w).Pointer() == reflect.ValueOf(UniformWeight).Pointer()
 }
 
 // Process handles one edge arrival (procedure GPSUpdate of Algorithm 1) and
@@ -195,6 +199,11 @@ func (s *Sampler) Arrivals() uint64 { return s.arrivals }
 
 // Duplicates returns the number of ignored duplicate arrivals.
 func (s *Sampler) Duplicates() uint64 { return s.duplicates }
+
+// Processed returns the stream position: the total number of edges handed
+// to Process (distinct arrivals plus ignored duplicates). A restore that
+// replays the original stream must skip exactly this many edges.
+func (s *Sampler) Processed() uint64 { return s.arrivals + s.duplicates }
 
 // Capacity returns the reservoir capacity m.
 func (s *Sampler) Capacity() int { return s.capacity }

@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+
+	"gps/internal/checkpoint"
+	"gps/internal/core"
+	"gps/internal/graph"
+)
+
+// GPSC engine payload (checkpoint.KindEngine): a container of per-shard
+// sampler documents.
+//
+//	uvarint  global capacity m
+//	uvarint  shard count P
+//	u64      root seed (informational; shard RNG states travel below)
+//	u64      merge seed
+//	u32      crc32 of the bytes above (the container header is its own
+//	         checksummed document)
+//	P × sampler document (each a complete GPSC KindSampler document with
+//	         its own header and checksum, in shard order)
+//
+// Restoring rebuilds each shard sampler bit for bit, so a restored engine
+// fed the remaining stream produces merges and snapshots identical to an
+// uninterrupted run — the per-shard RNG states, reservoirs and the merge
+// seed are all that a Parallel's future output depends on.
+
+// WriteCheckpoint serializes the whole sharded data plane as a GPSC engine
+// document and returns the stream position the document covers (every edge
+// routed before the internal barrier — the count a replaying restore must
+// skip, captured atomically with the state itself). It reuses the snapshot
+// machinery: ingestion stalls only for the barrier plus the cloning of
+// shards dirtied since the last snapshot or checkpoint, and serialization
+// runs on the immutable clones after ingestion has resumed. Per-shard
+// blobs are cached against the shard epoch and the recorded weight name,
+// so a checkpoint of an idle engine serializes nothing and writes the
+// cached bytes straight out — CheckpointStats exposes the counters.
+// weightName is recorded in every shard blob (see core.ResolveWeight).
+func (p *Parallel) WriteCheckpoint(w io.Writer, weightName string) (position uint64, err error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return 0, fmt.Errorf("engine: WriteCheckpoint on closed Parallel")
+	}
+	p.barrier()
+	type job struct {
+		idx   int
+		ref   *shardRef
+		epoch uint64
+	}
+	var jobs []job
+	blobs := make([][]byte, len(p.shards))
+	var wg sync.WaitGroup
+	for i, sh := range p.shards {
+		position += sh.s.Processed() // quiescent after the barrier
+		if sh.ckptBytes != nil && sh.ckptEpoch == sh.epoch && sh.ckptName == weightName {
+			blobs[i] = sh.ckptBytes
+			p.shardBlobReused++
+			continue
+		}
+		ref, _ := p.acquireCloneLocked(sh, &wg)
+		jobs = append(jobs, job{idx: i, ref: ref, epoch: sh.epoch})
+		p.shardsEncoded++
+	}
+	capacity, shards := p.cfg.Capacity, len(p.shards)
+	seed, mergeSeed := p.cfg.Seed, p.mergeSeed
+	p.checkpoints++
+	wg.Wait() // clones must be complete before ingestion resumes
+	p.mu.Unlock()
+
+	// Serialize the dirty shards from their immutable clones, off the lock
+	// and in parallel (the clones are independent samplers): ingestion
+	// continues while the dominant cost of a checkpoint runs P-wide.
+	encErrs := make([]error, len(jobs))
+	var encWG sync.WaitGroup
+	for ji, j := range jobs {
+		encWG.Add(1)
+		go func(ji int, j job) {
+			defer encWG.Done()
+			var buf bytes.Buffer
+			if err := j.ref.s.WriteCheckpoint(&buf, weightName); err != nil {
+				encErrs[ji] = err
+				return
+			}
+			blobs[j.idx] = buf.Bytes()
+		}(ji, j)
+	}
+	encWG.Wait()
+	var encErr error
+	for _, e := range encErrs {
+		if e != nil {
+			encErr = e
+			break
+		}
+	}
+
+	p.mu.Lock()
+	for _, j := range jobs {
+		p.releaseCloneLocked(j.idx, j.ref)
+		if encErr == nil {
+			// Cache the blob against the epoch it was cloned at and the
+			// name it records; the next checkpoint reuses it unless the
+			// shard moved or the caller renamed the weight since.
+			p.shards[j.idx].ckptBytes = blobs[j.idx]
+			p.shards[j.idx].ckptEpoch = j.epoch
+			p.shards[j.idx].ckptName = weightName
+		}
+	}
+	p.mu.Unlock()
+	if encErr != nil {
+		return 0, encErr
+	}
+
+	cw := checkpoint.NewWriter(w, checkpoint.KindEngine)
+	cw.Uvarint(uint64(capacity))
+	cw.Uvarint(uint64(shards))
+	cw.U64(seed)
+	cw.U64(mergeSeed)
+	if err := cw.Finish(); err != nil {
+		return 0, err
+	}
+	for _, blob := range blobs {
+		if _, err := w.Write(blob); err != nil {
+			return 0, err
+		}
+	}
+	return position, nil
+}
+
+// ReadParallelCheckpoint restores a sharded sampler from a GPSC engine
+// document, returning the running engine and the weight name recorded in
+// the checkpoint. The resolver maps that name to the weight function every
+// shard shares (nil means core.ResolveWeight); it must return the function
+// the original engine ran, or the restored engine will diverge. The decoder
+// is as strict as the sampler decoder it builds on, and additionally
+// rejects shard blobs whose capacity, weight name or count disagree with
+// the container header.
+func ReadParallelCheckpoint(r io.Reader, resolve func(string) (core.WeightFunc, error)) (*Parallel, string, error) {
+	if resolve == nil {
+		resolve = core.ResolveWeight
+	}
+	br := bufio.NewReader(r)
+	cr := checkpoint.NewReader(br)
+	if err := cr.ExpectKind(checkpoint.KindEngine); err != nil {
+		return nil, "", err
+	}
+	capacity := cr.Count("capacity", maxEngineCapacity)
+	shards := cr.Count("shard count", maxEngineShards)
+	seed := cr.U64()
+	mergeSeed := cr.U64()
+	if err := cr.Finish(); err != nil {
+		return nil, "", err
+	}
+	if capacity < 1 {
+		return nil, "", fmt.Errorf("engine: checkpoint capacity %d is not positive", capacity)
+	}
+	if shards < 1 {
+		return nil, "", fmt.Errorf("engine: checkpoint shard count %d is not positive", shards)
+	}
+
+	// Decode the shard blobs off the shared buffered reader. The samplers
+	// slice grows only as blobs actually parse, so a forged shard count
+	// cannot drive allocation.
+	var (
+		samplers   []*core.Sampler
+		weightName string
+		weightFn   core.WeightFunc
+	)
+	for i := 0; i < shards; i++ {
+		var name string
+		wrap := func(n string) (core.WeightFunc, error) {
+			name = n
+			return resolve(n)
+		}
+		s, err := core.ReadCheckpoint(br, wrap)
+		if err != nil {
+			return nil, "", fmt.Errorf("engine: shard %d: %w", i, err)
+		}
+		if i == 0 {
+			weightName = name
+			weightFn, _ = resolve(name) // resolved once more for the engine config
+		} else if name != weightName {
+			return nil, "", fmt.Errorf("engine: shard %d weight %q disagrees with shard 0's %q",
+				i, name, weightName)
+		}
+		if want := shardCapacity(capacity, shards); s.Capacity() != want {
+			return nil, "", fmt.Errorf("engine: shard %d capacity %d, want %d for m=%d P=%d",
+				i, s.Capacity(), want, capacity, shards)
+		}
+		samplers = append(samplers, s)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, "", fmt.Errorf("engine: trailing bytes after %d shard documents", shards)
+	}
+
+	p := &Parallel{
+		cfg:       core.Config{Capacity: capacity, Weight: weightFn, Seed: seed},
+		mergeSeed: mergeSeed,
+		batch:     DefaultBatch,
+		shards:    make([]*shard, len(samplers)),
+	}
+	p.pool.New = func() any {
+		buf := make([]graph.Edge, 0, p.batch)
+		return &buf
+	}
+	for i, s := range samplers {
+		sh := &shard{
+			ch:  make(chan message, 4),
+			s:   s,
+			buf: make([]graph.Edge, 0, p.batch),
+		}
+		p.shards[i] = sh
+		p.wg.Add(1)
+		go p.run(sh)
+	}
+	return p, weightName, nil
+}
+
+// Limits on container header fields: generous for any real deployment, but
+// they bound what a forged header can claim before shard blobs must back it
+// up with real data.
+const (
+	maxEngineCapacity = (1 << 31) - 1
+	maxEngineShards   = 1 << 16
+)
+
+// CheckpointStats reports cumulative checkpoint counters: checkpoints
+// taken, shard blobs freshly serialized, and clean shards whose cached blob
+// was reused byte-for-byte. encoded+reused equals checkpoints×Shards().
+func (p *Parallel) CheckpointStats() (checkpoints, encoded, reused uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.checkpoints, p.shardsEncoded, p.shardBlobReused
+}
+
+// Capacity returns the global reservoir capacity m.
+func (p *Parallel) Capacity() int { return p.cfg.Capacity }
+
+// Processed returns the total stream position across shards: every edge
+// ever routed (distinct arrivals plus ignored duplicates). A restore that
+// replays the original stream must skip exactly this many edges. It
+// synchronizes like Arrivals.
+func (p *Parallel) Processed() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.barrier()
+	var total uint64
+	for _, sh := range p.shards {
+		total += sh.s.Processed()
+	}
+	return total
+}

@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"gps/internal/core"
+)
+
+// FuzzEngineCheckpointDecoder exercises the engine container decoder with
+// arbitrary input: it must never panic, never allocate from a forged shard
+// count (shards materialize only as their blobs actually parse), and any
+// accepted document must describe a working engine — pinned by
+// re-checkpointing it and decoding the result.
+func FuzzEngineCheckpointDecoder(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("GPSC\x01\x02"))
+	f.Add([]byte("GPSC\x01\x01"))
+	// Real engine checkpoints as seeds: empty, and mid-stream at two shard
+	// counts.
+	for _, tc := range []struct {
+		shards int
+		edges  int
+	}{{1, 0}, {2, 3000}, {4, 3000}} {
+		p, err := NewParallel(core.Config{Capacity: 200, Seed: 13}, tc.shards)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if tc.edges > 0 {
+			p.ProcessBatch(testStream(400, tc.edges, 0xF5))
+		}
+		var buf bytes.Buffer
+		if _, err := p.WriteCheckpoint(&buf, "uniform"); err != nil {
+			f.Fatal(err)
+		}
+		p.Close()
+		f.Add(buf.Bytes())
+	}
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		p, _, err := ReadParallelCheckpoint(bytes.NewReader(input), nil)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := p.WriteCheckpoint(&buf, "w"); err != nil {
+			t.Fatalf("re-encode of accepted engine document: %v", err)
+		}
+		again, _, err := ReadParallelCheckpoint(&buf, func(string) (core.WeightFunc, error) { return nil, nil })
+		if err != nil {
+			t.Fatalf("re-decode of accepted engine document: %v", err)
+		}
+		if again.Shards() != p.Shards() || again.Capacity() != p.Capacity() ||
+			again.Processed() != p.Processed() {
+			t.Fatal("round trip changed engine state")
+		}
+		again.Close()
+		p.Close()
+	})
+}

@@ -1,0 +1,366 @@
+package engine
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"gps/internal/core"
+	"gps/internal/gen"
+	"gps/internal/graph"
+)
+
+// feedBatches routes edges into p in fixed-size batches, so checkpoint
+// positions land on batch boundaries.
+func feedBatches(p *Parallel, edges []graph.Edge, batch int) {
+	for lo := 0; lo < len(edges); lo += batch {
+		hi := min(lo+batch, len(edges))
+		p.ProcessBatch(edges[lo:hi])
+	}
+}
+
+func engineCheckpoint(t *testing.T, p *Parallel, weightName string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := p.WriteCheckpoint(&buf, weightName); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func restoreEngine(t *testing.T, doc []byte) *Parallel {
+	t.Helper()
+	p, _, err := ReadParallelCheckpoint(bytes.NewReader(doc), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCrashRestartEquivalence is the crash-equivalence harness of the
+// checkpoint subsystem: run the sharded engine over a fixed-seed ~1M-edge
+// R-MAT stream at m=100K, checkpoint at an arbitrary batch boundary, build
+// a fresh engine from the checkpoint, finish the stream on it, and require
+// the merged sample and every estimate to be bit-identical to an
+// uninterrupted run. The checkpoint itself must also leave the running
+// engine unperturbed.
+func TestCrashRestartEquivalence(t *testing.T) {
+	edges := gen.RMAT(17, 8, 0.57, 0.19, 0.19, 0x6A11) // ~1M edges, with R-MAT's natural duplicates
+	const m, P, batch = 100_000, 4, 8192
+	cfg := core.Config{Capacity: m, Seed: 0xD06}
+
+	full, err := NewParallel(cfg, P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	feedBatches(full, edges, batch)
+	mFull, err := full.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	interrupted, err := NewParallel(cfg, P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer interrupted.Close()
+	cut := (len(edges) * 2 / 5) / batch * batch // an arbitrary batch boundary
+	feedBatches(interrupted, edges[:cut], batch)
+	doc := engineCheckpoint(t, interrupted, "uniform")
+
+	// The survivor keeps running after the checkpoint; taking it must not
+	// have disturbed the run.
+	feedBatches(interrupted, edges[cut:], batch)
+	mSurvivor, err := interrupted.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameSignature(t, "survivor vs uninterrupted", mSurvivor, mFull)
+
+	// The restored engine finishes the stream from the checkpoint position.
+	restored := restoreEngine(t, doc)
+	defer restored.Close()
+	if got := restored.Processed(); got != uint64(cut) {
+		t.Fatalf("restored position %d, want %d", got, cut)
+	}
+	if restored.Shards() != P || restored.Capacity() != m {
+		t.Fatalf("restored topology %d/%d, want %d/%d", restored.Shards(), restored.Capacity(), P, m)
+	}
+	feedBatches(restored, edges[cut:], batch)
+	mRestored, err := restored.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameSignature(t, "restored vs uninterrupted", mRestored, mFull)
+	if a, b := core.EstimateCliques4Post(mRestored), core.EstimateCliques4Post(mFull); a != b {
+		t.Fatalf("4-clique estimates diverge: %v vs %v", a, b)
+	}
+	if a, b := core.EstimateStars3Post(mRestored), core.EstimateStars3Post(mFull); a != b {
+		t.Fatalf("3-star estimates diverge: %v vs %v", a, b)
+	}
+	// Snapshot must agree with Merge on the restored engine too.
+	snap, err := restored.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameSignature(t, "restored snapshot vs merge", snap, mRestored)
+}
+
+// TestCrashRestartEquivalenceTriangleWeight repeats the crash-restart
+// property with the topology-dependent triangle weight on a clustered
+// stream, where restored weights and RNG draws must interleave exactly as
+// in the uninterrupted run.
+func TestCrashRestartEquivalenceTriangleWeight(t *testing.T) {
+	edges := testStream(4000, 60_000, 0xBEE)
+	const m, P, batch = 8_000, 4, 1024
+	cfg := core.Config{Capacity: m, Weight: core.TriangleWeight, Seed: 0x31}
+
+	full, err := NewParallel(cfg, P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	feedBatches(full, edges, batch)
+	mFull, err := full.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	interrupted, err := NewParallel(cfg, P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(edges) / 2 / batch * batch
+	feedBatches(interrupted, edges[:cut], batch)
+	doc := engineCheckpoint(t, interrupted, "triangle")
+	interrupted.Close()
+
+	restored, name, err := ReadParallelCheckpoint(bytes.NewReader(doc), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if name != "triangle" {
+		t.Fatalf("weight name %q", name)
+	}
+	feedBatches(restored, edges[cut:], batch)
+	mRestored, err := restored.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameSignature(t, "restored vs uninterrupted (triangle)", mRestored, mFull)
+}
+
+// TestCheckpointDirtyShardReuse pins the incremental checkpoint contract
+// at the acceptance scale (idle 4-shard engine, m=100K): a checkpoint of an
+// untouched engine serializes nothing — every shard blob is reused — and
+// traffic routed to a single shard re-serializes exactly that shard. Idle
+// re-checkpoints must reproduce the file byte for byte.
+func TestCheckpointDirtyShardReuse(t *testing.T) {
+	edges := testStream(20_000, 300_000, 0xD1)
+	const m, P = 100_000, 4
+	p, err := NewParallel(core.Config{Capacity: m, Seed: 3}, P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.ProcessBatch(edges[:250_000])
+
+	first := engineCheckpoint(t, p, "uniform")
+	if _, encoded, reused := p.CheckpointStats(); encoded != P || reused != 0 {
+		t.Fatalf("first checkpoint: encoded %d reused %d, want %d/0", encoded, reused, P)
+	}
+
+	// Idle: nothing moved, so nothing may be re-serialized, and the file
+	// must be identical.
+	second := engineCheckpoint(t, p, "uniform")
+	if ckpts, encoded, reused := p.CheckpointStats(); ckpts != 2 || encoded != P || reused != P {
+		t.Fatalf("idle checkpoint: ckpts %d encoded %d reused %d, want 2/%d/%d", ckpts, encoded, reused, P, P)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("idle re-checkpoint differs byte-wise")
+	}
+
+	// Dirty exactly one shard; only it may be re-serialized.
+	target := shardTargeted(p, edges[250_000:], 2)
+	if len(target) == 0 {
+		t.Fatal("no traffic routed to shard 2")
+	}
+	p.ProcessBatch(target)
+	third := engineCheckpoint(t, p, "uniform")
+	if _, encoded, reused := p.CheckpointStats(); encoded != P+1 || reused != P+(P-1) {
+		t.Fatalf("one-dirty checkpoint: encoded %d reused %d, want %d/%d", encoded, reused, P+1, P+(P-1))
+	}
+	if bytes.Equal(second, third) {
+		t.Fatal("checkpoint unchanged despite new traffic")
+	}
+
+	// A different recorded weight name must invalidate the blob cache even
+	// with no traffic: the cached bytes embed the old name.
+	var renamed bytes.Buffer
+	pos, err := p.WriteCheckpoint(&renamed, "adjacency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != uint64(250_000+len(target)) {
+		t.Fatalf("reported position %d, want %d", pos, 250_000+len(target))
+	}
+	if _, encoded, _ := p.CheckpointStats(); encoded != 2*P+1 {
+		t.Fatalf("renamed checkpoint re-encoded %d shard blobs total, want %d", encoded, 2*P+1)
+	}
+	if _, name, err := ReadParallelCheckpoint(bytes.NewReader(renamed.Bytes()), nil); err != nil || name != "adjacency" {
+		t.Fatalf("renamed checkpoint decodes as %q, %v", name, err)
+	}
+
+	// Restores from the idle pair must be indistinguishable, and the dirty
+	// one must carry the extra traffic.
+	a, b, c := restoreEngine(t, first), restoreEngine(t, second), restoreEngine(t, third)
+	defer a.Close()
+	defer b.Close()
+	defer c.Close()
+	ma, _ := a.Merge()
+	mb, _ := b.Merge()
+	requireSameSignature(t, "idle restores", ma, mb)
+	if c.Processed() != uint64(250_000+len(target)) {
+		t.Fatalf("dirty restore position %d, want %d", c.Processed(), 250_000+len(target))
+	}
+}
+
+// TestCheckpointConcurrentWithQueries takes checkpoints while ingestion and
+// snapshot queries run concurrently (the -race variant of the
+// crash-equivalence harness). Every checkpoint observed mid-flight must be
+// a consistent batch-boundary state: restoring it and replaying the prefix
+// it claims through a fresh engine yields the identical merged sample.
+func TestCheckpointConcurrentWithQueries(t *testing.T) {
+	edges := testStream(6_000, 120_000, 0xCC)
+	const m, P, batch = 10_000, 4, 4096
+	cfg := core.Config{Capacity: m, Seed: 0x77}
+	p, err := NewParallel(cfg, P)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		wg    sync.WaitGroup
+		stop  = make(chan struct{})
+		docMu sync.Mutex
+		docs  [][]byte
+	)
+	wg.Add(1)
+	go func() { // checkpoint taker
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if _, err := p.WriteCheckpoint(&buf, "uniform"); err != nil {
+				t.Error(err)
+				return
+			}
+			docMu.Lock()
+			docs = append(docs, buf.Bytes())
+			docMu.Unlock()
+		}
+	}()
+	for q := 0; q < 2; q++ {
+		wg.Add(1)
+		go func() { // snapshot queriers
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap, err := p.Snapshot()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_ = core.EstimatePost(snap)
+			}
+		}()
+	}
+	feedBatches(p, edges, batch)
+	close(stop)
+	wg.Wait()
+	// One more at the final position so the replay set is never empty.
+	docs = append(docs, engineCheckpoint(t, p, "uniform"))
+	p.Close()
+
+	checked := make(map[uint64]bool)
+	for _, doc := range docs {
+		restored := restoreEngine(t, doc)
+		pos := restored.Processed()
+		if pos%batch != 0 && pos != uint64(len(edges)) {
+			t.Fatalf("checkpoint cut a batch: position %d", pos)
+		}
+		if checked[pos] {
+			restored.Close()
+			continue
+		}
+		checked[pos] = true
+		replay, err := NewParallel(cfg, P)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedBatches(replay, edges[:pos], batch)
+		mr, err := restored.Merge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mf, err := replay.Merge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameSignature(t, "checkpoint replay", mr, mf)
+		restored.Close()
+		replay.Close()
+	}
+	if len(checked) == 0 {
+		t.Fatal("no checkpoints verified")
+	}
+}
+
+// TestCheckpointRejectsClosed pins the lifecycle contract.
+func TestCheckpointRejectsClosed(t *testing.T) {
+	p, err := NewParallel(core.Config{Capacity: 10, Seed: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if _, err := p.WriteCheckpoint(&bytes.Buffer{}, ""); err == nil {
+		t.Fatal("checkpoint of closed engine succeeded")
+	}
+}
+
+// TestEngineCheckpointRejectsCorruption covers container-level damage the
+// per-document checksums cannot see on their own: shard count mismatches
+// and trailing garbage.
+func TestEngineCheckpointRejectsCorruption(t *testing.T) {
+	p, err := NewParallel(core.Config{Capacity: 100, Seed: 9}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.ProcessBatch(testStream(200, 2000, 5))
+	doc := engineCheckpoint(t, p, "uniform")
+
+	if _, _, err := ReadParallelCheckpoint(bytes.NewReader(doc[:len(doc)-3]), nil); err == nil {
+		t.Fatal("truncated container accepted")
+	}
+	if _, _, err := ReadParallelCheckpoint(bytes.NewReader(append(append([]byte(nil), doc...), 0x00)), nil); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	for _, off := range []int{7, len(doc) / 2, len(doc) - 20} {
+		corrupt := append([]byte(nil), doc...)
+		corrupt[off] ^= 0x40
+		if _, _, err := ReadParallelCheckpoint(bytes.NewReader(corrupt), nil); err == nil {
+			t.Fatalf("bit flip at %d accepted", off)
+		}
+	}
+}

@@ -115,6 +115,12 @@ type Parallel struct {
 	shardsReused uint64
 	lastStall    atomic.Int64 // ns ingestion was blocked by the last Snapshot
 
+	// Checkpoint telemetry, guarded by mu: checkpoints taken, shard blobs
+	// freshly serialized, and clean shards whose cached blob was reused.
+	checkpoints     uint64
+	shardsEncoded   uint64
+	shardBlobReused uint64
+
 	// Merged-result cache: the most recent Snapshot merge and the shard
 	// epoch vector it reflects. A snapshot finding every epoch unchanged
 	// returns it directly — the merge is deterministic in the clones, so
@@ -134,6 +140,14 @@ type shard struct {
 	snapEpoch uint64    // epoch the last clone was taken at
 	lastClone *shardRef // immutable clone of s at snapEpoch, nil before first snapshot
 	clonePool sync.Pool // retired *core.Sampler clones for CloneReusing
+
+	// Checkpoint cache: the serialized GPSC blob of this shard at
+	// ckptEpoch, recording weight name ckptName. A checkpoint finding both
+	// unchanged reuses the bytes verbatim — clean shards skip
+	// re-serialization entirely. Guarded by p.mu.
+	ckptEpoch uint64
+	ckptName  string
+	ckptBytes []byte
 }
 
 // shardRef is a reference-counted immutable shard clone. refs counts the
@@ -375,34 +389,13 @@ func (p *Parallel) Snapshot() (*core.Sampler, error) {
 	refs := make([]*shardRef, len(p.shards))
 	var wg sync.WaitGroup
 	for i, sh := range p.shards {
-		if sh.lastClone != nil && sh.snapEpoch == sh.epoch {
-			// Clean since the previous clone: the clone is immutable, so
-			// this snapshot's merge can read it alongside any others.
-			sh.lastClone.refs++
-			refs[i] = sh.lastClone
+		var fresh bool
+		refs[i], fresh = p.acquireCloneLocked(sh, &wg)
+		if fresh {
+			p.shardsCloned++
+		} else {
 			p.shardsReused++
-			continue
 		}
-		ref := &shardRef{refs: 2} // the shard cache + this snapshot's merge
-		if old := sh.lastClone; old != nil {
-			old.refs-- // drop the cache reference
-			if old.refs == 0 {
-				sh.clonePool.Put(old.s)
-			}
-		}
-		sh.lastClone = ref
-		sh.snapEpoch = sh.epoch
-		refs[i] = ref
-		p.shardsCloned++
-		wg.Add(1)
-		go func(sh *shard, ref *shardRef) {
-			defer wg.Done()
-			var recycle *core.Sampler
-			if v := sh.clonePool.Get(); v != nil {
-				recycle = v.(*core.Sampler)
-			}
-			ref.s = sh.s.CloneReusing(recycle)
-		}(sh, ref)
 	}
 	p.snapshots++
 	wg.Wait()
@@ -417,12 +410,7 @@ func (p *Parallel) Snapshot() (*core.Sampler, error) {
 
 	p.mu.Lock()
 	for i, r := range refs {
-		r.refs--
-		if r.refs == 0 && p.shards[i].lastClone != r {
-			// Superseded while this merge was reading it; retire its
-			// backing arrays for the next dirty clone.
-			p.shards[i].clonePool.Put(r.s)
-		}
+		p.releaseCloneLocked(i, r)
 	}
 	if err == nil {
 		// Publish for the clean fast path. Concurrent snapshots may store
@@ -433,6 +421,51 @@ func (p *Parallel) Snapshot() (*core.Sampler, error) {
 	}
 	p.mu.Unlock()
 	return m, err
+}
+
+// acquireCloneLocked returns a reference to an immutable clone of sh frozen
+// at its current epoch, reporting whether a fresh clone had to be taken. A
+// shard untouched since its previous clone reuses that clone (it is
+// immutable; any number of merges may read it); a dirty shard registers a
+// new ref and schedules the clone on wg — the ref's sampler is valid only
+// after wg.Wait(). Callers hold p.mu with the shards drained and must
+// eventually hand the ref to releaseCloneLocked. Snapshot and
+// WriteCheckpoint share this path, so a checkpoint right after a snapshot
+// (or vice versa) clones nothing at all.
+func (p *Parallel) acquireCloneLocked(sh *shard, wg *sync.WaitGroup) (ref *shardRef, fresh bool) {
+	if sh.lastClone != nil && sh.snapEpoch == sh.epoch {
+		sh.lastClone.refs++
+		return sh.lastClone, false
+	}
+	ref = &shardRef{refs: 2} // the shard cache + the caller
+	if old := sh.lastClone; old != nil {
+		old.refs-- // drop the cache reference
+		if old.refs == 0 {
+			sh.clonePool.Put(old.s)
+		}
+	}
+	sh.lastClone = ref
+	sh.snapEpoch = sh.epoch
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var recycle *core.Sampler
+		if v := sh.clonePool.Get(); v != nil {
+			recycle = v.(*core.Sampler)
+		}
+		ref.s = sh.s.CloneReusing(recycle)
+	}()
+	return ref, true
+}
+
+// releaseCloneLocked drops the caller's reference on shard i's clone,
+// retiring the backing arrays for reuse when the clone is no longer the
+// shard's cached one and nobody else is reading it. Callers hold p.mu.
+func (p *Parallel) releaseCloneLocked(i int, ref *shardRef) {
+	ref.refs--
+	if ref.refs == 0 && p.shards[i].lastClone != ref {
+		p.shards[i].clonePool.Put(ref.s)
+	}
 }
 
 // SnapshotStats reports cumulative snapshot counters: snapshots taken,

@@ -1,0 +1,71 @@
+package exact
+
+import (
+	"testing"
+
+	"gps/internal/gen"
+	"gps/internal/graph"
+)
+
+// completeGraph returns K_n.
+func completeGraph(n int) *graph.Static {
+	var edges []graph.Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, graph.NewEdge(graph.NodeID(i), graph.NodeID(j)))
+		}
+	}
+	return graph.BuildStatic(edges)
+}
+
+// TestCliques4AndStars3Complete pins the closed forms on complete graphs:
+// C(n,4) 4-cliques and n·C(n-1,3) 3-stars.
+func TestCliques4AndStars3Complete(t *testing.T) {
+	for _, n := range []int64{4, 5, 7, 10} {
+		g := completeGraph(int(n))
+		if got, want := Cliques4(g), n*(n-1)*(n-2)*(n-3)/24; got != want {
+			t.Fatalf("Cliques4(K%d) = %d, want %d", n, got, want)
+		}
+		if got, want := Stars3(g), n*(n-1)*(n-2)*(n-3)/6; got != want {
+			t.Fatalf("Stars3(K%d) = %d, want %d", n, got, want)
+		}
+	}
+	// A triangle has no 4-clique and no 3-star.
+	g := completeGraph(3)
+	if Cliques4(g) != 0 || Stars3(g) != 0 {
+		t.Fatal("K3 should have no 4-cliques or 3-stars")
+	}
+}
+
+// TestCliques4BruteForce compares the anchored counter against a quartic
+// brute force on small random graphs.
+func TestCliques4BruteForce(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		edges := gen.ErdosRenyi(24, 120, seed)
+		g := graph.BuildStatic(edges)
+		n := g.NumNodes()
+		var want int64
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if !g.HasEdge(graph.NodeID(a), graph.NodeID(b)) {
+					continue
+				}
+				for c := b + 1; c < n; c++ {
+					if !g.HasEdge(graph.NodeID(a), graph.NodeID(c)) || !g.HasEdge(graph.NodeID(b), graph.NodeID(c)) {
+						continue
+					}
+					for d := c + 1; d < n; d++ {
+						if g.HasEdge(graph.NodeID(a), graph.NodeID(d)) &&
+							g.HasEdge(graph.NodeID(b), graph.NodeID(d)) &&
+							g.HasEdge(graph.NodeID(c), graph.NodeID(d)) {
+							want++
+						}
+					}
+				}
+			}
+		}
+		if got := Cliques4(g); got != want {
+			t.Fatalf("seed %d: Cliques4 = %d, brute force = %d", seed, got, want)
+		}
+	}
+}

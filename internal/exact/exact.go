@@ -136,6 +136,96 @@ func Triangles(g *graph.Static) int64 {
 	return total
 }
 
+// Stars3 returns the exact number of 3-stars (claws), Σ_v C(deg(v), 3) —
+// the ground truth for core.EstimateStars3Post.
+func Stars3(g *graph.Static) int64 {
+	var total int64
+	for v := 0; v < g.NumNodes(); v++ {
+		d := g.Degree(graph.NodeID(v))
+		total += d * (d - 1) * (d - 2) / 6
+	}
+	return total
+}
+
+// Cliques4 returns the exact number of 4-cliques — the ground truth for
+// core.EstimateCliques4Post. Each clique is counted once, anchored at the
+// edge joining its two smallest vertices (the same anchoring the estimator
+// uses): for every edge (u,v) with u < v, the common neighbors greater
+// than v are enumerated and each adjacent pair among them closes one
+// clique. The node loop is parallelized like Triangles; cost is
+// Σ_{(u,v)} C(c(u,v), 2) adjacency probes, cheap at the synthetic-dataset
+// scale the accuracy harness runs at.
+func Cliques4(g *graph.Static) int64 {
+	n := g.NumNodes()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	totals := make([]int64, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var local int64
+			var cands []graph.NodeID
+			for ui := lo; ui < hi; ui++ {
+				u := graph.NodeID(ui)
+				nu := g.Neighbors(u)
+				for _, v := range nu {
+					if v <= u {
+						continue
+					}
+					// Common neighbors of (u,v) greater than v, by merge.
+					cands = cands[:0]
+					nv := g.Neighbors(v)
+					i, j := 0, 0
+					for i < len(nu) && j < len(nv) {
+						x, y := nu[i], nv[j]
+						switch {
+						case x == y:
+							if x > v {
+								cands = append(cands, x)
+							}
+							i++
+							j++
+						case x < y:
+							i++
+						default:
+							j++
+						}
+					}
+					for i := 0; i < len(cands); i++ {
+						for j := i + 1; j < len(cands); j++ {
+							if g.HasEdge(cands[i], cands[j]) {
+								local++
+							}
+						}
+					}
+				}
+			}
+			totals[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var total int64
+	for _, t := range totals {
+		total += t
+	}
+	return total
+}
+
 // degreeRank assigns each node a rank by ascending (degree, id). Orienting
 // edges toward higher rank bounds every forward list by O(√m).
 func degreeRank(g *graph.Static) []int32 {

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"gps/internal/core"
+	"gps/internal/datasets"
+	"gps/internal/exact"
+	"gps/internal/graph"
+	"gps/internal/stats"
+	"gps/internal/stream"
+)
+
+// AccuracyRow is one (graph, sample size, motif) cell of the
+// statistical-accuracy experiment: the exact count, the mean estimate over
+// the trials, and the NRMSE — the same metric the tier-1 regression
+// harness in internal/core pins with committed bounds.
+type AccuracyRow struct {
+	Graph  string
+	M      int
+	Motif  string
+	Actual float64
+	Mean   float64
+	NRMSE  float64
+}
+
+// DefaultAccuracySampleSizes are the reservoir sizes the accuracy
+// experiment sweeps, matching the tier-1 harness.
+var DefaultAccuracySampleSizes = []int{1_000, 10_000, 100_000}
+
+// Accuracy measures the NRMSE of the four post-stream motif estimators
+// (triangles, wedges, 4-cliques, 3-stars) against exact counts across
+// sample sizes, averaged over Options.Trials stream permutations with the
+// paper's triangle weight. The default graphs are the two clustered
+// datasets whose exact 4-clique counts are cheap at any profile; pass
+// others explicitly to sweep them.
+func Accuracy(opts Options, sampleSizes []int, graphs []string) ([]AccuracyRow, error) {
+	opts = opts.withDefaults()
+	if len(sampleSizes) == 0 {
+		sampleSizes = DefaultAccuracySampleSizes
+	}
+	if len(graphs) == 0 {
+		graphs = []string{"ca-hollywood-2009", "com-amazon"}
+	}
+	var rows []AccuracyRow
+	for gi, name := range graphs {
+		d, err := datasets.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		edges := d.Edges(opts.Profile)
+		g := graph.BuildStatic(edges)
+		actual := map[string]float64{
+			"triangles": float64(exact.Triangles(g)),
+			"wedges":    float64(exact.Wedges(g)),
+			"cliques4":  float64(exact.Cliques4(g)),
+			"stars3":    float64(exact.Stars3(g)),
+		}
+		for _, m := range sampleSizes {
+			m := clampSample(m, len(edges))
+			got := map[string][]float64{}
+			for trial := 0; trial < opts.Trials; trial++ {
+				ss, ps := opts.trialSeed(gi, trial)
+				s, err := core.NewSampler(core.Config{
+					Capacity: m,
+					Weight:   core.TriangleWeight,
+					Seed:     ss + uint64(m),
+				})
+				if err != nil {
+					return nil, err
+				}
+				stream.Drive(stream.Permute(edges, ps+uint64(m)), func(e graph.Edge) { s.Process(e) })
+				est := core.EstimatePost(s)
+				got["triangles"] = append(got["triangles"], est.Triangles)
+				got["wedges"] = append(got["wedges"], est.Wedges)
+				got["cliques4"] = append(got["cliques4"], core.EstimateCliques4Post(s))
+				got["stars3"] = append(got["stars3"], core.EstimateStars3Post(s))
+			}
+			for _, motif := range []string{"triangles", "wedges", "cliques4", "stars3"} {
+				mean := 0.0
+				for _, v := range got[motif] {
+					mean += v
+				}
+				mean /= float64(len(got[motif]))
+				rows = append(rows, AccuracyRow{
+					Graph: name, M: m, Motif: motif,
+					Actual: actual[motif], Mean: mean,
+					NRMSE: stats.NRMSE(got[motif], actual[motif]),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderAccuracy formats accuracy rows as a text table.
+func RenderAccuracy(rows []AccuracyRow) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "graph\tm\tmotif\tactual\tmean estimate\tNRMSE")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%d\t%s\t%s\t%s\t%.4f\n",
+				r.Graph, r.M, r.Motif, human(r.Actual), human(r.Mean), r.NRMSE)
+		}
+	})
+}

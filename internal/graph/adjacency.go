@@ -1,5 +1,7 @@
 package graph
 
+import "fmt"
+
 // Adjacency is a dynamic undirected adjacency structure supporting edge
 // insertion, deletion and neighborhood queries. It is the topology index of
 // the GPS reservoir: W(k,K̂) weight functions and the triangle/wedge
@@ -113,6 +115,115 @@ func (a *Adjacency) CloneInto(dst *Adjacency) *Adjacency {
 	}
 	dst.nbrBack, dst.slotBack = nb, sb
 	return dst
+}
+
+// ExportDense returns views of the adjacency's complete dense state: the
+// dense-id → node table, the recycled-id free list, and the per-id neighbor
+// and slot runs. The views are read-only and invalidated by the next Add or
+// Remove. Together with RestoreAdjacency this is the durability surface of
+// the topology index: dense-id assignment (including the recycling history
+// baked into freed) determines estimator iteration order, so it must
+// survive a checkpoint bit for bit. The intern map is not exported — it is
+// derivable, and RestoreAdjacency rebuilds it.
+//
+// nodes entries at freed ids are stale values from released nodes; encoders
+// must normalize them (write 0) so serialized state is a function of live
+// state only.
+func (a *Adjacency) ExportDense() (nodes []NodeID, freed []int32, nbrs [][]NodeID, slots [][]int32) {
+	return a.nodes, a.freed, a.nbrs, a.slots
+}
+
+// RestoreAdjacency reconstructs an adjacency structure from state produced
+// by ExportDense (or decoded from a checkpoint), taking ownership of the
+// slices. It validates everything a forged or corrupted checkpoint could
+// break — freed ids must be in range, unique and own empty runs, live ids
+// must intern distinct nodes with non-empty, strictly ascending, self-free
+// neighbor runs and parallel slot runs, and every half-edge must have its
+// symmetric twin carrying the same slot annotation — and returns an error
+// (never panics) on any violation. Slot annotations are opaque here; the
+// reservoir layer cross-checks them against its heap arena.
+func RestoreAdjacency(nodes []NodeID, freed []int32, nbrs [][]NodeID, slots [][]int32) (*Adjacency, error) {
+	n := len(nodes)
+	if n > (1<<31)-1 {
+		return nil, fmt.Errorf("graph: dense table of %d ids exceeds int32", n)
+	}
+	if len(nbrs) != n || len(slots) != n {
+		return nil, fmt.Errorf("graph: dense tables disagree: %d nodes, %d neighbor runs, %d slot runs",
+			n, len(nbrs), len(slots))
+	}
+	isFreed := make([]bool, n)
+	for _, id := range freed {
+		if id < 0 || int(id) >= n {
+			return nil, fmt.Errorf("graph: freed id %d outside dense table of %d", id, n)
+		}
+		if isFreed[id] {
+			return nil, fmt.Errorf("graph: freed id %d listed twice", id)
+		}
+		isFreed[id] = true
+		if len(nbrs[id]) != 0 || len(slots[id]) != 0 {
+			return nil, fmt.Errorf("graph: freed id %d has a non-empty run", id)
+		}
+		if nodes[id] != 0 {
+			return nil, fmt.Errorf("graph: freed id %d has a non-zero node", id)
+		}
+	}
+	a := &Adjacency{
+		idx:   make(map[NodeID]int32, n-len(freed)),
+		nodes: nodes,
+		nbrs:  nbrs,
+		slots: slots,
+		freed: freed,
+	}
+	half := 0
+	for id := 0; id < n; id++ {
+		if isFreed[id] {
+			continue
+		}
+		v, run, sl := nodes[id], nbrs[id], slots[id]
+		if len(run) == 0 {
+			return nil, fmt.Errorf("graph: live id %d has no neighbors", id)
+		}
+		if len(sl) != len(run) {
+			return nil, fmt.Errorf("graph: id %d has %d neighbors but %d slots", id, len(run), len(sl))
+		}
+		if _, dup := a.idx[v]; dup {
+			return nil, fmt.Errorf("graph: node %d interned twice", v)
+		}
+		a.idx[v] = int32(id)
+		for j, u := range run {
+			if u == v {
+				return nil, fmt.Errorf("graph: self loop at node %d", v)
+			}
+			if j > 0 && run[j-1] >= u {
+				return nil, fmt.Errorf("graph: neighbor run of node %d is not strictly ascending", v)
+			}
+		}
+		half += len(run)
+	}
+	// Symmetry: every half-edge (v,u,slot) needs its twin (u,v,slot).
+	for id := 0; id < n; id++ {
+		if isFreed[id] {
+			continue
+		}
+		v := nodes[id]
+		for j, u := range nbrs[id] {
+			uid, ok := a.idx[u]
+			if !ok {
+				return nil, fmt.Errorf("graph: node %d lists neighbor %d, which is not interned", v, u)
+			}
+			run := nbrs[uid]
+			i := searchNode(run, v)
+			if i >= len(run) || run[i] != v {
+				return nil, fmt.Errorf("graph: edge %d-%d has no symmetric half", v, u)
+			}
+			if slots[uid][i] != slots[id][j] {
+				return nil, fmt.Errorf("graph: edge %d-%d slot annotations disagree (%d vs %d)",
+					v, u, slots[id][j], slots[uid][i])
+			}
+		}
+	}
+	a.edges = half / 2
+	return a, nil
 }
 
 // intern returns the dense id of v, allocating one if v is new.

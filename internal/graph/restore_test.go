@@ -1,0 +1,195 @@
+package graph
+
+import (
+	"testing"
+)
+
+// churnAdjacency builds an adjacency that has interned, released and
+// recycled dense ids, so the free list and id layout are non-trivial.
+func churnAdjacency() *Adjacency {
+	a := NewAdjacency()
+	for i := 0; i < 40; i++ {
+		a.AddWithSlot(NewEdge(NodeID(i), NodeID(i+1)), int32(i))
+		a.AddWithSlot(NewEdge(NodeID(i), NodeID(i+7)), int32(100+i))
+	}
+	for i := 0; i < 40; i += 3 {
+		a.Remove(NewEdge(NodeID(i), NodeID(i+1)))
+	}
+	// Isolated pairs added and fully removed free both endpoints' dense
+	// ids; the follow-up adds recycle some of them, leaving a non-empty
+	// free list and a scrambled id layout.
+	for i := 0; i < 10; i++ {
+		a.AddWithSlot(NewEdge(NodeID(1000+i), NodeID(2000+i)), int32(300+i))
+	}
+	for i := 0; i < 10; i++ {
+		a.Remove(NewEdge(NodeID(1000+i), NodeID(2000+i)))
+	}
+	for i := 0; i < 7; i++ {
+		a.AddWithSlot(NewEdge(NodeID(200+i), NodeID(300+i)), int32(200+i))
+	}
+	return a
+}
+
+// exportDenseCopy deep-copies the exported state (with freed node entries
+// normalized to zero, as an encoder would) so RestoreAdjacency can take
+// ownership.
+func exportDenseCopy(a *Adjacency) (nodes []NodeID, freed []int32, nbrs [][]NodeID, slots [][]int32) {
+	n, f, nb, sl := a.ExportDense()
+	nodes = append([]NodeID(nil), n...)
+	freed = append([]int32(nil), f...)
+	nbrs = make([][]NodeID, len(nb))
+	slots = make([][]int32, len(sl))
+	for i := range nb {
+		if len(nb[i]) > 0 {
+			nbrs[i] = append([]NodeID(nil), nb[i]...)
+			slots[i] = append([]int32(nil), sl[i]...)
+		}
+	}
+	for _, id := range freed {
+		nodes[id] = 0
+	}
+	return nodes, freed, nbrs, slots
+}
+
+// TestRestoreAdjacencyRoundTrip verifies a restored adjacency is observably
+// identical across the whole query surface, including dense-id layout.
+func TestRestoreAdjacencyRoundTrip(t *testing.T) {
+	a := churnAdjacency()
+	r, err := RestoreAdjacency(exportDenseCopy(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumEdges() != a.NumEdges() || r.NumNodes() != a.NumNodes() || r.DenseLen() != a.DenseLen() {
+		t.Fatalf("counts differ: %d/%d/%d vs %d/%d/%d",
+			r.NumEdges(), r.NumNodes(), r.DenseLen(), a.NumEdges(), a.NumNodes(), a.DenseLen())
+	}
+	for id := 0; id < a.DenseLen(); id++ {
+		_, an, as := a.RunAt(id)
+		_, rn, rs := r.RunAt(id)
+		if len(an) != len(rn) {
+			t.Fatalf("id %d: run lengths differ", id)
+		}
+		for j := range an {
+			if an[j] != rn[j] || as[j] != rs[j] {
+				t.Fatalf("id %d position %d differs", id, j)
+			}
+		}
+	}
+	a.ForEachEdge(func(e Edge) bool {
+		if !r.Has(e) || r.SlotOf(e) != a.SlotOf(e) {
+			t.Fatalf("edge %v lost or reslotted", e)
+		}
+		return true
+	})
+	// Both must evolve identically: the next interns recycle the same
+	// dense ids in the same order, so dense layout stays in lockstep.
+	for i := 0; i < 6; i++ {
+		e := NewEdge(NodeID(9990+i), NodeID(10000+i))
+		a.AddWithSlot(e, int32(70+i))
+		r.AddWithSlot(e, int32(70+i))
+	}
+	if a.DenseLen() != r.DenseLen() {
+		t.Fatalf("dense growth diverged: %d vs %d", a.DenseLen(), r.DenseLen())
+	}
+	for id := 0; id < a.DenseLen(); id++ {
+		an, _, _ := a.RunAt(id)
+		rn, _, _ := r.RunAt(id)
+		if len(a.nbrs[id]) > 0 && an != rn {
+			t.Fatalf("dense id %d interned %d vs %d after growth", id, an, rn)
+		}
+	}
+}
+
+// TestRestoreAdjacencyRejectsCorruption feeds RestoreAdjacency every class
+// of broken state a corrupted checkpoint could produce.
+func TestRestoreAdjacencyRejectsCorruption(t *testing.T) {
+	type state struct {
+		nodes []NodeID
+		freed []int32
+		nbrs  [][]NodeID
+		slots [][]int32
+	}
+	base := func() state {
+		n, f, nb, sl := exportDenseCopy(churnAdjacency())
+		return state{n, f, nb, sl}
+	}
+	liveID := func(s state) int {
+		for id := range s.nbrs {
+			if len(s.nbrs[id]) > 0 {
+				return id
+			}
+		}
+		t.Fatal("no live id")
+		return -1
+	}
+	cases := []struct {
+		name   string
+		break_ func(s state) state
+	}{
+		{"freed out of range", func(s state) state { s.freed[0] = int32(len(s.nodes)); return s }},
+		{"freed listed twice", func(s state) state { s.freed[1] = s.freed[0]; return s }},
+		{"freed with run", func(s state) state {
+			s.nbrs[s.freed[0]] = []NodeID{1}
+			s.slots[s.freed[0]] = []int32{0}
+			return s
+		}},
+		{"freed with node", func(s state) state { s.nodes[s.freed[0]] = 42; return s }},
+		{"table length mismatch", func(s state) state { s.nbrs = s.nbrs[:len(s.nbrs)-1]; return s }},
+		{"slot run length mismatch", func(s state) state {
+			id := liveID(s)
+			s.slots[id] = s.slots[id][:len(s.slots[id])-1]
+			return s
+		}},
+		{"unsorted run", func(s state) state {
+			for id := range s.nbrs {
+				if len(s.nbrs[id]) >= 2 {
+					s.nbrs[id][0], s.nbrs[id][1] = s.nbrs[id][1], s.nbrs[id][0]
+					return s
+				}
+			}
+			t.Fatal("no run of length 2")
+			return s
+		}},
+		{"self loop", func(s state) state {
+			id := liveID(s)
+			s.nbrs[id][0] = s.nodes[id]
+			return s
+		}},
+		{"node interned twice", func(s state) state {
+			a, b := -1, -1
+			for id := range s.nbrs {
+				if len(s.nbrs[id]) > 0 {
+					if a < 0 {
+						a = id
+					} else {
+						b = id
+						break
+					}
+				}
+			}
+			s.nodes[b] = s.nodes[a]
+			return s
+		}},
+		{"asymmetric half", func(s state) state {
+			id := liveID(s)
+			s.nbrs[id] = append([]NodeID(nil), s.nbrs[id]...)
+			s.slots[id] = append([]int32(nil), s.slots[id]...)
+			s.nbrs[id][len(s.nbrs[id])-1] = 65000 // not interned anywhere
+			return s
+		}},
+		{"slot annotation disagrees", func(s state) state {
+			id := liveID(s)
+			s.slots[id] = append([]int32(nil), s.slots[id]...)
+			s.slots[id][0]++
+			return s
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.break_(base())
+			if _, err := RestoreAdjacency(s.nodes, s.freed, s.nbrs, s.slots); err == nil {
+				t.Fatal("corrupted state accepted")
+			}
+		})
+	}
+}

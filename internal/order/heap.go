@@ -20,6 +20,9 @@
 package order
 
 import (
+	"fmt"
+	"math"
+
 	"gps/internal/graph"
 	"gps/internal/randx"
 )
@@ -85,6 +88,95 @@ func (h *Heap) CloneInto(dst *Heap) *Heap {
 	dst.tab.used = h.tab.used
 	dst.tab.mask = h.tab.mask
 	return dst
+}
+
+// ExportState returns views of the heap's complete internal state: the
+// entry arena (slot id → entry, including freed slots), the recycled-slot
+// free list, and the heap array of slot ids in heap order. The views are
+// read-only and invalidated by the next Push or PopMin. Together with
+// RestoreHeap this is the durability surface of the reservoir: the exported
+// triple determines the heap bit for bit, including the layout future sift
+// operations and slot assignments depend on. The edge-key index is not
+// exported — it is derivable, and RestoreHeap rebuilds it.
+//
+// Entries at freed slots are garbage left by past evictions; encoders must
+// normalize them (write the zero Entry) so serialized state is a function
+// of live state only.
+func (h *Heap) ExportState() (arena []Entry, freed []int32, heapOrder []int32) {
+	return h.arena, h.freed, h.heap
+}
+
+// RestoreHeap reconstructs a heap from state produced by ExportState (or
+// decoded from a checkpoint), taking ownership of the slices. It validates
+// every structural invariant a forged or corrupted checkpoint could break —
+// freed and heap slots must exactly partition the arena, freed entries must
+// be zeroed, live entries must hold canonical edges with distinct keys,
+// positive finite weights and priorities, finite covariance accumulators,
+// and the heap array must satisfy the min-heap property — and returns an
+// error (never panics) on any violation. The edge-key index is rebuilt from
+// the live entries; its bucket layout is unobservable, so a restored heap
+// evolves bit-identically to the exported one.
+func RestoreHeap(arena []Entry, freed, heapOrder []int32) (*Heap, error) {
+	n := len(arena)
+	if n > (1<<31)-1 {
+		return nil, fmt.Errorf("order: arena of %d slots exceeds int32", n)
+	}
+	if len(freed)+len(heapOrder) != n {
+		return nil, fmt.Errorf("order: %d freed + %d live slots do not partition arena of %d",
+			len(freed), len(heapOrder), n)
+	}
+	seen := make([]bool, n)
+	mark := func(slot int32) error {
+		if slot < 0 || int(slot) >= n {
+			return fmt.Errorf("order: slot %d outside arena of %d", slot, n)
+		}
+		if seen[slot] {
+			return fmt.Errorf("order: slot %d listed twice", slot)
+		}
+		seen[slot] = true
+		return nil
+	}
+	for _, slot := range freed {
+		if err := mark(slot); err != nil {
+			return nil, err
+		}
+		if arena[slot] != (Entry{}) {
+			return nil, fmt.Errorf("order: freed slot %d holds a non-zero entry", slot)
+		}
+	}
+	h := &Heap{arena: arena, freed: freed, heap: heapOrder}
+	h.tab.init(len(heapOrder) + 1)
+	for i, slot := range heapOrder {
+		if err := mark(slot); err != nil {
+			return nil, err
+		}
+		ent := &arena[slot]
+		if !ent.Edge.Canonical() {
+			return nil, fmt.Errorf("order: slot %d holds non-canonical edge %v", slot, ent.Edge)
+		}
+		if !(ent.Weight > 0) || math.IsInf(ent.Weight, 0) {
+			return nil, fmt.Errorf("order: slot %d weight %v is not positive finite", slot, ent.Weight)
+		}
+		if !(ent.Priority > 0) || math.IsInf(ent.Priority, 0) {
+			return nil, fmt.Errorf("order: slot %d priority %v is not positive finite", slot, ent.Priority)
+		}
+		if math.IsNaN(ent.TriCov) || math.IsInf(ent.TriCov, 0) ||
+			math.IsNaN(ent.WedgeCov) || math.IsInf(ent.WedgeCov, 0) {
+			return nil, fmt.Errorf("order: slot %d covariance accumulators are not finite", slot)
+		}
+		if i > 0 {
+			parent := heapOrder[(i-1)/2]
+			if arena[parent].Priority > ent.Priority {
+				return nil, fmt.Errorf("order: heap property violated at position %d", i)
+			}
+		}
+		key := ent.Edge.Key()
+		if _, dup := h.tab.get(key); dup {
+			return nil, fmt.Errorf("order: duplicate edge %v", ent.Edge)
+		}
+		h.tab.put(key, slot)
+	}
+	return h, nil
 }
 
 // Len returns the number of stored entries.

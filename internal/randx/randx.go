@@ -18,7 +18,10 @@
 // used by the NSAMP baseline's bulk replacement step.
 package randx
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // splitmix64 advances the given state and returns the next value of the
 // splitmix64 sequence. It is used only for seeding.
@@ -74,6 +77,22 @@ func (r *RNG) Split() *RNG {
 func (r *RNG) Clone() *RNG {
 	c := *r
 	return &c
+}
+
+// State returns the generator's raw xoshiro256++ state words. Together with
+// FromState it makes the RNG durable: a checkpointed state resumes the
+// identical draw sequence.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// FromState returns a generator positioned at the given raw state. The
+// all-zero state is the one invalid xoshiro256++ state (the generator would
+// emit zeros forever), so it is rejected — a checkpoint decoder must treat
+// it as corruption, never construct around it.
+func FromState(s [4]uint64) (*RNG, error) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return nil, errors.New("randx: all-zero RNG state")
+	}
+	return &RNG{s: s}, nil
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -34,15 +34,20 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"gps/internal/checkpoint"
 	"gps/internal/core"
 	"gps/internal/engine"
 	"gps/internal/graph"
@@ -77,6 +82,24 @@ type Config struct {
 	// 0 means every query sees a fresh snapshot. Requests may tighten or
 	// relax it per call with ?max_stale=<duration>.
 	MaxStaleness time.Duration
+
+	// RestoreFrom restores the sampler data plane on boot from a GPSC
+	// checkpoint: a file path, or a directory whose newest *.gpsc file is
+	// used. The checkpoint's capacity, weight and shard count override the
+	// fields above — the restored state is only meaningful under the
+	// configuration it was taken with. Empty starts fresh.
+	RestoreFrom string
+	// CheckpointDir is where POST /v1/checkpoint and the periodic
+	// checkpointer persist snapshots (atomic rename, retention-pruned).
+	// Empty disables persistence; GET /v1/checkpoint still streams
+	// checkpoints over HTTP.
+	CheckpointDir string
+	// CheckpointEvery takes a checkpoint into CheckpointDir on this period;
+	// 0 disables periodic checkpoints.
+	CheckpointEvery time.Duration
+	// CheckpointKeep bounds how many checkpoint files retention keeps in
+	// CheckpointDir; <= 0 means 3.
+	CheckpointKeep int
 }
 
 // Server is the live sampling service. Construct with NewServer, expose
@@ -100,10 +123,20 @@ type Server struct {
 	closed         atomic.Bool
 	start          time.Time
 	edgesAccepted  atomic.Uint64 // edges admitted to the queue
-	edgesProcessed atomic.Uint64 // edges handed to the sampler
+	edgesProcessed atomic.Uint64 // edges handed to the sampler (restored position on boot)
 	batchesDropped atomic.Uint64 // ingest requests rejected by backpressure
 	pendingEdges   atomic.Int64
 	pendingBatches atomic.Int64
+
+	// Durability state. ckptMu serializes file writes and retention so a
+	// manual POST /v1/checkpoint cannot interleave with the periodic
+	// checkpointer's rename+prune.
+	ckptMu             sync.Mutex
+	checkpointsWritten atomic.Uint64
+	lastCheckpointNS   atomic.Int64 // unix ns of the last persisted checkpoint
+	lastCheckpointErr  atomic.Value // string; "" when the last attempt succeeded
+	restoredFrom       string       // checkpoint path restored on boot, "" if fresh
+	restoredPosition   uint64       // stream position carried by that checkpoint
 }
 
 type ingestItem struct {
@@ -126,33 +159,113 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.WeightName == "" {
 		cfg.WeightName = "uniform"
 	}
-	par, err := engine.NewParallel(core.Config{
-		Capacity: cfg.Capacity,
-		Weight:   cfg.Weight,
-		Seed:     cfg.Seed,
-	}, cfg.Shards)
-	if err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
+	if cfg.CheckpointKeep <= 0 {
+		cfg.CheckpointKeep = 3
+	}
+	if cfg.CheckpointDir != "" {
+		// Fail at boot, not on the first (possibly periodic and therefore
+		// silent) checkpoint: a mistyped directory must not yield a server
+		// that merely *looks* durable.
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: checkpoint dir: %w", err)
+		}
+		// Sweep temporaries stranded by crashes mid-checkpoint; only
+		// completed files carry the .gpsc extension, so anything else from
+		// the write pipeline is garbage. One server owns a checkpoint dir.
+		if entries, err := os.ReadDir(cfg.CheckpointDir); err == nil {
+			for _, e := range entries {
+				name := e.Name()
+				if e.Type().IsRegular() &&
+					(strings.HasSuffix(name, ".partial") || strings.Contains(name, ".partial.tmp") ||
+						strings.Contains(name, checkpoint.FileExt+".tmp")) {
+					os.Remove(filepath.Join(cfg.CheckpointDir, name))
+				}
+			}
+		}
+	}
+	var (
+		par              *engine.Parallel
+		restoredFrom     string
+		restoredPosition uint64
+	)
+	if cfg.RestoreFrom != "" {
+		path, err := checkpoint.ResolvePath(cfg.RestoreFrom)
+		if err != nil {
+			return nil, fmt.Errorf("serve: restore: %w", err)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("serve: restore: %w", err)
+		}
+		restored, weightName, err := engine.ReadParallelCheckpoint(f, WeightByName)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("serve: restore %s: %w", path, err)
+		}
+		// The checkpoint's configuration wins: restored reservoirs are only
+		// meaningful under the capacity/weight/shards they were taken with.
+		par = restored
+		cfg.Capacity = restored.Capacity()
+		cfg.Shards = restored.Shards()
+		cfg.WeightName = weightName
+		cfg.Weight, _ = WeightByName(weightName)
+		restoredFrom = path
+		restoredPosition = restored.Processed()
+	} else {
+		fresh, err := engine.NewParallel(core.Config{
+			Capacity: cfg.Capacity,
+			Weight:   cfg.Weight,
+			Seed:     cfg.Seed,
+		}, cfg.Shards)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		par = fresh
+		cfg.Shards = fresh.Shards() // resolve the <=0 GOMAXPROCS default
 	}
 	s := &Server{
-		cfg:   cfg,
-		par:   par,
-		queue: make(chan ingestItem, cfg.QueueDepth),
-		done:  make(chan struct{}),
-		start: time.Now(),
+		cfg:              cfg,
+		par:              par,
+		queue:            make(chan ingestItem, cfg.QueueDepth),
+		done:             make(chan struct{}),
+		start:            time.Now(),
+		restoredFrom:     restoredFrom,
+		restoredPosition: restoredPosition,
 	}
+	// Resume the stream-position counter so the snapshot cache's
+	// "provably current" check (est.Arrivals == position at zero traffic)
+	// keeps working across a restart.
+	s.edgesProcessed.Store(restoredPosition)
+	s.lastCheckpointErr.Store("")
 	s.snaps = newSnapshotCache(par.Snapshot, s.edgesProcessed.Load)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("POST /v1/estimate/subgraph", s.handleSubgraph)
 	s.mux.HandleFunc("POST /v1/flush", s.handleFlush)
+	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("GET /v1/checkpoint", s.handleCheckpointDownload)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.wg.Add(1)
 	go s.ingestLoop()
+	if cfg.CheckpointEvery > 0 && cfg.CheckpointDir != "" {
+		s.wg.Add(1)
+		go s.checkpointLoop()
+	}
 	return s, nil
 }
+
+// Restored reports the checkpoint the server booted from and the stream
+// position it carried; an empty path means a fresh start.
+func (s *Server) Restored() (path string, position uint64) {
+	return s.restoredFrom, s.restoredPosition
+}
+
+// EffectiveConfig returns the configuration the server actually runs with
+// — after defaulting, and after a restore overrode capacity, weight and
+// shard count with the checkpoint's values.
+func (s *Server) EffectiveConfig() Config { return s.cfg }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -298,42 +411,198 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleFlush blocks until everything enqueued before it has reached the
-// sampler, then reports the arrival count. It gives deterministic
-// read-your-writes sequencing to tests and loaders.
-func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
-	// Same closeMu discipline as handleIngest: while the read lock is
-	// held, Close cannot flip closed, so a marker admitted here is
-	// guaranteed to be consumed (shutdown drains the queue) and the
-	// pending counter cannot leak.
+var errServerClosed = errors.New("server closed")
+
+// flushBarrier blocks until everything enqueued before it has reached the
+// sampler — the read-your-writes primitive behind /v1/flush and the
+// checkpoint handlers (a checkpoint must cover every batch acknowledged
+// before it was requested). It follows the closeMu discipline of
+// handleIngest: while the read lock is held, Close cannot flip closed, so a
+// marker admitted here is guaranteed to be consumed (shutdown drains the
+// queue) and the pending counter cannot leak.
+func (s *Server) flushBarrier(ctx context.Context) error {
 	s.closeMu.RLock()
 	if s.closed.Load() {
 		s.closeMu.RUnlock()
-		httpError(w, http.StatusServiceUnavailable, "server closed")
-		return
+		return errServerClosed
 	}
 	ack := make(chan struct{})
 	s.pendingBatches.Add(1)
 	select {
 	case s.queue <- ingestItem{ack: ack}:
 		s.closeMu.RUnlock()
-	case <-r.Context().Done():
+	case <-ctx.Done():
 		s.pendingBatches.Add(-1)
 		s.closeMu.RUnlock()
-		httpError(w, http.StatusServiceUnavailable, "canceled")
-		return
+		return ctx.Err()
 	}
 	select {
 	case <-ack:
-		// Drop any pre-flush snapshot so a follow-up estimate at the
-		// default staleness bound sees the acknowledged writes.
-		s.snaps.invalidate()
-		writeJSON(w, http.StatusOK, map[string]any{"arrivals": s.par.Arrivals()})
+		return nil
 	case <-s.done:
-		httpError(w, http.StatusServiceUnavailable, "server closed")
-	case <-r.Context().Done():
-		httpError(w, http.StatusServiceUnavailable, "canceled")
+		return errServerClosed
+	case <-ctx.Done():
+		return ctx.Err()
 	}
+}
+
+// handleFlush blocks until everything enqueued before it has reached the
+// sampler, then reports the arrival count. It gives deterministic
+// read-your-writes sequencing to tests and loaders.
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if err := s.flushBarrier(r.Context()); err != nil {
+		httpError(w, http.StatusServiceUnavailable, flushErrMsg(err))
+		return
+	}
+	// Drop any pre-flush snapshot so a follow-up estimate at the
+	// default staleness bound sees the acknowledged writes.
+	s.snaps.invalidate()
+	writeJSON(w, http.StatusOK, map[string]any{"arrivals": s.par.Arrivals()})
+}
+
+func flushErrMsg(err error) string {
+	if errors.Is(err, errServerClosed) {
+		return "server closed"
+	}
+	return "canceled"
+}
+
+// writeCheckpointFile persists one checkpoint into CheckpointDir with
+// crash-safe visibility and prunes retention, returning the stream
+// position the file covers (reported by the engine atomically with the
+// serialized state — concurrent ingest cannot skew it). Callers have
+// already drained the ingest queue. The file is first written under a
+// position-less temporary name, then renamed to embed the covered
+// position, so retention order, lexicographic order and stream order all
+// agree.
+func (s *Server) writeCheckpointFile() (path string, bytes int64, position uint64, err error) {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	tmp := filepath.Join(s.cfg.CheckpointDir, fmt.Sprintf("inflight-%019d.partial", time.Now().UnixNano()))
+	bytes, err = checkpoint.WriteFileAtomic(tmp, func(w io.Writer) error {
+		var werr error
+		position, werr = s.par.WriteCheckpoint(w, s.cfg.WeightName)
+		return werr
+	})
+	if err == nil {
+		name := fmt.Sprintf("ckpt-%020d-%019d%s", position, time.Now().UnixNano(), checkpoint.FileExt)
+		path = filepath.Join(s.cfg.CheckpointDir, name)
+		if err = os.Rename(tmp, path); err != nil {
+			os.Remove(tmp)
+		} else {
+			// The 200 response names the final path; the rename must
+			// survive power loss too, or the boot sweep would collect the
+			// .partial remnant and silently discard an acknowledged
+			// checkpoint.
+			checkpoint.SyncDir(s.cfg.CheckpointDir)
+		}
+	}
+	if err != nil {
+		s.lastCheckpointErr.Store(err.Error())
+		return "", 0, 0, err
+	}
+	// The checkpoint is durable from here on: a retention failure is
+	// surfaced through /v1/stats but must not turn an already-persisted
+	// checkpoint into a reported failure.
+	s.checkpointsWritten.Add(1)
+	s.lastCheckpointNS.Store(time.Now().UnixNano())
+	if perr := checkpoint.Prune(s.cfg.CheckpointDir, s.cfg.CheckpointKeep); perr != nil {
+		s.lastCheckpointErr.Store("retention: " + perr.Error())
+	} else {
+		s.lastCheckpointErr.Store("")
+	}
+	return path, bytes, position, nil
+}
+
+// checkpointLoop is the periodic checkpointer: every CheckpointEvery it
+// drains the queue and persists a checkpoint, so a crash loses at most one
+// period of ingestion. Failures are surfaced through /v1/stats
+// (last_checkpoint_error) and retried on the next tick.
+func (s *Server) checkpointLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.CheckpointEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+			if err := s.flushBarrier(context.Background()); err != nil {
+				return // only fails when the server is closing
+			}
+			_, _, _, _ = s.writeCheckpointFile() // error recorded for /v1/stats
+		}
+	}
+}
+
+// handleCheckpoint (POST /v1/checkpoint) drains the ingest queue, persists
+// a checkpoint into CheckpointDir and reports where it landed. Everything
+// acknowledged with 202 before this request is covered by the file.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.CheckpointDir == "" {
+		httpError(w, http.StatusBadRequest, "no checkpoint directory configured (start with -checkpoint-dir)")
+		return
+	}
+	start := time.Now()
+	if err := s.flushBarrier(r.Context()); err != nil {
+		httpError(w, http.StatusServiceUnavailable, flushErrMsg(err))
+		return
+	}
+	path, n, position, err := s.writeCheckpointFile()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"path":        path,
+		"bytes":       n,
+		"position":    position,
+		"duration_ms": float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// handleCheckpointDownload (GET /v1/checkpoint) streams a checkpoint of the
+// current state over HTTP — the migration path: a new host can boot from
+// `curl .../v1/checkpoint > state.gpsc` + `-restore state.gpsc` without the
+// old host ever touching disk. The trailing checksum lets the receiver
+// verify integrity end to end.
+func (s *Server) handleCheckpointDownload(w http.ResponseWriter, r *http.Request) {
+	if err := s.flushBarrier(r.Context()); err != nil {
+		httpError(w, http.StatusServiceUnavailable, flushErrMsg(err))
+		return
+	}
+	cw := &countingWriter{w: w}
+	if _, err := s.par.WriteCheckpoint(cw, s.cfg.WeightName); err != nil {
+		if cw.n == 0 {
+			// Nothing sent yet (headers included): a proper error status is
+			// still possible — e.g. the engine closed under a racing
+			// shutdown. Without this, curl -f would record an empty 200
+			// body as a successful migration.
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		// Mid-stream failure: abort the connection so the client sees a
+		// transport error instead of a cleanly-terminated short body (the
+		// trailing checksum would also expose it, but only at restore time).
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// countingWriter defers the checkpoint download's Content-Type and implicit
+// 200 until the first byte actually flows, so an immediate failure can
+// still turn into an error status.
+type countingWriter struct {
+	w http.ResponseWriter
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.n == 0 && len(p) > 0 {
+		c.w.Header().Set("Content-Type", checkpoint.ContentType)
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // maxStale resolves the effective staleness bound for a request.
@@ -443,25 +712,40 @@ func (s *Server) handleSubgraph(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snapTaken, snapArrivals := s.snaps.last()
 	snapshots, cloned, reused := s.par.SnapshotStats()
+	ckpts, encoded, blobReused := s.par.CheckpointStats()
 	stats := map[string]any{
-		"snapshots":         snapshots,
-		"shards_cloned":     cloned,
-		"shards_reused":     reused,
-		"snapshot_stall_ms": float64(s.par.LastSnapshotStall()) / float64(time.Millisecond),
-		"capacity":          s.cfg.Capacity,
-		"weight":            s.cfg.WeightName,
-		"shards":            s.par.Shards(),
-		"queue_depth":       s.cfg.QueueDepth,
-		"pending_batches":   s.pendingBatches.Load(),
-		"pending_edges":     s.pendingEdges.Load(),
-		"edges_accepted":    s.edgesAccepted.Load(),
-		"edges_processed":   s.edgesProcessed.Load(),
-		"batches_rejected":  s.batchesDropped.Load(),
-		"snapshot_arrivals": snapArrivals,
-		"uptime_ms":         float64(time.Since(s.start)) / float64(time.Millisecond),
+		"snapshots":              snapshots,
+		"shards_cloned":          cloned,
+		"shards_reused":          reused,
+		"checkpoints":            ckpts,
+		"checkpoint_shards_enc":  encoded,
+		"checkpoint_blobs_reuse": blobReused,
+		"checkpoints_written":    s.checkpointsWritten.Load(),
+		"snapshot_stall_ms":      float64(s.par.LastSnapshotStall()) / float64(time.Millisecond),
+		"capacity":               s.cfg.Capacity,
+		"weight":                 s.cfg.WeightName,
+		"shards":                 s.par.Shards(),
+		"queue_depth":            s.cfg.QueueDepth,
+		"pending_batches":        s.pendingBatches.Load(),
+		"pending_edges":          s.pendingEdges.Load(),
+		"edges_accepted":         s.edgesAccepted.Load(),
+		"edges_processed":        s.edgesProcessed.Load(),
+		"batches_rejected":       s.batchesDropped.Load(),
+		"snapshot_arrivals":      snapArrivals,
+		"uptime_ms":              float64(time.Since(s.start)) / float64(time.Millisecond),
 	}
 	if !snapTaken.IsZero() {
 		stats["snapshot_age_ms"] = float64(time.Since(snapTaken)) / float64(time.Millisecond)
+	}
+	if msg, ok := s.lastCheckpointErr.Load().(string); ok && msg != "" {
+		stats["last_checkpoint_error"] = msg
+	}
+	if ns := s.lastCheckpointNS.Load(); ns != 0 {
+		stats["last_checkpoint_age_ms"] = float64(time.Now().UnixNano()-ns) / float64(time.Millisecond)
+	}
+	if s.restoredFrom != "" {
+		stats["restored_from"] = s.restoredFrom
+		stats["restored_position"] = s.restoredPosition
 	}
 	writeJSON(w, http.StatusOK, stats)
 }
@@ -487,18 +771,17 @@ func httpError(w http.ResponseWriter, status int, msg string) {
 }
 
 // WeightByName maps a CLI/config weight name to the function the service
-// shards can share. The stateful "adaptive" weight is rejected: shards
-// evaluate the weight concurrently.
+// shards can share, delegating to core.ResolveWeight — the same mapping
+// checkpoint restore uses, so every weight the service can run it can also
+// restore. The stateful "adaptive" weight is rejected with a serve-specific
+// reason: shards evaluate the weight concurrently.
 func WeightByName(name string) (core.WeightFunc, error) {
-	switch name {
-	case "uniform", "":
-		return nil, nil
-	case "triangle":
-		return core.TriangleWeight, nil
-	case "adjacency":
-		return core.AdjacencyWeight, nil
-	case "adaptive":
+	if name == "adaptive" {
 		return nil, errors.New("serve: the stateful adaptive weight cannot be shared across shards")
 	}
-	return nil, fmt.Errorf("serve: unknown weight %q (want uniform, triangle or adjacency)", name)
+	w, err := core.ResolveWeight(name)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	return w, nil
 }

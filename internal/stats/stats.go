@@ -37,6 +37,29 @@ func MARE(estimates, actuals []float64) float64 {
 	return sum / float64(len(estimates))
 }
 
+// NRMSE returns the normalized root-mean-square error of a set of
+// estimates of one quantity: sqrt(mean((estimate-actual)²))/|actual| —
+// the accuracy-regression metric that, unlike a mean ARE, punishes
+// variance and bias together. For actual == 0 it returns 0 when every
+// estimate is also 0 and +Inf otherwise; empty input returns 0.
+func NRMSE(estimates []float64, actual float64) float64 {
+	if len(estimates) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, e := range estimates {
+		d := e - actual
+		sum += d * d
+	}
+	if actual == 0 {
+		if sum == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Sqrt(sum/float64(len(estimates))) / math.Abs(actual)
+}
+
 // MaxARE returns the maximum absolute relative error over paired series.
 func MaxARE(estimates, actuals []float64) float64 {
 	if len(estimates) != len(actuals) {

@@ -72,6 +72,24 @@ func Collect(s Stream) []graph.Edge {
 	}
 }
 
+// Skip drains and discards up to n edges from s and reports how many it
+// actually consumed (fewer only when the stream ran out). It is the resume
+// primitive of checkpoint restore: a restored sampler has already consumed
+// a prefix of the (deterministically re-generated) stream, so the replay
+// must skip exactly that many edges — through whatever combinators wrap
+// the source, so stateful stages like Simplify observe the skipped prefix
+// too. Callers must treat skipped < n as a mismatched input: the stream
+// being resumed is not the one that was checkpointed.
+func Skip(s Stream, n uint64) (skipped uint64) {
+	for skipped < n {
+		if _, ok := s.Next(); !ok {
+			return skipped
+		}
+		skipped++
+	}
+	return skipped
+}
+
 // Drive feeds every edge of s to fn.
 func Drive(s Stream, fn func(graph.Edge)) {
 	for {

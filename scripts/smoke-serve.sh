@@ -3,11 +3,14 @@
 # generated graph (binary framing), query an estimate, and require it to
 # equal the exact triangle count — with uniform weights and a reservoir
 # larger than the graph the snapshot estimate is exact, so any drift is a
-# bug, not noise. CI runs this after the unit tests; it needs only curl.
+# bug, not noise. The second act is the durability story: checkpoint
+# mid-ingest, kill -9 the server, restart with -restore, re-ingest, and
+# require flush→estimate to equal the exact count again. CI runs this
+# after the unit tests; it needs only curl.
 set -euo pipefail
 
 workdir=$(mktemp -d)
-trap 'kill "${server_pid:-}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+trap 'kill -9 "${server_pid:-}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
 echo "== build"
 go build -o "$workdir" ./cmd/gps-gen ./cmd/gps-sample ./cmd/gps-serve
@@ -51,3 +54,56 @@ if [ "${served_triangles%.*}" != "$exact_triangles" ]; then
     exit 1
 fi
 echo "OK: live service estimate matches exact triangle count"
+
+echo "== durability: checkpoint, crash, restore"
+ckptdir="$workdir/ckpt"
+mkdir -p "$ckptdir"
+kill "$server_pid" && wait "$server_pid" 2>/dev/null || true
+
+# Fresh server with checkpointing on; ingest the first half of the stream,
+# persist, keep ingesting, then die without warning.
+half=$((edges / 2))
+head -n "$half" "$workdir/g.txt" > "$workdir/g-half.txt"
+"$workdir/gps-serve" -addr 127.0.0.1:18424 -m $((edges + 100)) -weight uniform \
+    -staleness 0s -checkpoint-dir "$ckptdir" &
+server_pid=$!
+for _ in $(seq 1 50); do
+    curl -fsS http://127.0.0.1:18424/healthz >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -fsS -X POST --data-binary "@$workdir/g-half.txt" http://127.0.0.1:18424/v1/ingest >/dev/null
+curl -fsS -X POST http://127.0.0.1:18424/v1/checkpoint
+echo
+curl -fsS -X POST --data-binary "@$workdir/g.txt" http://127.0.0.1:18424/v1/ingest >/dev/null
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+
+# Restart from the checkpoint directory and re-ingest the whole stream:
+# edges the checkpoint already covers are ignored as duplicates (nothing
+# was evicted at this capacity), edges lost in the crash are sampled now,
+# so the estimate must equal the exact count again.
+"$workdir/gps-serve" -addr 127.0.0.1:18425 -m $((edges + 100)) -weight uniform \
+    -staleness 0s -restore "$ckptdir" &
+server_pid=$!
+for _ in $(seq 1 50); do
+    curl -fsS http://127.0.0.1:18425/healthz >/dev/null 2>&1 && break
+    sleep 0.1
+done
+stats_json=$(curl -fsS http://127.0.0.1:18425/v1/stats)
+restored_position=$(echo "$stats_json" | sed -E 's/.*"restored_position":([0-9]+).*/\1/')
+echo "restored at position $restored_position (expected $half)"
+if [ "$restored_position" != "$half" ]; then
+    echo "FAIL: restored position $restored_position != checkpointed $half" >&2
+    exit 1
+fi
+curl -fsS -X POST -H 'Content-Type: application/x-gps-edges' \
+    --data-binary "@$workdir/g.gpsb" http://127.0.0.1:18425/v1/ingest >/dev/null
+curl -fsS -X POST http://127.0.0.1:18425/v1/flush >/dev/null
+restored_json=$(curl -fsS 'http://127.0.0.1:18425/v1/estimate?max_stale=0s')
+restored_triangles=$(echo "$restored_json" | sed -E 's/.*"triangles":([0-9]+(\.[0-9]+)?).*/\1/')
+echo "== compare after crash+restore: served=$restored_triangles exact=$exact_triangles"
+if [ "${restored_triangles%.*}" != "$exact_triangles" ]; then
+    echo "FAIL: restored estimate $restored_triangles != exact $exact_triangles" >&2
+    exit 1
+fi
+echo "OK: crash + restore + re-ingest reproduces the exact triangle count"
