@@ -59,8 +59,8 @@ func run(args []string, stdout, errw io.Writer) error {
 	fs := flag.NewFlagSet("gps-bench", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
-		exp         = fs.String("exp", "all", "experiment: table1, table2, table3, fig1, fig2, fig3, weights, extensions, accuracy, throughput, serve, perf, all")
-		jsonOut     = fs.Bool("json", false, "machine-readable JSON output (perf and throughput experiments)")
+		exp         = fs.String("exp", "all", "experiment: table1, table2, table3, fig1, fig2, fig3, weights, extensions, accuracy, decay, throughput, serve, perf, all")
+		jsonOut     = fs.Bool("json", false, "machine-readable JSON output (perf, throughput and decay experiments)")
 		profileName = fs.String("profile", "small", "dataset scale: small or full")
 		trials      = fs.Int("trials", 3, "replications per configuration")
 		sample      = fs.Int("sample", 20000, "GPS sample size m (table1, fig1, fig3, weights)")
@@ -109,8 +109,8 @@ func run(args []string, stdout, errw io.Writer) error {
 		return enc.Encode(v)
 	}
 	runOne := func(name string) error {
-		if *jsonOut && name != "perf" && name != "throughput" {
-			return fmt.Errorf("-json is supported for -exp perf and -exp throughput, not %q", name)
+		if *jsonOut && name != "perf" && name != "throughput" && name != "decay" {
+			return fmt.Errorf("-json is supported for -exp perf, throughput and decay, not %q", name)
 		}
 		switch name {
 		case "table1":
@@ -197,6 +197,15 @@ func run(args []string, stdout, errw io.Writer) error {
 				return err
 			}
 			emit("Accuracy — motif estimator NRMSE vs exact counts across m", experiments.RenderAccuracy(rows))
+		case "decay":
+			rows, err := experiments.DecayAccuracy(opts, experiments.DecayConfig{Shards: *shardsFlag})
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				return emitJSON(map[string]any{"schema": "gps-bench/decay/v1", "rows": rows})
+			}
+			emit("Decay — forward-decayed estimates vs exact decayed counts", experiments.RenderDecay(rows))
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

@@ -7,6 +7,7 @@ import (
 
 	"gps"
 	"gps/internal/core"
+	"gps/internal/experiments"
 	"gps/internal/graph"
 )
 
@@ -48,6 +49,13 @@ type perfReport struct {
 
 	// A forced-fresh estimate query: snapshot + Algorithm 2 on the result.
 	ForcedFreshMS float64 `json:"forced_fresh_estimate_ms"`
+
+	// Decayed sampling: per-edge cost of the forward-decay update path over
+	// the same stream (timestamped by position, half-life = span/10), and
+	// the decay accuracy experiment at reduced scale so the trajectory file
+	// records NRMSE vs exact decayed counts alongside the perf numbers.
+	DecayUpdateNSPerEdge float64                `json:"decay_update_ns_per_edge"`
+	DecayAccuracy        []experiments.DecayRow `json:"decay_accuracy"`
 }
 
 // timeBest runs fn reps times and returns the fastest wall time — the
@@ -75,7 +83,7 @@ func perfBench(edges, sample, shards int, seed uint64, maxprocs int) (*perfRepor
 	es, _ := rmatStream(edges, seed)
 	edges = len(es)
 	r := &perfReport{
-		Schema:          "gps-bench/perf/v1",
+		Schema:          "gps-bench/perf/v2",
 		Edges:           edges,
 		SampleM:         sample,
 		Shards:          shards,
@@ -192,6 +200,39 @@ func perfBench(edges, sample, shards int, seed uint64, maxprocs int) (*perfRepor
 		}
 	})
 	r.ForcedFreshMS = ms(forced)
+
+	// Forward-decay update path: the same stream stamped by position, with
+	// triangle weights and half-life span/10 (≈ the last tenth "warm").
+	timed := make([]graph.Edge, len(es))
+	for i, e := range es {
+		timed[i] = e.At(uint64(i + 1))
+	}
+	n, err = nsPerEdge(func() error {
+		s, err := gps.NewSampler(gps.Config{
+			Capacity: sample, Weight: gps.TriangleWeight, Seed: seed,
+			Decay: gps.Decay{HalfLife: float64(len(timed)) / 10},
+		})
+		if err != nil {
+			return err
+		}
+		s.ProcessBatch(timed)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.DecayUpdateNSPerEdge = n
+
+	// Decay accuracy at reduced scale: enough to track the NRMSE trajectory
+	// without dominating the bench run.
+	rows, err := experiments.DecayAccuracy(
+		experiments.Options{Trials: 2, Seed: seed},
+		experiments.DecayConfig{Nodes: 10000, HalfLifeFracs: []float64{0.1},
+			SampleSizes: []int{4000}, Shards: shards})
+	if err != nil {
+		return nil, err
+	}
+	r.DecayAccuracy = rows
 	return r, nil
 }
 
@@ -210,5 +251,10 @@ func renderPerf(r *perfReport) string {
 		r.Snapshot.Dirty1StallMS, r.Snapshot.Dirty1Cloned, r.Snapshot.Dirty1OverFull,
 		r.Snapshot.CleanStallMS)
 	fmt.Fprintf(&b, "forced-fresh estimate (snapshot + Alg 2): %.1fms\n", r.ForcedFreshMS)
+	fmt.Fprintf(&b, "decayed update path (triangle weight, half-life span/10): %.0f ns/edge\n", r.DecayUpdateNSPerEdge)
+	for _, row := range r.DecayAccuracy {
+		fmt.Fprintf(&b, "decay accuracy: half-life %.2f·span m=%d %-18s NRMSE %.4f\n",
+			row.HalfLifeFrac, row.M, row.Motif, row.NRMSE)
+	}
 	return b.String()
 }

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	gps-gen -dataset soc-orkut [-profile small|full] [-out file] [-format text|binary]
+//	        [-timestamps none|seq|poisson] [-rate R]
 //	gps-gen -type er   -n 100000 -m 500000 [-seed S] [-out file]
 //	gps-gen -type ba   -n 100000 -k 5
 //	gps-gen -type hk   -n 100000 -k 8 -p 0.6
@@ -22,6 +23,7 @@ import (
 	"gps/internal/datasets"
 	"gps/internal/gen"
 	"gps/internal/graph"
+	"gps/internal/randx"
 	"gps/internal/stream"
 )
 
@@ -56,6 +58,8 @@ func run(args []string, stdout, errw io.Writer) error {
 		seed        = fs.Uint64("seed", 1, "generator seed")
 		out         = fs.String("out", "", "output file (default stdout)")
 		format      = fs.String("format", "text", "output format: text (\"u v\" lines) or binary (GPSB varint frames)")
+		timestamps  = fs.String("timestamps", "none", "stamp event times onto the edges: none, seq (1,2,3,…) or poisson (integer Poisson-process arrival times)")
+		rate        = fs.Float64("rate", 1, "mean edges per time unit for -timestamps poisson")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,6 +83,9 @@ func run(args []string, stdout, errw io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if err := stampTimestamps(edges, *timestamps, *rate, *seed); err != nil {
+		return err
+	}
 
 	w := stdout
 	if *out != "" {
@@ -94,6 +101,37 @@ func run(args []string, stdout, errw io.Writer) error {
 	}
 	fmt.Fprintf(errw, "gps-gen: wrote %d edges\n", len(edges))
 	return nil
+}
+
+// stampTimestamps assigns event times to the generated edges in stream
+// order: "seq" stamps the position (1,2,3,…), "poisson" a Poisson process
+// with on average `rate` edges per time unit (exponential inter-arrival
+// gaps, truncated to whole units — the same unit -half-life is measured
+// in, so a stream of N edges spans ~N/rate units and close arrivals share
+// a unit). Both forms are non-decreasing, as the GPSB v2 delta framing
+// requires.
+func stampTimestamps(edges []graph.Edge, mode string, rate float64, seed uint64) error {
+	switch mode {
+	case "none", "":
+		return nil
+	case "seq":
+		for i := range edges {
+			edges[i].TS = uint64(i + 1)
+		}
+		return nil
+	case "poisson":
+		if rate <= 0 {
+			return fmt.Errorf("-timestamps poisson needs -rate > 0, got %v", rate)
+		}
+		rng := randx.New(seed ^ 0x715)
+		t := 0.0
+		for i := range edges {
+			t += rng.Exp() / rate
+			edges[i].TS = 1 + uint64(t)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown -timestamps mode %q (want none, seq or poisson)", mode)
 }
 
 type genParams struct {

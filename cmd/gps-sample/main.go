@@ -6,8 +6,14 @@
 // Usage:
 //
 //	gps-sample -in graph.txt -m 100000 [-weight triangle|uniform|adjacency|adaptive]
-//	           [-permute] [-seed S] [-exact] [-checkpoints N]
+//	           [-permute] [-seed S] [-exact] [-half-life H] [-checkpoints N]
 //	           [-checkpoint-out f.gpsc] [-checkpoint-at N] [-restore f.gpsc]
+//
+// With -half-life H the sampler runs forward-decay (time-decayed) sampling:
+// estimates target decayed counts at the stream's event horizon, using the
+// input's timestamps (third edge-list column or GPSB v2) or, on untimed
+// inputs, arrival order. A decayed checkpoint resumes only under the same
+// -half-life (the stream binding records it).
 //
 // With -checkpoints > 0 the in-stream estimates are printed at evenly spaced
 // stream positions (real-time tracking); otherwise only the final estimates
@@ -30,6 +36,7 @@ import (
 
 	"gps"
 	"gps/internal/checkpoint"
+	"gps/internal/core"
 	"gps/internal/exact"
 	"gps/internal/graph"
 	"gps/internal/stats"
@@ -43,7 +50,18 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, errw io.Writer) error {
+func run(args []string, stdout, errw io.Writer) (err error) {
+	// The decay overflow guard is the one panic an operator can reach with
+	// flags + data alone; surface it as a normal CLI error, not a trace.
+	defer func() {
+		if r := recover(); r != nil {
+			if oe, ok := r.(core.DecayOverflowError); ok {
+				err = fmt.Errorf("%s", oe.Error())
+				return
+			}
+			panic(r)
+		}
+	}()
 	fs := flag.NewFlagSet("gps-sample", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
@@ -53,6 +71,7 @@ func run(args []string, stdout, errw io.Writer) error {
 		permute     = fs.Bool("permute", false, "stream a random permutation instead of file order")
 		seed        = fs.Uint64("seed", 1, "sampler (and permutation) seed")
 		withExact   = fs.Bool("exact", false, "also compute exact counts for comparison")
+		halfLife    = fs.Float64("half-life", 0, "forward-decay half-life in event-time units (0 disables time-decayed sampling)")
 		checkpoints = fs.Int("checkpoints", 0, "print tracking estimates at N stream positions")
 		ckptOut     = fs.String("checkpoint-out", "", "write a GPSC checkpoint here when the run ends")
 		ckptAt      = fs.Int("checkpoint-at", 0, "stop after N processed edges and write -checkpoint-out (simulated crash)")
@@ -88,6 +107,12 @@ func run(args []string, stdout, errw io.Writer) error {
 	streamBinding := fmt.Sprintf("edges=%d;order=file", len(edges))
 	if *permute {
 		streamBinding = fmt.Sprintf("edges=%d;order=permuted;seed=%d", len(edges), *seed^0xfeed)
+	}
+	if *halfLife != 0 {
+		// Decay changes every priority, so a decayed checkpoint must only
+		// resume under the same half-life (undecayed bindings keep their
+		// historical form).
+		streamBinding += fmt.Sprintf(";half-life=%g", *halfLife)
 	}
 
 	var est *gps.InStream
@@ -136,7 +161,12 @@ func run(args []string, stdout, errw io.Writer) error {
 		default:
 			return fmt.Errorf("unknown weight %q", *weightName)
 		}
-		est, err = gps.NewInStream(gps.Config{Capacity: *m, Weight: weight, Seed: *seed})
+		est, err = gps.NewInStream(gps.Config{
+			Capacity: *m,
+			Weight:   weight,
+			Seed:     *seed,
+			Decay:    gps.Decay{HalfLife: *halfLife},
+		})
 		if err != nil {
 			return err
 		}
@@ -202,6 +232,10 @@ func run(args []string, stdout, errw io.Writer) error {
 	post := gps.EstimatePost(est.Sampler())
 	fmt.Fprintf(stdout, "\nstream: %d arrivals, sampled %d edges (threshold %.4g)\n",
 		final.Arrivals, final.SampledEdges, est.Sampler().Threshold())
+	if final.Decayed {
+		fmt.Fprintf(stdout, "decay: half-life %g, horizon %d, decayed edge count %.1f\n",
+			*halfLife, final.DecayHorizon, final.DecayedEdges)
+	}
 	printEst(stdout, "in-stream  ", final)
 	printEst(stdout, "post-stream", post)
 

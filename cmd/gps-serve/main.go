@@ -6,8 +6,14 @@
 //
 //	gps-serve -addr :8080 -m 100000 [-weight triangle|uniform|adjacency]
 //	          [-shards P] [-queue 64] [-staleness 250ms] [-seed S]
-//	          [-restore path] [-checkpoint-dir dir] [-checkpoint-every 30s]
-//	          [-checkpoint-keep 3]
+//	          [-half-life H] [-restore path] [-checkpoint-dir dir]
+//	          [-checkpoint-every 30s] [-checkpoint-keep 3]
+//
+// Temporal sampling: -half-life H enables forward-decay sampling — recent
+// edges dominate the reservoir and /v1/estimate reports decayed counts at
+// the stream's event horizon. Event times arrive via the GPSB v2 framing
+// (gps-gen -timestamps) or a third edge-list column; untimed streams decay
+// by stream position, so H is then measured in arrivals.
 //
 // Durability: -checkpoint-dir enables POST /v1/checkpoint and (with
 // -checkpoint-every) periodic checkpoints of the whole sampler data plane,
@@ -74,6 +80,7 @@ func run(args []string, errw io.Writer, ready chan<- string, stop <-chan struct{
 		queue      = fs.Int("queue", 64, "max pending ingest batches before 503")
 		maxPending = fs.Int("max-pending", 4<<20, "max decoded edges waiting in the ingest queue before 503")
 		staleness  = fs.Duration("staleness", 250*time.Millisecond, "default snapshot staleness bound")
+		halfLife   = fs.Float64("half-life", 0, "forward-decay half-life in event-time units (0 disables time-decayed sampling)")
 		seed       = fs.Uint64("seed", 1, "sampler seed")
 		maxBody    = fs.Int64("max-body", 32<<20, "max ingest body bytes")
 		restore    = fs.String("restore", "", "boot from a GPSC checkpoint (file, or dir holding *.gpsc)")
@@ -101,6 +108,7 @@ func run(args []string, errw io.Writer, ready chan<- string, stop <-chan struct{
 		MaxPendingEdges: *maxPending,
 		MaxBodyBytes:    *maxBody,
 		MaxStaleness:    *staleness,
+		HalfLife:        *halfLife,
 		RestoreFrom:     *restore,
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
@@ -119,8 +127,12 @@ func run(args []string, errw io.Writer, ready chan<- string, stop <-chan struct{
 	// Report the effective configuration: after a restore it comes from the
 	// checkpoint, not from the flags.
 	eff := s.EffectiveConfig()
-	fmt.Fprintf(errw, "gps-serve: listening on %s (m=%d weight=%s shards=%d staleness=%s)\n",
-		ln.Addr(), eff.Capacity, eff.WeightName, eff.Shards, *staleness)
+	decayNote := ""
+	if eff.HalfLife > 0 {
+		decayNote = fmt.Sprintf(" half-life=%g", eff.HalfLife)
+	}
+	fmt.Fprintf(errw, "gps-serve: listening on %s (m=%d weight=%s shards=%d staleness=%s%s)\n",
+		ln.Addr(), eff.Capacity, eff.WeightName, eff.Shards, *staleness, decayNote)
 	if path, pos := s.Restored(); path != "" {
 		fmt.Fprintf(errw, "gps-serve: restored %s at stream position %d\n", path, pos)
 	}

@@ -51,6 +51,19 @@
 // Arbitrary subgraphs can be estimated through Sampler.SubgraphEstimate and
 // friends; triangle and wedge counting are the built-in special cases.
 //
+// # Temporal sampling
+//
+// Activity streams are temporal: recent edges matter more. Config.Decay
+// enables forward-decay sampling — each edge's weight is boosted by
+// exp(λ·(t−L)) for its event time t (edge timestamps, or arrival order on
+// untimed streams), so the reservoir concentrates on recent structure
+// while ranks stay comparable forever (no rescans, and shards still
+// merge). EstimatePost and InStream then target the *decayed* counts at
+// the stream's event horizon: every motif weighted by 2^{-(age of its
+// oldest edge)/half-life}.
+//
+//	s, _ := gps.NewSampler(gps.Config{Capacity: 100_000, Decay: gps.Decay{HalfLife: 3600}})
+//
 // # Durability
 //
 // The whole sampling data plane serializes to GPSC checkpoint documents
@@ -90,6 +103,15 @@ type Edge = graph.Edge
 
 // NewEdge returns the canonical undirected edge {a,b}; it panics if a == b.
 func NewEdge(a, b NodeID) Edge { return graph.NewEdge(a, b) }
+
+// NewEdgeAt is NewEdge carrying an event timestamp (0 means untimed).
+func NewEdgeAt(a, b NodeID, ts uint64) Edge { return graph.NewEdgeAt(a, b, ts) }
+
+// Decay configures forward-decay (time-decayed) sampling: a half-life in
+// event-time units and an optional explicit landmark. The zero value
+// disables decay. See Config.Decay and the core package notes for the
+// estimator semantics (decayed counts at the stream's event horizon).
+type Decay = core.Decay
 
 // Config parameterizes a Sampler: reservoir capacity m, weight function
 // W(k,K̂) (nil means uniform weights) and RNG seed.
@@ -259,21 +281,32 @@ func Simplify(in Stream) Stream { return stream.Simplify(in) }
 // Drive feeds every edge of s to fn.
 func Drive(s Stream, fn func(Edge)) { stream.Drive(s, fn) }
 
-// ReadEdgeList parses a whitespace-separated "u v" edge list with '#'/'%'
-// comments, skipping self loops.
+// ReadStats reports what a reader skipped while decoding a stream; both
+// formats share one self-loop policy (skip, count, keep positions aligned).
+type ReadStats = stream.ReadStats
+
+// ReadEdgeList parses a whitespace-separated "u v" (or timestamped
+// "u v ts") edge list with '#'/'%' comments, skipping and counting self
+// loops under the shared reader policy.
 func ReadEdgeList(r io.Reader) ([]Edge, error) { return stream.ReadEdgeList(r) }
 
-// WriteEdgeList writes edges in the format accepted by ReadEdgeList.
+// WriteEdgeList writes edges in the format accepted by ReadEdgeList
+// (three columns for edges carrying timestamps).
 func WriteEdgeList(w io.Writer, edges []Edge) error { return stream.WriteEdgeList(w, edges) }
 
-// ReadBinary decodes the compact GPSB binary edge framing (varint records):
-// the wire format of the live sampling service and of gps-gen -format
-// binary. Malformed input returns an error, never panics.
+// ReadBinary decodes the compact GPSB binary edge framing (varint records;
+// v2 adds delta-encoded event timestamps): the wire format of the live
+// sampling service and of gps-gen -format binary. Malformed input returns
+// an error, never panics; self loops are skipped and counted.
 func ReadBinary(r io.Reader) ([]Edge, error) { return stream.ReadBinary(r) }
 
-// WriteBinary writes edges in the binary framing accepted by ReadBinary.
+// WriteBinary writes edges in the binary framing accepted by ReadBinary,
+// as v2 when any edge carries a timestamp and byte-identical v1 otherwise.
 func WriteBinary(w io.Writer, edges []Edge) error { return stream.WriteBinary(w, edges) }
 
 // ReadEdges reads a complete edge stream in either supported format,
 // sniffing the binary magic and falling back to the text edge list.
 func ReadEdges(r io.Reader) ([]Edge, error) { return stream.ReadEdges(r) }
+
+// ReadEdgesStats is ReadEdges also reporting what was skipped.
+func ReadEdgesStats(r io.Reader) ([]Edge, ReadStats, error) { return stream.ReadEdgesStats(r) }

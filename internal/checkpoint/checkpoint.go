@@ -41,8 +41,14 @@ import (
 
 // Format constants.
 const (
-	// Version is the GPSC format version this package reads and writes.
-	Version = 1
+	// Version is the baseline GPSC format version. Version2 documents add
+	// the forward-decay state (decay parameters, landmark, horizon, and
+	// per-entry event timestamps); encoders emit it only for decayed
+	// samplers, so undecayed checkpoints stay byte-identical to earlier
+	// releases, and decoders accept both (a Version document restores as
+	// undecayed).
+	Version  = 1
+	Version2 = 2
 
 	// Document kinds: the byte after the version selects the payload layout.
 	KindSampler  = 0x01 // one core.Sampler
@@ -79,12 +85,22 @@ type Writer struct {
 	err error
 }
 
-// NewWriter returns a Writer over w with the GPSC header for the given kind
-// already written.
+// NewWriter returns a Writer over w with the version-1 GPSC header for the
+// given kind already written.
 func NewWriter(w io.Writer, kind byte) *Writer {
+	return NewWriterVersion(w, kind, Version)
+}
+
+// NewWriterVersion is NewWriter with an explicit format version; encoders
+// pick Version2 when the payload carries forward-decay state.
+func NewWriterVersion(w io.Writer, kind, version byte) *Writer {
 	cw := &Writer{w: bufio.NewWriter(w)}
+	if version != Version && version != Version2 {
+		cw.err = fmt.Errorf("checkpoint: cannot write unknown GPSC version %d", version)
+		return cw
+	}
 	cw.Raw([]byte(magic))
-	cw.Raw([]byte{Version, kind})
+	cw.Raw([]byte{version, kind})
 	return cw
 }
 
@@ -154,9 +170,10 @@ func (w *Writer) Err() error { return w.err }
 // method returns the zero value and Err reports the failure, so decode loops
 // must test Err (or the method's error effect via Err) each iteration.
 type Reader struct {
-	br  *bufio.Reader
-	crc uint32
-	err error
+	br      *bufio.Reader
+	crc     uint32
+	err     error
+	version byte
 }
 
 // NewReader returns a Reader over r. When r is itself a *bufio.Reader it is
@@ -211,7 +228,10 @@ func (r *Reader) Header() (kind byte, err error) {
 	if string(hdr[:len(magic)]) != magic {
 		return 0, r.fail(errors.New("checkpoint: not a GPSC document (bad magic)"))
 	}
-	if hdr[len(magic)] != Version {
+	switch hdr[len(magic)] {
+	case Version, Version2:
+		r.version = hdr[len(magic)]
+	default:
 		return 0, r.fail(fmt.Errorf("checkpoint: unsupported GPSC version %d", hdr[len(magic)]))
 	}
 	kind = hdr[len(magic)+1]
@@ -221,6 +241,11 @@ func (r *Reader) Header() (kind byte, err error) {
 	}
 	return 0, r.fail(fmt.Errorf("checkpoint: unknown document kind %#x", kind))
 }
+
+// Version returns the format version of the document whose header has been
+// read (0 before Header). Payload decoders branch on it for version-gated
+// sections.
+func (r *Reader) Version() byte { return r.version }
 
 // ExpectKind reads the header and fails unless the document has the given
 // kind.

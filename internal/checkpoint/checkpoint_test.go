@@ -99,7 +99,7 @@ func TestChecksumMismatch(t *testing.T) {
 func TestHeaderRejections(t *testing.T) {
 	cases := [][]byte{
 		[]byte("GPSB\x01\x01"), // wrong magic
-		[]byte("GPSC\x02\x01"), // future version
+		[]byte("GPSC\x03\x01"), // future version (v1 and v2 are supported)
 		[]byte("GPSC\x01\x7f"), // unknown kind
 		[]byte("GPS"),          // truncated magic
 		{},                     // empty
@@ -109,6 +109,16 @@ func TestHeaderRejections(t *testing.T) {
 		r := NewReader(bytes.NewReader(raw))
 		if err := r.ExpectKind(KindSampler); err == nil {
 			t.Fatalf("case %d: header accepted", i)
+		}
+	}
+	// Both live versions are accepted and reported.
+	for _, v := range []byte{Version, Version2} {
+		r := NewReader(bytes.NewReader([]byte{'G', 'P', 'S', 'C', v, KindSampler}))
+		if err := r.ExpectKind(KindSampler); err != nil {
+			t.Fatalf("version %d rejected: %v", v, err)
+		}
+		if r.Version() != v {
+			t.Fatalf("Version() = %d, want %d", r.Version(), v)
 		}
 	}
 }

@@ -21,8 +21,11 @@ import (
 //	f64      threshold z*
 //	4 × u64  RNG state (xoshiro256++)
 //	string   weight name (caller-interpreted; see ResolveWeight)
+//	v2 only: f64 half-life, uvarint configured landmark,
+//	         u8 landmark-set, uvarint landmark, uvarint horizon (lastTS)
 //	heap     uvarint arenaLen
-//	         arenaLen × { u32 U, u32 V, f64 weight, f64 priority,
+//	         arenaLen × { u32 U, u32 V, [v2: uvarint eventTS,]
+//	                      f64 weight, f64 priority,
 //	                      f64 triCov, f64 wedgeCov }   (freed slots zeroed)
 //	         uvarint freedLen,  freedLen × uvarint slot
 //	         uvarint heapLen,   heapLen  × uvarint slot (heap order)
@@ -32,11 +35,19 @@ import (
 //	                      runLen × { u32 neighbor, uvarint slot+1 } }
 //	         uvarint freedIDs,  freedIDs × uvarint id
 //
+// Version gating: a sampler running forward decay writes a GPSC version-2
+// document carrying the decay block and per-entry event timestamps; an
+// undecayed sampler writes version 1, byte-identical to earlier releases.
+// Decoders accept both — a version-1 document restores as undecayed — and
+// reject a version-2 document without a positive half-life, so every state
+// has exactly one serialized form and re-encoding is idempotent.
+//
 // The in-stream payload (KindInStream) appends a stream-binding string —
 // an opaque, caller-interpreted description of the stream being resumed
 // (file identity, ordering flags), which the restoring caller compares
 // against the stream it is about to replay — followed by the five
-// estimator accumulators (Ñ(△), Ṽ(△), Ñ(Λ), Ṽ(Λ), Ṽ(△,Λ)) as f64s.
+// estimator accumulators (Ñ(△), Ṽ(△), Ñ(Λ), Ṽ(Λ), Ṽ(△,Λ)) as f64s, and in
+// version 2 the decayed-arrival total (f64, landmark units).
 //
 // Freed heap slots and freed dense ids are serialized as zeroes, so the
 // document is a function of live state only and checkpoint → restore →
@@ -50,12 +61,23 @@ import (
 // triangle weight) carry state outside the sampler and cannot be made
 // durable; callers must reject them before checkpointing.
 func (s *Sampler) WriteCheckpoint(w io.Writer, weightName string) error {
-	cw := checkpoint.NewWriter(w, checkpoint.KindSampler)
+	cw := checkpoint.NewWriterVersion(w, checkpoint.KindSampler, s.ckptVersion())
 	s.encodePayload(cw, weightName)
 	return cw.Finish()
 }
 
+// ckptVersion selects the GPSC version the sampler's state requires:
+// version 2 carries the forward-decay block, version 1 is the undecayed
+// layout of earlier releases.
+func (s *Sampler) ckptVersion() byte {
+	if s.lambda > 0 {
+		return checkpoint.Version2
+	}
+	return checkpoint.Version
+}
+
 func (s *Sampler) encodePayload(cw *checkpoint.Writer, weightName string) {
+	decayed := s.lambda > 0
 	cw.Uvarint(uint64(s.capacity))
 	cw.Uvarint(s.arrivals)
 	cw.Uvarint(s.duplicates)
@@ -64,6 +86,17 @@ func (s *Sampler) encodePayload(cw *checkpoint.Writer, weightName string) {
 		cw.U64(word)
 	}
 	cw.String(weightName)
+	if decayed {
+		cw.F64(s.decay.HalfLife)
+		cw.Uvarint(s.decay.Landmark)
+		if s.landmarkSet {
+			cw.Uvarint(1)
+		} else {
+			cw.Uvarint(0)
+		}
+		cw.Uvarint(s.landmark)
+		cw.Uvarint(s.lastTS)
+	}
 
 	arena, freed, heapOrder := s.res.heap.ExportState()
 	isFreedSlot := make([]bool, len(arena))
@@ -78,6 +111,9 @@ func (s *Sampler) encodePayload(cw *checkpoint.Writer, weightName string) {
 		}
 		cw.U32(uint32(ent.Edge.U))
 		cw.U32(uint32(ent.Edge.V))
+		if decayed {
+			cw.Uvarint(ent.Edge.TS)
+		}
 		cw.F64(ent.Weight)
 		cw.F64(ent.Priority)
 		cw.F64(ent.TriCov)
@@ -170,12 +206,53 @@ func decodePayload(cr *checkpoint.Reader, resolve func(string) (WeightFunc, erro
 		return nil, err
 	}
 
+	// Version-gated forward-decay block: a v1 document restores as
+	// undecayed; a v2 document must carry a valid decay state (one
+	// serialized form per state keeps re-encoding idempotent).
+	var (
+		decay       Decay
+		landmarkSet bool
+		landmark    uint64
+		lastTS      uint64
+	)
+	decayed := cr.Version() == checkpoint.Version2
+	if decayed {
+		decay.HalfLife = cr.FiniteF64("decay half-life")
+		decay.Landmark = cr.Uvarint()
+		flag := cr.Uvarint()
+		landmark = cr.Uvarint()
+		lastTS = cr.Uvarint()
+		if err := cr.Err(); err != nil {
+			return nil, err
+		}
+		if decay.HalfLife <= 0 {
+			return nil, fmt.Errorf("core: version-2 checkpoint half-life %v is not positive", decay.HalfLife)
+		}
+		switch flag {
+		case 0:
+			if arrivals > 0 {
+				return nil, fmt.Errorf("core: checkpoint has %d arrivals but no decay landmark", arrivals)
+			}
+		case 1:
+			landmarkSet = true
+		default:
+			return nil, fmt.Errorf("core: checkpoint landmark flag %d is not boolean", flag)
+		}
+	}
+
 	arenaLen := cr.Count("arena", maxInt32)
 	arena := make([]order.Entry, 0, min(arenaLen, 1<<14))
 	for i := 0; i < arenaLen; i++ {
 		var ent order.Entry
 		ent.Edge.U = graph.NodeID(cr.U32())
 		ent.Edge.V = graph.NodeID(cr.U32())
+		if decayed {
+			ent.Edge.TS = cr.Uvarint()
+			if cr.Err() == nil && ent.Edge.TS > lastTS {
+				return nil, fmt.Errorf("core: checkpoint entry %d event time %d is beyond the horizon %d",
+					i, ent.Edge.TS, lastTS)
+			}
+		}
 		ent.Weight = cr.F64()
 		ent.Priority = cr.F64()
 		ent.TriCov = cr.F64()
@@ -268,14 +345,19 @@ func decodePayload(cr *checkpoint.Reader, resolve func(string) (WeightFunc, erro
 
 	w, uniform := normalizeWeight(weight)
 	return &Sampler{
-		capacity:   capacity,
-		weight:     w,
-		uniform:    uniform,
-		rng:        rng,
-		res:        &Reservoir{heap: heap, adj: adj},
-		zstar:      zstar,
-		arrivals:   arrivals,
-		duplicates: duplicates,
+		capacity:    capacity,
+		weight:      w,
+		uniform:     uniform,
+		rng:         rng,
+		res:         &Reservoir{heap: heap, adj: adj},
+		zstar:       zstar,
+		arrivals:    arrivals,
+		duplicates:  duplicates,
+		decay:       decay,
+		lambda:      decay.lambda(),
+		landmark:    landmark,
+		landmarkSet: landmarkSet,
+		lastTS:      lastTS,
 	}, nil
 }
 
@@ -289,7 +371,7 @@ func decodePayload(cr *checkpoint.Reader, resolve func(string) (WeightFunc, erro
 // checkpointed prefix of a *differently ordered* stream would silently
 // produce estimates over a stream the checkpoint was never taken from.
 func (t *InStream) WriteCheckpoint(w io.Writer, weightName, streamBinding string) error {
-	cw := checkpoint.NewWriter(w, checkpoint.KindInStream)
+	cw := checkpoint.NewWriterVersion(w, checkpoint.KindInStream, t.s.ckptVersion())
 	t.s.encodePayload(cw, weightName)
 	cw.String(streamBinding)
 	cw.F64(t.nTri)
@@ -297,6 +379,9 @@ func (t *InStream) WriteCheckpoint(w io.Writer, weightName, streamBinding string
 	cw.F64(t.nW)
 	cw.F64(t.vW)
 	cw.F64(t.covTW)
+	if t.s.lambda > 0 {
+		cw.F64(t.decayedArrivals)
+	}
 	return cw.Finish()
 }
 
@@ -320,6 +405,9 @@ func ReadInStreamCheckpoint(r io.Reader, resolve func(string) (WeightFunc, error
 		nW:    cr.FiniteF64("wedge total"),
 		vW:    cr.FiniteF64("wedge variance total"),
 		covTW: cr.FiniteF64("triangle-wedge covariance total"),
+	}
+	if s.lambda > 0 {
+		t.decayedArrivals = cr.FiniteF64("decayed arrival total")
 	}
 	if err := cr.Finish(); err != nil {
 		return nil, "", err

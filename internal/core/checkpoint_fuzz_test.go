@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"gps/internal/gen"
+	"gps/internal/graph"
 )
 
 // FuzzCheckpointDecoder exercises the GPSC sampler and in-stream decoders
@@ -42,8 +43,8 @@ func FuzzCheckpointDecoder(f *testing.F) {
 	addSampler(nil, "uniform", len(edges))
 	addSampler(TriangleWeight, "triangle", len(edges))
 	addSampler(AdjacencyWeight, "adjacency", len(edges)/2)
-	func() {
-		est, err := NewInStream(Config{Capacity: 64, Weight: TriangleWeight, Seed: 11})
+	addInStream := func(decay Decay, name string) {
+		est, err := NewInStream(Config{Capacity: 64, Weight: TriangleWeight, Seed: 11, Decay: decay})
 		if err != nil {
 			f.Fatal(err)
 		}
@@ -51,11 +52,36 @@ func FuzzCheckpointDecoder(f *testing.F) {
 			est.Process(e)
 		}
 		var buf bytes.Buffer
-		if err := est.WriteCheckpoint(&buf, "triangle", "fuzz-seed-stream"); err != nil {
+		if err := est.WriteCheckpoint(&buf, "triangle", name); err != nil {
 			f.Fatal(err)
 		}
 		f.Add(buf.Bytes())
-	}()
+	}
+	addInStream(Decay{}, "fuzz-seed-stream")
+
+	// GPSC v2 seeds: decayed (timestamped) sampler and in-stream documents,
+	// plus a decayed document with an explicit configured landmark.
+	timed := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		timed[i] = e.At(uint64(100 + i))
+	}
+	addDecayedSampler := func(decay Decay) {
+		s, err := NewSampler(Config{Capacity: 64, Weight: TriangleWeight, Seed: 11, Decay: decay})
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, e := range timed {
+			s.Process(e)
+		}
+		var buf bytes.Buffer
+		if err := s.WriteCheckpoint(&buf, "triangle"); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	addDecayedSampler(Decay{HalfLife: 50})
+	addDecayedSampler(Decay{HalfLife: 200, Landmark: 60})
+	addInStream(Decay{HalfLife: 80}, "fuzz-seed-decayed")
 
 	f.Fuzz(func(t *testing.T, input []byte) {
 		if s, err := ReadCheckpoint(bytes.NewReader(input), nil); err == nil {

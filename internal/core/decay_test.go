@@ -1,0 +1,405 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"gps/internal/exact"
+	"gps/internal/gen"
+	"gps/internal/graph"
+	"gps/internal/randx"
+	"gps/internal/stats"
+)
+
+// timedGoldenStream is the golden stream stamped with event time = stream
+// position, the canonical activity-stream shape the decay tests run over.
+func timedGoldenStream() []graph.Edge {
+	edges := goldenStream()
+	for i := range edges {
+		edges[i].TS = uint64(i + 1)
+	}
+	return edges
+}
+
+// TestDecayZeroValueIsBitIdentical pins the acceptance criterion that the
+// Decay zero value changes nothing: a sampler fed a *timestamped* stream
+// with decay off must reproduce the undecayed golden fingerprints (the
+// timestamps ride along but never influence a draw or a weight).
+func TestDecayZeroValueIsBitIdentical(t *testing.T) {
+	stream := timedGoldenStream()
+	for _, tc := range []struct {
+		name   string
+		weight WeightFunc
+		golden uint64
+	}{
+		{"uniform", UniformWeight, 0x5b49143286be7f17},
+		{"triangle", TriangleWeight, 0xc5e3ff79d68a14e1},
+		{"adjacency", AdjacencyWeight, 0x06ff49e9783b2bdc},
+	} {
+		s, err := NewSampler(Config{Capacity: 2000, Weight: tc.weight, Seed: 0xD5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range stream {
+			s.Process(e)
+		}
+		if got := fingerprint(s); got != tc.golden {
+			t.Errorf("%s: fingerprint %#x, want golden %#x", tc.name, got, tc.golden)
+		}
+	}
+}
+
+// TestDecayConstantTimeMatchesUndecayed exploits that with every edge at
+// one shared event time the boost is exactly exp(0)=1 and every decay
+// factor exactly 1, so the decayed pipeline must match the undecayed one
+// bit for bit: same sample, same threshold, and EstimatePost/InStream
+// estimates float64-equal term by term.
+func TestDecayConstantTimeMatchesUndecayed(t *testing.T) {
+	base := goldenStream()
+	constTS := make([]graph.Edge, len(base))
+	for i, e := range base {
+		constTS[i] = e.At(777)
+	}
+	mk := func(decay Decay, edges []graph.Edge) (*Sampler, *InStream) {
+		in, err := NewInStream(Config{Capacity: 1500, Weight: TriangleWeight, Seed: 0xC0, Decay: decay})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range edges {
+			in.Process(e)
+		}
+		return in.Sampler(), in
+	}
+	sPlain, inPlain := mk(Decay{}, base)
+	sDecay, inDecay := mk(Decay{HalfLife: 50}, constTS)
+
+	if fingerprint(sPlain) != fingerprint(sDecay) {
+		t.Fatal("constant-time decayed sampler diverged from the undecayed sampler")
+	}
+	a, b := EstimatePost(sPlain), EstimatePost(sDecay)
+	cmp := func(name string, x, y float64) {
+		if x != y {
+			t.Errorf("%s: undecayed %v vs constant-time decayed %v (must be float64-equal)", name, x, y)
+		}
+	}
+	cmp("post triangles", a.Triangles, b.Triangles)
+	cmp("post wedges", a.Wedges, b.Wedges)
+	cmp("post var triangles", a.VarTriangles, b.VarTriangles)
+	cmp("post var wedges", a.VarWedges, b.VarWedges)
+	cmp("post covTW", a.CovTriangleWedge, b.CovTriangleWedge)
+	if !b.Decayed || b.DecayHorizon != 777 {
+		t.Fatalf("decayed flags: %+v", b)
+	}
+	ia, ib := inPlain.Estimates(), inDecay.Estimates()
+	cmp("instream triangles", ia.Triangles, ib.Triangles)
+	cmp("instream wedges", ia.Wedges, ib.Wedges)
+	cmp("instream var triangles", ia.VarTriangles, ib.VarTriangles)
+	cmp("instream var wedges", ia.VarWedges, ib.VarWedges)
+	cmp("instream covTW", ia.CovTriangleWedge, ib.CovTriangleWedge)
+	// With every decay factor 1, the decayed edge count is the arrival count.
+	if got := ib.DecayedEdges; got != float64(ib.Arrivals) {
+		t.Fatalf("decayed edge count %v, want %d", got, ib.Arrivals)
+	}
+}
+
+// decayedBound is one committed NRMSE tolerance for the decayed estimators.
+type decayedBound struct {
+	m                 int
+	tri, wedge, edges float64
+	inTri, inWedge    float64
+}
+
+// TestDecayedEstimatorAccuracyNRMSE is the temporal counterpart of
+// TestEstimatorAccuracyNRMSE: it pins the NRMSE of the forward-decayed
+// post-stream and in-stream estimators against exact decayed counts on a
+// fixed-seed clustered stream timestamped by position, half-life = 1/5 of
+// the stream span. Bounds are committed at ~2× the observed error.
+func TestDecayedEstimatorAccuracyNRMSE(t *testing.T) {
+	edges := gen.HolmeKim(20000, 10, 0.3, 0xACC)
+	span := len(edges)
+	halfLife := float64(span) / 5
+	lambda := math.Ln2 / halfLife
+
+	const trials = 3
+	// Observed on the fixed seeds (2026-07): m=1K tri 1.00 / wedge 0.097 /
+	// edges 0.039 / in-tri 1.22 / in-wedge 0.054; m=10K 0.287 / 0.014 /
+	// 0.002 / 0.062 / 0.008; m=100K 0.008 / 0.007 / 0.002 / 0.006 / 0.001.
+	// A triangle NRMSE near 1.0 at m=1K means the sparse decayed sample
+	// holds almost no recent triangle — the bound there only guards against
+	// over-counting blow-ups.
+	bounds := []decayedBound{
+		{m: 1_000, tri: 2.0, wedge: 0.20, edges: 0.08, inTri: 2.5, inWedge: 0.12},
+		{m: 10_000, tri: 0.60, wedge: 0.04, edges: 0.02, inTri: 0.15, inWedge: 0.025},
+		{m: 100_000, tri: 0.025, wedge: 0.016, edges: 0.005, inTri: 0.02, inWedge: 0.01},
+	}
+	for _, b := range bounds {
+		// Each trial permutes — and therefore re-timestamps — the stream,
+		// so the exact decayed triangle/wedge counts differ per trial.
+		// Normalize every estimate by its own trial's exact count and
+		// measure NRMSE of the ratios against 1: pure estimator error.
+		ratios := map[string][]float64{}
+		for trial := 0; trial < trials; trial++ {
+			perm := append([]graph.Edge(nil), edges...)
+			randx.New(0xACC0+uint64(trial)).Shuffle(len(perm), func(i, j int) {
+				perm[i], perm[j] = perm[j], perm[i]
+			})
+			for i := range perm {
+				perm[i].TS = uint64(i + 1)
+			}
+			truth := exact.Decayed(perm, lambda, uint64(span))
+			if truth.Triangles <= 0 || truth.Wedges <= 0 || truth.Edges <= 0 {
+				t.Fatalf("degenerate decayed ground truth: %+v", truth)
+			}
+			in, err := NewInStream(Config{
+				Capacity: b.m,
+				Weight:   TriangleWeight,
+				Seed:     0x5EED0 + uint64(b.m) + uint64(trial),
+				Decay:    Decay{HalfLife: halfLife},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range perm {
+				in.Process(e)
+			}
+			post := EstimatePost(in.Sampler())
+			ins := in.Estimates()
+			ratios["triangles"] = append(ratios["triangles"], post.Triangles/truth.Triangles)
+			ratios["wedges"] = append(ratios["wedges"], post.Wedges/truth.Wedges)
+			ratios["edges"] = append(ratios["edges"], post.DecayedEdges/truth.Edges)
+			ratios["instream/triangles"] = append(ratios["instream/triangles"], ins.Triangles/truth.Triangles)
+			ratios["instream/wedges"] = append(ratios["instream/wedges"], ins.Wedges/truth.Wedges)
+
+			// The in-stream decayed edge count is exact, not an estimate.
+			if rel := math.Abs(ins.DecayedEdges-truth.Edges) / truth.Edges; rel > 1e-9 {
+				t.Fatalf("m=%d trial %d: in-stream decayed edge count %v vs exact %v (rel %g)",
+					b.m, trial, ins.DecayedEdges, truth.Edges, rel)
+			}
+		}
+		check := func(motif string, bound float64) {
+			nrmse := stats.NRMSE(ratios[motif], 1)
+			t.Logf("m=%d %s: relative NRMSE %.4f (bound %.4f)", b.m, motif, nrmse, bound)
+			if nrmse > bound {
+				t.Errorf("m=%d %s: relative NRMSE %.4f exceeds committed bound %.4f — decayed estimator regressed",
+					b.m, motif, nrmse, bound)
+			}
+		}
+		check("triangles", b.tri)
+		check("wedges", b.wedge)
+		check("edges", b.edges)
+		check("instream/triangles", b.inTri)
+		check("instream/wedges", b.inWedge)
+	}
+}
+
+// TestDecayedCheckpointRoundTrip pins decayed durability: a version-2
+// document restores bit-identically (same fingerprint, same decay state,
+// byte-equal estimates, byte-identical re-encoding), evolves exactly like
+// the original on the remaining stream, and an undecayed checkpoint still
+// serializes as version 1 byte for byte.
+func TestDecayedCheckpointRoundTrip(t *testing.T) {
+	stream := timedGoldenStream()
+	cut := len(stream) / 2
+
+	s, err := NewSampler(Config{Capacity: 1200, Weight: TriangleWeight, Seed: 0xDD, Decay: Decay{HalfLife: 900}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range stream[:cut] {
+		s.Process(e)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteCheckpoint(&buf, "triangle"); err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte(nil), buf.Bytes()...)
+	if raw[4] != 2 {
+		t.Fatalf("decayed checkpoint version %d, want 2", raw[4])
+	}
+	restored, err := ReadCheckpoint(bytes.NewReader(raw), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(restored) != fingerprint(s) {
+		t.Fatal("restored fingerprint differs")
+	}
+	lm, set := restored.DecayLandmark()
+	lm0, set0 := s.DecayLandmark()
+	if lm != lm0 || set != set0 || restored.DecayHorizon() != s.DecayHorizon() || restored.DecayConfig() != s.DecayConfig() {
+		t.Fatalf("decay state: restored (%d,%v,%d,%+v) vs original (%d,%v,%d,%+v)",
+			lm, set, restored.DecayHorizon(), restored.DecayConfig(),
+			lm0, set0, s.DecayHorizon(), s.DecayConfig())
+	}
+
+	// Re-encoding the restored sampler reproduces the bytes.
+	var again bytes.Buffer
+	if err := restored.WriteCheckpoint(&again, "triangle"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, again.Bytes()) {
+		t.Fatal("checkpoint → restore → checkpoint changed bytes")
+	}
+
+	// Crash equivalence: both consume the remaining stream identically.
+	for _, e := range stream[cut:] {
+		s.Process(e)
+		restored.Process(e)
+	}
+	if fingerprint(restored) != fingerprint(s) {
+		t.Fatal("restored sampler diverged on the remaining stream")
+	}
+	a, b := EstimatePost(s), EstimatePost(restored)
+	if a != b {
+		t.Fatalf("post estimates differ after resume:\n%+v\n%+v", a, b)
+	}
+
+	// An undecayed sampler still writes version 1.
+	u, err := NewSampler(Config{Capacity: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Process(graph.NewEdge(1, 2))
+	var v1 bytes.Buffer
+	if err := u.WriteCheckpoint(&v1, "uniform"); err != nil {
+		t.Fatal(err)
+	}
+	if v1.Bytes()[4] != 1 {
+		t.Fatalf("undecayed checkpoint version %d, want 1", v1.Bytes()[4])
+	}
+}
+
+// TestDecayedInStreamCheckpointResume covers the in-stream document: the
+// decayed accumulators (including the decayed-arrival total) survive, and a
+// resumed run finishes byte-equal to an uninterrupted one.
+func TestDecayedInStreamCheckpointResume(t *testing.T) {
+	stream := timedGoldenStream()
+	cut := 2 * len(stream) / 3
+
+	full, err := NewInStream(Config{Capacity: 800, Weight: TriangleWeight, Seed: 0xE1, Decay: Decay{HalfLife: 1500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := NewInStream(Config{Capacity: 800, Weight: TriangleWeight, Seed: 0xE1, Decay: Decay{HalfLife: 1500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range stream[:cut] {
+		full.Process(e)
+		part.Process(e)
+	}
+	var buf bytes.Buffer
+	if err := part.WriteCheckpoint(&buf, "triangle", "bind=test"); err != nil {
+		t.Fatal(err)
+	}
+	resumed, binding, err := ReadInStreamCheckpoint(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binding != "bind=test" {
+		t.Fatalf("binding %q", binding)
+	}
+	for _, e := range stream[cut:] {
+		full.Process(e)
+		resumed.Process(e)
+	}
+	a, b := full.Estimates(), resumed.Estimates()
+	if a != b {
+		t.Fatalf("in-stream estimates differ after resume:\n%+v\n%+v", a, b)
+	}
+	if !a.Decayed || a.DecayHorizon == 0 {
+		t.Fatalf("expected decayed estimates, got %+v", a)
+	}
+}
+
+// TestMergeDecayAgreement pins the merge-time contracts: merging decayed
+// samplers requires a matching config and a shared landmark, and the merged
+// sampler inherits landmark and max horizon.
+func TestMergeDecayAgreement(t *testing.T) {
+	cfg := Config{Capacity: 64, Seed: 7, Decay: Decay{HalfLife: 100}}
+	mk := func(seed uint64, edges ...graph.Edge) *Sampler {
+		c := cfg
+		c.Seed = seed
+		s, err := NewSampler(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range edges {
+			s.Process(e)
+		}
+		return s
+	}
+	a := mk(1, graph.NewEdgeAt(1, 2, 10), graph.NewEdgeAt(2, 3, 30))
+	b := mk(2, graph.NewEdgeAt(4, 5, 10), graph.NewEdgeAt(5, 6, 55))
+	if err := b.SetDecayLandmark(10); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := Merge([]*Sampler{a, b}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm, set := m.DecayLandmark(); !set || lm != 10 {
+		t.Fatalf("merged landmark (%d,%v), want (10,true)", lm, set)
+	}
+	if m.DecayHorizon() != 55 {
+		t.Fatalf("merged horizon %d, want 55", m.DecayHorizon())
+	}
+
+	// Landmark disagreement is an error, not a silent mis-rank.
+	c := mk(3, graph.NewEdgeAt(7, 8, 99))
+	if _, err := Merge([]*Sampler{a, c}, cfg); err == nil {
+		t.Fatal("merge across disagreeing landmarks accepted")
+	}
+	// Config disagreement too.
+	other := cfg
+	other.Decay.HalfLife = 10
+	if _, err := Merge([]*Sampler{a, b}, other); err == nil {
+		t.Fatal("merge with mismatched decay config accepted")
+	}
+}
+
+// TestSetDecayLandmark covers the landmark pinning contract.
+func TestSetDecayLandmark(t *testing.T) {
+	s, err := NewSampler(Config{Capacity: 8, Seed: 1, Decay: Decay{HalfLife: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetDecayLandmark(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetDecayLandmark(5); err != nil {
+		t.Fatalf("idempotent re-pin rejected: %v", err)
+	}
+	if err := s.SetDecayLandmark(6); err == nil {
+		t.Fatal("moving a pinned landmark accepted")
+	}
+	s.Process(graph.NewEdgeAt(1, 2, 9))
+	if lm, set := s.DecayLandmark(); !set || lm != 5 {
+		t.Fatalf("landmark (%d,%v) after processing, want (5,true)", lm, set)
+	}
+	u, _ := NewSampler(Config{Capacity: 8, Seed: 1})
+	if err := u.SetDecayLandmark(1); err == nil {
+		t.Fatal("SetDecayLandmark on an undecayed sampler accepted")
+	}
+	if _, err := NewSampler(Config{Capacity: 8, Decay: Decay{HalfLife: -1}}); err == nil {
+		t.Fatal("negative half-life accepted")
+	}
+}
+
+// TestDecayOverflowPanics pins the numerics guard: a landmark-to-now span
+// far past what float64 priorities represent must fail loudly.
+func TestDecayOverflowPanics(t *testing.T) {
+	s, err := NewSampler(Config{Capacity: 8, Seed: 1, Decay: Decay{HalfLife: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Process(graph.NewEdgeAt(1, 2, 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflowing decay boost did not panic")
+		}
+	}()
+	s.Process(graph.NewEdgeAt(2, 3, 5000)) // ~5000 half-lives past the landmark
+}

@@ -26,6 +26,15 @@ type Estimates struct {
 	// estimates were taken.
 	SampledEdges int
 	Arrivals     uint64
+
+	// Decayed reports that the sampler ran with forward decay, in which
+	// case every count above targets the *decayed* count at DecayHorizon —
+	// each motif weighted by exp(-λ·(horizon − oldest member edge's event
+	// time)) — and DecayedEdges is the decayed edge count estimate
+	// Σ_{k∈K̂} d(k)/q(k). All three fields are zero for undecayed samplers.
+	Decayed      bool
+	DecayedEdges float64
+	DecayHorizon uint64
 }
 
 // GlobalClustering returns α̂ = 3·N̂(△)/N̂(Λ), the paper's estimator of the

@@ -1,6 +1,10 @@
 package core
 
-import "gps/internal/graph"
+import (
+	"math"
+
+	"gps/internal/graph"
+)
 
 // InStream implements Algorithm 3: graph priority sampling with in-stream
 // ("snapshot") estimation of triangle and wedge counts. When edge k arrives,
@@ -19,6 +23,17 @@ import "gps/internal/graph"
 // one) and because snapshots of subgraphs whose edges are later evicted
 // still contribute.
 //
+// Under forward decay (Config.Decay) the snapshots accumulate in landmark
+// units: a motif snapshotted at event time t contributes its estimate
+// scaled by g(t_min) = exp(λ(t_min − L)), the fixed forward-decay value of
+// its oldest edge. This is the whole point of forward decay for in-stream
+// estimation — the scaling of an already-frozen snapshot never changes as
+// time advances, and Estimates divides the running totals by g(T) once at
+// query time, yielding estimates of the decayed counts at the current
+// horizon. The landmark-unit totals grow like exp(λ(T−L)), so (as with the
+// sampler's boosted priorities) a run is bounded to ~1000 half-lives past
+// the landmark.
+//
 // InStream is not safe for concurrent use.
 type InStream struct {
 	s *Sampler
@@ -26,6 +41,11 @@ type InStream struct {
 	nTri, vTri float64 // Ñ(△), Ṽ(△)
 	nW, vW     float64 // Ñ(Λ), Ṽ(Λ)
 	covTW      float64 // Ṽ(△,Λ)
+
+	// decayedArrivals is Σ_k g(t_k) over all distinct arrivals (landmark
+	// units) — renormalized by g(T) it is the *exact* decayed edge count,
+	// every edge having been observed. Zero when decay is off.
+	decayedArrivals float64
 }
 
 // NewInStream returns an in-stream estimator with a fresh GPS sampler for
@@ -52,7 +72,18 @@ func (t *InStream) Process(e graph.Edge) bool {
 		return true
 	}
 	t.estimate(e)
-	return t.s.Process(e)
+	in := t.s.Process(e)
+	if t.s.lambda > 0 {
+		// The sampling step above resolved the effective event time (and on
+		// the first arrival, the landmark); Processed() is that stream
+		// position for untimed edges.
+		ts := e.TS
+		if ts == 0 {
+			ts = t.s.Processed()
+		}
+		t.decayedArrivals += math.Exp(t.s.lambda * (float64(ts) - float64(t.s.landmark)))
+	}
+	return in
 }
 
 // estimate is procedure GPSEstimate of Algorithm 3. The triangle loop must
@@ -61,6 +92,10 @@ func (t *InStream) Process(e graph.Edge) bool {
 // exactly once — at the wedge step, which reads the triangle covariance
 // accumulator C̃_j(△) already updated by the triangle step (line 26).
 func (t *InStream) estimate(k graph.Edge) {
+	if t.s.lambda > 0 {
+		t.estimateDecayed(k)
+		return
+	}
 	res := t.s.res
 
 	// Triangles completed by k (lines 9-19). Distinct triangles completed
@@ -106,10 +141,74 @@ func (t *InStream) estimate(k graph.Edge) {
 	wedgeAt(k.V, k.U)
 }
 
+// estimateDecayed is GPSEstimate under forward decay: the same snapshot
+// structure with every motif's contribution scaled by g(t_min), the fixed
+// landmark-unit value of its oldest edge. The per-edge covariance
+// accumulators carry the same scaling, so cross terms pick up both motifs'
+// decay values. Estimates renormalizes everything by g(T) at query time.
+func (t *InStream) estimateDecayed(k graph.Edge) {
+	res := t.s.res
+	tsK := k.TS
+	if tsK == 0 {
+		tsK = t.s.Processed() + 1 // the position this arrival is about to take
+	}
+	// g(min(a,b)) in landmark units; one Exp per motif.
+	phiMin := func(a, b uint64) float64 {
+		if b < a {
+			a = b
+		}
+		return math.Exp(t.s.lambda * (float64(a) - float64(t.s.landmark)))
+	}
+
+	res.commonNeighborsWithSlots(k.U, k.V, func(v3 graph.NodeID, su, sv int32) bool {
+		e1 := res.entryAt(su)
+		e2 := res.entryAt(sv)
+		q1 := t.s.probForWeight(e1.Weight)
+		q2 := t.s.probForWeight(e2.Weight)
+		ts1, ts2 := e1.Edge.TS, e2.Edge.TS
+		tsMin := ts1
+		if ts2 < tsMin {
+			tsMin = ts2
+		}
+		phi := phiMin(tsK, tsMin)
+		inv := 1 / (q1 * q2)
+		t.nTri += phi * inv
+		t.vTri += phi * phi * (inv - 1) * inv
+		t.vTri += 2 * (e1.TriCov + e2.TriCov) * phi * inv
+		t.covTW += (e1.WedgeCov + e2.WedgeCov) * phi * inv
+		e1.TriCov += phi * (1/q1 - 1) / q2
+		e2.TriCov += phi * (1/q2 - 1) / q1
+		return true
+	})
+
+	wedgeAt := func(center, other graph.NodeID) {
+		nbrs, slots := res.neighborRun(center)
+		for i, x := range nbrs {
+			if x == other {
+				continue
+			}
+			ent := res.entryAt(slots[i])
+			q := t.s.probForWeight(ent.Weight)
+			phi := phiMin(tsK, ent.Edge.TS)
+			invQ := 1 / q
+			t.nW += phi * invQ
+			t.vW += phi * phi * invQ * (invQ - 1)
+			t.vW += 2 * ent.WedgeCov * phi * invQ
+			t.covTW += ent.TriCov * phi * invQ
+			ent.WedgeCov += phi * (invQ - 1)
+		}
+	}
+	wedgeAt(k.U, k.V)
+	wedgeAt(k.V, k.U)
+}
+
 // Estimates returns the current in-stream totals. Unlike post-stream
-// estimation this is O(1): the counts are maintained incrementally.
+// estimation this is O(1): the counts are maintained incrementally. Under
+// forward decay the landmark-unit totals are renormalized by g(T) (counts)
+// and g(T)² (variances) to target the decayed counts at the current
+// horizon.
 func (t *InStream) Estimates() Estimates {
-	return Estimates{
+	est := Estimates{
 		Triangles:        t.nTri,
 		Wedges:           t.nW,
 		VarTriangles:     t.vTri,
@@ -118,4 +217,16 @@ func (t *InStream) Estimates() Estimates {
 		SampledEdges:     t.s.res.Len(),
 		Arrivals:         t.s.arrivals,
 	}
+	if t.s.lambda > 0 {
+		gT := math.Exp(t.s.lambda * (float64(t.s.lastTS) - float64(t.s.landmark)))
+		est.Triangles /= gT
+		est.Wedges /= gT
+		est.VarTriangles /= gT * gT
+		est.VarWedges /= gT * gT
+		est.CovTriangleWedge /= gT * gT
+		est.Decayed = true
+		est.DecayedEdges = t.decayedArrivals / gT
+		est.DecayHorizon = t.s.lastTS
+	}
+	return est
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 
 	"gps/internal/order"
@@ -36,6 +37,26 @@ func Merge(samplers []*Sampler, cfg Config) (*Sampler, error) {
 	m, err := NewSampler(cfg)
 	if err != nil {
 		return nil, err
+	}
+
+	// Forward decay merges only between samplers that agree on the decay
+	// function and landmark: priorities are comparable across shards exactly
+	// when every boost used the same g. The merged horizon is the max.
+	for _, s := range samplers {
+		if s.decay != cfg.Decay {
+			return nil, fmt.Errorf("core: Merge decay config %+v disagrees with sampler's %+v", cfg.Decay, s.decay)
+		}
+		if s.landmarkSet {
+			if !m.landmarkSet {
+				m.landmark, m.landmarkSet = s.landmark, true
+			} else if m.landmark != s.landmark {
+				return nil, fmt.Errorf("core: Merge landmark disagreement: %d vs %d (shards must share the decay landmark)",
+					m.landmark, s.landmark)
+			}
+		}
+		if s.lastTS > m.lastTS {
+			m.lastTS = s.lastTS
+		}
 	}
 
 	total := 0

@@ -21,6 +21,11 @@ package core
 // (EstimatePostLookup) exactly, so the results are bit-identical, which the
 // equality tests assert.
 func EstimatePost(s *Sampler) Estimates {
+	if s.Decayed() {
+		// Forward decay retargets the estimators at the decayed counts: the
+		// same scan, with per-motif decay factors (see decay.go).
+		return estimatePostDecayed(s)
+	}
 	n := s.res.Len()
 	probs := s.slotProbs()
 	workers := estimateWorkers(n)

@@ -22,6 +22,12 @@ type Config struct {
 	// Seed makes the whole sampling run a deterministic function of the
 	// stream order.
 	Seed uint64
+	// Decay enables forward-decay (time-decayed) sampling: each arriving
+	// edge's weight is boosted by exp(λ(t-L)) for its event time t, so
+	// recent edges dominate the sample and the estimators target decayed
+	// counts (see the decay.go package notes). The zero value disables
+	// decay, leaving behaviour bit-identical to earlier releases.
+	Decay Decay
 }
 
 // Sampler implements Algorithm 1, GPS(m): graph priority sampling of an
@@ -51,12 +57,24 @@ type Sampler struct {
 	zstar      float64
 	arrivals   uint64
 	duplicates uint64
+
+	// Forward-decay state (zero when decay is off; see decay.go). lambda is
+	// ln2/HalfLife, landmark is L (pinned by the first arrival, the config,
+	// or SetDecayLandmark), lastTS is the horizon T = max event time seen.
+	decay       Decay
+	lambda      float64
+	landmark    uint64
+	landmarkSet bool
+	lastTS      uint64
 }
 
 // NewSampler returns a Sampler for the given configuration.
 func NewSampler(cfg Config) (*Sampler, error) {
 	if cfg.Capacity < 1 {
 		return nil, errors.New("core: Capacity must be at least 1")
+	}
+	if err := cfg.Decay.validate(); err != nil {
+		return nil, err
 	}
 	w, uniform := normalizeWeight(cfg.Weight)
 	return &Sampler{
@@ -65,6 +83,8 @@ func NewSampler(cfg Config) (*Sampler, error) {
 		uniform:  uniform,
 		rng:      randx.New(cfg.Seed),
 		res:      newReservoir(cfg.Capacity),
+		decay:    cfg.Decay,
+		lambda:   cfg.Decay.lambda(),
 	}, nil
 }
 
@@ -101,6 +121,11 @@ func (s *Sampler) Process(e graph.Edge) bool {
 		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
 			panic(fmt.Sprintf("core: weight function returned invalid weight %v for edge %v", w, e))
 		}
+	}
+	if s.lambda > 0 {
+		// Forward decay: boost by g(t)/g(L) and stamp the effective event
+		// time onto the local copy, so the stored entry carries it.
+		w = s.decayWeight(&e, w)
 	}
 	r := w / u
 

@@ -19,15 +19,25 @@ import (
 //	uvarint  shard count P
 //	u64      root seed (informational; shard RNG states travel below)
 //	u64      merge seed
+//	v2 only: uvarint event clock (stamped onto untimed edges under decay)
 //	u32      crc32 of the bytes above (the container header is its own
 //	         checksummed document)
 //	P × sampler document (each a complete GPSC KindSampler document with
 //	         its own header and checksum, in shard order)
 //
+// Version gating mirrors the sampler documents: an engine running forward
+// decay writes a version-2 container whose shard blobs are version-2
+// sampler documents (decay config, landmark, horizon, per-entry event
+// times); an undecayed engine writes version 1, byte-identical to earlier
+// releases. On restore the container and shard versions must agree, every
+// shard must record the same decay config and landmark, and the event
+// clock resumes so arrival-order event times continue without a gap.
+//
 // Restoring rebuilds each shard sampler bit for bit, so a restored engine
 // fed the remaining stream produces merges and snapshots identical to an
-// uninterrupted run — the per-shard RNG states, reservoirs and the merge
-// seed are all that a Parallel's future output depends on.
+// uninterrupted run — the per-shard RNG states, reservoirs, the merge
+// seed, and the decay state are all that a Parallel's future output
+// depends on.
 
 // WriteCheckpoint serializes the whole sharded data plane as a GPSC engine
 // document and returns the stream position the document covers (every edge
@@ -68,6 +78,7 @@ func (p *Parallel) WriteCheckpoint(w io.Writer, weightName string) (position uin
 	}
 	capacity, shards := p.cfg.Capacity, len(p.shards)
 	seed, mergeSeed := p.cfg.Seed, p.mergeSeed
+	decayed, clock := p.decay, p.clock // captured under the barrier, like position
 	p.checkpoints++
 	wg.Wait() // clones must be complete before ingestion resumes
 	p.mu.Unlock()
@@ -115,11 +126,18 @@ func (p *Parallel) WriteCheckpoint(w io.Writer, weightName string) (position uin
 		return 0, encErr
 	}
 
-	cw := checkpoint.NewWriter(w, checkpoint.KindEngine)
+	version := byte(checkpoint.Version)
+	if decayed {
+		version = checkpoint.Version2
+	}
+	cw := checkpoint.NewWriterVersion(w, checkpoint.KindEngine, version)
 	cw.Uvarint(uint64(capacity))
 	cw.Uvarint(uint64(shards))
 	cw.U64(seed)
 	cw.U64(mergeSeed)
+	if decayed {
+		cw.Uvarint(clock)
+	}
 	if err := cw.Finish(); err != nil {
 		return 0, err
 	}
@@ -152,6 +170,11 @@ func ReadParallelCheckpoint(r io.Reader, resolve func(string) (core.WeightFunc, 
 	shards := cr.Count("shard count", maxEngineShards)
 	seed := cr.U64()
 	mergeSeed := cr.U64()
+	decayed := cr.Version() == checkpoint.Version2
+	var clock uint64
+	if decayed {
+		clock = cr.Uvarint()
+	}
 	if err := cr.Finish(); err != nil {
 		return nil, "", err
 	}
@@ -191,17 +214,59 @@ func ReadParallelCheckpoint(r io.Reader, resolve func(string) (core.WeightFunc, 
 			return nil, "", fmt.Errorf("engine: shard %d capacity %d, want %d for m=%d P=%d",
 				i, s.Capacity(), want, capacity, shards)
 		}
+		if s.Decayed() != decayed {
+			return nil, "", fmt.Errorf("engine: shard %d decay state disagrees with the container version", i)
+		}
 		samplers = append(samplers, s)
 	}
 	if _, err := br.ReadByte(); err != io.EOF {
 		return nil, "", fmt.Errorf("engine: trailing bytes after %d shard documents", shards)
 	}
 
+	// Under decay every shard must have been boosting against one shared
+	// g: same config, same landmark. The engine's landmark pinning is
+	// considered done once any shard has a landmark.
+	var decay core.Decay
+	landmarked := false
+	if decayed {
+		decay = samplers[0].DecayConfig()
+		lm0, set0 := samplers[0].DecayLandmark()
+		for i, s := range samplers {
+			if s.DecayConfig() != decay {
+				return nil, "", fmt.Errorf("engine: shard %d decay config %+v disagrees with shard 0's %+v",
+					i, s.DecayConfig(), decay)
+			}
+			lm, set := s.DecayLandmark()
+			if set != set0 || (set && lm != lm0) {
+				return nil, "", fmt.Errorf("engine: shard %d decay landmark (%d,%v) disagrees with shard 0's (%d,%v)",
+					i, lm, set, lm0, set0)
+			}
+		}
+		landmarked = set0
+	}
+
 	p := &Parallel{
-		cfg:       core.Config{Capacity: capacity, Weight: weightFn, Seed: seed},
-		mergeSeed: mergeSeed,
-		batch:     DefaultBatch,
-		shards:    make([]*shard, len(samplers)),
+		cfg:        core.Config{Capacity: capacity, Weight: weightFn, Seed: seed, Decay: decay},
+		mergeSeed:  mergeSeed,
+		batch:      DefaultBatch,
+		shards:     make([]*shard, len(samplers)),
+		decay:      decayed,
+		landmarked: landmarked,
+		clock:      clock,
+	}
+	if decayed {
+		var t uint64
+		for _, s := range samplers {
+			if h := s.DecayHorizon(); h > t {
+				t = h
+			}
+		}
+		p.horizon.Store(t)
+		if lm, set := samplers[0].DecayLandmark(); set {
+			p.landmarkVal.Store(lm)
+		} else if decay.Landmark != 0 {
+			p.landmarkVal.Store(decay.Landmark)
+		}
 	}
 	p.pool.New = func() any {
 		buf := make([]graph.Edge, 0, p.batch)

@@ -19,15 +19,25 @@ func FuzzEngineCheckpointDecoder(f *testing.F) {
 	// Real engine checkpoints as seeds: empty, and mid-stream at two shard
 	// counts.
 	for _, tc := range []struct {
-		shards int
-		edges  int
-	}{{1, 0}, {2, 3000}, {4, 3000}} {
-		p, err := NewParallel(core.Config{Capacity: 200, Seed: 13}, tc.shards)
+		shards   int
+		edges    int
+		halfLife float64
+		timed    bool
+	}{{1, 0, 0, false}, {2, 3000, 0, false}, {4, 3000, 0, false},
+		{2, 3000, 500, true}, {4, 3000, 800, false}} { // v2 seeds: timed + arrival-order decay
+		p, err := NewParallel(core.Config{Capacity: 200, Seed: 13,
+			Decay: core.Decay{HalfLife: tc.halfLife}}, tc.shards)
 		if err != nil {
 			f.Fatal(err)
 		}
 		if tc.edges > 0 {
-			p.ProcessBatch(testStream(400, tc.edges, 0xF5))
+			es := testStream(400, tc.edges, 0xF5)
+			if tc.timed {
+				for i := range es {
+					es[i].TS = uint64(10 + i)
+				}
+			}
+			p.ProcessBatch(es)
 		}
 		var buf bytes.Buffer
 		if _, err := p.WriteCheckpoint(&buf, "uniform"); err != nil {

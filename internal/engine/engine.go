@@ -127,6 +127,19 @@ type Parallel struct {
 	// re-running it would rebuild a bit-identical sampler. Guarded by mu.
 	lastMerged       *core.Sampler
 	lastMergedEpochs []uint64
+
+	// Forward-decay bookkeeping, guarded by mu. Priorities are only
+	// comparable across shards when every shard boosts against the same
+	// landmark, so the first routed edge pins the landmark on every shard
+	// at once (they are still quiescent: nothing has been flushed). clock
+	// is the engine-wide event-time counter stamped onto untimed edges
+	// (edge TS 0) so that arrival-order decay is coherent across shards —
+	// per-shard positions would advance at ~1/P the global rate.
+	decay       bool
+	landmarked  bool
+	clock       uint64
+	horizon     atomic.Uint64 // max event time admitted; mutated under mu, read lock-free
+	landmarkVal atomic.Uint64 // pinned landmark L (0 = not pinned yet); read lock-free
 }
 
 type shard struct {
@@ -180,6 +193,10 @@ func NewParallel(cfg core.Config, shards int) (*Parallel, error) {
 		cfg:    cfg,
 		batch:  DefaultBatch,
 		shards: make([]*shard, shards),
+		decay:  cfg.Decay.Enabled(),
+	}
+	if cfg.Decay.Enabled() && cfg.Decay.Landmark != 0 {
+		p.landmarkVal.Store(cfg.Decay.Landmark)
 	}
 	p.pool.New = func() any {
 		buf := make([]graph.Edge, 0, p.batch)
@@ -277,6 +294,36 @@ func (p *Parallel) ProcessBatch(edges []graph.Edge) {
 // shard sampler's RNG or counters, so any delivery dirties the shard for
 // snapshot purposes.
 func (p *Parallel) process(e graph.Edge) {
+	if p.decay {
+		// Engine-wide event clock: untimed edges get the global stream
+		// position as their event time (checkpointed, so a restore resumes
+		// the same clock), and the first edge ever routed pins the shared
+		// decay landmark before anything has been flushed to a shard.
+		p.clock++
+		if e.TS == 0 {
+			e.TS = p.clock
+		}
+		if e.TS > p.horizon.Load() {
+			p.horizon.Store(e.TS)
+		}
+		if !p.landmarked {
+			p.landmarked = true
+			if p.cfg.Decay.Landmark == 0 {
+				p.landmarkVal.Store(e.TS)
+				for _, sh := range p.shards {
+					if err := sh.s.SetDecayLandmark(e.TS); err != nil {
+						panic(fmt.Sprintf("engine: landmark pinning: %v", err))
+					}
+					// Pinning mutates the shard sampler, so every cached
+					// clone and checkpoint blob keyed by the shard epoch is
+					// stale — without this bump a later checkpoint would mix
+					// pinned and pre-pin shard documents and fail restore's
+					// landmark-agreement validation.
+					sh.epoch++
+				}
+			}
+		}
+	}
 	sh := p.shardFor(e)
 	sh.epoch++
 	sh.buf = append(sh.buf, e)
@@ -483,6 +530,24 @@ func (p *Parallel) SnapshotStats() (snapshots, cloned, reused uint64) {
 func (p *Parallel) LastSnapshotStall() time.Duration {
 	return time.Duration(p.lastStall.Load())
 }
+
+// Decay returns the forward-decay configuration the engine runs with (the
+// zero value when decay is off).
+func (p *Parallel) Decay() core.Decay { return p.cfg.Decay }
+
+// DecayLandmark returns the pinned forward-decay landmark L, with ok=false
+// before the first edge pinned it. Lock-free; callers use it to range-check
+// event times before admission.
+func (p *Parallel) DecayLandmark() (uint64, bool) {
+	v := p.landmarkVal.Load()
+	return v, v != 0
+}
+
+// DecayHorizon returns the largest event time routed to any shard — the
+// horizon decayed estimates from a merge or snapshot at this moment would
+// target. It is tracked at admission (lock-free read; no ingestion stall)
+// and is 0 when decay is off.
+func (p *Parallel) DecayHorizon() uint64 { return p.horizon.Load() }
 
 // ShardOf returns the shard index the given edge routes to. It is exposed
 // for tests and benchmarks that need to construct shard-targeted traffic

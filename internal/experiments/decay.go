@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"text/tabwriter"
+
+	"gps/internal/core"
+	"gps/internal/engine"
+	"gps/internal/exact"
+	"gps/internal/gen"
+	"gps/internal/graph"
+	"gps/internal/randx"
+	"gps/internal/stats"
+)
+
+// DecayRow is one (half-life, sample size, motif) cell of the temporal
+// (forward-decay) accuracy experiment: the exact decayed count at the
+// stream's horizon (trial 0's stream; every trial is normalized by its own
+// exact counts), the mean decayed GPS estimate rescaled to that truth, the
+// NRMSE of the per-trial estimate/exact ratios against 1 (pure estimator
+// error — truth varies per permutation), and — for context — the exact
+// count inside a sharp sliding window of one half-life, which the decayed
+// count brackets smoothly.
+type DecayRow struct {
+	HalfLifeFrac float64 `json:"half_life_frac"` // half-life as a fraction of the stream span
+	M            int     `json:"m"`
+	Motif        string  `json:"motif"`
+	Exact        float64 `json:"exact_decayed"`
+	Window       float64 `json:"window_exact"`
+	Mean         float64 `json:"mean_estimate"`
+	NRMSE        float64 `json:"nrmse"`
+}
+
+// DecayConfig parameterizes the decay experiment.
+type DecayConfig struct {
+	// Nodes/K/Triad shape the Holme-Kim stream (clustered, so triangle
+	// weights have structure to chase). Zero values take the defaults.
+	Nodes, K int
+	Triad    float64
+	// HalfLifeFracs are the half-lives swept, as fractions of the stream's
+	// event span. Default {0.05, 0.25}.
+	HalfLifeFracs []float64
+	// SampleSizes are the reservoir capacities swept. Default {4K, 20K}.
+	SampleSizes []int
+	// Shards > 1 additionally routes every trial through an
+	// engine.Parallel with that many shards and asserts the merged decayed
+	// estimates against the same ground truth (landmark agreement across
+	// shards is what makes this legal).
+	Shards int
+}
+
+func (c DecayConfig) withDefaults() DecayConfig {
+	if c.Nodes == 0 {
+		c.Nodes = 20000
+	}
+	if c.K == 0 {
+		c.K = 8
+	}
+	if c.Triad == 0 {
+		c.Triad = 0.3
+	}
+	if len(c.HalfLifeFracs) == 0 {
+		c.HalfLifeFracs = []float64{0.05, 0.25}
+	}
+	if len(c.SampleSizes) == 0 {
+		c.SampleSizes = []int{4000, 20000}
+	}
+	return c
+}
+
+// DecayAccuracy measures the NRMSE of the forward-decayed triangle/wedge
+// estimators against exact decayed counts on a timestamped Holme-Kim
+// stream (event time = stream position, so a half-life of f·|stream| keeps
+// roughly the last f of the stream "warm"). It is the temporal counterpart
+// of Accuracy, and the source of the committed bounds in the tier-1
+// decayed-accuracy regression test.
+func DecayAccuracy(opts Options, cfg DecayConfig) ([]DecayRow, error) {
+	opts = opts.withDefaults()
+	cfg = cfg.withDefaults()
+	base := gen.HolmeKim(cfg.Nodes, cfg.K, cfg.Triad, 0xDECA+opts.Seed%1000)
+	span := uint64(len(base))
+
+	var rows []DecayRow
+	for _, frac := range cfg.HalfLifeFracs {
+		halfLife := frac * float64(span)
+		lambda := math.Ln2 / halfLife
+		for _, m := range cfg.SampleSizes {
+			m := clampSample(m, len(base))
+			// Each trial permutes (and therefore re-timestamps) the stream,
+			// so the exact decayed triangle/wedge counts differ per trial:
+			// collect estimate/exact ratios and measure NRMSE against 1, so
+			// the metric is pure estimator error, not truth drift.
+			ratios := map[string][]float64{}
+			var truth0 exact.DecayedCounts
+			var windowTri float64
+			for trial := 0; trial < opts.Trials; trial++ {
+				ss, ps := opts.trialSeed(0, trial)
+				// Timestamp along the trial's arrival order: each
+				// permutation is its own activity stream.
+				perm := append([]graph.Edge(nil), base...)
+				randx.New(ps+uint64(m)).Shuffle(len(perm), func(i, j int) {
+					perm[i], perm[j] = perm[j], perm[i]
+				})
+				for i := range perm {
+					perm[i].TS = uint64(i + 1)
+				}
+				truth := exact.Decayed(perm, lambda, span)
+				if truth.Triangles <= 0 || truth.Wedges <= 0 || truth.Edges <= 0 {
+					return nil, fmt.Errorf("decay: degenerate exact decayed counts %+v (half-life %.0f)", truth, halfLife)
+				}
+				if trial == 0 {
+					truth0 = truth
+					_, wTri, _ := exact.Windowed(perm, uint64(halfLife), span)
+					windowTri = float64(wTri)
+				}
+
+				s, err := core.NewSampler(core.Config{
+					Capacity: m,
+					Weight:   core.TriangleWeight,
+					Seed:     ss + uint64(m),
+					Decay:    core.Decay{HalfLife: halfLife},
+				})
+				if err != nil {
+					return nil, err
+				}
+				s.ProcessBatch(perm)
+				est := core.EstimatePost(s)
+				ratios["triangles"] = append(ratios["triangles"], est.Triangles/truth.Triangles)
+				ratios["wedges"] = append(ratios["wedges"], est.Wedges/truth.Wedges)
+				ratios["edges"] = append(ratios["edges"], est.DecayedEdges/truth.Edges)
+
+				if cfg.Shards > 1 {
+					p, err := engine.NewParallel(core.Config{
+						Capacity: m,
+						Weight:   core.TriangleWeight,
+						Seed:     ss + uint64(m),
+						Decay:    core.Decay{HalfLife: halfLife},
+					}, cfg.Shards)
+					if err != nil {
+						return nil, err
+					}
+					p.ProcessBatch(perm)
+					merged, err := p.Merge()
+					p.Close()
+					if err != nil {
+						return nil, err
+					}
+					mEst := core.EstimatePost(merged)
+					ratios["triangles/sharded"] = append(ratios["triangles/sharded"], mEst.Triangles/truth.Triangles)
+				}
+			}
+			exactOf := map[string]float64{
+				"triangles": truth0.Triangles, "triangles/sharded": truth0.Triangles,
+				"wedges": truth0.Wedges, "edges": truth0.Edges,
+			}
+			windowOf := map[string]float64{"triangles": windowTri, "triangles/sharded": windowTri}
+			for _, motif := range []string{"edges", "triangles", "triangles/sharded", "wedges"} {
+				vals := ratios[motif]
+				if len(vals) == 0 {
+					continue
+				}
+				mean := 0.0
+				for _, v := range vals {
+					mean += v
+				}
+				mean /= float64(len(vals))
+				rows = append(rows, DecayRow{
+					HalfLifeFrac: frac, M: m, Motif: motif,
+					Exact: exactOf[motif], Window: windowOf[motif],
+					Mean:  mean * exactOf[motif], // mean ratio rescaled to trial-0 truth for display
+					NRMSE: stats.NRMSE(vals, 1),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderDecay formats decay rows as a text table.
+func RenderDecay(rows []DecayRow) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "half-life\tm\tmotif\texact decayed\twindow exact\tmean estimate\tNRMSE")
+		for _, r := range rows {
+			win := "-"
+			if r.Window > 0 {
+				win = human(r.Window)
+			}
+			fmt.Fprintf(w, "%.2f·span\t%d\t%s\t%s\t%s\t%s\t%.4f\n",
+				r.HalfLifeFrac, r.M, r.Motif, human(r.Exact), win, human(r.Mean), r.NRMSE)
+		}
+	})
+}

@@ -19,8 +19,16 @@ type NodeID uint32
 // Edge is an undirected edge in canonical form: U < V always holds for edges
 // constructed through NewEdge. Because the paper's streams carry unique,
 // simplified edges, an Edge doubles as the identity of a stream item.
+//
+// TS is an optional event timestamp in caller-defined units (seconds, epoch
+// millis, logical ticks); 0 means "no timestamp", in which case temporal
+// consumers fall back to arrival order. TS is NOT part of the edge's
+// identity: Key ignores it, and every structure that deduplicates or looks
+// up edges goes through Key. Code must not compare two Edge values with ==
+// unless they provably stem from the same arrival.
 type Edge struct {
 	U, V NodeID
+	TS   uint64
 }
 
 // NewEdge returns the canonical form of the undirected edge {a,b}.
@@ -34,6 +42,19 @@ func NewEdge(a, b NodeID) Edge {
 		a, b = b, a
 	}
 	return Edge{U: a, V: b}
+}
+
+// NewEdgeAt is NewEdge carrying an event timestamp.
+func NewEdgeAt(a, b NodeID, ts uint64) Edge {
+	e := NewEdge(a, b)
+	e.TS = ts
+	return e
+}
+
+// At returns a copy of e stamped with the given event timestamp.
+func (e Edge) At(ts uint64) Edge {
+	e.TS = ts
+	return e
 }
 
 // Key packs the canonical edge into a single comparable 64-bit map key.

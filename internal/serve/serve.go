@@ -82,6 +82,13 @@ type Config struct {
 	// 0 means every query sees a fresh snapshot. Requests may tighten or
 	// relax it per call with ?max_stale=<duration>.
 	MaxStaleness time.Duration
+	// HalfLife enables forward-decay (time-decayed) sampling with the given
+	// exponential half-life in event-time units: recent edges dominate the
+	// sample and /v1/estimate targets decayed counts at the stream's event
+	// horizon. Ingested edges carry event times via the GPSB v2 framing or
+	// a third edge-list column; untimed edges decay by stream position.
+	// 0 (the default) disables decay.
+	HalfLife float64
 
 	// RestoreFrom restores the sampler data plane on boot from a GPSC
 	// checkpoint: a file path, or a directory whose newest *.gpsc file is
@@ -125,6 +132,8 @@ type Server struct {
 	edgesAccepted  atomic.Uint64 // edges admitted to the queue
 	edgesProcessed atomic.Uint64 // edges handed to the sampler (restored position on boot)
 	batchesDropped atomic.Uint64 // ingest requests rejected by backpressure
+	selfLoops      atomic.Uint64 // self-loop records skipped by the readers
+	decayMode      atomic.Int32  // 0 undecided, 1 event-timed, 2 untimed (decayed servers only)
 	pendingEdges   atomic.Int64
 	pendingBatches atomic.Int64
 
@@ -203,12 +212,14 @@ func NewServer(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: restore %s: %w", path, err)
 		}
 		// The checkpoint's configuration wins: restored reservoirs are only
-		// meaningful under the capacity/weight/shards they were taken with.
+		// meaningful under the capacity/weight/shards (and decay) they were
+		// taken with.
 		par = restored
 		cfg.Capacity = restored.Capacity()
 		cfg.Shards = restored.Shards()
 		cfg.WeightName = weightName
 		cfg.Weight, _ = WeightByName(weightName)
+		cfg.HalfLife = restored.Decay().HalfLife
 		restoredFrom = path
 		restoredPosition = restored.Processed()
 	} else {
@@ -216,6 +227,7 @@ func NewServer(cfg Config) (*Server, error) {
 			Capacity: cfg.Capacity,
 			Weight:   cfg.Weight,
 			Seed:     cfg.Seed,
+			Decay:    core.Decay{HalfLife: cfg.HalfLife},
 		}, cfg.Shards)
 		if err != nil {
 			return nil, fmt.Errorf("serve: %w", err)
@@ -338,24 +350,26 @@ func (t *limitTracker) Read(p []byte) (int, error) {
 }
 
 // parseBody decodes an ingest body: binary edge frames when the content
-// type or magic says so, plain-text edge list otherwise. tooBig reports
-// that the body exceeded MaxBodyBytes (the error is then a truncation
-// artifact, not malformed client data).
-func (s *Server) parseBody(r *http.Request) (edges []graph.Edge, tooBig bool, err error) {
+// type or magic says so, plain-text edge list otherwise. Self-loop records
+// are skipped and counted per the shared reader policy (the count feeds
+// the ingest response and /v1/stats). tooBig reports that the body
+// exceeded MaxBodyBytes (the error is then a truncation artifact, not
+// malformed client data).
+func (s *Server) parseBody(r *http.Request) (edges []graph.Edge, st stream.ReadStats, tooBig bool, err error) {
 	if r.ContentLength > s.cfg.MaxBodyBytes {
-		return nil, true, fmt.Errorf("serve: body of %d bytes exceeds limit", r.ContentLength)
+		return nil, st, true, fmt.Errorf("serve: body of %d bytes exceeds limit", r.ContentLength)
 	}
 	body := &limitTracker{r: http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)}
 	if r.Header.Get("Content-Type") == stream.BinaryContentType {
-		edges, err = stream.ReadBinary(body)
+		edges, st, err = stream.ReadBinaryStats(body)
 	} else {
-		edges, err = stream.ReadEdges(body)
+		edges, st, err = stream.ReadEdgesStats(body)
 	}
-	return edges, body.tripped, err
+	return edges, st, body.tripped, err
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	edges, tooBig, err := s.parseBody(r)
+	edges, rst, tooBig, err := s.parseBody(r)
 	if err != nil {
 		if tooBig {
 			httpError(w, http.StatusRequestEntityTooLarge,
@@ -366,8 +380,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(edges) == 0 {
-		writeJSON(w, http.StatusAccepted, map[string]any{"accepted": 0})
+		// The body was fully parsed and (vacuously) admitted: its skips
+		// count. Rejected or unparseable bodies never reach the counter —
+		// it must track skips from accepted stream positions only.
+		s.selfLoops.Add(uint64(rst.SelfLoops))
+		writeJSON(w, http.StatusAccepted, map[string]any{"accepted": 0, "skipped_self_loops": rst.SelfLoops})
 		return
+	}
+	if s.cfg.HalfLife > 0 {
+		if msg := s.decayRangeCheck(edges); msg != "" {
+			// Past this span the sampler's boost would overflow float64 and
+			// abort the whole process; reject the batch while the error can
+			// still be an HTTP response.
+			httpError(w, http.StatusBadRequest, msg)
+			return
+		}
 	}
 	// The read lock pins the open/closed state across the check + enqueue:
 	// once Close holds the write side, no further batch can be admitted,
@@ -400,15 +427,103 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.queue <- ingestItem{edges: edges}:
 		s.edgesAccepted.Add(uint64(len(edges)))
+		s.selfLoops.Add(uint64(rst.SelfLoops))
 		writeJSON(w, http.StatusAccepted, map[string]any{
-			"accepted":       len(edges),
-			"queued_batches": s.pendingBatches.Load(),
+			"accepted":           len(edges),
+			"skipped_self_loops": rst.SelfLoops,
+			"queued_batches":     s.pendingBatches.Load(),
 		})
 	default:
 		// Backpressure: the queue is full. Clients should retry with
 		// delay; unbounded buffering here would just hide the overload.
 		reject("ingest queue full")
 	}
+}
+
+// maxDecaySpanHalfLives bounds how far past the decay landmark the service
+// admits events: the forward-decay boost exp(λ(t−L)) overflows float64 at
+// ~1022 half-lives, which would abort the sampler mid-process. Guarding at
+// 1000 turns "the server crashed" into a 400 with a margin for batches
+// already in flight.
+const maxDecaySpanHalfLives = 1000
+
+// decayRangeCheck reports (as a client-facing message, "" = fine) whether a
+// parsed batch could push the decayed sampler outside the representable
+// span: event times are checked against the pinned landmark (or, before
+// the first pin, the batch's own first event time — what the engine will
+// pin) in *both* directions, since the boost overflows ~1000 half-lives
+// above the landmark and underflows to a zero weight the same distance
+// below; untimed edges are checked against the projected engine position
+// clock. Mixing timed and untimed edges under decay is rejected outright:
+// the engine would stamp the untimed rows with clock positions that are
+// incommensurate with the event-time landmark, which is the same crash
+// spelled differently. The stream's shape (timed vs untimed) is locked in
+// on the first accepted batch.
+func (s *Server) decayRangeCheck(edges []graph.Edge) string {
+	limit := uint64(maxDecaySpanHalfLives * s.cfg.HalfLife)
+	timed := 0
+	var firstTS, minTS, maxTS uint64
+	for _, e := range edges {
+		if e.TS == 0 {
+			continue
+		}
+		if timed == 0 {
+			firstTS, minTS, maxTS = e.TS, e.TS, e.TS
+		} else {
+			if e.TS < minTS {
+				minTS = e.TS
+			}
+			if e.TS > maxTS {
+				maxTS = e.TS
+			}
+		}
+		timed++
+	}
+	if timed > 0 && timed < len(edges) {
+		return "batch mixes event-timed and untimed edges; a decayed stream must carry timestamps on every edge or on none"
+	}
+	base, haveBase := s.par.DecayLandmark()
+	if timed > 0 {
+		if !haveBase {
+			base = firstTS // the engine pins the first routed edge's time
+		}
+		if maxTS > base && maxTS-base > limit {
+			return fmt.Sprintf("event time %d is more than %d half-lives past the decay landmark %d; "+
+				"restart with a larger -half-life (or a later landmark) to cover this stream",
+				maxTS, maxDecaySpanHalfLives, base)
+		}
+		if base > minTS && base-minTS > limit {
+			return fmt.Sprintf("event time %d is more than %d half-lives before the decay landmark %d; "+
+				"its weight would underflow to zero — restart with a larger -half-life or an earlier landmark",
+				minTS, maxDecaySpanHalfLives, base)
+		}
+	} else {
+		// Untimed edges are stamped from the engine position clock, so the
+		// landmark must itself be a clock position (≈1), not an event time
+		// from a previously timed stream.
+		projected := s.edgesProcessed.Load() + uint64(s.pendingEdges.Load()) + uint64(len(edges))
+		if !haveBase {
+			base = 1
+		}
+		if base > projected && base-projected > limit {
+			return "untimed edges cannot follow an event-timed decayed stream (their stamped positions " +
+				"would sit unrepresentably far below the landmark); keep the stream uniformly timestamped"
+		}
+		if projected > base && projected-base > limit {
+			return fmt.Sprintf("stream position %d exceeds %d half-lives of arrival-order decay; "+
+				"restart with a larger -half-life to keep sampling this stream", projected, maxDecaySpanHalfLives)
+		}
+	}
+	// Lock the stream shape on the first batch that passes: a later switch
+	// between timed and untimed is rejected before it can reach the sampler.
+	mode := int32(2)
+	if timed > 0 {
+		mode = 1
+	}
+	if !s.decayMode.CompareAndSwap(0, mode) && s.decayMode.Load() != mode {
+		return "stream switched between event-timed and untimed edges; a decayed server samples one shape per run"
+	}
+	return ""
 }
 
 var errServerClosed = errors.New("server closed")
@@ -618,7 +733,9 @@ func (s *Server) maxStale(r *http.Request) (time.Duration, error) {
 	return d, nil
 }
 
-// estimateResponse is the JSON shape of /v1/estimate.
+// estimateResponse is the JSON shape of /v1/estimate. With decay enabled
+// the counts target the forward-decayed totals at decay_horizon (the
+// stream's largest event time); the decay fields are omitted otherwise.
 type estimateResponse struct {
 	Triangles      float64    `json:"triangles"`
 	TrianglesCI    [2]float64 `json:"triangles_ci95"`
@@ -631,6 +748,10 @@ type estimateResponse struct {
 	Threshold      float64    `json:"threshold"`
 	SnapshotAgeMS  float64    `json:"snapshot_age_ms"`
 	SnapshotUnixNS int64      `json:"snapshot_unix_ns"`
+	Decayed        bool       `json:"decayed,omitempty"`
+	DecayedEdges   float64    `json:"decayed_edges,omitempty"`
+	DecayHorizon   uint64     `json:"decay_horizon,omitempty"`
+	DecayHalfLife  float64    `json:"decay_half_life,omitempty"`
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -658,6 +779,10 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		Threshold:      snap.sampler.Threshold(),
 		SnapshotAgeMS:  float64(time.Since(snap.taken)) / float64(time.Millisecond),
 		SnapshotUnixNS: snap.taken.UnixNano(),
+		Decayed:        est.Decayed,
+		DecayedEdges:   est.DecayedEdges,
+		DecayHorizon:   est.DecayHorizon,
+		DecayHalfLife:  s.cfg.HalfLife,
 	})
 }
 
@@ -731,8 +856,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"edges_accepted":         s.edgesAccepted.Load(),
 		"edges_processed":        s.edgesProcessed.Load(),
 		"batches_rejected":       s.batchesDropped.Load(),
+		"self_loops_skipped":     s.selfLoops.Load(),
 		"snapshot_arrivals":      snapArrivals,
 		"uptime_ms":              float64(time.Since(s.start)) / float64(time.Millisecond),
+	}
+	if s.cfg.HalfLife > 0 {
+		stats["decay_half_life"] = s.cfg.HalfLife
+		stats["decay_horizon"] = s.par.DecayHorizon()
 	}
 	if !snapTaken.IsZero() {
 		stats["snapshot_age_ms"] = float64(time.Since(snapTaken)) / float64(time.Millisecond)

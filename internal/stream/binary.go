@@ -11,20 +11,42 @@ import (
 )
 
 // Binary edge framing: the compact on-disk and on-wire format for edge
-// streams. A stream is the 5-byte header "GPSB"+version followed by one
-// record per edge, each record two uvarint-encoded node ids. Typical edge
-// lists cost 2-6 bytes per edge versus ~12 for the text format, and the
-// format needs no length prefix: records are self-delimiting, so it can be
-// produced and consumed incrementally (an HTTP ingest body, a pipe, a
-// partially written file all decode up to the last complete record).
+// streams. A stream is the 4-byte magic "GPSB" plus a version byte, followed
+// by one record per edge. Two versions are in use:
 //
-// The decoder is strict: a wrong magic, a varint that does not fit a
-// uint32, a record truncated mid-edge, or a self loop all return errors
-// (never panic), and nothing is allocated based on untrusted lengths —
-// memory grows only as records actually parse.
+//	v1  "GPSB\x01"            record = uvarint u, uvarint v
+//	v2  "GPSB\x02" + flags    record = uvarint u, uvarint v
+//	                          [, uvarint ts-delta when flag 0x01 is set]
+//
+// The v2 flags byte describes the whole stream; only bit 0 (records carry
+// timestamps) is defined, and unknown bits are rejected. Timestamps are
+// delta-encoded against the previous record's timestamp (starting from 0),
+// so a non-decreasing event-time stream — the normal shape of an activity
+// log — costs one extra byte per edge for small inter-arrival gaps; the
+// encoder rejects timestamp regressions, which the unsigned delta could not
+// represent. Typical edge lists cost 2-6 bytes per edge versus ~12 for the
+// text format, and the format needs no length prefix: records are
+// self-delimiting, so it can be produced and consumed incrementally (an
+// HTTP ingest body, a pipe, a partially written file all decode up to the
+// last complete record).
+//
+// The decoder is strict: a wrong magic, an unknown version or flag, a varint
+// that does not fit a uint32, a record truncated mid-edge, or a timestamp
+// that overflows uint64 all return errors (never panic), and nothing is
+// allocated based on untrusted lengths — memory grows only as records
+// actually parse. Self loops are not errors: both this decoder and the text
+// reader skip and count them under the shared policy (see ReadStats), so a
+// logical stream decodes to the same edge sequence in every format.
 
-// binaryMagic starts every binary edge stream: format tag + version byte.
+// binaryMagic starts every v1 binary edge stream: format tag + version byte.
 const binaryMagic = "GPSB\x01"
+
+// binaryMagicV2 starts every v2 (flagged, optionally timestamped) stream.
+const binaryMagicV2 = "GPSB\x02"
+
+// binaryFlagTimestamps marks a v2 stream whose records carry a trailing
+// uvarint timestamp delta.
+const binaryFlagTimestamps = 0x01
 
 // BinaryContentType is the MIME type the service uses for binary edge
 // frames in HTTP requests.
@@ -33,26 +55,69 @@ const BinaryContentType = "application/x-gps-edges"
 // maxVarint32Len caps the encoded size of a uint32 varint.
 const maxVarint32Len = 5
 
-// BinaryWriter encodes edges into the binary framing. Output is buffered;
-// call Flush when done. Construct with NewBinaryWriter.
-type BinaryWriter struct {
-	bw    *bufio.Writer
-	count int
+// ReadStats reports what a reader skipped while decoding a stream.
+//
+// Self-loop policy: the graph model is simplified (§3.1), so self loops can
+// never reach a sampler. Every reader — text and binary alike — applies one
+// policy: skip the record, count it, keep going. Skipping (rather than
+// erroring) matters because both formats must accept the same logical
+// streams, and counting matters because skipped records shift stream
+// positions that checkpoint stream bindings rely on: two encodings of one
+// stream yield identical edge sequences and identical skip counts.
+type ReadStats struct {
+	// SelfLoops is the number of self-loop records skipped.
+	SelfLoops int
+	// TimestampsDropped reports that a text edge list carried a numeric
+	// third column that was not non-decreasing — a weight/count column,
+	// not event time — so the stream was loaded untimed (see ReadEdgeList).
+	TimestampsDropped bool
 }
 
-// NewBinaryWriter returns a writer that emits the stream header followed by
-// one record per WriteEdge call. Errors are reported by WriteEdge/Flush.
+// BinaryWriter encodes edges into the binary framing. Output is buffered;
+// call Flush when done. Construct with NewBinaryWriter (v1) or
+// NewBinaryWriterTimed (v2 with timestamps).
+type BinaryWriter struct {
+	bw     *bufio.Writer
+	count  int
+	timed  bool
+	prevTS uint64
+}
+
+// NewBinaryWriter returns a v1 writer that emits the stream header followed
+// by one record per WriteEdge call. Errors are reported by WriteEdge/Flush.
+// Edges carrying timestamps are rejected — the v1 framing cannot represent
+// them; use NewBinaryWriterTimed (or WriteBinary, which picks the version).
 func NewBinaryWriter(w io.Writer) *BinaryWriter {
 	bw := bufio.NewWriter(w)
 	bw.WriteString(binaryMagic)
 	return &BinaryWriter{bw: bw}
 }
 
+// NewBinaryWriterTimed returns a v2 writer whose records carry delta-encoded
+// timestamps. Edge timestamps must be non-decreasing in write order.
+func NewBinaryWriterTimed(w io.Writer) *BinaryWriter {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(binaryMagicV2)
+	bw.WriteByte(binaryFlagTimestamps)
+	return &BinaryWriter{bw: bw, timed: true}
+}
+
 // WriteEdge appends one edge record.
 func (w *BinaryWriter) WriteEdge(e graph.Edge) error {
-	var buf [2 * maxVarint32Len]byte
+	var buf [3 * binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], uint64(e.U))
 	n += binary.PutUvarint(buf[n:], uint64(e.V))
+	if w.timed {
+		if e.TS < w.prevTS {
+			return fmt.Errorf("stream: binary record %d: timestamp %d regresses below %d (v2 deltas are unsigned; sort the stream by time)",
+				w.count, e.TS, w.prevTS)
+		}
+		n += binary.PutUvarint(buf[n:], e.TS-w.prevTS)
+		w.prevTS = e.TS
+	} else if e.TS != 0 {
+		return fmt.Errorf("stream: binary record %d: v1 framing cannot carry timestamp %d (use NewBinaryWriterTimed)",
+			w.count, e.TS)
+	}
 	if _, err := w.bw.Write(buf[:n]); err != nil {
 		return err
 	}
@@ -66,9 +131,24 @@ func (w *BinaryWriter) Count() int { return w.count }
 // Flush writes any buffered data to the underlying writer.
 func (w *BinaryWriter) Flush() error { return w.bw.Flush() }
 
-// WriteBinary writes edges in the binary framing accepted by ReadBinary.
+// WriteBinary writes edges in the binary framing accepted by ReadBinary,
+// choosing the version by content: a stream where no edge carries a
+// timestamp is written as v1 (byte-identical to what earlier releases
+// produced), anything timestamped as v2.
 func WriteBinary(w io.Writer, edges []graph.Edge) error {
-	bw := NewBinaryWriter(w)
+	timed := false
+	for _, e := range edges {
+		if e.TS != 0 {
+			timed = true
+			break
+		}
+	}
+	var bw *BinaryWriter
+	if timed {
+		bw = NewBinaryWriterTimed(w)
+	} else {
+		bw = NewBinaryWriter(w)
+	}
 	for _, e := range edges {
 		if err := bw.WriteEdge(e); err != nil {
 			return err
@@ -77,13 +157,17 @@ func WriteBinary(w io.Writer, edges []graph.Edge) error {
 	return bw.Flush()
 }
 
-// BinaryDecoder incrementally decodes a binary edge stream. Construct with
-// NewBinaryDecoder and call Next until it returns io.EOF.
+// BinaryDecoder incrementally decodes a binary edge stream (either
+// version). Construct with NewBinaryDecoder and call Next until it returns
+// io.EOF.
 type BinaryDecoder struct {
-	br      *bufio.Reader
-	started bool
-	err     error
-	count   int
+	br        *bufio.Reader
+	started   bool
+	timed     bool
+	err       error
+	count     int
+	selfLoops int
+	prevTS    uint64
 }
 
 // NewBinaryDecoder returns a decoder over r. The header is checked on the
@@ -94,7 +178,8 @@ func NewBinaryDecoder(r io.Reader) *BinaryDecoder {
 
 // Next returns the next edge in canonical form. It returns io.EOF at a
 // clean end of stream and a descriptive error for malformed input; after
-// any error the decoder stays in the error state.
+// any error the decoder stays in the error state. Self-loop records are
+// skipped and counted (SelfLoops), per the shared reader policy.
 func (d *BinaryDecoder) Next() (graph.Edge, error) {
 	if d.err != nil {
 		return graph.Edge{}, d.err
@@ -106,26 +191,49 @@ func (d *BinaryDecoder) Next() (graph.Edge, error) {
 		}
 		d.started = true
 	}
-	u, err := d.readNode(true)
-	if err != nil {
-		d.err = err
-		return graph.Edge{}, err
+	for {
+		u, err := d.readNode(true)
+		if err != nil {
+			d.err = err
+			return graph.Edge{}, err
+		}
+		v, err := d.readNode(false)
+		if err != nil {
+			d.err = err
+			return graph.Edge{}, err
+		}
+		var ts uint64
+		if d.timed {
+			delta, err := d.readUvarint()
+			if err != nil {
+				d.err = err
+				return graph.Edge{}, err
+			}
+			ts = d.prevTS + delta
+			if ts < d.prevTS {
+				d.err = fmt.Errorf("stream: binary record %d: timestamp overflows uint64", d.record())
+				return graph.Edge{}, d.err
+			}
+			d.prevTS = ts
+		}
+		if u == v {
+			d.selfLoops++ // shared self-loop policy: skip and count
+			continue
+		}
+		d.count++
+		return graph.NewEdgeAt(u, v, ts), nil
 	}
-	v, err := d.readNode(false)
-	if err != nil {
-		d.err = err
-		return graph.Edge{}, err
-	}
-	if u == v {
-		d.err = fmt.Errorf("stream: binary record %d: self loop at node %d", d.count, u)
-		return graph.Edge{}, d.err
-	}
-	d.count++
-	return graph.NewEdge(u, v), nil
 }
 
-// Count returns the number of edges decoded so far.
+// Count returns the number of edges decoded so far (self loops excluded).
 func (d *BinaryDecoder) Count() int { return d.count }
+
+// SelfLoops returns the number of self-loop records skipped so far.
+func (d *BinaryDecoder) SelfLoops() int { return d.selfLoops }
+
+// record returns the index of the record currently being decoded, for error
+// messages: every consumed record, skipped self loops included.
+func (d *BinaryDecoder) record() int { return d.count + d.selfLoops }
 
 func (d *BinaryDecoder) readHeader() error {
 	hdr := make([]byte, len(binaryMagic))
@@ -135,7 +243,18 @@ func (d *BinaryDecoder) readHeader() error {
 	if string(hdr[:4]) != binaryMagic[:4] {
 		return errors.New("stream: not a binary edge stream (bad magic)")
 	}
-	if hdr[4] != binaryMagic[4] {
+	switch hdr[4] {
+	case binaryMagic[4]: // v1: bare records follow
+	case binaryMagicV2[4]: // v2: a flags byte precedes the records
+		flags, err := d.br.ReadByte()
+		if err != nil {
+			return fmt.Errorf("stream: binary header: %w", noEOF(err))
+		}
+		if flags&^byte(binaryFlagTimestamps) != 0 {
+			return fmt.Errorf("stream: unsupported binary stream flags %#02x", flags)
+		}
+		d.timed = flags&binaryFlagTimestamps != 0
+	default:
 		return fmt.Errorf("stream: unsupported binary edge stream version %d", hdr[4])
 	}
 	return nil
@@ -150,12 +269,22 @@ func (d *BinaryDecoder) readNode(firstOfRecord bool) (graph.NodeID, error) {
 		if err == io.EOF && firstOfRecord {
 			return 0, io.EOF
 		}
-		return 0, fmt.Errorf("stream: binary record %d: %w", d.count, noEOF(err))
+		return 0, fmt.Errorf("stream: binary record %d: %w", d.record(), noEOF(err))
 	}
 	if x > 0xffffffff {
-		return 0, fmt.Errorf("stream: binary record %d: node id %d exceeds uint32", d.count, x)
+		return 0, fmt.Errorf("stream: binary record %d: node id %d exceeds uint32", d.record(), x)
 	}
 	return graph.NodeID(x), nil
+}
+
+// readUvarint decodes a mid-record uvarint (the timestamp delta); EOF here
+// is always a truncation.
+func (d *BinaryDecoder) readUvarint() (uint64, error) {
+	x, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return 0, fmt.Errorf("stream: binary record %d: %w", d.record(), noEOF(err))
+	}
+	return x, nil
 }
 
 // noEOF maps a bare io.EOF to io.ErrUnexpectedEOF so truncation inside a
@@ -169,15 +298,21 @@ func noEOF(err error) error {
 
 // ReadBinary decodes a complete binary edge stream.
 func ReadBinary(r io.Reader) ([]graph.Edge, error) {
+	edges, _, err := ReadBinaryStats(r)
+	return edges, err
+}
+
+// ReadBinaryStats is ReadBinary also reporting what was skipped.
+func ReadBinaryStats(r io.Reader) ([]graph.Edge, ReadStats, error) {
 	d := NewBinaryDecoder(r)
 	var edges []graph.Edge
 	for {
 		e, err := d.Next()
 		if err == io.EOF {
-			return edges, nil
+			return edges, ReadStats{SelfLoops: d.SelfLoops()}, nil
 		}
 		if err != nil {
-			return nil, err
+			return nil, ReadStats{SelfLoops: d.SelfLoops()}, err
 		}
 		edges = append(edges, e)
 	}
@@ -195,9 +330,15 @@ func SniffBinary(r io.Reader) (io.Reader, bool) {
 // ReadEdges reads a complete edge stream in either supported format,
 // sniffing the binary magic and falling back to the plain-text edge list.
 func ReadEdges(r io.Reader) ([]graph.Edge, error) {
+	edges, _, err := ReadEdgesStats(r)
+	return edges, err
+}
+
+// ReadEdgesStats is ReadEdges also reporting what was skipped.
+func ReadEdgesStats(r io.Reader) ([]graph.Edge, ReadStats, error) {
 	rr, isBinary := SniffBinary(r)
 	if isBinary {
-		return ReadBinary(rr)
+		return ReadBinaryStats(rr)
 	}
-	return ReadEdgeList(rr)
+	return ReadEdgeListStats(rr)
 }

@@ -110,10 +110,13 @@ func TestBinaryDecoderErrors(t *testing.T) {
 		{"empty", nil},
 		{"short header", []byte("GPS")},
 		{"bad magic", []byte("NOPE\x01\x00\x01")},
-		{"bad version", []byte("GPSB\x02\x00\x01")},
+		{"future version", []byte("GPSB\x03\x00\x01")},
+		{"v2 unknown flags", []byte("GPSB\x02\xfe\x00\x01")},
+		{"v2 header truncated before flags", []byte("GPSB\x02")},
+		{"v2 record truncated before ts delta", append(append([]byte{}, []byte(binaryMagicV2)...),
+			binaryFlagTimestamps, 0x00, 0x01)},
 		{"truncated mid record", valid[:len(valid)-1]},
 		{"truncated after first id", append(append([]byte{}, []byte(binaryMagic)...), 0x05)},
-		{"self loop", append(append([]byte{}, []byte(binaryMagic)...), 0x03, 0x03)},
 		{"id overflows uint32", append(append([]byte{}, []byte(binaryMagic)...),
 			0xff, 0xff, 0xff, 0xff, 0xff, 0x01, 0x00)},
 		{"varint overflows uint64", append(append([]byte{}, []byte(binaryMagic)...),

@@ -8,23 +8,36 @@ import (
 	"gps/internal/graph"
 )
 
-// FuzzBinaryDecoder exercises the binary edge-frame decoder with arbitrary
-// input: it must never panic, anything it accepts must be canonical and
-// survive a write/read round trip unchanged, and it must never allocate
-// more edges than the input can physically encode (each record is at least
-// two bytes, so acceptance bounds the output size).
+// FuzzBinaryDecoder exercises the binary edge-frame decoder (both framing
+// versions) with arbitrary input: it must never panic, anything it accepts
+// must be canonical, timestamp-preserving under a write/read round trip,
+// and it must never allocate more edges than the input can physically
+// encode (each record is at least two bytes, so acceptance bounds the
+// output size).
 func FuzzBinaryDecoder(f *testing.F) {
 	f.Add([]byte(nil))
 	f.Add([]byte(binaryMagic))
 	f.Add([]byte("GPSB\x02"))
+	f.Add([]byte("GPSB\x03"))
 	f.Add([]byte("not binary at all\n0 1\n"))
 	f.Add(append([]byte(binaryMagic), 0x00, 0x01, 0x03, 0x02))
 	f.Add(append([]byte(binaryMagic), 0xff, 0xff, 0xff, 0xff, 0xff, 0x01, 0x00))
 	f.Add(append([]byte(binaryMagic), 0x05))
+	// v2 documents: flags byte, then records with uvarint ts deltas.
+	f.Add(append([]byte(binaryMagicV2), 0x00, 0x01, 0x03))                       // flags 0: untimed records
+	f.Add(append([]byte(binaryMagicV2), binaryFlagTimestamps, 0x01, 0x03))       // timed record truncated before delta
+	f.Add(append([]byte(binaryMagicV2), 0xff, 0x01, 0x03, 0x02))                 // unknown flags
+	f.Add(append([]byte(binaryMagicV2), binaryFlagTimestamps, 0x03, 0x03, 0x05)) // timed self loop
 	func() {
 		var buf bytes.Buffer
 		if err := WriteBinary(&buf, []graph.Edge{graph.NewEdge(1, 2), graph.NewEdge(3, 70000)}); err == nil {
 			f.Add(buf.Bytes())
+		}
+		var timed bytes.Buffer
+		if err := WriteBinary(&timed, []graph.Edge{
+			graph.NewEdgeAt(1, 2, 40), graph.NewEdgeAt(2, 9, 40), graph.NewEdgeAt(3, 70000, 1<<33),
+		}); err == nil {
+			f.Add(timed.Bytes())
 		}
 	}()
 	f.Fuzz(func(t *testing.T, input []byte) {

@@ -1,20 +1,26 @@
 #!/usr/bin/env bash
 # bench.sh — record the perf trajectory.
 #
-# Runs the gps-bench perf experiment (slot-indexed vs lookup estimation,
-# incremental snapshot stalls, sampling update paths) and writes the
-# machine-readable report to BENCH_PR3.json, which CI uploads as an
-# artifact so successive PRs can be compared.
+# Runs the gps-bench perf experiment (sampling update paths, slot-indexed
+# vs lookup estimation, incremental snapshot stalls, and the forward-decay
+# update/accuracy numbers) and writes the machine-readable report to a
+# BENCH json, which CI uploads as an artifact so successive PRs can be
+# compared.
 #
 # Environment overrides: EDGES (stream length), SAMPLE (reservoir m),
-# SHARDS (engine shard count), OUT (output path).
+# SHARDS (engine shard count), PR (writes BENCH_PR$PR.json), OUT (explicit
+# output path, overriding PR; default BENCH.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 EDGES=${EDGES:-1000000}
 SAMPLE=${SAMPLE:-100000}
 SHARDS=${SHARDS:-4}
-OUT=${OUT:-BENCH_PR3.json}
+if [ -n "${PR:-}" ]; then
+  OUT=${OUT:-BENCH_PR${PR}.json}
+else
+  OUT=${OUT:-BENCH.json}
+fi
 
 go run ./cmd/gps-bench -exp perf -json \
   -edges "$EDGES" -sample "$SAMPLE" -shards "$SHARDS" > "$OUT"
