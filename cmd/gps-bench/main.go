@@ -5,7 +5,8 @@
 //
 //	gps-bench -exp table1|table2|table3|fig1|fig2|fig3|weights|extensions|accuracy|throughput|serve|perf|all \
 //	          [-profile small|full] [-trials N] [-sample M] [-budget B] [-json] \
-//	          [-checkpoints C] [-seed S] [-graphs a,b,c] [-edges N] [-shards P] [-clients Q]
+//	          [-checkpoints C] [-seed S] [-graphs a,b,c] [-edges N] [-shards P] [-clients Q] \
+//	          [-procs 1,2,4,8]
 //
 // Examples:
 //
@@ -16,8 +17,9 @@
 //	                                       # sequential vs batched vs sharded rate
 //	gps-bench -exp serve -edges 1000000 -clients 8
 //	                                       # live service: ingest rate + query latency
-//	gps-bench -exp perf -json -edges 1000000 -sample 100000 -shards 4
-//	                                       # machine-readable perf trajectory (BENCH_PR3.json)
+//	gps-bench -exp perf -json -edges 1000000 -sample 100000 -shards 4 -procs 1,4,8
+//	                                       # machine-readable perf trajectory (BENCH_PR*.json)
+//	                                       # incl. the GOMAXPROCS ingest sweep
 //
 // -json switches the perf and throughput experiments to machine-readable
 // output (one JSON document on stdout); scripts/bench.sh uses it to record
@@ -33,8 +35,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
-	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -69,6 +71,7 @@ func run(args []string, stdout, errw io.Writer) error {
 		seed        = fs.Uint64("seed", 0x69505321, "root seed for all randomness")
 		edges       = fs.Int("edges", 1_000_000, "synthetic stream length for -exp throughput/serve")
 		shardsFlag  = fs.Int("shards", 4, "shard count for the parallel sampler (throughput, serve)")
+		procsFlag   = fs.String("procs", "1,2,4,8", "comma-separated GOMAXPROCS sweep for -exp perf (empty skips the sweep)")
 		clients     = fs.Int("clients", 8, "concurrent query clients for -exp serve")
 		graphsFlag  = fs.String("graphs", "", "comma-separated dataset names (default: the paper's list per experiment)")
 		list        = fs.Bool("list", false, "list available datasets and exit")
@@ -171,7 +174,11 @@ func run(args []string, stdout, errw io.Writer) error {
 			}
 			emit("Throughput — sequential vs batched vs sharded sampling", renderThroughput(rep))
 		case "perf":
-			rep, err := perfBench(*edges, *sample, *shardsFlag, *seed, runtime.GOMAXPROCS(0))
+			procs, err := parseProcs(*procsFlag)
+			if err != nil {
+				return err
+			}
+			rep, err := perfBench(*edges, *sample, *shardsFlag, *seed, procs)
 			if err != nil {
 				return err
 			}
@@ -224,6 +231,24 @@ func run(args []string, stdout, errw io.Writer) error {
 		return nil
 	}
 	return runOne(*exp)
+}
+
+// parseProcs parses the -procs sweep list ("1,2,4,8"); an empty string
+// means no sweep.
+func parseProcs(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -procs entry %q (want positive integers)", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // throughputReport is the result of the throughput experiment, renderable

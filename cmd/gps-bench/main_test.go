@@ -18,6 +18,59 @@ func TestRunList(t *testing.T) {
 	}
 }
 
+// TestPerfBenchSweep smoke-runs the perf report at tiny scale and checks
+// the schema-v3 surface: the GOMAXPROCS sweep has one entry per requested
+// point with positive rates and baseline-relative speedups, and the decay
+// tax is recorded.
+func TestPerfBenchSweep(t *testing.T) {
+	rep, err := perfBench(30000, 2000, 2, 7, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "gps-bench/perf/v3" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if len(rep.ProcsSweep) != 2 {
+		t.Fatalf("sweep has %d entries, want 2", len(rep.ProcsSweep))
+	}
+	for i, pr := range rep.ProcsSweep {
+		if pr.GoMaxProcs != []int{1, 2}[i] || pr.Producers != pr.GoMaxProcs {
+			t.Errorf("entry %d: procs %d producers %d", i, pr.GoMaxProcs, pr.Producers)
+		}
+		if pr.UniformNSPerEdge <= 0 || pr.DecayNSPerEdge <= 0 || pr.UniformEdgesPerSec <= 0 {
+			t.Errorf("entry %d: non-positive rates %+v", i, pr)
+		}
+		if pr.UniformSpeedup <= 0 || pr.DecaySpeedup <= 0 {
+			t.Errorf("entry %d: non-positive speedups %+v", i, pr)
+		}
+	}
+	if rep.ProcsSweep[0].UniformSpeedup != 1 || rep.ProcsSweep[0].DecaySpeedup != 1 {
+		t.Error("first sweep point is not the speedup baseline")
+	}
+	if rep.DecayOverUndecayed <= 0 {
+		t.Errorf("decay_over_undecayed = %v", rep.DecayOverUndecayed)
+	}
+	if strings.Contains(renderPerf(rep), "NaN") {
+		t.Error("rendered report contains NaN")
+	}
+}
+
+// TestParseProcs pins the -procs flag grammar.
+func TestParseProcs(t *testing.T) {
+	got, err := parseProcs(" 1, 4,8 ")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 8 {
+		t.Fatalf("parseProcs: %v, %v", got, err)
+	}
+	if got, err := parseProcs(""); err != nil || got != nil {
+		t.Fatalf("empty: %v, %v", got, err)
+	}
+	for _, bad := range []string{"0", "-2", "x", "1,,2"} {
+		if _, err := parseProcs(bad); err == nil {
+			t.Errorf("parseProcs(%q) accepted", bad)
+		}
+	}
+}
+
 func TestRunSingleExperiment(t *testing.T) {
 	var out, errw bytes.Buffer
 	args := []string{"-exp", "fig1", "-sample", "5000", "-trials", "1", "-graphs", "soc-youtube-snap"}

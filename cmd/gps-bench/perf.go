@@ -2,7 +2,9 @@ package main
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"gps"
@@ -56,6 +58,37 @@ type perfReport struct {
 	// records NRMSE vs exact decayed counts alongside the perf numbers.
 	DecayUpdateNSPerEdge float64                `json:"decay_update_ns_per_edge"`
 	DecayAccuracy        []experiments.DecayRow `json:"decay_accuracy"`
+
+	// DecayOverUndecayed is the forward-decay tax on the triangle-weight
+	// update path: decay_update_ns_per_edge / update_ns_per_edge[triangle].
+	// The decay fast path targets <= 1.5.
+	DecayOverUndecayed float64 `json:"decay_over_undecayed"`
+
+	// ProcsSweep (schema v3) is the multi-core ingest trajectory: the
+	// sharded engine fed by GOMAXPROCS concurrent producers at each point
+	// of the sweep, uniform and forward-decayed. Speedups are relative to
+	// the sweep's first (lowest-procs) point.
+	ProcsSweep []procsResult `json:"procs_sweep"`
+}
+
+// procsResult is one point of the GOMAXPROCS sweep: the sharded engine's
+// concurrent-producer ingest rate with that many procs (and as many
+// producer goroutines), measured over the same stream as the sequential
+// paths above.
+type procsResult struct {
+	GoMaxProcs int `json:"gomaxprocs"`
+	Producers  int `json:"producers"`
+
+	UniformNSPerEdge   float64 `json:"parallel_uniform_ns_per_edge"`
+	UniformEdgesPerSec float64 `json:"parallel_uniform_edges_per_sec"`
+	UniformSpeedup     float64 `json:"uniform_speedup_vs_first"`
+
+	DecayNSPerEdge float64 `json:"parallel_decay_ns_per_edge"`
+	DecaySpeedup   float64 `json:"decay_speedup_vs_first"`
+
+	// Cumulative producer stalls on the shard rings during the uniform +
+	// decayed runs at this point (full rings → producers waited).
+	RouterStalls uint64 `json:"router_stalls"`
 }
 
 // timeBest runs fn reps times and returns the fastest wall time — the
@@ -75,20 +108,22 @@ func timeBest(reps int, fn func()) time.Duration {
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
-// perfBench builds the perf report on a synthetic R-MAT stream.
-func perfBench(edges, sample, shards int, seed uint64, maxprocs int) (*perfReport, error) {
+// perfBench builds the perf report on a synthetic R-MAT stream. procs is
+// the GOMAXPROCS sweep for the concurrent-ingest trajectory (empty skips
+// the sweep).
+func perfBench(edges, sample, shards int, seed uint64, procs []int) (*perfReport, error) {
 	if edges < 1 || sample < 1 || shards < 1 {
 		return nil, fmt.Errorf("perf: need positive -edges, -sample and -shards")
 	}
 	es, _ := rmatStream(edges, seed)
 	edges = len(es)
 	r := &perfReport{
-		Schema:          "gps-bench/perf/v2",
+		Schema:          "gps-bench/perf/v3",
 		Edges:           edges,
 		SampleM:         sample,
 		Shards:          shards,
 		Seed:            seed,
-		GoMaxProc:       maxprocs,
+		GoMaxProc:       runtime.GOMAXPROCS(0),
 		UpdateNSPerEdge: map[string]float64{},
 	}
 
@@ -222,6 +257,17 @@ func perfBench(edges, sample, shards int, seed uint64, maxprocs int) (*perfRepor
 		return nil, err
 	}
 	r.DecayUpdateNSPerEdge = n
+	if tri := r.UpdateNSPerEdge["triangle"]; tri > 0 {
+		r.DecayOverUndecayed = n / tri
+	}
+
+	// Multi-core trajectory: concurrent producers into the sharded engine
+	// at each GOMAXPROCS point, uniform and decayed.
+	sweep, err := procsSweep(es, timed, sample, shards, seed, procs)
+	if err != nil {
+		return nil, err
+	}
+	r.ProcsSweep = sweep
 
 	// Decay accuracy at reduced scale: enough to track the NRMSE trajectory
 	// without dominating the bench run.
@@ -234,6 +280,105 @@ func perfBench(edges, sample, shards int, seed uint64, maxprocs int) (*perfRepor
 	}
 	r.DecayAccuracy = rows
 	return r, nil
+}
+
+// procsSweep measures concurrent-producer ingest through the sharded
+// engine at each GOMAXPROCS point, restoring the ambient setting when done.
+// Producer count tracks the procs point: the sweep answers "what does this
+// engine sustain when the host actually has N cores to offer".
+func procsSweep(es, timed []graph.Edge, sample, shards int, seed uint64, procs []int) ([]procsResult, error) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	halfLife := float64(len(timed)) / 10
+	var out []procsResult
+	for _, np := range procs {
+		if np < 1 {
+			return nil, fmt.Errorf("perf: -procs entries must be positive, got %d", np)
+		}
+		runtime.GOMAXPROCS(np)
+		uni, uniStalls, err := bestIngest(es, gps.Config{Capacity: sample, Seed: seed}, shards, np)
+		if err != nil {
+			return nil, err
+		}
+		dec, decStalls, err := bestIngest(timed, gps.Config{
+			Capacity: sample, Seed: seed, Decay: gps.Decay{HalfLife: halfLife},
+		}, shards, np)
+		if err != nil {
+			return nil, err
+		}
+		pr := procsResult{
+			GoMaxProcs:         np,
+			Producers:          np,
+			UniformNSPerEdge:   uni,
+			UniformEdgesPerSec: 1e9 / uni,
+			UniformSpeedup:     1,
+			DecayNSPerEdge:     dec,
+			DecaySpeedup:       1,
+			RouterStalls:       uniStalls + decStalls,
+		}
+		if len(out) > 0 {
+			pr.UniformSpeedup = out[0].UniformNSPerEdge / uni
+			pr.DecaySpeedup = out[0].DecayNSPerEdge / dec
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
+// bestIngest runs ingestParallel twice and keeps the faster wall time (and
+// that run's stalls), the usual noise-suppression for one-shot benches.
+func bestIngest(es []graph.Edge, cfg gps.Config, shards, producers int) (float64, uint64, error) {
+	best, bestStalls := 0.0, uint64(0)
+	for rep := 0; rep < 2; rep++ {
+		ns, stalls, err := ingestParallel(es, cfg, shards, producers)
+		if err != nil {
+			return 0, 0, err
+		}
+		if best == 0 || ns < best {
+			best, bestStalls = ns, stalls
+		}
+	}
+	return best, bestStalls, nil
+}
+
+// ingestParallel feeds the stream to a fresh sharded engine from the given
+// number of concurrent producers (contiguous stripes, 8192-edge batches)
+// and returns the wall ns/edge of ingest-through-drain plus the router
+// stalls (full-ring producer waits) the run accumulated.
+func ingestParallel(es []graph.Edge, cfg gps.Config, shards, producers int) (float64, uint64, error) {
+	p, err := gps.NewParallel(cfg, shards)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer p.Close()
+	stripe := (len(es) + producers - 1) / producers
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		lo := i * stripe
+		if lo >= len(es) {
+			break
+		}
+		hi := lo + stripe
+		if hi > len(es) {
+			hi = len(es)
+		}
+		wg.Add(1)
+		go func(part []graph.Edge) {
+			defer wg.Done()
+			for o := 0; o < len(part); o += 8192 {
+				h := o + 8192
+				if h > len(part) {
+					h = len(part)
+				}
+				p.ProcessBatch(part[o:h])
+			}
+		}(es[lo:hi])
+	}
+	wg.Wait()
+	p.Arrivals() // barrier: the drain is part of the measured window
+	el := time.Since(start)
+	return float64(el.Nanoseconds()) / float64(len(es)), p.RingStats().Stalls, nil
 }
 
 // renderPerf is the human-readable form of the report.
@@ -251,7 +396,18 @@ func renderPerf(r *perfReport) string {
 		r.Snapshot.Dirty1StallMS, r.Snapshot.Dirty1Cloned, r.Snapshot.Dirty1OverFull,
 		r.Snapshot.CleanStallMS)
 	fmt.Fprintf(&b, "forced-fresh estimate (snapshot + Alg 2): %.1fms\n", r.ForcedFreshMS)
-	fmt.Fprintf(&b, "decayed update path (triangle weight, half-life span/10): %.0f ns/edge\n", r.DecayUpdateNSPerEdge)
+	fmt.Fprintf(&b, "decayed update path (triangle weight, half-life span/10): %.0f ns/edge  (%.2fx undecayed)\n",
+		r.DecayUpdateNSPerEdge, r.DecayOverUndecayed)
+	if len(r.ProcsSweep) > 0 {
+		fmt.Fprintf(&b, "\nmulti-core ingest (P=%d shards, concurrent producers = procs):\n", r.Shards)
+		fmt.Fprintf(&b, "  %-6s %-5s %14s %12s %14s %12s %8s\n",
+			"procs", "prod", "uniform ns/e", "speedup", "decayed ns/e", "speedup", "stalls")
+		for _, pr := range r.ProcsSweep {
+			fmt.Fprintf(&b, "  %-6d %-5d %14.0f %11.2fx %14.0f %11.2fx %8d\n",
+				pr.GoMaxProcs, pr.Producers, pr.UniformNSPerEdge, pr.UniformSpeedup,
+				pr.DecayNSPerEdge, pr.DecaySpeedup, pr.RouterStalls)
+		}
+	}
 	for _, row := range r.DecayAccuracy {
 		fmt.Fprintf(&b, "decay accuracy: half-life %.2f·span m=%d %-18s NRMSE %.4f\n",
 			row.HalfLifeFrac, row.M, row.Motif, row.NRMSE)

@@ -7,7 +7,7 @@
 //	gps-serve -addr :8080 -m 100000 [-weight triangle|uniform|adjacency]
 //	          [-shards P] [-queue 64] [-staleness 250ms] [-seed S]
 //	          [-half-life H] [-restore path] [-checkpoint-dir dir]
-//	          [-checkpoint-every 30s] [-checkpoint-keep 3]
+//	          [-checkpoint-every 30s] [-checkpoint-keep 3] [-pprof addr]
 //
 // Temporal sampling: -half-life H enables forward-decay sampling — recent
 // edges dominate the reservoir and /v1/estimate reports decayed counts at
@@ -22,6 +22,11 @@
 // newest checkpoint is used); the restored engine continues bit-identically
 // from the persisted stream position, and the checkpoint's capacity,
 // weight and shard count override the corresponding flags.
+//
+// Profiling: -pprof ADDR serves net/http/pprof on a second listener kept
+// separate from the API port (bind it to loopback in production). Off by
+// default; /v1/stats carries the cheap always-on gauges (ring depths,
+// router stalls, shard backlog) so profiling is only needed for deep dives.
 //
 // Endpoints:
 //
@@ -50,6 +55,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -87,6 +93,7 @@ func run(args []string, errw io.Writer, ready chan<- string, stop <-chan struct{
 		ckptDir    = fs.String("checkpoint-dir", "", "directory for POST /v1/checkpoint and periodic checkpoints")
 		ckptEvery  = fs.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 disables; needs -checkpoint-dir)")
 		ckptKeep   = fs.Int("checkpoint-keep", 3, "checkpoint files kept by retention")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (separate listener; empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,6 +131,27 @@ func run(args []string, errw io.Writer, ready chan<- string, stop <-chan struct{
 		return err
 	}
 	hs := &http.Server{Handler: s.Handler()}
+
+	// Profiling stays off the service port and off by default: -pprof binds a
+	// second listener with its own mux (DefaultServeMux is never touched), so
+	// operators can expose it on loopback only while the API faces the world.
+	var ps *http.Server
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ps = &http.Server{Handler: pmux}
+		fmt.Fprintf(errw, "gps-serve: pprof on %s\n", pln.Addr())
+		go func() { _ = ps.Serve(pln) }()
+	}
 	// Report the effective configuration: after a restore it comes from the
 	// checkpoint, not from the flags.
 	eff := s.EffectiveConfig()
@@ -157,5 +185,8 @@ func run(args []string, errw io.Writer, ready chan<- string, stop <-chan struct{
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
+	if ps != nil {
+		_ = ps.Shutdown(ctx)
+	}
 	return hs.Shutdown(ctx)
 }

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -117,6 +119,84 @@ func TestServeEndToEnd(t *testing.T) {
 	resp.Body.Close()
 	if sub.Estimate != 1 {
 		t.Fatalf("subgraph estimate = %v, want 1 (nothing evicted)", sub.Estimate)
+	}
+
+	close(stop)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never shut down")
+	}
+}
+
+// syncBuffer lets the test read run's log output while the server goroutine
+// is still writing to it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestServePprofListener boots with -pprof on an ephemeral port and checks
+// the profiling surface lives on its own listener: the pprof index answers
+// there, and the API port does NOT serve /debug/pprof/ (off by default and
+// never mixed into the service mux).
+func TestServePprofListener(t *testing.T) {
+	var logs syncBuffer
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-pprof", "127.0.0.1:0",
+			"-m", "100",
+			"-weight", "uniform",
+		}, &logs, ready, stop)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	// The pprof address is reported on the log line before ready fires.
+	m := regexp.MustCompile(`pprof on (\S+)`).FindStringSubmatch(logs.String())
+	if m == nil {
+		t.Fatalf("no pprof address in logs: %q", logs.String())
+	}
+	resp, err := http.Get("http://" + m[1] + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("API listener serves /debug/pprof/ — profiling leaked onto the service port")
 	}
 
 	close(stop)

@@ -399,12 +399,15 @@ func ReadInStreamCheckpoint(r io.Reader, resolve func(string) (WeightFunc, error
 	}
 	binding := cr.String()
 	t := &InStream{
-		s:     s,
-		nTri:  cr.FiniteF64("triangle total"),
-		vTri:  cr.FiniteF64("triangle variance total"),
-		nW:    cr.FiniteF64("wedge total"),
-		vW:    cr.FiniteF64("wedge variance total"),
-		covTW: cr.FiniteF64("triangle-wedge covariance total"),
+		s: s,
+		// The restored weight resolves to the same function the original
+		// ran, so the fused-TriangleWeight classification survives restarts.
+		fuseTri: fusesTriangleWeight(s.weight),
+		nTri:    cr.FiniteF64("triangle total"),
+		vTri:    cr.FiniteF64("triangle variance total"),
+		nW:      cr.FiniteF64("wedge total"),
+		vW:      cr.FiniteF64("wedge variance total"),
+		covTW:   cr.FiniteF64("triangle-wedge covariance total"),
 	}
 	if s.lambda > 0 {
 		t.decayedArrivals = cr.FiniteF64("decayed arrival total")

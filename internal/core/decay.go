@@ -98,7 +98,7 @@ func (s *Sampler) decayWeight(e *graph.Edge, w float64) float64 {
 		s.lastTS = ts
 	}
 	e.TS = ts
-	boosted := w * math.Exp(s.lambda*(float64(ts)-float64(s.landmark)))
+	boosted := w * decayExp(s.lambda*(float64(ts)-float64(s.landmark)))
 	if boosted <= 0 || math.IsNaN(boosted) || math.IsInf(boosted, 0) {
 		panic(DecayOverflowError{msg: fmt.Sprintf(
 			"core: forward-decay weight %v for edge %d-%d at t=%d (landmark %d, half-life %v): "+
@@ -163,7 +163,7 @@ func (s *Sampler) slotDecays() []float64 {
 	horizon := float64(s.lastTS)
 	for i, n := 0, s.res.Len(); i < n; i++ {
 		slot := s.res.heap.SlotAt(i)
-		decays[slot] = math.Exp(s.lambda * (float64(s.res.heap.BySlot(slot).Edge.TS) - horizon))
+		decays[slot] = decayExp(s.lambda * (float64(s.res.heap.BySlot(slot).Edge.TS) - horizon))
 	}
 	return decays
 }

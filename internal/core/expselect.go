@@ -1,0 +1,15 @@
+//go:build !gps_exactexp
+
+package core
+
+// decayExp is e^x as evaluated on every forward-decay path: the admission
+// boost, the slot-indexed decay tables, and the in-stream per-motif decay
+// factors. The default build uses the table/polynomial fast path; building
+// with -tags gps_exactexp swaps in math.Exp so the twin test suites can
+// certify that every decay-dependent statistic is insensitive to the
+// fast path's ≤2-ulp rounding differences.
+func decayExp(x float64) float64 { return fastExp(x) }
+
+// decayExpExact reports which implementation decayExp resolves to, for
+// tests and bench reports that record the build flavor.
+const decayExpExact = false

@@ -1,0 +1,11 @@
+//go:build gps_exactexp
+
+package core
+
+import "math"
+
+// decayExp under the gps_exactexp build tag: the exact libm path. See
+// expselect.go for the default fast path and fastexp.go for the algorithm.
+func decayExp(x float64) float64 { return math.Exp(x) }
+
+const decayExpExact = true

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"math"
+	"reflect"
 
 	"gps/internal/graph"
 )
@@ -46,6 +46,13 @@ type InStream struct {
 	// units) — renormalized by g(T) it is the *exact* decayed edge count,
 	// every edge having been observed. Zero when decay is off.
 	decayedArrivals float64
+
+	// fuseTri marks the sampler's weight as exactly TriangleWeight, whose
+	// common-neighbor count the estimate pass enumerates anyway: Process
+	// then injects 9·|△̂(k)|+1 directly instead of letting the weight
+	// function re-run the merge — the same value from the same enumeration,
+	// so the sampling run is bit-identical, at half the topology work.
+	fuseTri bool
 }
 
 // NewInStream returns an in-stream estimator with a fresh GPS sampler for
@@ -55,7 +62,16 @@ func NewInStream(cfg Config) (*InStream, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &InStream{s: s}, nil
+	return &InStream{s: s, fuseTri: fusesTriangleWeight(cfg.Weight)}, nil
+}
+
+// fusesTriangleWeight reports whether w is exactly the built-in
+// TriangleWeight (one reflect call at construction, mirroring
+// normalizeWeight's uniform detection). Parameterized variants from
+// NewTriangleWeight are closures with coefficients the estimator cannot
+// see, so they keep the generic path.
+func fusesTriangleWeight(w WeightFunc) bool {
+	return w != nil && reflect.ValueOf(w).Pointer() == reflect.ValueOf(TriangleWeight).Pointer()
 }
 
 // Sampler exposes the underlying GPS sampler (e.g. to run EstimatePost over
@@ -71,8 +87,18 @@ func (t *InStream) Process(e graph.Edge) bool {
 		t.s.duplicates++
 		return true
 	}
-	t.estimate(e)
-	in := t.s.Process(e)
+	tris := t.estimate(e)
+	var in bool
+	if t.fuseTri {
+		// TriangleWeight is 9·|△̂(k)|+1 and the estimate pass enumerated
+		// exactly △̂(k) — the common neighbors of k's endpoints — so the
+		// sampling step reuses that count instead of re-merging the
+		// neighbor runs inside the weight function. Same weight bits, same
+		// RNG draw, bit-identical run (a tested invariant).
+		in = t.s.processWeighted(e, 9*float64(tris)+1)
+	} else {
+		in = t.s.Process(e)
+	}
 	if t.s.lambda > 0 {
 		// The sampling step above resolved the effective event time (and on
 		// the first arrival, the landmark); Processed() is that stream
@@ -81,22 +107,25 @@ func (t *InStream) Process(e graph.Edge) bool {
 		if ts == 0 {
 			ts = t.s.Processed()
 		}
-		t.decayedArrivals += math.Exp(t.s.lambda * (float64(ts) - float64(t.s.landmark)))
+		t.decayedArrivals += decayExp(t.s.lambda * (float64(ts) - float64(t.s.landmark)))
 	}
 	return in
 }
 
-// estimate is procedure GPSEstimate of Algorithm 3. The triangle loop must
-// run before the wedge loop: a triangle snapshot and a same-arrival wedge
-// snapshot sharing a sampled edge j are correlated, and the pair is counted
-// exactly once — at the wedge step, which reads the triangle covariance
-// accumulator C̃_j(△) already updated by the triangle step (line 26).
-func (t *InStream) estimate(k graph.Edge) {
+// estimate is procedure GPSEstimate of Algorithm 3, returning |△̂(k)| —
+// the number of triangles k completes against the reservoir, which the
+// fused TriangleWeight path feeds back into the sampling step. The
+// triangle loop must run before the wedge loop: a triangle snapshot and a
+// same-arrival wedge snapshot sharing a sampled edge j are correlated, and
+// the pair is counted exactly once — at the wedge step, which reads the
+// triangle covariance accumulator C̃_j(△) already updated by the triangle
+// step (line 26).
+func (t *InStream) estimate(k graph.Edge) int {
 	if t.s.lambda > 0 {
-		t.estimateDecayed(k)
-		return
+		return t.estimateDecayed(k)
 	}
 	res := t.s.res
+	tris := 0
 
 	// Triangles completed by k (lines 9-19). Distinct triangles completed
 	// by the same arrival share no sampled edge, so the updates to the
@@ -104,6 +133,7 @@ func (t *InStream) estimate(k graph.Edge) {
 	// Both rim edges' heap entries arrive as slots alongside the common
 	// neighbor — no hash probes on this path either.
 	res.commonNeighborsWithSlots(k.U, k.V, func(v3 graph.NodeID, su, sv int32) bool {
+		tris++
 		e1 := res.entryAt(su)
 		e2 := res.entryAt(sv)
 		q1 := t.s.probForWeight(e1.Weight)
@@ -139,6 +169,7 @@ func (t *InStream) estimate(k graph.Edge) {
 	}
 	wedgeAt(k.U, k.V)
 	wedgeAt(k.V, k.U)
+	return tris
 }
 
 // estimateDecayed is GPSEstimate under forward decay: the same snapshot
@@ -146,8 +177,9 @@ func (t *InStream) estimate(k graph.Edge) {
 // landmark-unit value of its oldest edge. The per-edge covariance
 // accumulators carry the same scaling, so cross terms pick up both motifs'
 // decay values. Estimates renormalizes everything by g(T) at query time.
-func (t *InStream) estimateDecayed(k graph.Edge) {
+func (t *InStream) estimateDecayed(k graph.Edge) int {
 	res := t.s.res
+	tris := 0
 	tsK := k.TS
 	if tsK == 0 {
 		tsK = t.s.Processed() + 1 // the position this arrival is about to take
@@ -157,10 +189,11 @@ func (t *InStream) estimateDecayed(k graph.Edge) {
 		if b < a {
 			a = b
 		}
-		return math.Exp(t.s.lambda * (float64(a) - float64(t.s.landmark)))
+		return decayExp(t.s.lambda * (float64(a) - float64(t.s.landmark)))
 	}
 
 	res.commonNeighborsWithSlots(k.U, k.V, func(v3 graph.NodeID, su, sv int32) bool {
+		tris++
 		e1 := res.entryAt(su)
 		e2 := res.entryAt(sv)
 		q1 := t.s.probForWeight(e1.Weight)
@@ -188,9 +221,8 @@ func (t *InStream) estimateDecayed(k graph.Edge) {
 				continue
 			}
 			ent := res.entryAt(slots[i])
-			q := t.s.probForWeight(ent.Weight)
+			invQ := 1 / t.s.probForWeight(ent.Weight)
 			phi := phiMin(tsK, ent.Edge.TS)
-			invQ := 1 / q
 			t.nW += phi * invQ
 			t.vW += phi * phi * invQ * (invQ - 1)
 			t.vW += 2 * ent.WedgeCov * phi * invQ
@@ -200,6 +232,7 @@ func (t *InStream) estimateDecayed(k graph.Edge) {
 	}
 	wedgeAt(k.U, k.V)
 	wedgeAt(k.V, k.U)
+	return tris
 }
 
 // Estimates returns the current in-stream totals. Unlike post-stream
@@ -218,7 +251,7 @@ func (t *InStream) Estimates() Estimates {
 		Arrivals:         t.s.arrivals,
 	}
 	if t.s.lambda > 0 {
-		gT := math.Exp(t.s.lambda * (float64(t.s.lastTS) - float64(t.s.landmark)))
+		gT := decayExp(t.s.lambda * (float64(t.s.lastTS) - float64(t.s.landmark)))
 		est.Triangles /= gT
 		est.Wedges /= gT
 		est.VarTriangles /= gT * gT

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestInStreamTriangleFusionBitIdentical pins the fused-TriangleWeight
+// path: an InStream running the built-in TriangleWeight (which reuses the
+// estimate pass's common-neighbor count as the sampling weight) must be
+// bit-identical — reservoir fingerprint, threshold, and every running
+// estimate — to one running NewTriangleWeight(9, 1), a closure computing
+// the same 9·|△̂(k)|+1 through the generic weight-function path. Checked
+// continuously through the stream, with and without forward decay.
+func TestInStreamTriangleFusionBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		decay Decay
+	}{
+		{"undecayed", Decay{}},
+		{"decayed", Decay{HalfLife: 3000}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			edges := goldenStream()
+			fused, err := NewInStream(Config{Capacity: 700, Weight: TriangleWeight, Seed: 0x5F, Decay: tc.decay})
+			if err != nil {
+				t.Fatal(err)
+			}
+			generic, err := NewInStream(Config{Capacity: 700, Weight: NewTriangleWeight(9, 1), Seed: 0x5F, Decay: tc.decay})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !fused.fuseTri {
+				t.Fatal("TriangleWeight estimator did not take the fused path")
+			}
+			if generic.fuseTri {
+				t.Fatal("NewTriangleWeight closure must not take the fused path")
+			}
+			for i, e := range edges {
+				inF := fused.Process(e)
+				inG := generic.Process(e)
+				if inF != inG {
+					t.Fatalf("edge %d: fused sampled=%v, generic sampled=%v", i, inF, inG)
+				}
+				if i%500 == 0 || i == len(edges)-1 {
+					ef, eg := fused.Estimates(), generic.Estimates()
+					if ef != eg {
+						t.Fatalf("edge %d: fused estimates %+v != generic %+v", i, ef, eg)
+					}
+				}
+			}
+			if fp, gp := fingerprint(fused.Sampler()), fingerprint(generic.Sampler()); fp != gp {
+				t.Fatalf("final sampler fingerprints differ: fused %#x, generic %#x", fp, gp)
+			}
+			if fz, gz := fused.Sampler().Threshold(), generic.Sampler().Threshold(); math.Float64bits(fz) != math.Float64bits(gz) {
+				t.Fatalf("thresholds differ: %v vs %v", fz, gz)
+			}
+		})
+	}
+}
+
+// TestInStreamFusedSlotChurn runs the fused estimator at tiny capacity so
+// every arrival lands on heavily-reused heap slots — the regime where a
+// stale cached probability or count would corrupt the accumulators.
+func TestInStreamFusedSlotChurn(t *testing.T) {
+	in, err := NewInStream(Config{Capacity: 12, Weight: TriangleWeight, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavy slot churn (capacity 12): every arrival probes reused slots.
+	for _, e := range goldenStream()[:4000] {
+		in.Process(e)
+	}
+	est := in.Estimates()
+	if math.IsNaN(est.Triangles) || math.IsNaN(est.VarTriangles) || est.Triangles < 0 {
+		t.Fatalf("degenerate estimates after slot churn: %+v", est)
+	}
+}

@@ -111,8 +111,6 @@ func (s *Sampler) Process(e graph.Edge) bool {
 		s.duplicates++
 		return true
 	}
-	s.arrivals++
-	u := s.rng.Uniform01()
 	var w float64
 	if s.uniform {
 		w = 1
@@ -122,6 +120,21 @@ func (s *Sampler) Process(e graph.Edge) bool {
 			panic(fmt.Sprintf("core: weight function returned invalid weight %v for edge %v", w, e))
 		}
 	}
+	return s.processWeighted(e, w)
+}
+
+// processWeighted is the sampling step with the arrival's weight W(k,K̂)
+// already evaluated. It is bit-identical to Process on a non-duplicate
+// arrival fed the same weight value: weight functions see neither the
+// arrival counter nor the RNG, so evaluating W before the counter bump and
+// the uniform draw commutes. InStream uses it to inject the triangle count
+// its estimate pass already enumerated instead of re-running the
+// common-neighbor merge inside TriangleWeight. Callers must have ruled out
+// duplicates and guarantee w is the (strictly positive, finite) value
+// s.weight would return for e against the current reservoir.
+func (s *Sampler) processWeighted(e graph.Edge, w float64) bool {
+	s.arrivals++
+	u := s.rng.Uniform01()
 	if s.lambda > 0 {
 		// Forward decay: boost by g(t)/g(L) and stamp the effective event
 		// time onto the local copy, so the stored entry carries it.

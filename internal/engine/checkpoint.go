@@ -9,7 +9,6 @@ import (
 
 	"gps/internal/checkpoint"
 	"gps/internal/core"
-	"gps/internal/graph"
 )
 
 // GPSC engine payload (checkpoint.KindEngine): a container of per-shard
@@ -51,12 +50,13 @@ import (
 // cached bytes straight out — CheckpointStats exposes the counters.
 // weightName is recorded in every shard blob (see core.ResolveWeight).
 func (p *Parallel) WriteCheckpoint(w io.Writer, weightName string) (position uint64, err error) {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	p.admit.Lock()
+	if p.closed.Load() {
+		p.admit.Unlock()
 		return 0, fmt.Errorf("engine: WriteCheckpoint on closed Parallel")
 	}
-	p.barrier()
+	p.barrierLocked()
+	p.mu.Lock()
 	type job struct {
 		idx   int
 		ref   *shardRef
@@ -67,21 +67,23 @@ func (p *Parallel) WriteCheckpoint(w io.Writer, weightName string) (position uin
 	var wg sync.WaitGroup
 	for i, sh := range p.shards {
 		position += sh.s.Processed() // quiescent after the barrier
-		if sh.ckptBytes != nil && sh.ckptEpoch == sh.epoch && sh.ckptName == weightName {
+		epoch := sh.epoch.Load()
+		if sh.ckptBytes != nil && sh.ckptEpoch == epoch && sh.ckptName == weightName {
 			blobs[i] = sh.ckptBytes
 			p.shardBlobReused++
 			continue
 		}
 		ref, _ := p.acquireCloneLocked(sh, &wg)
-		jobs = append(jobs, job{idx: i, ref: ref, epoch: sh.epoch})
+		jobs = append(jobs, job{idx: i, ref: ref, epoch: epoch})
 		p.shardsEncoded++
 	}
 	capacity, shards := p.cfg.Capacity, len(p.shards)
 	seed, mergeSeed := p.cfg.Seed, p.mergeSeed
-	decayed, clock := p.decay, p.clock // captured under the barrier, like position
+	decayed, clock := p.decay, p.clock // stable: producers are excluded by admit
 	p.checkpoints++
-	wg.Wait() // clones must be complete before ingestion resumes
 	p.mu.Unlock()
+	wg.Wait() // clones must be complete before ingestion resumes
+	p.admit.Unlock()
 
 	// Serialize the dirty shards from their immutable clones, off the lock
 	// and in parallel (the clones are independent samplers): ingestion
@@ -248,7 +250,6 @@ func ReadParallelCheckpoint(r io.Reader, resolve func(string) (core.WeightFunc, 
 	p := &Parallel{
 		cfg:        core.Config{Capacity: capacity, Weight: weightFn, Seed: seed, Decay: decay},
 		mergeSeed:  mergeSeed,
-		batch:      DefaultBatch,
 		shards:     make([]*shard, len(samplers)),
 		decay:      decayed,
 		landmarked: landmarked,
@@ -268,20 +269,10 @@ func ReadParallelCheckpoint(r io.Reader, resolve func(string) (core.WeightFunc, 
 			p.landmarkVal.Store(decay.Landmark)
 		}
 	}
-	p.pool.New = func() any {
-		buf := make([]graph.Edge, 0, p.batch)
-		return &buf
-	}
 	for i, s := range samplers {
-		sh := &shard{
-			ch:  make(chan message, 4),
-			s:   s,
-			buf: make([]graph.Edge, 0, p.batch),
-		}
-		p.shards[i] = sh
-		p.wg.Add(1)
-		go p.run(sh)
+		p.shards[i] = &shard{ring: newRing(DefaultRingCapacity), s: s}
 	}
+	p.startShards()
 	return p, weightName, nil
 }
 
@@ -310,9 +301,9 @@ func (p *Parallel) Capacity() int { return p.cfg.Capacity }
 // replays the original stream must skip exactly this many edges. It
 // synchronizes like Arrivals.
 func (p *Parallel) Processed() uint64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.barrier()
+	p.admit.Lock()
+	defer p.admit.Unlock()
+	p.barrierLocked()
 	var total uint64
 	for _, sh := range p.shards {
 		total += sh.s.Processed()

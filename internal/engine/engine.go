@@ -6,13 +6,53 @@
 //
 // Each of the P shards owns a core.Sampler (capacity shardCapacity(m, P),
 // its own RNG derived deterministically from the root seed) and a goroutine
-// fed with edge batches over a channel. The partition function is a fixed
-// hash of the canonical edge identity, so a given edge always lands on the
-// same shard regardless of arrival order and the per-shard substreams are
-// disjoint. Merging takes the union of the shard reservoirs, keeps the m
-// highest priorities, and sets the merged threshold z* to the largest
-// priority excluded anywhere (shard thresholds and merge-time drops) — the
-// standard priority-sampling merge, performed by core.Merge.
+// fed through a bounded single-consumer ring buffer. The partition function
+// is a fixed hash of the canonical edge identity, so a given edge always
+// lands on the same shard regardless of arrival order and the per-shard
+// substreams are disjoint. Merging takes the union of the shard reservoirs,
+// keeps the m highest priorities, and sets the merged threshold z* to the
+// largest priority excluded anywhere (shard thresholds and merge-time
+// drops) — the standard priority-sampling merge, performed by core.Merge.
+//
+// # The ingest data plane
+//
+// Producers never take an engine-wide mutex per batch. ProcessBatch groups
+// its batch by shard in one counting-sort pass (order-preserving within the
+// batch), then appends each shard's contiguous run to that shard's ring;
+// the shard goroutines drain contiguous spans straight out of the ring
+// memory and feed them to core.Sampler.ProcessBatch. The only shared state
+// a producer touches is a read lock (admit.RLock, taken for the duration of
+// the batch so queries still observe batches atomically) and the ring of
+// each shard the batch actually hits. Concurrent producers therefore scale
+// with cores: the sampling itself runs P-wide in the shard goroutines, and
+// the routing runs producer-wide with per-shard serialization only at the
+// ring append.
+//
+// The engine-wide barrier (Merge, Snapshot, WriteCheckpoint, Arrivals,
+// Close) takes the admission write lock — excluding producers — and waits
+// for every ring to drain, after which the shard samplers are quiescent.
+// This is the only remaining global synchronization, and it is paid per
+// query, not per batch.
+//
+// # Determinism
+//
+// Every run driven by one producer is a deterministic function of (seed,
+// stream content, shard count): grouping preserves within-batch order,
+// sequential batches append in call order, and order within a shard
+// follows stream order regardless of ring capacity, batch sizes or
+// consumer scheduling — batch shard-grouping is bit-identical to per-edge
+// routing (tested). With concurrent producers each shard still processes a
+// serialization of the producers' runs (appends to one ring are totally
+// ordered), so producers that touch disjoint shard sets — e.g. upstream
+// partitioned traffic — remain fully deterministic; producers racing to
+// the same shard interleave at run granularity, exactly as their requests
+// would have interleaved at the old router mutex.
+//
+// Forward decay is the exception: stamping arrival-order event times and
+// pinning the landmark are inherently serial, so decayed admission runs
+// under a dedicated small mutex (clock + stamp + group + append). Decayed
+// ingest still scales: the serial section is the routing arithmetic, while
+// the sampling — boost, heap, topology — runs P-wide in the shards.
 //
 // # Shard capacity and exactness
 //
@@ -42,17 +82,13 @@
 // and it is also why sharding pays even on few cores: every topology query
 // runs against a P×-smaller sampled subgraph.
 //
-// Every run is a deterministic function of (seed, stream content, shard
-// count): batching and goroutine scheduling cannot change any shard's
-// arrival order, because order within a shard follows stream order.
-//
 // # Queries under ingestion
 //
-// Parallel is safe for concurrent use: one mutex serializes producers,
-// merges and snapshots, so ingestion and queries may come from different
-// goroutines. Merge holds the lock for the whole merge (ingestion stops
-// while the merged sampler is built); Snapshot holds it only long enough to
-// drain the shards and clone their reservoirs — O(m) memory copies,
+// Parallel is safe for concurrent use: producers share the admission read
+// lock, and Merge/Snapshot/WriteCheckpoint take the write side only for
+// the barrier (plus, for Snapshot, the dirty-shard clone). Merge holds it
+// for the whole merge (ingestion stops while the merged sampler is built);
+// Snapshot releases it right after the clone — O(m) memory copies,
 // parallelized across shards — and performs the merge on the clones after
 // ingestion has already resumed. Snapshot is therefore the low-pause query
 // path of a live service: at any batch boundary it yields a sampler
@@ -89,25 +125,40 @@ import (
 	"gps/internal/randx"
 )
 
-// DefaultBatch is the number of edges buffered per shard before a batch is
-// handed to the shard goroutine. Large enough to amortize channel overhead
-// to well under a nanosecond per edge, small enough to keep shards busy.
+// DefaultBatch is the batch size the engine's own helpers (and callers
+// that buffer arrivals) aim for: large enough to amortize the per-batch
+// grouping pass and ring handshake to a few nanoseconds per edge, small
+// enough to keep shards busy and queries fresh.
 const DefaultBatch = 4096
 
-// Parallel is a sharded GPS sampler. Feed it with Process/ProcessBatch,
-// call Merge or Snapshot (any number of times, from any goroutine) for a
-// sequential Sampler positioned over everything fed so far, and Close when
-// done. All methods are safe for concurrent use; per-edge Process pays one
-// uncontended lock per call, so high-rate producers should feed batches.
+// DefaultRingCapacity is the per-shard ring buffer size in edges. At 16
+// bytes per edge a shard queue tops out at 512 KiB; a full ring blocks the
+// producer (counted as a router stall) rather than buffering unboundedly.
+const DefaultRingCapacity = 1 << 15
+
+// Parallel is a sharded GPS sampler. Feed it with Process/ProcessBatch
+// (from any number of goroutines), call Merge or Snapshot (any number of
+// times, from any goroutine) for a sequential Sampler positioned over
+// everything fed so far, and Close when done. Per-edge Process pays one
+// shard-ring append per call, so high-rate producers should feed batches.
 type Parallel struct {
-	mu        sync.Mutex // guards shard buffers, flush/barrier, snapshot bookkeeping, closed
+	// admit is the producer/barrier lock: Process and ProcessBatch hold the
+	// read side for the duration of a batch (keeping batches atomic with
+	// respect to queries), while Merge/Snapshot/WriteCheckpoint/Close hold
+	// the write side across the ring-drain barrier.
+	admit  sync.RWMutex
+	closed atomic.Bool
+
+	// mu guards the snapshot/checkpoint bookkeeping: clone caches and
+	// refcounts, telemetry counters, and the merged-result cache. It nests
+	// inside admit (never take admit while holding mu).
+	mu sync.Mutex
+
 	cfg       core.Config
 	mergeSeed uint64
-	batch     int
 	shards    []*shard
-	pool      sync.Pool // batch buffers: *[]graph.Edge
+	groups    sync.Pool // *groupScratch: batch shard-grouping buffers
 	wg        sync.WaitGroup
-	closed    bool
 
 	// Snapshot telemetry; counters guarded by mu, stall read lock-free.
 	snapshots    uint64
@@ -128,28 +179,35 @@ type Parallel struct {
 	lastMerged       *core.Sampler
 	lastMergedEpochs []uint64
 
-	// Forward-decay bookkeeping, guarded by mu. Priorities are only
-	// comparable across shards when every shard boosts against the same
-	// landmark, so the first routed edge pins the landmark on every shard
-	// at once (they are still quiescent: nothing has been flushed). clock
-	// is the engine-wide event-time counter stamped onto untimed edges
-	// (edge TS 0) so that arrival-order decay is coherent across shards —
-	// per-shard positions would advance at ~1/P the global rate.
+	// Forward-decay admission state, guarded by decayMu (which nests inside
+	// admit.RLock): stamping arrival-order event times and pinning the
+	// landmark are serial by nature — priorities are only comparable across
+	// shards when every shard boosts against the same landmark, so the
+	// first routed edge pins the landmark on every shard at once (they are
+	// still quiescent: nothing has been appended to any ring). clock is the
+	// engine-wide event-time counter stamped onto untimed edges (edge TS 0)
+	// so that arrival-order decay is coherent across shards — per-shard
+	// positions would advance at ~1/P the global rate. Decayed admission —
+	// stamp, group, append — runs entirely under decayMu so that the
+	// per-shard run order agrees with the clock order.
+	decayMu     sync.Mutex
 	decay       bool
 	landmarked  bool
 	clock       uint64
-	horizon     atomic.Uint64 // max event time admitted; mutated under mu, read lock-free
+	horizon     atomic.Uint64 // max event time admitted; mutated under decayMu, read lock-free
 	landmarkVal atomic.Uint64 // pinned landmark L (0 = not pinned yet); read lock-free
 }
 
 type shard struct {
-	ch chan message
-	s  *core.Sampler
-	// buf accumulates routed edges between flushes; owned by the producer.
-	buf []graph.Edge
+	ring *ring
+	s    *core.Sampler
+
+	// epoch counts edges ever routed to this shard; producers bump it at
+	// admission (under admit.RLock), snapshot bookkeeping reads it with
+	// producers excluded, so any observed value is exact at a barrier.
+	epoch atomic.Uint64
 
 	// Dirty tracking for incremental snapshots; all guarded by p.mu.
-	epoch     uint64    // bumped once per edge routed to this shard
 	snapEpoch uint64    // epoch the last clone was taken at
 	lastClone *shardRef // immutable clone of s at snapEpoch, nil before first snapshot
 	clonePool sync.Pool // retired *core.Sampler clones for CloneReusing
@@ -173,9 +231,32 @@ type shardRef struct {
 	refs int
 }
 
-type message struct {
-	edges []graph.Edge
-	ack   chan<- struct{}
+// groupScratch is the reusable per-batch buffer of the shard-grouping
+// router: shard index per edge, per-shard counts/offsets, and the scatter
+// buffer holding the batch regrouped into per-shard contiguous runs.
+type groupScratch struct {
+	idx    []int32
+	count  []int32
+	offset []int32
+	buf    []graph.Edge
+}
+
+func (g *groupScratch) grow(n, shards int) {
+	if cap(g.idx) < n {
+		g.idx = make([]int32, n)
+		g.buf = make([]graph.Edge, n)
+	}
+	g.idx = g.idx[:n]
+	g.buf = g.buf[:n]
+	if cap(g.count) < shards {
+		g.count = make([]int32, shards)
+		g.offset = make([]int32, shards)
+	}
+	g.count = g.count[:shards]
+	g.offset = g.offset[:shards]
+	for i := range g.count {
+		g.count[i] = 0
+	}
 }
 
 // NewParallel returns a sharded sampler with the given shard count;
@@ -183,6 +264,12 @@ type message struct {
 // all shards share cfg.Weight and call it concurrently, so a stateful
 // weight (e.g. NewAdaptiveTriangleWeight) must not be used here.
 func NewParallel(cfg core.Config, shards int) (*Parallel, error) {
+	return newParallel(cfg, shards, DefaultRingCapacity)
+}
+
+// newParallel is NewParallel with an explicit per-shard ring capacity
+// (tests use tiny rings to exercise wrap-around and producer stalls).
+func newParallel(cfg core.Config, shards, ringCap int) (*Parallel, error) {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
@@ -191,16 +278,11 @@ func NewParallel(cfg core.Config, shards int) (*Parallel, error) {
 	}
 	p := &Parallel{
 		cfg:    cfg,
-		batch:  DefaultBatch,
 		shards: make([]*shard, shards),
 		decay:  cfg.Decay.Enabled(),
 	}
 	if cfg.Decay.Enabled() && cfg.Decay.Landmark != 0 {
 		p.landmarkVal.Store(cfg.Decay.Landmark)
-	}
-	p.pool.New = func() any {
-		buf := make([]graph.Edge, 0, p.batch)
-		return &buf
 	}
 	// Derive the per-shard seeds and the merge seed from the root seed so
 	// the whole run is reproducible from cfg.Seed alone.
@@ -215,29 +297,23 @@ func NewParallel(cfg core.Config, shards int) (*Parallel, error) {
 		if err != nil {
 			return nil, err
 		}
-		sh := &shard{
-			ch:  make(chan message, 4),
-			s:   s,
-			buf: make([]graph.Edge, 0, p.batch),
-		}
-		p.shards[i] = sh
-		p.wg.Add(1)
-		go p.run(sh)
+		p.shards[i] = &shard{ring: newRing(ringCap), s: s}
 	}
+	p.startShards()
 	return p, nil
 }
 
-func (p *Parallel) run(sh *shard) {
-	defer p.wg.Done()
-	for m := range sh.ch {
-		if m.edges != nil {
-			sh.s.ProcessBatch(m.edges)
-			buf := m.edges[:0]
-			p.pool.Put(&buf)
-		}
-		if m.ack != nil {
-			m.ack <- struct{}{}
-		}
+// startShards launches the consumer goroutines; shared by the constructor
+// and checkpoint restore.
+func (p *Parallel) startShards() {
+	p.groups.New = func() any { return new(groupScratch) }
+	for _, sh := range p.shards {
+		sh := sh
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			sh.ring.consume(func(edges []graph.Edge) { sh.s.ProcessBatch(edges) })
+		}()
 	}
 }
 
@@ -256,105 +332,154 @@ func shardCapacity(m, shards int) int {
 	return c
 }
 
-// shardFor routes an edge to its shard: a splitmix-mixed hash of the
-// canonical edge key, independent of arrival order.
-func (p *Parallel) shardFor(e graph.Edge) *shard {
-	return p.shards[p.ShardOf(e)]
-}
-
-// Process routes one edge to its shard, flushing the shard's batch buffer
-// when full. It panics if p is closed.
+// Process routes one edge to its shard. It panics if p is closed.
 func (p *Parallel) Process(e graph.Edge) {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	p.admit.RLock()
+	if p.closed.Load() {
+		p.admit.RUnlock()
 		panic("engine: Process on closed Parallel")
 	}
-	p.process(e)
-	p.mu.Unlock()
+	if p.decay {
+		var one [1]graph.Edge
+		one[0] = e
+		p.admitDecayed(one[:])
+	} else {
+		sh := p.shards[p.ShardOf(e)]
+		sh.epoch.Add(1)
+		sh.ring.append1(e)
+	}
+	p.admit.RUnlock()
 }
 
-// ProcessBatch routes a batch of edges to their shards. The batch is
-// admitted atomically with respect to Merge and Snapshot: a concurrent
-// query sees either none or all of it. It panics if p is closed.
+// ProcessBatch routes a batch of edges to their shards: one grouping pass
+// splits the batch into per-shard contiguous runs (order-preserving), and
+// each run is appended to its shard's ring. The batch is admitted
+// atomically with respect to Merge and Snapshot: a concurrent query sees
+// either none or all of it. It panics if p is closed.
 func (p *Parallel) ProcessBatch(edges []graph.Edge) {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	p.admit.RLock()
+	if p.closed.Load() {
+		p.admit.RUnlock()
 		panic("engine: ProcessBatch on closed Parallel")
 	}
-	for _, e := range edges {
-		p.process(e)
+	if len(edges) == 0 {
+		p.admit.RUnlock()
+		return
 	}
-	p.mu.Unlock()
+	if p.decay {
+		p.admitDecayed(edges)
+		p.admit.RUnlock()
+		return
+	}
+	if len(p.shards) == 1 {
+		sh := p.shards[0]
+		sh.epoch.Add(uint64(len(edges)))
+		sh.ring.append(edges)
+		p.admit.RUnlock()
+		return
+	}
+	g := p.groups.Get().(*groupScratch)
+	p.groupAndAppend(g, edges, false)
+	p.groups.Put(g)
+	p.admit.RUnlock()
 }
 
-// process routes one edge; callers hold p.mu. The shard's epoch moves with
-// every routed edge — even a rejected or duplicate arrival advances the
-// shard sampler's RNG or counters, so any delivery dirties the shard for
-// snapshot purposes.
-func (p *Parallel) process(e graph.Edge) {
-	if p.decay {
-		// Engine-wide event clock: untimed edges get the global stream
-		// position as their event time (checkpointed, so a restore resumes
-		// the same clock), and the first edge ever routed pins the shared
-		// decay landmark before anything has been flushed to a shard.
-		p.clock++
-		if e.TS == 0 {
-			e.TS = p.clock
-		}
-		if e.TS > p.horizon.Load() {
-			p.horizon.Store(e.TS)
-		}
-		if !p.landmarked {
-			p.landmarked = true
-			if p.cfg.Decay.Landmark == 0 {
-				p.landmarkVal.Store(e.TS)
-				for _, sh := range p.shards {
-					if err := sh.s.SetDecayLandmark(e.TS); err != nil {
-						panic(fmt.Sprintf("engine: landmark pinning: %v", err))
-					}
-					// Pinning mutates the shard sampler, so every cached
-					// clone and checkpoint blob keyed by the shard epoch is
-					// stale — without this bump a later checkpoint would mix
-					// pinned and pre-pin shard documents and fail restore's
-					// landmark-agreement validation.
-					sh.epoch++
-				}
+// groupAndAppend runs the counting-sort router: pass 1 hashes every edge to
+// its shard and counts run lengths, pass 2 scatters the batch (in original
+// order, so runs preserve it) into per-shard contiguous regions of the
+// scratch buffer — stamping decay event times along the way when stamp is
+// set — and finally each non-empty run is appended to its shard's ring.
+// The rings copy, so the scratch is reusable immediately.
+func (p *Parallel) groupAndAppend(g *groupScratch, edges []graph.Edge, stamp bool) {
+	ns := len(p.shards)
+	g.grow(len(edges), ns)
+	for i, e := range edges {
+		s := int32(randx.Mix64(e.Key()) % uint64(ns))
+		g.idx[i] = s
+		g.count[s]++
+	}
+	var off int32
+	for s := range g.offset {
+		g.offset[s] = off
+		off += g.count[s]
+	}
+	horizon := p.horizon.Load()
+	for i, e := range edges {
+		if stamp {
+			// Engine-wide event clock: untimed edges get the global stream
+			// position as their event time (checkpointed, so a restore
+			// resumes the same clock). Callers hold decayMu.
+			p.clock++
+			if e.TS == 0 {
+				e.TS = p.clock
+			}
+			if e.TS > horizon {
+				horizon = e.TS
+			}
+			if !p.landmarked {
+				p.pinLandmark(e.TS)
 			}
 		}
+		s := g.idx[i]
+		g.buf[g.offset[s]] = e
+		g.offset[s]++
 	}
-	sh := p.shardFor(e)
-	sh.epoch++
-	sh.buf = append(sh.buf, e)
-	if len(sh.buf) >= p.batch {
-		p.flush(sh)
+	if stamp {
+		p.horizon.Store(horizon)
+	}
+	end := g.offset
+	for s := 0; s < ns; s++ {
+		n := g.count[s]
+		if n == 0 {
+			continue
+		}
+		sh := p.shards[s]
+		sh.epoch.Add(uint64(n))
+		sh.ring.append(g.buf[end[s]-n : end[s]])
 	}
 }
 
-func (p *Parallel) flush(sh *shard) {
-	if len(sh.buf) == 0 {
-		return
-	}
-	sh.ch <- message{edges: sh.buf}
-	sh.buf = *p.pool.Get().(*[]graph.Edge)
+// admitDecayed is the decayed admission path: stamp, group and append under
+// decayMu, so that the engine clock, the landmark pin and the per-shard run
+// order all agree on one serialization of the producers. Callers hold
+// admit.RLock.
+func (p *Parallel) admitDecayed(edges []graph.Edge) {
+	g := p.groups.Get().(*groupScratch)
+	p.decayMu.Lock()
+	p.groupAndAppend(g, edges, true)
+	p.decayMu.Unlock()
+	p.groups.Put(g)
 }
 
-// barrier flushes all buffers and blocks until every shard has drained its
-// queue, after which the shard samplers are quiescent and safe to read.
-// Callers hold p.mu. After Close the shards are already drained and
-// stopped, so it is a no-op.
-func (p *Parallel) barrier() {
-	if p.closed {
+// pinLandmark pins the shared decay landmark from the first routed edge's
+// event time. Callers hold decayMu and nothing has ever been appended to a
+// ring, so the shard samplers are untouched and quiescent; the ring append
+// that follows publishes the mutation to the consumers.
+func (p *Parallel) pinLandmark(ts uint64) {
+	p.landmarked = true
+	if p.cfg.Decay.Landmark != 0 {
 		return
 	}
-	ack := make(chan struct{}, len(p.shards))
+	p.landmarkVal.Store(ts)
 	for _, sh := range p.shards {
-		p.flush(sh)
-		sh.ch <- message{ack: ack}
+		if err := sh.s.SetDecayLandmark(ts); err != nil {
+			panic(fmt.Sprintf("engine: landmark pinning: %v", err))
+		}
+		// Pinning mutates the shard sampler, so every cached clone and
+		// checkpoint blob keyed by the shard epoch is stale — without this
+		// bump a later checkpoint would mix pinned and pre-pin shard
+		// documents and fail restore's landmark-agreement validation.
+		sh.epoch.Add(1)
 	}
-	for range p.shards {
-		<-ack
+}
+
+// barrierLocked waits until every shard ring has drained and its sampler is
+// quiescent. Callers hold admit (write side), so no producer can append
+// while it runs. After Close the rings are already drained and the shard
+// goroutines stopped, so it is a no-op.
+func (p *Parallel) barrierLocked() {
+	for _, sh := range p.shards {
+		sh.ring.drainWait()
 	}
 }
 
@@ -364,9 +489,9 @@ func (p *Parallel) Shards() int { return len(p.shards) }
 // Arrivals returns the total number of distinct edges processed across all
 // shards. It synchronizes: all pending batches are processed first.
 func (p *Parallel) Arrivals() uint64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.barrier()
+	p.admit.Lock()
+	defer p.admit.Unlock()
+	p.barrierLocked()
 	var total uint64
 	for _, sh := range p.shards {
 		total += sh.s.Arrivals()
@@ -384,12 +509,12 @@ func (p *Parallel) Arrivals() uint64 {
 // merge; services that query continuously should prefer Snapshot, which
 // blocks ingestion only for the shard clone.
 func (p *Parallel) Merge() (*core.Sampler, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	p.admit.Lock()
+	defer p.admit.Unlock()
+	if p.closed.Load() {
 		return nil, errors.New("engine: Merge on closed Parallel")
 	}
-	p.barrier()
+	p.barrierLocked()
 	samplers := make([]*core.Sampler, len(p.shards))
 	for i, sh := range p.shards {
 		samplers[i] = sh.s
@@ -412,18 +537,19 @@ func (p *Parallel) Merge() (*core.Sampler, error) {
 // callers must not either — back-to-back snapshots of an idle engine share
 // one sampler.
 func (p *Parallel) Snapshot() (*core.Sampler, error) {
-	p.mu.Lock()
-	start := time.Now() // ingestion is blocked from here to Unlock
-	if p.closed {
-		p.mu.Unlock()
+	p.admit.Lock()
+	start := time.Now() // ingestion is blocked from here to admit.Unlock
+	if p.closed.Load() {
+		p.admit.Unlock()
 		return nil, errors.New("engine: Snapshot on closed Parallel")
 	}
-	p.barrier()
+	p.barrierLocked()
+	p.mu.Lock()
 	epochs := make([]uint64, len(p.shards))
 	clean := p.lastMerged != nil
 	for i, sh := range p.shards {
-		epochs[i] = sh.epoch
-		clean = clean && p.lastMergedEpochs[i] == sh.epoch
+		epochs[i] = sh.epoch.Load()
+		clean = clean && p.lastMergedEpochs[i] == epochs[i]
 	}
 	if clean {
 		m := p.lastMerged
@@ -431,6 +557,7 @@ func (p *Parallel) Snapshot() (*core.Sampler, error) {
 		p.shardsReused += uint64(len(p.shards))
 		p.lastStall.Store(int64(time.Since(start)))
 		p.mu.Unlock()
+		p.admit.Unlock()
 		return m, nil
 	}
 	refs := make([]*shardRef, len(p.shards))
@@ -445,9 +572,10 @@ func (p *Parallel) Snapshot() (*core.Sampler, error) {
 		}
 	}
 	p.snapshots++
-	wg.Wait()
-	p.lastStall.Store(int64(time.Since(start)))
 	p.mu.Unlock()
+	wg.Wait() // clones must be complete before ingestion resumes
+	p.lastStall.Store(int64(time.Since(start)))
+	p.admit.Unlock()
 
 	clones := make([]*core.Sampler, len(refs))
 	for i, r := range refs {
@@ -475,12 +603,13 @@ func (p *Parallel) Snapshot() (*core.Sampler, error) {
 // shard untouched since its previous clone reuses that clone (it is
 // immutable; any number of merges may read it); a dirty shard registers a
 // new ref and schedules the clone on wg — the ref's sampler is valid only
-// after wg.Wait(). Callers hold p.mu with the shards drained and must
-// eventually hand the ref to releaseCloneLocked. Snapshot and
-// WriteCheckpoint share this path, so a checkpoint right after a snapshot
-// (or vice versa) clones nothing at all.
+// after wg.Wait(). Callers hold p.mu and the admission write lock with the
+// rings drained, and must eventually hand the ref to releaseCloneLocked.
+// Snapshot and WriteCheckpoint share this path, so a checkpoint right after
+// a snapshot (or vice versa) clones nothing at all.
 func (p *Parallel) acquireCloneLocked(sh *shard, wg *sync.WaitGroup) (ref *shardRef, fresh bool) {
-	if sh.lastClone != nil && sh.snapEpoch == sh.epoch {
+	epoch := sh.epoch.Load()
+	if sh.lastClone != nil && sh.snapEpoch == epoch {
 		sh.lastClone.refs++
 		return sh.lastClone, false
 	}
@@ -492,7 +621,7 @@ func (p *Parallel) acquireCloneLocked(sh *shard, wg *sync.WaitGroup) (ref *shard
 		}
 	}
 	sh.lastClone = ref
-	sh.snapEpoch = sh.epoch
+	sh.snapEpoch = epoch
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -531,6 +660,36 @@ func (p *Parallel) LastSnapshotStall() time.Duration {
 	return time.Duration(p.lastStall.Load())
 }
 
+// RingStats is a point-in-time view of the ingest data plane: per-shard
+// queue depths, their sum, the shared ring capacity, and the cumulative
+// number of producer stalls (appends that found a ring full and had to
+// wait for the shard goroutine — the router's backpressure signal).
+type RingStats struct {
+	Capacity int      // per-shard ring capacity in edges
+	Depths   []int    // edges queued per shard, racy gauge
+	Backlog  int      // sum of Depths
+	Stalls   uint64   // cumulative full-ring producer waits
+	Epochs   []uint64 // edges ever routed per shard (includes queued)
+}
+
+// RingStats samples the ingest rings without synchronizing: depths and
+// epochs are racy gauges suitable for monitoring, not barriers.
+func (p *Parallel) RingStats() RingStats {
+	st := RingStats{
+		Capacity: len(p.shards[0].ring.buf),
+		Depths:   make([]int, len(p.shards)),
+		Epochs:   make([]uint64, len(p.shards)),
+	}
+	for i, sh := range p.shards {
+		d := sh.ring.depth()
+		st.Depths[i] = d
+		st.Backlog += d
+		st.Stalls += sh.ring.stalls.Load()
+		st.Epochs[i] = sh.epoch.Load()
+	}
+	return st
+}
+
 // Decay returns the forward-decay configuration the engine runs with (the
 // zero value when decay is off).
 func (p *Parallel) Decay() core.Decay { return p.cfg.Decay }
@@ -549,16 +708,18 @@ func (p *Parallel) DecayLandmark() (uint64, bool) {
 // and is 0 when decay is off.
 func (p *Parallel) DecayHorizon() uint64 { return p.horizon.Load() }
 
-// ShardOf returns the shard index the given edge routes to. It is exposed
-// for tests and benchmarks that need to construct shard-targeted traffic
-// (e.g. to exercise dirty-shard snapshots).
+// ShardOf returns the shard index the given edge routes to: a
+// splitmix-mixed hash of the canonical edge key, independent of arrival
+// order. It is exposed for tests and benchmarks that need to construct
+// shard-targeted traffic (e.g. to exercise dirty-shard snapshots).
 func (p *Parallel) ShardOf(e graph.Edge) int {
 	return int(randx.Mix64(e.Key()) % uint64(len(p.shards)))
 }
 
 // merge runs the priority-sampling merge over the given shard samplers with
-// the derived merge seed. Safe without p.mu when the samplers are clones;
-// for live shard samplers the caller must hold p.mu with the shards drained.
+// the derived merge seed. Safe without any engine lock when the samplers
+// are clones; for live shard samplers the caller must hold the admission
+// write lock with the rings drained.
 func (p *Parallel) merge(samplers []*core.Sampler) (*core.Sampler, error) {
 	mcfg := p.cfg
 	mcfg.Seed = p.mergeSeed
@@ -569,20 +730,18 @@ func (p *Parallel) merge(samplers []*core.Sampler) (*core.Sampler, error) {
 	return m, nil
 }
 
-// Close flushes remaining work and stops the shard goroutines. The shard
+// Close drains remaining work and stops the shard goroutines. The shard
 // samplers stay readable (e.g. via a prior Merge result), but further use
 // of p is invalid: Merge and Snapshot return an error, Process and
 // ProcessBatch panic. Close is idempotent.
 func (p *Parallel) Close() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	p.admit.Lock()
+	defer p.admit.Unlock()
+	if !p.closed.CompareAndSwap(false, true) {
 		return
 	}
 	for _, sh := range p.shards {
-		p.flush(sh)
-		close(sh.ch)
+		sh.ring.close()
 	}
-	p.closed = true
 	p.wg.Wait()
 }

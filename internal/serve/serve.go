@@ -860,6 +860,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"snapshot_arrivals":      snapArrivals,
 		"uptime_ms":              float64(time.Since(s.start)) / float64(time.Millisecond),
 	}
+	// Ingest data-plane gauges: racy point-in-time reads of the per-shard
+	// rings — depth/backlog move while we look, stalls is cumulative.
+	rs := s.par.RingStats()
+	stats["ring_capacity"] = rs.Capacity
+	stats["ring_depths"] = rs.Depths
+	stats["ring_backlog"] = rs.Backlog
+	stats["router_stalls"] = rs.Stalls
+	stats["shard_epochs"] = rs.Epochs
 	if s.cfg.HalfLife > 0 {
 		stats["decay_half_life"] = s.cfg.HalfLife
 		stats["decay_horizon"] = s.par.DecayHorizon()

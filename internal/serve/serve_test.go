@@ -452,6 +452,38 @@ func TestServeStatsAndHealth(t *testing.T) {
 	if int(stats["snapshot_arrivals"].(float64)) != len(edges) {
 		t.Errorf("snapshot_arrivals = %v, want %d", stats["snapshot_arrivals"], len(edges))
 	}
+	// Ring gauges: flush drained the data plane, so backlog and every shard
+	// depth are zero, and the shard epochs account for every routed edge.
+	if int(stats["ring_backlog"].(float64)) != 0 {
+		t.Errorf("ring_backlog = %v, want 0 after flush", stats["ring_backlog"])
+	}
+	if int(stats["ring_capacity"].(float64)) < 1 {
+		t.Errorf("ring_capacity = %v, want >= 1", stats["ring_capacity"])
+	}
+	if _, ok := stats["router_stalls"].(float64); !ok {
+		t.Errorf("router_stalls missing or non-numeric: %v", stats["router_stalls"])
+	}
+	shards := int(stats["shards"].(float64))
+	depths, ok := stats["ring_depths"].([]any)
+	if !ok || len(depths) != shards {
+		t.Fatalf("ring_depths = %v, want %d entries", stats["ring_depths"], shards)
+	}
+	for i, d := range depths {
+		if d.(float64) != 0 {
+			t.Errorf("ring_depths[%d] = %v, want 0 after flush", i, d)
+		}
+	}
+	epochs, ok := stats["shard_epochs"].([]any)
+	if !ok || len(epochs) != shards {
+		t.Fatalf("shard_epochs = %v, want %d entries", stats["shard_epochs"], shards)
+	}
+	var routed int
+	for _, e := range epochs {
+		routed += int(e.(float64))
+	}
+	if routed != len(edges) {
+		t.Errorf("shard_epochs sum = %d, want %d routed edges", routed, len(edges))
+	}
 
 	resp, err = http.Get(ts.URL + "/healthz")
 	if err != nil {

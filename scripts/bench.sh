@@ -8,14 +8,17 @@
 # compared.
 #
 # Environment overrides: EDGES (stream length), SAMPLE (reservoir m),
-# SHARDS (engine shard count), PR (writes BENCH_PR$PR.json), OUT (explicit
-# output path, overriding PR; default BENCH.json).
+# SHARDS (engine shard count), PROCS (comma-separated GOMAXPROCS sweep for
+# the multi-core ingest trajectory; empty string skips it), PR (writes
+# BENCH_PR$PR.json), OUT (explicit output path, overriding PR; default
+# BENCH.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 EDGES=${EDGES:-1000000}
 SAMPLE=${SAMPLE:-100000}
 SHARDS=${SHARDS:-4}
+PROCS=${PROCS:-1,2,4,8}
 if [ -n "${PR:-}" ]; then
   OUT=${OUT:-BENCH_PR${PR}.json}
 else
@@ -23,7 +26,7 @@ else
 fi
 
 go run ./cmd/gps-bench -exp perf -json \
-  -edges "$EDGES" -sample "$SAMPLE" -shards "$SHARDS" > "$OUT"
+  -edges "$EDGES" -sample "$SAMPLE" -shards "$SHARDS" -procs "$PROCS" > "$OUT"
 
 echo "wrote $OUT:"
 cat "$OUT"
