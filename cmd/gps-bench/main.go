@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	gps-bench -exp table1|table2|table3|fig1|fig2|fig3|weights|extensions|accuracy|throughput|serve|perf|all \
+//	gps-bench -exp table1|table2|table3|fig1|fig2|fig3|weights|extensions|accuracy|throughput|serve|perf|obs|all \
 //	          [-profile small|full] [-trials N] [-sample M] [-budget B] [-json] \
 //	          [-checkpoints C] [-seed S] [-graphs a,b,c] [-edges N] [-shards P] [-clients Q] \
-//	          [-procs 1,2,4,8]
+//	          [-procs 1,2,4,8] [-obs-instrumented F -obs-noobs F]
+//	gps-bench -lint FILE|-                 # validate a Prometheus text exposition
 //
 // Examples:
 //
@@ -20,6 +21,12 @@
 //	gps-bench -exp perf -json -edges 1000000 -sample 100000 -shards 4 -procs 1,4,8
 //	                                       # machine-readable perf trajectory (BENCH_PR*.json)
 //	                                       # incl. the GOMAXPROCS ingest sweep
+//	gps-bench -exp obs -edges 1000000 -sample 100000 -shards 4
+//	                                       # observability overhead: ingest ns/edge +
+//	                                       # cached-query latency on this build flavor
+//	                                       # (run again with -tags gps_noobs to compare)
+//	curl -s localhost:6060/metrics | gps-bench -lint -
+//	                                       # lint a live scrape with the in-repo checker
 //
 // -json switches the perf and throughput experiments to machine-readable
 // output (one JSON document on stdout); scripts/bench.sh uses it to record
@@ -61,8 +68,8 @@ func run(args []string, stdout, errw io.Writer) error {
 	fs := flag.NewFlagSet("gps-bench", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
-		exp         = fs.String("exp", "all", "experiment: table1, table2, table3, fig1, fig2, fig3, weights, extensions, accuracy, decay, throughput, serve, perf, all")
-		jsonOut     = fs.Bool("json", false, "machine-readable JSON output (perf, throughput and decay experiments)")
+		exp         = fs.String("exp", "all", "experiment: table1, table2, table3, fig1, fig2, fig3, weights, extensions, accuracy, decay, throughput, serve, perf, obs, all")
+		jsonOut     = fs.Bool("json", false, "machine-readable JSON output (perf, throughput, decay and obs experiments)")
 		profileName = fs.String("profile", "small", "dataset scale: small or full")
 		trials      = fs.Int("trials", 3, "replications per configuration")
 		sample      = fs.Int("sample", 20000, "GPS sample size m (table1, fig1, fig3, weights)")
@@ -75,9 +82,19 @@ func run(args []string, stdout, errw io.Writer) error {
 		clients     = fs.Int("clients", 8, "concurrent query clients for -exp serve")
 		graphsFlag  = fs.String("graphs", "", "comma-separated dataset names (default: the paper's list per experiment)")
 		list        = fs.Bool("list", false, "list available datasets and exit")
+		lintFile    = fs.String("lint", "", "validate a Prometheus text exposition file and exit (\"-\" reads stdin)")
+		obsInstr    = fs.String("obs-instrumented", "", "obs report JSON from the instrumented build (comma-separated rounds, min-merged), embedded into -exp perf")
+		obsNoObs    = fs.String("obs-noobs", "", "obs report JSON from the gps_noobs build (comma-separated rounds, min-merged), embedded into -exp perf")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *lintFile != "" {
+		return lintExposition(*lintFile, stdout)
+	}
+	if (*obsInstr == "") != (*obsNoObs == "") {
+		return fmt.Errorf("-obs-instrumented and -obs-noobs must be given together")
 	}
 
 	if *list {
@@ -112,8 +129,8 @@ func run(args []string, stdout, errw io.Writer) error {
 		return enc.Encode(v)
 	}
 	runOne := func(name string) error {
-		if *jsonOut && name != "perf" && name != "throughput" && name != "decay" {
-			return fmt.Errorf("-json is supported for -exp perf, throughput and decay, not %q", name)
+		if *jsonOut && name != "perf" && name != "throughput" && name != "decay" && name != "obs" {
+			return fmt.Errorf("-json is supported for -exp perf, throughput, decay and obs, not %q", name)
 		}
 		switch name {
 		case "table1":
@@ -182,10 +199,26 @@ func run(args []string, stdout, errw io.Writer) error {
 			if err != nil {
 				return err
 			}
+			if *obsInstr != "" {
+				oh, err := loadObsOverhead(*obsInstr, *obsNoObs)
+				if err != nil {
+					return err
+				}
+				rep.ObsOverhead = oh
+			}
 			if *jsonOut {
 				return emitJSON(rep)
 			}
 			emit("Perf — slot-indexed estimation + incremental snapshots", renderPerf(rep))
+		case "obs":
+			rep, err := obsBench(*edges, *sample, *shardsFlag, *seed)
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				return emitJSON(rep)
+			}
+			emit("Obs — instrumentation overhead on the ingest and query paths", renderObs(rep))
 		case "serve":
 			body, err := serveBench(*edges, *sample, *shardsFlag, *clients, *seed)
 			if err != nil {

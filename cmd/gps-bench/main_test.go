@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -27,7 +30,7 @@ func TestPerfBenchSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "gps-bench/perf/v3" {
+	if rep.Schema != "gps-bench/perf/v4" {
 		t.Errorf("schema = %q", rep.Schema)
 	}
 	if len(rep.ProcsSweep) != 2 {
@@ -52,6 +55,111 @@ func TestPerfBenchSweep(t *testing.T) {
 	}
 	if strings.Contains(renderPerf(rep), "NaN") {
 		t.Error("rendered report contains NaN")
+	}
+}
+
+// TestRunObs smoke-runs the observability-overhead experiment at tiny
+// scale: all three ingest paths measured, the serve phase answered queries,
+// and the built-in /metrics lint passed (obsBench fails otherwise).
+func TestRunObs(t *testing.T) {
+	rep, err := obsBench(20000, 2000, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "gps-bench/obs/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	for _, k := range []string{"uniform", "triangle", "decayed"} {
+		if rep.IngestNSPerEdge[k] <= 0 {
+			t.Errorf("ingest %s = %v, want > 0", k, rep.IngestNSPerEdge[k])
+		}
+	}
+	if rep.CachedQueryP50US <= 0 || rep.CachedQueryP99US < rep.CachedQueryP50US {
+		t.Errorf("query percentiles p50=%v p99=%v", rep.CachedQueryP50US, rep.CachedQueryP99US)
+	}
+	if rep.ScrapeFamilies == 0 || rep.ScrapeSamples == 0 {
+		t.Errorf("scrape saw %d families / %d samples", rep.ScrapeFamilies, rep.ScrapeSamples)
+	}
+	if strings.Contains(renderObs(rep), "NaN") {
+		t.Error("rendered report contains NaN")
+	}
+}
+
+// TestObsOverheadLoading pins the flavor cross-check and ratio math of the
+// perf report's obs embedding.
+func TestObsOverheadLoading(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, instrumented bool, uniform, p50 float64) string {
+		r := obsReport{
+			Schema: "gps-bench/obs/v1", Instrumented: instrumented,
+			IngestNSPerEdge:  map[string]float64{"uniform": uniform},
+			CachedQueryP50US: p50,
+		}
+		b, _ := json.Marshal(r)
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	instr := write("instr.json", true, 510, 120)
+	noobs := write("noobs.json", false, 500, 100)
+	oh, err := loadObsOverhead(instr, noobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := oh.IngestRatio["uniform"]; got != 510.0/500.0 {
+		t.Errorf("uniform ratio = %v", got)
+	}
+	if oh.CachedQueryP50Ratio != 1.2 {
+		t.Errorf("query ratio = %v", oh.CachedQueryP50Ratio)
+	}
+	if _, err := loadObsOverhead(noobs, instr); err == nil {
+		t.Error("swapped flavors accepted")
+	}
+	if _, err := loadObsOverhead(instr, instr); err == nil {
+		t.Error("same flavor twice accepted")
+	}
+
+	// Comma-separated rounds min-merge per path before the ratio.
+	instr2 := write("instr2.json", true, 505, 130)
+	noobs2 := write("noobs2.json", false, 520, 90)
+	oh, err = loadObsOverhead(instr+","+instr2, noobs+", "+noobs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := oh.IngestRatio["uniform"]; got != 505.0/500.0 {
+		t.Errorf("merged uniform ratio = %v", got)
+	}
+	if oh.CachedQueryP50Ratio != 120.0/90.0 {
+		t.Errorf("merged query ratio = %v", oh.CachedQueryP50Ratio)
+	}
+	if _, err := loadObsOverhead(instr+","+noobs, noobs); err == nil {
+		t.Error("mixed-flavor instrumented list accepted")
+	}
+}
+
+// TestLintMode pins the -lint entry point: a valid exposition passes and
+// reports its size, a corrupt one fails.
+func TestLintMode(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.prom")
+	if err := os.WriteFile(good, []byte("# TYPE x_total counter\nx_total 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	if err := run([]string{"-lint", good}, &out, &errw); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+	if !strings.Contains(out.String(), "1 families, 1 samples") {
+		t.Fatalf("lint output: %q", out.String())
+	}
+	bad := filepath.Join(dir, "bad.prom")
+	if err := os.WriteFile(bad, []byte("# TYPE x_total counter\nx_total notanumber\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-lint", bad}, &out, &errw); err == nil {
+		t.Fatal("corrupt exposition accepted")
 	}
 }
 

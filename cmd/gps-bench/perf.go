@@ -69,6 +69,22 @@ type perfReport struct {
 	// of the sweep, uniform and forward-decayed. Speedups are relative to
 	// the sweep's first (lowest-procs) point.
 	ProcsSweep []procsResult `json:"procs_sweep"`
+
+	// ObsOverhead (schema v4) embeds the obs experiment run on both build
+	// flavors and their ratios; present only when bench.sh supplied the two
+	// files (-obs-instrumented / -obs-noobs). The ingest ratios are the ≤2%
+	// instrumentation-overhead bar.
+	ObsOverhead *obsOverhead `json:"obs_overhead,omitempty"`
+}
+
+// obsOverhead pairs the instrumented and gps_noobs obs reports with
+// instrumented/noobs ratios per measured path (1.00 = free).
+type obsOverhead struct {
+	Instrumented *obsReport `json:"instrumented"`
+	NoObs        *obsReport `json:"noobs"`
+
+	IngestRatio         map[string]float64 `json:"ingest_ratio"`
+	CachedQueryP50Ratio float64            `json:"cached_query_p50_ratio"`
 }
 
 // procsResult is one point of the GOMAXPROCS sweep: the sharded engine's
@@ -118,7 +134,7 @@ func perfBench(edges, sample, shards int, seed uint64, procs []int) (*perfReport
 	es, _ := rmatStream(edges, seed)
 	edges = len(es)
 	r := &perfReport{
-		Schema:          "gps-bench/perf/v3",
+		Schema:          "gps-bench/perf/v4",
 		Edges:           edges,
 		SampleM:         sample,
 		Shards:          shards,
@@ -411,6 +427,15 @@ func renderPerf(r *perfReport) string {
 	for _, row := range r.DecayAccuracy {
 		fmt.Fprintf(&b, "decay accuracy: half-life %.2f·span m=%d %-18s NRMSE %.4f\n",
 			row.HalfLifeFrac, row.M, row.Motif, row.NRMSE)
+	}
+	if oh := r.ObsOverhead; oh != nil {
+		fmt.Fprintf(&b, "\nobservability overhead (instrumented / gps_noobs):\n")
+		for _, k := range []string{"uniform", "triangle", "decayed"} {
+			fmt.Fprintf(&b, "  ingest %-10s %6.0f / %6.0f ns/edge  = %.3fx\n",
+				k, oh.Instrumented.IngestNSPerEdge[k], oh.NoObs.IngestNSPerEdge[k], oh.IngestRatio[k])
+		}
+		fmt.Fprintf(&b, "  cached query p50  %6.0f / %6.0f µs       = %.3fx\n",
+			oh.Instrumented.CachedQueryP50US, oh.NoObs.CachedQueryP50US, oh.CachedQueryP50Ratio)
 	}
 	return b.String()
 }

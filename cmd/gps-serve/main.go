@@ -8,6 +8,7 @@
 //	          [-shards P] [-queue 64] [-staleness 250ms] [-seed S]
 //	          [-half-life H] [-restore path] [-checkpoint-dir dir]
 //	          [-checkpoint-every 30s] [-checkpoint-keep 3] [-pprof addr]
+//	          [-log-requests]
 //
 // Temporal sampling: -half-life H enables forward-decay sampling — recent
 // edges dominate the reservoir and /v1/estimate reports decayed counts at
@@ -23,10 +24,14 @@
 // from the persisted stream position, and the checkpoint's capacity,
 // weight and shard count override the corresponding flags.
 //
-// Profiling: -pprof ADDR serves net/http/pprof on a second listener kept
-// separate from the API port (bind it to loopback in production). Off by
-// default; /v1/stats carries the cheap always-on gauges (ring depths,
-// router stalls, shard backlog) so profiling is only needed for deep dives.
+// Observability: GET /metrics serves the Prometheus text exposition of the
+// whole stack (HTTP, serve pipeline, engine, estimator, checkpoint I/O);
+// -log-requests adds one key=value log line per API request carrying the
+// response's X-Request-Id. -pprof ADDR serves net/http/pprof plus /metrics
+// on a second listener kept separate from the API port (bind it to loopback
+// in production). Off by default; /v1/stats carries the cheap always-on
+// gauges (ring depths, router stalls, shard backlog) so profiling is only
+// needed for deep dives.
 //
 // Endpoints:
 //
@@ -44,6 +49,8 @@
 //	GET  /v1/checkpoint         stream a checkpoint of the current state
 //	                            (host migration without shared disk)
 //	GET  /v1/stats              ingest/queue/snapshot/checkpoint counters
+//	                            (typed, schema_version 1)
+//	GET  /metrics               Prometheus text exposition (all layers)
 //	GET  /healthz               liveness
 package main
 
@@ -93,7 +100,8 @@ func run(args []string, errw io.Writer, ready chan<- string, stop <-chan struct{
 		ckptDir    = fs.String("checkpoint-dir", "", "directory for POST /v1/checkpoint and periodic checkpoints")
 		ckptEvery  = fs.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 disables; needs -checkpoint-dir)")
 		ckptKeep   = fs.Int("checkpoint-keep", 3, "checkpoint files kept by retention")
-		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (separate listener; empty disables)")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof and /metrics on this address (separate listener; empty disables)")
+		logReqs    = fs.Bool("log-requests", false, "log one key=value line per API request (id, route, status, duration)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,6 +128,8 @@ func run(args []string, errw io.Writer, ready chan<- string, stop <-chan struct{
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
 		CheckpointKeep:  *ckptKeep,
+		LogRequests:     *logReqs,
+		LogWriter:       errw,
 	})
 	if err != nil {
 		return err
@@ -148,8 +158,12 @@ func run(args []string, errw io.Writer, ready chan<- string, stop <-chan struct{
 		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		// The scrape endpoint rides the ops listener too, so a Prometheus
+		// agent scoped to loopback never needs the public API port.
+		pmux.Handle("/metrics", s.MetricsHandler())
 		ps = &http.Server{Handler: pmux}
-		fmt.Fprintf(errw, "gps-serve: pprof on %s\n", pln.Addr())
+		s.SetPprofAddr(pln.Addr().String())
+		fmt.Fprintf(errw, "gps-serve: pprof + /metrics on %s\n", pln.Addr())
 		go func() { _ = ps.Serve(pln) }()
 	}
 	// Report the effective configuration: after a restore it comes from the

@@ -178,7 +178,7 @@ func TestServePprofListener(t *testing.T) {
 		t.Fatal("server never became ready")
 	}
 	// The pprof address is reported on the log line before ready fires.
-	m := regexp.MustCompile(`pprof on (\S+)`).FindStringSubmatch(logs.String())
+	m := regexp.MustCompile(`pprof \+ /metrics on (\S+)`).FindStringSubmatch(logs.String())
 	if m == nil {
 		t.Fatalf("no pprof address in logs: %q", logs.String())
 	}
@@ -189,6 +189,30 @@ func TestServePprofListener(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("pprof index status %d, want 200", resp.StatusCode)
+	}
+	// The ops listener also carries the scrape endpoint, and /v1/stats
+	// reports where it was bound.
+	resp, err = http.Get("http://" + m[1] + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof listener /metrics status %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		PprofAddr string `json:"pprof_addr"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.PprofAddr != m[1] {
+		t.Errorf("stats pprof_addr = %q, want the logged %q", st.PprofAddr, m[1])
 	}
 	resp, err = http.Get(base + "/debug/pprof/")
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // WriteFileAtomic writes a checkpoint produced by write to path with
@@ -33,9 +34,11 @@ func WriteFileAtomic(path string, write func(io.Writer) error) (int64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("checkpoint: %w", err)
 	}
+	syncStart := time.Now()
 	if err := tmp.Sync(); err != nil {
 		return 0, fmt.Errorf("checkpoint: %w", err)
 	}
+	observeFsync(syncStart)
 	name := tmp.Name()
 	if err := tmp.Close(); err != nil {
 		tmp = nil
@@ -50,6 +53,8 @@ func WriteFileAtomic(path string, write func(io.Writer) error) (int64, error) {
 	// Make the rename itself durable. Directory fsync is best-effort: some
 	// filesystems refuse to sync directories, and the data is safe either way.
 	SyncDir(dir)
+	fileBytes.Observe(uint64(n))
+	filesWritten.Inc()
 	return n, nil
 }
 

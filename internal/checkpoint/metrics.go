@@ -1,0 +1,32 @@
+package checkpoint
+
+import (
+	"time"
+
+	"gps/internal/obs"
+)
+
+// Package-level durability telemetry. Checkpoint files are a per-process
+// concern (one data directory per process), so the instruments are package
+// globals: WriteFileAtomic records into them unconditionally — it runs off
+// the ingest path, a handful of times per minute at most — and
+// RegisterMetrics attaches them to whichever registry the process scrapes.
+var (
+	fsyncNS      = obs.NewHistogram(obs.Latency())
+	fileBytes    = obs.NewHistogram(obs.Sizes(34))
+	filesWritten = obs.NewCounter()
+)
+
+// RegisterMetrics attaches the checkpoint-file telemetry to reg under the
+// gps_checkpoint_* namespace.
+func RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterHistogram("gps_checkpoint_fsync_seconds",
+		"fsync of the checkpoint temporary before its rename (per WriteFileAtomic).", fsyncNS)
+	reg.RegisterHistogram("gps_checkpoint_file_bytes",
+		"Bytes per checkpoint file written.", fileBytes)
+	reg.RegisterCounter("gps_checkpoint_files_written_total",
+		"Checkpoint files durably written and renamed into place.", filesWritten)
+}
+
+// observeFsync records one data-file fsync duration.
+func observeFsync(start time.Time) { fsyncNS.Observe(uint64(time.Since(start))) }

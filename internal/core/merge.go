@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"gps/internal/obs"
 	"gps/internal/order"
 )
 
@@ -67,6 +68,8 @@ func Merge(samplers []*Sampler, cfg Config) (*Sampler, error) {
 		}
 		m.arrivals += s.arrivals
 		m.duplicates += s.duplicates
+		m.accepts += s.accepts
+		m.evicts += s.evicts
 	}
 	entries := make([]order.Entry, 0, total)
 	for _, s := range samplers {
@@ -89,7 +92,11 @@ func Merge(samplers []*Sampler, cfg Config) (*Sampler, error) {
 			continue
 		}
 		// Excluded from the merged sample: its priority joins the
-		// threshold competition, exactly as if it had been evicted.
+		// threshold competition, exactly as if it had been evicted — and it
+		// counts as an eviction, keeping accepts-evicts equal to the fill.
+		if obs.Enabled {
+			m.evicts++
+		}
 		if ent.Priority > m.zstar {
 			m.zstar = ent.Priority
 		}

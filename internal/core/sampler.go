@@ -7,6 +7,7 @@ import (
 	"reflect"
 
 	"gps/internal/graph"
+	"gps/internal/obs"
 	"gps/internal/order"
 	"gps/internal/randx"
 )
@@ -57,6 +58,16 @@ type Sampler struct {
 	zstar      float64
 	arrivals   uint64
 	duplicates uint64
+
+	// accepts/evicts are estimator self-telemetry: arrivals admitted to the
+	// reservoir and previously-resident edges evicted by later arrivals, so
+	// res.Len() == accepts - evicts at all times. They are plain fields (not
+	// atomics) so Clone's struct copy stays legal; readers only see them via
+	// immutable clones or behind the engine's admission barrier. Maintained
+	// only when obs.Enabled (zero under the gps_noobs build tag) and never
+	// serialized in checkpoints — a restored sampler restarts them at zero.
+	accepts uint64
+	evicts  uint64
 
 	// Forward-decay state (zero when decay is off; see decay.go). lambda is
 	// ln2/HalfLife, landmark is L (pinned by the first arrival, the config,
@@ -164,6 +175,12 @@ func (s *Sampler) processWeighted(e graph.Edge, w float64) bool {
 		if min.Edge == e {
 			return false
 		}
+		if obs.Enabled {
+			s.evicts++
+		}
+	}
+	if obs.Enabled {
+		s.accepts++
 	}
 	return true
 }
@@ -237,6 +254,16 @@ func (s *Sampler) Arrivals() uint64 { return s.arrivals }
 
 // Duplicates returns the number of ignored duplicate arrivals.
 func (s *Sampler) Duplicates() uint64 { return s.duplicates }
+
+// Accepts returns the number of arrivals admitted to the reservoir.
+// Process-local telemetry: zero under the gps_noobs build tag and not
+// carried through checkpoints.
+func (s *Sampler) Accepts() uint64 { return s.accepts }
+
+// Evicts returns the number of previously-resident edges evicted by later
+// arrivals; Accepts() - Evicts() is the current reservoir fill. Same
+// caveats as Accepts.
+func (s *Sampler) Evicts() uint64 { return s.evicts }
 
 // Processed returns the stream position: the total number of edges handed
 // to Process (distinct arrivals plus ignored duplicates). A restore that

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"gps/internal/checkpoint"
 	"gps/internal/core"
@@ -88,6 +89,7 @@ func (p *Parallel) WriteCheckpoint(w io.Writer, weightName string) (position uin
 	// Serialize the dirty shards from their immutable clones, off the lock
 	// and in parallel (the clones are independent samplers): ingestion
 	// continues while the dominant cost of a checkpoint runs P-wide.
+	encStart := time.Now()
 	encErrs := make([]error, len(jobs))
 	var encWG sync.WaitGroup
 	for ji, j := range jobs {
@@ -100,9 +102,13 @@ func (p *Parallel) WriteCheckpoint(w io.Writer, weightName string) (position uin
 				return
 			}
 			blobs[j.idx] = buf.Bytes()
+			p.met.ckptEncBytes.Observe(uint64(buf.Len()))
 		}(ji, j)
 	}
 	encWG.Wait()
+	if len(jobs) > 0 {
+		p.met.ckptEncNS.Observe(uint64(time.Since(encStart)))
+	}
 	var encErr error
 	for _, e := range encErrs {
 		if e != nil {

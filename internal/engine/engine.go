@@ -122,6 +122,7 @@ import (
 
 	"gps/internal/core"
 	"gps/internal/graph"
+	"gps/internal/obs"
 	"gps/internal/randx"
 )
 
@@ -196,6 +197,10 @@ type Parallel struct {
 	clock       uint64
 	horizon     atomic.Uint64 // max event time admitted; mutated under decayMu, read lock-free
 	landmarkVal atomic.Uint64 // pinned landmark L (0 = not pinned yet); read lock-free
+
+	// met holds the engine-owned histograms (see metrics.go); initialized by
+	// startShards, attached to a registry by RegisterMetrics.
+	met engineMetrics
 }
 
 type shard struct {
@@ -307,12 +312,20 @@ func newParallel(cfg core.Config, shards, ringCap int) (*Parallel, error) {
 // and checkpoint restore.
 func (p *Parallel) startShards() {
 	p.groups.New = func() any { return new(groupScratch) }
+	p.met.init()
 	for _, sh := range p.shards {
 		sh := sh
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			sh.ring.consume(func(edges []graph.Edge) { sh.s.ProcessBatch(edges) })
+			sh.ring.consume(func(edges []graph.Edge) {
+				start := obs.Start()
+				sh.s.ProcessBatch(edges)
+				if obs.Enabled {
+					p.met.drainNS.ObserveSince(start)
+					p.met.drainEdges.Observe(uint64(len(edges)))
+				}
+			})
 		}()
 	}
 }
@@ -478,9 +491,11 @@ func (p *Parallel) pinLandmark(ts uint64) {
 // while it runs. After Close the rings are already drained and the shard
 // goroutines stopped, so it is a no-op.
 func (p *Parallel) barrierLocked() {
+	start := time.Now()
 	for _, sh := range p.shards {
 		sh.ring.drainWait()
 	}
+	p.met.barrierNS.Observe(uint64(time.Since(start)))
 }
 
 // Shards returns the shard count P.
@@ -555,7 +570,9 @@ func (p *Parallel) Snapshot() (*core.Sampler, error) {
 		m := p.lastMerged
 		p.snapshots++
 		p.shardsReused += uint64(len(p.shards))
-		p.lastStall.Store(int64(time.Since(start)))
+		stall := time.Since(start)
+		p.lastStall.Store(int64(stall))
+		p.met.stallNS.Observe(uint64(stall))
 		p.mu.Unlock()
 		p.admit.Unlock()
 		return m, nil
@@ -574,7 +591,9 @@ func (p *Parallel) Snapshot() (*core.Sampler, error) {
 	p.snapshots++
 	p.mu.Unlock()
 	wg.Wait() // clones must be complete before ingestion resumes
-	p.lastStall.Store(int64(time.Since(start)))
+	stall := time.Since(start)
+	p.lastStall.Store(int64(stall))
+	p.met.stallNS.Observe(uint64(stall))
 	p.admit.Unlock()
 
 	clones := make([]*core.Sampler, len(refs))

@@ -54,6 +54,8 @@ type ring struct {
 	cond    *sync.Cond
 	waiters atomic.Int32  // producers + barriers registered under mu
 	stalls  atomic.Uint64 // cumulative producer full-waits (ring backpressure)
+	parks   atomic.Uint64 // cumulative consumer sleeps (ring ran empty)
+	wakeups atomic.Uint64 // cumulative consumer broadcasts to waiters
 	closed  bool          // guarded by mu
 }
 
@@ -166,6 +168,7 @@ func (r *ring) consume(process func([]graph.Edge)) {
 				if tail != head || r.closed {
 					break
 				}
+				r.parks.Add(1)
 				r.cond.Wait()
 			}
 			closed := r.closed
@@ -188,6 +191,7 @@ func (r *ring) consume(process func([]graph.Edge)) {
 		}
 		r.head.Store(tail)
 		if r.waiters.Load() > 0 {
+			r.wakeups.Add(1)
 			r.mu.Lock()
 			r.cond.Broadcast()
 			r.mu.Unlock()

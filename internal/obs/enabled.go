@@ -1,0 +1,8 @@
+//go:build !gps_noobs
+
+package obs
+
+// Enabled gates hot-path instrumentation. The gps_noobs build tag flips it
+// to false, compiling the guarded call sites out entirely; `gps-bench -exp
+// obs` compares the two builds to prove the instrumentation cheap.
+const Enabled = true

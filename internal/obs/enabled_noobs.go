@@ -1,0 +1,8 @@
+//go:build gps_noobs
+
+package obs
+
+// Enabled is false under the gps_noobs build tag: hot-path instrumentation
+// guarded by it is compiled out, giving the uninstrumented baseline the
+// obs overhead benchmark measures against.
+const Enabled = false

@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition validates a Prometheus text-format (0.0.4) document: the
+// in-repo checker the smoke scripts and golden tests run over /metrics
+// scrapes. It enforces the structural rules a real scraper depends on —
+// metric and label name syntax, HELP/TYPE comment shape, one contiguous
+// group per family, parseable sample values — and the histogram contract:
+// strictly increasing le bounds, cumulative (non-decreasing) bucket
+// counts, a terminal le="+Inf" bucket, and _count equal to the +Inf
+// bucket. It returns the family and sample counts so callers can assert
+// the scrape was non-trivial.
+func CheckExposition(r io.Reader) (families, samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	types := map[string]string{}     // family -> declared type
+	helps := map[string]bool{}       // family -> HELP seen
+	closed := map[string]bool{}      // family group has ended
+	hists := map[string]*histCheck{} // histogram family+labels -> bucket state
+	current := ""                    // family of the current sample group
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			kind, name, rest, ok := parseComment(text)
+			if !ok {
+				continue // free-form comment
+			}
+			if !validName(name) {
+				return 0, 0, fmt.Errorf("line %d: invalid metric name %q in %s", line, name, kind)
+			}
+			switch kind {
+			case "HELP":
+				if helps[name] {
+					return 0, 0, fmt.Errorf("line %d: duplicate HELP for %q", line, name)
+				}
+				helps[name] = true
+			case "TYPE":
+				if _, dup := types[name]; dup {
+					return 0, 0, fmt.Errorf("line %d: duplicate TYPE for %q", line, name)
+				}
+				if closed[name] {
+					return 0, 0, fmt.Errorf("line %d: TYPE for %q after its samples", line, name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return 0, 0, fmt.Errorf("line %d: unknown metric type %q", line, rest)
+				}
+				types[name] = rest
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(text)
+		if err != nil {
+			return 0, 0, fmt.Errorf("line %d: %v", line, err)
+		}
+		fam := familyOf(name, types)
+		if fam != current {
+			if current != "" {
+				closed[current] = true
+			}
+			if closed[fam] {
+				return 0, 0, fmt.Errorf("line %d: samples of %q are not one contiguous group", line, fam)
+			}
+			current = fam
+		}
+		samples++
+		if types[fam] == "histogram" {
+			if err := checkHistSample(hists, fam, name, labels, value, line); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, err
+	}
+	for key, h := range hists {
+		if err := h.finish(key); err != nil {
+			return 0, 0, err
+		}
+	}
+	return len(types), samples, nil
+}
+
+// parseComment splits "# HELP name text" / "# TYPE name type" lines.
+func parseComment(text string) (kind, name, rest string, ok bool) {
+	fields := strings.SplitN(text, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return "", "", "", false
+	}
+	rest = ""
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	return fields[1], fields[2], rest, true
+}
+
+// parseSample parses `name[{labels}] value [timestamp]`.
+func parseSample(text string) (name string, labels map[string]string, value float64, err error) {
+	rest := text
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("sample %q has no value", text)
+	}
+	name = rest[:i]
+	if !validName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	labels = map[string]string{}
+	if rest[i] == '{' {
+		rest = rest[i+1:]
+		for {
+			rest = strings.TrimLeft(rest, " ")
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("unterminated label set in %q", text)
+			}
+			key := strings.TrimSpace(rest[:eq])
+			if !validLabelName(key) && key != "le" && key != "quantile" {
+				return "", nil, 0, fmt.Errorf("invalid label name %q", key)
+			}
+			rest = rest[eq+1:]
+			if !strings.HasPrefix(rest, `"`) {
+				return "", nil, 0, fmt.Errorf("unquoted label value in %q", text)
+			}
+			val, n, verr := unquoteLabel(rest)
+			if verr != nil {
+				return "", nil, 0, fmt.Errorf("bad label value in %q: %v", text, verr)
+			}
+			if _, dup := labels[key]; dup {
+				return "", nil, 0, fmt.Errorf("duplicate label %q in %q", key, text)
+			}
+			labels[key] = val
+			rest = rest[n:]
+			rest = strings.TrimPrefix(rest, ",")
+		}
+	} else {
+		rest = rest[i:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("sample %q needs `value [timestamp]` after the name", text)
+	}
+	value, err = parseValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", nil, 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// unquoteLabel consumes a leading quoted label value, returning the value
+// and the bytes consumed (including both quotes).
+func unquoteLabel(s string) (string, int, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case '\\', '"':
+				b.WriteByte(s[i])
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), i + 1, nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated quote")
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// familyOf maps a sample name to its family: _bucket/_sum/_count suffixes
+// fold into a declared histogram (or summary) base name.
+func familyOf(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if t := types[base]; t == "histogram" || t == "summary" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// histCheck accumulates one histogram instance's buckets (keyed by family
+// + non-le labels) for the cumulativity and terminal-bucket checks.
+type histCheck struct {
+	les      []float64
+	counts   []uint64
+	count    uint64
+	hasCount bool
+	line     int
+}
+
+func checkHistSample(hists map[string]*histCheck, fam, name string, labels map[string]string, value float64, line int) error {
+	le, hasLE := labels["le"]
+	delete(labels, "le")
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var kb strings.Builder
+	kb.WriteString(fam)
+	for _, k := range keys {
+		fmt.Fprintf(&kb, "|%s=%s", k, labels[k])
+	}
+	h := hists[kb.String()]
+	if h == nil {
+		h = &histCheck{line: line}
+		hists[kb.String()] = h
+	}
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		if !hasLE {
+			return fmt.Errorf("line %d: %s_bucket without le label", line, fam)
+		}
+		bound, err := parseValue(le)
+		if err != nil {
+			return fmt.Errorf("line %d: bad le %q", line, le)
+		}
+		if value < 0 || value != math.Trunc(value) {
+			return fmt.Errorf("line %d: bucket count %g is not a non-negative integer", line, value)
+		}
+		if n := len(h.les); n > 0 {
+			if bound <= h.les[n-1] {
+				return fmt.Errorf("line %d: %s buckets out of le order (%g after %g)", line, fam, bound, h.les[n-1])
+			}
+			if uint64(value) < h.counts[n-1] {
+				return fmt.Errorf("line %d: %s bucket le=%q count %g below previous bucket's %d (not cumulative)",
+					line, fam, le, value, h.counts[n-1])
+			}
+		}
+		h.les = append(h.les, bound)
+		h.counts = append(h.counts, uint64(value))
+	case strings.HasSuffix(name, "_count"):
+		h.count = uint64(value)
+		h.hasCount = true
+	}
+	return nil
+}
+
+func (h *histCheck) finish(key string) error {
+	if len(h.les) == 0 {
+		return fmt.Errorf("histogram %s (near line %d) has no buckets", key, h.line)
+	}
+	if !math.IsInf(h.les[len(h.les)-1], 1) {
+		return fmt.Errorf("histogram %s (near line %d) does not end with an le=\"+Inf\" bucket", key, h.line)
+	}
+	if !h.hasCount {
+		return fmt.Errorf("histogram %s (near line %d) has no _count sample", key, h.line)
+	}
+	if h.counts[len(h.counts)-1] != h.count {
+		return fmt.Errorf("histogram %s (near line %d): +Inf bucket %d != _count %d",
+			key, h.line, h.counts[len(h.counts)-1], h.count)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckExpositionAccepts(t *testing.T) {
+	doc := `# HELP gps_edges_total Edges observed.
+# TYPE gps_edges_total counter
+gps_edges_total 42
+# free-form comment, ignored
+# HELP gps_lat_seconds Latency.
+# TYPE gps_lat_seconds histogram
+gps_lat_seconds_bucket{route="/v1/ingest",le="0.001"} 3
+gps_lat_seconds_bucket{route="/v1/ingest",le="+Inf"} 5
+gps_lat_seconds_sum{route="/v1/ingest"} 0.012
+gps_lat_seconds_count{route="/v1/ingest"} 5
+gps_lat_seconds_bucket{route="/v1/stats",le="+Inf"} 1
+gps_lat_seconds_sum{route="/v1/stats"} 0.001
+gps_lat_seconds_count{route="/v1/stats"} 1
+gps_depth{shard="0"} 4 1712000000
+`
+	fams, samples, err := CheckExposition(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fams != 2 || samples != 9 {
+		t.Fatalf("fams=%d samples=%d, want 2 and 9", fams, samples)
+	}
+}
+
+func TestCheckExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{
+			"non-cumulative buckets",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+			"not cumulative",
+		},
+		{
+			"missing +Inf bucket",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			`le="+Inf"`,
+		},
+		{
+			"+Inf bucket != count",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+			"!= _count",
+		},
+		{
+			"buckets out of le order",
+			"# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+			"out of le order",
+		},
+		{
+			"invalid metric name",
+			"9bad 1\n",
+			"invalid metric name",
+		},
+		{
+			"invalid label name",
+			`m{bad-key="x"} 1` + "\n",
+			"invalid label name",
+		},
+		{
+			"unquoted label value",
+			"m{k=v} 1\n",
+			"unquoted label value",
+		},
+		{
+			"bad value",
+			"m zzz\n",
+			"bad value",
+		},
+		{
+			"duplicate TYPE",
+			"# TYPE m counter\n# TYPE m counter\nm 1\n",
+			"duplicate TYPE",
+		},
+		{
+			"unknown type",
+			"# TYPE m fancy\n",
+			"unknown metric type",
+		},
+		{
+			"interleaved family groups",
+			"a 1\nb 1\na 2\n",
+			"contiguous",
+		},
+		{
+			"unterminated quote",
+			`m{k="x} 1` + "\n",
+			"bad label value",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, _, err := CheckExposition(strings.NewReader(c.doc))
+			if err == nil {
+				t.Fatalf("accepted invalid doc:\n%s", c.doc)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}

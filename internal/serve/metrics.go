@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"gps/internal/checkpoint"
+	"gps/internal/obs"
+)
+
+// serveMetrics holds the serve-layer instruments that are not per-route:
+// the snapshot-age-at-serve histogram (how stale the answers actually were,
+// as opposed to how stale they were allowed to be) and the decay-overflow
+// reject counter.
+type serveMetrics struct {
+	snapAge      *obs.Histogram
+	decayRejects *obs.Counter
+}
+
+// routeMetrics is the per-route instrument set created at registration.
+type routeMetrics struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	inFlight *obs.Gauge
+	latency  *obs.Histogram
+}
+
+// Metrics returns the server's metric registry (every layer's families:
+// gps_http_*, gps_serve_*, gps_engine_*, gps_core_*, gps_checkpoint_*).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// MetricsHandler returns the GET /metrics handler, for mounting on
+// listeners other than the API mux (gps-serve mounts it on the pprof
+// listener too).
+func (s *Server) MetricsHandler() http.Handler { return s.reg.Handler() }
+
+// route registers pattern on the API mux wrapped in the observability
+// middleware: per-route request/error/in-flight counters and a latency
+// histogram, an X-Request-Id response header, and (when the server was
+// configured with LogRequests) one key=value log line per request. All
+// recording happens in a defer, so a handler that panics — including the
+// deliberate http.ErrAbortHandler of the checkpoint download — still
+// counts; the middleware does not recover.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	label := obs.Label{Key: "route", Value: pattern}
+	rm := &routeMetrics{
+		requests: s.reg.Counter("gps_http_requests_total", "HTTP requests started, by route.", label),
+		errors:   s.reg.Counter("gps_http_errors_total", "HTTP responses with status >= 400, by route.", label),
+		inFlight: s.reg.Gauge("gps_http_in_flight", "Requests currently being handled, by route.", label),
+		latency: s.reg.Histogram("gps_http_request_seconds",
+			"Request handling latency, by route.", obs.Latency(), label),
+	}
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("%s-%06d", s.reqPrefix, s.reqSeq.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		rm.requests.Inc()
+		rm.inFlight.Add(1)
+		defer func() {
+			dur := time.Since(start)
+			rm.inFlight.Add(-1)
+			rm.latency.Observe(uint64(dur))
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK // handler wrote nothing: net/http sends 200
+			}
+			if status >= 400 {
+				rm.errors.Inc()
+			}
+			if s.logw != nil {
+				fmt.Fprintf(s.logw, "request id=%s route=%q status=%d bytes=%d dur_ms=%.3f remote=%s\n",
+					id, pattern, status, sw.bytes, float64(dur)/float64(time.Millisecond), r.RemoteAddr)
+			}
+		}()
+		h(sw, r)
+	})
+}
+
+// statusWriter captures the response status and body size for the
+// middleware's recording and logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// registerMetrics builds the server's registry: the engine and checkpoint
+// layers attach their own families, and the serve layer adds the ingest
+// pipeline, the snapshot cache, and estimator self-telemetry read from the
+// cache's current immutable snapshot — scraping never touches the live
+// samplers, so it is race-free and never stalls ingestion.
+func (s *Server) registerMetrics() {
+	s.par.RegisterMetrics(s.reg)
+	checkpoint.RegisterMetrics(s.reg)
+
+	s.met.snapAge = s.reg.Histogram("gps_serve_snapshot_age_seconds",
+		"Age of the snapshot each estimate/subgraph response was served from.", obs.Latency())
+	s.met.decayRejects = s.reg.Counter("gps_serve_decay_rejected_batches_total",
+		"Ingest batches rejected by the decay overflow range check.")
+
+	s.reg.RegisterGaugeFunc("gps_serve_queue_edges", "Decoded edges waiting in the ingest queue.",
+		func() float64 { return float64(s.pendingEdges.Load()) })
+	s.reg.RegisterGaugeFunc("gps_serve_queue_batches", "Batches waiting in the ingest queue.",
+		func() float64 { return float64(s.pendingBatches.Load()) })
+	s.reg.RegisterGaugeFunc("gps_serve_queue_capacity", "Ingest queue batch capacity (QueueDepth).",
+		func() float64 { return float64(s.cfg.QueueDepth) })
+	s.reg.RegisterCounterFunc("gps_serve_edges_accepted_total",
+		"Edges admitted to the ingest queue (acknowledged with 202).", s.edgesAccepted.Load)
+	s.reg.RegisterCounterFunc("gps_serve_edges_processed_total",
+		"Edges handed to the sampler (includes the restored position on boot).", s.edgesProcessed.Load)
+	s.reg.RegisterCounterFunc("gps_serve_batches_rejected_total",
+		"Ingest requests rejected by backpressure (503).", s.batchesDropped.Load)
+	s.reg.RegisterCounterFunc("gps_serve_self_loops_total",
+		"Self-loop records skipped by the stream readers.", s.selfLoops.Load)
+	s.reg.RegisterCounterFunc("gps_serve_checkpoint_files_total",
+		"Checkpoint files persisted by this server.", s.checkpointsWritten.Load)
+	s.reg.RegisterGaugeFunc("gps_serve_uptime_seconds", "Seconds since the server booted.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	s.reg.RegisterCounter("gps_serve_snapshot_cache_hits_total",
+		"Queries served from the cached snapshot without a refresh.", s.snaps.met.hits)
+	s.reg.RegisterCounter("gps_serve_snapshot_refresh_total",
+		"Snapshot cache refreshes (engine snapshot + estimate).", s.snaps.met.refreshes)
+	s.reg.RegisterCounter("gps_serve_snapshot_forced_fresh_total",
+		"Queries demanding max_stale=0 (a fresh snapshot).", s.snaps.met.forced)
+	s.reg.RegisterCounter("gps_serve_snapshot_estimate_reuse_total",
+		"Refreshes that reused the previous snapshot's estimates (only duplicates arrived).", s.snaps.met.estReuse)
+
+	// Estimator self-telemetry, read from the current immutable snapshot
+	// (zero until the first query takes one). The live shard samplers are
+	// never touched: their counters are only safe to read at a barrier.
+	snap := func(f func(*snapshot) float64) func() float64 {
+		return func() float64 {
+			if sn := s.snaps.current(); sn != nil {
+				return f(sn)
+			}
+			return 0
+		}
+	}
+	s.reg.RegisterGaugeFunc("gps_core_reservoir_capacity", "Reservoir capacity m.",
+		func() float64 { return float64(s.cfg.Capacity) })
+	s.reg.RegisterGaugeFunc("gps_core_reservoir_fill",
+		"Sampled edges |K| in the latest snapshot.",
+		snap(func(sn *snapshot) float64 { return float64(sn.est.SampledEdges) }))
+	s.reg.RegisterGaugeFunc("gps_core_threshold",
+		"Priority threshold z* of the latest snapshot (0 until the reservoir first overflows).",
+		snap(func(sn *snapshot) float64 { return sn.sampler.Threshold() }))
+	s.reg.RegisterCounterFunc("gps_core_arrivals_total",
+		"Distinct edges processed, as of the latest snapshot.",
+		func() uint64 {
+			if sn := s.snaps.current(); sn != nil {
+				return sn.est.Arrivals
+			}
+			return 0
+		})
+	s.reg.RegisterCounterFunc("gps_core_duplicates_total",
+		"Duplicate arrivals ignored, as of the latest snapshot.",
+		func() uint64 {
+			if sn := s.snaps.current(); sn != nil {
+				return sn.sampler.Duplicates()
+			}
+			return 0
+		})
+	s.reg.RegisterCounterFunc("gps_core_accepts_total",
+		"Arrivals admitted to the reservoir, as of the latest snapshot (0 under gps_noobs builds).",
+		func() uint64 {
+			if sn := s.snaps.current(); sn != nil {
+				return sn.sampler.Accepts()
+			}
+			return 0
+		})
+	s.reg.RegisterCounterFunc("gps_core_evicts_total",
+		"Resident edges evicted by later arrivals, as of the latest snapshot (0 under gps_noobs builds).",
+		func() uint64 {
+			if sn := s.snaps.current(); sn != nil {
+				return sn.sampler.Evicts()
+			}
+			return 0
+		})
+}

@@ -51,6 +51,7 @@ import (
 	"gps/internal/core"
 	"gps/internal/engine"
 	"gps/internal/graph"
+	"gps/internal/obs"
 	"gps/internal/stream"
 )
 
@@ -107,6 +108,12 @@ type Config struct {
 	// CheckpointKeep bounds how many checkpoint files retention keeps in
 	// CheckpointDir; <= 0 means 3.
 	CheckpointKeep int
+
+	// LogRequests emits one key=value log line per API request (id, route,
+	// status, bytes, duration, remote) to LogWriter.
+	LogRequests bool
+	// LogWriter receives the request log; nil means os.Stderr.
+	LogWriter io.Writer
 }
 
 // Server is the live sampling service. Construct with NewServer, expose
@@ -146,6 +153,16 @@ type Server struct {
 	lastCheckpointErr  atomic.Value // string; "" when the last attempt succeeded
 	restoredFrom       string       // checkpoint path restored on boot, "" if fresh
 	restoredPosition   uint64       // stream position carried by that checkpoint
+
+	// Observability. reg aggregates every layer's instrument families; the
+	// route middleware stamps X-Request-Id from reqPrefix (per-boot) plus
+	// reqSeq and, when logw is set, writes the request log.
+	reg       *obs.Registry
+	met       serveMetrics
+	reqSeq    atomic.Uint64
+	reqPrefix string
+	logw      io.Writer
+	pprofAddr atomic.Value // string: bound pprof listener address, for /v1/stats
 }
 
 type ingestItem struct {
@@ -250,15 +267,27 @@ func NewServer(cfg Config) (*Server, error) {
 	s.edgesProcessed.Store(restoredPosition)
 	s.lastCheckpointErr.Store("")
 	s.snaps = newSnapshotCache(par.Snapshot, s.edgesProcessed.Load)
+	if cfg.LogRequests {
+		s.logw = cfg.LogWriter
+		if s.logw == nil {
+			s.logw = os.Stderr
+		}
+	}
+	s.reqPrefix = fmt.Sprintf("%08x", uint32(time.Now().UnixNano()))
+	s.reg = obs.NewRegistry()
+	s.registerMetrics()
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
-	s.mux.HandleFunc("GET /v1/estimate", s.handleEstimate)
-	s.mux.HandleFunc("POST /v1/estimate/subgraph", s.handleSubgraph)
-	s.mux.HandleFunc("POST /v1/flush", s.handleFlush)
-	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
-	s.mux.HandleFunc("GET /v1/checkpoint", s.handleCheckpointDownload)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.route("POST /v1/ingest", s.handleIngest)
+	s.route("GET /v1/estimate", s.handleEstimate)
+	s.route("POST /v1/estimate/subgraph", s.handleSubgraph)
+	s.route("POST /v1/flush", s.handleFlush)
+	s.route("POST /v1/checkpoint", s.handleCheckpoint)
+	s.route("GET /v1/checkpoint", s.handleCheckpointDownload)
+	s.route("GET /v1/stats", s.handleStats)
+	s.route("GET /healthz", s.handleHealth)
+	s.route("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.reg.Handler().ServeHTTP(w, r)
+	})
 	s.wg.Add(1)
 	go s.ingestLoop()
 	if cfg.CheckpointEvery > 0 && cfg.CheckpointDir != "" {
@@ -392,6 +421,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			// Past this span the sampler's boost would overflow float64 and
 			// abort the whole process; reject the batch while the error can
 			// still be an HTTP response.
+			s.met.decayRejects.Inc()
 			httpError(w, http.StatusBadRequest, msg)
 			return
 		}
@@ -765,6 +795,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
+	s.met.snapAge.Observe(uint64(time.Since(snap.taken)))
 	est := snap.est
 	tri, wed, cc := est.TriangleInterval(), est.WedgeInterval(), est.ClusteringInterval()
 	writeJSON(w, http.StatusOK, estimateResponse{
@@ -821,6 +852,7 @@ func (s *Server) handleSubgraph(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
+	s.met.snapAge.Observe(uint64(time.Since(snap.taken)))
 	est := snap.sampler.SubgraphEstimate(edges...)
 	variance := est * (est - 1)
 	if est == 0 {
@@ -832,60 +864,6 @@ func (s *Server) handleSubgraph(w http.ResponseWriter, r *http.Request) {
 		"arrivals":        snap.est.Arrivals,
 		"snapshot_age_ms": float64(time.Since(snap.taken)) / float64(time.Millisecond),
 	})
-}
-
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	snapTaken, snapArrivals := s.snaps.last()
-	snapshots, cloned, reused := s.par.SnapshotStats()
-	ckpts, encoded, blobReused := s.par.CheckpointStats()
-	stats := map[string]any{
-		"snapshots":              snapshots,
-		"shards_cloned":          cloned,
-		"shards_reused":          reused,
-		"checkpoints":            ckpts,
-		"checkpoint_shards_enc":  encoded,
-		"checkpoint_blobs_reuse": blobReused,
-		"checkpoints_written":    s.checkpointsWritten.Load(),
-		"snapshot_stall_ms":      float64(s.par.LastSnapshotStall()) / float64(time.Millisecond),
-		"capacity":               s.cfg.Capacity,
-		"weight":                 s.cfg.WeightName,
-		"shards":                 s.par.Shards(),
-		"queue_depth":            s.cfg.QueueDepth,
-		"pending_batches":        s.pendingBatches.Load(),
-		"pending_edges":          s.pendingEdges.Load(),
-		"edges_accepted":         s.edgesAccepted.Load(),
-		"edges_processed":        s.edgesProcessed.Load(),
-		"batches_rejected":       s.batchesDropped.Load(),
-		"self_loops_skipped":     s.selfLoops.Load(),
-		"snapshot_arrivals":      snapArrivals,
-		"uptime_ms":              float64(time.Since(s.start)) / float64(time.Millisecond),
-	}
-	// Ingest data-plane gauges: racy point-in-time reads of the per-shard
-	// rings — depth/backlog move while we look, stalls is cumulative.
-	rs := s.par.RingStats()
-	stats["ring_capacity"] = rs.Capacity
-	stats["ring_depths"] = rs.Depths
-	stats["ring_backlog"] = rs.Backlog
-	stats["router_stalls"] = rs.Stalls
-	stats["shard_epochs"] = rs.Epochs
-	if s.cfg.HalfLife > 0 {
-		stats["decay_half_life"] = s.cfg.HalfLife
-		stats["decay_horizon"] = s.par.DecayHorizon()
-	}
-	if !snapTaken.IsZero() {
-		stats["snapshot_age_ms"] = float64(time.Since(snapTaken)) / float64(time.Millisecond)
-	}
-	if msg, ok := s.lastCheckpointErr.Load().(string); ok && msg != "" {
-		stats["last_checkpoint_error"] = msg
-	}
-	if ns := s.lastCheckpointNS.Load(); ns != 0 {
-		stats["last_checkpoint_age_ms"] = float64(time.Now().UnixNano()-ns) / float64(time.Millisecond)
-	}
-	if s.restoredFrom != "" {
-		stats["restored_from"] = s.restoredFrom
-		stats["restored_position"] = s.restoredPosition
-	}
-	writeJSON(w, http.StatusOK, stats)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gps/internal/core"
+	"gps/internal/obs"
 )
 
 // snapshot is one immutable query view: a merged sampler frozen at a
@@ -38,10 +39,31 @@ type snapshotCache struct {
 	position func() uint64 // edges handed to the sampler so far
 	cur      atomic.Pointer[snapshot]
 	mu       sync.Mutex
+	met      cacheMetrics
+}
+
+// cacheMetrics counts how the cache answered: hits (served an existing
+// snapshot), refreshes (took a new one), forced-fresh demands (max_stale=0),
+// and refreshes cheap enough to reuse the previous estimates. The server
+// registers them; the cache records them.
+type cacheMetrics struct {
+	hits      *obs.Counter
+	refreshes *obs.Counter
+	forced    *obs.Counter
+	estReuse  *obs.Counter
 }
 
 func newSnapshotCache(take func() (*core.Sampler, error), position func() uint64) *snapshotCache {
-	return &snapshotCache{take: take, position: position}
+	return &snapshotCache{
+		take:     take,
+		position: position,
+		met: cacheMetrics{
+			hits:      obs.NewCounter(),
+			refreshes: obs.NewCounter(),
+			forced:    obs.NewCounter(),
+			estReuse:  obs.NewCounter(),
+		},
+	}
 }
 
 // fresh reports whether s still satisfies the staleness bound: young
@@ -54,7 +76,11 @@ func (c *snapshotCache) fresh(s *snapshot, maxStale time.Duration) bool {
 
 // get returns a snapshot no older than maxStale.
 func (c *snapshotCache) get(maxStale time.Duration) (*snapshot, error) {
+	if maxStale == 0 {
+		c.met.forced.Inc()
+	}
 	if s := c.cur.Load(); s != nil && c.fresh(s, maxStale) {
+		c.met.hits.Inc()
 		return s, nil
 	}
 	c.mu.Lock()
@@ -62,8 +88,10 @@ func (c *snapshotCache) get(maxStale time.Duration) (*snapshot, error) {
 	// A refresh that completed while this reader waited for the lock may
 	// already satisfy the bound.
 	if s := c.cur.Load(); s != nil && c.fresh(s, maxStale) {
+		c.met.hits.Inc()
 		return s, nil
 	}
+	c.met.refreshes.Inc()
 	// Stamp the age before the engine snapshot: the data is frozen at the
 	// barrier inside take(), so stamping afterwards would under-report the
 	// snapshot's age by the whole snapshot+estimate duration.
@@ -81,6 +109,7 @@ func (c *snapshotCache) get(maxStale time.Duration) (*snapshot, error) {
 		// deterministic in the edges fed — produced an identical
 		// reservoir; the previous Algorithm 2 estimates are exact for it.
 		est = prev.est
+		c.met.estReuse.Inc()
 	} else {
 		est = core.EstimatePost(sampler)
 	}
@@ -105,6 +134,11 @@ func (c *snapshotCache) invalidate() {
 		c.cur.Store(nil)
 	}
 }
+
+// current returns the cached snapshot (nil before the first query), for
+// scrape-time estimator telemetry: the snapshot is immutable, so reading
+// its sampler's counters is race-free.
+func (c *snapshotCache) current() *snapshot { return c.cur.Load() }
 
 // last reports when the current snapshot was taken and the stream position
 // it covers; the zero time means no snapshot has been taken yet.

@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+)
+
+// StatsV1 is the typed, versioned shape of GET /v1/stats. Field names and
+// presence rules are a compatibility contract: every key the endpoint has
+// ever emitted keeps its name, and the conditional keys (decay, snapshot
+// age, checkpoint health, restore provenance) keep their old
+// present-only-when-meaningful semantics via pointers and omitempty.
+// The values are read from the same counters and engine accessors the
+// /metrics registry renders — the two views never disagree on sources.
+type StatsV1 struct {
+	SchemaVersion int `json:"schema_version"`
+
+	// Snapshot and checkpoint machinery (engine layer).
+	Snapshots            uint64  `json:"snapshots"`
+	ShardsCloned         uint64  `json:"shards_cloned"`
+	ShardsReused         uint64  `json:"shards_reused"`
+	Checkpoints          uint64  `json:"checkpoints"`
+	CheckpointShardsEnc  uint64  `json:"checkpoint_shards_enc"`
+	CheckpointBlobsReuse uint64  `json:"checkpoint_blobs_reuse"`
+	CheckpointsWritten   uint64  `json:"checkpoints_written"`
+	SnapshotStallMS      float64 `json:"snapshot_stall_ms"`
+
+	// Configuration the server actually runs with.
+	Capacity   int    `json:"capacity"`
+	Weight     string `json:"weight"`
+	Shards     int    `json:"shards"`
+	QueueDepth int    `json:"queue_depth"`
+
+	// Ingest pipeline.
+	PendingBatches   int64  `json:"pending_batches"`
+	PendingEdges     int64  `json:"pending_edges"`
+	EdgesAccepted    uint64 `json:"edges_accepted"`
+	EdgesProcessed   uint64 `json:"edges_processed"`
+	BatchesRejected  uint64 `json:"batches_rejected"`
+	SelfLoopsSkipped uint64 `json:"self_loops_skipped"`
+
+	SnapshotArrivals uint64  `json:"snapshot_arrivals"`
+	UptimeMS         float64 `json:"uptime_ms"`
+
+	// Ingest data-plane gauges: racy point-in-time reads of the per-shard
+	// rings — depths/backlog move while we look, stalls is cumulative.
+	RingCapacity int      `json:"ring_capacity"`
+	RingDepths   []int    `json:"ring_depths"`
+	RingBacklog  int      `json:"ring_backlog"`
+	RouterStalls uint64   `json:"router_stalls"`
+	ShardEpochs  []uint64 `json:"shard_epochs"`
+
+	// Conditional: decay configuration (present when decay is on).
+	DecayHalfLife float64 `json:"decay_half_life,omitempty"`
+	DecayHorizon  *uint64 `json:"decay_horizon,omitempty"`
+
+	// Conditional: present once a snapshot has been taken.
+	SnapshotAgeMS *float64 `json:"snapshot_age_ms,omitempty"`
+
+	// Conditional: checkpoint-file health.
+	LastCheckpointError string   `json:"last_checkpoint_error,omitempty"`
+	LastCheckpointAgeMS *float64 `json:"last_checkpoint_age_ms,omitempty"`
+
+	// Conditional: restore provenance (present when booted from a checkpoint).
+	RestoredFrom     string  `json:"restored_from,omitempty"`
+	RestoredPosition *uint64 `json:"restored_position,omitempty"`
+
+	// Conditional: bound pprof listener address (present when -pprof is on).
+	PprofAddr string `json:"pprof_addr,omitempty"`
+}
+
+// statsV1 assembles the /v1/stats document.
+func (s *Server) statsV1() StatsV1 {
+	snapTaken, snapArrivals := s.snaps.last()
+	snapshots, cloned, reused := s.par.SnapshotStats()
+	ckpts, encoded, blobReused := s.par.CheckpointStats()
+	rs := s.par.RingStats()
+	st := StatsV1{
+		SchemaVersion:        1,
+		Snapshots:            snapshots,
+		ShardsCloned:         cloned,
+		ShardsReused:         reused,
+		Checkpoints:          ckpts,
+		CheckpointShardsEnc:  encoded,
+		CheckpointBlobsReuse: blobReused,
+		CheckpointsWritten:   s.checkpointsWritten.Load(),
+		SnapshotStallMS:      float64(s.par.LastSnapshotStall()) / float64(time.Millisecond),
+		Capacity:             s.cfg.Capacity,
+		Weight:               s.cfg.WeightName,
+		Shards:               s.par.Shards(),
+		QueueDepth:           s.cfg.QueueDepth,
+		PendingBatches:       s.pendingBatches.Load(),
+		PendingEdges:         s.pendingEdges.Load(),
+		EdgesAccepted:        s.edgesAccepted.Load(),
+		EdgesProcessed:       s.edgesProcessed.Load(),
+		BatchesRejected:      s.batchesDropped.Load(),
+		SelfLoopsSkipped:     s.selfLoops.Load(),
+		SnapshotArrivals:     snapArrivals,
+		UptimeMS:             float64(time.Since(s.start)) / float64(time.Millisecond),
+		RingCapacity:         rs.Capacity,
+		RingDepths:           rs.Depths,
+		RingBacklog:          rs.Backlog,
+		RouterStalls:         rs.Stalls,
+		ShardEpochs:          rs.Epochs,
+	}
+	if s.cfg.HalfLife > 0 {
+		st.DecayHalfLife = s.cfg.HalfLife
+		horizon := s.par.DecayHorizon()
+		st.DecayHorizon = &horizon
+	}
+	if !snapTaken.IsZero() {
+		age := float64(time.Since(snapTaken)) / float64(time.Millisecond)
+		st.SnapshotAgeMS = &age
+	}
+	if msg, ok := s.lastCheckpointErr.Load().(string); ok && msg != "" {
+		st.LastCheckpointError = msg
+	}
+	if ns := s.lastCheckpointNS.Load(); ns != 0 {
+		age := float64(time.Now().UnixNano()-ns) / float64(time.Millisecond)
+		st.LastCheckpointAgeMS = &age
+	}
+	if s.restoredFrom != "" {
+		st.RestoredFrom = s.restoredFrom
+		pos := s.restoredPosition
+		st.RestoredPosition = &pos
+	}
+	if addr, ok := s.pprofAddr.Load().(string); ok && addr != "" {
+		st.PprofAddr = addr
+	}
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsV1())
+}
+
+// SetPprofAddr records the bound address of the auxiliary pprof/metrics
+// listener so /v1/stats can report it (gps-serve calls it after binding).
+func (s *Server) SetPprofAddr(addr string) { s.pprofAddr.Store(addr) }
+
+// metricsPartition classifies every family the registry serves into
+// exactly one of two namespaces: statsCovered — the quantity is also
+// readable from /v1/stats (same underlying counter or accessor) — and
+// metricsOnly — distributions and cache/scheduler detail /v1/stats never
+// carried. A test asserts the two lists exactly partition
+// Metrics().Families(), so adding a metric forces an explicit
+// classification here.
+func (s *Server) metricsPartition() (statsCovered, metricsOnly []string) {
+	statsCovered = []string{
+		"gps_checkpoint_files_written_total",         // checkpoints_written (per-process superset)
+		"gps_core_arrivals_total",                    // snapshot_arrivals
+		"gps_core_reservoir_capacity",                // capacity
+		"gps_engine_checkpoint_blobs_reused_total",   // checkpoint_blobs_reuse
+		"gps_engine_checkpoint_shards_encoded_total", // checkpoint_shards_enc
+		"gps_engine_checkpoints_total",               // checkpoints
+		"gps_engine_ring_backlog",                    // ring_backlog
+		"gps_engine_ring_capacity",                   // ring_capacity
+		"gps_engine_ring_depth",                      // ring_depths
+		"gps_engine_ring_stalls_total",               // router_stalls
+		"gps_engine_shard_epoch",                     // shard_epochs
+		"gps_engine_shards",                          // shards
+		"gps_engine_snapshot_shards_cloned_total",    // shards_cloned
+		"gps_engine_snapshot_shards_reused_total",    // shards_reused
+		"gps_engine_snapshots_total",                 // snapshots
+		"gps_serve_batches_rejected_total",           // batches_rejected
+		"gps_serve_checkpoint_files_total",           // checkpoints_written
+		"gps_serve_edges_accepted_total",             // edges_accepted
+		"gps_serve_edges_processed_total",            // edges_processed
+		"gps_serve_queue_batches",                    // pending_batches
+		"gps_serve_queue_capacity",                   // queue_depth
+		"gps_serve_queue_edges",                      // pending_edges
+		"gps_serve_self_loops_total",                 // self_loops_skipped
+		"gps_serve_uptime_seconds",                   // uptime_ms
+	}
+	metricsOnly = []string{
+		"gps_checkpoint_file_bytes",
+		"gps_checkpoint_fsync_seconds",
+		"gps_core_accepts_total",
+		"gps_core_duplicates_total",
+		"gps_core_evicts_total",
+		"gps_core_reservoir_fill",
+		"gps_core_threshold",
+		"gps_engine_barrier_wait_seconds",
+		"gps_engine_checkpoint_encode_bytes",
+		"gps_engine_checkpoint_encode_seconds",
+		"gps_engine_drain_batch_edges",
+		"gps_engine_drain_batch_seconds",
+		"gps_engine_ring_parks_total",
+		"gps_engine_ring_wakeups_total",
+		"gps_engine_snapshot_stall_seconds", // stats has only the last stall, not the distribution
+		"gps_http_errors_total",
+		"gps_http_in_flight",
+		"gps_http_request_seconds",
+		"gps_http_requests_total",
+		"gps_serve_decay_rejected_batches_total",
+		"gps_serve_snapshot_age_seconds",
+		"gps_serve_snapshot_cache_hits_total",
+		"gps_serve_snapshot_estimate_reuse_total",
+		"gps_serve_snapshot_forced_fresh_total",
+		"gps_serve_snapshot_refresh_total",
+	}
+	if s.cfg.HalfLife > 0 {
+		statsCovered = append(statsCovered, "gps_engine_decay_horizon") // decay_horizon
+	}
+	return statsCovered, metricsOnly
+}

@@ -3,17 +3,20 @@
 # generated graph (binary framing), query an estimate, and require it to
 # equal the exact triangle count — with uniform weights and a reservoir
 # larger than the graph the snapshot estimate is exact, so any drift is a
-# bug, not noise. The second act is the durability story: checkpoint
-# mid-ingest, kill -9 the server, restart with -restore, re-ingest, and
-# require flush→estimate to equal the exact count again. CI runs this
-# after the unit tests; it needs only curl.
+# bug, not noise. Along the way it scrapes /metrics mid-ingest and runs
+# the scrape through the in-repo exposition checker (gps-bench -lint), so
+# a malformed metric line fails the smoke before any dashboard sees it.
+# The second act is the durability story: checkpoint mid-ingest, kill -9
+# the server, restart with -restore, re-ingest, and require flush→estimate
+# to equal the exact count again. CI runs this after the unit tests; it
+# needs only curl.
 set -euo pipefail
 
 workdir=$(mktemp -d)
 trap 'kill -9 "${server_pid:-}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
 echo "== build"
-go build -o "$workdir" ./cmd/gps-gen ./cmd/gps-sample ./cmd/gps-serve
+go build -o "$workdir" ./cmd/gps-gen ./cmd/gps-sample ./cmd/gps-serve ./cmd/gps-bench
 
 echo "== generate graph (binary framing)"
 "$workdir/gps-gen" -type hk -n 2000 -k 6 -p 0.5 -seed 42 -format binary -out "$workdir/g.gpsb"
@@ -34,10 +37,14 @@ for _ in $(seq 1 50); do
 done
 curl -fsS http://127.0.0.1:18423/healthz >/dev/null
 
-echo "== ingest ${edges} edges + flush"
+echo "== ingest ${edges} edges + flush (scraping /metrics mid-ingest)"
 curl -fsS -X POST -H 'Content-Type: application/x-gps-edges' \
     --data-binary "@$workdir/g.gpsb" http://127.0.0.1:18423/v1/ingest
 echo
+# Scrape while the pipeline may still be draining: the exposition must lint
+# clean at any instant, not just at rest.
+curl -fsS http://127.0.0.1:18423/metrics > "$workdir/scrape-mid.prom"
+"$workdir/gps-bench" -lint "$workdir/scrape-mid.prom"
 curl -fsS -X POST http://127.0.0.1:18423/v1/flush
 echo
 
@@ -54,6 +61,16 @@ if [ "${served_triangles%.*}" != "$exact_triangles" ]; then
     exit 1
 fi
 echo "OK: live service estimate matches exact triangle count"
+
+echo "== /metrics after flush: lint + cross-check against the stream"
+curl -fsS http://127.0.0.1:18423/metrics > "$workdir/scrape-post.prom"
+"$workdir/gps-bench" -lint "$workdir/scrape-post.prom"
+processed=$(awk '$1 == "gps_serve_edges_processed_total" { print int($2) }' "$workdir/scrape-post.prom")
+if [ "$processed" != "$edges" ]; then
+    echo "FAIL: gps_serve_edges_processed_total $processed != ingested $edges" >&2
+    exit 1
+fi
+echo "OK: /metrics lints clean and agrees with the ingested stream"
 
 echo "== durability: checkpoint, crash, restore"
 ckptdir="$workdir/ckpt"
