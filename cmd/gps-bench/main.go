@@ -68,7 +68,7 @@ func run(args []string, stdout, errw io.Writer) error {
 	fs := flag.NewFlagSet("gps-bench", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
-		exp         = fs.String("exp", "all", "experiment: table1, table2, table3, fig1, fig2, fig3, weights, extensions, accuracy, decay, throughput, serve, perf, obs, all")
+		exp         = fs.String("exp", "all", "experiment: table1, table2, table3, fig1, fig2, fig3, weights, extensions, accuracy, decay, throughput, serve, perf, obs, chaos, all")
 		jsonOut     = fs.Bool("json", false, "machine-readable JSON output (perf, throughput, decay and obs experiments)")
 		profileName = fs.String("profile", "small", "dataset scale: small or full")
 		trials      = fs.Int("trials", 3, "replications per configuration")
@@ -225,6 +225,12 @@ func run(args []string, stdout, errw io.Writer) error {
 				return err
 			}
 			emit("Serve — concurrent ingestion + query latency over HTTP", body)
+		case "chaos":
+			body, err := chaosBench(*edges, *sample, *shardsFlag, *seed)
+			if err != nil {
+				return err
+			}
+			emit("Chaos — fault-injected run vs fault-free baseline (equivalence drill)", body)
 		case "extensions":
 			rows, err := experiments.Extensions(opts, *budget, graphs)
 			if err != nil {

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"gps/internal/fault"
 )
 
 func TestRunList(t *testing.T) {
@@ -216,6 +218,37 @@ func TestRunServe(t *testing.T) {
 	}
 }
 
+// TestRunChaos runs the full equivalence drill at small scale: the
+// faulted life must match the baseline bit for bit, with the recovery
+// visible in the rendered report. The experiment self-asserts, so the
+// test mostly checks it completes and reports what it promised.
+func TestRunChaos(t *testing.T) {
+	if !fault.Enabled() {
+		fault.Arm(1, nil)
+		defer fault.Disarm()
+		if !fault.Enabled() {
+			t.Skip("fault injection compiled out (gps_nofault)")
+		}
+	}
+	fault.Disarm()
+	var out, errw bytes.Buffer
+	args := []string{"-exp", "chaos", "-edges", "20000", "-sample", "2000", "-shards", "2"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"BIT-IDENTICAL",
+		"engine.shard.drain",
+		"serve.ingest.ack",
+		"shard restarts 1, lost edges 0, degraded false",
+		"checkpoint recovered after fsync fault: true",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("chaos output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"-exp", "nope"},
@@ -223,6 +256,8 @@ func TestRunErrors(t *testing.T) {
 		{"-exp", "table1", "-graphs", "unknown-graph"},
 		{"-exp", "throughput", "-edges", "0"},
 		{"-exp", "serve", "-clients", "0"},
+		{"-exp", "chaos", "-edges", "1"},
+		{"-exp", "chaos", "-json"},
 	}
 	for _, args := range cases {
 		var out, errw bytes.Buffer

@@ -24,6 +24,16 @@
 // from the persisted stream position, and the checkpoint's capacity,
 // weight and shard count override the corresponding flags.
 //
+// Robustness: -estimate-deadline bounds how long a query waits for a
+// snapshot refresh before the previous snapshot is served flagged
+// "degraded"; -max-inflight-queries sheds excess concurrent estimates with
+// 429 + Retry-After. -grace bounds the shutdown drain, and
+// -checkpoint-on-shutdown persists a final checkpoint (after the HTTP
+// drain, covering every acknowledged batch) before the process exits.
+// -faults/-fault-seed (or the GPS_FAULTS env var) arm the deterministic
+// fault-injection registry for chaos drills — never use in production; the
+// armed rules are visible in /v1/stats as fault_points.
+//
 // Observability: GET /metrics serves the Prometheus text exposition of the
 // whole stack (HTTP, serve pipeline, engine, estimator, checkpoint I/O);
 // -log-requests adds one key=value log line per API request carrying the
@@ -68,6 +78,7 @@ import (
 	"syscall"
 	"time"
 
+	"gps/internal/fault"
 	"gps/internal/serve"
 )
 
@@ -102,6 +113,12 @@ func run(args []string, errw io.Writer, ready chan<- string, stop <-chan struct{
 		ckptKeep   = fs.Int("checkpoint-keep", 3, "checkpoint files kept by retention")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof and /metrics on this address (separate listener; empty disables)")
 		logReqs    = fs.Bool("log-requests", false, "log one key=value line per API request (id, route, status, duration)")
+		estDeadln  = fs.Duration("estimate-deadline", 0, "serve the previous snapshot (flagged degraded) when a refresh exceeds this (0 waits)")
+		maxQueries = fs.Int("max-inflight-queries", 0, "shed estimate/subgraph queries beyond this concurrency with 429 (0 disables)")
+		grace      = fs.Duration("grace", 5*time.Second, "shutdown grace period per listener")
+		ckptOnStop = fs.Bool("checkpoint-on-shutdown", false, "persist a final checkpoint during shutdown (needs -checkpoint-dir)")
+		faults     = fs.String("faults", "", "arm fault injection: \"point:kind[:k=v,...][;...]\" (or env GPS_FAULTS; chaos drills only)")
+		faultSeed  = fs.Uint64("fault-seed", 1, "seed for probabilistic fault rules")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,27 +126,45 @@ func run(args []string, errw io.Writer, ready chan<- string, stop <-chan struct{
 	if *ckptEvery > 0 && *ckptDir == "" {
 		return fmt.Errorf("-checkpoint-every requires -checkpoint-dir")
 	}
+	if *ckptOnStop && *ckptDir == "" {
+		return fmt.Errorf("-checkpoint-on-shutdown requires -checkpoint-dir")
+	}
+	if *faults == "" {
+		*faults = os.Getenv("GPS_FAULTS")
+	}
+	if *faults != "" {
+		rules, err := fault.ParseSpec(*faults)
+		if err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+		fault.Arm(*faultSeed, rules)
+		defer fault.Disarm()
+		fmt.Fprintf(errw, "gps-serve: FAULT INJECTION ARMED (%d rules, seed %d) — chaos drill, not a production server\n",
+			len(rules), *faultSeed)
+	}
 	weight, err := serve.WeightByName(*weightName)
 	if err != nil {
 		return err
 	}
 	s, err := serve.NewServer(serve.Config{
-		Capacity:        *m,
-		Weight:          weight,
-		WeightName:      *weightName,
-		Seed:            *seed,
-		Shards:          *shards,
-		QueueDepth:      *queue,
-		MaxPendingEdges: *maxPending,
-		MaxBodyBytes:    *maxBody,
-		MaxStaleness:    *staleness,
-		HalfLife:        *halfLife,
-		RestoreFrom:     *restore,
-		CheckpointDir:   *ckptDir,
-		CheckpointEvery: *ckptEvery,
-		CheckpointKeep:  *ckptKeep,
-		LogRequests:     *logReqs,
-		LogWriter:       errw,
+		Capacity:           *m,
+		Weight:             weight,
+		WeightName:         *weightName,
+		Seed:               *seed,
+		Shards:             *shards,
+		QueueDepth:         *queue,
+		MaxPendingEdges:    *maxPending,
+		MaxBodyBytes:       *maxBody,
+		MaxStaleness:       *staleness,
+		HalfLife:           *halfLife,
+		EstimateDeadline:   *estDeadln,
+		MaxInflightQueries: *maxQueries,
+		RestoreFrom:        *restore,
+		CheckpointDir:      *ckptDir,
+		CheckpointEvery:    *ckptEvery,
+		CheckpointKeep:     *ckptKeep,
+		LogRequests:        *logReqs,
+		LogWriter:          errw,
 	})
 	if err != nil {
 		return err
@@ -197,10 +232,39 @@ func run(args []string, errw io.Writer, ready chan<- string, stop <-chan struct{
 	case <-sigc:
 	case <-stop:
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	if ps != nil {
-		_ = ps.Shutdown(ctx)
+	fmt.Fprintf(errw, "gps-serve: shutting down (grace %s per listener)\n", *grace)
+
+	// Drain the API listener first under its own deadline — a slow pprof
+	// consumer must not eat the API's grace budget (and vice versa).
+	apiCtx, apiCancel := context.WithTimeout(context.Background(), *grace)
+	defer apiCancel()
+	var errs []error
+	if err := hs.Shutdown(apiCtx); err != nil {
+		errs = append(errs, fmt.Errorf("api shutdown: %w", err))
+		fmt.Fprintf(errw, "gps-serve: api shutdown: %v\n", err)
 	}
-	return hs.Shutdown(ctx)
+	// With the listener drained no new batches can arrive; the final
+	// checkpoint (queue drained by its flush barrier) covers every batch
+	// ever acknowledged with 202.
+	if *ckptOnStop {
+		ckptCtx, ckptCancel := context.WithTimeout(context.Background(), *grace)
+		path, pos, err := s.WriteCheckpointNow(ckptCtx)
+		ckptCancel()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("final checkpoint: %w", err))
+			fmt.Fprintf(errw, "gps-serve: final checkpoint: %v\n", err)
+		} else {
+			fmt.Fprintf(errw, "gps-serve: final checkpoint %s at stream position %d\n", path, pos)
+		}
+	}
+	if ps != nil {
+		psCtx, psCancel := context.WithTimeout(context.Background(), *grace)
+		err := ps.Shutdown(psCtx)
+		psCancel()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("pprof shutdown: %w", err))
+			fmt.Fprintf(errw, "gps-serve: pprof shutdown: %v\n", err)
+		}
+	}
+	return errors.Join(errs...)
 }

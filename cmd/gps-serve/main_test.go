@@ -336,12 +336,152 @@ func TestServeCheckpointRestartFlow(t *testing.T) {
 	shutdown(stop, errc)
 }
 
-// TestServeCheckpointFlagValidation pins the flag dependency.
+// TestServeCheckpointFlagValidation pins the flag dependencies.
 func TestServeCheckpointFlagValidation(t *testing.T) {
 	if err := run([]string{"-checkpoint-every", "1s"}, io.Discard, nil, nil); err == nil {
 		t.Fatal("-checkpoint-every without -checkpoint-dir accepted")
 	}
 	if err := run([]string{"-restore", "/no/such/path"}, io.Discard, nil, nil); err == nil {
 		t.Fatal("restore from missing path accepted")
+	}
+	if err := run([]string{"-checkpoint-on-shutdown"}, io.Discard, nil, nil); err == nil {
+		t.Fatal("-checkpoint-on-shutdown without -checkpoint-dir accepted")
+	}
+	if err := run([]string{"-faults", "not-a-spec"}, io.Discard, nil, nil); err == nil {
+		t.Fatal("malformed -faults spec accepted")
+	}
+}
+
+// TestServeCheckpointOnShutdown: with -checkpoint-on-shutdown the process
+// persists a final checkpoint during its drain — no manual POST
+// /v1/checkpoint needed — and a restored second life carries the full
+// stream position.
+func TestServeCheckpointOnShutdown(t *testing.T) {
+	edges := gen.ErdosRenyi(120, 700, 31)
+	truth := exact.Count(graph.BuildStatic(edges))
+	dir := t.TempDir()
+
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-m", fmt.Sprint(len(edges) + 50),
+			"-weight", "uniform",
+			"-shards", "2",
+			"-seed", "33",
+			"-checkpoint-dir", dir,
+			"-checkpoint-on-shutdown",
+			"-grace", "5s",
+		}, io.Discard, ready, stop)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	var body bytes.Buffer
+	if err := stream.WriteBinary(&body, edges); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/ingest", stream.BinaryContentType, &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	close(stop)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never shut down")
+	}
+
+	// Second life restores the shutdown checkpoint.
+	ready2 := make(chan string, 1)
+	stop2 := make(chan struct{})
+	errc2 := make(chan error, 1)
+	go func() {
+		errc2 <- run([]string{
+			"-addr", "127.0.0.1:0", "-staleness", "0s", "-restore", dir,
+		}, io.Discard, ready2, stop2)
+	}()
+	select {
+	case addr := <-ready2:
+		base = "http://" + addr
+	case err := <-errc2:
+		t.Fatalf("restored server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("restored server never became ready")
+	}
+	resp, err = http.Get(base + "/v1/estimate?max_stale=0s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var est struct {
+		Triangles float64 `json:"triangles"`
+		Arrivals  uint64  `json:"arrivals"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if est.Arrivals != uint64(len(edges)) || est.Triangles != float64(truth.Triangles) {
+		t.Fatalf("restored estimate (%.0f at %d) != exact (%d at %d)",
+			est.Triangles, est.Arrivals, truth.Triangles, len(edges))
+	}
+	close(stop2)
+	if err := <-errc2; err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+// TestServeFaultsFlag: -faults arms the injection registry for the process
+// and the armed rules behave as specced over HTTP.
+func TestServeFaultsFlag(t *testing.T) {
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{
+			"-addr", "127.0.0.1:0", "-m", "100",
+			"-faults", "serve.http:error:times=1",
+		}, io.Discard, ready, stop)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	defer func() {
+		close(stop)
+		<-errc
+	}()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("first request status = %d, want injected 503", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-fault status = %d, want 200", resp.StatusCode)
 	}
 }

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"gps/internal/fault"
 )
 
 // WriteFileAtomic writes a checkpoint produced by write to path with
@@ -30,6 +32,14 @@ func WriteFileAtomic(path string, write func(io.Writer) error) (int64, error) {
 	if err := write(tmp); err != nil {
 		return 0, err
 	}
+	if fault.Enabled() {
+		// Fires with the payload written but unsynced — the disk-full /
+		// I/O-error window; the deferred cleanup removes the temporary, so
+		// the previous checkpoint at path stays intact.
+		if err := fault.Hit(fault.CheckpointWrite); err != nil {
+			return 0, fmt.Errorf("checkpoint: %w", err)
+		}
+	}
 	n, err := tmp.Seek(0, io.SeekEnd)
 	if err != nil {
 		return 0, fmt.Errorf("checkpoint: %w", err)
@@ -37,6 +47,11 @@ func WriteFileAtomic(path string, write func(io.Writer) error) (int64, error) {
 	syncStart := time.Now()
 	if err := tmp.Sync(); err != nil {
 		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	if fault.Enabled() {
+		if err := fault.Hit(fault.CheckpointFsync); err != nil {
+			return 0, fmt.Errorf("checkpoint: %w", err)
+		}
 	}
 	observeFsync(syncStart)
 	name := tmp.Name()
@@ -46,6 +61,12 @@ func WriteFileAtomic(path string, write func(io.Writer) error) (int64, error) {
 		return 0, fmt.Errorf("checkpoint: %w", err)
 	}
 	tmp = nil
+	if fault.Enabled() {
+		if err := fault.Hit(fault.CheckpointRename); err != nil {
+			os.Remove(name)
+			return 0, fmt.Errorf("checkpoint: %w", err)
+		}
+	}
 	if err := os.Rename(name, path); err != nil {
 		os.Remove(name)
 		return 0, fmt.Errorf("checkpoint: %w", err)

@@ -1,0 +1,329 @@
+// Package client is the at-least-once ingest client for the serve API: the
+// other half of the server's sequence-deduplicated ingest contract.
+//
+// Every batch is stamped with a client-chosen source name and a
+// monotonically increasing sequence number (the X-GPS-Source / X-GPS-Seq
+// headers). Transient failures — connection errors, 429 load shedding,
+// 5xx — are retried with capped exponential backoff and deterministic
+// jitter, honoring the server's Retry-After when present. Because retries
+// reuse the batch's sequence number, a batch whose acknowledgement was
+// lost (applied on the server, 202 never seen) is answered
+// {"duplicate": true} on retry instead of being applied twice:
+// at-least-once delivery, exactly-once application.
+//
+// The client is safe for concurrent use, but batches sent concurrently
+// from one client race for sequence numbers and may be acknowledged out of
+// order; the server's watermark then treats a delayed lower sequence as a
+// duplicate. Send a source's batches from one goroutine (or one client per
+// goroutine with distinct sources) when every batch must land.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"gps/internal/graph"
+	"gps/internal/randx"
+	"gps/internal/stream"
+)
+
+// Config parameterizes a Client. The zero value of every field has a
+// usable default except BaseURL, which is required.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Source names this client's stream for the server's dedup watermark.
+	// Empty disables sequencing (fire-and-forget ingest, no retry dedup).
+	Source string
+	// MaxAttempts bounds tries per request (first try included); <= 0
+	// means 6.
+	MaxAttempts int
+	// BaseBackoff is the first retry delay, doubled per attempt up to
+	// MaxBackoff; <= 0 means 100ms (capped at 5s by default).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff; <= 0 means 5s.
+	MaxBackoff time.Duration
+	// Seed makes the retry jitter deterministic for tests; 0 derives one
+	// from the source name.
+	Seed uint64
+	// HTTPClient overrides the transport; nil means http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// Client talks to a serve.Server. Construct with New.
+type Client struct {
+	cfg  Config
+	http *http.Client
+	seq  atomic.Uint64
+	rng  struct {
+		mu  chan struct{} // 1-token semaphore; randx.RNG is not goroutine-safe
+		rnd *randx.RNG
+	}
+}
+
+// RetryError is returned when a request exhausted its attempts; it carries
+// the last failure so callers can distinguish overload from hard errors.
+type RetryError struct {
+	Attempts int
+	Last     error
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("client: giving up after %d attempts: %v", e.Attempts, e.Last)
+}
+
+func (e *RetryError) Unwrap() error { return e.Last }
+
+// StatusError is a non-2xx response that is not retryable (or that
+// exhausted retries), with the decoded server error message when present.
+type StatusError struct {
+	Status  int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: server answered %d: %s", e.Status, e.Message)
+}
+
+// New builds a client for the server at cfg.BaseURL.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("client: BaseURL is required")
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 6
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+		for _, b := range []byte(cfg.Source) {
+			seed = randx.Mix64(seed ^ uint64(b))
+		}
+	}
+	c := &Client{cfg: cfg, http: cfg.HTTPClient}
+	if c.http == nil {
+		c.http = http.DefaultClient
+	}
+	c.rng.mu = make(chan struct{}, 1)
+	c.rng.mu <- struct{}{}
+	c.rng.rnd = randx.New(seed)
+	return c, nil
+}
+
+// IngestResult reports one acknowledged batch.
+type IngestResult struct {
+	// Accepted is the number of edges the server admitted (0 for a
+	// deduplicated retry — the batch was already applied).
+	Accepted int `json:"accepted"`
+	// Duplicate reports that the server had already acknowledged this
+	// sequence number; the batch was not re-applied.
+	Duplicate bool `json:"duplicate"`
+	// SkippedSelfLoops counts self-loop records the server's reader
+	// skipped per the shared stream policy.
+	SkippedSelfLoops int `json:"skipped_self_loops"`
+	// Seq is the sequence number the batch was sent (and retried) under;
+	// 0 when the client is unsequenced.
+	Seq uint64
+	// Attempts is how many tries the acknowledgement took.
+	Attempts int
+}
+
+// Ingest sends one batch in the binary wire format, retrying transient
+// failures until acknowledged or attempts are exhausted. With a configured
+// Source the batch carries a sequence number, so a retry after a lost
+// acknowledgement is deduplicated server-side rather than double-counted.
+func (c *Client) Ingest(ctx context.Context, edges []graph.Edge) (IngestResult, error) {
+	var body bytes.Buffer
+	if err := stream.WriteBinary(&body, edges); err != nil {
+		return IngestResult{}, fmt.Errorf("client: encode: %w", err)
+	}
+	var seq uint64
+	if c.cfg.Source != "" {
+		seq = c.seq.Add(1)
+	}
+	var res IngestResult
+	attempts, err := c.retry(ctx, func() (*http.Response, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			c.cfg.BaseURL+"/v1/ingest", bytes.NewReader(body.Bytes()))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", stream.BinaryContentType)
+		if seq != 0 {
+			req.Header.Set("X-GPS-Source", c.cfg.Source)
+			req.Header.Set("X-GPS-Seq", strconv.FormatUint(seq, 10))
+		}
+		return c.http.Do(req)
+	}, &res)
+	res.Seq = seq
+	res.Attempts = attempts
+	return res, err
+}
+
+// Flush blocks until every batch acknowledged before it has reached the
+// sampler — the client-side read-your-writes barrier.
+func (c *Client) Flush(ctx context.Context) error {
+	_, err := c.retry(ctx, func() (*http.Response, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+"/v1/flush", nil)
+		if err != nil {
+			return nil, err
+		}
+		return c.http.Do(req)
+	}, &struct{}{})
+	return err
+}
+
+// Estimate is the decoded /v1/estimate response.
+type Estimate struct {
+	Triangles    float64    `json:"triangles"`
+	TrianglesCI  [2]float64 `json:"triangles_ci95"`
+	Wedges       float64    `json:"wedges"`
+	WedgesCI     [2]float64 `json:"wedges_ci95"`
+	Clustering   float64    `json:"clustering"`
+	SampledEdges int        `json:"sampled_edges"`
+	Arrivals     uint64     `json:"arrivals"`
+	Threshold    float64    `json:"threshold"`
+	// Degraded marks a best-effort answer: the server lost edges in a
+	// shard recovery, or served a stale snapshot past its refresh
+	// deadline.
+	Degraded      bool    `json:"degraded"`
+	Decayed       bool    `json:"decayed"`
+	DecayedEdges  float64 `json:"decayed_edges"`
+	DecayHorizon  uint64  `json:"decay_horizon"`
+	SnapshotAgeMS float64 `json:"snapshot_age_ms"`
+}
+
+// Estimate queries /v1/estimate. maxStale < 0 uses the server's default
+// staleness bound; 0 demands a fresh snapshot.
+func (c *Client) Estimate(ctx context.Context, maxStale time.Duration) (Estimate, error) {
+	url := c.cfg.BaseURL + "/v1/estimate"
+	if maxStale >= 0 {
+		url += "?max_stale=" + maxStale.String()
+	}
+	var est Estimate
+	_, err := c.retry(ctx, func() (*http.Response, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		return c.http.Do(req)
+	}, &est)
+	return est, err
+}
+
+// retry runs send until a 2xx (decoded into out), a non-retryable status,
+// or exhausted attempts. Retryable: connection errors, 408, 429 and every
+// 5xx — the uniform transient class the server promises for overload and
+// injected faults. Retry-After (seconds) overrides the backoff when the
+// server provides it.
+func (c *Client) retry(ctx context.Context, send func() (*http.Response, error), out any) (attempts int, err error) {
+	var last error
+	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
+		resp, err := send()
+		if err != nil {
+			last = err
+			if ctx.Err() != nil {
+				return attempt, ctx.Err()
+			}
+			if !c.sleep(ctx, attempt, 0) {
+				return attempt, ctx.Err()
+			}
+			continue
+		}
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode >= 200 && resp.StatusCode < 300:
+			if rerr != nil {
+				return attempt, fmt.Errorf("client: read response: %w", rerr)
+			}
+			if err := json.Unmarshal(body, out); err != nil {
+				return attempt, fmt.Errorf("client: decode response: %w", err)
+			}
+			return attempt, nil
+		case retryable(resp.StatusCode):
+			last = &StatusError{Status: resp.StatusCode, Message: serverMessage(body)}
+			if !c.sleep(ctx, attempt, retryAfter(resp)) {
+				return attempt, ctx.Err()
+			}
+		default:
+			return attempt, &StatusError{Status: resp.StatusCode, Message: serverMessage(body)}
+		}
+	}
+	return c.cfg.MaxAttempts, &RetryError{Attempts: c.cfg.MaxAttempts, Last: last}
+}
+
+func retryable(status int) bool {
+	return status == http.StatusRequestTimeout ||
+		status == http.StatusTooManyRequests ||
+		status >= 500
+}
+
+// serverMessage extracts the {"error": ...} message the serve layer wraps
+// every failure in, falling back to the raw body.
+func serverMessage(body []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	if len(body) > 200 {
+		body = body[:200]
+	}
+	return string(bytes.TrimSpace(body))
+}
+
+// retryAfter parses a Retry-After header in seconds; 0 means absent.
+func retryAfter(resp *http.Response) time.Duration {
+	raw := resp.Header.Get("Retry-After")
+	if raw == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(raw)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// sleep waits out the backoff for attempt (1-based), preferring the
+// server's Retry-After hint. The delay is the capped exponential base
+// scaled by a uniform jitter in [0.5, 1.5) so a fleet of retrying clients
+// decorrelates instead of thundering back in lockstep. Returns false when
+// the context ended first.
+func (c *Client) sleep(ctx context.Context, attempt int, hint time.Duration) bool {
+	d := hint
+	if d == 0 {
+		d = c.cfg.BaseBackoff << (attempt - 1)
+		if d > c.cfg.MaxBackoff || d <= 0 {
+			d = c.cfg.MaxBackoff
+		}
+	}
+	<-c.rng.mu
+	jitter := 0.5 + c.rng.rnd.Uniform01()
+	c.rng.mu <- struct{}{}
+	d = time.Duration(float64(d) * jitter)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

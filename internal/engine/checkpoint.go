@@ -10,6 +10,7 @@ import (
 
 	"gps/internal/checkpoint"
 	"gps/internal/core"
+	"gps/internal/randx"
 )
 
 // GPSC engine payload (checkpoint.KindEngine): a container of per-shard
@@ -275,8 +276,17 @@ func ReadParallelCheckpoint(r io.Reader, resolve func(string) (core.WeightFunc, 
 			p.landmarkVal.Store(decay.Landmark)
 		}
 	}
+	// Re-derive the per-shard configs the original engine ran with (the
+	// derivation order from the root seed is fixed: merge seed first, then
+	// shard seeds) so the supervisor can rebuild a shard from scratch as a
+	// last resort. baseProcessed records the restored stream position — the
+	// edges such a rebuild would lose on top of the ring history.
+	sseeds := randx.New(seed)
+	_ = sseeds.Uint64() // merge seed slot in the derivation order
+	shardCap := shardCapacity(capacity, len(samplers))
 	for i, s := range samplers {
-		p.shards[i] = &shard{ring: newRing(DefaultRingCapacity), s: s}
+		scfg := core.Config{Capacity: shardCap, Weight: weightFn, Seed: sseeds.Uint64(), Decay: decay}
+		p.shards[i] = &shard{ring: newRing(DefaultRingCapacity), s: s, cfg: scfg, baseProcessed: s.Processed()}
 	}
 	p.startShards()
 	return p, weightName, nil

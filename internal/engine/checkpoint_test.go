@@ -2,10 +2,15 @@ package engine
 
 import (
 	"bytes"
+	"io"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
+	"gps/internal/checkpoint"
 	"gps/internal/core"
+	"gps/internal/fault"
 	"gps/internal/gen"
 	"gps/internal/graph"
 )
@@ -105,6 +110,118 @@ func TestCrashRestartEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	requireSameSignature(t, "restored snapshot vs merge", snap, mRestored)
+}
+
+// TestCrashRestartEquivalenceUnderFaults extends the crash-equivalence
+// harness with injected checkpoint failures: with a good checkpoint on
+// disk, a later checkpoint attempt that dies at the payload write, the
+// fsync, or the publishing rename must change nothing — no torn
+// ckpt-*.gpsc, no leftover temporary, the previous file byte-identical —
+// and restoring from the directory must still finish the stream
+// bit-identical to an uninterrupted run.
+func TestCrashRestartEquivalenceUnderFaults(t *testing.T) {
+	edges := testStream(2000, 40_000, 0xC4A5)
+	const m, P, batch = 5_000, 2, 1024
+	cfg := core.Config{Capacity: m, Seed: 0xD07}
+
+	full, err := NewParallel(cfg, P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	feedBatches(full, edges, batch)
+	mFull, err := full.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := NewParallel(cfg, P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	dir := t.TempDir()
+	writeTo := func(path string) error {
+		_, err := checkpoint.WriteFileAtomic(path, func(w io.Writer) error {
+			_, err := p.WriteCheckpoint(w, "uniform")
+			return err
+		})
+		return err
+	}
+
+	cut := (len(edges) * 2 / 5) / batch * batch
+	feedBatches(p, edges[:cut], batch)
+	good := filepath.Join(dir, "ckpt-000001"+checkpoint.FileExt)
+	if err := writeTo(good); err != nil {
+		t.Fatal(err)
+	}
+	goodBytes, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	feedBatches(p, edges[cut:], batch)
+	for _, point := range []string{"checkpoint.write", "checkpoint.fsync", "checkpoint.rename"} {
+		armFaults(t, 1, point+":error:times=1")
+		err := writeTo(filepath.Join(dir, "ckpt-000002"+checkpoint.FileExt))
+		fault.Disarm()
+		if err == nil || !fault.IsInjected(err) {
+			t.Fatalf("%s: checkpoint error = %v, want the injected fault", point, err)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.Name() != filepath.Base(good) {
+				t.Fatalf("%s: torn artifact %q left in checkpoint dir", point, e.Name())
+			}
+		}
+		onDisk, err := os.ReadFile(good)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(onDisk, goodBytes) {
+			t.Fatalf("%s: previous checkpoint mutated by the failed write", point)
+		}
+	}
+
+	// The surviving checkpoint restores and finishes the stream exactly.
+	latest, err := checkpoint.Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest != good {
+		t.Fatalf("Latest = %q, want the pre-fault checkpoint %q", latest, good)
+	}
+	f, err := os.Open(latest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, _, err := ReadParallelCheckpoint(f, nil)
+	f.Close()
+	if err != nil {
+		t.Fatalf("restore after faulted checkpoints: %v", err)
+	}
+	defer restored.Close()
+	if got := restored.Processed(); got != uint64(cut) {
+		t.Fatalf("restored position %d, want %d", got, cut)
+	}
+	feedBatches(restored, edges[cut:], batch)
+	mRestored, err := restored.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameSignature(t, "restored-after-faults vs uninterrupted", mRestored, mFull)
+
+	// And once the schedule clears, the next checkpoint publishes normally.
+	next := filepath.Join(dir, "ckpt-000002"+checkpoint.FileExt)
+	if err := writeTo(next); err != nil {
+		t.Fatalf("checkpoint after faults cleared: %v", err)
+	}
+	if latest, err = checkpoint.Latest(dir); err != nil || latest != next {
+		t.Fatalf("Latest = %q, %v; want the recovered checkpoint %q", latest, err, next)
+	}
 }
 
 // TestCrashRestartEquivalenceTriangleWeight repeats the crash-restart

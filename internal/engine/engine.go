@@ -122,7 +122,6 @@ import (
 
 	"gps/internal/core"
 	"gps/internal/graph"
-	"gps/internal/obs"
 	"gps/internal/randx"
 )
 
@@ -198,6 +197,10 @@ type Parallel struct {
 	horizon     atomic.Uint64 // max event time admitted; mutated under decayMu, read lock-free
 	landmarkVal atomic.Uint64 // pinned landmark L (0 = not pinned yet); read lock-free
 
+	// restartsTotal counts shard consumer restarts across all shards
+	// (see supervisor.go); read lock-free by Restarts and the metrics.
+	restartsTotal atomic.Uint64
+
 	// met holds the engine-owned histograms (see metrics.go); initialized by
 	// startShards, attached to a registry by RegisterMetrics.
 	met engineMetrics
@@ -207,10 +210,35 @@ type shard struct {
 	ring *ring
 	s    *core.Sampler
 
+	// cfg is the per-shard sampler configuration (capacity share, derived
+	// seed) kept so the supervisor can rebuild the sampler from scratch
+	// when no immutable clone exists to restore from (see supervisor.go).
+	cfg core.Config
+
 	// epoch counts edges ever routed to this shard; producers bump it at
 	// admission (under admit.RLock), snapshot bookkeeping reads it with
 	// producers excluded, so any observed value is exact at a barrier.
 	epoch atomic.Uint64
+
+	// Self-healing state (see supervisor.go). restarts/lost/degraded/
+	// lastPanic are written by the shard's own supervisor and read
+	// lock-free by health queries. baseProcessed is the sampler's stream
+	// position when it was installed at construction (non-zero after a
+	// checkpoint restore) — the edges a from-scratch rebuild loses on top
+	// of everything the ring consumer ever drained.
+	restarts      atomic.Uint64
+	lost          atomic.Uint64
+	degraded      atomic.Bool
+	lastPanic     atomic.Value // string
+	baseProcessed uint64
+
+	// cloneHead is the consumer position (ring.head) at which the shard
+	// sampler's content last equaled lastClone — recorded when the clone
+	// is taken (rings drained, head == tail) and re-anchored by lossy
+	// recoveries. head == cloneHead means restoring from lastClone and
+	// replaying the ring backlog reproduces the pre-panic state bit for
+	// bit. Guarded by p.mu.
+	cloneHead uint64
 
 	// Dirty tracking for incremental snapshots; all guarded by p.mu.
 	snapEpoch uint64    // epoch the last clone was taken at
@@ -302,31 +330,21 @@ func newParallel(cfg core.Config, shards, ringCap int) (*Parallel, error) {
 		if err != nil {
 			return nil, err
 		}
-		p.shards[i] = &shard{ring: newRing(ringCap), s: s}
+		p.shards[i] = &shard{ring: newRing(ringCap), s: s, cfg: scfg}
 	}
 	p.startShards()
 	return p, nil
 }
 
-// startShards launches the consumer goroutines; shared by the constructor
-// and checkpoint restore.
+// startShards launches the supervised consumer goroutines; shared by the
+// constructor and checkpoint restore.
 func (p *Parallel) startShards() {
 	p.groups.New = func() any { return new(groupScratch) }
 	p.met.init()
-	for _, sh := range p.shards {
-		sh := sh
+	for i, sh := range p.shards {
+		i, sh := i, sh
 		p.wg.Add(1)
-		go func() {
-			defer p.wg.Done()
-			sh.ring.consume(func(edges []graph.Edge) {
-				start := obs.Start()
-				sh.s.ProcessBatch(edges)
-				if obs.Enabled {
-					p.met.drainNS.ObserveSince(start)
-					p.met.drainEdges.Observe(uint64(len(edges)))
-				}
-			})
-		}()
+		go p.runShard(i, sh)
 	}
 }
 
@@ -348,8 +366,11 @@ func shardCapacity(m, shards int) int {
 // Process routes one edge to its shard. It panics if p is closed.
 func (p *Parallel) Process(e graph.Edge) {
 	p.admit.RLock()
+	// Deferred (not inline) so an injected ring-publish panic escaping to a
+	// recovering caller cannot leave the admission lock held and wedge every
+	// future barrier.
+	defer p.admit.RUnlock()
 	if p.closed.Load() {
-		p.admit.RUnlock()
 		panic("engine: Process on closed Parallel")
 	}
 	if p.decay {
@@ -361,7 +382,6 @@ func (p *Parallel) Process(e graph.Edge) {
 		sh.epoch.Add(1)
 		sh.ring.append1(e)
 	}
-	p.admit.RUnlock()
 }
 
 // ProcessBatch routes a batch of edges to their shards: one grouping pass
@@ -371,30 +391,29 @@ func (p *Parallel) Process(e graph.Edge) {
 // either none or all of it. It panics if p is closed.
 func (p *Parallel) ProcessBatch(edges []graph.Edge) {
 	p.admit.RLock()
+	// Deferred so a panic escaping mid-admission (e.g. an injected
+	// ring-publish fault caught by a recovering caller) cannot wedge the
+	// admission lock. Batch granularity makes the defer cost negligible.
+	defer p.admit.RUnlock()
 	if p.closed.Load() {
-		p.admit.RUnlock()
 		panic("engine: ProcessBatch on closed Parallel")
 	}
 	if len(edges) == 0 {
-		p.admit.RUnlock()
 		return
 	}
 	if p.decay {
 		p.admitDecayed(edges)
-		p.admit.RUnlock()
 		return
 	}
 	if len(p.shards) == 1 {
 		sh := p.shards[0]
 		sh.epoch.Add(uint64(len(edges)))
 		sh.ring.append(edges)
-		p.admit.RUnlock()
 		return
 	}
 	g := p.groups.Get().(*groupScratch)
 	p.groupAndAppend(g, edges, false)
 	p.groups.Put(g)
-	p.admit.RUnlock()
 }
 
 // groupAndAppend runs the counting-sort router: pass 1 hashes every edge to
@@ -459,8 +478,8 @@ func (p *Parallel) groupAndAppend(g *groupScratch, edges []graph.Edge, stamp boo
 func (p *Parallel) admitDecayed(edges []graph.Edge) {
 	g := p.groups.Get().(*groupScratch)
 	p.decayMu.Lock()
+	defer p.decayMu.Unlock()
 	p.groupAndAppend(g, edges, true)
-	p.decayMu.Unlock()
 	p.groups.Put(g)
 }
 
@@ -641,6 +660,10 @@ func (p *Parallel) acquireCloneLocked(sh *shard, wg *sync.WaitGroup) (ref *shard
 	}
 	sh.lastClone = ref
 	sh.snapEpoch = epoch
+	// The rings are drained (head == tail), so the clone's content is the
+	// sampler at exactly this consumer position — the anchor the supervisor
+	// needs to tell an exact restore from a lossy one.
+	sh.cloneHead = sh.ring.head.Load()
 	wg.Add(1)
 	go func() {
 		defer wg.Done()

@@ -92,6 +92,24 @@ func (p *Parallel) RegisterMetrics(reg *obs.Registry) {
 		"Clean shards that reused their previous immutable clone.",
 		func() uint64 { _, _, r := p.SnapshotStats(); return r })
 
+	reg.RegisterCounterFunc("gps_engine_shard_restarts_total",
+		"Shard consumer panics recovered by the supervisor.",
+		p.restartsTotal.Load)
+	reg.RegisterCounterFunc("gps_engine_shard_lost_edges_total",
+		"Edges dropped by lossy shard recoveries (gaps, quarantines, rebuilds).",
+		p.LostEdges)
+	reg.RegisterGaugeFunc("gps_engine_shards_degraded",
+		"Shards whose sampler has diverged from the fault-free run (sticky).",
+		func() float64 {
+			n := 0
+			for _, sh := range p.shards {
+				if sh.degraded.Load() {
+					n++
+				}
+			}
+			return float64(n)
+		})
+
 	reg.RegisterCounterFunc("gps_engine_checkpoints_total", "Checkpoints serialized.",
 		func() uint64 { c, _, _ := p.CheckpointStats(); return c })
 	reg.RegisterCounterFunc("gps_engine_checkpoint_shards_encoded_total",

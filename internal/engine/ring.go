@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gps/internal/fault"
 	"gps/internal/graph"
 )
 
@@ -73,6 +74,13 @@ func newRing(capacity int) *ring {
 // per-shard run order is the append order, so concurrent producers to the
 // same shard serialize here (and nowhere else).
 func (r *ring) append(edges []graph.Edge) {
+	if fault.Enabled() {
+		// Before the lock: an injected panic here unwinds the producer
+		// (serve's ingest loop recovers and drops the batch) without
+		// wedging the ring mutex. Error rules are meaningless at an append
+		// that cannot fail, so only latency and panic kinds apply.
+		_ = fault.Hit(fault.RingPublish)
+	}
 	r.mu.Lock()
 	for len(edges) > 0 {
 		tail := r.tail.Load()
@@ -136,6 +144,19 @@ func (r *ring) drainWait() {
 	}
 	r.waiters.Add(-1)
 	r.mu.Unlock()
+}
+
+// skipAll discards every queued edge, returning how many were dropped:
+// head jumps to tail and any waiting producers or barriers are woken.
+// Only the consumer side (the shard supervisor, quarantining a poisonous
+// backlog) may call it — head is consumer-owned.
+func (r *ring) skipAll() int {
+	r.mu.Lock()
+	head, tail := r.head.Load(), r.tail.Load()
+	r.head.Store(tail)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	return int(tail - head)
 }
 
 // close marks the ring closed and wakes the consumer; the consumer drains

@@ -1,0 +1,9 @@
+//go:build !gps_nofault
+
+package fault
+
+// Enabled gates every fault point. Disarmed it is a single atomic load
+// returning false, so production hot paths pay one predicted branch; the
+// gps_nofault build tag replaces it with a constant false that
+// dead-code-eliminates the guarded sites entirely.
+func Enabled() bool { return armed.Load() }

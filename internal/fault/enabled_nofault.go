@@ -1,0 +1,9 @@
+//go:build gps_nofault
+
+package fault
+
+// Enabled is constant false under the gps_nofault build tag: every fault
+// point guarded by it is compiled out, proving the production binary
+// carries no injection dependency and giving the overhead benchmark its
+// faultless baseline.
+func Enabled() bool { return false }

@@ -1,0 +1,553 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gps/internal/fault"
+	"gps/internal/gen"
+	"gps/internal/graph"
+	"gps/internal/stream"
+)
+
+// armServeFaults arms a fault spec for the duration of the test.
+func armServeFaults(t *testing.T, seed uint64, spec string) {
+	t.Helper()
+	rules, err := fault.ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("fault spec %q: %v", spec, err)
+	}
+	fault.Arm(seed, rules)
+	t.Cleanup(fault.Disarm)
+	if !fault.Enabled() {
+		t.Skip("fault injection compiled out (gps_nofault)")
+	}
+}
+
+// postSequenced posts a batch with the at-least-once dedup headers.
+func postSequenced(t *testing.T, url, source string, seq uint64, edges []graph.Edge) *http.Response {
+	t.Helper()
+	var body bytes.Buffer
+	if err := stream.WriteEdgeList(&body, edges); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/ingest", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	req.Header.Set("X-GPS-Source", source)
+	req.Header.Set("X-GPS-Seq", fmtUint(seq))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func fmtUint(v uint64) string {
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return string(buf[i:])
+}
+
+// waitProcessed polls /v1/stats until edges_processed reaches want.
+func waitProcessed(t *testing.T, url string, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := decodeJSON[StatsV1](t, resp)
+		if st.EdgesProcessed >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("edges_processed = %d, want >= %d", st.EdgesProcessed, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServeIngestDedup: a retried sequence number is acknowledged without
+// re-feeding the sampler — the server half of the at-least-once contract.
+func TestServeIngestDedup(t *testing.T) {
+	edges := gen.ErdosRenyi(60, 400, 3)
+	_, ts := newTestServer(t, Config{Capacity: 1000, Seed: 1})
+
+	resp := postSequenced(t, ts.URL, "loader-a", 1, edges[:200])
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first seq: status %d", resp.StatusCode)
+	}
+	if body := decodeJSON[map[string]any](t, resp); body["duplicate"] != nil {
+		t.Fatalf("first delivery flagged duplicate: %v", body)
+	}
+	// The retry of an acknowledged sequence applies nothing.
+	resp = postSequenced(t, ts.URL, "loader-a", 1, edges[:200])
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("duplicate seq: status %d", resp.StatusCode)
+	}
+	if body := decodeJSON[map[string]any](t, resp); body["duplicate"] != true || body["accepted"].(float64) != 0 {
+		t.Fatalf("duplicate response = %v", body)
+	}
+	// A different source has its own watermark.
+	resp = postSequenced(t, ts.URL, "loader-b", 1, edges[200:])
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("other source: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	flush(t, ts.URL)
+
+	resp, err := http.Get(ts.URL + "/v1/estimate?max_stale=0s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := decodeJSON[estimateResponse](t, resp)
+	if est.Arrivals != uint64(len(edges)) {
+		t.Fatalf("arrivals = %d, want %d (duplicate batch must not re-apply)", est.Arrivals, len(edges))
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := decodeJSON[StatsV1](t, resp); st.DuplicateBatches != 1 {
+		t.Fatalf("duplicate_batches = %d, want 1", st.DuplicateBatches)
+	}
+}
+
+// TestServeIngestSeqValidation: malformed dedup headers are client errors.
+func TestServeIngestSeqValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Capacity: 100, Seed: 1})
+	for _, hdr := range []struct{ source, seq string }{
+		{"loader", ""},     // source without seq
+		{"loader", "zero"}, // non-numeric
+		{"loader", "0"},    // sequence numbers start at 1
+		{"loader", "-4"},   // negative
+	} {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/ingest", strings.NewReader("1 2\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-GPS-Source", hdr.source)
+		if hdr.seq != "" {
+			req.Header.Set("X-GPS-Seq", hdr.seq)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("seq %q: status %d (%s), want 400", hdr.seq, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestServeIngestAckFault simulates the lost-acknowledgement failure the
+// dedup watermark exists for: the batch is committed but the 202 is
+// replaced by an injected 503. The client's retry of the same sequence
+// dedups instead of double-applying.
+func TestServeIngestAckFault(t *testing.T) {
+	edges := gen.ErdosRenyi(50, 300, 9)
+	_, ts := newTestServer(t, Config{Capacity: 1000, Seed: 2})
+	armServeFaults(t, 7, "serve.ingest.ack:error:times=1")
+
+	resp := postSequenced(t, ts.URL, "loader", 1, edges)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("faulted ack: status %d (%s), want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("faulted ack carries no Retry-After")
+	}
+	// Retry as an at-least-once client would: same source, same seq.
+	resp = postSequenced(t, ts.URL, "loader", 1, edges)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("retry: status %d", resp.StatusCode)
+	}
+	if body := decodeJSON[map[string]any](t, resp); body["duplicate"] != true {
+		t.Fatalf("retry not deduplicated: %v", body)
+	}
+	fault.Disarm()
+	flush(t, ts.URL)
+
+	resp, err := http.Get(ts.URL + "/v1/estimate?max_stale=0s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est := decodeJSON[estimateResponse](t, resp); est.Arrivals != uint64(len(edges)) {
+		t.Fatalf("arrivals = %d, want %d (exactly-once application)", est.Arrivals, len(edges))
+	}
+}
+
+// TestServeHTTPFault: the route-level fault point turns any request into a
+// uniform 503 + Retry-After — the transient-failure class clients retry on.
+func TestServeHTTPFault(t *testing.T) {
+	_, ts := newTestServer(t, Config{Capacity: 100, Seed: 3})
+	armServeFaults(t, 7, "serve.http:error:times=1")
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("no Retry-After on injected 503")
+	}
+	if !strings.Contains(string(body), "injected") {
+		t.Fatalf("body %q does not surface the injected error", body)
+	}
+	// The rule is exhausted: the service is healthy again.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-fault status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestServeStreamDecodeFault: a decode-layer fault surfaces as a 400 — the
+// client-error class — never a 500.
+func TestServeStreamDecodeFault(t *testing.T) {
+	_, ts := newTestServer(t, Config{Capacity: 100, Seed: 4})
+	armServeFaults(t, 7, "stream.decode:error:times=1")
+	resp, err := http.Post(ts.URL+"/v1/ingest", "text/plain", strings.NewReader("1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d (%s), want 400", resp.StatusCode, body)
+	}
+}
+
+// TestServeEstimateDeadline: a refresh held open past EstimateDeadline
+// falls back to the previous snapshot flagged degraded; with no previous
+// snapshot the query sheds with 503.
+func TestServeEstimateDeadline(t *testing.T) {
+	edges := gen.ErdosRenyi(80, 600, 5)
+	_, ts := newTestServer(t, Config{Capacity: 1000, Seed: 5, EstimateDeadline: 60 * time.Millisecond})
+
+	// No snapshot yet + stuck refresh: the deadline sheds the query.
+	armServeFaults(t, 7, "serve.snapshot:latency:delay=400ms,times=2")
+	resp, err := http.Get(ts.URL + "/v1/estimate?max_stale=0s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("no-snapshot deadline: status %d (%s), want 503", resp.StatusCode, body)
+	}
+	fault.Disarm()
+
+	// The stalled refresh keeps running in the background and installs its
+	// snapshot when the injected delay elapses; wait for the cache to turn
+	// healthy — that snapshot is the stale-fallback anchor for the next
+	// phase.
+	var primed estimateResponse
+	primeDeadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/estimate?max_stale=0s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			primed = decodeJSON[estimateResponse](t, resp)
+			break
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if time.Now().After(primeDeadline) {
+			t.Fatal("estimate never recovered after the stalled refresh")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if primed.Degraded {
+		t.Fatal("healthy estimate flagged degraded")
+	}
+	resp = postEdges(t, ts.URL, edges, false)
+	resp.Body.Close()
+	waitProcessed(t, ts.URL, uint64(len(edges)))
+	armServeFaults(t, 7, "serve.snapshot:latency:delay=400ms,times=1")
+	start := time.Now()
+	resp, err = http.Get(ts.URL + "/v1/estimate?max_stale=0s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale fallback status = %d, want 200", resp.StatusCode)
+	}
+	est := decodeJSON[estimateResponse](t, resp)
+	if waited := time.Since(start); waited > 300*time.Millisecond {
+		t.Fatalf("deadline did not bound the wait: %v", waited)
+	}
+	if !est.Degraded {
+		t.Fatal("stale fallback not flagged degraded")
+	}
+	if est.Arrivals != primed.Arrivals {
+		t.Fatalf("fallback arrivals = %d, want the primed snapshot's %d", est.Arrivals, primed.Arrivals)
+	}
+	fault.Disarm()
+
+	// The stalled refresh finished in the background; strict freshness works
+	// again and covers the new edges.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err = http.Get(ts.URL + "/v1/estimate?max_stale=0s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		est = decodeJSON[estimateResponse](t, resp)
+		if est.Arrivals == uint64(len(edges)) && !est.Degraded {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("estimate never recovered: arrivals=%d degraded=%v", est.Arrivals, est.Degraded)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := decodeJSON[StatsV1](t, resp); st.DegradedQueries == 0 {
+		t.Fatal("degraded_queries counter did not move")
+	}
+}
+
+// TestServeQueryShedding: more concurrent estimates than
+// MaxInflightQueries are shed with 429 + Retry-After.
+func TestServeQueryShedding(t *testing.T) {
+	_, ts := newTestServer(t, Config{Capacity: 100, Seed: 6, MaxInflightQueries: 1})
+	// Hold the only slot open with a stalled forced-fresh refresh.
+	armServeFaults(t, 7, "serve.snapshot:latency:delay=500ms,times=1")
+	first := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/estimate?max_stale=0s")
+		if err != nil {
+			first <- -1
+			return
+		}
+		resp.Body.Close()
+		first <- resp.StatusCode
+	}()
+	// Wait (via /v1/stats, which is never shed) until the slow query has
+	// been admitted and occupies the only slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := decodeJSON[StatsV1](t, resp)
+		if st.InflightQueries >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slow query never occupied the slot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err := http.Get(ts.URL + "/v1/estimate?max_stale=0s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response carries no Retry-After")
+	}
+	if status := <-first; status != http.StatusOK {
+		t.Fatalf("slot-holding query status = %d", status)
+	}
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := decodeJSON[StatsV1](t, resp); st.QueriesShed == 0 {
+		t.Fatal("queries_shed counter did not move")
+	}
+}
+
+// TestServeIngestPanicRecovery: a panic escaping the engine's admission
+// path (injected at the ring publish) is recovered by the ingest loop —
+// the service keeps serving and the loss is counted, and a flush behind
+// the poisoned batch still completes.
+func TestServeIngestPanicRecovery(t *testing.T) {
+	edges := gen.ErdosRenyi(60, 500, 11)
+	_, ts := newTestServer(t, Config{Capacity: 1000, Seed: 7})
+	armServeFaults(t, 7, "engine.ring.publish:panic:times=1")
+	resp := postEdges(t, ts.URL, edges[:250], false)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	flush(t, ts.URL) // the marker behind the dropped batch must still ack
+	fault.Disarm()
+
+	resp = postEdges(t, ts.URL, edges[250:], false)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-recovery ingest status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	flush(t, ts.URL)
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeJSON[StatsV1](t, resp)
+	if st.IngestPanics != 1 {
+		t.Fatalf("ingest_panics = %d, want 1", st.IngestPanics)
+	}
+	if st.PendingBatches != 0 || st.PendingEdges != 0 {
+		t.Fatalf("pending counters leaked: batches=%d edges=%d", st.PendingBatches, st.PendingEdges)
+	}
+}
+
+// TestServeDegradedFromEngine: a lossy shard recovery (panic with no clone
+// to restore from) degrades the whole read path — shard health in stats,
+// degraded=true on estimates.
+func TestServeDegradedFromEngine(t *testing.T) {
+	edges := gen.ErdosRenyi(60, 500, 13)
+	_, ts := newTestServer(t, Config{Capacity: 1000, Seed: 8, Shards: 1})
+	// Drain a first batch cleanly so the scratch rebuild has something to
+	// lose (a panic on the very first span would replay it exactly).
+	resp := postEdges(t, ts.URL, edges[:250], false)
+	resp.Body.Close()
+	flush(t, ts.URL)
+	armServeFaults(t, 7, "engine.shard.drain:panic:times=1")
+	resp = postEdges(t, ts.URL, edges[250:], false)
+	resp.Body.Close()
+	flush(t, ts.URL)
+	fault.Disarm()
+
+	resp, err := http.Get(ts.URL + "/v1/estimate?max_stale=0s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est := decodeJSON[estimateResponse](t, resp); !est.Degraded {
+		t.Fatal("estimate after lossy recovery not flagged degraded")
+	}
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeJSON[StatsV1](t, resp)
+	if !st.Degraded || st.ShardRestarts != 1 || st.LostEdges == 0 {
+		t.Fatalf("stats = degraded=%v restarts=%d lost=%d, want degraded with 1 restart", st.Degraded, st.ShardRestarts, st.LostEdges)
+	}
+	if len(st.ShardHealth) != 1 || !strings.Contains(st.ShardHealth[0].LastPanic, "engine.shard.drain") {
+		t.Fatalf("shard_health = %+v", st.ShardHealth)
+	}
+}
+
+// TestServeCheckpointFaultClasses: an injected persistence failure answers
+// 503 + Retry-After (never 500), leaves no torn checkpoint file behind,
+// and the previous checkpoint stays restorable.
+func TestServeCheckpointFaultClasses(t *testing.T) {
+	dir := t.TempDir()
+	edges := gen.ErdosRenyi(60, 500, 17)
+	_, ts := newTestServer(t, Config{Capacity: 1000, Seed: 9, CheckpointDir: dir})
+	resp := postEdges(t, ts.URL, edges[:250], false)
+	resp.Body.Close()
+
+	// A good checkpoint first: the file the faulted attempt must not damage.
+	resp, err := http.Post(ts.URL+"/v1/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("baseline checkpoint status = %d", resp.StatusCode)
+	}
+	first := decodeJSON[map[string]any](t, resp)
+	firstPath := first["path"].(string)
+	firstBytes, err := os.ReadFile(firstPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp = postEdges(t, ts.URL, edges[250:], false)
+	resp.Body.Close()
+	for _, point := range []string{"checkpoint.write", "checkpoint.fsync", "checkpoint.rename"} {
+		armServeFaults(t, 7, point+":error:times=1")
+		resp, err = http.Post(ts.URL+"/v1/checkpoint", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s: status %d (%s), want 503", point, resp.StatusCode, body)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("%s: no Retry-After", point)
+		}
+		fault.Disarm()
+
+		// No torn artifacts: only completed .gpsc files and no leftovers.
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), ".gpsc") {
+				t.Fatalf("%s left a non-checkpoint artifact: %s", point, e.Name())
+			}
+		}
+		// The pre-fault checkpoint is byte-identical.
+		got, err := os.ReadFile(firstPath)
+		if err != nil {
+			t.Fatalf("%s clobbered the previous checkpoint: %v", point, err)
+		}
+		if !bytes.Equal(got, firstBytes) {
+			t.Fatalf("%s modified the previous checkpoint", point)
+		}
+	}
+
+	// With faults cleared the retry lands and covers everything.
+	resp, err = http.Post(ts.URL+"/v1/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := decodeJSON[map[string]any](t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry checkpoint failed: %v", final)
+	}
+	if pos := uint64(final["position"].(float64)); pos != uint64(len(edges)) {
+		t.Fatalf("retried checkpoint position = %d, want %d", pos, len(edges))
+	}
+	if _, err := os.Stat(filepath.Join(dir, filepath.Base(final["path"].(string)))); err != nil {
+		t.Fatal(err)
+	}
+}

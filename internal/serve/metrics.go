@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gps/internal/checkpoint"
+	"gps/internal/fault"
 	"gps/internal/obs"
 )
 
@@ -74,6 +75,18 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 					id, pattern, status, sw.bytes, float64(dur)/float64(time.Millisecond), r.RemoteAddr)
 			}
 		}()
+		if fault.Enabled() {
+			// Transient server-failure injection for every route, recorded
+			// by the deferred accounting above like any organic failure. An
+			// error rule answers 503 + Retry-After (the uniform overload
+			// class clients already retry on); a panic rule propagates to
+			// net/http, aborting the connection like a handler crash.
+			if err := fault.Hit(fault.HTTPRequest); err != nil {
+				sw.Header().Set("Retry-After", "1")
+				httpError(sw, http.StatusServiceUnavailable, err.Error())
+				return
+			}
+		}
 		h(sw, r)
 	})
 }
@@ -143,6 +156,21 @@ func (s *Server) registerMetrics() {
 		"Queries demanding max_stale=0 (a fresh snapshot).", s.snaps.met.forced)
 	s.reg.RegisterCounter("gps_serve_snapshot_estimate_reuse_total",
 		"Refreshes that reused the previous snapshot's estimates (only duplicates arrived).", s.snaps.met.estReuse)
+	s.reg.RegisterCounter("gps_serve_snapshot_deadline_stale_total",
+		"Queries served the previous snapshot because a refresh missed the deadline.", s.snaps.met.staleServe)
+
+	// Degradation and overload protection.
+	s.reg.RegisterCounterFunc("gps_serve_shed_total",
+		"Requests shed by overload protection (429/503 with Retry-After).", s.shedTotal.Load)
+	s.reg.RegisterCounterFunc("gps_serve_degraded_queries_total",
+		"Estimate/subgraph responses flagged degraded (lossy recovery or deadline fallback).", s.degradedQueries.Load)
+	s.reg.RegisterCounterFunc("gps_serve_duplicate_batches_total",
+		"Ingest batches answered from the sequence dedup watermark without re-application.", s.duplicateBatches.Load)
+	s.reg.RegisterCounterFunc("gps_serve_ingest_panics_total",
+		"Panics recovered by the ingest loop (the batch may be partially applied).", s.ingestPanics.Load)
+	s.reg.RegisterGaugeFunc("gps_serve_inflight_queries",
+		"Estimate/subgraph queries currently admitted.",
+		func() float64 { return float64(s.inflightQueries.Load()) })
 
 	// Estimator self-telemetry, read from the current immutable snapshot
 	// (zero until the first query takes one). The live shard samplers are

@@ -42,6 +42,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -50,6 +51,7 @@ import (
 	"gps/internal/checkpoint"
 	"gps/internal/core"
 	"gps/internal/engine"
+	"gps/internal/fault"
 	"gps/internal/graph"
 	"gps/internal/obs"
 	"gps/internal/stream"
@@ -90,6 +92,16 @@ type Config struct {
 	// a third edge-list column; untimed edges decay by stream position.
 	// 0 (the default) disables decay.
 	HalfLife float64
+	// EstimateDeadline bounds how long an estimate/subgraph query waits for
+	// a snapshot refresh. Past the deadline the previous snapshot is served
+	// with "degraded": true instead of blocking the caller — graceful
+	// degradation under a slow or faulted refresh. 0 (the default) waits
+	// indefinitely, preserving strict freshness.
+	EstimateDeadline time.Duration
+	// MaxInflightQueries bounds concurrently admitted estimate/subgraph
+	// queries; beyond it requests are shed with 429 + Retry-After instead
+	// of queueing behind the snapshot cache. <= 0 disables shedding.
+	MaxInflightQueries int
 
 	// RestoreFrom restores the sampler data plane on boot from a GPSC
 	// checkpoint: a file path, or a directory whose newest *.gpsc file is
@@ -143,6 +155,23 @@ type Server struct {
 	decayMode      atomic.Int32  // 0 undecided, 1 event-timed, 2 untimed (decayed servers only)
 	pendingEdges   atomic.Int64
 	pendingBatches atomic.Int64
+
+	// At-least-once ingest dedup: the highest sequence number acknowledged
+	// per X-GPS-Source, guarded by seqMu. A retried batch (seq <= seen) is
+	// answered 202 {"duplicate": true} without touching the sampler, so a
+	// client that lost an acknowledgement can retry safely. The map is
+	// process-local: after a restart the first seq seen per source
+	// re-initializes it (the samplers' own duplicate-ignoring covers
+	// re-ingest of resident edges).
+	seqMu   sync.Mutex
+	seqSeen map[string]uint64
+
+	// Degradation and overload telemetry.
+	inflightQueries  atomic.Int64
+	shedTotal        atomic.Uint64 // requests shed by overload protection
+	degradedQueries  atomic.Uint64 // estimate responses flagged degraded
+	duplicateBatches atomic.Uint64 // ingest batches deduplicated by sequence
+	ingestPanics     atomic.Uint64 // panics recovered in the ingest loop
 
 	// Durability state. ckptMu serializes file writes and retention so a
 	// manual POST /v1/checkpoint cannot interleave with the periodic
@@ -257,6 +286,7 @@ func NewServer(cfg Config) (*Server, error) {
 		par:              par,
 		queue:            make(chan ingestItem, cfg.QueueDepth),
 		done:             make(chan struct{}),
+		seqSeen:          make(map[string]uint64),
 		start:            time.Now(),
 		restoredFrom:     restoredFrom,
 		restoredPosition: restoredPosition,
@@ -266,7 +296,7 @@ func NewServer(cfg Config) (*Server, error) {
 	// keeps working across a restart.
 	s.edgesProcessed.Store(restoredPosition)
 	s.lastCheckpointErr.Store("")
-	s.snaps = newSnapshotCache(par.Snapshot, s.edgesProcessed.Load)
+	s.snaps = newSnapshotCache(par.Snapshot, s.edgesProcessed.Load, par.Degraded)
 	if cfg.LogRequests {
 		s.logw = cfg.LogWriter
 		if s.logw == nil {
@@ -335,7 +365,22 @@ func (s *Server) ingestLoop() {
 	handle := func(it ingestItem) {
 		s.pendingBatches.Add(-1)
 		if len(it.edges) > 0 {
-			s.par.ProcessBatch(it.edges)
+			// Recover a panic escaping admission (e.g. an injected
+			// ring-publish fault): the batch may be partially applied, but
+			// the loop — the only feeder of the sampler — must survive, and
+			// a pending flush marker behind the batch must still be acked.
+			// The stream position advances regardless so it stays an upper
+			// bound on arrivals (the snapshot cache's "provably current"
+			// check compares for equality, which a dropped batch only makes
+			// conservative); the loss itself is visible in ingest_panics.
+			func() {
+				defer func() {
+					if rec := recover(); rec != nil {
+						s.ingestPanics.Add(1)
+					}
+				}()
+				s.par.ProcessBatch(it.edges)
+			}()
 			s.pendingEdges.Add(-int64(len(it.edges)))
 			s.edgesProcessed.Add(uint64(len(it.edges)))
 		}
@@ -397,6 +442,53 @@ func (s *Server) parseBody(r *http.Request) (edges []graph.Edge, st stream.ReadS
 	return edges, st, body.tripped, err
 }
 
+// ingestSequence parses the at-least-once dedup headers: X-GPS-Source names
+// the client stream and X-GPS-Seq carries its monotonically increasing batch
+// sequence number (>= 1). Absent headers mean fire-and-forget ingest.
+func ingestSequence(r *http.Request) (source string, seq uint64, err error) {
+	source = r.Header.Get("X-GPS-Source")
+	if source == "" {
+		return "", 0, nil
+	}
+	raw := r.Header.Get("X-GPS-Seq")
+	if raw == "" {
+		return "", 0, errors.New("X-GPS-Source requires an X-GPS-Seq batch sequence number")
+	}
+	seq, perr := strconv.ParseUint(raw, 10, 64)
+	if perr != nil || seq == 0 {
+		return "", 0, fmt.Errorf("bad X-GPS-Seq %q (want a positive integer)", raw)
+	}
+	return source, seq, nil
+}
+
+// recordSequence advances the dedup watermark for source to seq. dup reports
+// that seq was already acknowledged (the batch must not be re-applied);
+// otherwise rollback undoes the advance, for batches that end up rejected —
+// the client will retry them with the same sequence number.
+func (s *Server) recordSequence(source string, seq uint64) (dup bool, rollback func()) {
+	if source == "" {
+		return false, func() {}
+	}
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
+	last, seen := s.seqSeen[source]
+	if seen && seq <= last {
+		return true, nil
+	}
+	s.seqSeen[source] = seq
+	return false, func() {
+		s.seqMu.Lock()
+		defer s.seqMu.Unlock()
+		if cur, ok := s.seqSeen[source]; ok && cur == seq {
+			if seen {
+				s.seqSeen[source] = last
+			} else {
+				delete(s.seqSeen, source)
+			}
+		}
+	}
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	edges, rst, tooBig, err := s.parseBody(r)
 	if err != nil {
@@ -406,6 +498,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	source, seq, err := ingestSequence(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	dup, rollbackSeq := s.recordSequence(source, seq)
+	if dup {
+		// The batch was applied (or at least acknowledged) on a previous
+		// attempt whose response the client lost: acknowledge again without
+		// re-feeding the sampler — at-least-once delivery, exactly-once
+		// application.
+		s.duplicateBatches.Add(1)
+		writeJSON(w, http.StatusAccepted, map[string]any{"accepted": 0, "duplicate": true})
 		return
 	}
 	if len(edges) == 0 {
@@ -422,6 +529,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			// abort the whole process; reject the batch while the error can
 			// still be an HTTP response.
 			s.met.decayRejects.Inc()
+			rollbackSeq()
 			httpError(w, http.StatusBadRequest, msg)
 			return
 		}
@@ -432,6 +540,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closed.Load() {
+		rollbackSeq()
 		httpError(w, http.StatusServiceUnavailable, "server closed")
 		return
 	}
@@ -445,6 +554,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.pendingBatches.Add(-1)
 		s.pendingEdges.Add(-int64(len(edges)))
 		s.batchesDropped.Add(1)
+		s.shedTotal.Add(1)
+		rollbackSeq()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, msg)
 	}
@@ -458,6 +569,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	case s.queue <- ingestItem{edges: edges}:
 		s.edgesAccepted.Add(uint64(len(edges)))
 		s.selfLoops.Add(uint64(rst.SelfLoops))
+		if fault.Enabled() {
+			// Lost-acknowledgement window: the batch is enqueued and its
+			// sequence recorded, but the 202 never reaches the client — the
+			// same shape as a connection cut after commit. A sequenced
+			// client retries and the dedup watermark answers "duplicate"
+			// without re-applying the batch.
+			if ferr := fault.Hit(fault.IngestAck); ferr != nil {
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusServiceUnavailable, ferr.Error())
+				return
+			}
+		}
 		writeJSON(w, http.StatusAccepted, map[string]any{
 			"accepted":           len(edges),
 			"skipped_self_loops": rst.SelfLoops,
@@ -659,6 +782,21 @@ func (s *Server) writeCheckpointFile() (path string, bytes int64, position uint6
 	return path, bytes, position, nil
 }
 
+// WriteCheckpointNow drains the ingest queue and persists one checkpoint
+// into CheckpointDir, returning where it landed — the programmatic form of
+// POST /v1/checkpoint. gps-serve calls it for the -checkpoint-on-shutdown
+// final checkpoint, after the HTTP listeners have drained and before Close.
+func (s *Server) WriteCheckpointNow(ctx context.Context) (path string, position uint64, err error) {
+	if s.cfg.CheckpointDir == "" {
+		return "", 0, errors.New("serve: no checkpoint directory configured")
+	}
+	if err := s.flushBarrier(ctx); err != nil {
+		return "", 0, err
+	}
+	path, _, position, err = s.writeCheckpointFile()
+	return path, position, err
+}
+
 // checkpointLoop is the periodic checkpointer: every CheckpointEvery it
 // drains the queue and persists a checkpoint, so a crash loses at most one
 // period of ingestion. Failures are surfaced through /v1/stats
@@ -695,7 +833,11 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	}
 	path, n, position, err := s.writeCheckpointFile()
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		// A persistence failure (disk full, I/O error) is a server-side
+		// condition the client can retry, not an opaque 500: the sampler
+		// state is intact and the previous checkpoint file is untouched.
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -763,6 +905,27 @@ func (s *Server) maxStale(r *http.Request) (time.Duration, error) {
 	return d, nil
 }
 
+// admitQuery reserves a slot for a snapshot-reading query. When more than
+// MaxInflightQueries are already running, the request is shed with 429 +
+// Retry-After instead of queueing behind the snapshot cache — bounded
+// latency for the admitted queries, an honest signal for the rest. release
+// must be called when the query finishes; ok=false means the response has
+// been written.
+func (s *Server) admitQuery(w http.ResponseWriter) (release func(), ok bool) {
+	if s.cfg.MaxInflightQueries <= 0 {
+		return func() {}, true
+	}
+	if n := s.inflightQueries.Add(1); n > int64(s.cfg.MaxInflightQueries) {
+		s.inflightQueries.Add(-1)
+		s.shedTotal.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("query load shed (more than %d estimates in flight); retry shortly", s.cfg.MaxInflightQueries))
+		return nil, false
+	}
+	return func() { s.inflightQueries.Add(-1) }, true
+}
+
 // estimateResponse is the JSON shape of /v1/estimate. With decay enabled
 // the counts target the forward-decayed totals at decay_horizon (the
 // stream's largest event time); the decay fields are omitted otherwise.
@@ -778,10 +941,14 @@ type estimateResponse struct {
 	Threshold      float64    `json:"threshold"`
 	SnapshotAgeMS  float64    `json:"snapshot_age_ms"`
 	SnapshotUnixNS int64      `json:"snapshot_unix_ns"`
-	Decayed        bool       `json:"decayed,omitempty"`
-	DecayedEdges   float64    `json:"decayed_edges,omitempty"`
-	DecayHorizon   uint64     `json:"decay_horizon,omitempty"`
-	DecayHalfLife  float64    `json:"decay_half_life,omitempty"`
+	// Degraded marks a best-effort answer: the engine lost edges to a lossy
+	// shard recovery, or the refresh missed EstimateDeadline and this is
+	// the previous snapshot.
+	Degraded      bool    `json:"degraded,omitempty"`
+	Decayed       bool    `json:"decayed,omitempty"`
+	DecayedEdges  float64 `json:"decayed_edges,omitempty"`
+	DecayHorizon  uint64  `json:"decay_horizon,omitempty"`
+	DecayHalfLife float64 `json:"decay_half_life,omitempty"`
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -790,10 +957,20 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	snap, err := s.snaps.get(stale)
+	release, ok := s.admitQuery(w)
+	if !ok {
+		return
+	}
+	defer release()
+	snap, staleServed, err := s.snaps.get(stale, s.cfg.EstimateDeadline)
 	if err != nil {
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
+	}
+	degraded := staleServed || snap.degraded
+	if degraded {
+		s.degradedQueries.Add(1)
 	}
 	s.met.snapAge.Observe(uint64(time.Since(snap.taken)))
 	est := snap.est
@@ -810,6 +987,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		Threshold:      snap.sampler.Threshold(),
 		SnapshotAgeMS:  float64(time.Since(snap.taken)) / float64(time.Millisecond),
 		SnapshotUnixNS: snap.taken.UnixNano(),
+		Degraded:       degraded,
 		Decayed:        est.Decayed,
 		DecayedEdges:   est.DecayedEdges,
 		DecayHorizon:   est.DecayHorizon,
@@ -847,10 +1025,20 @@ func (s *Server) handleSubgraph(w http.ResponseWriter, r *http.Request) {
 		}
 		edges = append(edges, graph.NewEdge(graph.NodeID(p[0]), graph.NodeID(p[1])))
 	}
-	snap, err := s.snaps.get(stale)
+	release, ok := s.admitQuery(w)
+	if !ok {
+		return
+	}
+	defer release()
+	snap, staleServed, err := s.snaps.get(stale, s.cfg.EstimateDeadline)
 	if err != nil {
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
+	}
+	degraded := staleServed || snap.degraded
+	if degraded {
+		s.degradedQueries.Add(1)
 	}
 	s.met.snapAge.Observe(uint64(time.Since(snap.taken)))
 	est := snap.sampler.SubgraphEstimate(edges...)
@@ -858,12 +1046,16 @@ func (s *Server) handleSubgraph(w http.ResponseWriter, r *http.Request) {
 	if est == 0 {
 		variance = 0 // est*(est-1) is -0 here; emit canonical 0 in JSON
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"estimate":        est,
 		"variance":        variance,
 		"arrivals":        snap.est.Arrivals,
 		"snapshot_age_ms": float64(time.Since(snap.taken)) / float64(time.Millisecond),
-	})
+	}
+	if degraded {
+		resp["degraded"] = true
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -1,32 +1,48 @@
 package serve
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"gps/internal/core"
+	"gps/internal/fault"
 	"gps/internal/obs"
 )
 
 // snapshot is one immutable query view: a merged sampler frozen at a
-// stream position, its pre-computed Algorithm 2 estimates, and when it was
-// taken. Any number of goroutines may read it concurrently; nothing ever
-// mutates it.
+// stream position, its pre-computed Algorithm 2 estimates, when it was
+// taken, and whether the engine was degraded at that point (a shard had
+// lost edges to a lossy recovery). Any number of goroutines may read it
+// concurrently; nothing ever mutates it.
 type snapshot struct {
-	sampler *core.Sampler
-	est     core.Estimates
-	taken   time.Time
+	sampler  *core.Sampler
+	est      core.Estimates
+	taken    time.Time
+	degraded bool
 }
+
+// errRefreshDeadline is returned when a refresh misses the deadline and no
+// previous snapshot exists to fall back on.
+var errRefreshDeadline = errors.New("snapshot refresh deadline exceeded and no cached snapshot to serve")
 
 // snapshotCache serves staleness-bounded snapshots with single-flight
 // refresh: readers whose bound is satisfied by the current snapshot load
-// it lock-free; readers that need a fresher one serialize on the mutex,
-// where the first performs the refresh (engine snapshot + EstimatePost)
-// and the rest find its result already installed when they get the lock.
-// A snapshot also satisfies any bound when the stream position has not
-// moved since it was taken — a forced-fresh query on an idle stream is
-// free instead of rebuilding an identical snapshot.
+// it lock-free; readers that need a fresher one join the in-flight
+// refresh — the first of them starts it on a background goroutine, the
+// rest wait on its completion channel. A snapshot also satisfies any
+// bound when the stream position has not moved since it was taken — a
+// forced-fresh query on an idle stream is free instead of rebuilding an
+// identical snapshot.
+//
+// Running the refresh off the request goroutine is what makes graceful
+// degradation possible: a reader with a deadline that expires mid-refresh
+// falls back to the previous snapshot (flagged degraded) — or sheds with
+// an error when none exists — while the refresh keeps running and
+// installs its result for the next reader. Invalidation bumps a
+// generation counter so a refresh that started before a flush can never
+// install (or hand out) a snapshot that misses the flushed writes.
 //
 // The cache keeps the previous snapshot alive across a refresh: the
 // engine's dirty-shard tracking makes the snapshot itself cheap when
@@ -37,31 +53,54 @@ type snapshot struct {
 type snapshotCache struct {
 	take     func() (*core.Sampler, error)
 	position func() uint64 // edges handed to the sampler so far
+	degraded func() bool   // engine lossy-recovery flag, stamped per snapshot
 	cur      atomic.Pointer[snapshot]
+
+	// mu guards gen and inflight; unlike earlier revisions it is NOT held
+	// across the refresh itself.
 	mu       sync.Mutex
-	met      cacheMetrics
+	gen      uint64     // bumped by invalidate; a refresh from an older gen discards
+	inflight *refreshOp // the single in-flight refresh, nil when idle
+
+	met cacheMetrics
+}
+
+// refreshOp is one background refresh: done closes when it finishes, after
+// which exactly one of snap/err is meaningful — or both nil when an
+// invalidation superseded the refresh and waiters must retry.
+type refreshOp struct {
+	done chan struct{}
+	snap *snapshot
+	err  error
 }
 
 // cacheMetrics counts how the cache answered: hits (served an existing
 // snapshot), refreshes (took a new one), forced-fresh demands (max_stale=0),
-// and refreshes cheap enough to reuse the previous estimates. The server
-// registers them; the cache records them.
+// refreshes cheap enough to reuse the previous estimates, and deadline
+// expiries served from the stale fallback. The server registers them; the
+// cache records them.
 type cacheMetrics struct {
-	hits      *obs.Counter
-	refreshes *obs.Counter
-	forced    *obs.Counter
-	estReuse  *obs.Counter
+	hits       *obs.Counter
+	refreshes  *obs.Counter
+	forced     *obs.Counter
+	estReuse   *obs.Counter
+	staleServe *obs.Counter
 }
 
-func newSnapshotCache(take func() (*core.Sampler, error), position func() uint64) *snapshotCache {
+func newSnapshotCache(take func() (*core.Sampler, error), position func() uint64, degraded func() bool) *snapshotCache {
+	if degraded == nil {
+		degraded = func() bool { return false }
+	}
 	return &snapshotCache{
 		take:     take,
 		position: position,
+		degraded: degraded,
 		met: cacheMetrics{
-			hits:      obs.NewCounter(),
-			refreshes: obs.NewCounter(),
-			forced:    obs.NewCounter(),
-			estReuse:  obs.NewCounter(),
+			hits:       obs.NewCounter(),
+			refreshes:  obs.NewCounter(),
+			forced:     obs.NewCounter(),
+			estReuse:   obs.NewCounter(),
+			staleServe: obs.NewCounter(),
 		},
 	}
 }
@@ -74,24 +113,68 @@ func (c *snapshotCache) fresh(s *snapshot, maxStale time.Duration) bool {
 	return time.Since(s.taken) <= maxStale || s.est.Arrivals == c.position()
 }
 
-// get returns a snapshot no older than maxStale.
-func (c *snapshotCache) get(maxStale time.Duration) (*snapshot, error) {
+// get returns a snapshot no older than maxStale. A non-zero deadline
+// bounds how long the caller waits for a refresh: past it, the previous
+// snapshot is served with stale=true (the caller flags the response
+// degraded), or errRefreshDeadline when there is none. deadline <= 0
+// waits indefinitely, preserving strict freshness.
+func (c *snapshotCache) get(maxStale, deadline time.Duration) (s *snapshot, stale bool, err error) {
 	if maxStale == 0 {
 		c.met.forced.Inc()
 	}
 	if s := c.cur.Load(); s != nil && c.fresh(s, maxStale) {
 		c.met.hits.Inc()
-		return s, nil
+		return s, false, nil
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	// A refresh that completed while this reader waited for the lock may
-	// already satisfy the bound.
-	if s := c.cur.Load(); s != nil && c.fresh(s, maxStale) {
-		c.met.hits.Inc()
-		return s, nil
+	var expired <-chan time.Time
+	if deadline > 0 {
+		t := time.NewTimer(deadline)
+		defer t.Stop()
+		expired = t.C
 	}
-	c.met.refreshes.Inc()
+	for {
+		c.mu.Lock()
+		// A refresh that completed while this reader was joining may
+		// already satisfy the bound.
+		if s := c.cur.Load(); s != nil && c.fresh(s, maxStale) {
+			c.mu.Unlock()
+			c.met.hits.Inc()
+			return s, false, nil
+		}
+		op := c.inflight
+		if op == nil {
+			op = &refreshOp{done: make(chan struct{})}
+			c.inflight = op
+			c.met.refreshes.Inc()
+			go c.refresh(op, c.gen)
+		}
+		c.mu.Unlock()
+		select {
+		case <-op.done:
+			if op.err != nil {
+				return nil, false, op.err
+			}
+			if op.snap != nil {
+				return op.snap, false, nil
+			}
+			// Superseded by an invalidation: retry against the new
+			// generation so the caller never reads pre-flush state.
+		case <-expired:
+			if s := c.cur.Load(); s != nil {
+				c.met.staleServe.Inc()
+				return s, true, nil
+			}
+			return nil, false, errRefreshDeadline
+		}
+	}
+}
+
+// refresh performs one engine snapshot + estimate on its own goroutine and
+// installs the result — unless the cache generation moved (a flush
+// invalidated concurrently), in which case the result is discarded and
+// waiters retry.
+func (c *snapshotCache) refresh(op *refreshOp, gen uint64) {
+	defer close(op.done)
 	// Stamp the age before the engine snapshot: the data is frozen at the
 	// barrier inside take(), so stamping afterwards would under-report the
 	// snapshot's age by the whole snapshot+estimate duration.
@@ -99,7 +182,18 @@ func (c *snapshotCache) get(maxStale time.Duration) (*snapshot, error) {
 	prev := c.cur.Load()
 	sampler, err := c.take()
 	if err != nil {
-		return nil, err
+		c.finish(op, nil, err)
+		return
+	}
+	degraded := c.degraded()
+	if fault.Enabled() {
+		// Between the engine barrier and the install: latency rules here
+		// hold the refresh open past query deadlines (exercising the
+		// stale-fallback path); error rules fail the refresh outright.
+		if ferr := fault.Hit(fault.SnapshotRefresh); ferr != nil {
+			c.finish(op, nil, ferr)
+			return
+		}
 	}
 	var est core.Estimates
 	if prev != nil && prev.est.Arrivals == sampler.Arrivals() &&
@@ -113,26 +207,42 @@ func (c *snapshotCache) get(maxStale time.Duration) (*snapshot, error) {
 	} else {
 		est = core.EstimatePost(sampler)
 	}
-	s := &snapshot{
-		sampler: sampler,
-		est:     est,
-		taken:   taken,
+	c.finishInstall(op, &snapshot{sampler: sampler, est: est, taken: taken, degraded: degraded}, gen)
+}
+
+// finish publishes a refresh outcome that installs nothing.
+func (c *snapshotCache) finish(op *refreshOp, s *snapshot, err error) {
+	c.mu.Lock()
+	op.snap, op.err = s, err
+	c.inflight = nil
+	c.mu.Unlock()
+}
+
+// finishInstall publishes a successful refresh, installing the snapshot
+// only if no invalidation superseded the refresh's generation.
+func (c *snapshotCache) finishInstall(op *refreshOp, s *snapshot, gen uint64) {
+	c.mu.Lock()
+	if c.gen == gen {
+		c.cur.Store(s)
+		op.snap = s
 	}
-	c.cur.Store(s)
-	return s, nil
+	c.inflight = nil
+	c.mu.Unlock()
 }
 
 // invalidate drops the cached snapshot unless it already reflects the
-// current stream position. The flush endpoint calls it to make
-// flush-then-estimate read-your-writes at any staleness bound. It takes
-// the refresh mutex so an in-flight refresh that began before the flushed
-// writes cannot install its (pre-flush) snapshot after the invalidation.
+// current stream position, and bumps the generation so an in-flight
+// refresh that began before the invalidation can neither install nor be
+// handed to waiters. The flush endpoint calls it to make
+// flush-then-estimate read-your-writes at any staleness bound.
 func (c *snapshotCache) invalidate() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if s := c.cur.Load(); s != nil && s.est.Arrivals != c.position() {
-		c.cur.Store(nil)
+	if s := c.cur.Load(); s != nil && s.est.Arrivals == c.position() {
+		return // already current: a racing refresh can only be newer
 	}
+	c.cur.Store(nil)
+	c.gen++
 }
 
 // current returns the cached snapshot (nil before the first query), for

@@ -3,6 +3,9 @@ package serve
 import (
 	"net/http"
 	"time"
+
+	"gps/internal/engine"
+	"gps/internal/fault"
 )
 
 // StatsV1 is the typed, versioned shape of GET /v1/stats. Field names and
@@ -42,6 +45,20 @@ type StatsV1 struct {
 	SnapshotArrivals uint64  `json:"snapshot_arrivals"`
 	UptimeMS         float64 `json:"uptime_ms"`
 
+	// Self-healing and degradation: per-shard supervisor health plus the
+	// serve-layer overload/degradation counters. Degraded means at least
+	// one shard lost edges to a lossy recovery — estimates remain best
+	// effort until the next checkpoint restore or restart.
+	Degraded         bool                 `json:"degraded"`
+	ShardRestarts    uint64               `json:"shard_restarts"`
+	LostEdges        uint64               `json:"lost_edges"`
+	ShardHealth      []engine.ShardHealth `json:"shard_health"`
+	QueriesShed      uint64               `json:"queries_shed"`
+	DegradedQueries  uint64               `json:"degraded_queries"`
+	DuplicateBatches uint64               `json:"duplicate_batches"`
+	IngestPanics     uint64               `json:"ingest_panics"`
+	InflightQueries  int64                `json:"inflight_queries"`
+
 	// Ingest data-plane gauges: racy point-in-time reads of the per-shard
 	// rings — depths/backlog move while we look, stalls is cumulative.
 	RingCapacity int      `json:"ring_capacity"`
@@ -67,6 +84,10 @@ type StatsV1 struct {
 
 	// Conditional: bound pprof listener address (present when -pprof is on).
 	PprofAddr string `json:"pprof_addr,omitempty"`
+
+	// Conditional: armed fault-injection rules (present only while the
+	// process runs with -faults; absent in production).
+	FaultPoints []fault.PointStatus `json:"fault_points,omitempty"`
 }
 
 // statsV1 assembles the /v1/stats document.
@@ -102,6 +123,19 @@ func (s *Server) statsV1() StatsV1 {
 		RingBacklog:          rs.Backlog,
 		RouterStalls:         rs.Stalls,
 		ShardEpochs:          rs.Epochs,
+		QueriesShed:          s.shedTotal.Load(),
+		DegradedQueries:      s.degradedQueries.Load(),
+		DuplicateBatches:     s.duplicateBatches.Load(),
+		IngestPanics:         s.ingestPanics.Load(),
+		InflightQueries:      s.inflightQueries.Load(),
+	}
+	st.ShardHealth, st.Degraded = s.par.Health()
+	st.ShardRestarts = s.par.Restarts()
+	st.LostEdges = s.par.LostEdges()
+	if fault.Enabled() {
+		// Armed fault-injection points (diagnostics for chaos runs): which
+		// rules exist, how often each point was traversed and fired.
+		st.FaultPoints = fault.Status()
 	}
 	if s.cfg.HalfLife > 0 {
 		st.DecayHalfLife = s.cfg.HalfLife
@@ -162,14 +196,22 @@ func (s *Server) metricsPartition() (statsCovered, metricsOnly []string) {
 		"gps_engine_snapshot_shards_cloned_total",    // shards_cloned
 		"gps_engine_snapshot_shards_reused_total",    // shards_reused
 		"gps_engine_snapshots_total",                 // snapshots
+		"gps_engine_shard_lost_edges_total",          // lost_edges
+		"gps_engine_shard_restarts_total",            // shard_restarts
+		"gps_engine_shards_degraded",                 // degraded / shard_health
 		"gps_serve_batches_rejected_total",           // batches_rejected
 		"gps_serve_checkpoint_files_total",           // checkpoints_written
+		"gps_serve_degraded_queries_total",           // degraded_queries
+		"gps_serve_duplicate_batches_total",          // duplicate_batches
 		"gps_serve_edges_accepted_total",             // edges_accepted
 		"gps_serve_edges_processed_total",            // edges_processed
+		"gps_serve_inflight_queries",                 // inflight_queries
+		"gps_serve_ingest_panics_total",              // ingest_panics
 		"gps_serve_queue_batches",                    // pending_batches
 		"gps_serve_queue_capacity",                   // queue_depth
 		"gps_serve_queue_edges",                      // pending_edges
 		"gps_serve_self_loops_total",                 // self_loops_skipped
+		"gps_serve_shed_total",                       // queries_shed
 		"gps_serve_uptime_seconds",                   // uptime_ms
 	}
 	metricsOnly = []string{
@@ -195,6 +237,7 @@ func (s *Server) metricsPartition() (statsCovered, metricsOnly []string) {
 		"gps_serve_decay_rejected_batches_total",
 		"gps_serve_snapshot_age_seconds",
 		"gps_serve_snapshot_cache_hits_total",
+		"gps_serve_snapshot_deadline_stale_total",
 		"gps_serve_snapshot_estimate_reuse_total",
 		"gps_serve_snapshot_forced_fresh_total",
 		"gps_serve_snapshot_refresh_total",

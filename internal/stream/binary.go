@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 
+	"gps/internal/fault"
 	"gps/internal/graph"
 )
 
@@ -336,6 +337,13 @@ func ReadEdges(r io.Reader) ([]graph.Edge, error) {
 
 // ReadEdgesStats is ReadEdges also reporting what was skipped.
 func ReadEdgesStats(r io.Reader) ([]graph.Edge, ReadStats, error) {
+	if fault.Enabled() {
+		// Before any byte is consumed: an injected decode error maps to the
+		// same client-visible 4xx a malformed body produces.
+		if err := fault.Hit(fault.StreamDecode); err != nil {
+			return nil, ReadStats{}, err
+		}
+	}
 	rr, isBinary := SniffBinary(r)
 	if isBinary {
 		return ReadBinaryStats(rr)

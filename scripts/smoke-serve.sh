@@ -10,10 +10,26 @@
 # the server, restart with -restore, re-ingest, and require flush→estimate
 # to equal the exact count again. CI runs this after the unit tests; it
 # needs only curl.
+# Induced failures are asserted to fail LOUDLY: flag misuse and corrupted
+# restore sources must exit non-zero with an error message, and malformed
+# requests must answer 4xx with a JSON error body — never a silent 200 or
+# an empty crash.
 set -euo pipefail
 
 workdir=$(mktemp -d)
 trap 'kill -9 "${server_pid:-}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# expect_http METHOD URL WANT_STATUS [curl args...]: the induced failure
+# must produce exactly the expected status and a JSON error message.
+expect_http() {
+    local method=$1 url=$2 want=$3; shift 3
+    local code
+    code=$(curl -sS -o "$workdir/err.json" -w '%{http_code}' -X "$method" "$@" "$url")
+    [ "$code" = "$want" ] || fail "$method $url: status $code, want $want ($(cat "$workdir/err.json"))"
+    grep -q '"error"' "$workdir/err.json" || fail "$method $url: $code without a JSON error body"
+}
 
 echo "== build"
 go build -o "$workdir" ./cmd/gps-gen ./cmd/gps-sample ./cmd/gps-serve ./cmd/gps-bench
@@ -27,6 +43,16 @@ exact_line=$("$workdir/gps-sample" -in "$workdir/g.gpsb" -m 100000 -weight unifo
 echo "$exact_line"
 exact_triangles=$(echo "$exact_line" | sed -E 's/.*triangles=([0-9]+).*/\1/')
 edges=$(wc -l < "$workdir/g.txt")
+
+echo "== induced misuse must exit non-zero with an error message"
+if "$workdir/gps-serve" -restore "$workdir/no-such-dir" 2> "$workdir/restore.err"; then
+    fail "gps-serve accepted a nonexistent -restore source"
+fi
+[ -s "$workdir/restore.err" ] || fail "bad -restore produced no error message"
+if "$workdir/gps-serve" -m 0 2> "$workdir/badm.err"; then
+    fail "gps-serve accepted -m 0"
+fi
+[ -s "$workdir/badm.err" ] || fail "bad -m produced no error message"
 
 echo "== start gps-serve"
 "$workdir/gps-serve" -addr 127.0.0.1:18423 -m $((edges + 100)) -weight uniform -staleness 0s &
@@ -71,6 +97,20 @@ if [ "$processed" != "$edges" ]; then
     exit 1
 fi
 echo "OK: /metrics lints clean and agrees with the ingested stream"
+
+echo "== induced request failures must answer 4xx with an error body"
+printf 'not a binary frame' > "$workdir/garbage.bin"
+expect_http POST "http://127.0.0.1:18423/v1/ingest" 400 \
+    -H 'Content-Type: application/x-gps-edges' --data-binary "@$workdir/garbage.bin"
+expect_http POST "http://127.0.0.1:18423/v1/ingest" 400 \
+    -H 'X-GPS-Source: smoke' -H 'X-GPS-Seq: not-a-number' --data-binary 'a b'
+expect_http GET "http://127.0.0.1:18423/v1/estimate?max_stale=bogus" 400
+expect_http POST "http://127.0.0.1:18423/v1/estimate/subgraph" 400 \
+    -H 'Content-Type: application/json' -d '{"edges":[[7,7]]}'
+# None of those may have perturbed the stream position.
+post_fail=$(curl -fsS http://127.0.0.1:18423/v1/stats | sed -E 's/.*"edges_processed":([0-9]+).*/\1/')
+[ "$post_fail" = "$edges" ] || fail "rejected requests changed edges_processed: $post_fail != $edges"
+echo "OK: malformed requests are rejected loudly and change nothing"
 
 echo "== durability: checkpoint, crash, restore"
 ckptdir="$workdir/ckpt"
@@ -124,3 +164,15 @@ if [ "${restored_triangles%.*}" != "$exact_triangles" ]; then
     exit 1
 fi
 echo "OK: crash + restore + re-ingest reproduces the exact triangle count"
+
+echo "== a corrupted checkpoint must fail restore loudly"
+kill "$server_pid" && wait "$server_pid" 2>/dev/null || true
+ckpt_file=$(ls "$ckptdir"/*.gpsc | head -n 1)
+head -c 100 "$ckpt_file" > "$workdir/torn.gpsc"
+mkdir -p "$workdir/torn-dir"
+cp "$workdir/torn.gpsc" "$workdir/torn-dir/ckpt-000001.gpsc"
+if "$workdir/gps-serve" -addr 127.0.0.1:18426 -restore "$workdir/torn-dir" 2> "$workdir/torn.err"; then
+    fail "gps-serve restored from a truncated checkpoint"
+fi
+[ -s "$workdir/torn.err" ] || fail "truncated-checkpoint restore produced no error message"
+echo "OK: corrupted checkpoint rejected with: $(head -c 120 "$workdir/torn.err")"
