@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	gps-bench -exp table1|table2|table3|fig1|fig2|fig3|weights|extensions|accuracy|throughput|serve|perf|obs|all \
+//	gps-bench -exp table1|table2|table3|fig1|fig2|fig3|weights|extensions|accuracy|decay|window|throughput|serve|perf|obs|all \
 //	          [-profile small|full] [-trials N] [-sample M] [-budget B] [-json] \
 //	          [-checkpoints C] [-seed S] [-graphs a,b,c] [-edges N] [-shards P] [-clients Q] \
 //	          [-procs 1,2,4,8] [-obs-instrumented F -obs-noobs F]
@@ -68,8 +68,8 @@ func run(args []string, stdout, errw io.Writer) error {
 	fs := flag.NewFlagSet("gps-bench", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
-		exp         = fs.String("exp", "all", "experiment: table1, table2, table3, fig1, fig2, fig3, weights, extensions, accuracy, decay, throughput, serve, perf, obs, chaos, all")
-		jsonOut     = fs.Bool("json", false, "machine-readable JSON output (perf, throughput, decay and obs experiments)")
+		exp         = fs.String("exp", "all", "experiment: table1, table2, table3, fig1, fig2, fig3, weights, extensions, accuracy, decay, window, throughput, serve, perf, obs, chaos, all")
+		jsonOut     = fs.Bool("json", false, "machine-readable JSON output (perf, throughput, decay, window and obs experiments)")
 		profileName = fs.String("profile", "small", "dataset scale: small or full")
 		trials      = fs.Int("trials", 3, "replications per configuration")
 		sample      = fs.Int("sample", 20000, "GPS sample size m (table1, fig1, fig3, weights)")
@@ -129,8 +129,8 @@ func run(args []string, stdout, errw io.Writer) error {
 		return enc.Encode(v)
 	}
 	runOne := func(name string) error {
-		if *jsonOut && name != "perf" && name != "throughput" && name != "decay" && name != "obs" {
-			return fmt.Errorf("-json is supported for -exp perf, throughput, decay and obs, not %q", name)
+		if *jsonOut && name != "perf" && name != "throughput" && name != "decay" && name != "window" && name != "obs" {
+			return fmt.Errorf("-json is supported for -exp perf, throughput, decay, window and obs, not %q", name)
 		}
 		switch name {
 		case "table1":
@@ -252,6 +252,15 @@ func run(args []string, stdout, errw io.Writer) error {
 				return emitJSON(map[string]any{"schema": "gps-bench/decay/v1", "rows": rows})
 			}
 			emit("Decay — forward-decayed estimates vs exact decayed counts", experiments.RenderDecay(rows))
+		case "window":
+			rows, err := experiments.WindowAccuracy(opts, experiments.WindowConfig{Shards: *shardsFlag})
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				return emitJSON(map[string]any{"schema": "gps-bench/window/v1", "rows": rows})
+			}
+			emit("Window — turnstile sliding-window estimates vs exact in-window counts", experiments.RenderWindow(rows))
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

@@ -24,15 +24,15 @@ func TestRunList(t *testing.T) {
 }
 
 // TestPerfBenchSweep smoke-runs the perf report at tiny scale and checks
-// the schema-v3 surface: the GOMAXPROCS sweep has one entry per requested
+// the schema-v5 surface: the GOMAXPROCS sweep has one entry per requested
 // point with positive rates and baseline-relative speedups, and the decay
-// tax is recorded.
+// tax and windowed-turnstile numbers are recorded.
 func TestPerfBenchSweep(t *testing.T) {
 	rep, err := perfBench(30000, 2000, 2, 7, []int{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "gps-bench/perf/v4" {
+	if rep.Schema != "gps-bench/perf/v5" {
 		t.Errorf("schema = %q", rep.Schema)
 	}
 	if len(rep.ProcsSweep) != 2 {
@@ -54,6 +54,12 @@ func TestPerfBenchSweep(t *testing.T) {
 	}
 	if rep.DecayOverUndecayed <= 0 {
 		t.Errorf("decay_over_undecayed = %v", rep.DecayOverUndecayed)
+	}
+	if rep.WindowUpdateNSPerEdge <= 0 || rep.WindowQueryMS <= 0 {
+		t.Errorf("window perf: %v ns/edge, query %vms", rep.WindowUpdateNSPerEdge, rep.WindowQueryMS)
+	}
+	if len(rep.WindowAccuracy) == 0 {
+		t.Error("window accuracy rows missing from the perf report")
 	}
 	if strings.Contains(renderPerf(rep), "NaN") {
 		t.Error("rendered report contains NaN")

@@ -9,6 +9,7 @@ import (
 
 	"gps"
 	"gps/internal/core"
+	"gps/internal/engine"
 	"gps/internal/experiments"
 	"gps/internal/graph"
 )
@@ -75,6 +76,16 @@ type perfReport struct {
 	// files (-obs-instrumented / -obs-noobs). The ingest ratios are the ≤2%
 	// instrumentation-overhead bar.
 	ObsOverhead *obsOverhead `json:"obs_overhead,omitempty"`
+
+	// Windowed turnstile sampling (schema v5): per-edge cost of feeding a
+	// timestamped turnstile stream (inserts + lagged deletions) through the
+	// pane-chain engine, the cost of one full-window query on the final
+	// state, and the window accuracy experiment at reduced scale so the
+	// trajectory records NRMSE vs exact in-window counts alongside the perf
+	// numbers.
+	WindowUpdateNSPerEdge float64                 `json:"window_update_ns_per_edge"`
+	WindowQueryMS         float64                 `json:"window_query_ms"`
+	WindowAccuracy        []experiments.WindowRow `json:"window_accuracy"`
 }
 
 // obsOverhead pairs the instrumented and gps_noobs obs reports with
@@ -134,7 +145,7 @@ func perfBench(edges, sample, shards int, seed uint64, procs []int) (*perfReport
 	es, _ := rmatStream(edges, seed)
 	edges = len(es)
 	r := &perfReport{
-		Schema:          "gps-bench/perf/v4",
+		Schema:          "gps-bench/perf/v5",
 		Edges:           edges,
 		SampleM:         sample,
 		Shards:          shards,
@@ -295,6 +306,50 @@ func perfBench(edges, sample, shards int, seed uint64, procs []int) (*perfReport
 		return nil, err
 	}
 	r.DecayAccuracy = rows
+
+	// Windowed turnstile path: the timestamped stream with a lagged deletion
+	// every 8th record, through the pane chain (window span/4, pane
+	// span/16), plus the cost of one full-window merge-and-estimate query on
+	// the final state.
+	lag := len(timed) / 5
+	turn := make([]graph.Edge, 0, len(timed)+len(timed)/8)
+	for i, e := range timed {
+		turn = append(turn, e)
+		if i%8 == 3 && i >= lag {
+			turn = append(turn, timed[i-lag].At(e.TS).AsDeletion())
+		}
+	}
+	span := uint64(len(timed))
+	w, err := engine.NewWindowed(engine.WindowConfig{
+		Capacity: sample, Seed: seed, Shards: shards,
+		PaneWidth: max(span/16, 1), Window: max(span/4, 1),
+	})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := w.ProcessBatch(turn); err != nil {
+		w.Close()
+		return nil, err
+	}
+	r.WindowUpdateNSPerEdge = float64(time.Since(start).Nanoseconds()) / float64(len(turn))
+	qStart := time.Now()
+	if _, err := w.Query(0); err != nil {
+		w.Close()
+		return nil, err
+	}
+	r.WindowQueryMS = ms(time.Since(qStart))
+	w.Close()
+
+	// Window accuracy at reduced scale, mirroring the decay trajectory rows.
+	wrows, err := experiments.WindowAccuracy(
+		experiments.Options{Trials: 2, Seed: seed},
+		experiments.WindowConfig{Nodes: 10000, WindowFracs: []float64{0.25},
+			SampleSizes: []int{4000}, Shards: shards})
+	if err != nil {
+		return nil, err
+	}
+	r.WindowAccuracy = wrows
 	return r, nil
 }
 
@@ -427,6 +482,12 @@ func renderPerf(r *perfReport) string {
 	for _, row := range r.DecayAccuracy {
 		fmt.Fprintf(&b, "decay accuracy: half-life %.2f·span m=%d %-18s NRMSE %.4f\n",
 			row.HalfLifeFrac, row.M, row.Motif, row.NRMSE)
+	}
+	fmt.Fprintf(&b, "windowed turnstile ingest (pane chain, window span/4): %.0f ns/edge; full-window query %.1fms\n",
+		r.WindowUpdateNSPerEdge, r.WindowQueryMS)
+	for _, row := range r.WindowAccuracy {
+		fmt.Fprintf(&b, "window accuracy: window %.2f·span m=%d %-10s NRMSE %.4f\n",
+			row.WindowFrac, row.M, row.Motif, row.NRMSE)
 	}
 	if oh := r.ObsOverhead; oh != nil {
 		fmt.Fprintf(&b, "\nobservability overhead (instrumented / gps_noobs):\n")

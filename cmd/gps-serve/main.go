@@ -6,15 +6,22 @@
 //
 //	gps-serve -addr :8080 -m 100000 [-weight triangle|uniform|adjacency]
 //	          [-shards P] [-queue 64] [-staleness 250ms] [-seed S]
-//	          [-half-life H] [-restore path] [-checkpoint-dir dir]
-//	          [-checkpoint-every 30s] [-checkpoint-keep 3] [-pprof addr]
-//	          [-log-requests]
+//	          [-half-life H] [-window W -pane P] [-restore path]
+//	          [-checkpoint-dir dir] [-checkpoint-every 30s]
+//	          [-checkpoint-keep 3] [-pprof addr] [-log-requests]
 //
 // Temporal sampling: -half-life H enables forward-decay sampling — recent
 // edges dominate the reservoir and /v1/estimate reports decayed counts at
 // the stream's event horizon. Event times arrive via the GPSB v2 framing
 // (gps-gen -timestamps) or a third edge-list column; untimed streams decay
 // by stream position, so H is then measured in arrivals.
+//
+// Sliding windows: -window W keeps a chain of time-partitioned panes so
+// /v1/estimate?window=w answers "the trailing w event-time units, exactly"
+// for any w <= W; -pane sets the pane granularity (default W — panes bound
+// memory, not accuracy, since queries trim to the exact window edge).
+// Windowed servers accept turnstile deletions (GPSB v3, or "del u v" text
+// records) like any other, and are mutually exclusive with -half-life.
 //
 // Durability: -checkpoint-dir enables POST /v1/checkpoint and (with
 // -checkpoint-every) periodic checkpoints of the whole sampler data plane,
@@ -49,7 +56,8 @@
 //	                            application/x-gps-edges) or text "u v" lines;
 //	                            503 + Retry-After under backpressure
 //	GET  /v1/estimate           triangle/wedge/clustering estimates with 95%
-//	                            CIs; ?max_stale=250ms bounds snapshot age
+//	                            CIs; ?max_stale=250ms bounds snapshot age;
+//	                            ?window=w queries a trailing window (-window)
 //	POST /v1/estimate/subgraph  {"edges": [[u,v],...]} → Horvitz-Thompson
 //	                            subgraph estimate + variance
 //	POST /v1/flush              block until everything enqueued has been
@@ -105,6 +113,8 @@ func run(args []string, errw io.Writer, ready chan<- string, stop <-chan struct{
 		maxPending = fs.Int("max-pending", 4<<20, "max decoded edges waiting in the ingest queue before 503")
 		staleness  = fs.Duration("staleness", 250*time.Millisecond, "default snapshot staleness bound")
 		halfLife   = fs.Float64("half-life", 0, "forward-decay half-life in event-time units (0 disables time-decayed sampling)")
+		window     = fs.Uint64("window", 0, "sliding-window width in event-time units (0 disables windowed sampling)")
+		pane       = fs.Uint64("pane", 0, "window pane width in event-time units (0 = -window; needs -window)")
 		seed       = fs.Uint64("seed", 1, "sampler seed")
 		maxBody    = fs.Int64("max-body", 32<<20, "max ingest body bytes")
 		restore    = fs.String("restore", "", "boot from a GPSC checkpoint (file, or dir holding *.gpsc)")
@@ -157,6 +167,8 @@ func run(args []string, errw io.Writer, ready chan<- string, stop <-chan struct{
 		MaxBodyBytes:       *maxBody,
 		MaxStaleness:       *staleness,
 		HalfLife:           *halfLife,
+		Window:             *window,
+		PaneWidth:          *pane,
 		EstimateDeadline:   *estDeadln,
 		MaxInflightQueries: *maxQueries,
 		RestoreFrom:        *restore,
@@ -204,12 +216,15 @@ func run(args []string, errw io.Writer, ready chan<- string, stop <-chan struct{
 	// Report the effective configuration: after a restore it comes from the
 	// checkpoint, not from the flags.
 	eff := s.EffectiveConfig()
-	decayNote := ""
+	modeNote := ""
 	if eff.HalfLife > 0 {
-		decayNote = fmt.Sprintf(" half-life=%g", eff.HalfLife)
+		modeNote = fmt.Sprintf(" half-life=%g", eff.HalfLife)
+	}
+	if eff.Window > 0 {
+		modeNote = fmt.Sprintf(" window=%d pane=%d", eff.Window, eff.PaneWidth)
 	}
 	fmt.Fprintf(errw, "gps-serve: listening on %s (m=%d weight=%s shards=%d staleness=%s%s)\n",
-		ln.Addr(), eff.Capacity, eff.WeightName, eff.Shards, *staleness, decayNote)
+		ln.Addr(), eff.Capacity, eff.WeightName, eff.Shards, *staleness, modeNote)
 	if path, pos := s.Restored(); path != "" {
 		fmt.Fprintf(errw, "gps-serve: restored %s at stream position %d\n", path, pos)
 	}

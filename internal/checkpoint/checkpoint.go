@@ -46,14 +46,20 @@ const (
 	// per-entry event timestamps); encoders emit it only for decayed
 	// samplers, so undecayed checkpoints stay byte-identical to earlier
 	// releases, and decoders accept both (a Version document restores as
-	// undecayed).
+	// undecayed). Version3 documents add the turnstile block — a feature
+	// flags word selecting the decay section and the deletion counters — and
+	// back the KindWindow pane-chain container; encoders emit Version3 only
+	// for state earlier versions cannot carry, so v1/v2 documents stay
+	// byte-identical and every state keeps exactly one serialized form.
 	Version  = 1
 	Version2 = 2
+	Version3 = 3
 
 	// Document kinds: the byte after the version selects the payload layout.
 	KindSampler  = 0x01 // one core.Sampler
 	KindEngine   = 0x02 // an engine.Parallel container of per-shard samplers
 	KindInStream = 0x03 // a core.InStream (sampler + estimator accumulators)
+	KindWindow   = 0x04 // an engine.Windowed pane chain (retired panes + active engine)
 
 	// ContentType is the MIME type the service uses when a checkpoint
 	// travels over HTTP (GET /v1/checkpoint).
@@ -95,7 +101,7 @@ func NewWriter(w io.Writer, kind byte) *Writer {
 // pick Version2 when the payload carries forward-decay state.
 func NewWriterVersion(w io.Writer, kind, version byte) *Writer {
 	cw := &Writer{w: bufio.NewWriter(w)}
-	if version != Version && version != Version2 {
+	if version != Version && version != Version2 && version != Version3 {
 		cw.err = fmt.Errorf("checkpoint: cannot write unknown GPSC version %d", version)
 		return cw
 	}
@@ -229,7 +235,7 @@ func (r *Reader) Header() (kind byte, err error) {
 		return 0, r.fail(errors.New("checkpoint: not a GPSC document (bad magic)"))
 	}
 	switch hdr[len(magic)] {
-	case Version, Version2:
+	case Version, Version2, Version3:
 		r.version = hdr[len(magic)]
 	default:
 		return 0, r.fail(fmt.Errorf("checkpoint: unsupported GPSC version %d", hdr[len(magic)]))
@@ -237,6 +243,12 @@ func (r *Reader) Header() (kind byte, err error) {
 	kind = hdr[len(magic)+1]
 	switch kind {
 	case KindSampler, KindEngine, KindInStream:
+		return kind, nil
+	case KindWindow:
+		if r.version != Version3 {
+			return 0, r.fail(fmt.Errorf("checkpoint: window document requires GPSC version %d, got %d",
+				Version3, r.version))
+		}
 		return kind, nil
 	}
 	return 0, r.fail(fmt.Errorf("checkpoint: unknown document kind %#x", kind))

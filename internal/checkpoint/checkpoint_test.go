@@ -99,7 +99,7 @@ func TestChecksumMismatch(t *testing.T) {
 func TestHeaderRejections(t *testing.T) {
 	cases := [][]byte{
 		[]byte("GPSB\x01\x01"), // wrong magic
-		[]byte("GPSC\x03\x01"), // future version (v1 and v2 are supported)
+		[]byte("GPSC\x04\x01"), // future version (v1, v2 and v3 are supported)
 		[]byte("GPSC\x01\x7f"), // unknown kind
 		[]byte("GPS"),          // truncated magic
 		{},                     // empty
@@ -112,7 +112,7 @@ func TestHeaderRejections(t *testing.T) {
 		}
 	}
 	// Both live versions are accepted and reported.
-	for _, v := range []byte{Version, Version2} {
+	for _, v := range []byte{Version, Version2, Version3} {
 		r := NewReader(bytes.NewReader([]byte{'G', 'P', 'S', 'C', v, KindSampler}))
 		if err := r.ExpectKind(KindSampler); err != nil {
 			t.Fatalf("version %d rejected: %v", v, err)

@@ -257,7 +257,7 @@ func (c *Client) retry(ctx context.Context, send func() (*http.Response, error),
 			return attempt, nil
 		case retryable(resp.StatusCode):
 			last = &StatusError{Status: resp.StatusCode, Message: serverMessage(body)}
-			if !c.sleep(ctx, attempt, retryAfter(resp)) {
+			if !c.sleep(ctx, attempt, c.retryAfter(resp)) {
 				return attempt, ctx.Err()
 			}
 		default:
@@ -288,15 +288,24 @@ func serverMessage(body []byte) string {
 	return string(bytes.TrimSpace(body))
 }
 
-// retryAfter parses a Retry-After header in seconds; 0 means absent.
-func retryAfter(resp *http.Response) time.Duration {
+// retryAfter parses a Retry-After header in seconds; 0 means absent (fall
+// back to the backoff schedule). The value is a *hint from the network* and
+// is sanitized like one: garbage and negative values are ignored, and
+// anything above MaxBackoff is clamped to it BEFORE the seconds-to-
+// Duration conversion — a large enough integer (~292 e9 seconds) overflows
+// int64 nanoseconds into a negative duration, which the sleep timer fires
+// on immediately, turning the polite retry loop into a hot one.
+func (c *Client) retryAfter(resp *http.Response) time.Duration {
 	raw := resp.Header.Get("Retry-After")
 	if raw == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(raw)
-	if err != nil || secs < 0 {
+	secs, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || secs <= 0 {
 		return 0
+	}
+	if cap := int64(c.cfg.MaxBackoff / time.Second); secs > cap {
+		return c.cfg.MaxBackoff
 	}
 	return time.Duration(secs) * time.Second
 }

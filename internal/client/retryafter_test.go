@@ -1,0 +1,82 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterSanitized: the Retry-After header comes off the wire and
+// must never yield a delay that is negative (int64 nanosecond overflow on
+// huge second counts makes the timer fire immediately — a hot retry loop)
+// or above the configured backoff cap (a stalled client).
+func TestRetryAfterSanitized(t *testing.T) {
+	c, err := New(Config{BaseURL: "http://x", MaxBackoff: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		header string
+		want   time.Duration
+	}{
+		{"absent", "", 0},
+		{"small", "2", 2 * time.Second},
+		{"exactly cap", "5", 5 * time.Second},
+		{"above cap", "3600", 5 * time.Second},
+		{"zero", "0", 0},
+		{"negative", "-3", 0},
+		{"garbage", "soon", 0},
+		{"http-date form unsupported", "Fri, 08 Aug 2026 00:00:00 GMT", 0},
+		{"float", "1.5", 0},
+		{"overflows int64 seconds", "99999999999999999999999999", 0},
+		{"max int64: overflows duration", "9223372036854775807", 5 * time.Second},
+		{"min int64", "-9223372036854775808", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := &http.Response{Header: http.Header{}}
+			if tc.header != "" {
+				resp.Header.Set("Retry-After", tc.header)
+			}
+			got := c.retryAfter(resp)
+			if got != tc.want {
+				t.Fatalf("retryAfter(%q) = %v, want %v", tc.header, got, tc.want)
+			}
+			if got < 0 || got > c.cfg.MaxBackoff {
+				t.Fatalf("retryAfter(%q) = %v escapes [0, MaxBackoff=%v]", tc.header, got, c.cfg.MaxBackoff)
+			}
+		})
+	}
+}
+
+// TestRetryAfterOverflowDoesNotStall: end to end, a server advertising an
+// absurd Retry-After must not stretch the retry schedule beyond the
+// configured cap — the request still exhausts its attempts promptly.
+func TestRetryAfterOverflowDoesNotStall(t *testing.T) {
+	h := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "9223372036854775807")
+		http.Error(w, `{"error":"overloaded"}`, http.StatusServiceUnavailable)
+	}))
+	defer h.Close()
+	c, err := New(Config{
+		BaseURL: h.URL, Source: "loader",
+		MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.Flush(ctx); err == nil {
+		t.Fatal("flush against a permanently-503 server succeeded")
+	}
+	// Two sleeps of at most MaxBackoff*1.5 jitter each; anything near the
+	// context deadline means the bogus hint leaked into the timer.
+	if took := time.Since(start); took > time.Second {
+		t.Fatalf("retries took %v; Retry-After overflow leaked into the backoff", took)
+	}
+}

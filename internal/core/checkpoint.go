@@ -24,7 +24,7 @@ import (
 //	v2 only: f64 half-life, uvarint configured landmark,
 //	         u8 landmark-set, uvarint landmark, uvarint horizon (lastTS)
 //	heap     uvarint arenaLen
-//	         arenaLen × { u32 U, u32 V, [v2: uvarint eventTS,]
+//	         arenaLen × { u32 U, u32 V, [v2 or v3-timed: uvarint eventTS,]
 //	                      f64 weight, f64 priority,
 //	                      f64 triCov, f64 wedgeCov }   (freed slots zeroed)
 //	         uvarint freedLen,  freedLen × uvarint slot
@@ -41,6 +41,20 @@ import (
 // Decoders accept both — a version-1 document restores as undecayed — and
 // reject a version-2 document without a positive half-life, so every state
 // has exactly one serialized form and re-encoding is idempotent.
+//
+// A sampler whose state the v1/v2 layouts cannot carry writes a GPSC
+// version-3 document: after the weight name, a feature-flags uvarint (bit 0
+// = decay block present, bit 1 = deletion counters present, bit 2 = timed
+// entries without decay), then — when bit 1 is set — the delApplied and
+// delUnsampled counters as uvarints, then the decay block (when bit 0 is
+// set) and the common layout above. Bit 2 marks an undecayed sampler whose
+// reservoir holds event-timed edges (turnstile windows trim by stored event
+// time, so dropping TS would silently break restored window queries); it
+// adds the per-entry eventTS field exactly as version 2 does. Version 3 is
+// emitted only when the deletion counters are non-zero or a timed entry is
+// resident, so runs that never see either keep their v1/v2 bytes, and a v3
+// document with nothing a v2 could not carry is rejected — one serialized
+// form per state.
 //
 // The in-stream payload (KindInStream) appends a stream-binding string —
 // an opaque, caller-interpreted description of the stream being resumed
@@ -67,14 +81,42 @@ func (s *Sampler) WriteCheckpoint(w io.Writer, weightName string) error {
 }
 
 // ckptVersion selects the GPSC version the sampler's state requires:
-// version 2 carries the forward-decay block, version 1 is the undecayed
-// layout of earlier releases.
+// version 3 when turnstile-deletion counters must survive (the stream
+// position would otherwise shift under resume) or when an undecayed
+// reservoir holds event-timed edges (window trimming reads stored event
+// times, so they must round-trip), version 2 for the forward-decay block,
+// version 1 for the undecayed insert-only layout of earlier releases.
 func (s *Sampler) ckptVersion() byte {
+	if s.delApplied+s.delUnsampled > 0 {
+		return checkpoint.Version3
+	}
 	if s.lambda > 0 {
 		return checkpoint.Version2
 	}
+	if s.timedEntries() {
+		return checkpoint.Version3
+	}
 	return checkpoint.Version
 }
+
+// timedEntries reports whether any resident edge carries an event time.
+// Freed arena slots are zeroed, so scanning the heap view covers exactly
+// the live entries.
+func (s *Sampler) timedEntries() bool {
+	for i := 0; i < s.res.heap.Len(); i++ {
+		if s.res.heap.At(i).Edge.TS != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Version-3 turnstile feature flags.
+const (
+	ckptFlagDecay     = 1 << 0
+	ckptFlagDeletions = 1 << 1
+	ckptFlagTimed     = 1 << 2
+)
 
 func (s *Sampler) encodePayload(cw *checkpoint.Writer, weightName string) {
 	decayed := s.lambda > 0
@@ -86,6 +128,27 @@ func (s *Sampler) encodePayload(cw *checkpoint.Writer, weightName string) {
 		cw.U64(word)
 	}
 	cw.String(weightName)
+	timed := false
+	if s.ckptVersion() == checkpoint.Version3 {
+		var flags uint64
+		if decayed {
+			flags |= ckptFlagDecay
+		}
+		if s.delApplied+s.delUnsampled > 0 {
+			flags |= ckptFlagDeletions
+		}
+		// The decay block already carries per-entry event times; the timed
+		// flag covers the undecayed case only, keeping one form per state.
+		timed = !decayed && s.timedEntries()
+		if timed {
+			flags |= ckptFlagTimed
+		}
+		cw.Uvarint(flags)
+		if flags&ckptFlagDeletions != 0 {
+			cw.Uvarint(s.delApplied)
+			cw.Uvarint(s.delUnsampled)
+		}
+	}
 	if decayed {
 		cw.F64(s.decay.HalfLife)
 		cw.Uvarint(s.decay.Landmark)
@@ -111,7 +174,7 @@ func (s *Sampler) encodePayload(cw *checkpoint.Writer, weightName string) {
 		}
 		cw.U32(uint32(ent.Edge.U))
 		cw.U32(uint32(ent.Edge.V))
-		if decayed {
+		if decayed || timed {
 			cw.Uvarint(ent.Edge.TS)
 		}
 		cw.F64(ent.Weight)
@@ -210,12 +273,45 @@ func decodePayload(cr *checkpoint.Reader, resolve func(string) (WeightFunc, erro
 	// undecayed; a v2 document must carry a valid decay state (one
 	// serialized form per state keeps re-encoding idempotent).
 	var (
-		decay       Decay
-		landmarkSet bool
-		landmark    uint64
-		lastTS      uint64
+		decay        Decay
+		landmarkSet  bool
+		landmark     uint64
+		lastTS       uint64
+		delApplied   uint64
+		delUnsampled uint64
 	)
 	decayed := cr.Version() == checkpoint.Version2
+	timed := false
+	if cr.Version() == checkpoint.Version3 {
+		// Turnstile block: feature flags, then the deletion counters when
+		// present. A v3 document that carries nothing a v2 could not is
+		// rejected so every state keeps exactly one serialized form.
+		flags := cr.Uvarint()
+		if err := cr.Err(); err != nil {
+			return nil, err
+		}
+		if flags&^uint64(ckptFlagDecay|ckptFlagDeletions|ckptFlagTimed) != 0 {
+			return nil, fmt.Errorf("core: version-3 checkpoint carries unknown feature flags %#x", flags)
+		}
+		if flags&(ckptFlagDeletions|ckptFlagTimed) == 0 {
+			return nil, fmt.Errorf("core: version-3 checkpoint without deletion counters or timed entries would not need version 3")
+		}
+		if flags&ckptFlagDeletions != 0 {
+			delApplied = cr.Uvarint()
+			delUnsampled = cr.Uvarint()
+			if err := cr.Err(); err != nil {
+				return nil, err
+			}
+			if delApplied+delUnsampled == 0 {
+				return nil, fmt.Errorf("core: version-3 checkpoint deletion flag without deletion counters")
+			}
+		}
+		decayed = flags&ckptFlagDecay != 0
+		timed = flags&ckptFlagTimed != 0
+		if decayed && timed {
+			return nil, fmt.Errorf("core: version-3 checkpoint timed flag is redundant under decay")
+		}
+	}
 	if decayed {
 		decay.HalfLife = cr.FiniteF64("decay half-life")
 		decay.Landmark = cr.Uvarint()
@@ -242,16 +338,18 @@ func decodePayload(cr *checkpoint.Reader, resolve func(string) (WeightFunc, erro
 
 	arenaLen := cr.Count("arena", maxInt32)
 	arena := make([]order.Entry, 0, min(arenaLen, 1<<14))
+	sawTS := false
 	for i := 0; i < arenaLen; i++ {
 		var ent order.Entry
 		ent.Edge.U = graph.NodeID(cr.U32())
 		ent.Edge.V = graph.NodeID(cr.U32())
-		if decayed {
+		if decayed || timed {
 			ent.Edge.TS = cr.Uvarint()
-			if cr.Err() == nil && ent.Edge.TS > lastTS {
+			if decayed && cr.Err() == nil && ent.Edge.TS > lastTS {
 				return nil, fmt.Errorf("core: checkpoint entry %d event time %d is beyond the horizon %d",
 					i, ent.Edge.TS, lastTS)
 			}
+			sawTS = sawTS || ent.Edge.TS != 0
 		}
 		ent.Weight = cr.F64()
 		ent.Priority = cr.F64()
@@ -261,6 +359,9 @@ func decodePayload(cr *checkpoint.Reader, resolve func(string) (WeightFunc, erro
 			return nil, cr.Err()
 		}
 		arena = append(arena, ent)
+	}
+	if timed && !sawTS {
+		return nil, fmt.Errorf("core: version-3 checkpoint timed flag without any timed entry")
 	}
 	readSlots := func(what string, max int) []int32 {
 		n := cr.Count(what, uint64(max))
@@ -345,19 +446,21 @@ func decodePayload(cr *checkpoint.Reader, resolve func(string) (WeightFunc, erro
 
 	w, uniform := normalizeWeight(weight)
 	return &Sampler{
-		capacity:    capacity,
-		weight:      w,
-		uniform:     uniform,
-		rng:         rng,
-		res:         &Reservoir{heap: heap, adj: adj},
-		zstar:       zstar,
-		arrivals:    arrivals,
-		duplicates:  duplicates,
-		decay:       decay,
-		lambda:      decay.lambda(),
-		landmark:    landmark,
-		landmarkSet: landmarkSet,
-		lastTS:      lastTS,
+		capacity:     capacity,
+		weight:       w,
+		uniform:      uniform,
+		rng:          rng,
+		res:          &Reservoir{heap: heap, adj: adj},
+		zstar:        zstar,
+		arrivals:     arrivals,
+		duplicates:   duplicates,
+		delApplied:   delApplied,
+		delUnsampled: delUnsampled,
+		decay:        decay,
+		lambda:       decay.lambda(),
+		landmark:     landmark,
+		landmarkSet:  landmarkSet,
+		lastTS:       lastTS,
 	}, nil
 }
 

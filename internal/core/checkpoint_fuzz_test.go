@@ -83,6 +83,29 @@ func FuzzCheckpointDecoder(f *testing.F) {
 	addDecayedSampler(Decay{HalfLife: 200, Landmark: 60})
 	addInStream(Decay{HalfLife: 80}, "fuzz-seed-decayed")
 
+	// GPSC v3 seeds: turnstile samplers that applied deletions (the version
+	// is chosen by content — deletion counters force v3).
+	f.Add([]byte("GPSC\x03\x01"))
+	addTurnstile := func(weight WeightFunc, name string) {
+		s, err := NewSampler(Config{Capacity: 64, Weight: weight, Seed: 11})
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i, e := range edges {
+			s.Process(e)
+			if i%5 == 4 {
+				s.Process(edges[i-2].AsDeletion())
+			}
+		}
+		var buf bytes.Buffer
+		if err := s.WriteCheckpoint(&buf, name); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	addTurnstile(nil, "uniform")
+	addTurnstile(TriangleWeight, "triangle")
+
 	f.Fuzz(func(t *testing.T, input []byte) {
 		if s, err := ReadCheckpoint(bytes.NewReader(input), nil); err == nil {
 			roundTripSampler(t, s)

@@ -83,6 +83,11 @@ func (t *InStream) Sampler() *Sampler { return t.s }
 // the edge is in the reservoir afterwards. Duplicate arrivals of a sampled
 // edge are ignored, matching Sampler.Process.
 func (t *InStream) Process(e graph.Edge) bool {
+	if e.Del {
+		t.retractEstimate(e)
+		t.s.Process(e) // performs the removal and keeps the deletion counters
+		return false
+	}
 	if t.s.res.Contains(e) {
 		t.s.duplicates++
 		return true
@@ -110,6 +115,87 @@ func (t *InStream) Process(e graph.Edge) bool {
 		t.decayedArrivals += decayExp(t.s.lambda * (float64(ts) - float64(t.s.landmark)))
 	}
 	return in
+}
+
+// retractEstimate compensates the running totals for a turnstile deletion.
+// The stopped-Martingale construction has no exact inverse: the snapshots a
+// departing edge contributed to were frozen at historical thresholds that are
+// no longer recoverable (and snapshots of motifs whose other edges were since
+// evicted left no trace at all). The documented approximation mirrors the
+// snapshot form at *current* probabilities: for every triangle the deleted
+// edge still closes in the reservoir subtract 1/(q1·q2) (the deleted edge
+// treated as the certain arrival, exactly how a snapshot enters), and for
+// every wedge it forms with a sampled neighbor j subtract 1/q_j. Under decay
+// each term is scaled by g(t_min) over the motif's current edges. Totals are
+// floored at zero; the variance and per-edge covariance accumulators are left
+// untouched — a deliberate conservative overestimate, since selectively
+// unwinding frozen cross terms is not well defined. Unsampled deletions
+// subtract nothing (their snapshots are indistinguishable from survivors').
+func (t *InStream) retractEstimate(e graph.Edge) {
+	res := t.s.res
+	slot := res.slotOf(e.Insert())
+	if slot < 0 {
+		return
+	}
+	ent := res.entryAt(slot)
+	decayed := t.s.lambda > 0
+	tsK := ent.Edge.TS
+	phiMin := func(a, b uint64) float64 {
+		if b < a {
+			a = b
+		}
+		return decayExp(t.s.lambda * (float64(a) - float64(t.s.landmark)))
+	}
+
+	var subTri, subW float64
+	res.commonNeighborsWithSlots(e.U, e.V, func(v3 graph.NodeID, su, sv int32) bool {
+		e1 := res.entryAt(su)
+		e2 := res.entryAt(sv)
+		inv := 1 / (t.s.probForWeight(e1.Weight) * t.s.probForWeight(e2.Weight))
+		if decayed {
+			ts := e1.Edge.TS
+			if e2.Edge.TS < ts {
+				ts = e2.Edge.TS
+			}
+			inv *= phiMin(tsK, ts)
+		}
+		subTri += inv
+		return true
+	})
+	wedgeAt := func(center, other graph.NodeID) {
+		nbrs, slots := res.neighborRun(center)
+		for i, x := range nbrs {
+			if x == other {
+				continue
+			}
+			j := res.entryAt(slots[i])
+			invQ := 1 / t.s.probForWeight(j.Weight)
+			if decayed {
+				invQ *= phiMin(tsK, j.Edge.TS)
+			}
+			subW += invQ
+		}
+	}
+	wedgeAt(e.U, e.V)
+	wedgeAt(e.V, e.U)
+
+	t.nTri -= subTri
+	if t.nTri < 0 {
+		t.nTri = 0
+	}
+	t.nW -= subW
+	if t.nW < 0 {
+		t.nW = 0
+	}
+	if decayed {
+		// The departed edge no longer counts toward the exact decayed edge
+		// total. Unsampled deletions cannot be compensated here either —
+		// their arrival timestamp is gone with the eviction.
+		t.decayedArrivals -= decayExp(t.s.lambda * (float64(tsK) - float64(t.s.landmark)))
+		if t.decayedArrivals < 0 {
+			t.decayedArrivals = 0
+		}
+	}
 }
 
 // estimate is procedure GPSEstimate of Algorithm 3, returning |△̂(k)| —

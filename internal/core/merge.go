@@ -68,6 +68,8 @@ func Merge(samplers []*Sampler, cfg Config) (*Sampler, error) {
 		}
 		m.arrivals += s.arrivals
 		m.duplicates += s.duplicates
+		m.delApplied += s.delApplied
+		m.delUnsampled += s.delUnsampled
 		m.accepts += s.accepts
 		m.evicts += s.evicts
 	}

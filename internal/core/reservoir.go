@@ -128,6 +128,18 @@ func (r *Reservoir) insert(ent order.Entry) {
 	r.adj.AddWithSlot(ent.Edge, slot)
 }
 
+// remove deletes the sampled edge e from an arbitrary heap position and
+// drops it from the adjacency index — the turnstile-deletion primitive.
+// ok=false when e is not sampled (the reservoir is untouched).
+func (r *Reservoir) remove(e graph.Edge) (order.Entry, bool) {
+	ent, ok := r.heap.Remove(e.Key())
+	if !ok {
+		return order.Entry{}, false
+	}
+	r.adj.Remove(ent.Edge)
+	return ent, true
+}
+
 func (r *Reservoir) evictMin() order.Entry {
 	ent := r.heap.PopMin()
 	r.adj.Remove(ent.Edge)

@@ -59,6 +59,14 @@ type Sampler struct {
 	arrivals   uint64
 	duplicates uint64
 
+	// Turnstile-deletion counters. delApplied counts deletion records that
+	// removed a resident edge; delUnsampled counts deletions of edges not in
+	// the reservoir (already evicted or never admitted — applied vacuously).
+	// Both are part of the stream position (Processed) so a checkpoint
+	// resume over a deleting stream skips the right number of records.
+	delApplied   uint64
+	delUnsampled uint64
+
 	// accepts/evicts are estimator self-telemetry: arrivals admitted to the
 	// reservoir and previously-resident edges evicted by later arrivals, so
 	// res.Len() == accepts - evicts at all times. They are plain fields (not
@@ -118,6 +126,10 @@ func normalizeWeight(w WeightFunc) (WeightFunc, bool) {
 // assumes unique edges (§3.1), so duplicates indicate the stream was not
 // simplified upstream.
 func (s *Sampler) Process(e graph.Edge) bool {
+	if e.Del {
+		s.deleteEdge(e)
+		return false
+	}
 	if s.res.Contains(e) {
 		s.duplicates++
 		return true
@@ -183,6 +195,24 @@ func (s *Sampler) processWeighted(e graph.Edge, w float64) bool {
 		s.accepts++
 	}
 	return true
+}
+
+// deleteEdge applies a turnstile deletion record: if the edge is resident it
+// is removed through the heap's arbitrary-position removal and dropped from
+// the adjacency index; otherwise the deletion applies vacuously (the edge
+// was evicted earlier or never admitted). Deletions are deterministic — no
+// RNG draw, no threshold change — so a run containing them stays a
+// bit-identical function of the stream order, and the surviving edges keep
+// their original inclusion probabilities q(k) = min{1, w(k)/z*}: z* reflects
+// evictions the sampler actually performed, which deletion does not revisit.
+// Reports whether a resident edge was removed.
+func (s *Sampler) deleteEdge(e graph.Edge) bool {
+	if _, ok := s.res.remove(e.Insert()); ok {
+		s.delApplied++
+		return true
+	}
+	s.delUnsampled++
+	return false
 }
 
 // ProcessBatch handles a batch of edge arrivals and returns how many of
@@ -265,10 +295,20 @@ func (s *Sampler) Accepts() uint64 { return s.accepts }
 // caveats as Accepts.
 func (s *Sampler) Evicts() uint64 { return s.evicts }
 
-// Processed returns the stream position: the total number of edges handed
-// to Process (distinct arrivals plus ignored duplicates). A restore that
-// replays the original stream must skip exactly this many edges.
-func (s *Sampler) Processed() uint64 { return s.arrivals + s.duplicates }
+// Deletions returns the turnstile-deletion counters: applied removed a
+// resident edge, unsampled applied vacuously to an edge not in the
+// reservoir.
+func (s *Sampler) Deletions() (applied, unsampled uint64) {
+	return s.delApplied, s.delUnsampled
+}
+
+// Processed returns the stream position: the total number of records handed
+// to Process (distinct arrivals, ignored duplicates, and deletion records).
+// A restore that replays the original stream must skip exactly this many
+// records.
+func (s *Sampler) Processed() uint64 {
+	return s.arrivals + s.duplicates + s.delApplied + s.delUnsampled
+}
 
 // Capacity returns the reservoir capacity m.
 func (s *Sampler) Capacity() int { return s.capacity }

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"gps/internal/gen"
+	"gps/internal/graph"
+	"gps/internal/randx"
+)
+
+// TestDeletionSemantics pins the turnstile contract of Sampler.Process on a
+// deletion record: deterministic removal (no RNG draw, no threshold
+// change), exact counter accounting, and unchanged inclusion probabilities
+// for the surviving edges.
+func TestDeletionSemantics(t *testing.T) {
+	edges := cloneTestStream(200, 2500, 0x31)
+	s, err := NewSampler(Config{Capacity: 100, Weight: TriangleWeight, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	processAll(t, s, edges)
+
+	sampled := s.Reservoir().Edges()
+	if len(sampled) == 0 {
+		t.Fatal("no sampled edges to delete")
+	}
+	victim := sampled[len(sampled)/2]
+	zBefore := s.Threshold()
+	arrivalsBefore := s.Arrivals()
+	processedBefore := s.Processed()
+
+	// Record the survivors' inclusion probabilities before the deletion.
+	qBefore := map[uint64]float64{}
+	for _, e := range sampled {
+		q, ok := s.InclusionProb(e)
+		if !ok {
+			t.Fatalf("sampled edge %v has no inclusion probability", e)
+		}
+		qBefore[e.Key()] = q
+	}
+
+	// Resident deletion: removed, counted as applied.
+	if s.Process(victim.AsDeletion()) {
+		t.Fatal("deletion record reported as sampled")
+	}
+	if s.Reservoir().Contains(victim) {
+		t.Fatal("deleted edge still resident")
+	}
+	applied, unsampled := s.Deletions()
+	if applied != 1 || unsampled != 0 {
+		t.Fatalf("Deletions() = %d/%d, want 1/0", applied, unsampled)
+	}
+
+	// Unsampled deletion: vacuous, counted separately. An edge id far
+	// outside the generated range is never resident.
+	s.Process(graph.NewEdge(1<<30, 1<<30+1).AsDeletion())
+	applied, unsampled = s.Deletions()
+	if applied != 1 || unsampled != 1 {
+		t.Fatalf("Deletions() = %d/%d, want 1/1", applied, unsampled)
+	}
+
+	// Deterministic: no arrival counted, no threshold movement, and both
+	// deletion records advance the stream position.
+	if s.Arrivals() != arrivalsBefore {
+		t.Fatalf("deletion bumped arrivals: %d -> %d", arrivalsBefore, s.Arrivals())
+	}
+	if s.Threshold() != zBefore {
+		t.Fatalf("deletion moved threshold: %v -> %v", zBefore, s.Threshold())
+	}
+	if got, want := s.Processed(), processedBefore+2; got != want {
+		t.Fatalf("Processed = %d, want %d (both deletion records count)", got, want)
+	}
+
+	// Survivors keep their original q(k): z* reflects evictions actually
+	// performed, which deletion does not revisit.
+	for _, e := range s.Reservoir().Edges() {
+		q, ok := s.InclusionProb(e)
+		if !ok {
+			t.Fatalf("surviving edge %v lost its inclusion probability", e)
+		}
+		if q != qBefore[e.Key()] {
+			t.Fatalf("surviving edge %v changed q: %v -> %v", e, qBefore[e.Key()], q)
+		}
+	}
+	checkSlotConsistency(t, s.res)
+}
+
+// TestDeletionConsumesNoRandomness: a run with vacuous deletions
+// interleaved must stay bit-identical to the run without them — deletions
+// are deterministic, so they may not advance the RNG or perturb any
+// sampling decision.
+func TestDeletionConsumesNoRandomness(t *testing.T) {
+	edges := cloneTestStream(150, 2000, 0x64)
+	mk := func() *Sampler {
+		s, err := NewSampler(Config{Capacity: 80, Weight: TriangleWeight, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	plain, noisy := mk(), mk()
+	absent := graph.NewEdge(1<<30, 1<<30+1)
+	for i, e := range edges {
+		plain.Process(e)
+		noisy.Process(e)
+		if i%7 == 3 {
+			noisy.Process(absent.AsDeletion()) // vacuous: must be a no-op
+		}
+	}
+	if fingerprint(plain) != fingerprint(noisy) {
+		t.Fatal("vacuous deletions perturbed the sampling run")
+	}
+	if plain.Threshold() != noisy.Threshold() {
+		t.Fatal("vacuous deletions moved the threshold")
+	}
+	if EstimatePost(plain) != EstimatePost(noisy) {
+		t.Fatal("vacuous deletions changed the estimates")
+	}
+}
+
+// TestDeletionExactWhenSaturated: with capacity above the stream size no
+// edge is ever evicted (z* = 0, every q = 1), so the HT estimator is the
+// exact count — and after deletions it must equal the exact count of the
+// surviving graph. This pins the estimator correction: deleted edges
+// contribute nothing, survivors still count at their original q.
+func TestDeletionExactWhenSaturated(t *testing.T) {
+	edges := gen.HolmeKim(60, 4, 0.5, 0xD1)
+	s, err := NewSampler(Config{Capacity: len(edges) + 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	processAll(t, s, edges)
+
+	rng := randx.New(0x2F)
+	deleted := map[uint64]bool{}
+	for i := 0; i < len(edges)/3; i++ {
+		victim := edges[rng.Intn(len(edges))]
+		if deleted[victim.Key()] {
+			continue
+		}
+		deleted[victim.Key()] = true
+		s.Process(victim.AsDeletion())
+	}
+
+	var survivors []graph.Edge
+	for _, e := range edges {
+		if !deleted[e.Key()] {
+			survivors = append(survivors, e)
+		}
+	}
+	got := EstimatePost(s)
+	want := naiveCounts(survivors)
+	if got.Triangles != float64(want.tri) || got.Wedges != float64(want.wedges) {
+		t.Fatalf("saturated estimates after deletions = (%v, %v), exact = (%d, %d)",
+			got.Triangles, got.Wedges, want.tri, want.wedges)
+	}
+}
+
+// naiveCounts counts triangles and wedges of an edge set by brute force.
+func naiveCounts(edges []graph.Edge) (c struct{ tri, wedges int64 }) {
+	adj := map[graph.NodeID]map[graph.NodeID]bool{}
+	add := func(a, b graph.NodeID) {
+		if adj[a] == nil {
+			adj[a] = map[graph.NodeID]bool{}
+		}
+		adj[a][b] = true
+	}
+	for _, e := range edges {
+		add(e.U, e.V)
+		add(e.V, e.U)
+	}
+	for _, e := range edges {
+		for w := range adj[e.U] {
+			if w != e.V && adj[e.V][w] {
+				c.tri++
+			}
+		}
+	}
+	c.tri /= 3 // each triangle is found once per edge
+	for _, nbrs := range adj {
+		n := int64(len(nbrs))
+		c.wedges += n * (n - 1) / 2
+	}
+	return c
+}
+
+// TestTurnstileChurnConsistency drives a tight reservoir through heavy
+// interleaved insert/delete churn and checks the slot-indexed structures
+// never drift: slot runs, key table and adjacency agree after every burst,
+// clones carry the same mapping, and the (v3) checkpoint round-trips both
+// bit-identically and byte-idempotently.
+func TestTurnstileChurnConsistency(t *testing.T) {
+	edges := gen.HolmeKim(400, 5, 0.5, 0xE7)
+	for _, tc := range []struct {
+		name   string
+		weight WeightFunc
+	}{{"uniform", nil}, {"triangle", TriangleWeight}} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewSampler(Config{Capacity: 100, Weight: tc.weight, Seed: 0xABC})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := randx.New(0x77E ^ uint64(len(tc.name)))
+			for i, e := range edges {
+				s.Process(e)
+				switch {
+				case i%3 == 2:
+					// Delete a random resident edge: heap arbitrary-position
+					// removal plus adjacency unlink.
+					if sampled := s.Reservoir().Edges(); len(sampled) > 0 {
+						s.Process(sampled[rng.Intn(len(sampled))].AsDeletion())
+					}
+				case i%5 == 1:
+					// Delete a random stream edge (usually unsampled).
+					s.Process(edges[rng.Intn(i+1)].AsDeletion())
+				}
+				if i%89 == 0 || i == len(edges)-1 {
+					checkSlotConsistency(t, s.res)
+				}
+			}
+			applied, unsampled := s.Deletions()
+			if applied == 0 || unsampled == 0 {
+				t.Fatalf("churn exercised no deletions: applied=%d unsampled=%d", applied, unsampled)
+			}
+			checkSlotConsistency(t, s.Clone().res)
+
+			// Durability: deletions force the v3 document; restore must be
+			// bit-identical (counters included) and re-encode byte-identically.
+			doc := checkpointBytes(t, s, tc.name)
+			restored := restoreSampler(t, doc)
+			checkSlotConsistency(t, restored.res)
+			requireSameSampler(t, s, restored)
+			ra, ru := restored.Deletions()
+			if ra != applied || ru != unsampled {
+				t.Fatalf("restored Deletions() = %d/%d, want %d/%d", ra, ru, applied, unsampled)
+			}
+			if !bytes.Equal(doc, checkpointBytes(t, restored, tc.name)) {
+				t.Fatal("checkpoint of restored turnstile sampler differs byte-wise")
+			}
+
+			// Both forks keep evolving identically through a turnstile suffix.
+			suffix := gen.HolmeKim(100, 4, 0.4, 0xF00)
+			for i, e := range suffix {
+				s.Process(e)
+				restored.Process(e)
+				if i%4 == 1 {
+					s.Process(suffix[i/2].AsDeletion())
+					restored.Process(suffix[i/2].AsDeletion())
+				}
+			}
+			requireSameSampler(t, s, restored)
+			if fingerprint(s) != fingerprint(restored) {
+				t.Fatal("turnstile forks diverged after restore")
+			}
+		})
+	}
+}
+
+// TestCheckpointVersionByContent: the checkpoint version is chosen by
+// state, not by build — a sampler that never saw a deletion writes the
+// same pre-turnstile document bytes as before v3 existed, and only applied
+// or vacuous deletions promote the document to version 3.
+func TestCheckpointVersionByContent(t *testing.T) {
+	edges := cloneTestStream(120, 1500, 0x4C)
+	s, err := NewSampler(Config{Capacity: 64, Weight: TriangleWeight, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	processAll(t, s, edges)
+	doc := checkpointBytes(t, s, "triangle")
+	if doc[4] >= 3 {
+		t.Fatalf("deletion-free sampler wrote version %d, want the pre-turnstile version", doc[4])
+	}
+
+	// One vacuous deletion is already observable state (Processed moves),
+	// so it must surface in the document version.
+	s.Process(graph.NewEdge(1<<30, 1<<30+1).AsDeletion())
+	doc = checkpointBytes(t, s, "triangle")
+	if doc[4] != 3 {
+		t.Fatalf("turnstile sampler wrote version %d, want 3", doc[4])
+	}
+	restored := restoreSampler(t, doc)
+	requireSameSampler(t, s, restored)
+	if !bytes.Equal(doc, checkpointBytes(t, restored, "triangle")) {
+		t.Fatal("v3 document not byte-idempotent")
+	}
+}
+
+// TestMergeCarriesDeletionCounters: merging shard samplers sums the
+// turnstile counters like every other stream statistic, so engine-level
+// Processed() stays exact across shards.
+func TestMergeCarriesDeletionCounters(t *testing.T) {
+	edges := cloneTestStream(150, 1200, 0x9D)
+	var shards []*Sampler
+	var wantApplied, wantUnsampled uint64
+	for p := 0; p < 3; p++ {
+		s, err := NewSampler(Config{Capacity: 40, Seed: uint64(p) + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := p; i < len(edges); i += 3 {
+			s.Process(edges[i])
+			if i%9 == p {
+				s.Process(edges[i].AsDeletion())
+			}
+		}
+		a, u := s.Deletions()
+		wantApplied += a
+		wantUnsampled += u
+		shards = append(shards, s)
+	}
+	if wantApplied+wantUnsampled == 0 {
+		t.Fatal("shards exercised no deletions")
+	}
+	merged, err := Merge(shards, Config{Capacity: 40, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, u := merged.Deletions()
+	if a != wantApplied || u != wantUnsampled {
+		t.Fatalf("merged Deletions() = %d/%d, want %d/%d", a, u, wantApplied, wantUnsampled)
+	}
+}

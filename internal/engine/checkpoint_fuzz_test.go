@@ -47,24 +47,66 @@ func FuzzEngineCheckpointDecoder(f *testing.F) {
 		f.Add(buf.Bytes())
 	}
 
-	f.Fuzz(func(t *testing.T, input []byte) {
-		p, _, err := ReadParallelCheckpoint(bytes.NewReader(input), nil)
+	// GPSC window-container seeds (KindWindow, v3): a windowed run with
+	// rotated panes and turnstile deletions, plus a fresh one.
+	f.Add([]byte("GPSC\x03\x04"))
+	for _, rotated := range []bool{false, true} {
+		w, err := NewWindowed(WindowConfig{Capacity: 64, Seed: 31, Shards: 2, PaneWidth: 50, Window: 150})
 		if err != nil {
-			return
+			f.Fatal(err)
+		}
+		if rotated {
+			es := testStream(200, 1200, 0xAB)
+			for i := range es {
+				es[i].TS = uint64(10 + i)
+				if i%9 == 7 {
+					es[i] = es[i-2].At(es[i].TS).AsDeletion()
+				}
+			}
+			if err := w.ProcessBatch(es); err != nil {
+				f.Fatal(err)
+			}
 		}
 		var buf bytes.Buffer
-		if _, err := p.WriteCheckpoint(&buf, "w"); err != nil {
-			t.Fatalf("re-encode of accepted engine document: %v", err)
+		if _, err := w.WriteCheckpoint(&buf, "uniform"); err != nil {
+			f.Fatal(err)
 		}
-		again, _, err := ReadParallelCheckpoint(&buf, func(string) (core.WeightFunc, error) { return nil, nil })
-		if err != nil {
-			t.Fatalf("re-decode of accepted engine document: %v", err)
+		w.Close()
+		f.Add(buf.Bytes())
+	}
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		if p, _, err := ReadParallelCheckpoint(bytes.NewReader(input), nil); err == nil {
+			var buf bytes.Buffer
+			if _, err := p.WriteCheckpoint(&buf, "w"); err != nil {
+				t.Fatalf("re-encode of accepted engine document: %v", err)
+			}
+			again, _, err := ReadParallelCheckpoint(&buf, func(string) (core.WeightFunc, error) { return nil, nil })
+			if err != nil {
+				t.Fatalf("re-decode of accepted engine document: %v", err)
+			}
+			if again.Shards() != p.Shards() || again.Capacity() != p.Capacity() ||
+				again.Processed() != p.Processed() {
+				t.Fatal("round trip changed engine state")
+			}
+			again.Close()
+			p.Close()
 		}
-		if again.Shards() != p.Shards() || again.Capacity() != p.Capacity() ||
-			again.Processed() != p.Processed() {
-			t.Fatal("round trip changed engine state")
+		if w, _, err := ReadWindowedCheckpoint(bytes.NewReader(input), nil); err == nil {
+			var buf bytes.Buffer
+			if _, err := w.WriteCheckpoint(&buf, "w"); err != nil {
+				t.Fatalf("re-encode of accepted window document: %v", err)
+			}
+			again, _, err := ReadWindowedCheckpoint(&buf, func(string) (core.WeightFunc, error) { return nil, nil })
+			if err != nil {
+				t.Fatalf("re-decode of accepted window document: %v", err)
+			}
+			if again.Panes() != w.Panes() || again.Processed() != w.Processed() ||
+				again.Horizon() != w.Horizon() {
+				t.Fatal("round trip changed window state")
+			}
+			again.Close()
+			w.Close()
 		}
-		again.Close()
-		p.Close()
 	})
 }

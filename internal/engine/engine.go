@@ -131,9 +131,10 @@ import (
 // enough to keep shards busy and queries fresh.
 const DefaultBatch = 4096
 
-// DefaultRingCapacity is the per-shard ring buffer size in edges. At 16
-// bytes per edge a shard queue tops out at 512 KiB; a full ring blocks the
-// producer (counted as a router stall) rather than buffering unboundedly.
+// DefaultRingCapacity is the per-shard ring buffer size in edges. At 24
+// bytes per edge (canonical pair, event time, deletion flag plus padding) a
+// shard queue tops out at 768 KiB; a full ring blocks the producer (counted
+// as a router stall) rather than buffering unboundedly.
 const DefaultRingCapacity = 1 << 15
 
 // Parallel is a sharded GPS sampler. Feed it with Process/ProcessBatch
@@ -531,6 +532,24 @@ func (p *Parallel) Arrivals() uint64 {
 		total += sh.s.Arrivals()
 	}
 	return total
+}
+
+// Deletions returns the summed turnstile-deletion counters across all
+// shards: applied removed a resident edge from some shard reservoir,
+// unsampled applied vacuously. It synchronizes like Arrivals. A deletion
+// record routes to the same shard as its insert (the partition hashes the
+// canonical edge identity, which ignores the deletion flag), so exactly one
+// shard accounts for each record.
+func (p *Parallel) Deletions() (applied, unsampled uint64) {
+	p.admit.Lock()
+	defer p.admit.Unlock()
+	p.barrierLocked()
+	for _, sh := range p.shards {
+		a, u := sh.s.Deletions()
+		applied += a
+		unsampled += u
+	}
+	return applied, unsampled
 }
 
 // Merge drains all pending work and returns a sequential Sampler holding

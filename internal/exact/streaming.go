@@ -37,6 +37,32 @@ func (c *StreamingCounter) Add(e graph.Edge) bool {
 	return true
 }
 
+// Remove observes one turnstile deletion and reports whether the edge was
+// present (deletions of absent edges apply vacuously, mirroring the
+// sampler's delUnsampled path). It is the exact inverse of Add: the edge
+// leaves the graph first, and the motifs it participated in — one triangle
+// per remaining common neighbor, one wedge per remaining incident edge —
+// are subtracted against the post-removal topology.
+func (c *StreamingCounter) Remove(e graph.Edge) bool {
+	if !c.adj.Has(e) {
+		return false
+	}
+	c.adj.Remove(e)
+	c.triangles -= int64(c.adj.CountCommonNeighbors(e.U, e.V))
+	c.wedges -= int64(c.adj.Degree(e.U) + c.adj.Degree(e.V))
+	return true
+}
+
+// Process dispatches one turnstile record: Add for inserts, Remove for
+// deletion records. It is the ground-truth mirror of Sampler.Process over a
+// turnstile stream.
+func (c *StreamingCounter) Process(e graph.Edge) bool {
+	if e.Del {
+		return c.Remove(e.Insert())
+	}
+	return c.Add(e)
+}
+
 // Triangles returns the exact triangle count of the edges seen so far.
 func (c *StreamingCounter) Triangles() int64 { return c.triangles }
 

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWindowAccuracySmoke runs the turnstile sliding-window experiment at
+// small scale: rows for every (window, m, motif) cell, saturated samples
+// landing on the exact in-window counts, and a renderable table. The tight
+// NRMSE regression bounds live in internal/engine's windowed tests.
+func TestWindowAccuracySmoke(t *testing.T) {
+	rows, err := WindowAccuracy(
+		Options{Trials: 2, Seed: 11},
+		WindowConfig{Nodes: 1500, K: 5, Triad: 0.4,
+			WindowFracs: []float64{0.5}, SampleSizes: []int{800, 100000}, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One window × two sample sizes × three motifs.
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Exact <= 0 {
+			t.Fatalf("%+v: non-positive exact count", r)
+		}
+		if r.NRMSE < 0 || r.NRMSE > 2 {
+			t.Fatalf("%+v: NRMSE out of range", r)
+		}
+		// The oversized sample saturates every pane, so the merged window
+		// estimate is the exact count and the NRMSE collapses to zero.
+		if r.M > 10000 && r.NRMSE != 0 {
+			t.Errorf("%+v: saturated sample is not exact", r)
+		}
+	}
+	text := RenderWindow(rows)
+	if !strings.Contains(text, "0.50·span") || !strings.Contains(text, "triangles") {
+		t.Fatalf("render missing content:\n%s", text)
+	}
+}

@@ -26,9 +26,15 @@ type NodeID uint32
 // identity: Key ignores it, and every structure that deduplicates or looks
 // up edges goes through Key. Code must not compare two Edge values with ==
 // unless they provably stem from the same arrival.
+//
+// Del marks a turnstile deletion record: the stream item retracts the edge
+// {U,V} instead of inserting it. Like TS it is transport metadata, not
+// identity — samplers strip it on admission, so stored entries never carry
+// it, and Key ignores it.
 type Edge struct {
 	U, V NodeID
 	TS   uint64
+	Del  bool
 }
 
 // NewEdge returns the canonical form of the undirected edge {a,b}.
@@ -54,6 +60,19 @@ func NewEdgeAt(a, b NodeID, ts uint64) Edge {
 // At returns a copy of e stamped with the given event timestamp.
 func (e Edge) At(ts uint64) Edge {
 	e.TS = ts
+	return e
+}
+
+// AsDeletion returns a copy of e flagged as a turnstile deletion record.
+func (e Edge) AsDeletion() Edge {
+	e.Del = true
+	return e
+}
+
+// Insert returns a copy of e with the deletion flag cleared — the form
+// samplers store, so reservoir entries never carry transport metadata.
+func (e Edge) Insert() Edge {
+	e.Del = false
 	return e
 }
 

@@ -49,6 +49,7 @@ type Heap struct {
 	arena []Entry // slot id → entry; entries do not move within a slot
 	freed []int32 // recycled slot ids
 	heap  []int32 // slot ids, heap-ordered by arena[slot].Priority
+	pos   []int32 // slot id → heap position, parallel to arena; stale at freed slots
 	tab   keyTable
 }
 
@@ -57,6 +58,7 @@ func NewHeap(n int) *Heap {
 	h := &Heap{
 		arena: make([]Entry, 0, n+1),
 		heap:  make([]int32, 0, n+1),
+		pos:   make([]int32, 0, n+1),
 	}
 	h.tab.init(n + 1)
 	return h
@@ -80,6 +82,7 @@ func (h *Heap) CloneInto(dst *Heap) *Heap {
 	dst.arena = append(dst.arena[:0], h.arena...)
 	dst.freed = append(dst.freed[:0], h.freed...)
 	dst.heap = append(dst.heap[:0], h.heap...)
+	dst.pos = append(dst.pos[:0], h.pos...)
 	// The probe sequence wraps with mask, so the key/slot slices must have
 	// exactly the source table's length; append onto [:0] guarantees that
 	// while keeping any larger recycled capacity.
@@ -144,12 +147,13 @@ func RestoreHeap(arena []Entry, freed, heapOrder []int32) (*Heap, error) {
 			return nil, fmt.Errorf("order: freed slot %d holds a non-zero entry", slot)
 		}
 	}
-	h := &Heap{arena: arena, freed: freed, heap: heapOrder}
+	h := &Heap{arena: arena, freed: freed, heap: heapOrder, pos: make([]int32, n)}
 	h.tab.init(len(heapOrder) + 1)
 	for i, slot := range heapOrder {
 		if err := mark(slot); err != nil {
 			return nil, err
 		}
+		h.pos[slot] = int32(i)
 		ent := &arena[slot]
 		if !ent.Edge.Canonical() {
 			return nil, fmt.Errorf("order: slot %d holds non-canonical edge %v", slot, ent.Edge)
@@ -256,9 +260,11 @@ func (h *Heap) Push(e Entry) int32 {
 	} else {
 		slot = int32(len(h.arena))
 		h.arena = append(h.arena, e)
+		h.pos = append(h.pos, 0)
 	}
 	h.tab.put(key, slot)
 	h.heap = append(h.heap, slot)
+	h.pos[slot] = int32(len(h.heap) - 1)
 	h.siftUp(int32(len(h.heap) - 1))
 	return slot
 }
@@ -273,6 +279,7 @@ func (h *Heap) PopMin() Entry {
 	min := h.arena[slot]
 	last := len(h.heap) - 1
 	h.heap[0] = h.heap[last]
+	h.pos[h.heap[0]] = 0
 	h.heap = h.heap[:last]
 	if last > 0 {
 		h.siftDown(0)
@@ -280,6 +287,34 @@ func (h *Heap) PopMin() Entry {
 	h.tab.del(min.Edge.Key())
 	h.freed = append(h.freed, slot)
 	return min
+}
+
+// Remove deletes the entry with the given edge key from an arbitrary heap
+// position — the turnstile-deletion primitive. The vacated position is
+// refilled by the last heap element and re-sifted in both directions, the
+// key index entry is backward-shift deleted, and the arena slot is recycled
+// exactly as PopMin recycles the root's. Returns the removed entry and
+// whether the key was present; an absent key leaves the heap untouched.
+func (h *Heap) Remove(key uint64) (Entry, bool) {
+	slot, ok := h.tab.get(key)
+	if !ok {
+		return Entry{}, false
+	}
+	removed := h.arena[slot]
+	i := h.pos[slot]
+	last := int32(len(h.heap) - 1)
+	if i != last {
+		h.heap[i] = h.heap[last]
+		h.pos[h.heap[i]] = i
+	}
+	h.heap = h.heap[:last]
+	if i < last {
+		h.siftDown(i)
+		h.siftUp(i)
+	}
+	h.tab.del(key)
+	h.freed = append(h.freed, slot)
+	return removed, true
 }
 
 func (h *Heap) prio(i int32) float64 { return h.arena[h.heap[i]].Priority }
@@ -291,6 +326,8 @@ func (h *Heap) siftUp(i int32) {
 			return
 		}
 		h.heap[parent], h.heap[i] = h.heap[i], h.heap[parent]
+		h.pos[h.heap[parent]] = parent
+		h.pos[h.heap[i]] = i
 		i = parent
 	}
 }
@@ -310,6 +347,8 @@ func (h *Heap) siftDown(i int32) {
 			return
 		}
 		h.heap[i], h.heap[smallest] = h.heap[smallest], h.heap[i]
+		h.pos[h.heap[i]] = i
+		h.pos[h.heap[smallest]] = smallest
 		i = smallest
 	}
 }

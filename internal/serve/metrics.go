@@ -121,7 +121,27 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 // cache's current immutable snapshot — scraping never touches the live
 // samplers, so it is race-free and never stalls ingestion.
 func (s *Server) registerMetrics() {
-	s.par.RegisterMetrics(s.reg)
+	if s.win != nil {
+		// Windowed mode: pane rotation replaces the live Parallel, so the
+		// engine's per-instance instruments would go stale; the window
+		// families cover the chain instead. The readers take the window
+		// mutex briefly (no engine barrier), so scrapes stay cheap.
+		wc := s.win.Config()
+		s.reg.RegisterGaugeFunc("gps_window_width",
+			"Queryable window maximum, in event-time units.",
+			func() float64 { return float64(wc.Window) })
+		s.reg.RegisterGaugeFunc("gps_window_pane_width",
+			"Window pane width, in event-time units.",
+			func() float64 { return float64(wc.PaneWidth) })
+		s.reg.RegisterGaugeFunc("gps_window_panes",
+			"Retained panes (retired plus the live one).",
+			func() float64 { return float64(s.win.Panes()) })
+		s.reg.RegisterGaugeFunc("gps_window_horizon",
+			"Largest event time ingested (the horizon window queries end at).",
+			func() float64 { return float64(s.win.Horizon()) })
+	} else {
+		s.par.RegisterMetrics(s.reg)
+	}
 	checkpoint.RegisterMetrics(s.reg)
 
 	s.met.snapAge = s.reg.Histogram("gps_serve_snapshot_age_seconds",
@@ -143,6 +163,8 @@ func (s *Server) registerMetrics() {
 		"Ingest requests rejected by backpressure (503).", s.batchesDropped.Load)
 	s.reg.RegisterCounterFunc("gps_serve_self_loops_total",
 		"Self-loop records skipped by the stream readers.", s.selfLoops.Load)
+	s.reg.RegisterCounterFunc("gps_serve_deletion_records_total",
+		"Turnstile deletion records accepted for ingest.", s.deletionRecs.Load)
 	s.reg.RegisterCounterFunc("gps_serve_checkpoint_files_total",
 		"Checkpoint files persisted by this server.", s.checkpointsWritten.Load)
 	s.reg.RegisterGaugeFunc("gps_serve_uptime_seconds", "Seconds since the server booted.",
@@ -220,6 +242,37 @@ func (s *Server) registerMetrics() {
 		func() uint64 {
 			if sn := s.snaps.current(); sn != nil {
 				return sn.sampler.Evicts()
+			}
+			return 0
+		})
+	// The applied/unsampled deletion split needs the samplers' verdicts: on
+	// a plain server it reads the latest snapshot; a windowed server sums
+	// its retired panes lock-cheap (the live pane's verdicts join the sums
+	// at the next rotation — gps_serve_deletion_records_total is the exact
+	// record count in the meantime).
+	s.reg.RegisterCounterFunc("gps_core_deletions_applied_total",
+		"Turnstile deletions that removed a sampled edge, as of the latest snapshot (windowed: summed over retired panes).",
+		func() uint64 {
+			if s.win != nil {
+				a, _ := s.win.RetiredDeletions()
+				return a
+			}
+			if sn := s.snaps.current(); sn != nil {
+				a, _ := sn.sampler.Deletions()
+				return a
+			}
+			return 0
+		})
+	s.reg.RegisterCounterFunc("gps_core_deletions_unsampled_total",
+		"Turnstile deletions of unsampled edges (applied vacuously), as of the latest snapshot (windowed: summed over retired panes).",
+		func() uint64 {
+			if s.win != nil {
+				_, u := s.win.RetiredDeletions()
+				return u
+			}
+			if sn := s.snaps.current(); sn != nil {
+				_, u := sn.sampler.Deletions()
+				return u
 			}
 			return 0
 		})

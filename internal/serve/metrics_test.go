@@ -169,8 +169,13 @@ func TestServeMetricsFourLayers(t *testing.T) {
 // lists. Adding a metric without deciding whether /v1/stats covers it
 // fails here.
 func TestStatsMetricsPartition(t *testing.T) {
-	for _, half := range []float64{0, 4} {
-		s, err := NewServer(Config{Capacity: 64, Seed: 1, Shards: 2, HalfLife: half})
+	configs := map[string]Config{
+		"plain":    {Capacity: 64, Seed: 1, Shards: 2},
+		"decayed":  {Capacity: 64, Seed: 1, Shards: 2, HalfLife: 4},
+		"windowed": {Capacity: 64, Seed: 1, Shards: 2, Window: 100, PaneWidth: 25},
+	}
+	for mode, cfg := range configs {
+		s, err := NewServer(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -181,19 +186,19 @@ func TestStatsMetricsPartition(t *testing.T) {
 		}
 		for _, name := range only {
 			if prev, dup := classified[name]; dup {
-				t.Fatalf("half_life=%g: %s in both namespaces (%s and metrics-only)", half, name, prev)
+				t.Fatalf("%s: %s in both namespaces (%s and metrics-only)", mode, name, prev)
 			}
 			classified[name] = "metrics-only"
 		}
 		fams := s.Metrics().Families()
 		for _, name := range fams {
 			if _, ok := classified[name]; !ok {
-				t.Errorf("half_life=%g: family %s served but unclassified", half, name)
+				t.Errorf("%s: family %s served but unclassified", mode, name)
 			}
 			delete(classified, name)
 		}
 		for name := range classified {
-			t.Errorf("half_life=%g: %s classified but not in the registry", half, name)
+			t.Errorf("%s: %s classified but not in the registry", mode, name)
 		}
 		s.Close()
 	}

@@ -92,6 +92,19 @@ type Config struct {
 	// a third edge-list column; untimed edges decay by stream position.
 	// 0 (the default) disables decay.
 	HalfLife float64
+	// Window enables sliding-window sampling: the server keeps a chain of
+	// time-partitioned panes (engine.Windowed) and /v1/estimate answers
+	// "the trailing w event-time units, exactly" via ?window=w (w defaults
+	// to Window, the queryable maximum). Windowed queries bypass the
+	// snapshot cache — each one merges the in-window panes fresh — and
+	// /v1/estimate/subgraph is unavailable. Mutually exclusive with
+	// HalfLife. 0 (the default) disables windowing.
+	Window uint64
+	// PaneWidth is the window pane granularity in event-time units; panes
+	// only bound retention (queries trim to the exact window edge by stored
+	// event time), so coarser panes cost memory, not accuracy. 0 defaults
+	// to Window. Only meaningful with Window > 0.
+	PaneWidth uint64
 	// EstimateDeadline bounds how long an estimate/subgraph query waits for
 	// a snapshot refresh. Past the deadline the previous snapshot is served
 	// with "degraded": true instead of blocking the caller — graceful
@@ -131,8 +144,12 @@ type Config struct {
 // Server is the live sampling service. Construct with NewServer, expose
 // via Handler, stop with Close.
 type Server struct {
-	cfg   Config
+	cfg Config
+	// Exactly one of par/win is non-nil: par is the plain sharded engine,
+	// win the sliding-window chain (Config.Window > 0). Engine-level
+	// telemetry in windowed mode reads the live pane via eng().
 	par   *engine.Parallel
+	win   *engine.Windowed
 	mux   *http.ServeMux
 	snaps *snapshotCache
 
@@ -152,6 +169,7 @@ type Server struct {
 	edgesProcessed atomic.Uint64 // edges handed to the sampler (restored position on boot)
 	batchesDropped atomic.Uint64 // ingest requests rejected by backpressure
 	selfLoops      atomic.Uint64 // self-loop records skipped by the readers
+	deletionRecs   atomic.Uint64 // turnstile deletion records accepted for ingest
 	decayMode      atomic.Int32  // 0 undecided, 1 event-timed, 2 untimed (decayed servers only)
 	pendingEdges   atomic.Int64
 	pendingBatches atomic.Int64
@@ -217,6 +235,16 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.CheckpointKeep <= 0 {
 		cfg.CheckpointKeep = 3
 	}
+	if cfg.Window > 0 {
+		if cfg.HalfLife > 0 {
+			return nil, errors.New("serve: -window and -half-life are mutually exclusive (both reweight time)")
+		}
+		if cfg.PaneWidth == 0 {
+			cfg.PaneWidth = cfg.Window
+		}
+	} else if cfg.PaneWidth != 0 {
+		return nil, errors.New("serve: PaneWidth requires Window > 0")
+	}
 	if cfg.CheckpointDir != "" {
 		// Fail at boot, not on the first (possibly periodic and therefore
 		// silent) checkpoint: a mistyped directory must not yield a server
@@ -240,10 +268,12 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	var (
 		par              *engine.Parallel
+		win              *engine.Windowed
 		restoredFrom     string
 		restoredPosition uint64
 	)
-	if cfg.RestoreFrom != "" {
+	switch {
+	case cfg.RestoreFrom != "":
 		path, err := checkpoint.ResolvePath(cfg.RestoreFrom)
 		if err != nil {
 			return nil, fmt.Errorf("serve: restore: %w", err)
@@ -252,23 +282,51 @@ func NewServer(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: restore: %w", err)
 		}
-		restored, weightName, err := engine.ReadParallelCheckpoint(f, WeightByName)
+		// The checkpoint's configuration wins: restored reservoirs are only
+		// meaningful under the capacity/weight/shards (and decay/window
+		// geometry) they were taken with.
+		var weightName string
+		if cfg.Window > 0 {
+			win, weightName, err = engine.ReadWindowedCheckpoint(f, WeightByName)
+		} else {
+			par, weightName, err = engine.ReadParallelCheckpoint(f, WeightByName)
+		}
 		f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("serve: restore %s: %w", path, err)
 		}
-		// The checkpoint's configuration wins: restored reservoirs are only
-		// meaningful under the capacity/weight/shards (and decay) they were
-		// taken with.
-		par = restored
-		cfg.Capacity = restored.Capacity()
-		cfg.Shards = restored.Shards()
+		if win != nil {
+			wc := win.Config()
+			cfg.Capacity = wc.Capacity
+			cfg.Shards = wc.Shards
+			cfg.Seed = wc.Seed
+			cfg.Window = wc.Window
+			cfg.PaneWidth = wc.PaneWidth
+			restoredPosition = win.Processed()
+		} else {
+			cfg.Capacity = par.Capacity()
+			cfg.Shards = par.Shards()
+			cfg.HalfLife = par.Decay().HalfLife
+			restoredPosition = par.Processed()
+		}
 		cfg.WeightName = weightName
 		cfg.Weight, _ = WeightByName(weightName)
-		cfg.HalfLife = restored.Decay().HalfLife
 		restoredFrom = path
-		restoredPosition = restored.Processed()
-	} else {
+	case cfg.Window > 0:
+		fresh, err := engine.NewWindowed(engine.WindowConfig{
+			Capacity:  cfg.Capacity,
+			Weight:    cfg.Weight,
+			Seed:      cfg.Seed,
+			Shards:    cfg.Shards,
+			PaneWidth: cfg.PaneWidth,
+			Window:    cfg.Window,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		win = fresh
+		cfg.Shards = fresh.Config().Shards // resolve the <=0 GOMAXPROCS default
+	default:
 		fresh, err := engine.NewParallel(core.Config{
 			Capacity: cfg.Capacity,
 			Weight:   cfg.Weight,
@@ -284,6 +342,7 @@ func NewServer(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:              cfg,
 		par:              par,
+		win:              win,
 		queue:            make(chan ingestItem, cfg.QueueDepth),
 		done:             make(chan struct{}),
 		seqSeen:          make(map[string]uint64),
@@ -296,7 +355,15 @@ func NewServer(cfg Config) (*Server, error) {
 	// keeps working across a restart.
 	s.edgesProcessed.Store(restoredPosition)
 	s.lastCheckpointErr.Store("")
-	s.snaps = newSnapshotCache(par.Snapshot, s.edgesProcessed.Load, par.Degraded)
+	if win != nil {
+		// Windowed queries merge panes fresh per request; the cache exists
+		// only so its metric families and telemetry readers stay uniform.
+		s.snaps = newSnapshotCache(func() (*core.Sampler, error) {
+			return nil, errors.New("serve: windowed mode has no standing snapshot")
+		}, s.edgesProcessed.Load, nil)
+	} else {
+		s.snaps = newSnapshotCache(par.Snapshot, s.edgesProcessed.Load, par.Degraded)
+	}
 	if cfg.LogRequests {
 		s.logw = cfg.LogWriter
 		if s.logw == nil {
@@ -353,7 +420,22 @@ func (s *Server) Close() {
 	}
 	close(s.done)
 	s.wg.Wait()
-	s.par.Close()
+	if s.win != nil {
+		s.win.Close()
+	} else {
+		s.par.Close()
+	}
+}
+
+// eng returns the engine carrying the live data plane: the plain sharded
+// engine, or — in windowed mode — the window chain's current live pane.
+// Rotation replaces the live pane, so callers use the handle for one
+// point-in-time read and re-fetch next time.
+func (s *Server) eng() *engine.Parallel {
+	if s.win != nil {
+		return s.win.Engine()
+	}
+	return s.par
 }
 
 // ingestLoop is the single consumer of the ingest queue: it preserves
@@ -379,7 +461,16 @@ func (s *Server) ingestLoop() {
 						s.ingestPanics.Add(1)
 					}
 				}()
-				s.par.ProcessBatch(it.edges)
+				if s.win != nil {
+					// A rotation failure (merge on a faulted pane) loses the
+					// batch like a recovered panic would; the loop survives
+					// and the loss is visible in ingest_panics.
+					if err := s.win.ProcessBatch(it.edges); err != nil {
+						s.ingestPanics.Add(1)
+					}
+				} else {
+					s.par.ProcessBatch(it.edges)
+				}
 			}()
 			s.pendingEdges.Add(-int64(len(it.edges)))
 			s.edgesProcessed.Add(uint64(len(it.edges)))
@@ -569,6 +660,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	case s.queue <- ingestItem{edges: edges}:
 		s.edgesAccepted.Add(uint64(len(edges)))
 		s.selfLoops.Add(uint64(rst.SelfLoops))
+		if dels := countDeletions(edges); dels > 0 {
+			s.deletionRecs.Add(dels)
+		}
 		if fault.Enabled() {
 			// Lost-acknowledgement window: the batch is enqueued and its
 			// sequence recorded, but the 202 never reaches the client — the
@@ -591,6 +685,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// delay; unbounded buffering here would just hide the overload.
 		reject("ingest queue full")
 	}
+}
+
+// countDeletions counts the turnstile deletion records in a parsed batch,
+// for the serve-level deletion telemetry (exact regardless of whether each
+// record later hits a sampled or an unsampled edge).
+func countDeletions(edges []graph.Edge) uint64 {
+	var n uint64
+	for _, e := range edges {
+		if e.Del {
+			n++
+		}
+	}
+	return n
 }
 
 // maxDecaySpanHalfLives bounds how far past the decay landmark the service
@@ -725,6 +832,12 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	// Drop any pre-flush snapshot so a follow-up estimate at the
 	// default staleness bound sees the acknowledged writes.
 	s.snaps.invalidate()
+	if s.win != nil {
+		// Windowed mode reports the stream position (all records, counted
+		// once across the pane fan-out) — the fence a loader sequences on.
+		writeJSON(w, http.StatusOK, map[string]any{"arrivals": s.win.Processed()})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"arrivals": s.par.Arrivals()})
 }
 
@@ -733,6 +846,16 @@ func flushErrMsg(err error) string {
 		return "server closed"
 	}
 	return "canceled"
+}
+
+// writeEngineCheckpoint serializes the data plane — the window chain as a
+// GPSC window document in windowed mode, the sharded engine otherwise —
+// and returns the stream position the document covers.
+func (s *Server) writeEngineCheckpoint(w io.Writer) (position uint64, err error) {
+	if s.win != nil {
+		return s.win.WriteCheckpoint(w, s.cfg.WeightName)
+	}
+	return s.par.WriteCheckpoint(w, s.cfg.WeightName)
 }
 
 // writeCheckpointFile persists one checkpoint into CheckpointDir with
@@ -749,7 +872,7 @@ func (s *Server) writeCheckpointFile() (path string, bytes int64, position uint6
 	tmp := filepath.Join(s.cfg.CheckpointDir, fmt.Sprintf("inflight-%019d.partial", time.Now().UnixNano()))
 	bytes, err = checkpoint.WriteFileAtomic(tmp, func(w io.Writer) error {
 		var werr error
-		position, werr = s.par.WriteCheckpoint(w, s.cfg.WeightName)
+		position, werr = s.writeEngineCheckpoint(w)
 		return werr
 	})
 	if err == nil {
@@ -859,7 +982,7 @@ func (s *Server) handleCheckpointDownload(w http.ResponseWriter, r *http.Request
 		return
 	}
 	cw := &countingWriter{w: w}
-	if _, err := s.par.WriteCheckpoint(cw, s.cfg.WeightName); err != nil {
+	if _, err := s.writeEngineCheckpoint(cw); err != nil {
 		if cw.n == 0 {
 			// Nothing sent yet (headers included): a proper error status is
 			// still possible — e.g. the engine closed under a racing
@@ -949,9 +1072,25 @@ type estimateResponse struct {
 	DecayedEdges  float64 `json:"decayed_edges,omitempty"`
 	DecayHorizon  uint64  `json:"decay_horizon,omitempty"`
 	DecayHalfLife float64 `json:"decay_half_life,omitempty"`
+	// Windowed-mode fields: the effective window width, the event-time
+	// horizon it ends at, the Horvitz-Thompson in-window edge count, and
+	// how many panes were merged. Omitted on non-windowed servers.
+	Window        uint64  `json:"window,omitempty"`
+	WindowHorizon uint64  `json:"window_horizon,omitempty"`
+	WindowEdges   float64 `json:"window_edges,omitempty"`
+	WindowPanes   int     `json:"window_panes,omitempty"`
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if s.win != nil {
+		s.handleWindowEstimate(w, r)
+		return
+	}
+	if raw := r.URL.Query().Get("window"); raw != "" {
+		httpError(w, http.StatusBadRequest,
+			"window queries need a windowed server (start with -window)")
+		return
+	}
 	stale, err := s.maxStale(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -995,6 +1134,61 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleWindowEstimate answers /v1/estimate on a windowed server: it
+// merges the panes overlapping the requested trailing window (?window=w in
+// event-time units; absent or 0 means the configured maximum) and runs the
+// post-stream estimators on the merged sample. There is no snapshot cache
+// in this mode — every answer is freshly merged — so max_stale is accepted
+// and ignored.
+func (s *Server) handleWindowEstimate(w http.ResponseWriter, r *http.Request) {
+	var window uint64
+	if raw := r.URL.Query().Get("window"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil || v == 0 {
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("bad window %q (want a positive integer in event-time units)", raw))
+			return
+		}
+		if v > s.cfg.Window {
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("window %d exceeds the configured maximum %d (older panes are already retired)", v, s.cfg.Window))
+			return
+		}
+		window = v
+	}
+	release, ok := s.admitQuery(w)
+	if !ok {
+		return
+	}
+	defer release()
+	taken := time.Now()
+	est, err := s.win.Query(window)
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	s.met.snapAge.Observe(uint64(time.Since(taken)))
+	tri, wed, cc := est.TriangleInterval(), est.WedgeInterval(), est.ClusteringInterval()
+	writeJSON(w, http.StatusOK, estimateResponse{
+		Triangles:      est.Triangles,
+		TrianglesCI:    [2]float64{tri.Lower, tri.Upper},
+		Wedges:         est.Wedges,
+		WedgesCI:       [2]float64{wed.Lower, wed.Upper},
+		Clustering:     est.GlobalClustering(),
+		ClusteringCI:   [2]float64{cc.Lower, cc.Upper},
+		SampledEdges:   est.SampledEdges,
+		Arrivals:       est.Arrivals,
+		Threshold:      est.Threshold,
+		SnapshotAgeMS:  float64(time.Since(taken)) / float64(time.Millisecond),
+		SnapshotUnixNS: taken.UnixNano(),
+		Window:         est.Window,
+		WindowHorizon:  est.Horizon,
+		WindowEdges:    est.Edges,
+		WindowPanes:    est.Panes,
+	})
+}
+
 // subgraphRequest is the JSON body of /v1/estimate/subgraph: the edge set
 // J of the queried subgraph as [u, v] pairs.
 type subgraphRequest struct {
@@ -1002,6 +1196,11 @@ type subgraphRequest struct {
 }
 
 func (s *Server) handleSubgraph(w http.ResponseWriter, r *http.Request) {
+	if s.win != nil {
+		httpError(w, http.StatusBadRequest,
+			"subgraph estimation is not available on a windowed server (no standing snapshot to evaluate against)")
+		return
+	}
 	stale, err := s.maxStale(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())

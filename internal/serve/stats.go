@@ -42,6 +42,16 @@ type StatsV1 struct {
 	BatchesRejected  uint64 `json:"batches_rejected"`
 	SelfLoopsSkipped uint64 `json:"self_loops_skipped"`
 
+	// Turnstile deletions. DeletionRecords counts deletion records accepted
+	// for ingest (serve-level, exact). The applied/unsampled split needs the
+	// samplers' verdicts: on a plain server it is read from the latest query
+	// snapshot (0 until one exists); on a windowed server it is summed over
+	// the pane chain, where the deletion fan-out counts one record once per
+	// retained pane.
+	DeletionRecords    uint64 `json:"deletion_records"`
+	DeletionsApplied   uint64 `json:"deletions_applied"`
+	DeletionsUnsampled uint64 `json:"deletions_unsampled"`
+
 	SnapshotArrivals uint64  `json:"snapshot_arrivals"`
 	UptimeMS         float64 `json:"uptime_ms"`
 
@@ -71,6 +81,12 @@ type StatsV1 struct {
 	DecayHalfLife float64 `json:"decay_half_life,omitempty"`
 	DecayHorizon  *uint64 `json:"decay_horizon,omitempty"`
 
+	// Conditional: sliding-window state (present when windowing is on).
+	Window        uint64  `json:"window,omitempty"`
+	PaneWidth     uint64  `json:"pane_width,omitempty"`
+	WindowPanes   *int    `json:"window_panes,omitempty"`
+	WindowHorizon *uint64 `json:"window_horizon,omitempty"`
+
 	// Conditional: present once a snapshot has been taken.
 	SnapshotAgeMS *float64 `json:"snapshot_age_ms,omitempty"`
 
@@ -93,9 +109,10 @@ type StatsV1 struct {
 // statsV1 assembles the /v1/stats document.
 func (s *Server) statsV1() StatsV1 {
 	snapTaken, snapArrivals := s.snaps.last()
-	snapshots, cloned, reused := s.par.SnapshotStats()
-	ckpts, encoded, blobReused := s.par.CheckpointStats()
-	rs := s.par.RingStats()
+	eng := s.eng() // the live pane in windowed mode; re-fetched per call
+	snapshots, cloned, reused := eng.SnapshotStats()
+	ckpts, encoded, blobReused := eng.CheckpointStats()
+	rs := eng.RingStats()
 	st := StatsV1{
 		SchemaVersion:        1,
 		Snapshots:            snapshots,
@@ -105,10 +122,10 @@ func (s *Server) statsV1() StatsV1 {
 		CheckpointShardsEnc:  encoded,
 		CheckpointBlobsReuse: blobReused,
 		CheckpointsWritten:   s.checkpointsWritten.Load(),
-		SnapshotStallMS:      float64(s.par.LastSnapshotStall()) / float64(time.Millisecond),
+		SnapshotStallMS:      float64(eng.LastSnapshotStall()) / float64(time.Millisecond),
 		Capacity:             s.cfg.Capacity,
 		Weight:               s.cfg.WeightName,
-		Shards:               s.par.Shards(),
+		Shards:               eng.Shards(),
 		QueueDepth:           s.cfg.QueueDepth,
 		PendingBatches:       s.pendingBatches.Load(),
 		PendingEdges:         s.pendingEdges.Load(),
@@ -129,9 +146,22 @@ func (s *Server) statsV1() StatsV1 {
 		IngestPanics:         s.ingestPanics.Load(),
 		InflightQueries:      s.inflightQueries.Load(),
 	}
-	st.ShardHealth, st.Degraded = s.par.Health()
-	st.ShardRestarts = s.par.Restarts()
-	st.LostEdges = s.par.LostEdges()
+	st.ShardHealth, st.Degraded = eng.Health()
+	st.ShardRestarts = eng.Restarts()
+	st.LostEdges = eng.LostEdges()
+	st.DeletionRecords = s.deletionRecs.Load()
+	if s.win != nil {
+		st.DeletionsApplied, st.DeletionsUnsampled = s.win.Deletions()
+		wc := s.win.Config()
+		st.Window = wc.Window
+		st.PaneWidth = wc.PaneWidth
+		panes := s.win.Panes()
+		st.WindowPanes = &panes
+		horizon := s.win.Horizon()
+		st.WindowHorizon = &horizon
+	} else if sn := s.snaps.current(); sn != nil {
+		st.DeletionsApplied, st.DeletionsUnsampled = sn.sampler.Deletions()
+	}
 	if fault.Enabled() {
 		// Armed fault-injection points (diagnostics for chaos runs): which
 		// rules exist, how often each point was traversed and fired.
@@ -139,7 +169,7 @@ func (s *Server) statsV1() StatsV1 {
 	}
 	if s.cfg.HalfLife > 0 {
 		st.DecayHalfLife = s.cfg.HalfLife
-		horizon := s.par.DecayHorizon()
+		horizon := s.par.DecayHorizon() // decay excludes windowing: par is set
 		st.DecayHorizon = &horizon
 	}
 	if !snapTaken.IsZero() {
@@ -181,38 +211,26 @@ func (s *Server) SetPprofAddr(addr string) { s.pprofAddr.Store(addr) }
 // classification here.
 func (s *Server) metricsPartition() (statsCovered, metricsOnly []string) {
 	statsCovered = []string{
-		"gps_checkpoint_files_written_total",         // checkpoints_written (per-process superset)
-		"gps_core_arrivals_total",                    // snapshot_arrivals
-		"gps_core_reservoir_capacity",                // capacity
-		"gps_engine_checkpoint_blobs_reused_total",   // checkpoint_blobs_reuse
-		"gps_engine_checkpoint_shards_encoded_total", // checkpoint_shards_enc
-		"gps_engine_checkpoints_total",               // checkpoints
-		"gps_engine_ring_backlog",                    // ring_backlog
-		"gps_engine_ring_capacity",                   // ring_capacity
-		"gps_engine_ring_depth",                      // ring_depths
-		"gps_engine_ring_stalls_total",               // router_stalls
-		"gps_engine_shard_epoch",                     // shard_epochs
-		"gps_engine_shards",                          // shards
-		"gps_engine_snapshot_shards_cloned_total",    // shards_cloned
-		"gps_engine_snapshot_shards_reused_total",    // shards_reused
-		"gps_engine_snapshots_total",                 // snapshots
-		"gps_engine_shard_lost_edges_total",          // lost_edges
-		"gps_engine_shard_restarts_total",            // shard_restarts
-		"gps_engine_shards_degraded",                 // degraded / shard_health
-		"gps_serve_batches_rejected_total",           // batches_rejected
-		"gps_serve_checkpoint_files_total",           // checkpoints_written
-		"gps_serve_degraded_queries_total",           // degraded_queries
-		"gps_serve_duplicate_batches_total",          // duplicate_batches
-		"gps_serve_edges_accepted_total",             // edges_accepted
-		"gps_serve_edges_processed_total",            // edges_processed
-		"gps_serve_inflight_queries",                 // inflight_queries
-		"gps_serve_ingest_panics_total",              // ingest_panics
-		"gps_serve_queue_batches",                    // pending_batches
-		"gps_serve_queue_capacity",                   // queue_depth
-		"gps_serve_queue_edges",                      // pending_edges
-		"gps_serve_self_loops_total",                 // self_loops_skipped
-		"gps_serve_shed_total",                       // queries_shed
-		"gps_serve_uptime_seconds",                   // uptime_ms
+		"gps_checkpoint_files_written_total", // checkpoints_written (per-process superset)
+		"gps_core_arrivals_total",            // snapshot_arrivals
+		"gps_core_deletions_applied_total",   // deletions_applied
+		"gps_core_deletions_unsampled_total", // deletions_unsampled
+		"gps_core_reservoir_capacity",        // capacity
+		"gps_serve_batches_rejected_total",   // batches_rejected
+		"gps_serve_checkpoint_files_total",   // checkpoints_written
+		"gps_serve_degraded_queries_total",   // degraded_queries
+		"gps_serve_deletion_records_total",   // deletion_records
+		"gps_serve_duplicate_batches_total",  // duplicate_batches
+		"gps_serve_edges_accepted_total",     // edges_accepted
+		"gps_serve_edges_processed_total",    // edges_processed
+		"gps_serve_inflight_queries",         // inflight_queries
+		"gps_serve_ingest_panics_total",      // ingest_panics
+		"gps_serve_queue_batches",            // pending_batches
+		"gps_serve_queue_capacity",           // queue_depth
+		"gps_serve_queue_edges",              // pending_edges
+		"gps_serve_self_loops_total",         // self_loops_skipped
+		"gps_serve_shed_total",               // queries_shed
+		"gps_serve_uptime_seconds",           // uptime_ms
 	}
 	metricsOnly = []string{
 		"gps_checkpoint_file_bytes",
@@ -222,14 +240,6 @@ func (s *Server) metricsPartition() (statsCovered, metricsOnly []string) {
 		"gps_core_evicts_total",
 		"gps_core_reservoir_fill",
 		"gps_core_threshold",
-		"gps_engine_barrier_wait_seconds",
-		"gps_engine_checkpoint_encode_bytes",
-		"gps_engine_checkpoint_encode_seconds",
-		"gps_engine_drain_batch_edges",
-		"gps_engine_drain_batch_seconds",
-		"gps_engine_ring_parks_total",
-		"gps_engine_ring_wakeups_total",
-		"gps_engine_snapshot_stall_seconds", // stats has only the last stall, not the distribution
 		"gps_http_errors_total",
 		"gps_http_in_flight",
 		"gps_http_request_seconds",
@@ -241,6 +251,45 @@ func (s *Server) metricsPartition() (statsCovered, metricsOnly []string) {
 		"gps_serve_snapshot_estimate_reuse_total",
 		"gps_serve_snapshot_forced_fresh_total",
 		"gps_serve_snapshot_refresh_total",
+	}
+	if s.win != nil {
+		// Windowed servers register the window families instead of the
+		// per-instance engine families: rotation replaces the live engine,
+		// so instruments bound to one Parallel would go stale mid-run.
+		statsCovered = append(statsCovered,
+			"gps_window_width",      // window
+			"gps_window_pane_width", // pane_width
+			"gps_window_panes",      // window_panes
+			"gps_window_horizon",    // window_horizon
+		)
+	} else {
+		statsCovered = append(statsCovered,
+			"gps_engine_checkpoint_blobs_reused_total",   // checkpoint_blobs_reuse
+			"gps_engine_checkpoint_shards_encoded_total", // checkpoint_shards_enc
+			"gps_engine_checkpoints_total",               // checkpoints
+			"gps_engine_ring_backlog",                    // ring_backlog
+			"gps_engine_ring_capacity",                   // ring_capacity
+			"gps_engine_ring_depth",                      // ring_depths
+			"gps_engine_ring_stalls_total",               // router_stalls
+			"gps_engine_shard_epoch",                     // shard_epochs
+			"gps_engine_shards",                          // shards
+			"gps_engine_snapshot_shards_cloned_total",    // shards_cloned
+			"gps_engine_snapshot_shards_reused_total",    // shards_reused
+			"gps_engine_snapshots_total",                 // snapshots
+			"gps_engine_shard_lost_edges_total",          // lost_edges
+			"gps_engine_shard_restarts_total",            // shard_restarts
+			"gps_engine_shards_degraded",                 // degraded / shard_health
+		)
+		metricsOnly = append(metricsOnly,
+			"gps_engine_barrier_wait_seconds",
+			"gps_engine_checkpoint_encode_bytes",
+			"gps_engine_checkpoint_encode_seconds",
+			"gps_engine_drain_batch_edges",
+			"gps_engine_drain_batch_seconds",
+			"gps_engine_ring_parks_total",
+			"gps_engine_ring_wakeups_total",
+			"gps_engine_snapshot_stall_seconds", // stats has only the last stall, not the distribution
+		)
 	}
 	if s.cfg.HalfLife > 0 {
 		statsCovered = append(statsCovered, "gps_engine_decay_horizon") // decay_horizon

@@ -18,9 +18,17 @@ import (
 //	v1  "GPSB\x01"            record = uvarint u, uvarint v
 //	v2  "GPSB\x02" + flags    record = uvarint u, uvarint v
 //	                          [, uvarint ts-delta when flag 0x01 is set]
+//	v3  "GPSB\x03" + flags    record = op byte, uvarint u, uvarint v
+//	                          [, uvarint ts-delta when flag 0x01 is set]
 //
-// The v2 flags byte describes the whole stream; only bit 0 (records carry
-// timestamps) is defined, and unknown bits are rejected. Timestamps are
+// The flags byte describes the whole stream. Bit 0 (records carry
+// timestamps) is defined for v2 and v3; bit 1 (turnstile deletions) is what
+// v3 exists for — each record then leads with an op byte, opInsert (0x00) or
+// opDelete (0x01), and a decoded deletion carries graph.Edge.Del. Version 3
+// without the deletion flag is rejected (it would encode nothing v2 cannot),
+// and the deletion flag on a v2 header is the typed ErrDeletionsNeedV3 —
+// a turnstile stream fed to a pre-turnstile consumer must fail loudly, not
+// decode deletions as inserts. Unknown bits are rejected. Timestamps are
 // delta-encoded against the previous record's timestamp (starting from 0),
 // so a non-decreasing event-time stream — the normal shape of an activity
 // log — costs one extra byte per edge for small inter-arrival gaps; the
@@ -45,9 +53,29 @@ const binaryMagic = "GPSB\x01"
 // binaryMagicV2 starts every v2 (flagged, optionally timestamped) stream.
 const binaryMagicV2 = "GPSB\x02"
 
-// binaryFlagTimestamps marks a v2 stream whose records carry a trailing
+// binaryMagicV3 starts every v3 (turnstile, per-record op byte) stream.
+const binaryMagicV3 = "GPSB\x03"
+
+// binaryFlagTimestamps marks a v2/v3 stream whose records carry a trailing
 // uvarint timestamp delta.
 const binaryFlagTimestamps = 0x01
+
+// binaryFlagDeletions marks a v3 stream whose records lead with an op byte;
+// it is mandatory in v3 (the whole point of the version) and the typed
+// rejection ErrDeletionsNeedV3 on a v2 header.
+const binaryFlagDeletions = 0x02
+
+// Per-record op bytes of the v3 framing.
+const (
+	opInsert = 0x00
+	opDelete = 0x01
+)
+
+// ErrDeletionsNeedV3 is returned (wrapped; test with errors.Is) when a v2
+// header carries the deletion flag: only the v3 framing defines the
+// per-record op byte, so decoding such a stream as v2 would silently turn
+// every deletion into an insert.
+var ErrDeletionsNeedV3 = errors.New("stream: deletion flag requires the v3 binary framing")
 
 // BinaryContentType is the MIME type the service uses for binary edge
 // frames in HTTP requests.
@@ -81,6 +109,7 @@ type BinaryWriter struct {
 	bw     *bufio.Writer
 	count  int
 	timed  bool
+	dels   bool
 	prevTS uint64
 }
 
@@ -103,10 +132,38 @@ func NewBinaryWriterTimed(w io.Writer) *BinaryWriter {
 	return &BinaryWriter{bw: bw, timed: true}
 }
 
+// NewBinaryWriterTurnstile returns a v3 writer whose records lead with an
+// insert/delete op byte (timed controls the timestamp column, as in v2).
+func NewBinaryWriterTurnstile(w io.Writer, timed bool) *BinaryWriter {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(binaryMagicV3)
+	flags := byte(binaryFlagDeletions)
+	if timed {
+		flags |= binaryFlagTimestamps
+	}
+	bw.WriteByte(flags)
+	return &BinaryWriter{bw: bw, timed: timed, dels: true}
+}
+
 // WriteEdge appends one edge record.
 func (w *BinaryWriter) WriteEdge(e graph.Edge) error {
-	var buf [3 * binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], uint64(e.U))
+	var buf [1 + 3*binary.MaxVarintLen64]byte
+	n := 0
+	if w.dels {
+		buf[0] = opInsert
+		if e.Del {
+			buf[0] = opDelete
+		}
+		n = 1
+	} else if e.Del {
+		version := "v1"
+		if w.timed {
+			version = "v2"
+		}
+		return fmt.Errorf("stream: binary record %d: %s framing cannot carry a deletion (use NewBinaryWriterTurnstile)",
+			w.count, version)
+	}
+	n += binary.PutUvarint(buf[n:], uint64(e.U))
 	n += binary.PutUvarint(buf[n:], uint64(e.V))
 	if w.timed {
 		if e.TS < w.prevTS {
@@ -135,19 +192,21 @@ func (w *BinaryWriter) Flush() error { return w.bw.Flush() }
 // WriteBinary writes edges in the binary framing accepted by ReadBinary,
 // choosing the version by content: a stream where no edge carries a
 // timestamp is written as v1 (byte-identical to what earlier releases
-// produced), anything timestamped as v2.
+// produced), anything timestamped as v2, anything carrying a deletion
+// record as v3.
 func WriteBinary(w io.Writer, edges []graph.Edge) error {
-	timed := false
+	timed, dels := false, false
 	for _, e := range edges {
-		if e.TS != 0 {
-			timed = true
-			break
-		}
+		timed = timed || e.TS != 0
+		dels = dels || e.Del
 	}
 	var bw *BinaryWriter
-	if timed {
+	switch {
+	case dels:
+		bw = NewBinaryWriterTurnstile(w, timed)
+	case timed:
 		bw = NewBinaryWriterTimed(w)
-	} else {
+	default:
 		bw = NewBinaryWriter(w)
 	}
 	for _, e := range edges {
@@ -165,6 +224,7 @@ type BinaryDecoder struct {
 	br        *bufio.Reader
 	started   bool
 	timed     bool
+	dels      bool
 	err       error
 	count     int
 	selfLoops int
@@ -175,6 +235,24 @@ type BinaryDecoder struct {
 // first Next call.
 func NewBinaryDecoder(r io.Reader) *BinaryDecoder {
 	return &BinaryDecoder{br: bufio.NewReader(r)}
+}
+
+// Reset rearms the decoder over a new document, reusing the buffered
+// reader's storage. Every per-document field goes back to its zero state —
+// header expectation, error latch, the timestamp-delta base, and the skip
+// statistics (SelfLoops, Count). The statistics reset is load-bearing:
+// skip counts are per-document stream positions (checkpoint stream bindings
+// depend on them), so a decoder reused across documents must not bleed one
+// body's self-loop count into the next.
+func (d *BinaryDecoder) Reset(r io.Reader) {
+	d.br.Reset(r)
+	d.started = false
+	d.timed = false
+	d.dels = false
+	d.err = nil
+	d.count = 0
+	d.selfLoops = 0
+	d.prevTS = 0
 }
 
 // Next returns the next edge in canonical form. It returns io.EOF at a
@@ -193,7 +271,26 @@ func (d *BinaryDecoder) Next() (graph.Edge, error) {
 		d.started = true
 	}
 	for {
-		u, err := d.readNode(true)
+		del := false
+		if d.dels {
+			op, err := d.br.ReadByte()
+			if err != nil {
+				if err == io.EOF {
+					return graph.Edge{}, io.EOF // clean end between records
+				}
+				d.err = fmt.Errorf("stream: binary record %d: %w", d.record(), noEOF(err))
+				return graph.Edge{}, d.err
+			}
+			switch op {
+			case opInsert:
+			case opDelete:
+				del = true
+			default:
+				d.err = fmt.Errorf("stream: binary record %d: unknown op byte %#02x", d.record(), op)
+				return graph.Edge{}, d.err
+			}
+		}
+		u, err := d.readNode(!d.dels)
 		if err != nil {
 			d.err = err
 			return graph.Edge{}, err
@@ -222,7 +319,11 @@ func (d *BinaryDecoder) Next() (graph.Edge, error) {
 			continue
 		}
 		d.count++
-		return graph.NewEdgeAt(u, v, ts), nil
+		e := graph.NewEdgeAt(u, v, ts)
+		if del {
+			e = e.AsDeletion()
+		}
+		return e, nil
 	}
 }
 
@@ -251,10 +352,28 @@ func (d *BinaryDecoder) readHeader() error {
 		if err != nil {
 			return fmt.Errorf("stream: binary header: %w", noEOF(err))
 		}
+		if flags&binaryFlagDeletions != 0 {
+			// Typed rejection: decoding a turnstile stream as v2 would turn
+			// deletions into inserts, the worst possible failure mode.
+			return fmt.Errorf("stream: v2 header flags %#02x: %w", flags, ErrDeletionsNeedV3)
+		}
 		if flags&^byte(binaryFlagTimestamps) != 0 {
 			return fmt.Errorf("stream: unsupported binary stream flags %#02x", flags)
 		}
 		d.timed = flags&binaryFlagTimestamps != 0
+	case binaryMagicV3[4]: // v3: flags byte, records lead with an op byte
+		flags, err := d.br.ReadByte()
+		if err != nil {
+			return fmt.Errorf("stream: binary header: %w", noEOF(err))
+		}
+		if flags&^byte(binaryFlagTimestamps|binaryFlagDeletions) != 0 {
+			return fmt.Errorf("stream: unsupported binary stream flags %#02x", flags)
+		}
+		if flags&binaryFlagDeletions == 0 {
+			return fmt.Errorf("stream: v3 header flags %#02x: a v3 stream without the deletion flag would not need v3", flags)
+		}
+		d.timed = flags&binaryFlagTimestamps != 0
+		d.dels = true
 	default:
 		return fmt.Errorf("stream: unsupported binary edge stream version %d", hdr[4])
 	}

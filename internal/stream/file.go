@@ -19,7 +19,10 @@ const maxLineBytes = 1 << 20
 
 // ReadEdgeList parses a plain-text edge list: one edge per line as "u v" or
 // "u v ts", whitespace separated, with '#' or '%' starting a comment line.
-// The optional third column is an event timestamp (unsigned; 0 means
+// A line whose first field is "-" or "del" is a turnstile deletion of the
+// edge named by the remaining fields ("del u v" or "- u v ts"); the decoded
+// edge carries graph.Edge.Del. The optional third column is an event
+// timestamp (unsigned; 0 means
 // untimed, i.e. arrival order); a non-numeric third field is tolerated and
 // ignored, like any further annotation columns, so edge lists carrying
 // labels or float weights still load as untimed streams. A numeric third
@@ -54,6 +57,11 @@ func ReadEdgeListStats(r io.Reader) ([]graph.Edge, ReadStats, error) {
 			continue
 		}
 		fields := strings.Fields(text)
+		del := false
+		if fields[0] == "-" || fields[0] == "del" {
+			del = true
+			fields = fields[1:]
+		}
 		if len(fields) < 2 {
 			return nil, st, fmt.Errorf("stream: line %d: want at least two fields, got %q", line, text)
 		}
@@ -79,7 +87,11 @@ func ReadEdgeListStats(r io.Reader) ([]graph.Edge, ReadStats, error) {
 			st.SelfLoops++ // shared self-loop policy: skip and count
 			continue
 		}
-		edges = append(edges, graph.NewEdgeAt(graph.NodeID(u), graph.NodeID(v), ts))
+		e := graph.NewEdgeAt(graph.NodeID(u), graph.NodeID(v), ts)
+		if del {
+			e = e.AsDeletion()
+		}
+		edges = append(edges, e)
 	}
 	if sawTS && (!monotone || untimedRows > 0) {
 		// A decreasing column is a weight/count column in disguise, and a
@@ -116,10 +128,16 @@ func tsColumn(fields []string) (uint64, error) {
 
 // WriteEdgeList writes edges in the plain-text format accepted by
 // ReadEdgeList: one canonical "u v" pair per line, with a third timestamp
-// column for edges that carry one (TS != 0).
+// column for edges that carry one (TS != 0) and a leading "del" marker on
+// turnstile deletions.
 func WriteEdgeList(w io.Writer, edges []graph.Edge) error {
 	bw := bufio.NewWriter(w)
 	for _, e := range edges {
+		if e.Del {
+			if _, err := bw.WriteString("del "); err != nil {
+				return err
+			}
+		}
 		var err error
 		if e.TS != 0 {
 			_, err = fmt.Fprintf(bw, "%d %d %d\n", e.U, e.V, e.TS)

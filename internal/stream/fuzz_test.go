@@ -28,6 +28,15 @@ func FuzzBinaryDecoder(f *testing.F) {
 	f.Add(append([]byte(binaryMagicV2), binaryFlagTimestamps, 0x01, 0x03))       // timed record truncated before delta
 	f.Add(append([]byte(binaryMagicV2), 0xff, 0x01, 0x03, 0x02))                 // unknown flags
 	f.Add(append([]byte(binaryMagicV2), binaryFlagTimestamps, 0x03, 0x03, 0x05)) // timed self loop
+	// v3 documents: flags byte, records lead with an op byte.
+	f.Add(append([]byte(binaryMagicV2), binaryFlagDeletions, 0x00, 0x01, 0x03))                                // ErrDeletionsNeedV3
+	f.Add(append([]byte(binaryMagicV3), 0x00, 0x01, 0x03))                                                     // v3 without the deletion flag: rejected
+	f.Add(append([]byte(binaryMagicV3), binaryFlagDeletions, opInsert, 0x01, 0x03))                            // insert record
+	f.Add(append([]byte(binaryMagicV3), binaryFlagDeletions, opDelete, 0x01, 0x03))                            // delete record
+	f.Add(append([]byte(binaryMagicV3), binaryFlagDeletions, 0x07, 0x01, 0x03))                                // unknown op byte
+	f.Add(append([]byte(binaryMagicV3), binaryFlagDeletions, opDelete))                                        // truncated after op
+	f.Add(append([]byte(binaryMagicV3), binaryFlagDeletions|binaryFlagTimestamps, opInsert, 0x01))             // timed, truncated
+	f.Add(append([]byte(binaryMagicV3), binaryFlagDeletions|binaryFlagTimestamps, opDelete, 0x02, 0x02, 0x09)) // timed self-loop deletion
 	func() {
 		var buf bytes.Buffer
 		if err := WriteBinary(&buf, []graph.Edge{graph.NewEdge(1, 2), graph.NewEdge(3, 70000)}); err == nil {
@@ -38,6 +47,12 @@ func FuzzBinaryDecoder(f *testing.F) {
 			graph.NewEdgeAt(1, 2, 40), graph.NewEdgeAt(2, 9, 40), graph.NewEdgeAt(3, 70000, 1<<33),
 		}); err == nil {
 			f.Add(timed.Bytes())
+		}
+		var turn bytes.Buffer
+		if err := WriteBinary(&turn, []graph.Edge{
+			graph.NewEdgeAt(1, 2, 40), graph.NewEdgeAt(2, 9, 41).AsDeletion(), graph.NewEdgeAt(3, 70000, 1<<33),
+		}); err == nil {
+			f.Add(turn.Bytes())
 		}
 	}()
 	f.Fuzz(func(t *testing.T, input []byte) {

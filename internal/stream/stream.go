@@ -72,14 +72,24 @@ func Collect(s Stream) []graph.Edge {
 	}
 }
 
-// Skip drains and discards up to n edges from s and reports how many it
+// Skip drains and discards up to n records from s and reports how many it
 // actually consumed (fewer only when the stream ran out). It is the resume
 // primitive of checkpoint restore: a restored sampler has already consumed
 // a prefix of the (deterministically re-generated) stream, so the replay
-// must skip exactly that many edges — through whatever combinators wrap
+// must skip exactly that many records — through whatever combinators wrap
 // the source, so stateful stages like Simplify observe the skipped prefix
 // too. Callers must treat skipped < n as a mismatched input: the stream
 // being resumed is not the one that was checkpointed.
+//
+// The unit is records *yielded by s* — exactly what the consumer's Process
+// saw, which is exactly what Sampler.Processed counts (distinct arrivals,
+// ignored duplicates, and turnstile deletion records). Records a decoder
+// dropped under the shared reader policy (self loops, a discarded timestamp
+// column) were never yielded and are NOT part of n: the re-decoded stream
+// drops them again before Skip sees anything, and ReadStats accounts for
+// them separately. Passing a raw record count that includes policy-skipped
+// records over-skips and desynchronizes the resume — the bug this contract
+// note pins (see TestSkipResumeOverSelfLoops).
 func Skip(s Stream, n uint64) (skipped uint64) {
 	for skipped < n {
 		if _, ok := s.Next(); !ok {
@@ -103,7 +113,10 @@ func Drive(s Stream, fn func(graph.Edge)) {
 
 // Simplifier wraps a stream and drops duplicate edges, so that downstream
 // samplers see each undirected edge at most once ("we assume edges are
-// unique", §3.1). Duplicates are counted for diagnostics.
+// unique", §3.1). Duplicates are counted for diagnostics. Turnstile
+// deletion records pass through untouched and clear the edge from the seen
+// set, so an insert after a delete is a fresh arrival — the turnstile
+// model's re-insertion — not a suppressed duplicate.
 type Simplifier struct {
 	in      Stream
 	seen    map[uint64]struct{}
@@ -123,6 +136,10 @@ func (s *Simplifier) Next() (graph.Edge, bool) {
 			return graph.Edge{}, false
 		}
 		k := e.Key()
+		if e.Del {
+			delete(s.seen, k)
+			return e, true
+		}
 		if _, dup := s.seen[k]; dup {
 			s.dropped++
 			continue

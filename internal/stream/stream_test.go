@@ -2,10 +2,13 @@ package stream
 
 import (
 	"bytes"
+	"fmt"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
 
+	"gps/internal/core"
 	"gps/internal/graph"
 )
 
@@ -168,6 +171,108 @@ func TestReadEdgeListErrors(t *testing.T) {
 		if _, err := ReadEdgeList(strings.NewReader(c)); err == nil {
 			t.Fatalf("input %q: want error", c)
 		}
+	}
+}
+
+// TestSkipResumeOverSelfLoops pins the Skip unit contract: a resume skips
+// n records *yielded by the stream* (what the sampler's Processed counts),
+// not n raw input records. An input with policy-skipped self loops makes
+// the two counts diverge, so a resume keyed on the raw record count
+// over-skips and silently desynchronizes from the checkpointed run — the
+// bug this test exists to catch.
+func TestSkipResumeOverSelfLoops(t *testing.T) {
+	// 40 data rows, every fourth a self loop the reader policy drops.
+	var sb strings.Builder
+	for i := 0; i < 40; i++ {
+		if i%4 == 3 {
+			fmt.Fprintf(&sb, "%d %d\n", i, i) // self loop: skipped, counted
+		} else {
+			fmt.Fprintf(&sb, "%d %d\n", i, (i+1)%40)
+		}
+	}
+	input := sb.String()
+
+	decode := func() ([]graph.Edge, ReadStats) {
+		edges, st, err := ReadEdgeListStats(strings.NewReader(input))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return edges, st
+	}
+	edges, st := decode()
+	if st.SelfLoops != 10 {
+		t.Fatalf("reader skipped %d self loops, want 10", st.SelfLoops)
+	}
+
+	newEst := func() *core.InStream {
+		est, err := core.NewInStream(core.Config{Capacity: 12, Weight: core.TriangleWeight, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est
+	}
+	fingerprint := func(est *core.InStream) string {
+		s := est.Sampler()
+		keys := []string{}
+		for _, e := range s.Reservoir().Edges() {
+			keys = append(keys, fmt.Sprintf("%d-%d", e.U, e.V))
+		}
+		sort.Strings(keys)
+		return fmt.Sprintf("processed=%d z*=%v sample=%v", s.Processed(), s.Threshold(), keys)
+	}
+
+	// Uninterrupted reference run.
+	ref := newEst()
+	Drive(FromEdges(edges), func(e graph.Edge) { ref.Process(e) })
+
+	// Crashed run: consume a prefix, remember only Processed() — the resume
+	// key a checkpoint carries.
+	const crashAfter = 17
+	crashed := newEst()
+	src := FromEdges(edges)
+	for i := 0; i < crashAfter; i++ {
+		e, ok := src.Next()
+		if !ok {
+			t.Fatal("stream ran out before the crash point")
+		}
+		crashed.Process(e)
+	}
+	pos := crashed.Sampler().Processed()
+	if pos != crashAfter {
+		t.Fatalf("Processed = %d after %d yielded records", pos, crashAfter)
+	}
+
+	// Resume: re-decode (the reader drops the self loops again) and skip
+	// exactly pos yielded records.
+	reEdges, _ := decode()
+	resumed := FromEdges(reEdges)
+	if got := Skip(resumed, pos); got != pos {
+		t.Fatalf("Skip consumed %d records, want %d", got, pos)
+	}
+	Drive(resumed, func(e graph.Edge) { crashed.Process(e) })
+	if got, want := fingerprint(crashed), fingerprint(ref); got != want {
+		t.Fatalf("resumed run diverged from uninterrupted run:\n  resumed: %s\n  ref:     %s", got, want)
+	}
+
+	// The pinned bug: skipping the raw input-record count for the same
+	// prefix (yielded records + policy-skipped self loops) over-skips and
+	// desynchronizes. Guard that this test can actually tell the difference.
+	rawRecords := pos + uint64(st.SelfLoops)/2 // self loops are evenly interleaved
+	if rawRecords == pos {
+		t.Fatal("test input has no self loops in the prefix; cannot pin the contract")
+	}
+	buggy := newEst()
+	prefix := FromEdges(edges)
+	for i := 0; i < crashAfter; i++ {
+		e, _ := prefix.Next()
+		buggy.Process(e)
+	}
+	overEdges, _ := decode()
+	overSkipped := FromEdges(overEdges)
+	Skip(overSkipped, rawRecords)
+	Drive(overSkipped, func(e graph.Edge) { buggy.Process(e) })
+	if fingerprint(buggy) == fingerprint(ref) {
+		t.Fatal("over-skipping by the raw record count matched the reference run; the equivalence test lost its teeth")
 	}
 }
 

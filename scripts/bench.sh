@@ -2,8 +2,9 @@
 # bench.sh — record the perf trajectory.
 #
 # Runs the gps-bench perf experiment (sampling update paths, slot-indexed
-# vs lookup estimation, incremental snapshot stalls, and the forward-decay
-# update/accuracy numbers) and writes the machine-readable report to a
+# vs lookup estimation, incremental snapshot stalls, the forward-decay
+# update/accuracy numbers, and the windowed-turnstile ingest/query/accuracy
+# numbers) and writes the machine-readable report to a
 # BENCH json, which CI uploads as an artifact so successive PRs can be
 # compared.
 #
