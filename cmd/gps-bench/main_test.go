@@ -24,15 +24,16 @@ func TestRunList(t *testing.T) {
 }
 
 // TestPerfBenchSweep smoke-runs the perf report at tiny scale and checks
-// the schema-v5 surface: the GOMAXPROCS sweep has one entry per requested
-// point with positive rates and baseline-relative speedups, and the decay
-// tax and windowed-turnstile numbers are recorded.
+// the schema-v6 surface: the GOMAXPROCS sweep has one entry per requested
+// point with positive rates and baseline-relative speedups, the decay
+// tax and windowed-turnstile numbers are recorded, and the multi-tenant
+// serve trajectory covers the 1/4/16-stream points.
 func TestPerfBenchSweep(t *testing.T) {
 	rep, err := perfBench(30000, 2000, 2, 7, []int{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "gps-bench/perf/v5" {
+	if rep.Schema != "gps-bench/perf/v6" {
 		t.Errorf("schema = %q", rep.Schema)
 	}
 	if len(rep.ProcsSweep) != 2 {
@@ -60,6 +61,17 @@ func TestPerfBenchSweep(t *testing.T) {
 	}
 	if len(rep.WindowAccuracy) == 0 {
 		t.Error("window accuracy rows missing from the perf report")
+	}
+	if len(rep.MultiStream) != 3 {
+		t.Fatalf("multi-stream trajectory has %d points, want 3", len(rep.MultiStream))
+	}
+	for i, row := range rep.MultiStream {
+		if row.Streams != []int{1, 4, 16}[i] {
+			t.Errorf("multi-stream point %d covers %d streams", i, row.Streams)
+		}
+		if row.IngestNSPerEdge <= 0 || row.CachedQueryP50US <= 0 || row.CachedQueryP99US <= 0 {
+			t.Errorf("multi-stream point %d has non-positive numbers: %+v", i, row)
+		}
 	}
 	if strings.Contains(renderPerf(rep), "NaN") {
 		t.Error("rendered report contains NaN")

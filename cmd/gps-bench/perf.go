@@ -86,6 +86,13 @@ type perfReport struct {
 	WindowUpdateNSPerEdge float64                 `json:"window_update_ns_per_edge"`
 	WindowQueryMS         float64                 `json:"window_query_ms"`
 	WindowAccuracy        []experiments.WindowRow `json:"window_accuracy"`
+
+	// MultiStream (schema v6) is the multi-tenant serve trajectory: one
+	// server hosting 1/4/16 streams over a fixed edge and reservoir budget,
+	// concurrent per-stream producers and round-robin cached queries. The
+	// N=1 row is the plain single-tenant server; the later rows price the
+	// tenancy machinery itself.
+	MultiStream []multiStreamResult `json:"multi_stream"`
 }
 
 // obsOverhead pairs the instrumented and gps_noobs obs reports with
@@ -145,7 +152,7 @@ func perfBench(edges, sample, shards int, seed uint64, procs []int) (*perfReport
 	es, _ := rmatStream(edges, seed)
 	edges = len(es)
 	r := &perfReport{
-		Schema:          "gps-bench/perf/v5",
+		Schema:          "gps-bench/perf/v6",
 		Edges:           edges,
 		SampleM:         sample,
 		Shards:          shards,
@@ -350,6 +357,19 @@ func perfBench(edges, sample, shards int, seed uint64, procs []int) (*perfReport
 		return nil, err
 	}
 	r.WindowAccuracy = wrows
+
+	// Multi-tenant serve trajectory at 1/4/16 streams over a capped stream
+	// (the serve path is m- and HTTP-bound, so the full edge budget would
+	// only stretch the run without moving the per-edge numbers).
+	msample := sample
+	if msample > 20000 {
+		msample = 20000
+	}
+	mrows, err := multiStreamBench(es, msample, shards, seed, []int{1, 4, 16})
+	if err != nil {
+		return nil, err
+	}
+	r.MultiStream = mrows
 	return r, nil
 }
 
@@ -488,6 +508,14 @@ func renderPerf(r *perfReport) string {
 	for _, row := range r.WindowAccuracy {
 		fmt.Fprintf(&b, "window accuracy: window %.2f·span m=%d %-10s NRMSE %.4f\n",
 			row.WindowFrac, row.M, row.Motif, row.NRMSE)
+	}
+	if len(r.MultiStream) > 0 {
+		fmt.Fprintf(&b, "\nmulti-tenant serve (fixed edge/reservoir budget split across streams):\n")
+		fmt.Fprintf(&b, "  %-8s %14s %18s %18s\n", "streams", "ingest ns/e", "cached q p50 µs", "p99 µs")
+		for _, row := range r.MultiStream {
+			fmt.Fprintf(&b, "  %-8d %14.0f %18.0f %18.0f\n",
+				row.Streams, row.IngestNSPerEdge, row.CachedQueryP50US, row.CachedQueryP99US)
+		}
 	}
 	if oh := r.ObsOverhead; oh != nil {
 		fmt.Fprintf(&b, "\nobservability overhead (instrumented / gps_noobs):\n")

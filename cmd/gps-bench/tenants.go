@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"gps"
+	"gps/internal/graph"
+	"gps/internal/serve"
+	"gps/internal/stream"
+)
+
+// multiStreamResult is one point of the multi-tenant serve trajectory
+// (schema v6): a single server hosting N streams, each fed by its own
+// concurrent producer over loopback HTTP, then queried round-robin against
+// warm snapshot caches. The N=1 point is the plain single-tenant server, so
+// the later points read directly as the cost of tenancy.
+type multiStreamResult struct {
+	Streams int `json:"streams"`
+
+	// Wall ns per edge across all producers, ingest-through-drain.
+	IngestNSPerEdge float64 `json:"ingest_ns_per_edge"`
+
+	// Cached /v1/estimate latency, queries cycling over the streams.
+	CachedQueryP50US float64 `json:"cached_query_p50_us"`
+	CachedQueryP99US float64 `json:"cached_query_p99_us"`
+}
+
+// multiStreamBench measures the serve plane at each stream count. The edge
+// budget and reservoir are fixed per server, split evenly across its
+// streams: total work is constant, so the trajectory isolates the
+// per-tenant overhead (queue fan-out, per-stream snapshot caches, labeled
+// metrics) rather than scaling the problem with N.
+func multiStreamBench(es []graph.Edge, sample int, shards int, seed uint64, counts []int) ([]multiStreamResult, error) {
+	if len(es) > 200_000 {
+		es = es[:200_000] // serve-path costs are m- and HTTP-bound, not stream-bound
+	}
+	var out []multiStreamResult
+	for _, n := range counts {
+		if n < 1 {
+			return nil, fmt.Errorf("tenants: stream counts must be positive, got %d", n)
+		}
+		res, err := oneMultiStreamRun(es, sample, shards, seed, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *res)
+	}
+	return out, nil
+}
+
+func oneMultiStreamRun(es []graph.Edge, sample, shards int, seed uint64, n int) (*multiStreamResult, error) {
+	perCap := sample / n
+	if perCap < 100 {
+		perCap = 100
+	}
+	cfg := serve.Config{
+		Capacity:     perCap,
+		Weight:       gps.TriangleWeight,
+		WeightName:   "triangle",
+		Seed:         seed,
+		Shards:       shards,
+		MaxStaleness: time.Second,
+	}
+	names := []string{""} // "" = the default stream
+	for i := 1; i < n; i++ {
+		name := fmt.Sprintf("t%d", i)
+		cfg.Streams = append(cfg.Streams, serve.StreamSpec{Name: name})
+		names = append(names, name)
+	}
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// One producer per stream, each pushing its contiguous stripe in
+	// 8192-edge binary batches.
+	stripe := (len(es) + n - 1) / n
+	errs := make(chan error, n)
+	start := time.Now()
+	for i, name := range names {
+		lo := i * stripe
+		if lo >= len(es) {
+			errs <- nil
+			continue
+		}
+		hi := lo + stripe
+		if hi > len(es) {
+			hi = len(es)
+		}
+		go func(name string, part []graph.Edge) {
+			errs <- streamProduce(ts.URL, name, part)
+		}(name, es[lo:hi])
+	}
+	for range names {
+		if err := <-errs; err != nil {
+			return nil, err
+		}
+	}
+	// Flush every stream: the drain is part of the measured ingest window.
+	for _, name := range names {
+		resp, err := http.Post(ts.URL+"/v1/flush"+streamQuery(name), "", nil)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("tenants: flush %q status %d", name, resp.StatusCode)
+		}
+	}
+	r := &multiStreamResult{
+		Streams:         n,
+		IngestNSPerEdge: float64(time.Since(start).Nanoseconds()) / float64(len(es)),
+	}
+
+	// Warm every cache, then time queries cycling over the streams.
+	for _, name := range names {
+		if err := streamQueryOnce(ts.URL, name); err != nil {
+			return nil, err
+		}
+	}
+	const queries = 300
+	lat := make([]time.Duration, 0, queries)
+	for i := 0; i < queries; i++ {
+		name := names[i%len(names)]
+		qs := time.Now()
+		if err := streamQueryOnce(ts.URL, name); err != nil {
+			return nil, err
+		}
+		lat = append(lat, time.Since(qs))
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	us := func(p float64) float64 {
+		return float64(lat[int(p*float64(len(lat)-1))]) / float64(time.Microsecond)
+	}
+	r.CachedQueryP50US = us(0.50)
+	r.CachedQueryP99US = us(0.99)
+	return r, nil
+}
+
+func streamQuery(name string) string {
+	if name == "" {
+		return ""
+	}
+	return "?stream=" + name
+}
+
+func streamProduce(base, name string, part []graph.Edge) error {
+	const batch = 8192
+	for lo := 0; lo < len(part); lo += batch {
+		hi := lo + batch
+		if hi > len(part) {
+			hi = len(part)
+		}
+		var buf bytes.Buffer
+		if err := stream.WriteBinary(&buf, part[lo:hi]); err != nil {
+			return err
+		}
+		resp, err := http.Post(base+"/v1/ingest"+streamQuery(name), stream.BinaryContentType, &buf)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		status := resp.StatusCode
+		resp.Body.Close()
+		switch status {
+		case http.StatusAccepted:
+		case http.StatusServiceUnavailable:
+			// Fair-share backpressure: wait and retry the batch.
+			time.Sleep(5 * time.Millisecond)
+			lo -= batch
+		default:
+			return fmt.Errorf("tenants: ingest %q status %d", name, status)
+		}
+	}
+	return nil
+}
+
+func streamQueryOnce(base, name string) error {
+	resp, err := http.Get(base + "/v1/estimate" + streamQuery(name))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("tenants: estimate %q status %d", name, resp.StatusCode)
+	}
+	return nil
+}

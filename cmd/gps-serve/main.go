@@ -7,8 +7,20 @@
 //	gps-serve -addr :8080 -m 100000 [-weight triangle|uniform|adjacency]
 //	          [-shards P] [-queue 64] [-staleness 250ms] [-seed S]
 //	          [-half-life H] [-window W -pane P] [-restore path]
-//	          [-checkpoint-dir dir] [-checkpoint-every 30s]
-//	          [-checkpoint-keep 3] [-pprof addr] [-log-requests]
+//	          [-streams manifest.json] [-checkpoint-dir dir]
+//	          [-checkpoint-every 30s] [-checkpoint-keep 3]
+//	          [-pprof addr] [-log-requests]
+//
+// Multi-tenant streams: the server always hosts a "default" stream shaped
+// by the flags above; -streams FILE declares additional named streams at
+// boot (a JSON array of specs — name plus optional capacity, weight, seed,
+// shards, half_life, window, pane_width, queue_depth; omitted fields
+// inherit the flags). Streams can also be created and deleted at runtime
+// via POST/DELETE /v1/streams/{name}, and every /v1/* endpoint takes an
+// optional ?stream=NAME selector (absent = the default stream). Each
+// stream has its own engine, bounded ingest queue and fair share of
+// -max-pending, so one saturating tenant is rejected alone. Persisted
+// checkpoints cover every stream in one file and restore per stream.
 //
 // Temporal sampling: -half-life H enables forward-decay sampling — recent
 // edges dominate the reservoir and /v1/estimate reports decayed counts at
@@ -66,14 +78,21 @@
 //	                            -checkpoint-dir; returns its path and size
 //	GET  /v1/checkpoint         stream a checkpoint of the current state
 //	                            (host migration without shared disk)
+//	GET  /v1/streams            list live streams and their configs
+//	POST /v1/streams/{name}     create a named stream (optional JSON spec body)
+//	DELETE /v1/streams/{name}   delete a named stream (drains its queue first)
+//	GET  /v1/subscribe          server-sent events: one estimate per snapshot
+//	                            epoch of the selected stream
 //	GET  /v1/stats              ingest/queue/snapshot/checkpoint counters
-//	                            (typed, schema_version 1)
-//	GET  /metrics               Prometheus text exposition (all layers)
+//	                            (typed, schema_version 2, per-stream section)
+//	GET  /metrics               Prometheus text exposition (all layers;
+//	                            named streams labeled {stream="name"})
 //	GET  /healthz               liveness
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -97,6 +116,33 @@ func main() {
 	}
 }
 
+// loadStreamManifest reads a -streams boot manifest: a JSON array of stream
+// specs, or an object wrapping one under "streams" (the same shape
+// GET /v1/streams lists). Every spec must carry a name; its other fields
+// inherit the server's flag-derived defaults.
+func loadStreamManifest(path string) ([]serve.StreamSpec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var specs []serve.StreamSpec
+	if err := json.Unmarshal(raw, &specs); err != nil {
+		var wrapped struct {
+			Streams []serve.StreamSpec `json:"streams"`
+		}
+		if werr := json.Unmarshal(raw, &wrapped); werr != nil {
+			return nil, fmt.Errorf("%s: want a JSON array of stream specs or {\"streams\": [...]}: %w", path, err)
+		}
+		specs = wrapped.Streams
+	}
+	for i, sp := range specs {
+		if sp.Name == "" {
+			return nil, fmt.Errorf("%s: stream %d has no name", path, i)
+		}
+	}
+	return specs, nil
+}
+
 // run starts the service and blocks until shutdown is signalled (SIGINT/
 // SIGTERM, or stop closing when non-nil). When ready is non-nil it receives
 // the bound address once the listener is up — the hook the end-to-end test
@@ -105,30 +151,31 @@ func run(args []string, errw io.Writer, ready chan<- string, stop <-chan struct{
 	fs := flag.NewFlagSet("gps-serve", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
-		addr       = fs.String("addr", ":8080", "listen address")
-		m          = fs.Int("m", 100000, "reservoir capacity")
-		weightName = fs.String("weight", "triangle", "weight function: triangle, uniform, adjacency")
-		shards     = fs.Int("shards", 0, "engine shard count (0 = GOMAXPROCS)")
-		queue      = fs.Int("queue", 64, "max pending ingest batches before 503")
-		maxPending = fs.Int("max-pending", 4<<20, "max decoded edges waiting in the ingest queue before 503")
-		staleness  = fs.Duration("staleness", 250*time.Millisecond, "default snapshot staleness bound")
-		halfLife   = fs.Float64("half-life", 0, "forward-decay half-life in event-time units (0 disables time-decayed sampling)")
-		window     = fs.Uint64("window", 0, "sliding-window width in event-time units (0 disables windowed sampling)")
-		pane       = fs.Uint64("pane", 0, "window pane width in event-time units (0 = -window; needs -window)")
-		seed       = fs.Uint64("seed", 1, "sampler seed")
-		maxBody    = fs.Int64("max-body", 32<<20, "max ingest body bytes")
-		restore    = fs.String("restore", "", "boot from a GPSC checkpoint (file, or dir holding *.gpsc)")
-		ckptDir    = fs.String("checkpoint-dir", "", "directory for POST /v1/checkpoint and periodic checkpoints")
-		ckptEvery  = fs.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 disables; needs -checkpoint-dir)")
-		ckptKeep   = fs.Int("checkpoint-keep", 3, "checkpoint files kept by retention")
-		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof and /metrics on this address (separate listener; empty disables)")
-		logReqs    = fs.Bool("log-requests", false, "log one key=value line per API request (id, route, status, duration)")
-		estDeadln  = fs.Duration("estimate-deadline", 0, "serve the previous snapshot (flagged degraded) when a refresh exceeds this (0 waits)")
-		maxQueries = fs.Int("max-inflight-queries", 0, "shed estimate/subgraph queries beyond this concurrency with 429 (0 disables)")
-		grace      = fs.Duration("grace", 5*time.Second, "shutdown grace period per listener")
-		ckptOnStop = fs.Bool("checkpoint-on-shutdown", false, "persist a final checkpoint during shutdown (needs -checkpoint-dir)")
-		faults     = fs.String("faults", "", "arm fault injection: \"point:kind[:k=v,...][;...]\" (or env GPS_FAULTS; chaos drills only)")
-		faultSeed  = fs.Uint64("fault-seed", 1, "seed for probabilistic fault rules")
+		addr        = fs.String("addr", ":8080", "listen address")
+		m           = fs.Int("m", 100000, "reservoir capacity")
+		weightName  = fs.String("weight", "triangle", "weight function: triangle, uniform, adjacency")
+		shards      = fs.Int("shards", 0, "engine shard count (0 = GOMAXPROCS)")
+		queue       = fs.Int("queue", 64, "max pending ingest batches before 503")
+		maxPending  = fs.Int("max-pending", 4<<20, "max decoded edges waiting in the ingest queue before 503")
+		staleness   = fs.Duration("staleness", 250*time.Millisecond, "default snapshot staleness bound")
+		halfLife    = fs.Float64("half-life", 0, "forward-decay half-life in event-time units (0 disables time-decayed sampling)")
+		window      = fs.Uint64("window", 0, "sliding-window width in event-time units (0 disables windowed sampling)")
+		pane        = fs.Uint64("pane", 0, "window pane width in event-time units (0 = -window; needs -window)")
+		seed        = fs.Uint64("seed", 1, "sampler seed")
+		maxBody     = fs.Int64("max-body", 32<<20, "max ingest body bytes")
+		restore     = fs.String("restore", "", "boot from a GPSC checkpoint (file, or dir holding *.gpsc)")
+		streamsFile = fs.String("streams", "", "JSON manifest of named streams to create at boot (array of specs, or {\"streams\": [...]})")
+		ckptDir     = fs.String("checkpoint-dir", "", "directory for POST /v1/checkpoint and periodic checkpoints")
+		ckptEvery   = fs.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 disables; needs -checkpoint-dir)")
+		ckptKeep    = fs.Int("checkpoint-keep", 3, "checkpoint files kept by retention")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof and /metrics on this address (separate listener; empty disables)")
+		logReqs     = fs.Bool("log-requests", false, "log one key=value line per API request (id, route, status, duration)")
+		estDeadln   = fs.Duration("estimate-deadline", 0, "serve the previous snapshot (flagged degraded) when a refresh exceeds this (0 waits)")
+		maxQueries  = fs.Int("max-inflight-queries", 0, "shed estimate/subgraph queries beyond this concurrency with 429 (0 disables)")
+		grace       = fs.Duration("grace", 5*time.Second, "shutdown grace period per listener")
+		ckptOnStop  = fs.Bool("checkpoint-on-shutdown", false, "persist a final checkpoint during shutdown (needs -checkpoint-dir)")
+		faults      = fs.String("faults", "", "arm fault injection: \"point:kind[:k=v,...][;...]\" (or env GPS_FAULTS; chaos drills only)")
+		faultSeed   = fs.Uint64("fault-seed", 1, "seed for probabilistic fault rules")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -156,6 +203,13 @@ func run(args []string, errw io.Writer, ready chan<- string, stop <-chan struct{
 	if err != nil {
 		return err
 	}
+	var streams []serve.StreamSpec
+	if *streamsFile != "" {
+		streams, err = loadStreamManifest(*streamsFile)
+		if err != nil {
+			return fmt.Errorf("-streams: %w", err)
+		}
+	}
 	s, err := serve.NewServer(serve.Config{
 		Capacity:           *m,
 		Weight:             weight,
@@ -171,6 +225,7 @@ func run(args []string, errw io.Writer, ready chan<- string, stop <-chan struct{
 		PaneWidth:          *pane,
 		EstimateDeadline:   *estDeadln,
 		MaxInflightQueries: *maxQueries,
+		Streams:            streams,
 		RestoreFrom:        *restore,
 		CheckpointDir:      *ckptDir,
 		CheckpointEvery:    *ckptEvery,

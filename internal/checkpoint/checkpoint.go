@@ -60,6 +60,7 @@ const (
 	KindEngine   = 0x02 // an engine.Parallel container of per-shard samplers
 	KindInStream = 0x03 // a core.InStream (sampler + estimator accumulators)
 	KindWindow   = 0x04 // an engine.Windowed pane chain (retired panes + active engine)
+	KindMulti    = 0x05 // a multi-stream container: a named directory of engine/window documents
 
 	// ContentType is the MIME type the service uses when a checkpoint
 	// travels over HTTP (GET /v1/checkpoint).
@@ -247,6 +248,14 @@ func (r *Reader) Header() (kind byte, err error) {
 	case KindWindow:
 		if r.version != Version3 {
 			return 0, r.fail(fmt.Errorf("checkpoint: window document requires GPSC version %d, got %d",
+				Version3, r.version))
+		}
+		return kind, nil
+	case KindMulti:
+		// Introduced with the multi-stream serving plane, after the
+		// turnstile format: only Version3 encoders ever emit it.
+		if r.version != Version3 {
+			return 0, r.fail(fmt.Errorf("checkpoint: multi-stream document requires GPSC version %d, got %d",
 				Version3, r.version))
 		}
 		return kind, nil

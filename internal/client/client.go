@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,10 @@ type Config struct {
 	// Source names this client's stream for the server's dedup watermark.
 	// Empty disables sequencing (fire-and-forget ingest, no retry dedup).
 	Source string
+	// Stream addresses a named server stream (the ?stream= selector on
+	// every call). Empty addresses the server's default stream, exactly as
+	// pre-registry clients did.
+	Stream string
 	// MaxAttempts bounds tries per request (first try included); <= 0
 	// means 6.
 	MaxAttempts int
@@ -124,6 +129,25 @@ func New(cfg Config) (*Client, error) {
 	return c, nil
 }
 
+// endpoint builds a request URL: BaseURL + path, with the configured
+// stream selector and any extra query parameters appended. An unset Stream
+// adds no parameter, so the wire traffic of a single-stream client is
+// unchanged.
+func (c *Client) endpoint(path string, params ...[2]string) string {
+	q := url.Values{}
+	if c.cfg.Stream != "" {
+		q.Set("stream", c.cfg.Stream)
+	}
+	for _, p := range params {
+		q.Set(p[0], p[1])
+	}
+	u := c.cfg.BaseURL + path
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	return u
+}
+
 // IngestResult reports one acknowledged batch.
 type IngestResult struct {
 	// Accepted is the number of edges the server admitted (0 for a
@@ -158,7 +182,7 @@ func (c *Client) Ingest(ctx context.Context, edges []graph.Edge) (IngestResult, 
 	var res IngestResult
 	attempts, err := c.retry(ctx, func() (*http.Response, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-			c.cfg.BaseURL+"/v1/ingest", bytes.NewReader(body.Bytes()))
+			c.endpoint("/v1/ingest"), bytes.NewReader(body.Bytes()))
 		if err != nil {
 			return nil, err
 		}
@@ -178,7 +202,7 @@ func (c *Client) Ingest(ctx context.Context, edges []graph.Edge) (IngestResult, 
 // sampler — the client-side read-your-writes barrier.
 func (c *Client) Flush(ctx context.Context) error {
 	_, err := c.retry(ctx, func() (*http.Response, error) {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+"/v1/flush", nil)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.endpoint("/v1/flush"), nil)
 		if err != nil {
 			return nil, err
 		}
@@ -210,10 +234,11 @@ type Estimate struct {
 // Estimate queries /v1/estimate. maxStale < 0 uses the server's default
 // staleness bound; 0 demands a fresh snapshot.
 func (c *Client) Estimate(ctx context.Context, maxStale time.Duration) (Estimate, error) {
-	url := c.cfg.BaseURL + "/v1/estimate"
+	var params [][2]string
 	if maxStale >= 0 {
-		url += "?max_stale=" + maxStale.String()
+		params = append(params, [2]string{"max_stale", maxStale.String()})
 	}
+	url := c.endpoint("/v1/estimate", params...)
 	var est Estimate
 	_, err := c.retry(ctx, func() (*http.Response, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)

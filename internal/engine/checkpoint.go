@@ -167,10 +167,22 @@ func (p *Parallel) WriteCheckpoint(w io.Writer, weightName string) (position uin
 // rejects shard blobs whose capacity, weight name or count disagree with
 // the container header.
 func ReadParallelCheckpoint(r io.Reader, resolve func(string) (core.WeightFunc, error)) (*Parallel, string, error) {
+	return readParallelDocument(bufio.NewReader(r), resolve, true)
+}
+
+// ReadParallelDocument reads one engine document from br and leaves the
+// reader positioned after it, for container formats (KindWindow, KindMulti)
+// that embed engine documents back to back. Unlike ReadParallelCheckpoint it
+// does not require EOF after the document; the container decides when the
+// byte stream must end.
+func ReadParallelDocument(br *bufio.Reader, resolve func(string) (core.WeightFunc, error)) (*Parallel, string, error) {
+	return readParallelDocument(br, resolve, false)
+}
+
+func readParallelDocument(br *bufio.Reader, resolve func(string) (core.WeightFunc, error), requireEOF bool) (*Parallel, string, error) {
 	if resolve == nil {
 		resolve = core.ResolveWeight
 	}
-	br := bufio.NewReader(r)
 	cr := checkpoint.NewReader(br)
 	if err := cr.ExpectKind(checkpoint.KindEngine); err != nil {
 		return nil, "", err
@@ -228,8 +240,10 @@ func ReadParallelCheckpoint(r io.Reader, resolve func(string) (core.WeightFunc, 
 		}
 		samplers = append(samplers, s)
 	}
-	if _, err := br.ReadByte(); err != io.EOF {
-		return nil, "", fmt.Errorf("engine: trailing bytes after %d shard documents", shards)
+	if requireEOF {
+		if _, err := br.ReadByte(); err != io.EOF {
+			return nil, "", fmt.Errorf("engine: trailing bytes after %d shard documents", shards)
+		}
 	}
 
 	// Under decay every shard must have been boosting against one shared

@@ -389,8 +389,11 @@ func (p *Parallel) Process(e graph.Edge) {
 // splits the batch into per-shard contiguous runs (order-preserving), and
 // each run is appended to its shard's ring. The batch is admitted
 // atomically with respect to Merge and Snapshot: a concurrent query sees
-// either none or all of it. It panics if p is closed.
-func (p *Parallel) ProcessBatch(edges []graph.Edge) {
+// either none or all of it. It panics if p is closed. The error return is
+// always nil — admission cannot partially fail — and exists so Parallel
+// satisfies the Stream batch contract, where a windowed engine's rotation
+// can genuinely fail mid-batch.
+func (p *Parallel) ProcessBatch(edges []graph.Edge) error {
 	p.admit.RLock()
 	// Deferred so a panic escaping mid-admission (e.g. an injected
 	// ring-publish fault caught by a recovering caller) cannot wedge the
@@ -400,21 +403,22 @@ func (p *Parallel) ProcessBatch(edges []graph.Edge) {
 		panic("engine: ProcessBatch on closed Parallel")
 	}
 	if len(edges) == 0 {
-		return
+		return nil
 	}
 	if p.decay {
 		p.admitDecayed(edges)
-		return
+		return nil
 	}
 	if len(p.shards) == 1 {
 		sh := p.shards[0]
 		sh.epoch.Add(uint64(len(edges)))
 		sh.ring.append(edges)
-		return
+		return nil
 	}
 	g := p.groups.Get().(*groupScratch)
 	p.groupAndAppend(g, edges, false)
 	p.groups.Put(g)
+	return nil
 }
 
 // groupAndAppend runs the counting-sort router: pass 1 hashes every edge to

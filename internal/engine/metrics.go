@@ -42,12 +42,14 @@ func (m *engineMetrics) init() {
 // parks/wakeups), the drain/barrier/stall/encode histograms, and the
 // snapshot/checkpoint bookkeeping counters. Scrape-time readers are either
 // lock-free atomics or take p.mu briefly; none of them touches the
-// admission lock, so scraping never stalls ingestion.
-func (p *Parallel) RegisterMetrics(reg *obs.Registry) {
+// admission lock, so scraping never stalls ingestion. labels (e.g. a
+// stream name) are stamped on every sample; the per-shard samples carry
+// them plus their shard label.
+func (p *Parallel) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
 	reg.RegisterGaugeFunc("gps_engine_shards", "Shard (and ring) count P.",
-		func() float64 { return float64(len(p.shards)) })
+		func() float64 { return float64(len(p.shards)) }, labels...)
 	reg.RegisterGaugeFunc("gps_engine_ring_capacity", "Per-shard ring capacity in edges.",
-		func() float64 { return float64(len(p.shards[0].ring.buf)) })
+		func() float64 { return float64(len(p.shards[0].ring.buf)) }, labels...)
 	reg.RegisterGaugeFunc("gps_engine_ring_backlog", "Edges queued across all rings (racy gauge).",
 		func() float64 {
 			total := 0
@@ -55,49 +57,51 @@ func (p *Parallel) RegisterMetrics(reg *obs.Registry) {
 				total += sh.ring.depth()
 			}
 			return float64(total)
-		})
+		}, labels...)
 	for i, sh := range p.shards {
 		sh := sh
-		label := obs.Label{Key: "shard", Value: strconv.Itoa(i)}
+		shardLabels := make([]obs.Label, len(labels), len(labels)+1)
+		copy(shardLabels, labels)
+		shardLabels = append(shardLabels, obs.Label{Key: "shard", Value: strconv.Itoa(i)})
 		reg.RegisterGaugeFunc("gps_engine_ring_depth", "Edges queued in one shard ring (racy gauge).",
-			func() float64 { return float64(sh.ring.depth()) }, label)
+			func() float64 { return float64(sh.ring.depth()) }, shardLabels...)
 		reg.RegisterCounterFunc("gps_engine_shard_epoch", "Edges ever routed to one shard (includes queued).",
-			sh.epoch.Load, label)
+			sh.epoch.Load, shardLabels...)
 	}
 	reg.RegisterCounterFunc("gps_engine_ring_stalls_total",
 		"Producer appends that found a ring full and waited (backpressure).",
-		func() uint64 { return p.sumRings(func(r *ring) uint64 { return r.stalls.Load() }) })
+		func() uint64 { return p.sumRings(func(r *ring) uint64 { return r.stalls.Load() }) }, labels...)
 	reg.RegisterCounterFunc("gps_engine_ring_parks_total",
 		"Consumer sleeps on an empty ring.",
-		func() uint64 { return p.sumRings(func(r *ring) uint64 { return r.parks.Load() }) })
+		func() uint64 { return p.sumRings(func(r *ring) uint64 { return r.parks.Load() }) }, labels...)
 	reg.RegisterCounterFunc("gps_engine_ring_wakeups_total",
 		"Consumer broadcasts to waiting producers or barriers.",
-		func() uint64 { return p.sumRings(func(r *ring) uint64 { return r.wakeups.Load() }) })
+		func() uint64 { return p.sumRings(func(r *ring) uint64 { return r.wakeups.Load() }) }, labels...)
 
 	reg.RegisterHistogram("gps_engine_drain_batch_seconds",
-		"Shard consumer latency per drained ring span (absent under gps_noobs builds).", p.met.drainNS)
+		"Shard consumer latency per drained ring span (absent under gps_noobs builds).", p.met.drainNS, labels...)
 	reg.RegisterHistogram("gps_engine_drain_batch_edges",
-		"Edges per drained ring span (absent under gps_noobs builds).", p.met.drainEdges)
+		"Edges per drained ring span (absent under gps_noobs builds).", p.met.drainEdges, labels...)
 	reg.RegisterHistogram("gps_engine_barrier_wait_seconds",
-		"Ring-drain wait inside the admission barrier (per Merge/Snapshot/Checkpoint).", p.met.barrierNS)
+		"Ring-drain wait inside the admission barrier (per Merge/Snapshot/Checkpoint).", p.met.barrierNS, labels...)
 	reg.RegisterHistogram("gps_engine_snapshot_stall_seconds",
-		"Ingestion stall per snapshot or checkpoint: barrier plus dirty-shard clone.", p.met.stallNS)
+		"Ingestion stall per snapshot or checkpoint: barrier plus dirty-shard clone.", p.met.stallNS, labels...)
 
 	reg.RegisterCounterFunc("gps_engine_snapshots_total", "Snapshots taken.",
-		func() uint64 { s, _, _ := p.SnapshotStats(); return s })
+		func() uint64 { s, _, _ := p.SnapshotStats(); return s }, labels...)
 	reg.RegisterCounterFunc("gps_engine_snapshot_shards_cloned_total",
 		"Dirty shards cloned by snapshots and checkpoints.",
-		func() uint64 { _, c, _ := p.SnapshotStats(); return c })
+		func() uint64 { _, c, _ := p.SnapshotStats(); return c }, labels...)
 	reg.RegisterCounterFunc("gps_engine_snapshot_shards_reused_total",
 		"Clean shards that reused their previous immutable clone.",
-		func() uint64 { _, _, r := p.SnapshotStats(); return r })
+		func() uint64 { _, _, r := p.SnapshotStats(); return r }, labels...)
 
 	reg.RegisterCounterFunc("gps_engine_shard_restarts_total",
 		"Shard consumer panics recovered by the supervisor.",
-		p.restartsTotal.Load)
+		p.restartsTotal.Load, labels...)
 	reg.RegisterCounterFunc("gps_engine_shard_lost_edges_total",
 		"Edges dropped by lossy shard recoveries (gaps, quarantines, rebuilds).",
-		p.LostEdges)
+		p.LostEdges, labels...)
 	reg.RegisterGaugeFunc("gps_engine_shards_degraded",
 		"Shards whose sampler has diverged from the fault-free run (sticky).",
 		func() float64 {
@@ -108,25 +112,25 @@ func (p *Parallel) RegisterMetrics(reg *obs.Registry) {
 				}
 			}
 			return float64(n)
-		})
+		}, labels...)
 
 	reg.RegisterCounterFunc("gps_engine_checkpoints_total", "Checkpoints serialized.",
-		func() uint64 { c, _, _ := p.CheckpointStats(); return c })
+		func() uint64 { c, _, _ := p.CheckpointStats(); return c }, labels...)
 	reg.RegisterCounterFunc("gps_engine_checkpoint_shards_encoded_total",
 		"Shard blobs freshly serialized by checkpoints.",
-		func() uint64 { _, e, _ := p.CheckpointStats(); return e })
+		func() uint64 { _, e, _ := p.CheckpointStats(); return e }, labels...)
 	reg.RegisterCounterFunc("gps_engine_checkpoint_blobs_reused_total",
 		"Clean shards whose cached checkpoint blob was reused byte-for-byte.",
-		func() uint64 { _, _, r := p.CheckpointStats(); return r })
+		func() uint64 { _, _, r := p.CheckpointStats(); return r }, labels...)
 	reg.RegisterHistogram("gps_engine_checkpoint_encode_seconds",
-		"Parallel shard-encode phase per checkpoint (off the ingest lock).", p.met.ckptEncNS)
+		"Parallel shard-encode phase per checkpoint (off the ingest lock).", p.met.ckptEncNS, labels...)
 	reg.RegisterHistogram("gps_engine_checkpoint_encode_bytes",
-		"Bytes per freshly encoded shard blob.", p.met.ckptEncBytes)
+		"Bytes per freshly encoded shard blob.", p.met.ckptEncBytes, labels...)
 
 	if p.decay {
 		reg.RegisterGaugeFunc("gps_engine_decay_horizon",
 			"Largest event time routed to any shard (0 before the first edge).",
-			func() float64 { return float64(p.horizon.Load()) })
+			func() float64 { return float64(p.horizon.Load()) }, labels...)
 	}
 }
 

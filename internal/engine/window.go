@@ -496,10 +496,21 @@ const maxWindowPanes = 1 << 16
 // disagreements between the header and the embedded engine document, and
 // trailing bytes.
 func ReadWindowedCheckpoint(r io.Reader, resolve func(string) (core.WeightFunc, error)) (*Windowed, string, error) {
+	return readWindowedDocument(bufio.NewReader(r), resolve, true)
+}
+
+// ReadWindowedDocument reads one window document from br and leaves the
+// reader positioned after it, for the KindMulti container which embeds
+// window documents back to back. Unlike ReadWindowedCheckpoint it does not
+// require EOF after the document.
+func ReadWindowedDocument(br *bufio.Reader, resolve func(string) (core.WeightFunc, error)) (*Windowed, string, error) {
+	return readWindowedDocument(br, resolve, false)
+}
+
+func readWindowedDocument(br *bufio.Reader, resolve func(string) (core.WeightFunc, error), requireEOF bool) (*Windowed, string, error) {
 	if resolve == nil {
 		resolve = core.ResolveWeight
 	}
-	br := bufio.NewReader(r)
 	cr := checkpoint.NewReader(br)
 	if err := cr.ExpectKind(checkpoint.KindWindow); err != nil {
 		return nil, "", err
@@ -559,7 +570,7 @@ func ReadWindowedCheckpoint(r io.Reader, resolve func(string) (core.WeightFunc, 
 		}
 		retired = append(retired, windowPane{idx: idx, s: s})
 	}
-	active, engineWeight, err := ReadParallelCheckpoint(br, resolve)
+	active, engineWeight, err := readParallelDocument(br, resolve, requireEOF)
 	if err != nil {
 		return nil, "", fmt.Errorf("engine: window live pane: %w", err)
 	}

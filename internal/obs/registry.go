@@ -141,6 +141,42 @@ func (r *Registry) add(name, help string, kind metricKind, s *sample) {
 	f.samples = append(f.samples, s)
 }
 
+// Unregister removes every sample whose label set contains match (key and
+// value both equal) from every family, dropping families left without
+// samples. It is the teardown half of labeled registration: a multi-tenant
+// registry that registered a stream's samples under {stream="name"} removes
+// them all with one call when the stream is deleted, so a later re-creation
+// under the same name cannot trip the duplicate-registration panic and
+// scrape-time readers stop touching the deleted stream's state. Returns the
+// number of samples removed.
+func (r *Registry) Unregister(match Label) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	removed := 0
+	for name, f := range r.fams {
+		kept := f.samples[:0]
+		for _, s := range f.samples {
+			matched := false
+			for _, l := range s.labels {
+				if l == match {
+					matched = true
+					break
+				}
+			}
+			if matched {
+				removed++
+			} else {
+				kept = append(kept, s)
+			}
+		}
+		f.samples = kept
+		if len(f.samples) == 0 {
+			delete(r.fams, name)
+		}
+	}
+	return removed
+}
+
 // Families returns the sorted names of all registered metric families.
 func (r *Registry) Families() []string {
 	r.mu.Lock()

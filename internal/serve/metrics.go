@@ -10,10 +10,12 @@ import (
 	"gps/internal/obs"
 )
 
-// serveMetrics holds the serve-layer instruments that are not per-route:
-// the snapshot-age-at-serve histogram (how stale the answers actually were,
-// as opposed to how stale they were allowed to be) and the decay-overflow
-// reject counter.
+// serveMetrics holds the per-stream serve-layer instruments that are not
+// per-route: the snapshot-age-at-serve histogram (how stale the answers
+// actually were, as opposed to how stale they were allowed to be) and the
+// decay-overflow reject counter. Created with the tenant (so handlers never
+// race a nil instrument), attached to the registry when the tenant is
+// installed.
 type serveMetrics struct {
 	snapAge      *obs.Histogram
 	decayRejects *obs.Counter
@@ -115,165 +117,163 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// registerMetrics builds the server's registry: the engine and checkpoint
-// layers attach their own families, and the serve layer adds the ingest
-// pipeline, the snapshot cache, and estimator self-telemetry read from the
-// cache's current immutable snapshot — scraping never touches the live
-// samplers, so it is race-free and never stalls ingestion.
-func (s *Server) registerMetrics() {
-	if s.win != nil {
-		// Windowed mode: pane rotation replaces the live Parallel, so the
-		// engine's per-instance instruments would go stale; the window
-		// families cover the chain instead. The readers take the window
-		// mutex briefly (no engine barrier), so scrapes stay cheap.
-		wc := s.win.Config()
-		s.reg.RegisterGaugeFunc("gps_window_width",
-			"Queryable window maximum, in event-time units.",
-			func() float64 { return float64(wc.Window) })
-		s.reg.RegisterGaugeFunc("gps_window_pane_width",
-			"Window pane width, in event-time units.",
-			func() float64 { return float64(wc.PaneWidth) })
-		s.reg.RegisterGaugeFunc("gps_window_panes",
-			"Retained panes (retired plus the live one).",
-			func() float64 { return float64(s.win.Panes()) })
-		s.reg.RegisterGaugeFunc("gps_window_horizon",
-			"Largest event time ingested (the horizon window queries end at).",
-			func() float64 { return float64(s.win.Horizon()) })
-	} else {
-		s.par.RegisterMetrics(s.reg)
-	}
+// Unwrap exposes the underlying writer so http.ResponseController can reach
+// its Flusher/deadline hooks through the middleware wrapper — the SSE
+// subscription handler depends on it.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// registerServerMetrics attaches the families that are genuinely
+// server-wide: the checkpoint file pipeline (one directory, one writer, all
+// streams per file) and uptime. Everything per-stream attaches through
+// registerTenantMetrics when the tenant is installed.
+func (s *Server) registerServerMetrics() {
 	checkpoint.RegisterMetrics(s.reg)
-
-	s.met.snapAge = s.reg.Histogram("gps_serve_snapshot_age_seconds",
-		"Age of the snapshot each estimate/subgraph response was served from.", obs.Latency())
-	s.met.decayRejects = s.reg.Counter("gps_serve_decay_rejected_batches_total",
-		"Ingest batches rejected by the decay overflow range check.")
-
-	s.reg.RegisterGaugeFunc("gps_serve_queue_edges", "Decoded edges waiting in the ingest queue.",
-		func() float64 { return float64(s.pendingEdges.Load()) })
-	s.reg.RegisterGaugeFunc("gps_serve_queue_batches", "Batches waiting in the ingest queue.",
-		func() float64 { return float64(s.pendingBatches.Load()) })
-	s.reg.RegisterGaugeFunc("gps_serve_queue_capacity", "Ingest queue batch capacity (QueueDepth).",
-		func() float64 { return float64(s.cfg.QueueDepth) })
-	s.reg.RegisterCounterFunc("gps_serve_edges_accepted_total",
-		"Edges admitted to the ingest queue (acknowledged with 202).", s.edgesAccepted.Load)
-	s.reg.RegisterCounterFunc("gps_serve_edges_processed_total",
-		"Edges handed to the sampler (includes the restored position on boot).", s.edgesProcessed.Load)
-	s.reg.RegisterCounterFunc("gps_serve_batches_rejected_total",
-		"Ingest requests rejected by backpressure (503).", s.batchesDropped.Load)
-	s.reg.RegisterCounterFunc("gps_serve_self_loops_total",
-		"Self-loop records skipped by the stream readers.", s.selfLoops.Load)
-	s.reg.RegisterCounterFunc("gps_serve_deletion_records_total",
-		"Turnstile deletion records accepted for ingest.", s.deletionRecs.Load)
 	s.reg.RegisterCounterFunc("gps_serve_checkpoint_files_total",
 		"Checkpoint files persisted by this server.", s.checkpointsWritten.Load)
 	s.reg.RegisterGaugeFunc("gps_serve_uptime_seconds", "Seconds since the server booted.",
 		func() float64 { return time.Since(s.start).Seconds() })
+}
+
+// registerTenantMetrics attaches one stream's samples: the engine layer's
+// families, the ingest pipeline, the snapshot cache, and estimator
+// self-telemetry read from the cache's current immutable snapshot —
+// scraping never touches the live samplers, so it is race-free and never
+// stalls ingestion. The default stream's samples carry no label, keeping a
+// single-tenant server's /metrics output identical to the pre-registry
+// releases; every other stream's samples are {stream="name"} within the
+// same families. Deletion removes them via Registry.Unregister on the same
+// label.
+func (s *Server) registerTenantMetrics(t *tenant) {
+	l := t.label
+	t.eng.RegisterMetrics(s.reg, l...)
+
+	s.reg.RegisterHistogram("gps_serve_snapshot_age_seconds",
+		"Age of the snapshot each estimate/subgraph response was served from.", t.met.snapAge, l...)
+	s.reg.RegisterCounter("gps_serve_decay_rejected_batches_total",
+		"Ingest batches rejected by the decay overflow range check.", t.met.decayRejects, l...)
+
+	s.reg.RegisterGaugeFunc("gps_serve_queue_edges", "Decoded edges waiting in the ingest queue.",
+		func() float64 { return float64(t.pendingEdges.Load()) }, l...)
+	s.reg.RegisterGaugeFunc("gps_serve_queue_batches", "Batches waiting in the ingest queue.",
+		func() float64 { return float64(t.pendingBatches.Load()) }, l...)
+	s.reg.RegisterGaugeFunc("gps_serve_queue_capacity", "Ingest queue batch capacity (QueueDepth).",
+		func() float64 { return float64(t.cfg.QueueDepth) }, l...)
+	s.reg.RegisterCounterFunc("gps_serve_edges_accepted_total",
+		"Edges admitted to the ingest queue (acknowledged with 202).", t.edgesAccepted.Load, l...)
+	s.reg.RegisterCounterFunc("gps_serve_edges_processed_total",
+		"Edges handed to the sampler (includes the restored position on boot).", t.edgesProcessed.Load, l...)
+	s.reg.RegisterCounterFunc("gps_serve_batches_rejected_total",
+		"Ingest requests rejected by backpressure (503).", t.batchesDropped.Load, l...)
+	s.reg.RegisterCounterFunc("gps_serve_self_loops_total",
+		"Self-loop records skipped by the stream readers.", t.selfLoops.Load, l...)
+	s.reg.RegisterCounterFunc("gps_serve_deletion_records_total",
+		"Turnstile deletion records accepted for ingest.", t.deletionRecs.Load, l...)
 
 	s.reg.RegisterCounter("gps_serve_snapshot_cache_hits_total",
-		"Queries served from the cached snapshot without a refresh.", s.snaps.met.hits)
+		"Queries served from the cached snapshot without a refresh.", t.snaps.met.hits, l...)
 	s.reg.RegisterCounter("gps_serve_snapshot_refresh_total",
-		"Snapshot cache refreshes (engine snapshot + estimate).", s.snaps.met.refreshes)
+		"Snapshot cache refreshes (engine snapshot + estimate).", t.snaps.met.refreshes, l...)
 	s.reg.RegisterCounter("gps_serve_snapshot_forced_fresh_total",
-		"Queries demanding max_stale=0 (a fresh snapshot).", s.snaps.met.forced)
+		"Queries demanding max_stale=0 (a fresh snapshot).", t.snaps.met.forced, l...)
 	s.reg.RegisterCounter("gps_serve_snapshot_estimate_reuse_total",
-		"Refreshes that reused the previous snapshot's estimates (only duplicates arrived).", s.snaps.met.estReuse)
+		"Refreshes that reused the previous snapshot's estimates (only duplicates arrived).", t.snaps.met.estReuse, l...)
 	s.reg.RegisterCounter("gps_serve_snapshot_deadline_stale_total",
-		"Queries served the previous snapshot because a refresh missed the deadline.", s.snaps.met.staleServe)
+		"Queries served the previous snapshot because a refresh missed the deadline.", t.snaps.met.staleServe, l...)
 
 	// Degradation and overload protection.
 	s.reg.RegisterCounterFunc("gps_serve_shed_total",
-		"Requests shed by overload protection (429/503 with Retry-After).", s.shedTotal.Load)
+		"Requests shed by overload protection (429/503 with Retry-After).", t.shedTotal.Load, l...)
 	s.reg.RegisterCounterFunc("gps_serve_degraded_queries_total",
-		"Estimate/subgraph responses flagged degraded (lossy recovery or deadline fallback).", s.degradedQueries.Load)
+		"Estimate/subgraph responses flagged degraded (lossy recovery or deadline fallback).", t.degradedQueries.Load, l...)
 	s.reg.RegisterCounterFunc("gps_serve_duplicate_batches_total",
-		"Ingest batches answered from the sequence dedup watermark without re-application.", s.duplicateBatches.Load)
+		"Ingest batches answered from the sequence dedup watermark without re-application.", t.duplicateBatches.Load, l...)
 	s.reg.RegisterCounterFunc("gps_serve_ingest_panics_total",
-		"Panics recovered by the ingest loop (the batch may be partially applied).", s.ingestPanics.Load)
+		"Panics recovered by the ingest loop (the batch may be partially applied).", t.ingestPanics.Load, l...)
 	s.reg.RegisterGaugeFunc("gps_serve_inflight_queries",
 		"Estimate/subgraph queries currently admitted.",
-		func() float64 { return float64(s.inflightQueries.Load()) })
+		func() float64 { return float64(t.inflightQueries.Load()) }, l...)
 
 	// Estimator self-telemetry, read from the current immutable snapshot
 	// (zero until the first query takes one). The live shard samplers are
 	// never touched: their counters are only safe to read at a barrier.
 	snap := func(f func(*snapshot) float64) func() float64 {
 		return func() float64 {
-			if sn := s.snaps.current(); sn != nil {
+			if sn := t.snaps.current(); sn != nil {
 				return f(sn)
 			}
 			return 0
 		}
 	}
 	s.reg.RegisterGaugeFunc("gps_core_reservoir_capacity", "Reservoir capacity m.",
-		func() float64 { return float64(s.cfg.Capacity) })
+		func() float64 { return float64(t.cfg.Capacity) }, l...)
 	s.reg.RegisterGaugeFunc("gps_core_reservoir_fill",
 		"Sampled edges |K| in the latest snapshot.",
-		snap(func(sn *snapshot) float64 { return float64(sn.est.SampledEdges) }))
+		snap(func(sn *snapshot) float64 { return float64(sn.est.SampledEdges) }), l...)
 	s.reg.RegisterGaugeFunc("gps_core_threshold",
 		"Priority threshold z* of the latest snapshot (0 until the reservoir first overflows).",
-		snap(func(sn *snapshot) float64 { return sn.sampler.Threshold() }))
+		snap(func(sn *snapshot) float64 { return sn.sampler.Threshold() }), l...)
 	s.reg.RegisterCounterFunc("gps_core_arrivals_total",
 		"Distinct edges processed, as of the latest snapshot.",
 		func() uint64 {
-			if sn := s.snaps.current(); sn != nil {
+			if sn := t.snaps.current(); sn != nil {
 				return sn.est.Arrivals
 			}
 			return 0
-		})
+		}, l...)
 	s.reg.RegisterCounterFunc("gps_core_duplicates_total",
 		"Duplicate arrivals ignored, as of the latest snapshot.",
 		func() uint64 {
-			if sn := s.snaps.current(); sn != nil {
+			if sn := t.snaps.current(); sn != nil {
 				return sn.sampler.Duplicates()
 			}
 			return 0
-		})
+		}, l...)
 	s.reg.RegisterCounterFunc("gps_core_accepts_total",
 		"Arrivals admitted to the reservoir, as of the latest snapshot (0 under gps_noobs builds).",
 		func() uint64 {
-			if sn := s.snaps.current(); sn != nil {
+			if sn := t.snaps.current(); sn != nil {
 				return sn.sampler.Accepts()
 			}
 			return 0
-		})
+		}, l...)
 	s.reg.RegisterCounterFunc("gps_core_evicts_total",
 		"Resident edges evicted by later arrivals, as of the latest snapshot (0 under gps_noobs builds).",
 		func() uint64 {
-			if sn := s.snaps.current(); sn != nil {
+			if sn := t.snaps.current(); sn != nil {
 				return sn.sampler.Evicts()
 			}
 			return 0
-		})
+		}, l...)
 	// The applied/unsampled deletion split needs the samplers' verdicts: on
-	// a plain server it reads the latest snapshot; a windowed server sums
+	// a plain stream it reads the latest snapshot; a windowed stream sums
 	// its retired panes lock-cheap (the live pane's verdicts join the sums
 	// at the next rotation — gps_serve_deletion_records_total is the exact
 	// record count in the meantime).
+	windowed := t.windowed()
 	s.reg.RegisterCounterFunc("gps_core_deletions_applied_total",
 		"Turnstile deletions that removed a sampled edge, as of the latest snapshot (windowed: summed over retired panes).",
 		func() uint64 {
-			if s.win != nil {
-				a, _ := s.win.RetiredDeletions()
+			if windowed {
+				a, _ := t.eng.RetiredDeletions()
 				return a
 			}
-			if sn := s.snaps.current(); sn != nil {
+			if sn := t.snaps.current(); sn != nil {
 				a, _ := sn.sampler.Deletions()
 				return a
 			}
 			return 0
-		})
+		}, l...)
 	s.reg.RegisterCounterFunc("gps_core_deletions_unsampled_total",
 		"Turnstile deletions of unsampled edges (applied vacuously), as of the latest snapshot (windowed: summed over retired panes).",
 		func() uint64 {
-			if s.win != nil {
-				_, u := s.win.RetiredDeletions()
+			if windowed {
+				_, u := t.eng.RetiredDeletions()
 				return u
 			}
-			if sn := s.snaps.current(); sn != nil {
+			if sn := t.snaps.current(); sn != nil {
 				_, u := sn.sampler.Deletions()
 				return u
 			}
 			return 0
-		})
+		}, l...)
 }

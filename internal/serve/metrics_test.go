@@ -149,8 +149,8 @@ func TestServeMetricsFourLayers(t *testing.T) {
 
 	// The same quantities through the JSON plane agree.
 	st := decodeJSON[StatsV1](t, mustGet(t, ts.URL+"/v1/stats"))
-	if st.SchemaVersion != 1 {
-		t.Fatalf("schema_version = %d, want 1", st.SchemaVersion)
+	if st.SchemaVersion != 2 {
+		t.Fatalf("schema_version = %d, want 2", st.SchemaVersion)
 	}
 	if float64(st.EdgesAccepted) != n || st.Shards != 2 || st.Capacity != 512 {
 		t.Fatalf("stats disagree with metrics: %+v", st)

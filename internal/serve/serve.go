@@ -1,6 +1,6 @@
 // Package serve turns the GPS library into a continuous sampling service:
-// a stdlib-only HTTP server that ingests a live edge stream and answers
-// subgraph queries while the stream is still arriving — the deployment
+// a stdlib-only HTTP server that ingests live edge streams and answers
+// subgraph queries while the streams are still arriving — the deployment
 // scenario of the paper's in-stream estimation (§4), industrialized.
 //
 // # Architecture
@@ -8,25 +8,39 @@
 //	clients ─► POST /v1/ingest ─► bounded queue ─► ingest goroutine
 //	                                                   │ ProcessBatch
 //	                                                   ▼
-//	                                        engine.Parallel (P shards)
+//	                                         engine.Stream (per stream)
 //	                                                   │ Snapshot (low pause)
 //	                                                   ▼
 //	clients ◄─ GET /v1/estimate ◄─ snapshot cache (staleness-bounded)
 //
+// The server is multi-tenant: a registry of named streams, each with its
+// own engine (plain sharded, forward-decayed, or sliding-window), bounded
+// ingest queue, snapshot cache and metrics. Every /v1/* endpoint takes an
+// optional ?stream= selector; its absence addresses the always-present
+// "default" stream, so a single-tenant deployment never sees the registry
+// and its wire traffic is identical to the pre-registry releases. Streams
+// are created and deleted at runtime via POST/DELETE /v1/streams/{name}
+// (or declared at boot via Config.Streams / the gps-serve -streams
+// manifest), and GET /v1/subscribe pushes snapshot-epoch estimate updates
+// per stream as server-sent events.
+//
 // Ingestion is asynchronous: handlers parse the request body (binary edge
-// frames or plain text), enqueue the batch on a bounded queue and return
-// 202; when the queue is full they return 503 — explicit backpressure
-// instead of unbounded buffering. A single ingest goroutine drains the
-// queue into the sharded sampler, preserving arrival order.
+// frames or plain text), enqueue the batch on the stream's bounded queue
+// and return 202; when the queue is full they return 503 — explicit
+// backpressure instead of unbounded buffering. The global MaxPendingEdges
+// budget is apportioned fair-share across live streams, so one saturating
+// tenant is rejected alone instead of starving the rest. A single ingest
+// goroutine per stream drains its queue into the sharded sampler,
+// preserving arrival order.
 //
 // Queries never touch the live sampler. They read an immutable snapshot —
-// engine.Parallel.Snapshot's merged sampler plus its pre-computed
-// Algorithm 2 estimates — from a cache with a configurable staleness
-// bound: a snapshot younger than the bound (or than the request's
-// max_stale override) is served directly to any number of concurrent
-// readers, and a stale one triggers exactly one refresh while late
-// arrivals wait for its result. Ingestion stalls only for the snapshot's
-// shard-clone, not for merging or estimation.
+// the engine's merged sampler plus its pre-computed
+// Algorithm 2 estimates — from a per-stream cache with a configurable
+// staleness bound: a snapshot younger than the bound (or than the
+// request's max_stale override) is served directly to any number of
+// concurrent readers, and a stale one triggers exactly one refresh while
+// late arrivals wait for its result. Ingestion stalls only for the
+// snapshot's shard-clone, not for merging or estimation.
 //
 // The stream model matches the paper (§3.1): edges are undirected, unique
 // and simplified. Re-arrivals of a currently sampled edge are ignored by
@@ -34,6 +48,7 @@
 package serve
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -50,7 +65,6 @@ import (
 
 	"gps/internal/checkpoint"
 	"gps/internal/core"
-	"gps/internal/engine"
 	"gps/internal/fault"
 	"gps/internal/graph"
 	"gps/internal/obs"
@@ -72,12 +86,14 @@ type Config struct {
 	Seed uint64
 	// Shards is the engine shard count; <= 0 means GOMAXPROCS.
 	Shards int
-	// QueueDepth bounds the number of pending ingest batches; beyond it
-	// ingestion requests are rejected with 503. <= 0 means 64.
+	// QueueDepth bounds the number of pending ingest batches per stream;
+	// beyond it ingestion requests are rejected with 503. <= 0 means 64.
 	QueueDepth int
-	// MaxPendingEdges bounds the total decoded edges waiting in the queue
+	// MaxPendingEdges bounds the total decoded edges waiting in the queues
 	// (the real memory bound — QueueDepth alone would admit QueueDepth
-	// maximum-size bodies). <= 0 means 4M edges (~32 MiB queued).
+	// maximum-size bodies). The budget is shared fair-share across live
+	// streams: each stream may hold MaxPendingEdges / streams, so one
+	// saturating tenant 503s alone. <= 0 means 4M edges (~32 MiB queued).
 	MaxPendingEdges int
 	// MaxBodyBytes caps an ingest request body. <= 0 means 32 MiB.
 	MaxBodyBytes int64
@@ -93,7 +109,7 @@ type Config struct {
 	// 0 (the default) disables decay.
 	HalfLife float64
 	// Window enables sliding-window sampling: the server keeps a chain of
-	// time-partitioned panes (engine.Windowed) and /v1/estimate answers
+	// time-partitioned panes (a windowed engine) and /v1/estimate answers
 	// "the trailing w event-time units, exactly" via ?window=w (w defaults
 	// to Window, the queryable maximum). Windowed queries bypass the
 	// snapshot cache — each one merges the in-window panes fresh — and
@@ -112,15 +128,26 @@ type Config struct {
 	// indefinitely, preserving strict freshness.
 	EstimateDeadline time.Duration
 	// MaxInflightQueries bounds concurrently admitted estimate/subgraph
-	// queries; beyond it requests are shed with 429 + Retry-After instead
-	// of queueing behind the snapshot cache. <= 0 disables shedding.
+	// queries per stream; beyond it requests are shed with 429 +
+	// Retry-After instead of queueing behind the snapshot cache. <= 0
+	// disables shedding.
 	MaxInflightQueries int
+
+	// Streams declares additional named streams to create at boot — the
+	// programmatic form of the gps-serve -streams manifest. Each spec's
+	// zero fields inherit the fields above; the "default" stream always
+	// exists and is configured by the fields above directly. When a
+	// multi-stream checkpoint restore already carries one of these names,
+	// the restored state wins and the spec is ignored.
+	Streams []StreamSpec
 
 	// RestoreFrom restores the sampler data plane on boot from a GPSC
 	// checkpoint: a file path, or a directory whose newest *.gpsc file is
-	// used. The checkpoint's capacity, weight and shard count override the
-	// fields above — the restored state is only meaningful under the
-	// configuration it was taken with. Empty starts fresh.
+	// used. A single-stream document restores the default stream exactly as
+	// before; a multi-stream container restores every stream it names. The
+	// checkpoint's capacity, weight and shard count override the fields
+	// above — the restored state is only meaningful under the configuration
+	// it was taken with. Empty starts fresh.
 	RestoreFrom string
 	// CheckpointDir is where POST /v1/checkpoint and the periodic
 	// checkpointer persist snapshots (atomic rename, retention-pruned).
@@ -145,67 +172,43 @@ type Config struct {
 // via Handler, stop with Close.
 type Server struct {
 	cfg Config
-	// Exactly one of par/win is non-nil: par is the plain sharded engine,
-	// win the sliding-window chain (Config.Window > 0). Engine-level
-	// telemetry in windowed mode reads the live pane via eng().
-	par   *engine.Parallel
-	win   *engine.Windowed
-	mux   *http.ServeMux
-	snaps *snapshotCache
+	mux *http.ServeMux
 
-	queue chan ingestItem
-	done  chan struct{}
-	wg    sync.WaitGroup
+	// The stream registry. tenants maps name → tenant and is guarded by
+	// closeMu together with the closed flag; def is the always-present
+	// "default" stream (also in the map). streams mirrors len(tenants) for
+	// the lock-free fair-share admission check.
+	tenants map[string]*tenant
+	def     *tenant
+	streams atomic.Int64
 
-	// closeMu excludes Close from in-flight enqueue attempts: producers
-	// hold the read side across the closed-check + send, so after Close
-	// acquires the write side and flips closed, nothing new can enter the
-	// queue — which lets the ingest goroutine drain the queue on shutdown
-	// and guarantees every 202-acknowledged batch reaches the sampler.
-	closeMu        sync.RWMutex
-	closed         atomic.Bool
-	start          time.Time
-	edgesAccepted  atomic.Uint64 // edges admitted to the queue
-	edgesProcessed atomic.Uint64 // edges handed to the sampler (restored position on boot)
-	batchesDropped atomic.Uint64 // ingest requests rejected by backpressure
-	selfLoops      atomic.Uint64 // self-loop records skipped by the readers
-	deletionRecs   atomic.Uint64 // turnstile deletion records accepted for ingest
-	decayMode      atomic.Int32  // 0 undecided, 1 event-timed, 2 untimed (decayed servers only)
-	pendingEdges   atomic.Int64
-	pendingBatches atomic.Int64
+	done chan struct{}
+	wg   sync.WaitGroup
 
-	// At-least-once ingest dedup: the highest sequence number acknowledged
-	// per X-GPS-Source, guarded by seqMu. A retried batch (seq <= seen) is
-	// answered 202 {"duplicate": true} without touching the sampler, so a
-	// client that lost an acknowledgement can retry safely. The map is
-	// process-local: after a restart the first seq seen per source
-	// re-initializes it (the samplers' own duplicate-ignoring covers
-	// re-ingest of resident edges).
-	seqMu   sync.Mutex
-	seqSeen map[string]uint64
-
-	// Degradation and overload telemetry.
-	inflightQueries  atomic.Int64
-	shedTotal        atomic.Uint64 // requests shed by overload protection
-	degradedQueries  atomic.Uint64 // estimate responses flagged degraded
-	duplicateBatches atomic.Uint64 // ingest batches deduplicated by sequence
-	ingestPanics     atomic.Uint64 // panics recovered in the ingest loop
+	// closeMu excludes Close and stream deletion from in-flight enqueue
+	// attempts: producers hold the read side across the closed/deleted
+	// check + send, so after a writer acquires the write side and flips the
+	// flag, nothing new can enter the queue — which lets the ingest
+	// goroutines drain their queues on shutdown and guarantees every
+	// 202-acknowledged batch reaches its sampler.
+	closeMu sync.RWMutex
+	closed  atomic.Bool
+	start   time.Time
 
 	// Durability state. ckptMu serializes file writes and retention so a
 	// manual POST /v1/checkpoint cannot interleave with the periodic
-	// checkpointer's rename+prune.
+	// checkpointer's rename+prune. Checkpoint files cover every stream, so
+	// the counters stay server-level.
 	ckptMu             sync.Mutex
 	checkpointsWritten atomic.Uint64
 	lastCheckpointNS   atomic.Int64 // unix ns of the last persisted checkpoint
 	lastCheckpointErr  atomic.Value // string; "" when the last attempt succeeded
 	restoredFrom       string       // checkpoint path restored on boot, "" if fresh
-	restoredPosition   uint64       // stream position carried by that checkpoint
 
 	// Observability. reg aggregates every layer's instrument families; the
 	// route middleware stamps X-Request-Id from reqPrefix (per-boot) plus
 	// reqSeq and, when logw is set, writes the request log.
 	reg       *obs.Registry
-	met       serveMetrics
 	reqSeq    atomic.Uint64
 	reqPrefix string
 	logw      io.Writer
@@ -217,8 +220,9 @@ type ingestItem struct {
 	ack   chan struct{} // non-nil for flush markers
 }
 
-// NewServer builds the service: the sharded sampler, the ingest pipeline
-// and the HTTP routes.
+// NewServer builds the service: the stream registry (the default stream
+// plus any declared or restored named streams), the per-stream ingest
+// pipelines and the HTTP routes.
 func NewServer(cfg Config) (*Server, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
@@ -266,14 +270,19 @@ func NewServer(cfg Config) (*Server, error) {
 			}
 		}
 	}
+	// Build every boot-time tenant before starting anything, closing the
+	// engines already constructed if a later one fails.
 	var (
-		par              *engine.Parallel
-		win              *engine.Windowed
-		restoredFrom     string
-		restoredPosition uint64
+		boot         []*tenant
+		restoredFrom string
 	)
-	switch {
-	case cfg.RestoreFrom != "":
+	fail := func(err error) (*Server, error) {
+		for _, t := range boot {
+			t.eng.Close()
+		}
+		return nil, err
+	}
+	if cfg.RestoreFrom != "" {
 		path, err := checkpoint.ResolvePath(cfg.RestoreFrom)
 		if err != nil {
 			return nil, fmt.Errorf("serve: restore: %w", err)
@@ -282,88 +291,81 @@ func NewServer(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: restore: %w", err)
 		}
-		// The checkpoint's configuration wins: restored reservoirs are only
-		// meaningful under the capacity/weight/shards (and decay/window
-		// geometry) they were taken with.
-		var weightName string
-		if cfg.Window > 0 {
-			win, weightName, err = engine.ReadWindowedCheckpoint(f, WeightByName)
-		} else {
-			par, weightName, err = engine.ReadParallelCheckpoint(f, WeightByName)
+		br := bufio.NewReader(f)
+		kind, err := peekKind(br)
+		if err == nil {
+			if kind == checkpoint.KindMulti {
+				boot, err = restoreMulti(br, cfg)
+			} else {
+				var def *tenant
+				def, err = restoreSingle(br, cfg)
+				if def != nil {
+					boot = []*tenant{def}
+				}
+			}
 		}
 		f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("serve: restore %s: %w", path, err)
 		}
-		if win != nil {
-			wc := win.Config()
-			cfg.Capacity = wc.Capacity
-			cfg.Shards = wc.Shards
-			cfg.Seed = wc.Seed
-			cfg.Window = wc.Window
-			cfg.PaneWidth = wc.PaneWidth
-			restoredPosition = win.Processed()
-		} else {
-			cfg.Capacity = par.Capacity()
-			cfg.Shards = par.Shards()
-			cfg.HalfLife = par.Decay().HalfLife
-			restoredPosition = par.Processed()
-		}
-		cfg.WeightName = weightName
-		cfg.Weight, _ = WeightByName(weightName)
 		restoredFrom = path
-	case cfg.Window > 0:
-		fresh, err := engine.NewWindowed(engine.WindowConfig{
-			Capacity:  cfg.Capacity,
-			Weight:    cfg.Weight,
-			Seed:      cfg.Seed,
-			Shards:    cfg.Shards,
-			PaneWidth: cfg.PaneWidth,
-			Window:    cfg.Window,
-		})
+	} else {
+		def, err := newTenant(defaultStream, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("serve: %w", err)
 		}
-		win = fresh
-		cfg.Shards = fresh.Config().Shards // resolve the <=0 GOMAXPROCS default
-	default:
-		fresh, err := engine.NewParallel(core.Config{
-			Capacity: cfg.Capacity,
-			Weight:   cfg.Weight,
-			Seed:     cfg.Seed,
-			Decay:    core.Decay{HalfLife: cfg.HalfLife},
-		}, cfg.Shards)
-		if err != nil {
-			return nil, fmt.Errorf("serve: %w", err)
+		boot = []*tenant{def}
+	}
+	names := make(map[string]*tenant, len(boot))
+	var def *tenant
+	for _, t := range boot {
+		names[t.name] = t
+		if t.name == defaultStream {
+			def = t
 		}
-		par = fresh
-		cfg.Shards = fresh.Shards() // resolve the <=0 GOMAXPROCS default
+	}
+	if def == nil {
+		return fail(fmt.Errorf("serve: restore %s: multi-stream checkpoint has no %q stream", restoredFrom, defaultStream))
 	}
 	s := &Server{
-		cfg:              cfg,
-		par:              par,
-		win:              win,
-		queue:            make(chan ingestItem, cfg.QueueDepth),
-		done:             make(chan struct{}),
-		seqSeen:          make(map[string]uint64),
-		start:            time.Now(),
-		restoredFrom:     restoredFrom,
-		restoredPosition: restoredPosition,
+		tenants:      make(map[string]*tenant, len(boot)+len(cfg.Streams)),
+		done:         make(chan struct{}),
+		start:        time.Now(),
+		restoredFrom: restoredFrom,
 	}
-	// Resume the stream-position counter so the snapshot cache's
-	// "provably current" check (est.Arrivals == position at zero traffic)
-	// keeps working across a restart.
-	s.edgesProcessed.Store(restoredPosition)
+	// EffectiveConfig reflects the default stream (after defaulting, and
+	// after a restore overrode capacity, weight and shard count); the
+	// server-wide fields are shared with it anyway.
+	s.cfg = def.cfg
+	s.cfg.Streams = cfg.Streams
+	s.cfg.RestoreFrom = cfg.RestoreFrom
+	for _, spec := range cfg.Streams {
+		if !validStreamName(spec.Name) {
+			return fail(fmt.Errorf("serve: bad stream name %q (want 1-64 characters of [A-Za-z0-9._-])", spec.Name))
+		}
+		if spec.Name == defaultStream {
+			return fail(fmt.Errorf("serve: stream %q always exists; configure it with the top-level fields", defaultStream))
+		}
+		if _, dup := names[spec.Name]; dup {
+			// Restored state wins over a manifest re-declaration; a
+			// manifest that lists a name twice is a plain mistake.
+			if restoredFrom != "" {
+				continue
+			}
+			return fail(fmt.Errorf("serve: stream %q declared twice", spec.Name))
+		}
+		scfg, err := s.streamConfig(spec)
+		if err != nil {
+			return fail(fmt.Errorf("serve: %w", err))
+		}
+		t, err := newTenant(spec.Name, scfg)
+		if err != nil {
+			return fail(fmt.Errorf("serve: stream %q: %w", spec.Name, err))
+		}
+		names[spec.Name] = t
+		boot = append(boot, t)
+	}
 	s.lastCheckpointErr.Store("")
-	if win != nil {
-		// Windowed queries merge panes fresh per request; the cache exists
-		// only so its metric families and telemetry readers stay uniform.
-		s.snaps = newSnapshotCache(func() (*core.Sampler, error) {
-			return nil, errors.New("serve: windowed mode has no standing snapshot")
-		}, s.edgesProcessed.Load, nil)
-	} else {
-		s.snaps = newSnapshotCache(par.Snapshot, s.edgesProcessed.Load, par.Degraded)
-	}
 	if cfg.LogRequests {
 		s.logw = cfg.LogWriter
 		if s.logw == nil {
@@ -372,7 +374,10 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	s.reqPrefix = fmt.Sprintf("%08x", uint32(time.Now().UnixNano()))
 	s.reg = obs.NewRegistry()
-	s.registerMetrics()
+	s.registerServerMetrics()
+	for _, t := range boot {
+		s.installTenantLocked(t) // boot is single-threaded: no lock needed yet
+	}
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/ingest", s.handleIngest)
 	s.route("GET /v1/estimate", s.handleEstimate)
@@ -381,12 +386,14 @@ func NewServer(cfg Config) (*Server, error) {
 	s.route("POST /v1/checkpoint", s.handleCheckpoint)
 	s.route("GET /v1/checkpoint", s.handleCheckpointDownload)
 	s.route("GET /v1/stats", s.handleStats)
+	s.route("GET /v1/streams", s.handleStreamList)
+	s.route("POST /v1/streams/{name}", s.handleStreamCreate)
+	s.route("DELETE /v1/streams/{name}", s.handleStreamDelete)
+	s.route("GET /v1/subscribe", s.handleSubscribe)
 	s.route("GET /healthz", s.handleHealth)
 	s.route("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		s.reg.Handler().ServeHTTP(w, r)
 	})
-	s.wg.Add(1)
-	go s.ingestLoop()
 	if cfg.CheckpointEvery > 0 && cfg.CheckpointDir != "" {
 		s.wg.Add(1)
 		go s.checkpointLoop()
@@ -395,57 +402,65 @@ func NewServer(cfg Config) (*Server, error) {
 }
 
 // Restored reports the checkpoint the server booted from and the stream
-// position it carried; an empty path means a fresh start.
+// position the default stream carried; an empty path means a fresh start.
 func (s *Server) Restored() (path string, position uint64) {
-	return s.restoredFrom, s.restoredPosition
+	return s.restoredFrom, s.def.restoredPosition
 }
 
 // EffectiveConfig returns the configuration the server actually runs with
 // — after defaulting, and after a restore overrode capacity, weight and
-// shard count with the checkpoint's values.
+// shard count with the checkpoint's values. The engine fields describe the
+// default stream; named streams carry their own (see GET /v1/streams).
 func (s *Server) EffectiveConfig() Config { return s.cfg }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the ingest pipeline and the underlying sampler. Batches
-// already acknowledged with 202 are processed before shutdown completes;
-// in-flight requests racing Close observe 503s. Close is idempotent.
+// Close stops the ingest pipelines and the underlying samplers of every
+// stream. Batches already acknowledged with 202 are processed before
+// shutdown completes; in-flight requests racing Close observe 503s. Close
+// is idempotent.
 func (s *Server) Close() {
 	s.closeMu.Lock()
 	already := !s.closed.CompareAndSwap(false, true)
+	var tenants []*tenant
+	if !already {
+		for _, t := range s.tenants {
+			tenants = append(tenants, t)
+		}
+	}
 	s.closeMu.Unlock()
 	if already {
 		return
 	}
 	close(s.done)
 	s.wg.Wait()
-	if s.win != nil {
-		s.win.Close()
-	} else {
-		s.par.Close()
+	for _, t := range tenants {
+		t.eng.Close()
 	}
 }
 
-// eng returns the engine carrying the live data plane: the plain sharded
-// engine, or — in windowed mode — the window chain's current live pane.
-// Rotation replaces the live pane, so callers use the handle for one
-// point-in-time read and re-fetch next time.
-func (s *Server) eng() *engine.Parallel {
-	if s.win != nil {
-		return s.win.Engine()
+// pendingEdgeShare is each stream's slice of the global MaxPendingEdges
+// budget: the whole budget for a single-tenant server (identical to the
+// pre-registry behavior), an equal share otherwise — so a tenant that
+// saturates its share is rejected alone instead of starving the rest.
+func (s *Server) pendingEdgeShare() int64 {
+	n := s.streams.Load()
+	if n <= 1 {
+		return int64(s.cfg.MaxPendingEdges)
 	}
-	return s.par
+	return int64(s.cfg.MaxPendingEdges) / n
 }
 
-// ingestLoop is the single consumer of the ingest queue: it preserves
-// arrival order and is the only goroutine feeding the sampler. On
-// shutdown it drains everything still queued — all of it was enqueued
-// (and acknowledged) before Close flipped the closed flag.
-func (s *Server) ingestLoop() {
+// ingestLoop is the single consumer of one stream's ingest queue: it
+// preserves arrival order and is the only goroutine feeding that sampler.
+// On shutdown or stream deletion it drains everything still queued — all
+// of it was enqueued (and acknowledged) before the flag flipped.
+func (s *Server) ingestLoop(t *tenant) {
 	defer s.wg.Done()
+	defer close(t.loopDone)
 	handle := func(it ingestItem) {
-		s.pendingBatches.Add(-1)
+		t.pendingBatches.Add(-1)
 		if len(it.edges) > 0 {
 			// Recover a panic escaping admission (e.g. an injected
 			// ring-publish fault): the batch may be partially applied, but
@@ -458,39 +473,42 @@ func (s *Server) ingestLoop() {
 			func() {
 				defer func() {
 					if rec := recover(); rec != nil {
-						s.ingestPanics.Add(1)
+						t.ingestPanics.Add(1)
 					}
 				}()
-				if s.win != nil {
-					// A rotation failure (merge on a faulted pane) loses the
-					// batch like a recovered panic would; the loop survives
-					// and the loss is visible in ingest_panics.
-					if err := s.win.ProcessBatch(it.edges); err != nil {
-						s.ingestPanics.Add(1)
-					}
-				} else {
-					s.par.ProcessBatch(it.edges)
+				if err := t.eng.ProcessBatch(it.edges); err != nil {
+					// A windowed rotation failure (merge on a faulted pane)
+					// loses the batch like a recovered panic would; the loop
+					// survives and the loss is visible in ingest_panics.
+					t.ingestPanics.Add(1)
 				}
 			}()
-			s.pendingEdges.Add(-int64(len(it.edges)))
-			s.edgesProcessed.Add(uint64(len(it.edges)))
+			t.pendingEdges.Add(-int64(len(it.edges)))
+			t.edgesProcessed.Add(uint64(len(it.edges)))
 		}
 		if it.ack != nil {
 			close(it.ack)
 		}
 	}
+	drain := func() {
+		for {
+			select {
+			case it := <-t.queue:
+				handle(it)
+			default:
+				return
+			}
+		}
+	}
 	for {
 		select {
 		case <-s.done:
-			for {
-				select {
-				case it := <-s.queue:
-					handle(it)
-				default:
-					return
-				}
-			}
-		case it := <-s.queue:
+			drain()
+			return
+		case <-t.tdone:
+			drain()
+			return
+		case it := <-t.queue:
 			handle(it)
 		}
 	}
@@ -556,31 +574,35 @@ func ingestSequence(r *http.Request) (source string, seq uint64, err error) {
 // that seq was already acknowledged (the batch must not be re-applied);
 // otherwise rollback undoes the advance, for batches that end up rejected —
 // the client will retry them with the same sequence number.
-func (s *Server) recordSequence(source string, seq uint64) (dup bool, rollback func()) {
+func (t *tenant) recordSequence(source string, seq uint64) (dup bool, rollback func()) {
 	if source == "" {
 		return false, func() {}
 	}
-	s.seqMu.Lock()
-	defer s.seqMu.Unlock()
-	last, seen := s.seqSeen[source]
+	t.seqMu.Lock()
+	defer t.seqMu.Unlock()
+	last, seen := t.seqSeen[source]
 	if seen && seq <= last {
 		return true, nil
 	}
-	s.seqSeen[source] = seq
+	t.seqSeen[source] = seq
 	return false, func() {
-		s.seqMu.Lock()
-		defer s.seqMu.Unlock()
-		if cur, ok := s.seqSeen[source]; ok && cur == seq {
+		t.seqMu.Lock()
+		defer t.seqMu.Unlock()
+		if cur, ok := t.seqSeen[source]; ok && cur == seq {
 			if seen {
-				s.seqSeen[source] = last
+				t.seqSeen[source] = last
 			} else {
-				delete(s.seqSeen, source)
+				delete(t.seqSeen, source)
 			}
 		}
 	}
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
 	edges, rst, tooBig, err := s.parseBody(r)
 	if err != nil {
 		if tooBig {
@@ -596,13 +618,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	dup, rollbackSeq := s.recordSequence(source, seq)
+	dup, rollbackSeq := t.recordSequence(source, seq)
 	if dup {
 		// The batch was applied (or at least acknowledged) on a previous
 		// attempt whose response the client lost: acknowledge again without
 		// re-feeding the sampler — at-least-once delivery, exactly-once
 		// application.
-		s.duplicateBatches.Add(1)
+		t.duplicateBatches.Add(1)
 		writeJSON(w, http.StatusAccepted, map[string]any{"accepted": 0, "duplicate": true})
 		return
 	}
@@ -610,24 +632,25 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// The body was fully parsed and (vacuously) admitted: its skips
 		// count. Rejected or unparseable bodies never reach the counter —
 		// it must track skips from accepted stream positions only.
-		s.selfLoops.Add(uint64(rst.SelfLoops))
+		t.selfLoops.Add(uint64(rst.SelfLoops))
 		writeJSON(w, http.StatusAccepted, map[string]any{"accepted": 0, "skipped_self_loops": rst.SelfLoops})
 		return
 	}
-	if s.cfg.HalfLife > 0 {
-		if msg := s.decayRangeCheck(edges); msg != "" {
+	if t.cfg.HalfLife > 0 {
+		if msg := t.decayRangeCheck(edges); msg != "" {
 			// Past this span the sampler's boost would overflow float64 and
 			// abort the whole process; reject the batch while the error can
 			// still be an HTTP response.
-			s.met.decayRejects.Inc()
+			t.met.decayRejects.Inc()
 			rollbackSeq()
 			httpError(w, http.StatusBadRequest, msg)
 			return
 		}
 	}
-	// The read lock pins the open/closed state across the check + enqueue:
-	// once Close holds the write side, no further batch can be admitted,
-	// so everything acknowledged below is guaranteed to be drained.
+	// The read lock pins the open/closed/deleted state across the check +
+	// enqueue: once Close (or a stream deletion) holds the write side, no
+	// further batch can be admitted, so everything acknowledged below is
+	// guaranteed to be drained.
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closed.Load() {
@@ -635,33 +658,38 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "server closed")
 		return
 	}
+	if t.deleted.Load() {
+		rollbackSeq()
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown stream %q", t.name))
+		return
+	}
 	// Count the batch before the enqueue attempt (rolling back on
 	// rejection): the consumer decrements only after receiving, so stats
 	// readers never observe negative pending counts, and the edge bound
 	// can't be overshot by concurrent producers racing the check.
-	s.pendingBatches.Add(1)
-	pending := s.pendingEdges.Add(int64(len(edges)))
+	t.pendingBatches.Add(1)
+	pending := t.pendingEdges.Add(int64(len(edges)))
 	reject := func(msg string) {
-		s.pendingBatches.Add(-1)
-		s.pendingEdges.Add(-int64(len(edges)))
-		s.batchesDropped.Add(1)
-		s.shedTotal.Add(1)
+		t.pendingBatches.Add(-1)
+		t.pendingEdges.Add(-int64(len(edges)))
+		t.batchesDropped.Add(1)
+		t.shedTotal.Add(1)
 		rollbackSeq()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, msg)
 	}
-	if pending > int64(s.cfg.MaxPendingEdges) {
+	if pending > s.pendingEdgeShare() {
 		// Backpressure on queued volume: QueueDepth alone would let
 		// QueueDepth maximum-size bodies sit decoded in memory.
 		reject("ingest queue full (pending edge bound)")
 		return
 	}
 	select {
-	case s.queue <- ingestItem{edges: edges}:
-		s.edgesAccepted.Add(uint64(len(edges)))
-		s.selfLoops.Add(uint64(rst.SelfLoops))
+	case t.queue <- ingestItem{edges: edges}:
+		t.edgesAccepted.Add(uint64(len(edges)))
+		t.selfLoops.Add(uint64(rst.SelfLoops))
 		if dels := countDeletions(edges); dels > 0 {
-			s.deletionRecs.Add(dels)
+			t.deletionRecs.Add(dels)
 		}
 		if fault.Enabled() {
 			// Lost-acknowledgement window: the batch is enqueued and its
@@ -678,7 +706,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, map[string]any{
 			"accepted":           len(edges),
 			"skipped_self_loops": rst.SelfLoops,
-			"queued_batches":     s.pendingBatches.Load(),
+			"queued_batches":     t.pendingBatches.Load(),
 		})
 	default:
 		// Backpressure: the queue is full. Clients should retry with
@@ -719,8 +747,8 @@ const maxDecaySpanHalfLives = 1000
 // incommensurate with the event-time landmark, which is the same crash
 // spelled differently. The stream's shape (timed vs untimed) is locked in
 // on the first accepted batch.
-func (s *Server) decayRangeCheck(edges []graph.Edge) string {
-	limit := uint64(maxDecaySpanHalfLives * s.cfg.HalfLife)
+func (t *tenant) decayRangeCheck(edges []graph.Edge) string {
+	limit := uint64(maxDecaySpanHalfLives * t.cfg.HalfLife)
 	timed := 0
 	var firstTS, minTS, maxTS uint64
 	for _, e := range edges {
@@ -742,7 +770,7 @@ func (s *Server) decayRangeCheck(edges []graph.Edge) string {
 	if timed > 0 && timed < len(edges) {
 		return "batch mixes event-timed and untimed edges; a decayed stream must carry timestamps on every edge or on none"
 	}
-	base, haveBase := s.par.DecayLandmark()
+	base, haveBase := t.eng.DecayLandmark()
 	if timed > 0 {
 		if !haveBase {
 			base = firstTS // the engine pins the first routed edge's time
@@ -761,7 +789,7 @@ func (s *Server) decayRangeCheck(edges []graph.Edge) string {
 		// Untimed edges are stamped from the engine position clock, so the
 		// landmark must itself be a clock position (≈1), not an event time
 		// from a previously timed stream.
-		projected := s.edgesProcessed.Load() + uint64(s.pendingEdges.Load()) + uint64(len(edges))
+		projected := t.edgesProcessed.Load() + uint64(t.pendingEdges.Load()) + uint64(len(edges))
 		if !haveBase {
 			base = 1
 		}
@@ -780,34 +808,42 @@ func (s *Server) decayRangeCheck(edges []graph.Edge) string {
 	if timed > 0 {
 		mode = 1
 	}
-	if !s.decayMode.CompareAndSwap(0, mode) && s.decayMode.Load() != mode {
+	if !t.decayMode.CompareAndSwap(0, mode) && t.decayMode.Load() != mode {
 		return "stream switched between event-timed and untimed edges; a decayed server samples one shape per run"
 	}
 	return ""
 }
 
-var errServerClosed = errors.New("server closed")
+var (
+	errServerClosed  = errors.New("server closed")
+	errStreamDeleted = errors.New("stream deleted")
+)
 
-// flushBarrier blocks until everything enqueued before it has reached the
-// sampler — the read-your-writes primitive behind /v1/flush and the
+// flushBarrier blocks until everything enqueued on t before it has reached
+// the sampler — the read-your-writes primitive behind /v1/flush and the
 // checkpoint handlers (a checkpoint must cover every batch acknowledged
 // before it was requested). It follows the closeMu discipline of
-// handleIngest: while the read lock is held, Close cannot flip closed, so a
-// marker admitted here is guaranteed to be consumed (shutdown drains the
-// queue) and the pending counter cannot leak.
-func (s *Server) flushBarrier(ctx context.Context) error {
+// handleIngest: while the read lock is held, neither Close nor a stream
+// deletion can flip its flag, so a marker admitted here is guaranteed to
+// be consumed (shutdown and deletion both drain the queue) and the pending
+// counter cannot leak.
+func (s *Server) flushBarrier(ctx context.Context, t *tenant) error {
 	s.closeMu.RLock()
 	if s.closed.Load() {
 		s.closeMu.RUnlock()
 		return errServerClosed
 	}
+	if t.deleted.Load() {
+		s.closeMu.RUnlock()
+		return errStreamDeleted
+	}
 	ack := make(chan struct{})
-	s.pendingBatches.Add(1)
+	t.pendingBatches.Add(1)
 	select {
-	case s.queue <- ingestItem{ack: ack}:
+	case t.queue <- ingestItem{ack: ack}:
 		s.closeMu.RUnlock()
 	case <-ctx.Done():
-		s.pendingBatches.Add(-1)
+		t.pendingBatches.Add(-1)
 		s.closeMu.RUnlock()
 		return ctx.Err()
 	}
@@ -821,48 +857,71 @@ func (s *Server) flushBarrier(ctx context.Context) error {
 	}
 }
 
-// handleFlush blocks until everything enqueued before it has reached the
-// sampler, then reports the arrival count. It gives deterministic
-// read-your-writes sequencing to tests and loaders.
+// flushAll runs the flush barrier on every live stream — the fence the
+// all-stream checkpoint writers need. Streams deleted while iterating are
+// skipped: their state is gone by design.
+func (s *Server) flushAll(ctx context.Context) error {
+	for _, t := range s.liveTenants() {
+		if err := s.flushBarrier(ctx, t); err != nil {
+			if errors.Is(err, errStreamDeleted) {
+				continue
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// handleFlush blocks until everything enqueued on the stream before it has
+// reached the sampler, then reports the arrival count. It gives
+// deterministic read-your-writes sequencing to tests and loaders.
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
-	if err := s.flushBarrier(r.Context()); err != nil {
+	t, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
+	if err := s.flushBarrier(r.Context(), t); err != nil {
 		httpError(w, http.StatusServiceUnavailable, flushErrMsg(err))
 		return
 	}
 	// Drop any pre-flush snapshot so a follow-up estimate at the
 	// default staleness bound sees the acknowledged writes.
-	s.snaps.invalidate()
-	if s.win != nil {
-		// Windowed mode reports the stream position (all records, counted
-		// once across the pane fan-out) — the fence a loader sequences on.
-		writeJSON(w, http.StatusOK, map[string]any{"arrivals": s.win.Processed()})
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"arrivals": s.par.Arrivals()})
+	t.snaps.invalidate()
+	// Arrivals is uniform across engine shapes: distinct arrivals on a
+	// plain engine, the stream position (all records, counted once across
+	// the pane fan-out) on a windowed one — the fence a loader sequences on.
+	writeJSON(w, http.StatusOK, map[string]any{"arrivals": t.eng.Arrivals()})
 }
 
 func flushErrMsg(err error) string {
-	if errors.Is(err, errServerClosed) {
+	switch {
+	case errors.Is(err, errServerClosed):
 		return "server closed"
+	case errors.Is(err, errStreamDeleted):
+		return "stream deleted"
 	}
 	return "canceled"
 }
 
-// writeEngineCheckpoint serializes the data plane — the window chain as a
-// GPSC window document in windowed mode, the sharded engine otherwise —
-// and returns the stream position the document covers.
+// writeEngineCheckpoint serializes the data plane: a single-stream server
+// writes its stream's ordinary engine/window document (byte-identical to
+// the pre-registry format), a multi-stream server writes the KindMulti
+// container covering every stream. Returns the stream position the
+// document covers (summed across streams).
 func (s *Server) writeEngineCheckpoint(w io.Writer) (position uint64, err error) {
-	if s.win != nil {
-		return s.win.WriteCheckpoint(w, s.cfg.WeightName)
+	tenants := s.liveTenants()
+	if len(tenants) == 1 {
+		t := tenants[0]
+		return t.eng.WriteCheckpoint(w, t.cfg.WeightName)
 	}
-	return s.par.WriteCheckpoint(w, s.cfg.WeightName)
+	return writeMultiCheckpoint(w, tenants)
 }
 
 // writeCheckpointFile persists one checkpoint into CheckpointDir with
 // crash-safe visibility and prunes retention, returning the stream
 // position the file covers (reported by the engine atomically with the
 // serialized state — concurrent ingest cannot skew it). Callers have
-// already drained the ingest queue. The file is first written under a
+// already drained the ingest queues. The file is first written under a
 // position-less temporary name, then renamed to embed the covered
 // position, so retention order, lexicographic order and stream order all
 // agree.
@@ -905,15 +964,16 @@ func (s *Server) writeCheckpointFile() (path string, bytes int64, position uint6
 	return path, bytes, position, nil
 }
 
-// WriteCheckpointNow drains the ingest queue and persists one checkpoint
-// into CheckpointDir, returning where it landed — the programmatic form of
-// POST /v1/checkpoint. gps-serve calls it for the -checkpoint-on-shutdown
-// final checkpoint, after the HTTP listeners have drained and before Close.
+// WriteCheckpointNow drains the ingest queues and persists one checkpoint
+// (covering every stream) into CheckpointDir, returning where it landed —
+// the programmatic form of POST /v1/checkpoint. gps-serve calls it for the
+// -checkpoint-on-shutdown final checkpoint, after the HTTP listeners have
+// drained and before Close.
 func (s *Server) WriteCheckpointNow(ctx context.Context) (path string, position uint64, err error) {
 	if s.cfg.CheckpointDir == "" {
 		return "", 0, errors.New("serve: no checkpoint directory configured")
 	}
-	if err := s.flushBarrier(ctx); err != nil {
+	if err := s.flushAll(ctx); err != nil {
 		return "", 0, err
 	}
 	path, _, position, err = s.writeCheckpointFile()
@@ -921,8 +981,8 @@ func (s *Server) WriteCheckpointNow(ctx context.Context) (path string, position 
 }
 
 // checkpointLoop is the periodic checkpointer: every CheckpointEvery it
-// drains the queue and persists a checkpoint, so a crash loses at most one
-// period of ingestion. Failures are surfaced through /v1/stats
+// drains the queues and persists a checkpoint, so a crash loses at most
+// one period of ingestion. Failures are surfaced through /v1/stats
 // (last_checkpoint_error) and retried on the next tick.
 func (s *Server) checkpointLoop() {
 	defer s.wg.Done()
@@ -933,7 +993,7 @@ func (s *Server) checkpointLoop() {
 		case <-s.done:
 			return
 		case <-ticker.C:
-			if err := s.flushBarrier(context.Background()); err != nil {
+			if err := s.flushAll(context.Background()); err != nil {
 				return // only fails when the server is closing
 			}
 			_, _, _, _ = s.writeCheckpointFile() // error recorded for /v1/stats
@@ -941,16 +1001,24 @@ func (s *Server) checkpointLoop() {
 	}
 }
 
-// handleCheckpoint (POST /v1/checkpoint) drains the ingest queue, persists
-// a checkpoint into CheckpointDir and reports where it landed. Everything
-// acknowledged with 202 before this request is covered by the file.
+// handleCheckpoint (POST /v1/checkpoint) drains the ingest queues,
+// persists a checkpoint covering every stream into CheckpointDir and
+// reports where it landed. Everything acknowledged with 202 before this
+// request is covered by the file. Per-stream persistence would tear the
+// crash-recovery story (which file wins?), so the stream selector is
+// rejected here; GET /v1/checkpoint?stream= exports one stream.
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("stream") != "" {
+		httpError(w, http.StatusBadRequest,
+			"persisted checkpoints cover every stream; drop the stream parameter (GET /v1/checkpoint?stream=... exports one)")
+		return
+	}
 	if s.cfg.CheckpointDir == "" {
 		httpError(w, http.StatusBadRequest, "no checkpoint directory configured (start with -checkpoint-dir)")
 		return
 	}
 	start := time.Now()
-	if err := s.flushBarrier(r.Context()); err != nil {
+	if err := s.flushAll(r.Context()); err != nil {
 		httpError(w, http.StatusServiceUnavailable, flushErrMsg(err))
 		return
 	}
@@ -971,18 +1039,38 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleCheckpointDownload (GET /v1/checkpoint) streams a checkpoint of the
-// current state over HTTP — the migration path: a new host can boot from
-// `curl .../v1/checkpoint > state.gpsc` + `-restore state.gpsc` without the
-// old host ever touching disk. The trailing checksum lets the receiver
-// verify integrity end to end.
+// handleCheckpointDownload (GET /v1/checkpoint) streams a checkpoint of
+// the current state over HTTP — the migration path: a new host can boot
+// from `curl .../v1/checkpoint > state.gpsc` + `-restore state.gpsc`
+// without the old host ever touching disk. With ?stream=S only that
+// stream is exported, as an ordinary single-stream document a
+// single-tenant server can restore directly — the per-stream migration
+// path. The trailing checksum lets the receiver verify integrity end to
+// end.
 func (s *Server) handleCheckpointDownload(w http.ResponseWriter, r *http.Request) {
-	if err := s.flushBarrier(r.Context()); err != nil {
+	single := r.URL.Query().Get("stream") != ""
+	var t *tenant
+	if single {
+		var ok bool
+		if t, ok = s.tenantFor(w, r); !ok {
+			return
+		}
+		if err := s.flushBarrier(r.Context(), t); err != nil {
+			httpError(w, http.StatusServiceUnavailable, flushErrMsg(err))
+			return
+		}
+	} else if err := s.flushAll(r.Context()); err != nil {
 		httpError(w, http.StatusServiceUnavailable, flushErrMsg(err))
 		return
 	}
 	cw := &countingWriter{w: w}
-	if _, err := s.writeEngineCheckpoint(cw); err != nil {
+	var err error
+	if single {
+		_, err = t.eng.WriteCheckpoint(cw, t.cfg.WeightName)
+	} else {
+		_, err = s.writeEngineCheckpoint(cw)
+	}
+	if err != nil {
 		if cw.n == 0 {
 			// Nothing sent yet (headers included): a proper error status is
 			// still possible — e.g. the engine closed under a racing
@@ -1028,25 +1116,25 @@ func (s *Server) maxStale(r *http.Request) (time.Duration, error) {
 	return d, nil
 }
 
-// admitQuery reserves a slot for a snapshot-reading query. When more than
-// MaxInflightQueries are already running, the request is shed with 429 +
-// Retry-After instead of queueing behind the snapshot cache — bounded
-// latency for the admitted queries, an honest signal for the rest. release
-// must be called when the query finishes; ok=false means the response has
-// been written.
-func (s *Server) admitQuery(w http.ResponseWriter) (release func(), ok bool) {
+// admitQuery reserves a slot for a snapshot-reading query on one stream.
+// When more than MaxInflightQueries are already running, the request is
+// shed with 429 + Retry-After instead of queueing behind the snapshot
+// cache — bounded latency for the admitted queries, an honest signal for
+// the rest. release must be called when the query finishes; ok=false means
+// the response has been written.
+func (s *Server) admitQuery(w http.ResponseWriter, t *tenant) (release func(), ok bool) {
 	if s.cfg.MaxInflightQueries <= 0 {
 		return func() {}, true
 	}
-	if n := s.inflightQueries.Add(1); n > int64(s.cfg.MaxInflightQueries) {
-		s.inflightQueries.Add(-1)
-		s.shedTotal.Add(1)
+	if n := t.inflightQueries.Add(1); n > int64(s.cfg.MaxInflightQueries) {
+		t.inflightQueries.Add(-1)
+		t.shedTotal.Add(1)
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("query load shed (more than %d estimates in flight); retry shortly", s.cfg.MaxInflightQueries))
 		return nil, false
 	}
-	return func() { s.inflightQueries.Add(-1) }, true
+	return func() { t.inflightQueries.Add(-1) }, true
 }
 
 // estimateResponse is the JSON shape of /v1/estimate. With decay enabled
@@ -1081,9 +1169,39 @@ type estimateResponse struct {
 	WindowPanes   int     `json:"window_panes,omitempty"`
 }
 
+// estimateFrom builds the estimate response for one snapshot — shared by
+// the estimate handler and the SSE subscription feed, so both emit the
+// same shape for the same epoch.
+func (t *tenant) estimateFrom(sn *snapshot, degraded bool) estimateResponse {
+	est := sn.est
+	tri, wed, cc := est.TriangleInterval(), est.WedgeInterval(), est.ClusteringInterval()
+	return estimateResponse{
+		Triangles:      est.Triangles,
+		TrianglesCI:    [2]float64{tri.Lower, tri.Upper},
+		Wedges:         est.Wedges,
+		WedgesCI:       [2]float64{wed.Lower, wed.Upper},
+		Clustering:     est.GlobalClustering(),
+		ClusteringCI:   [2]float64{cc.Lower, cc.Upper},
+		SampledEdges:   est.SampledEdges,
+		Arrivals:       est.Arrivals,
+		Threshold:      sn.sampler.Threshold(),
+		SnapshotAgeMS:  float64(time.Since(sn.taken)) / float64(time.Millisecond),
+		SnapshotUnixNS: sn.taken.UnixNano(),
+		Degraded:       degraded,
+		Decayed:        est.Decayed,
+		DecayedEdges:   est.DecayedEdges,
+		DecayHorizon:   est.DecayHorizon,
+		DecayHalfLife:  t.cfg.HalfLife,
+	}
+}
+
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	if s.win != nil {
-		s.handleWindowEstimate(w, r)
+	t, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
+	if t.windowed() {
+		s.handleWindowEstimate(w, r, t)
 		return
 	}
 	if raw := r.URL.Query().Get("window"); raw != "" {
@@ -1096,12 +1214,12 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	release, ok := s.admitQuery(w)
+	release, ok := s.admitQuery(w, t)
 	if !ok {
 		return
 	}
 	defer release()
-	snap, staleServed, err := s.snaps.get(stale, s.cfg.EstimateDeadline)
+	snap, staleServed, err := t.snaps.get(stale, s.cfg.EstimateDeadline)
 	if err != nil {
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, err.Error())
@@ -1109,38 +1227,19 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	degraded := staleServed || snap.degraded
 	if degraded {
-		s.degradedQueries.Add(1)
+		t.degradedQueries.Add(1)
 	}
-	s.met.snapAge.Observe(uint64(time.Since(snap.taken)))
-	est := snap.est
-	tri, wed, cc := est.TriangleInterval(), est.WedgeInterval(), est.ClusteringInterval()
-	writeJSON(w, http.StatusOK, estimateResponse{
-		Triangles:      est.Triangles,
-		TrianglesCI:    [2]float64{tri.Lower, tri.Upper},
-		Wedges:         est.Wedges,
-		WedgesCI:       [2]float64{wed.Lower, wed.Upper},
-		Clustering:     est.GlobalClustering(),
-		ClusteringCI:   [2]float64{cc.Lower, cc.Upper},
-		SampledEdges:   est.SampledEdges,
-		Arrivals:       est.Arrivals,
-		Threshold:      snap.sampler.Threshold(),
-		SnapshotAgeMS:  float64(time.Since(snap.taken)) / float64(time.Millisecond),
-		SnapshotUnixNS: snap.taken.UnixNano(),
-		Degraded:       degraded,
-		Decayed:        est.Decayed,
-		DecayedEdges:   est.DecayedEdges,
-		DecayHorizon:   est.DecayHorizon,
-		DecayHalfLife:  s.cfg.HalfLife,
-	})
+	t.met.snapAge.Observe(uint64(time.Since(snap.taken)))
+	writeJSON(w, http.StatusOK, t.estimateFrom(snap, degraded))
 }
 
-// handleWindowEstimate answers /v1/estimate on a windowed server: it
+// handleWindowEstimate answers /v1/estimate on a windowed stream: it
 // merges the panes overlapping the requested trailing window (?window=w in
 // event-time units; absent or 0 means the configured maximum) and runs the
 // post-stream estimators on the merged sample. There is no snapshot cache
 // in this mode — every answer is freshly merged — so max_stale is accepted
 // and ignored.
-func (s *Server) handleWindowEstimate(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleWindowEstimate(w http.ResponseWriter, r *http.Request, t *tenant) {
 	var window uint64
 	if raw := r.URL.Query().Get("window"); raw != "" {
 		v, err := strconv.ParseUint(raw, 10, 64)
@@ -1149,26 +1248,26 @@ func (s *Server) handleWindowEstimate(w http.ResponseWriter, r *http.Request) {
 				fmt.Sprintf("bad window %q (want a positive integer in event-time units)", raw))
 			return
 		}
-		if v > s.cfg.Window {
+		if v > t.cfg.Window {
 			httpError(w, http.StatusBadRequest,
-				fmt.Sprintf("window %d exceeds the configured maximum %d (older panes are already retired)", v, s.cfg.Window))
+				fmt.Sprintf("window %d exceeds the configured maximum %d (older panes are already retired)", v, t.cfg.Window))
 			return
 		}
 		window = v
 	}
-	release, ok := s.admitQuery(w)
+	release, ok := s.admitQuery(w, t)
 	if !ok {
 		return
 	}
 	defer release()
 	taken := time.Now()
-	est, err := s.win.Query(window)
+	est, err := t.eng.Estimate(window)
 	if err != nil {
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	s.met.snapAge.Observe(uint64(time.Since(taken)))
+	t.met.snapAge.Observe(uint64(time.Since(taken)))
 	tri, wed, cc := est.TriangleInterval(), est.WedgeInterval(), est.ClusteringInterval()
 	writeJSON(w, http.StatusOK, estimateResponse{
 		Triangles:      est.Triangles,
@@ -1196,7 +1295,11 @@ type subgraphRequest struct {
 }
 
 func (s *Server) handleSubgraph(w http.ResponseWriter, r *http.Request) {
-	if s.win != nil {
+	t, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
+	if t.windowed() {
 		httpError(w, http.StatusBadRequest,
 			"subgraph estimation is not available on a windowed server (no standing snapshot to evaluate against)")
 		return
@@ -1224,12 +1327,12 @@ func (s *Server) handleSubgraph(w http.ResponseWriter, r *http.Request) {
 		}
 		edges = append(edges, graph.NewEdge(graph.NodeID(p[0]), graph.NodeID(p[1])))
 	}
-	release, ok := s.admitQuery(w)
+	release, ok := s.admitQuery(w, t)
 	if !ok {
 		return
 	}
 	defer release()
-	snap, staleServed, err := s.snaps.get(stale, s.cfg.EstimateDeadline)
+	snap, staleServed, err := t.snaps.get(stale, s.cfg.EstimateDeadline)
 	if err != nil {
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, err.Error())
@@ -1237,9 +1340,9 @@ func (s *Server) handleSubgraph(w http.ResponseWriter, r *http.Request) {
 	}
 	degraded := staleServed || snap.degraded
 	if degraded {
-		s.degradedQueries.Add(1)
+		t.degradedQueries.Add(1)
 	}
-	s.met.snapAge.Observe(uint64(time.Since(snap.taken)))
+	t.met.snapAge.Observe(uint64(time.Since(snap.taken)))
 	est := snap.sampler.SubgraphEstimate(edges...)
 	variance := est * (est - 1)
 	if est == 0 {

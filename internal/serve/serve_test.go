@@ -170,7 +170,7 @@ func TestServeBackpressure(t *testing.T) {
 	s.wg.Wait()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
-	defer s.par.Close()
+	defer s.def.eng.Close()
 
 	edges := gen.ErdosRenyi(50, 100, 1)
 	got503 := false
@@ -204,7 +204,7 @@ func TestServePendingEdgeBound(t *testing.T) {
 	s.wg.Wait()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
-	defer s.par.Close()
+	defer s.def.eng.Close()
 
 	resp := postEdges(t, ts.URL, gen.ErdosRenyi(50, 100, 1), true)
 	defer resp.Body.Close()
@@ -369,10 +369,10 @@ func TestServeCloseProcessesAcknowledged(t *testing.T) {
 	time.Sleep(time.Millisecond)
 	s.Close()
 	wg.Wait()
-	if got, want := s.edgesProcessed.Load(), accepted.Load(); got != want {
+	if got, want := s.def.edgesProcessed.Load(), accepted.Load(); got != want {
 		t.Fatalf("processed %d edges but acknowledged %d — 202'd batches were dropped", got, want)
 	}
-	if pending := s.pendingEdges.Load(); pending != 0 {
+	if pending := s.def.pendingEdges.Load(); pending != 0 {
 		t.Fatalf("pending_edges = %d after Close, want 0", pending)
 	}
 }

@@ -62,6 +62,12 @@ type snapshotCache struct {
 	gen      uint64     // bumped by invalidate; a refresh from an older gen discards
 	inflight *refreshOp // the single in-flight refresh, nil when idle
 
+	// onInstall, when set, is called (outside mu) with every snapshot that
+	// actually installs — the snapshot-epoch feed the SSE subscription layer
+	// fans out. Superseded refreshes never fire it, so subscribers only ever
+	// see snapshots that queries could also have been served.
+	onInstall func(*snapshot)
+
 	met cacheMetrics
 }
 
@@ -222,12 +228,16 @@ func (c *snapshotCache) finish(op *refreshOp, s *snapshot, err error) {
 // only if no invalidation superseded the refresh's generation.
 func (c *snapshotCache) finishInstall(op *refreshOp, s *snapshot, gen uint64) {
 	c.mu.Lock()
-	if c.gen == gen {
+	installed := c.gen == gen
+	if installed {
 		c.cur.Store(s)
 		op.snap = s
 	}
 	c.inflight = nil
 	c.mu.Unlock()
+	if installed && c.onInstall != nil {
+		c.onInstall(s)
+	}
 }
 
 // invalidate drops the cached snapshot unless it already reflects the

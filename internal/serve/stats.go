@@ -15,6 +15,11 @@ import (
 // present-only-when-meaningful semantics via pointers and omitempty.
 // The values are read from the same counters and engine accessors the
 // /metrics registry renders — the two views never disagree on sources.
+//
+// Schema version 2 (the multi-tenant registry): every pre-existing
+// top-level field keeps describing the default stream exactly as before,
+// and the new always-present "streams" array carries one entry per live
+// stream — the default one included, so the per-stream shape is uniform.
 type StatsV1 struct {
 	SchemaVersion int `json:"schema_version"`
 
@@ -77,6 +82,10 @@ type StatsV1 struct {
 	RouterStalls uint64   `json:"router_stalls"`
 	ShardEpochs  []uint64 `json:"shard_epochs"`
 
+	// The per-stream section, one entry per live stream (default first,
+	// rest sorted by name).
+	Streams []StreamStatsV1 `json:"streams"`
+
 	// Conditional: decay configuration (present when decay is on).
 	DecayHalfLife float64 `json:"decay_half_life,omitempty"`
 	DecayHorizon  *uint64 `json:"decay_horizon,omitempty"`
@@ -106,15 +115,82 @@ type StatsV1 struct {
 	FaultPoints []fault.PointStatus `json:"fault_points,omitempty"`
 }
 
-// statsV1 assembles the /v1/stats document.
+// StreamStatsV1 is one live stream's entry in the stats document: its
+// effective configuration and its serve-layer counters (the engine-layer
+// detail stays on the labeled /metrics families).
+type StreamStatsV1 struct {
+	Stream     string `json:"stream"`
+	Default    bool   `json:"default,omitempty"`
+	Capacity   int    `json:"capacity"`
+	Weight     string `json:"weight"`
+	Shards     int    `json:"shards"`
+	QueueDepth int    `json:"queue_depth"`
+
+	PendingBatches   int64  `json:"pending_batches"`
+	PendingEdges     int64  `json:"pending_edges"`
+	EdgesAccepted    uint64 `json:"edges_accepted"`
+	EdgesProcessed   uint64 `json:"edges_processed"`
+	BatchesRejected  uint64 `json:"batches_rejected"`
+	SelfLoopsSkipped uint64 `json:"self_loops_skipped"`
+	DeletionRecords  uint64 `json:"deletion_records"`
+
+	QueriesShed      uint64 `json:"queries_shed"`
+	DegradedQueries  uint64 `json:"degraded_queries"`
+	DuplicateBatches uint64 `json:"duplicate_batches"`
+	IngestPanics     uint64 `json:"ingest_panics"`
+	InflightQueries  int64  `json:"inflight_queries"`
+
+	// SSE subscription feed: live subscribers and events lost to full
+	// subscriber buffers.
+	Subscribers     int    `json:"subscribers"`
+	SubscriberDrops uint64 `json:"subscriber_drops,omitempty"`
+
+	// Conditional: the stream's time model.
+	DecayHalfLife float64 `json:"decay_half_life,omitempty"`
+	Window        uint64  `json:"window,omitempty"`
+	PaneWidth     uint64  `json:"pane_width,omitempty"`
+}
+
+func streamStats(t *tenant) StreamStatsV1 {
+	return StreamStatsV1{
+		Stream:           t.name,
+		Default:          t.name == defaultStream,
+		Capacity:         t.cfg.Capacity,
+		Weight:           t.cfg.WeightName,
+		Shards:           t.cfg.Shards,
+		QueueDepth:       t.cfg.QueueDepth,
+		PendingBatches:   t.pendingBatches.Load(),
+		PendingEdges:     t.pendingEdges.Load(),
+		EdgesAccepted:    t.edgesAccepted.Load(),
+		EdgesProcessed:   t.edgesProcessed.Load(),
+		BatchesRejected:  t.batchesDropped.Load(),
+		SelfLoopsSkipped: t.selfLoops.Load(),
+		DeletionRecords:  t.deletionRecs.Load(),
+		QueriesShed:      t.shedTotal.Load(),
+		DegradedQueries:  t.degradedQueries.Load(),
+		DuplicateBatches: t.duplicateBatches.Load(),
+		IngestPanics:     t.ingestPanics.Load(),
+		InflightQueries:  t.inflightQueries.Load(),
+		Subscribers:      t.subs.count(),
+		SubscriberDrops:  t.subs.dropped.Load(),
+		DecayHalfLife:    t.cfg.HalfLife,
+		Window:           t.cfg.Window,
+		PaneWidth:        t.cfg.PaneWidth,
+	}
+}
+
+// statsV1 assembles the /v1/stats document. The top-level fields describe
+// the default stream (the pre-registry contract, unchanged); the streams
+// array carries every live stream.
 func (s *Server) statsV1() StatsV1 {
-	snapTaken, snapArrivals := s.snaps.last()
-	eng := s.eng() // the live pane in windowed mode; re-fetched per call
+	def := s.def
+	snapTaken, snapArrivals := def.snaps.last()
+	eng := def.eng // the live pane in windowed mode; re-fetched per call
 	snapshots, cloned, reused := eng.SnapshotStats()
 	ckpts, encoded, blobReused := eng.CheckpointStats()
 	rs := eng.RingStats()
 	st := StatsV1{
-		SchemaVersion:        1,
+		SchemaVersion:        2,
 		Snapshots:            snapshots,
 		ShardsCloned:         cloned,
 		ShardsReused:         reused,
@@ -127,12 +203,12 @@ func (s *Server) statsV1() StatsV1 {
 		Weight:               s.cfg.WeightName,
 		Shards:               eng.Shards(),
 		QueueDepth:           s.cfg.QueueDepth,
-		PendingBatches:       s.pendingBatches.Load(),
-		PendingEdges:         s.pendingEdges.Load(),
-		EdgesAccepted:        s.edgesAccepted.Load(),
-		EdgesProcessed:       s.edgesProcessed.Load(),
-		BatchesRejected:      s.batchesDropped.Load(),
-		SelfLoopsSkipped:     s.selfLoops.Load(),
+		PendingBatches:       def.pendingBatches.Load(),
+		PendingEdges:         def.pendingEdges.Load(),
+		EdgesAccepted:        def.edgesAccepted.Load(),
+		EdgesProcessed:       def.edgesProcessed.Load(),
+		BatchesRejected:      def.batchesDropped.Load(),
+		SelfLoopsSkipped:     def.selfLoops.Load(),
 		SnapshotArrivals:     snapArrivals,
 		UptimeMS:             float64(time.Since(s.start)) / float64(time.Millisecond),
 		RingCapacity:         rs.Capacity,
@@ -140,27 +216,31 @@ func (s *Server) statsV1() StatsV1 {
 		RingBacklog:          rs.Backlog,
 		RouterStalls:         rs.Stalls,
 		ShardEpochs:          rs.Epochs,
-		QueriesShed:          s.shedTotal.Load(),
-		DegradedQueries:      s.degradedQueries.Load(),
-		DuplicateBatches:     s.duplicateBatches.Load(),
-		IngestPanics:         s.ingestPanics.Load(),
-		InflightQueries:      s.inflightQueries.Load(),
+		QueriesShed:          def.shedTotal.Load(),
+		DegradedQueries:      def.degradedQueries.Load(),
+		DuplicateBatches:     def.duplicateBatches.Load(),
+		IngestPanics:         def.ingestPanics.Load(),
+		InflightQueries:      def.inflightQueries.Load(),
 	}
 	st.ShardHealth, st.Degraded = eng.Health()
 	st.ShardRestarts = eng.Restarts()
 	st.LostEdges = eng.LostEdges()
-	st.DeletionRecords = s.deletionRecs.Load()
-	if s.win != nil {
-		st.DeletionsApplied, st.DeletionsUnsampled = s.win.Deletions()
-		wc := s.win.Config()
+	st.DeletionRecords = def.deletionRecs.Load()
+	if wc, windowed := eng.WindowSpec(); windowed {
+		st.DeletionsApplied, st.DeletionsUnsampled = eng.Deletions()
 		st.Window = wc.Window
 		st.PaneWidth = wc.PaneWidth
-		panes := s.win.Panes()
+		panes := eng.Panes()
 		st.WindowPanes = &panes
-		horizon := s.win.Horizon()
+		horizon := eng.Horizon()
 		st.WindowHorizon = &horizon
-	} else if sn := s.snaps.current(); sn != nil {
+	} else if sn := def.snaps.current(); sn != nil {
 		st.DeletionsApplied, st.DeletionsUnsampled = sn.sampler.Deletions()
+	}
+	tenants := s.liveTenants()
+	st.Streams = make([]StreamStatsV1, 0, len(tenants))
+	for _, t := range tenants {
+		st.Streams = append(st.Streams, streamStats(t))
 	}
 	if fault.Enabled() {
 		// Armed fault-injection points (diagnostics for chaos runs): which
@@ -169,7 +249,7 @@ func (s *Server) statsV1() StatsV1 {
 	}
 	if s.cfg.HalfLife > 0 {
 		st.DecayHalfLife = s.cfg.HalfLife
-		horizon := s.par.DecayHorizon() // decay excludes windowing: par is set
+		horizon := eng.DecayHorizon() // decay excludes windowing on the default stream
 		st.DecayHorizon = &horizon
 	}
 	if !snapTaken.IsZero() {
@@ -185,7 +265,7 @@ func (s *Server) statsV1() StatsV1 {
 	}
 	if s.restoredFrom != "" {
 		st.RestoredFrom = s.restoredFrom
-		pos := s.restoredPosition
+		pos := def.restoredPosition
 		st.RestoredPosition = &pos
 	}
 	if addr, ok := s.pprofAddr.Load().(string); ok && addr != "" {
@@ -208,7 +288,9 @@ func (s *Server) SetPprofAddr(addr string) { s.pprofAddr.Store(addr) }
 // metricsOnly — distributions and cache/scheduler detail /v1/stats never
 // carried. A test asserts the two lists exactly partition
 // Metrics().Families(), so adding a metric forces an explicit
-// classification here.
+// classification here. Families are registered per capability, so the
+// lists union over the live streams' capabilities (a single default plain
+// stream yields exactly the pre-registry partition).
 func (s *Server) metricsPartition() (statsCovered, metricsOnly []string) {
 	statsCovered = []string{
 		"gps_checkpoint_files_written_total", // checkpoints_written (per-process superset)
@@ -252,8 +334,19 @@ func (s *Server) metricsPartition() (statsCovered, metricsOnly []string) {
 		"gps_serve_snapshot_forced_fresh_total",
 		"gps_serve_snapshot_refresh_total",
 	}
-	if s.win != nil {
-		// Windowed servers register the window families instead of the
+	anyWindow, anyPlain, anyDecay := false, false, false
+	for _, t := range s.liveTenants() {
+		if t.windowed() {
+			anyWindow = true
+		} else {
+			anyPlain = true
+		}
+		if t.cfg.HalfLife > 0 {
+			anyDecay = true
+		}
+	}
+	if anyWindow {
+		// Windowed streams register the window families instead of the
 		// per-instance engine families: rotation replaces the live engine,
 		// so instruments bound to one Parallel would go stale mid-run.
 		statsCovered = append(statsCovered,
@@ -262,7 +355,8 @@ func (s *Server) metricsPartition() (statsCovered, metricsOnly []string) {
 			"gps_window_panes",      // window_panes
 			"gps_window_horizon",    // window_horizon
 		)
-	} else {
+	}
+	if anyPlain {
 		statsCovered = append(statsCovered,
 			"gps_engine_checkpoint_blobs_reused_total",   // checkpoint_blobs_reuse
 			"gps_engine_checkpoint_shards_encoded_total", // checkpoint_shards_enc
@@ -291,7 +385,7 @@ func (s *Server) metricsPartition() (statsCovered, metricsOnly []string) {
 			"gps_engine_snapshot_stall_seconds", // stats has only the last stall, not the distribution
 		)
 	}
-	if s.cfg.HalfLife > 0 {
+	if anyDecay {
 		statsCovered = append(statsCovered, "gps_engine_decay_horizon") // decay_horizon
 	}
 	return statsCovered, metricsOnly

@@ -3,10 +3,10 @@
 #
 # Runs the gps-bench perf experiment (sampling update paths, slot-indexed
 # vs lookup estimation, incremental snapshot stalls, the forward-decay
-# update/accuracy numbers, and the windowed-turnstile ingest/query/accuracy
-# numbers) and writes the machine-readable report to a
-# BENCH json, which CI uploads as an artifact so successive PRs can be
-# compared.
+# update/accuracy numbers, the windowed-turnstile ingest/query/accuracy
+# numbers, and the multi-tenant serve trajectory at 1/4/16 streams) and
+# writes the machine-readable report to a BENCH json, which CI uploads as
+# an artifact so successive PRs can be compared.
 #
 # Environment overrides: EDGES (stream length), SAMPLE (reservoir m),
 # SHARDS (engine shard count), PROCS (comma-separated GOMAXPROCS sweep for

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Smoke test for the multi-tenant serve plane: start gps-serve with a
+# two-stream manifest, feed each stream its own generated graph, and
+# require each stream's estimate to equal its own exact triangle count —
+# with uniform weights and a reservoir larger than either graph both
+# estimates are exact, so a cross-stream leak shows up as a hard count
+# mismatch, not noise. The second act is multi-stream durability: persist
+# one KindMulti checkpoint covering both streams, kill -9 the server,
+# restart with -restore alone (no manifest — the checkpoint carries the
+# stream set), and require both streams to come back at their positions
+# with their exact counts intact. CI runs this after the unit tests; it
+# needs only curl.
+set -euo pipefail
+
+workdir=$(mktemp -d)
+trap 'kill -9 "${server_pid:-}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# jnum FILE KEY: first numeric value of "key":N in a JSON file.
+jnum() { sed -E "s/.*\"$2\":([0-9]+(\.[0-9]+)?).*/\1/" "$1"; }
+
+echo "== build"
+go build -o "$workdir" ./cmd/gps-gen ./cmd/gps-sample ./cmd/gps-serve
+
+echo "== generate two disjoint tenant graphs"
+"$workdir/gps-gen" -type hk -n 1500 -k 6 -p 0.5 -seed 11 -format binary -out "$workdir/a.gpsb"
+"$workdir/gps-gen" -type hk -n 1200 -k 5 -p 0.4 -seed 22 -format binary -out "$workdir/b.gpsb"
+
+exact_a=$("$workdir/gps-sample" -in "$workdir/a.gpsb" -m 100000 -weight uniform -exact | grep '^exact:' | sed -E 's/.*triangles=([0-9]+).*/\1/')
+exact_b=$("$workdir/gps-sample" -in "$workdir/b.gpsb" -m 100000 -weight uniform -exact | grep '^exact:' | sed -E 's/.*triangles=([0-9]+).*/\1/')
+echo "exact: stream-a=$exact_a stream-b=$exact_b"
+[ "$exact_a" != "$exact_b" ] || fail "tenant graphs have equal triangle counts; the cross-check would be blind"
+
+echo "== start gps-serve with a two-stream manifest"
+cat > "$workdir/streams.json" <<'EOF'
+{"streams": [{"name": "tenant-b"}]}
+EOF
+ckptdir="$workdir/ckpt"
+mkdir -p "$ckptdir"
+"$workdir/gps-serve" -addr 127.0.0.1:18427 -m 20000 -weight uniform -staleness 0s \
+    -streams "$workdir/streams.json" -checkpoint-dir "$ckptdir" &
+server_pid=$!
+for _ in $(seq 1 50); do
+    curl -fsS http://127.0.0.1:18427/healthz >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -fsS http://127.0.0.1:18427/healthz >/dev/null
+
+echo "== the registry lists both streams"
+curl -fsS http://127.0.0.1:18427/v1/streams > "$workdir/streams-list.json"
+grep -q '"default"' "$workdir/streams-list.json" || fail "listing lacks the default stream"
+grep -q '"tenant-b"' "$workdir/streams-list.json" || fail "listing lacks the manifest stream"
+
+echo "== ingest each tenant's graph into its own stream"
+curl -fsS -X POST -H 'Content-Type: application/x-gps-edges' \
+    --data-binary "@$workdir/a.gpsb" http://127.0.0.1:18427/v1/ingest >/dev/null
+curl -fsS -X POST -H 'Content-Type: application/x-gps-edges' \
+    --data-binary "@$workdir/b.gpsb" 'http://127.0.0.1:18427/v1/ingest?stream=tenant-b' >/dev/null
+curl -fsS -X POST http://127.0.0.1:18427/v1/flush >/dev/null
+curl -fsS -X POST 'http://127.0.0.1:18427/v1/flush?stream=tenant-b' >/dev/null
+
+echo "== isolation cross-check: each stream answers with its own exact count"
+curl -fsS 'http://127.0.0.1:18427/v1/estimate?max_stale=0s' > "$workdir/est-a.json"
+curl -fsS 'http://127.0.0.1:18427/v1/estimate?stream=tenant-b&max_stale=0s' > "$workdir/est-b.json"
+got_a=$(jnum "$workdir/est-a.json" triangles); got_a=${got_a%.*}
+got_b=$(jnum "$workdir/est-b.json" triangles); got_b=${got_b%.*}
+echo "served: stream-a=$got_a stream-b=$got_b"
+[ "$got_a" = "$exact_a" ] || fail "default stream served $got_a, want its exact $exact_a"
+[ "$got_b" = "$exact_b" ] || fail "tenant-b served $got_b, want its exact $exact_b"
+arrivals_a=$(jnum "$workdir/est-a.json" arrivals)
+arrivals_b=$(jnum "$workdir/est-b.json" arrivals)
+[ "$arrivals_a" != "$arrivals_b" ] || fail "streams report identical arrivals ($arrivals_a): not isolated"
+echo "OK: per-stream estimates match their own exact counts"
+
+echo "== persist one multi-stream checkpoint, then kill -9"
+curl -fsS -X POST http://127.0.0.1:18427/v1/checkpoint > "$workdir/ckpt.json"
+cat "$workdir/ckpt.json"; echo
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+
+echo "== restore: the checkpoint alone carries the stream set"
+"$workdir/gps-serve" -addr 127.0.0.1:18428 -m 20000 -weight uniform -staleness 0s \
+    -restore "$ckptdir" &
+server_pid=$!
+for _ in $(seq 1 50); do
+    curl -fsS http://127.0.0.1:18428/healthz >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -fsS http://127.0.0.1:18428/v1/streams > "$workdir/streams-restored.json"
+grep -q '"tenant-b"' "$workdir/streams-restored.json" || fail "restore dropped the tenant-b stream"
+
+echo "== per-stream equality after crash + restore"
+curl -fsS 'http://127.0.0.1:18428/v1/estimate?max_stale=0s' > "$workdir/rest-a.json"
+curl -fsS 'http://127.0.0.1:18428/v1/estimate?stream=tenant-b&max_stale=0s' > "$workdir/rest-b.json"
+rest_a=$(jnum "$workdir/rest-a.json" triangles); rest_a=${rest_a%.*}
+rest_b=$(jnum "$workdir/rest-b.json" triangles); rest_b=${rest_b%.*}
+rest_arrivals_a=$(jnum "$workdir/rest-a.json" arrivals)
+rest_arrivals_b=$(jnum "$workdir/rest-b.json" arrivals)
+echo "restored: stream-a=$rest_a (arrivals $rest_arrivals_a) stream-b=$rest_b (arrivals $rest_arrivals_b)"
+[ "$rest_a" = "$exact_a" ] || fail "restored default stream serves $rest_a, want $exact_a"
+[ "$rest_b" = "$exact_b" ] || fail "restored tenant-b serves $rest_b, want $exact_b"
+[ "$rest_arrivals_a" = "$arrivals_a" ] || fail "default stream position moved across restore: $rest_arrivals_a != $arrivals_a"
+[ "$rest_arrivals_b" = "$arrivals_b" ] || fail "tenant-b position moved across restore: $rest_arrivals_b != $arrivals_b"
+echo "OK: kill -9 + restore reproduces every stream's exact count at its position"
